@@ -1,0 +1,138 @@
+//! Sequential CPU baseline with a deterministic analytic cost model.
+//!
+//! Figures 7 and 9 report speedup versus "the sequential implementation
+//! using CSR format on the CPU" of the paper's i7-3820 host (Table I).
+//! Wall-clock timing of the host running this repository would make every
+//! figure depend on the build machine, so the baseline is scored by an
+//! analytic model instead: streamed bytes at sustained DRAM bandwidth,
+//! arithmetic at a fixed CPI, and irregular accesses at an average
+//! cache-miss latency. The *shape* of the speedup bars — which is what the
+//! reproduction targets — depends only on these ratios.
+
+use mps_sparse::ops;
+use mps_sparse::CsrMatrix;
+
+/// Cost model of a single Sandy Bridge-class core (i7-3820, 3.6 GHz).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuModel {
+    pub clock_ghz: f64,
+    /// Cycles per simple arithmetic/compare/move operation.
+    pub cycles_per_op: f64,
+    /// Average cycles per irregular (cache-missing) access.
+    pub cycles_per_random_access: f64,
+    /// Sustained streaming bandwidth for a single core, GB/s.
+    pub stream_gbps: f64,
+}
+
+impl CpuModel {
+    /// The paper's host CPU (Table I).
+    pub fn i7_3820() -> Self {
+        CpuModel {
+            clock_ghz: 3.6,
+            cycles_per_op: 1.0,
+            // Sparse-kernel working sets (Gustavson workspace, x vector)
+            // mostly hit L2; the average irregular access is far cheaper
+            // than a DRAM miss.
+            cycles_per_random_access: 8.0,
+            stream_gbps: 12.0,
+        }
+    }
+
+    /// Time in milliseconds for a kernel with the given op/traffic counts.
+    pub fn time_ms(&self, ops: u64, random_accesses: u64, streamed_bytes: u64) -> f64 {
+        let compute_s = (ops as f64 * self.cycles_per_op
+            + random_accesses as f64 * self.cycles_per_random_access)
+            / (self.clock_ghz * 1e9);
+        let memory_s = streamed_bytes as f64 / (self.stream_gbps * 1e9);
+        (compute_s + memory_s) * 1e3
+    }
+}
+
+impl Default for CpuModel {
+    fn default() -> Self {
+        Self::i7_3820()
+    }
+}
+
+/// Sequential SpMV with its modeled time.
+pub fn spmv(model: &CpuModel, a: &CsrMatrix, x: &[f64]) -> (Vec<f64>, f64) {
+    let y = ops::spmv_ref(a, x);
+    let nnz = a.nnz() as u64;
+    // 2 flops per nonzero; each nonzero gathers x irregularly; CSR arrays
+    // and y stream.
+    let ms = model.time_ms(2 * nnz, nnz, nnz * 12 + (a.num_rows as u64) * 16);
+    (y, ms)
+}
+
+/// Sequential SpAdd with its modeled time.
+pub fn spadd(model: &CpuModel, a: &CsrMatrix, b: &CsrMatrix) -> (CsrMatrix, f64) {
+    let c = ops::spadd_ref(a, b);
+    let work = (a.nnz() + b.nnz()) as u64;
+    // Two-pointer merge: compare + move per input entry; all streaming.
+    let ms = model.time_ms(3 * work, 0, work * 12 + c.nnz() as u64 * 12);
+    (c, ms)
+}
+
+/// Sequential Gustavson SpGEMM with its modeled time.
+pub fn spgemm(model: &CpuModel, a: &CsrMatrix, b: &CsrMatrix) -> (CsrMatrix, f64) {
+    let c = ops::spgemm_ref(a, b);
+    let products = ops::spgemm_products(a, b);
+    // Each product: multiply + accumulate into the O(n) dense workspace
+    // (irregular); sort of each output row adds log-factor ops.
+    let out = c.nnz() as u64;
+    let sort_ops: u64 = (0..c.num_rows)
+        .map(|r| {
+            let len = c.row_len(r) as u64;
+            len * (64 - len.max(1).leading_zeros()) as u64
+        })
+        .sum();
+    let ms = model.time_ms(
+        2 * products + sort_ops,
+        products,
+        a.nnz() as u64 * 12 + products * 12 + out * 12,
+    );
+    (c, ms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_sparse::gen;
+
+    #[test]
+    fn model_times_are_positive_and_monotone_in_work() {
+        let m = CpuModel::default();
+        assert!(m.time_ms(1000, 10, 1000) > 0.0);
+        assert!(m.time_ms(2000, 10, 1000) > m.time_ms(1000, 10, 1000));
+        assert!(m.time_ms(1000, 20, 1000) > m.time_ms(1000, 10, 1000));
+        assert!(m.time_ms(1000, 10, 2000) > m.time_ms(1000, 10, 1000));
+    }
+
+    #[test]
+    fn zero_work_is_free() {
+        assert_eq!(CpuModel::default().time_ms(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn spmv_result_matches_reference_and_costs_scale() {
+        let m = CpuModel::default();
+        let small = gen::stencil_5pt(10, 10);
+        let big = gen::stencil_5pt(50, 50);
+        let (ys, ts) = spmv(&m, &small, &vec![1.0; small.num_cols]);
+        let (yb, tb) = spmv(&m, &big, &vec![1.0; big.num_cols]);
+        assert_eq!(ys, mps_sparse::ops::spmv_ref(&small, &vec![1.0; small.num_cols]));
+        assert_eq!(yb.len(), big.num_rows);
+        assert!(tb > ts);
+    }
+
+    #[test]
+    fn spgemm_cost_tracks_products_not_just_nnz() {
+        let m = CpuModel::default();
+        // Same nnz, very different product counts.
+        let diag = CsrMatrix::identity(1000);
+        let dense_row = gen::lp_like(10, 1000, 100.0, 0.0, 1);
+        let (_, t_diag) = spgemm(&m, &diag, &diag);
+        let (_, t_lp) = spgemm(&m, &dense_row, &dense_row.transpose());
+        assert!(t_lp > t_diag);
+    }
+}

@@ -1,0 +1,335 @@
+//! Cusp-like open-source baselines.
+//!
+//! The open-source comparator of the paper's evaluation:
+//!
+//! * **scalar CSR SpMV** — one thread per row (the "obvious
+//!   parallelization" of Section III-A, kept for the ablation benches);
+//! * **vectorized CSR SpMV** — one warp per row, the implementation Figure
+//!   5 labels "Cusp";
+//! * **global-sort SpAdd** — concatenate COO entries and radix-sort the
+//!   whole intermediate matrix (the `O(k·(|A|+|B|))` scheme of Section
+//!   III-B), the implementation Figure 7 labels "Cusp";
+//! * **ESC SpGEMM** — expansion, global sorting, compression (the paper's
+//!   citation \[14\]), the implementation Figure 9 labels "Cusp".
+
+use mps_merge::radix::sort_pairs;
+use mps_simt::grid::{launch_map_named, LaunchConfig, LaunchStats};
+use mps_simt::warp::warp_divergent_cost;
+use mps_simt::Device;
+use mps_sparse::{pack_key, unpack_key, CsrMatrix};
+
+/// Scalar CSR SpMV: one thread per row. Warps serialize on their longest
+/// row and gathers are uncoalesced — the imbalance pathology in miniature.
+pub fn spmv_scalar(device: &Device, a: &CsrMatrix, x: &[f64]) -> (Vec<f64>, LaunchStats) {
+    assert_eq!(x.len(), a.num_cols, "x length must equal num_cols");
+    let threads = 128;
+    let rows = a.num_rows;
+    let num_ctas = rows.div_ceil(threads).max(1);
+    let warp = device.props.warp_size;
+    let (tiles, stats) = launch_map_named(device, "cusp_spmv_scalar", LaunchConfig::new(num_ctas, threads), |cta| {
+        let row_lo = cta.cta_id * threads;
+        let row_hi = (row_lo + threads).min(rows);
+        let mut y = Vec::with_capacity(row_hi - row_lo);
+        // Process warp by warp: each warp pays for its slowest lane, and
+        // each SIMD step's 32 lane addresses are spread across 32 rows.
+        for warp_lo in (row_lo..row_hi).step_by(warp) {
+            let warp_hi = (warp_lo + warp).min(row_hi);
+            let lane_rows = warp_lo..warp_hi;
+            let lane_work: Vec<u64> = lane_rows.clone().map(|r| 3 * a.row_len(r) as u64).collect();
+            warp_divergent_cost(cta, &lane_work);
+            let max_len = lane_rows.clone().map(|r| a.row_len(r)).max().unwrap_or(0);
+            for step in 0..max_len {
+                // Lane addresses at this step: one per row, far apart.
+                cta.gather(
+                    lane_rows.clone().filter_map(|r| {
+                        let o = a.row_offsets[r] + step;
+                        (o < a.row_offsets[r + 1]).then_some(o)
+                    }),
+                    12,
+                );
+                cta.gather(
+                    lane_rows.clone().filter_map(|r| {
+                        let o = a.row_offsets[r] + step;
+                        (o < a.row_offsets[r + 1]).then(|| a.col_idx[o] as usize)
+                    }),
+                    8,
+                );
+            }
+            for r in lane_rows {
+                let mut acc = 0.0;
+                for (c, v) in a.row_cols(r).iter().zip(a.row_vals(r)) {
+                    acc += v * x[*c as usize];
+                }
+                y.push(acc);
+            }
+        }
+        cta.write_coalesced(row_hi - row_lo, 8);
+        y
+    });
+    let mut y = Vec::with_capacity(rows);
+    for t in tiles {
+        y.extend(t);
+    }
+    (y, stats)
+}
+
+/// Vectorized CSR SpMV: one warp cooperates on each row (the Cusp kernel of
+/// Figure 5). Row reads coalesce; short rows waste lanes; long rows still
+/// stretch their CTA.
+pub fn spmv_vector(device: &Device, a: &CsrMatrix, x: &[f64]) -> (Vec<f64>, LaunchStats) {
+    assert_eq!(x.len(), a.num_cols, "x length must equal num_cols");
+    let threads = 128;
+    let warp = device.props.warp_size;
+    let rows_per_cta = threads / warp;
+    let rows = a.num_rows;
+    let num_ctas = rows.div_ceil(rows_per_cta).max(1);
+    let (tiles, stats) = launch_map_named(device, "cusp_spmv_vector", LaunchConfig::new(num_ctas, threads), |cta| {
+        let row_lo = cta.cta_id * rows_per_cta;
+        let row_hi = (row_lo + rows_per_cta).min(rows);
+        let mut y = Vec::with_capacity(row_hi - row_lo);
+        for r in row_lo..row_hi {
+            let len = a.row_len(r);
+            // Coalesced row segment reads; every SIMD step engages the full
+            // warp even when fewer entries remain.
+            cta.read_coalesced(len, 12);
+            cta.gather(a.row_cols(r).iter().map(|&c| c as usize), 8);
+            let steps = len.div_ceil(warp).max(1) as u64;
+            cta.alu(steps * warp as u64 * 2);
+            // Warp-wide tree reduction of partial sums.
+            cta.alu((warp.ilog2() as u64) * warp as u64);
+            let mut acc = 0.0;
+            for (c, v) in a.row_cols(r).iter().zip(a.row_vals(r)) {
+                acc += v * x[*c as usize];
+            }
+            y.push(acc);
+        }
+        cta.write_coalesced(row_hi - row_lo, 8);
+        y
+    });
+    let mut y = Vec::with_capacity(rows);
+    for t in tiles {
+        y.extend(t);
+    }
+    (y, stats)
+}
+
+/// Reduce-by-key over sorted COO keys: shared tail of the global-sort
+/// pipelines.
+fn reduce_sorted_coo(
+    device: &Device,
+    keys: &[u64],
+    vals: &[f64],
+    num_rows: usize,
+    num_cols: usize,
+) -> (CsrMatrix, LaunchStats) {
+    let n = keys.len();
+    let nv = 2048;
+    let (parts, stats) = launch_map_named(
+        device,
+        "coo_reduce_by_key",
+        LaunchConfig::new(n.div_ceil(nv).max(1), 128),
+        |cta| {
+            let lo = cta.cta_id * nv;
+            let hi = (lo + nv).min(n);
+            cta.read_coalesced(hi - lo, 16);
+            cta.alu(3 * (hi - lo) as u64);
+            let mut k = Vec::new();
+            let mut v: Vec<f64> = Vec::new();
+            for i in lo..hi {
+                if k.last() == Some(&keys[i]) {
+                    *v.last_mut().expect("parallel vectors") += vals[i];
+                } else {
+                    k.push(keys[i]);
+                    v.push(vals[i]);
+                }
+            }
+            cta.write_coalesced(k.len(), 16);
+            (k, v)
+        },
+    );
+    let mut out_k: Vec<u64> = Vec::new();
+    let mut out_v: Vec<f64> = Vec::new();
+    for (tk, tv) in parts {
+        let mut start = 0;
+        if let (Some(&last), Some(&first)) = (out_k.last(), tk.first()) {
+            if last == first {
+                *out_v.last_mut().expect("parallel vectors") += tv[0];
+                start = 1;
+            }
+        }
+        out_k.extend_from_slice(&tk[start..]);
+        out_v.extend_from_slice(&tv[start..]);
+    }
+    let mut row_offsets = vec![0usize; num_rows + 1];
+    let mut col_idx = Vec::with_capacity(out_k.len());
+    for &k in &out_k {
+        let (r, c) = unpack_key(k);
+        row_offsets[r as usize + 1] += 1;
+        col_idx.push(c);
+    }
+    for i in 0..num_rows {
+        row_offsets[i + 1] += row_offsets[i];
+    }
+    (
+        CsrMatrix {
+            num_rows,
+            num_cols,
+            row_offsets,
+            col_idx,
+            values: out_v,
+        },
+        stats,
+    )
+}
+
+fn expand_coo_keys(m: &CsrMatrix) -> Vec<u64> {
+    let mut keys = Vec::with_capacity(m.nnz());
+    for r in 0..m.num_rows {
+        for &c in m.row_cols(r) {
+            keys.push(pack_key(r as u32, c));
+        }
+    }
+    keys
+}
+
+/// Global-sort SpAdd: concatenate, radix-sort the whole intermediate
+/// matrix, reduce duplicates (the Cusp bars of Figure 7).
+pub fn spadd_global_sort(device: &Device, a: &CsrMatrix, b: &CsrMatrix) -> (CsrMatrix, LaunchStats) {
+    assert_eq!(
+        (a.num_rows, a.num_cols),
+        (b.num_rows, b.num_cols),
+        "SpAdd operands must have identical shape"
+    );
+    let mut keys = expand_coo_keys(a);
+    keys.extend(expand_coo_keys(b));
+    let mut vals = a.values.clone();
+    vals.extend_from_slice(&b.values);
+
+    // Full-width sort of the packed tuples: the k-times-more-expensive
+    // monolithic approach of Section III-B.
+    let bits = 64 - (pack_key(
+        a.num_rows.saturating_sub(1) as u32,
+        a.num_cols.saturating_sub(1) as u32,
+    ))
+    .leading_zeros();
+    let (sk, sv, mut stats) = sort_pairs(device, &keys, &vals, bits.max(1), 2048);
+    let (c, reduce_stats) = reduce_sorted_coo(device, &sk, &sv, a.num_rows, a.num_cols);
+    stats.add(&reduce_stats);
+    (c, stats)
+}
+
+/// ESC SpGEMM: expand every product with its value, sort the monolithic
+/// intermediate COO matrix, compress duplicates (the Cusp bars of Figure 9).
+pub fn spgemm_esc(device: &Device, a: &CsrMatrix, b: &CsrMatrix) -> (CsrMatrix, LaunchStats) {
+    assert_eq!(a.num_cols, b.num_rows, "inner dimensions must agree");
+    // Expansion: one kernel streaming A's nonzeros and the referenced B rows.
+    let mut keys: Vec<u64> = Vec::new();
+    let mut vals: Vec<f64> = Vec::new();
+    for r in 0..a.num_rows {
+        for (k, av) in a.row_cols(r).iter().zip(a.row_vals(r)) {
+            let k = *k as usize;
+            for (c, bv) in b.row_cols(k).iter().zip(b.row_vals(k)) {
+                keys.push(pack_key(r as u32, *c));
+                vals.push(av * bv);
+            }
+        }
+    }
+    let n = keys.len();
+    let nv = 2048;
+    let (_, mut stats) = launch_map_named(
+        device,
+        "esc_expand",
+        LaunchConfig::new(n.div_ceil(nv).max(1), 128),
+        |cta| {
+            let lo = cta.cta_id * nv;
+            let hi = (lo + nv).min(n);
+            cta.read_coalesced(hi - lo, 4);
+            cta.gather(lo..hi, 12);
+            cta.alu(2 * (hi - lo) as u64);
+            cta.write_coalesced(hi - lo, 16);
+        },
+    );
+    if n == 0 {
+        return (CsrMatrix::zeros(a.num_rows, b.num_cols), stats);
+    }
+    let bits = 64
+        - pack_key(
+            a.num_rows.saturating_sub(1) as u32,
+            b.num_cols.saturating_sub(1) as u32,
+        )
+        .leading_zeros();
+    let (sk, sv, sort_stats) = sort_pairs(device, &keys, &vals, bits.max(1), 2048);
+    stats.add(&sort_stats);
+    let (c, reduce_stats) = reduce_sorted_coo(device, &sk, &sv, a.num_rows, b.num_cols);
+    stats.add(&reduce_stats);
+    (c, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_sparse::gen;
+    use mps_sparse::ops::{spadd_ref, spgemm_ref, spmv_ref};
+
+    fn dev() -> Device {
+        Device::titan()
+    }
+
+    #[test]
+    fn scalar_and_vector_spmv_match_reference() {
+        let a = gen::power_law(300, 300, 1, 1.5, 100, 5);
+        let x: Vec<f64> = (0..300).map(|i| 1.0 + (i % 7) as f64).collect();
+        let expect = spmv_ref(&a, &x);
+        let (ys, _) = spmv_scalar(&dev(), &a, &x);
+        let (yv, _) = spmv_vector(&dev(), &a, &x);
+        for ((s, v), e) in ys.iter().zip(&yv).zip(&expect) {
+            assert!((s - e).abs() < 1e-9 && (v - e).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn scalar_spmv_suffers_on_skewed_rows() {
+        // Same nnz, uniform vs skewed: the row-per-thread kernel should be
+        // hurt much more by skew than by uniformity.
+        let uniform = gen::fixed_per_row(4096, 4096, 8, 1);
+        let skewed = gen::power_law(4096, 4096, 1, 1.3, 3000, 2);
+        let x = vec![1.0; 4096];
+        let (_, su) = spmv_scalar(&dev(), &uniform, &x);
+        let (_, ss) = spmv_scalar(&dev(), &skewed, &x);
+        let per_nnz_u = su.sim_ms / uniform.nnz() as f64;
+        let per_nnz_s = ss.sim_ms / skewed.nnz() as f64;
+        assert!(
+            per_nnz_s > 1.5 * per_nnz_u,
+            "skew should hurt scalar CSR: {per_nnz_s} vs {per_nnz_u}"
+        );
+    }
+
+    #[test]
+    fn global_sort_spadd_matches_reference() {
+        let a = gen::random_uniform(200, 200, 5.0, 3.0, 3);
+        let b = gen::random_uniform(200, 200, 5.0, 3.0, 4);
+        let (c, _) = spadd_global_sort(&dev(), &a, &b);
+        assert_eq!(c, spadd_ref(&a, &b));
+    }
+
+    #[test]
+    fn esc_spgemm_matches_reference() {
+        let a = gen::random_uniform(80, 80, 4.0, 2.0, 5);
+        let (c, _) = spgemm_esc(&dev(), &a, &a);
+        assert!(c.approx_eq(&spgemm_ref(&a, &a), 1e-12));
+    }
+
+    #[test]
+    fn esc_handles_empty_product() {
+        let a = CsrMatrix::zeros(4, 4);
+        let (c, _) = spgemm_esc(&dev(), &a, &a);
+        assert_eq!(c.nnz(), 0);
+    }
+
+    #[test]
+    fn spadd_empty_operands() {
+        let a = CsrMatrix::zeros(3, 3);
+        let (c, _) = spadd_global_sort(&dev(), &a, &a);
+        assert_eq!(c.nnz(), 0);
+    }
+}

@@ -1,0 +1,24 @@
+//! # mps-baselines — comparator implementations
+//!
+//! The three comparators of the paper's evaluation:
+//!
+//! * [`cusp`] — the open-source package: scalar and vectorized CSR SpMV,
+//!   global-sort COO SpAdd, and ESC (expansion / sorting / compression)
+//!   SpGEMM, all on the virtual device;
+//! * [`cusparse_like`] — a stand-in for the closed-source comparator:
+//!   row-structured, segmentation-aware implementations (adaptive
+//!   vectorized SpMV, row-merge SpAdd, hash-based row-wise SpGEMM). The
+//!   paper treats cuSPARSE as an opaque row-wise package whose runtime does
+//!   not track flat work; any well-built row-wise scheme reproduces that
+//!   behaviour, which is what the figures compare against;
+//! * [`cpu`] — sequential CSR kernels scored by a deterministic analytic
+//!   cost model of the paper's Core i7-3820 host (the speedup denominator
+//!   of Figures 7 and 9);
+//! * [`format_spmv`] — the format-specialized SpMV tradition the paper
+//!   argues against (Bell-Garland ELL/DIA/HYB kernels), used by the
+//!   format ablation bench.
+
+pub mod cpu;
+pub mod cusp;
+pub mod cusparse_like;
+pub mod format_spmv;

@@ -1,0 +1,54 @@
+//! Criterion bench behind Figure 2: balanced-path set union.
+//!
+//! Measures host wall-clock of the simulated kernel; the paper-shaped
+//! series (simulated inputs/s) is produced by `repro fig2`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mps_merge::set_ops::{set_op_keys, set_op_pairs, SetOp};
+use mps_simt::Device;
+
+fn series(n: usize, seed: u64) -> Vec<u64> {
+    let mut v = Vec::with_capacity(n);
+    let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut cur = 0u64;
+    for _ in 0..n {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        cur += x % 4;
+        v.push(cur);
+    }
+    v
+}
+
+fn bench_union(c: &mut Criterion) {
+    let device = Device::titan();
+    let mut group = c.benchmark_group("fig2_union");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(600));
+    for n in [10_000usize, 100_000] {
+        let a64 = series(n / 2, 1);
+        let b64 = series(n / 2, 2);
+        let a32: Vec<u32> = a64.iter().map(|&k| k as u32).collect();
+        let b32: Vec<u32> = b64.iter().map(|&k| k as u32).collect();
+        let av: Vec<f64> = (0..a64.len()).map(|i| i as f64).collect();
+        let bv = av.clone();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("keys-32", n), &n, |bench, _| {
+            bench.iter(|| set_op_keys(&device, SetOp::Union, &a32, &b32, 1024))
+        });
+        group.bench_with_input(BenchmarkId::new("keys-64", n), &n, |bench, _| {
+            bench.iter(|| set_op_keys(&device, SetOp::Union, &a64, &b64, 1024))
+        });
+        group.bench_with_input(BenchmarkId::new("pairs-64", n), &n, |bench, _| {
+            bench.iter(|| {
+                set_op_pairs(&device, SetOp::Union, &a64, &av, &b64, &bv, |x, y| x + y, 1024)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_union);
+criterion_main!(benches);

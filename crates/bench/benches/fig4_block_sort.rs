@@ -1,0 +1,73 @@
+//! Criterion bench behind Figure 4: CTA radix-sort variants
+//! (128 threads × 11 items, 32-bit data).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mps_simt::block::radix_sort::{block_radix_sort_keys, block_radix_sort_pairs};
+use mps_simt::cta::Cta;
+
+const ITEMS: usize = 128 * 11;
+
+fn tile(seed: u64) -> Vec<u32> {
+    let mut x = seed | 1;
+    (0..ITEMS)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x as u32
+        })
+        .collect()
+}
+
+fn bench_block_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_block_sort");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(600));
+
+    group.bench_function("2P-pairs", |b| {
+        let keys = tile(1);
+        b.iter(|| {
+            let mut cta = Cta::new(0, 1, 128, 32);
+            let mut k = keys.clone();
+            let mut v: Vec<u32> = (0..ITEMS as u32).collect();
+            block_radix_sort_pairs(&mut cta, &mut k, &mut v, 0, 32);
+            block_radix_sort_pairs(&mut cta, &mut k, &mut v, 0, 32);
+            k
+        })
+    });
+    group.bench_function("1P-pairs", |b| {
+        let keys = tile(2);
+        b.iter(|| {
+            let mut cta = Cta::new(0, 1, 128, 32);
+            let mut k = keys.clone();
+            let mut v: Vec<u32> = (0..ITEMS as u32).collect();
+            block_radix_sort_pairs(&mut cta, &mut k, &mut v, 0, 32);
+            k
+        })
+    });
+    group.bench_function("1P-keys", |b| {
+        let keys = tile(3);
+        b.iter(|| {
+            let mut cta = Cta::new(0, 1, 128, 32);
+            let mut k = keys.clone();
+            block_radix_sort_keys(&mut cta, &mut k, 0, 32);
+            k
+        })
+    });
+    for bits in [28u32, 20, 12] {
+        group.bench_function(format!("1P-{bits}bits"), move |b| {
+            let keys = tile(4 + bits as u64);
+            b.iter(|| {
+                let mut cta = Cta::new(0, 1, 128, 32);
+                let mut k = keys.clone();
+                block_radix_sort_keys(&mut cta, &mut k, 0, bits);
+                k
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_block_sort);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench behind Figures 5–6: the three SpMV implementations on
+//! representative suite families (regular, fixed-degree, power-law,
+//! short-and-wide).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mps_baselines::{cusp, cusparse_like};
+use mps_core::{merge_spmv, SpmvConfig};
+use mps_simt::Device;
+use mps_sparse::suite::SuiteMatrix;
+
+const SCALE: f64 = 0.02;
+
+fn bench_spmv(c: &mut Criterion) {
+    let device = Device::titan();
+    let cfg = SpmvConfig::default();
+    let mut group = c.benchmark_group("fig5_spmv");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(600));
+    for m in [
+        SuiteMatrix::WindTunnel,
+        SuiteMatrix::Qcd,
+        SuiteMatrix::Webbase,
+        SuiteMatrix::Lp,
+    ] {
+        let a = m.generate(SCALE);
+        let x: Vec<f64> = (0..a.num_cols).map(|i| 1.0 + (i % 9) as f64).collect();
+        group.throughput(Throughput::Elements(a.nnz() as u64));
+        group.bench_with_input(BenchmarkId::new("merge", m.name()), &a, |b, a| {
+            b.iter(|| merge_spmv(&device, a, &x, &cfg))
+        });
+        group.bench_with_input(BenchmarkId::new("cusp_vector", m.name()), &a, |b, a| {
+            b.iter(|| cusp::spmv_vector(&device, a, &x))
+        });
+        group.bench_with_input(BenchmarkId::new("cusparse_like", m.name()), &a, |b, a| {
+            b.iter(|| cusparse_like::spmv(&device, a, &x))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmv);
+criterion_main!(benches);

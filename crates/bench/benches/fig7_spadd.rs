@@ -1,0 +1,40 @@
+//! Criterion bench behind Figures 7–8: SpAdd (A + A) for the three
+//! parallel schemes plus the sequential reference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mps_baselines::{cusp, cusparse_like};
+use mps_core::{merge_spadd, SpAddConfig};
+use mps_simt::Device;
+use mps_sparse::ops::spadd_ref;
+use mps_sparse::suite::SuiteMatrix;
+
+const SCALE: f64 = 0.02;
+
+fn bench_spadd(c: &mut Criterion) {
+    let device = Device::titan();
+    let cfg = SpAddConfig::default();
+    let mut group = c.benchmark_group("fig7_spadd");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(600));
+    for m in [SuiteMatrix::Harbor, SuiteMatrix::Webbase, SuiteMatrix::Lp] {
+        let a = m.generate(SCALE);
+        group.throughput(Throughput::Elements(2 * a.nnz() as u64));
+        group.bench_with_input(BenchmarkId::new("merge_balanced_path", m.name()), &a, |b, a| {
+            b.iter(|| merge_spadd(&device, a, a, &cfg))
+        });
+        group.bench_with_input(BenchmarkId::new("cusp_global_sort", m.name()), &a, |b, a| {
+            b.iter(|| cusp::spadd_global_sort(&device, a, a))
+        });
+        group.bench_with_input(BenchmarkId::new("cusparse_row_merge", m.name()), &a, |b, a| {
+            b.iter(|| cusparse_like::spadd(&device, a, a))
+        });
+        group.bench_with_input(BenchmarkId::new("cpu_sequential", m.name()), &a, |b, a| {
+            b.iter(|| spadd_ref(a, a))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spadd);
+criterion_main!(benches);

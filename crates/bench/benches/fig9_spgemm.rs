@@ -1,0 +1,48 @@
+//! Criterion bench behind Figures 9–11: SpGEMM (A·A; A·Aᵀ for LP) for the
+//! three parallel schemes plus the sequential Gustavson reference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mps_baselines::{cusp, cusparse_like};
+use mps_core::{merge_spgemm, SpgemmConfig};
+use mps_simt::Device;
+use mps_sparse::ops::{spgemm_products, spgemm_ref};
+use mps_sparse::suite::SuiteMatrix;
+
+const SCALE: f64 = 0.008;
+
+fn bench_spgemm(c: &mut Criterion) {
+    let device = Device::titan();
+    let cfg = SpgemmConfig::default();
+    let mut group = c.benchmark_group("fig9_spgemm");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(600));
+    for m in [SuiteMatrix::Harbor, SuiteMatrix::Circuit, SuiteMatrix::Lp] {
+        let (a, b) = m.spgemm_operands(SCALE);
+        group.throughput(Throughput::Elements(spgemm_products(&a, &b)));
+        group.bench_with_input(
+            BenchmarkId::new("merge_two_level", m.name()),
+            &(&a, &b),
+            |bench, (a, b)| bench.iter(|| merge_spgemm(&device, a, b, &cfg)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cusp_esc", m.name()),
+            &(&a, &b),
+            |bench, (a, b)| bench.iter(|| cusp::spgemm_esc(&device, a, b)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cusparse_hash", m.name()),
+            &(&a, &b),
+            |bench, (a, b)| bench.iter(|| cusparse_like::spgemm(&device, a, b)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cpu_gustavson", m.name()),
+            &(&a, &b),
+            |bench, (a, b)| bench.iter(|| spgemm_ref(a, b)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spgemm);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench behind Tables I–II: suite generation and statistics
+//! collection (the cost of materializing the synthetic UFL stand-ins).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mps_sparse::stats::MatrixStats;
+use mps_sparse::suite::SuiteMatrix;
+
+const SCALE: f64 = 0.01;
+
+fn bench_suite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_suite");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(600));
+    for m in [
+        SuiteMatrix::Dense,
+        SuiteMatrix::Protein,
+        SuiteMatrix::Qcd,
+        SuiteMatrix::Webbase,
+        SuiteMatrix::Lp,
+    ] {
+        group.bench_with_input(BenchmarkId::new("generate", m.name()), &m, |b, m| {
+            b.iter(|| m.generate(SCALE))
+        });
+    }
+    let a = SuiteMatrix::WindTunnel.generate(SCALE);
+    group.bench_function("stats", |b| b.iter(|| MatrixStats::of(&a)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_suite);
+criterion_main!(benches);

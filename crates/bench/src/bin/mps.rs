@@ -1,0 +1,197 @@
+//! `mps` — command-line front end for the merge-path sparse kernels.
+//!
+//! ```text
+//! mps info matrix.mtx                  # structural statistics
+//! mps generate qcd --scale 0.05 -o a.mtx
+//! mps spmv a.mtx                       # merge SpMV + comparators
+//! mps spadd a.mtx b.mtx [-o sum.mtx]
+//! mps spgemm a.mtx b.mtx [-o prod.mtx]
+//! mps reorder a.mtx -o rcm.mtx        # RCM bandwidth reduction
+//! ```
+//!
+//! Simulated device timings and correlations print to stdout; matrices
+//! read/write Matrix Market coordinate format.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use mps_baselines::{cusp, cusparse_like};
+use mps_core::{merge_spadd, merge_spgemm, merge_spmv, SpAddConfig, SpgemmConfig, SpmvConfig};
+use mps_simt::Device;
+use mps_sparse::io::{load_matrix_market, write_matrix_market};
+use mps_sparse::reorder::{bandwidth, permute_symmetric, reverse_cuthill_mckee};
+use mps_sparse::stats::MatrixStats;
+use mps_sparse::suite::SuiteMatrix;
+use mps_sparse::CsrMatrix;
+
+fn usage() -> &'static str {
+    "usage:\n  mps info <matrix.mtx>\n  mps generate <suite-name> [--scale X] -o <out.mtx>\n  mps spmv <a.mtx>\n  mps spadd <a.mtx> <b.mtx> [-o <out.mtx>]\n  mps spgemm <a.mtx> <b.mtx> [-o <out.mtx>]\n  mps reorder <a.mtx> -o <out.mtx>\n\nsuite names: dense protein spheres cantilever wind harbor qcd ship\n             economics epidemiology accelerator circuit webbase lp"
+}
+
+fn load(path: &str) -> Result<CsrMatrix, String> {
+    load_matrix_market(Path::new(path)).map_err(|e| format!("failed to read {path}: {e}"))
+}
+
+fn save(path: &str, m: &CsrMatrix) -> Result<(), String> {
+    let f = std::fs::File::create(path).map_err(|e| format!("failed to create {path}: {e}"))?;
+    write_matrix_market(f, m).map_err(|e| format!("failed to write {path}: {e}"))
+}
+
+fn suite_by_name(name: &str) -> Option<SuiteMatrix> {
+    SuiteMatrix::ALL
+        .iter()
+        .copied()
+        .find(|m| m.name().eq_ignore_ascii_case(name) || m.name().to_lowercase().starts_with(&name.to_lowercase()))
+}
+
+struct Parsed {
+    positional: Vec<String>,
+    out: Option<PathBuf>,
+    scale: f64,
+}
+
+fn parse(args: &[String]) -> Result<Parsed, String> {
+    let mut positional = Vec::new();
+    let mut out = None;
+    let mut scale = 0.05;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" | "--output" => {
+                out = Some(PathBuf::from(
+                    it.next().ok_or("-o needs a path")?.to_string(),
+                ))
+            }
+            "--scale" => {
+                scale = it
+                    .next()
+                    .ok_or("--scale needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            other => positional.push(other.to_string()),
+        }
+    }
+    Ok(Parsed {
+        positional,
+        out,
+        scale,
+    })
+}
+
+fn print_stats(label: &str, m: &CsrMatrix) {
+    let s = MatrixStats::of(m);
+    println!(
+        "{label}: {} x {}, {} nonzeros, {:.2} avg/row (std {:.2}), {} empty rows, bandwidth {}",
+        s.rows,
+        s.cols,
+        s.nnz,
+        s.avg_per_row,
+        s.std_per_row,
+        s.empty_rows,
+        bandwidth(m)
+    );
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = args.split_first().ok_or_else(|| usage().to_string())?;
+    let p = parse(rest)?;
+    let device = Device::titan();
+
+    match cmd.as_str() {
+        "info" => {
+            let path = p.positional.first().ok_or(usage())?;
+            let m = load(path)?;
+            m.validate().map_err(|e| format!("invalid matrix: {e}"))?;
+            print_stats(path, &m);
+        }
+        "generate" => {
+            let name = p.positional.first().ok_or(usage())?;
+            let suite = suite_by_name(name).ok_or_else(|| format!("unknown suite matrix {name}"))?;
+            let out = p.out.ok_or("generate needs -o <out.mtx>")?;
+            let m = suite.generate(p.scale);
+            save(out.to_str().ok_or("bad output path")?, &m)?;
+            print_stats(&out.display().to_string(), &m);
+        }
+        "spmv" => {
+            let path = p.positional.first().ok_or(usage())?;
+            let a = load(path)?;
+            let x: Vec<f64> = (0..a.num_cols).map(|i| 1.0 + (i % 7) as f64).collect();
+            let merge = merge_spmv(&device, &a, &x, &SpmvConfig::default());
+            let (_, cusp_stats) = cusp::spmv_vector(&device, &a, &x);
+            let (_, cusparse_stats) = cusparse_like::spmv(&device, &a, &x);
+            print_stats(path, &a);
+            println!(
+                "merge SpMV     : {:.4} ms simulated, {:.2} GFLOP/s",
+                merge.sim_ms(),
+                merge.gflops(a.nnz())
+            );
+            println!("vector CSR     : {:.4} ms simulated", cusp_stats.sim_ms);
+            println!("adaptive CSR   : {:.4} ms simulated", cusparse_stats.sim_ms);
+        }
+        "spadd" => {
+            let (pa, pb) = match p.positional.as_slice() {
+                [a, b, ..] => (a, b),
+                _ => return Err(usage().to_string()),
+            };
+            let a = load(pa)?;
+            let b = load(pb)?;
+            let r = merge_spadd(&device, &a, &b, &SpAddConfig::default());
+            println!(
+                "balanced-path SpAdd: {} + {} -> {} nonzeros, {:.4} ms simulated",
+                a.nnz(),
+                b.nnz(),
+                r.c.nnz(),
+                r.sim_ms()
+            );
+            if let Some(out) = p.out {
+                save(out.to_str().ok_or("bad output path")?, &r.c)?;
+            }
+        }
+        "spgemm" => {
+            let (pa, pb) = match p.positional.as_slice() {
+                [a, b, ..] => (a, b),
+                _ => return Err(usage().to_string()),
+            };
+            let a = load(pa)?;
+            let b = load(pb)?;
+            let r = merge_spgemm(&device, &a, &b, &SpgemmConfig::default());
+            println!(
+                "merge SpGEMM: {} products -> {} nonzeros, {:.4} ms simulated",
+                r.products,
+                r.c.nnz(),
+                r.sim_ms()
+            );
+            for (phase, frac) in r.phases.fractions() {
+                println!("  {phase:<16} {:5.1}%", frac * 100.0);
+            }
+            if let Some(out) = p.out {
+                save(out.to_str().ok_or("bad output path")?, &r.c)?;
+            }
+        }
+        "reorder" => {
+            let path = p.positional.first().ok_or(usage())?;
+            let a = load(path)?;
+            let out = p.out.ok_or("reorder needs -o <out.mtx>")?;
+            let before = bandwidth(&a);
+            let perm = reverse_cuthill_mckee(&a);
+            let b = permute_symmetric(&a, &perm);
+            save(out.to_str().ok_or("bad output path")?, &b)?;
+            println!("RCM: bandwidth {before} -> {}", bandwidth(&b));
+        }
+        _ => return Err(usage().to_string()),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}

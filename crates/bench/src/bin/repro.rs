@@ -1,0 +1,138 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro all                       # everything, default scales
+//! repro fig5 --scale 0.1         # one artifact at a custom suite scale
+//! repro table2
+//! ```
+//!
+//! Artifacts: table1, table2, fig2, fig4, fig5, fig6, fig7, fig8, fig9,
+//! fig10, fig11. Suite matrices are generated at `--scale` (SpMV/SpAdd)
+//! and `--spgemm-scale` (SpGEMM) fractions of the paper's dimensions.
+
+use std::time::Instant;
+
+use mps_bench::{fig2, fig4, sensitivity, spadd_exp, spgemm_exp, spmv_exp, tables};
+use mps_core::{merge_spgemm, SpgemmConfig};
+use mps_simt::Device;
+use mps_sparse::suite::SuiteMatrix;
+
+struct Options {
+    artifacts: Vec<String>,
+    scale: f64,
+    spgemm_scale: f64,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut artifacts = Vec::new();
+    let mut scale = mps_bench::DEFAULT_SCALE;
+    let mut spgemm_scale = mps_bench::DEFAULT_SPGEMM_SCALE;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = args
+                    .next()
+                    .ok_or("--scale needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?;
+            }
+            "--spgemm-scale" => {
+                spgemm_scale = args
+                    .next()
+                    .ok_or("--spgemm-scale needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --spgemm-scale: {e}"))?;
+            }
+            "--help" | "-h" => {
+                return Err("usage: repro [artifacts...] [--scale X] [--spgemm-scale Y]\n\
+                            artifacts: all table1 table2 fig2 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 trace sensitivity"
+                    .to_string());
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            other => artifacts.push(other.to_string()),
+        }
+    }
+    if artifacts.is_empty() || artifacts.iter().any(|a| a == "all") {
+        artifacts = [
+            "table1", "table2", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+            "fig11",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+    Ok(Options {
+        artifacts,
+        scale,
+        spgemm_scale,
+    })
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let device = Device::titan();
+    let t0 = Instant::now();
+
+    let need =
+        |names: &[&str]| -> bool { opts.artifacts.iter().any(|a| names.contains(&a.as_str())) };
+
+    // Heavy experiment sweeps are shared between their figures.
+    let spmv_rows = need(&["fig5", "fig6"]).then(|| spmv_exp::run(&device, opts.scale));
+    let spadd_rows = need(&["fig7", "fig8"]).then(|| spadd_exp::run(&device, opts.scale));
+    let spgemm_rows =
+        need(&["fig9", "fig10", "fig11"]).then(|| spgemm_exp::run(&device, opts.spgemm_scale, true));
+
+    for artifact in &opts.artifacts {
+        let header = format!("==== {artifact} ====");
+        println!("{header}");
+        match artifact.as_str() {
+            "table1" => println!("{}", tables::render_table1(&device)),
+            "table2" => println!("{}", tables::render_table2(&tables::table2(opts.scale))),
+            "fig2" => {
+                let pts = fig2::run(&device, &fig2::default_sizes());
+                println!("{}", fig2::render(&pts));
+            }
+            "fig4" => println!("{}", fig4::render(&fig4::run(&device))),
+            "fig5" => println!("{}", spmv_exp::render_fig5(spmv_rows.as_ref().expect("run above"))),
+            "fig6" => println!("{}", spmv_exp::render_fig6(spmv_rows.as_ref().expect("run above"))),
+            "fig7" => println!("{}", spadd_exp::render_fig7(spadd_rows.as_ref().expect("run above"))),
+            "fig8" => println!("{}", spadd_exp::render_fig8(spadd_rows.as_ref().expect("run above"))),
+            "fig9" => println!("{}", spgemm_exp::render_fig9(spgemm_rows.as_ref().expect("run above"))),
+            "fig10" => {
+                println!("{}", spgemm_exp::render_fig10(spgemm_rows.as_ref().expect("run above")))
+            }
+            "fig11" => {
+                println!("{}", spgemm_exp::render_fig11(spgemm_rows.as_ref().expect("run above")))
+            }
+            "sensitivity" => {
+                // Extension: the rho ≈ 1 claim across virtual device presets.
+                println!("{}", sensitivity::render(&sensitivity::run(opts.scale.min(0.1))));
+            }
+            "trace" => {
+                // Kernel-level breakdown of one merge SpGEMM (nvprof-style).
+                let traced = Device::titan().with_tracing();
+                let (a, b) = SuiteMatrix::Harbor.spgemm_operands(opts.spgemm_scale);
+                let r = merge_spgemm(&traced, &a, &b, &SpgemmConfig::default());
+                println!(
+                    "merge SpGEMM on Harbor (scale {}): {} products, {:.3} ms simulated\n",
+                    opts.spgemm_scale, r.products, r.sim_ms()
+                );
+                println!("{}", traced.tracer.as_ref().expect("tracing enabled").report());
+            }
+            other => eprintln!("unknown artifact: {other}"),
+        }
+    }
+    eprintln!(
+        "done in {:.1}s (scale {}, spgemm scale {})",
+        t0.elapsed().as_secs_f64(),
+        opts.scale,
+        opts.spgemm_scale
+    );
+}

@@ -1,0 +1,134 @@
+//! Figure 2: performance of the balanced-path set-union operation.
+//!
+//! The paper sweeps sorted inputs of 10⁴–10⁷ total elements, split evenly
+//! between the two arrays, for four variants: 32- and 64-bit keys-only and
+//! key-value pairs. The metric is inputs processed per second (×10⁶) under
+//! the device's simulated time.
+
+use mps_merge::set_ops::{set_op_keys, set_op_pairs, SetOp};
+use mps_simt::Device;
+use rand_series::series;
+
+/// One measured point of Figure 2.
+#[derive(Debug, Clone)]
+pub struct UnionPoint {
+    pub variant: &'static str,
+    pub inputs: usize,
+    /// 10⁶ inputs processed per second of simulated time.
+    pub minputs_per_sec: f64,
+}
+
+/// Deterministic sorted test sequences with duplicates (~25% match rate
+/// between the two arrays, like a typical set benchmark).
+mod rand_series {
+    pub fn series(n: usize, seed: u64) -> Vec<u64> {
+        let mut v = Vec::with_capacity(n);
+        let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut cur = 0u64;
+        for _ in 0..n {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            cur += x % 4; // steps of 0..3 create duplicates and overlap
+            v.push(cur);
+        }
+        v
+    }
+}
+
+const NV: usize = 1024;
+
+fn throughput(total_inputs: usize, sim_ms: f64) -> f64 {
+    total_inputs as f64 / (sim_ms * 1e-3) / 1e6
+}
+
+/// Run the union sweep. `sizes` are total input counts (both arrays).
+pub fn run(device: &Device, sizes: &[usize]) -> Vec<UnionPoint> {
+    let mut out = Vec::new();
+    for &n in sizes {
+        let half = n / 2;
+        let a64 = series(half, 1);
+        let b64 = series(n - half, 2);
+        let a32: Vec<u32> = a64.iter().map(|&k| (k & 0x7fff_ffff) as u32).collect();
+        let b32: Vec<u32> = b64.iter().map(|&k| (k & 0x7fff_ffff) as u32).collect();
+        let av: Vec<f64> = (0..a64.len()).map(|i| i as f64).collect();
+        let bv: Vec<f64> = (0..b64.len()).map(|i| i as f64).collect();
+
+        let (_, s) = set_op_keys(device, SetOp::Union, &a32, &b32, NV);
+        out.push(UnionPoint {
+            variant: "keys-32",
+            inputs: n,
+            minputs_per_sec: throughput(n, s.sim_ms),
+        });
+        let (_, s) = set_op_keys(device, SetOp::Union, &a64, &b64, NV);
+        out.push(UnionPoint {
+            variant: "keys-64",
+            inputs: n,
+            minputs_per_sec: throughput(n, s.sim_ms),
+        });
+        let (_, _, s) = set_op_pairs(device, SetOp::Union, &a32, &av, &b32, &bv, |x, y| x + y, NV);
+        out.push(UnionPoint {
+            variant: "pairs-32",
+            inputs: n,
+            minputs_per_sec: throughput(n, s.sim_ms),
+        });
+        let (_, _, s) = set_op_pairs(device, SetOp::Union, &a64, &av, &b64, &bv, |x, y| x + y, NV);
+        out.push(UnionPoint {
+            variant: "pairs-64",
+            inputs: n,
+            minputs_per_sec: throughput(n, s.sim_ms),
+        });
+    }
+    out
+}
+
+/// Default size sweep (the paper's 10⁴–10⁷ range).
+pub fn default_sizes() -> Vec<usize> {
+    vec![10_000, 100_000, 1_000_000, 10_000_000]
+}
+
+/// Render the Figure 2 data series as a table.
+pub fn render(points: &[UnionPoint]) -> String {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.variant.to_string(),
+                p.inputs.to_string(),
+                format!("{:.0}", p.minputs_per_sec),
+            ]
+        })
+        .collect();
+    crate::render_table(&["variant", "inputs", "Minputs/s"], &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_is_sorted_with_duplicates() {
+        let s = series(10_000, 7);
+        assert!(s.windows(2).all(|w| w[0] <= w[1]));
+        let dups = s.windows(2).filter(|w| w[0] == w[1]).count();
+        assert!(dups > 100, "expected duplicates, got {dups}");
+    }
+
+    #[test]
+    fn sweep_produces_all_variants() {
+        let pts = run(&Device::titan(), &[10_000, 50_000]);
+        assert_eq!(pts.len(), 8);
+        for p in &pts {
+            assert!(p.minputs_per_sec > 0.0, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn larger_keys_are_slower_per_input() {
+        // 64-bit traffic should not beat 32-bit at saturating sizes.
+        let pts = run(&Device::titan(), &[2_000_000]);
+        let get = |v: &str| pts.iter().find(|p| p.variant == v).expect("variant").minputs_per_sec;
+        assert!(get("keys-32") >= get("keys-64") * 0.95);
+        assert!(get("keys-32") > get("pairs-64"));
+    }
+}

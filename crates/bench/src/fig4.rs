@@ -1,0 +1,145 @@
+//! Figure 4: clock cycles per CTA radix-sort operation.
+//!
+//! The paper benchmarks CUB block radix sort with 128 threads × 11 items
+//! per thread (1408 32-bit elements): a two-pass key-value sort (the ESC
+//! approach: sort by column, then by row), a one-pass key-value sort, a
+//! one-pass keys-only sort, and one-pass sorts with the sorted bit range
+//! narrowed from 28 down to 12 bits.
+
+use mps_simt::block::radix_sort::{block_radix_sort_keys, block_radix_sort_pairs};
+use mps_simt::cta::Cta;
+use mps_simt::{CostModel, Device};
+
+/// One bar of Figure 4.
+#[derive(Debug, Clone)]
+pub struct SortPoint {
+    pub method: String,
+    pub cycles: u64,
+}
+
+const THREADS: usize = 128;
+const ITEMS: usize = 11;
+
+fn tile(seed: u64) -> Vec<u32> {
+    let n = THREADS * ITEMS;
+    let mut x = seed | 1;
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x & 0xffff_ffff) as u32
+        })
+        .collect()
+}
+
+fn measure(model: &CostModel, f: impl FnOnce(&mut Cta)) -> u64 {
+    let mut cta = Cta::new(0, 1, THREADS, 32);
+    f(&mut cta);
+    model.cta_cycles(cta.counters())
+}
+
+/// Run the Figure 4 sweep.
+pub fn run(device: &Device) -> Vec<SortPoint> {
+    let model = &device.cost;
+    let mut out = Vec::new();
+
+    // Two-pass pairs: the ESC scheme sorts the tile twice (column pass then
+    // row pass), moving the 32-bit payload both times.
+    out.push(SortPoint {
+        method: "2P-Pairs".into(),
+        cycles: measure(model, |cta| {
+            let mut keys = tile(1);
+            let mut vals: Vec<u32> = (0..keys.len() as u32).collect();
+            block_radix_sort_pairs(cta, &mut keys, &mut vals, 0, 32);
+            block_radix_sort_pairs(cta, &mut keys, &mut vals, 0, 32);
+        }),
+    });
+
+    out.push(SortPoint {
+        method: "1P-Pairs".into(),
+        cycles: measure(model, |cta| {
+            let mut keys = tile(2);
+            let mut vals: Vec<u32> = (0..keys.len() as u32).collect();
+            block_radix_sort_pairs(cta, &mut keys, &mut vals, 0, 32);
+        }),
+    });
+
+    out.push(SortPoint {
+        method: "1P-Keys".into(),
+        cycles: measure(model, |cta| {
+            let mut keys = tile(3);
+            block_radix_sort_keys(cta, &mut keys, 0, 32);
+        }),
+    });
+
+    for bits in [28u32, 24, 20, 16, 12] {
+        out.push(SortPoint {
+            method: format!("1P({bits}-bits)"),
+            cycles: measure(model, |cta| {
+                let mut keys = tile(4 + bits as u64);
+                block_radix_sort_keys(cta, &mut keys, 0, bits);
+            }),
+        });
+    }
+    out
+}
+
+/// Render the Figure 4 series.
+pub fn render(points: &[SortPoint]) -> String {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.method.clone(),
+                p.cycles.to_string(),
+                format!("{:.2}", p.cycles as f64 / 1e4),
+            ]
+        })
+        .collect();
+    crate::render_table(&["method", "cycles", "cycles (1e4)"], &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_pass_pairs_is_roughly_half_of_two_pass() {
+        let pts = run(&Device::titan());
+        let get = |m: &str| pts.iter().find(|p| p.method == m).expect("method").cycles;
+        let two = get("2P-Pairs") as f64;
+        let one = get("1P-Pairs") as f64;
+        let ratio = two / one;
+        assert!(
+            (1.7..2.3).contains(&ratio),
+            "paper reports ~2x from dropping the second pass, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn keys_only_beats_pairs() {
+        let pts = run(&Device::titan());
+        let get = |m: &str| pts.iter().find(|p| p.method == m).expect("method").cycles;
+        assert!(get("1P-Keys") < get("1P-Pairs"));
+    }
+
+    #[test]
+    fn cycles_fall_monotonically_with_bits() {
+        let pts = run(&Device::titan());
+        let seq: Vec<u64> = ["1P(28-bits)", "1P(24-bits)", "1P(20-bits)", "1P(16-bits)", "1P(12-bits)"]
+            .iter()
+            .map(|m| pts.iter().find(|p| &p.method == m).expect("method").cycles)
+            .collect();
+        assert!(seq.windows(2).all(|w| w[0] > w[1]), "{seq:?}");
+    }
+
+    #[test]
+    fn magnitudes_match_papers_axis() {
+        // Figure 4's y-axis spans roughly 1–5 ×10⁴ cycles.
+        let pts = run(&Device::titan());
+        for p in &pts {
+            assert!(p.cycles > 1_000 && p.cycles < 200_000, "{p:?}");
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! # mps-bench — experiment harness
+//!
+//! One module per experiment of the paper's evaluation section. Each
+//! returns structured rows and renders the same table/series the paper
+//! plots, so `repro <figN>` regenerates every figure and table:
+//!
+//! | paper artifact | module | what it reports |
+//! |---|---|---|
+//! | Table I | [`tables`] | simulated device + host model configuration |
+//! | Table II | [`tables`] | suite statistics (paper vs generated) |
+//! | Figure 2 | [`fig2`] | set-union throughput vs input size |
+//! | Figure 4 | [`fig4`] | CTA radix-sort cycles by variant |
+//! | Figures 5–6 | [`spmv_exp`] | SpMV GFLOP/s bars + time-vs-nnz correlation |
+//! | Figures 7–8 | [`spadd_exp`] | SpAdd speedup bars + time-vs-work correlation |
+//! | Figures 9–11 | [`spgemm_exp`] | SpGEMM speedups, time-vs-products, phase breakdown |
+//!
+//! All experiments are deterministic: simulated device time is a pure
+//! function of the generated workloads.
+
+pub mod fig2;
+pub mod fig4;
+pub mod sensitivity;
+pub mod spadd_exp;
+pub mod spgemm_exp;
+pub mod spmv_exp;
+pub mod stats;
+pub mod tables;
+
+/// Default generation scale for SpMV/SpAdd experiments (fraction of the
+/// paper's matrix dimensions).
+pub const DEFAULT_SCALE: f64 = 0.2;
+
+/// Default generation scale for SpGEMM experiments (products grow
+/// quadratically, so the suite is scaled further down).
+pub const DEFAULT_SPGEMM_SCALE: f64 = 0.02;
+
+/// Render aligned columns: a header row then data rows.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&head, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name") && lines[0].contains("value"));
+        assert!(lines[3].contains("long-name"));
+    }
+}

@@ -1,0 +1,91 @@
+//! Device-sensitivity experiment (an extension beyond the paper).
+//!
+//! The paper's central claim — time tracks work with ρ ≈ 1 — should be a
+//! property of the *decomposition*, not of one GPU. This experiment reruns
+//! the Figure 6/8 correlations on every virtual device preset (GTX 680,
+//! K20, GTX Titan, Maxwell Titan X): the merge kernels' correlation must
+//! stay high on all of them, while absolute times shift with each
+//! device's bandwidth and SM count.
+
+use mps_core::{merge_spadd, merge_spmv, SpAddConfig, SpmvConfig};
+use mps_simt::Device;
+use mps_sparse::suite::SuiteMatrix;
+
+use crate::stats::pearson;
+
+/// Correlations of one device: (name, ρ_spmv, ρ_spadd, total spmv ms).
+#[derive(Debug, Clone)]
+pub struct SensitivityRow {
+    pub device: &'static str,
+    pub rho_spmv: f64,
+    pub rho_spadd: f64,
+    pub spmv_total_ms: f64,
+}
+
+/// Run the sweep at the given suite scale.
+pub fn run(scale: f64) -> Vec<SensitivityRow> {
+    let matrices: Vec<_> = SuiteMatrix::ALL.iter().map(|m| m.generate(scale)).collect();
+    Device::presets()
+        .into_iter()
+        .map(|device| {
+            let mut nnz = Vec::new();
+            let mut spmv_ms = Vec::new();
+            let mut work = Vec::new();
+            let mut spadd_ms = Vec::new();
+            for a in &matrices {
+                let x: Vec<f64> = (0..a.num_cols).map(|i| 1.0 + (i % 5) as f64).collect();
+                let r = merge_spmv(&device, a, &x, &SpmvConfig::default());
+                nnz.push(a.nnz() as f64);
+                spmv_ms.push(r.sim_ms());
+                let add = merge_spadd(&device, a, a, &SpAddConfig::default());
+                work.push(2.0 * a.nnz() as f64);
+                spadd_ms.push(add.sim_ms());
+            }
+            SensitivityRow {
+                device: device.props.name,
+                rho_spmv: pearson(&nnz, &spmv_ms),
+                rho_spadd: pearson(&work, &spadd_ms),
+                spmv_total_ms: spmv_ms.iter().sum(),
+            }
+        })
+        .collect()
+}
+
+/// Render the sensitivity table.
+pub fn render(rows: &[SensitivityRow]) -> String {
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.device.to_string(),
+                format!("{:.3}", r.rho_spmv),
+                format!("{:.3}", r.rho_spadd),
+                format!("{:.3}", r.spmv_total_ms),
+            ]
+        })
+        .collect();
+    crate::render_table(
+        &["device", "rho SpMV", "rho SpAdd", "SpMV total ms"],
+        &data,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predictability_holds_on_every_device() {
+        let rows = run(0.05);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.rho_spmv > 0.85, "{}: rho_spmv {}", r.device, r.rho_spmv);
+            assert!(r.rho_spadd > 0.95, "{}: rho_spadd {}", r.device, r.rho_spadd);
+        }
+        // Absolute times differ across devices (faster hardware, less time).
+        let times: Vec<f64> = rows.iter().map(|r| r.spmv_total_ms).collect();
+        let spread = times.iter().cloned().fold(f64::MIN, f64::max)
+            / times.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread > 1.3, "devices should differ in absolute speed: {times:?}");
+    }
+}

@@ -1,0 +1,129 @@
+//! Figures 7 and 8: SpAdd (A + A) across the suite.
+//!
+//! Figure 7 plots speedup over the sequential CPU implementation for Cusp
+//! (global sort), Cusparse (row-merge CSR) and Merge (balanced path).
+//! Figure 8 plots time against total work 2·|A| with correlation
+//! coefficients (paper: ρ_Merge = 1.0, ρ_Cusparse = 0.68).
+
+use mps_baselines::cpu::{self, CpuModel};
+use mps_baselines::{cusp, cusparse_like};
+use mps_core::{merge_spadd, SpAddConfig};
+use mps_simt::Device;
+use mps_sparse::suite::SuiteMatrix;
+
+use crate::stats::pearson;
+
+/// One suite row of the SpAdd experiment.
+#[derive(Debug, Clone)]
+pub struct SpAddRow {
+    pub name: &'static str,
+    /// Total work 2·|A|.
+    pub work: usize,
+    pub cpu_ms: f64,
+    pub cusp_ms: f64,
+    pub cusparse_ms: f64,
+    pub merge_ms: f64,
+}
+
+impl SpAddRow {
+    pub fn cusp_speedup(&self) -> f64 {
+        self.cpu_ms / self.cusp_ms
+    }
+
+    pub fn cusparse_speedup(&self) -> f64 {
+        self.cpu_ms / self.cusparse_ms
+    }
+
+    pub fn merge_speedup(&self) -> f64 {
+        self.cpu_ms / self.merge_ms
+    }
+}
+
+/// Run A + A over the suite at the given generation scale.
+pub fn run(device: &Device, scale: f64) -> Vec<SpAddRow> {
+    let cfg = SpAddConfig::default();
+    let cpu_model = CpuModel::default();
+    SuiteMatrix::ALL
+        .iter()
+        .map(|&m| {
+            let a = m.generate(scale);
+            let (_, cpu_ms) = cpu::spadd(&cpu_model, &a, &a);
+            let (_, cusp_stats) = cusp::spadd_global_sort(device, &a, &a);
+            let (_, cusparse_stats) = cusparse_like::spadd(device, &a, &a);
+            let merge = merge_spadd(device, &a, &a, &cfg);
+            SpAddRow {
+                name: m.name(),
+                work: 2 * a.nnz(),
+                cpu_ms,
+                cusp_ms: cusp_stats.sim_ms,
+                cusparse_ms: cusparse_stats.sim_ms,
+                merge_ms: merge.sim_ms(),
+            }
+        })
+        .collect()
+}
+
+/// Figure 8 correlations: (ρ_merge, ρ_cusparse) of time against work.
+pub fn correlations(rows: &[SpAddRow]) -> (f64, f64) {
+    let work: Vec<f64> = rows.iter().map(|r| r.work as f64).collect();
+    let merge: Vec<f64> = rows.iter().map(|r| r.merge_ms).collect();
+    let cusparse: Vec<f64> = rows.iter().map(|r| r.cusparse_ms).collect();
+    (pearson(&work, &merge), pearson(&work, &cusparse))
+}
+
+/// Render Figure 7 (speedup bars).
+pub fn render_fig7(rows: &[SpAddRow]) -> String {
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                r.work.to_string(),
+                format!("{:.2}", r.cusp_speedup()),
+                format!("{:.2}", r.cusparse_speedup()),
+                format!("{:.2}", r.merge_speedup()),
+            ]
+        })
+        .collect();
+    crate::render_table(&["matrix", "2*nnz", "Cusp x", "Cusparse x", "Merge x"], &data)
+}
+
+/// Render Figure 8 (time vs work + correlations).
+pub fn render_fig8(rows: &[SpAddRow]) -> String {
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                r.work.to_string(),
+                format!("{:.4}", r.merge_ms),
+                format!("{:.4}", r.cusparse_ms),
+            ]
+        })
+        .collect();
+    let (rm, rc) = correlations(rows);
+    let mut s = crate::render_table(&["matrix", "2*nnz", "Merge ms", "Cusparse ms"], &data);
+    s.push_str(&format!("\nrho_Merge = {rm:.2}   rho_Cusparse = {rc:.2}\n"));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_spadd_tracks_work_nearly_perfectly() {
+        let rows = run(&Device::titan(), 0.05);
+        assert_eq!(rows.len(), 14);
+        let (rho_merge, _) = correlations(&rows);
+        assert!(rho_merge > 0.95, "paper reports 1.0, got {rho_merge}");
+    }
+
+    #[test]
+    fn gpu_schemes_beat_cpu_baseline_on_big_regular_suites() {
+        let rows = run(&Device::titan(), 0.05);
+        let wind = rows.iter().find(|r| r.name == "Wind").expect("suite row");
+        assert!(wind.merge_speedup() > 1.0, "{}", wind.merge_speedup());
+        assert!(wind.cusparse_speedup() > 1.0);
+    }
+}

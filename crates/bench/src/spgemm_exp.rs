@@ -1,0 +1,215 @@
+//! Figures 9, 10 and 11: SpGEMM (A·A; A·Aᵀ for LP) across the suite.
+//!
+//! Figure 9 plots speedup over the sequential CPU Gustavson implementation
+//! for Cusp (ESC), Cusparse (row-wise hash) and Merge (two-level sort).
+//! Figure 10 plots Merge and Cusparse time against the number of
+//! intermediate products (paper: ρ_Merge = 0.98, ρ_Cusparse = −0.02).
+//! Figure 11 decomposes the Merge pipeline's time into its five phases.
+
+use mps_baselines::cpu::{self, CpuModel};
+use mps_baselines::{cusp, cusparse_like};
+use mps_core::{merge_spgemm, PhaseTimes, SpgemmConfig};
+use mps_simt::Device;
+use mps_sparse::ops::spgemm_products;
+use mps_sparse::suite::SuiteMatrix;
+
+use crate::stats::pearson;
+
+/// One suite row of the SpGEMM experiment.
+#[derive(Debug, Clone)]
+pub struct SpgemmRow {
+    pub name: &'static str,
+    pub products: u64,
+    pub cpu_ms: f64,
+    pub cusp_ms: f64,
+    pub cusparse_ms: f64,
+    pub merge_ms: f64,
+    pub phases: PhaseTimes,
+}
+
+impl SpgemmRow {
+    pub fn cusp_speedup(&self) -> f64 {
+        self.cpu_ms / self.cusp_ms
+    }
+
+    pub fn cusparse_speedup(&self) -> f64 {
+        self.cpu_ms / self.cusparse_ms
+    }
+
+    pub fn merge_speedup(&self) -> f64 {
+        self.cpu_ms / self.merge_ms
+    }
+}
+
+/// Matrices included in the SpGEMM sweep. The paper's Figure 11 skips
+/// Dense (its intermediate matrix exhausted GPU memory for the sort-based
+/// schemes); `include_dense` keeps it in Figures 9/10 where Cusparse still
+/// has a bar.
+pub fn spgemm_suite(include_dense: bool) -> Vec<SuiteMatrix> {
+    SuiteMatrix::ALL
+        .iter()
+        .copied()
+        .filter(|&m| include_dense || m != SuiteMatrix::Dense)
+        .collect()
+}
+
+/// Run the SpGEMM comparison at the given generation scale.
+pub fn run(device: &Device, scale: f64, include_dense: bool) -> Vec<SpgemmRow> {
+    let cfg = SpgemmConfig::default();
+    let cpu_model = CpuModel::default();
+    spgemm_suite(include_dense)
+        .into_iter()
+        .map(|m| {
+            let (a, b) = m.spgemm_operands(scale);
+            let products = spgemm_products(&a, &b);
+            let (_, cpu_ms) = cpu::spgemm(&cpu_model, &a, &b);
+            let (_, cusp_stats) = cusp::spgemm_esc(device, &a, &b);
+            let (_, cusparse_stats) = cusparse_like::spgemm(device, &a, &b);
+            let merge = merge_spgemm(device, &a, &b, &cfg);
+            SpgemmRow {
+                name: m.name(),
+                products,
+                cpu_ms,
+                cusp_ms: cusp_stats.sim_ms,
+                cusparse_ms: cusparse_stats.sim_ms,
+                merge_ms: merge.sim_ms(),
+                phases: merge.phases,
+            }
+        })
+        .collect()
+}
+
+/// Rows without the Dense matrix — Figures 10 and 11 exclude it (its
+/// intermediate matrix exceeded the real GPU's memory for the sort-based
+/// schemes, so the paper has no Merge data point for it).
+pub fn without_dense(rows: &[SpgemmRow]) -> Vec<SpgemmRow> {
+    rows.iter().filter(|r| r.name != "Dense").cloned().collect()
+}
+
+/// Figure 10 correlations: (ρ_merge, ρ_cusparse) of time vs products.
+pub fn correlations(rows: &[SpgemmRow]) -> (f64, f64) {
+    let prods: Vec<f64> = rows.iter().map(|r| r.products as f64).collect();
+    let merge: Vec<f64> = rows.iter().map(|r| r.merge_ms).collect();
+    let cusparse: Vec<f64> = rows.iter().map(|r| r.cusparse_ms).collect();
+    (pearson(&prods, &merge), pearson(&prods, &cusparse))
+}
+
+/// Render Figure 9 (speedup bars).
+pub fn render_fig9(rows: &[SpgemmRow]) -> String {
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                r.products.to_string(),
+                format!("{:.2}", r.cusp_speedup()),
+                format!("{:.2}", r.cusparse_speedup()),
+                format!("{:.2}", r.merge_speedup()),
+            ]
+        })
+        .collect();
+    crate::render_table(
+        &["matrix", "products", "Cusp x", "Cusparse x", "Merge x"],
+        &data,
+    )
+}
+
+/// Render Figure 10 (time vs products + correlations). Dense is excluded
+/// as in the paper.
+pub fn render_fig10(rows: &[SpgemmRow]) -> String {
+    let rows = without_dense(rows);
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                r.products.to_string(),
+                format!("{:.3}", r.merge_ms),
+                format!("{:.3}", r.cusparse_ms),
+            ]
+        })
+        .collect();
+    let (rm, rc) = correlations(&rows);
+    let mut s = crate::render_table(&["matrix", "products", "Merge ms", "Cusparse ms"], &data);
+    s.push_str(&format!("\nrho_Merge = {rm:.2}   rho_Cusparse = {rc:.2}\n"));
+    s
+}
+
+/// Render Figure 11 (phase breakdown percentages + total time). Dense is
+/// excluded as in the paper.
+pub fn render_fig11(rows: &[SpgemmRow]) -> String {
+    let rows = without_dense(rows);
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let f = r.phases.fractions();
+            let mut cells = vec![r.name.to_string()];
+            cells.extend(f.iter().map(|(_, v)| format!("{:.1}", v * 100.0)));
+            cells.push(format!("{:.2}", r.phases.total()));
+            cells
+        })
+        .collect();
+    crate::render_table(
+        &[
+            "matrix",
+            "Setup%",
+            "BlockSort%",
+            "ProdCompute%",
+            "GlobalSort%",
+            "ProdReduce%",
+            "Other%",
+            "total ms",
+        ],
+        &data,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<SpgemmRow> {
+        run(&Device::titan(), 0.01, false)
+    }
+
+    #[test]
+    fn merge_time_tracks_products_cusparse_does_not() {
+        let rows = rows();
+        let (rho_merge, rho_cusparse) = correlations(&rows);
+        assert!(rho_merge > 0.85, "paper reports 0.98, got {rho_merge}");
+        assert!(
+            rho_cusparse < rho_merge,
+            "row-wise comparator should correlate worse: {rho_cusparse} vs {rho_merge}"
+        );
+    }
+
+    #[test]
+    fn merge_beats_esc_on_substantial_instances() {
+        // Figure 9: "the Merge approach sustains performance improvement
+        // compared to Cusp in all instances." The paper's instances all
+        // expand millions of products; below ~half a million the fixed
+        // phase overheads of the two-level pipeline dominate, so the claim
+        // is asserted on the substantial instances of the scaled suite.
+        let rows = rows();
+        let mut checked = 0;
+        for r in rows.iter().filter(|r| r.products > 500_000) {
+            assert!(
+                r.merge_ms < r.cusp_ms,
+                "{}: merge {} vs cusp {}",
+                r.name,
+                r.merge_ms,
+                r.cusp_ms
+            );
+            checked += 1;
+        }
+        assert!(checked >= 6, "expected several substantial instances, got {checked}");
+    }
+
+    #[test]
+    fn phase_fractions_sum_to_one() {
+        for r in rows() {
+            let s: f64 = r.phases.fractions().iter().map(|(_, v)| v).sum();
+            assert!((s - 1.0).abs() < 1e-9, "{}: {s}", r.name);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Figures 5 and 6: SpMV across the suite.
+//!
+//! Figure 5 plots double-precision GFLOP/s for three CSR implementations —
+//! Cusp (vectorized CSR), Cusparse (adaptive row-vectorized), and Merge —
+//! over the 14 suite matrices. Figure 6 plots Merge and Cusparse time
+//! against |A| and reports the Pearson correlation (paper: ρ_Merge ≈ 0.97,
+//! ρ_Cusparse ≈ 0.84).
+
+use mps_baselines::{cusp, cusparse_like};
+use mps_core::{merge_spmv, SpmvConfig};
+use mps_simt::Device;
+use mps_sparse::suite::SuiteMatrix;
+
+use crate::stats::pearson;
+
+/// One suite row of the SpMV experiment.
+#[derive(Debug, Clone)]
+pub struct SpmvRow {
+    pub name: &'static str,
+    pub nnz: usize,
+    pub cusp_ms: f64,
+    pub cusparse_ms: f64,
+    pub merge_ms: f64,
+}
+
+impl SpmvRow {
+    fn gflops(nnz: usize, ms: f64) -> f64 {
+        if ms <= 0.0 {
+            return 0.0;
+        }
+        2.0 * nnz as f64 / (ms * 1e-3) / 1e9
+    }
+
+    pub fn cusp_gflops(&self) -> f64 {
+        Self::gflops(self.nnz, self.cusp_ms)
+    }
+
+    pub fn cusparse_gflops(&self) -> f64 {
+        Self::gflops(self.nnz, self.cusparse_ms)
+    }
+
+    pub fn merge_gflops(&self) -> f64 {
+        Self::gflops(self.nnz, self.merge_ms)
+    }
+}
+
+/// Run the full-suite SpMV comparison at the given generation scale.
+pub fn run(device: &Device, scale: f64) -> Vec<SpmvRow> {
+    let cfg = SpmvConfig::default();
+    SuiteMatrix::ALL
+        .iter()
+        .map(|&m| {
+            let a = m.generate(scale);
+            let x: Vec<f64> = (0..a.num_cols).map(|i| 1.0 + (i % 9) as f64 * 0.25).collect();
+            let (_, cusp_stats) = cusp::spmv_vector(device, &a, &x);
+            let (_, cusparse_stats) = cusparse_like::spmv(device, &a, &x);
+            let merge = merge_spmv(device, &a, &x, &cfg);
+            SpmvRow {
+                name: m.name(),
+                nnz: a.nnz(),
+                cusp_ms: cusp_stats.sim_ms,
+                cusparse_ms: cusparse_stats.sim_ms,
+                merge_ms: merge.sim_ms(),
+            }
+        })
+        .collect()
+}
+
+/// Figure 6 correlations: (ρ_merge, ρ_cusparse) of time against nnz.
+pub fn correlations(rows: &[SpmvRow]) -> (f64, f64) {
+    let nnz: Vec<f64> = rows.iter().map(|r| r.nnz as f64).collect();
+    let merge: Vec<f64> = rows.iter().map(|r| r.merge_ms).collect();
+    let cusparse: Vec<f64> = rows.iter().map(|r| r.cusparse_ms).collect();
+    (pearson(&nnz, &merge), pearson(&nnz, &cusparse))
+}
+
+/// Render Figure 5 (GFLOP/s bars).
+pub fn render_fig5(rows: &[SpmvRow]) -> String {
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                r.nnz.to_string(),
+                format!("{:.2}", r.cusp_gflops()),
+                format!("{:.2}", r.cusparse_gflops()),
+                format!("{:.2}", r.merge_gflops()),
+            ]
+        })
+        .collect();
+    crate::render_table(
+        &["matrix", "nnz", "Cusp GF/s", "Cusparse GF/s", "Merge GF/s"],
+        &data,
+    )
+}
+
+/// Render Figure 6 (time vs nnz + correlation coefficients).
+pub fn render_fig6(rows: &[SpmvRow]) -> String {
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                r.nnz.to_string(),
+                format!("{:.4}", r.merge_ms),
+                format!("{:.4}", r.cusparse_ms),
+            ]
+        })
+        .collect();
+    let (rm, rc) = correlations(rows);
+    let mut s = crate::render_table(&["matrix", "nnz", "Merge ms", "Cusparse ms"], &data);
+    s.push_str(&format!("\nrho_Merge = {rm:.2}   rho_Cusparse = {rc:.2}\n"));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_runs_and_merge_correlates_strongly() {
+        let rows = run(&Device::titan(), 0.05);
+        assert_eq!(rows.len(), 14);
+        let (rho_merge, _) = correlations(&rows);
+        assert!(
+            rho_merge > 0.9,
+            "merge SpMV should track nnz closely, got {rho_merge}"
+        );
+    }
+
+    #[test]
+    fn merge_wins_on_irregular_suites() {
+        let rows = run(&Device::titan(), 0.05);
+        for name in ["Webbase", "LP"] {
+            let r = rows.iter().find(|r| r.name == name).expect("suite row");
+            assert!(
+                r.merge_ms < r.cusp_ms,
+                "{name}: merge {} should beat cusp {}",
+                r.merge_ms,
+                r.cusp_ms
+            );
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Tables I and II.
+//!
+//! Table I reports the experimental configuration; here that is the
+//! virtual device model plus the CPU cost model standing in for the
+//! paper's host. Table II reports suite statistics — both the original
+//! UFL numbers and the statistics of the generated stand-ins, so the
+//! fidelity of the substitution is visible in the output.
+
+use mps_baselines::cpu::CpuModel;
+use mps_simt::Device;
+use mps_sparse::stats::MatrixStats;
+use mps_sparse::suite::SuiteMatrix;
+
+/// Render Table I.
+pub fn render_table1(device: &Device) -> String {
+    let p = &device.props;
+    let cpu = CpuModel::default();
+    let rows = vec![
+        vec!["CPU model".to_string(), format!("i7-3820-class, {} GHz (analytic)", cpu.clock_ghz)],
+        vec!["GPU".to_string(), p.name.to_string()],
+        vec!["SMs".to_string(), p.num_sms.to_string()],
+        vec!["GPU clock".to_string(), format!("{} GHz", p.clock_ghz)],
+        vec!["DRAM bandwidth".to_string(), format!("{} GB/s", p.dram_bandwidth_gbps)],
+        vec!["Warp size".to_string(), p.warp_size.to_string()],
+        vec!["Max CTAs/SM".to_string(), p.max_ctas_per_sm.to_string()],
+        vec!["ECC".to_string(), "disabled (not modeled)".to_string()],
+    ];
+    crate::render_table(&["setting", "value"], &rows)
+}
+
+/// One row of Table II: paper statistics beside generated statistics.
+#[derive(Debug, Clone)]
+pub struct SuiteRow {
+    pub name: &'static str,
+    pub paper_rows: usize,
+    pub paper_nnz: usize,
+    pub paper_avg: f64,
+    pub paper_std: f64,
+    pub gen_rows: usize,
+    pub gen_nnz: usize,
+    pub gen_avg: f64,
+    pub gen_std: f64,
+}
+
+/// Generate the suite at `scale` and collect paper-vs-generated statistics.
+pub fn table2(scale: f64) -> Vec<SuiteRow> {
+    SuiteMatrix::ALL
+        .iter()
+        .map(|&m| {
+            let p = m.paper_stats();
+            let g = MatrixStats::of(&m.generate(scale));
+            SuiteRow {
+                name: m.name(),
+                paper_rows: p.rows,
+                paper_nnz: p.nnz,
+                paper_avg: p.avg_per_row,
+                paper_std: p.std_per_row,
+                gen_rows: g.rows,
+                gen_nnz: g.nnz,
+                gen_avg: g.avg_per_row,
+                gen_std: g.std_per_row,
+            }
+        })
+        .collect()
+}
+
+/// Render Table II.
+pub fn render_table2(rows: &[SuiteRow]) -> String {
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                r.paper_rows.to_string(),
+                r.paper_nnz.to_string(),
+                format!("{:.2}", r.paper_avg),
+                format!("{:.2}", r.paper_std),
+                r.gen_rows.to_string(),
+                r.gen_nnz.to_string(),
+                format!("{:.2}", r.gen_avg),
+                format!("{:.2}", r.gen_std),
+            ]
+        })
+        .collect();
+    crate::render_table(
+        &[
+            "matrix",
+            "rows(paper)",
+            "nnz(paper)",
+            "avg(paper)",
+            "std(paper)",
+            "rows(gen)",
+            "nnz(gen)",
+            "avg(gen)",
+            "std(gen)",
+        ],
+        &data,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_mentions_titan_configuration() {
+        let t = render_table1(&Device::titan());
+        assert!(t.contains("0.88 GHz"));
+        assert!(t.contains("14"));
+    }
+
+    #[test]
+    fn table2_has_all_fourteen_matrices() {
+        let rows = table2(0.01);
+        assert_eq!(rows.len(), 14);
+        // Generated nnz should scale roughly with the requested fraction.
+        for r in &rows {
+            assert!(r.gen_nnz > 0);
+            let expected = r.paper_nnz as f64 * 0.01;
+            let ratio = r.gen_nnz as f64 / expected;
+            assert!(
+                (0.4..2.5).contains(&ratio),
+                "{}: gen {} vs expected {expected}",
+                r.name,
+                r.gen_nnz
+            );
+        }
+    }
+}

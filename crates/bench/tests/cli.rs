@@ -1,0 +1,97 @@
+//! End-to-end tests of the `mps` command-line tool: generate → info →
+//! kernels → reorder, all through the real binary and real files.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn mps(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mps"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("mps-cli-tests");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir.join(name)
+}
+
+#[test]
+fn generate_then_info_round_trip() {
+    let path = tmp("qcd.mtx");
+    let out = mps(&["generate", "qcd", "--scale", "0.005", "-o", path.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let info = mps(&["info", path.to_str().unwrap()]);
+    assert!(info.status.success());
+    let text = String::from_utf8_lossy(&info.stdout);
+    assert!(text.contains("nonzeros"), "{text}");
+    assert!(text.contains("avg/row"), "{text}");
+}
+
+#[test]
+fn spmv_reports_all_three_kernels() {
+    let path = tmp("harbor.mtx");
+    assert!(mps(&["generate", "harbor", "--scale", "0.005", "-o", path.to_str().unwrap()])
+        .status
+        .success());
+    let out = mps(&["spmv", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("merge SpMV"));
+    assert!(text.contains("vector CSR"));
+    assert!(text.contains("GFLOP/s"));
+}
+
+#[test]
+fn spadd_and_spgemm_write_outputs() {
+    let a = tmp("circuit_a.mtx");
+    assert!(mps(&["generate", "circuit", "--scale", "0.003", "-o", a.to_str().unwrap()])
+        .status
+        .success());
+    let sum = tmp("sum.mtx");
+    let out = mps(&["spadd", a.to_str().unwrap(), a.to_str().unwrap(), "-o", sum.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(sum.exists());
+
+    let prod = tmp("prod.mtx");
+    let out = mps(&["spgemm", a.to_str().unwrap(), a.to_str().unwrap(), "-o", prod.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("products"));
+    assert!(text.contains("Block Sort"));
+    assert!(prod.exists());
+
+    // The written product must load back as a valid matrix.
+    let reload = mps(&["info", prod.to_str().unwrap()]);
+    assert!(reload.status.success());
+}
+
+#[test]
+fn reorder_reduces_bandwidth() {
+    let a = tmp("econ.mtx");
+    assert!(mps(&["generate", "economics", "--scale", "0.003", "-o", a.to_str().unwrap()])
+        .status
+        .success());
+    let out_path = tmp("econ_rcm.mtx");
+    let out = mps(&["reorder", a.to_str().unwrap(), "-o", out_path.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("bandwidth"), "{text}");
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    assert!(!mps(&[]).status.success());
+    assert!(!mps(&["info"]).status.success());
+    assert!(!mps(&["generate", "no-such-matrix", "-o", "/tmp/x.mtx"]).status.success());
+    assert!(!mps(&["frobnicate"]).status.success());
+}
+
+#[test]
+fn info_rejects_missing_file() {
+    let out = mps(&["info", "/nonexistent/never.mtx"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("failed to read"));
+}

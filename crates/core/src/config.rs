@@ -1,0 +1,102 @@
+//! Tuning parameters for the merge-path kernels.
+//!
+//! The paper statically tunes entries-per-thread empirically; these defaults
+//! correspond to its microbenchmark configuration (128 threads per CTA, 11
+//! items per thread for the SpGEMM block sort) and CUB-era SpMV tiles.
+
+/// Merge SpMV tuning (Section III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpmvConfig {
+    /// Threads per CTA.
+    pub block_threads: usize,
+    /// Nonzeros processed per thread.
+    pub items_per_thread: usize,
+    /// When true, always run the raw row-offsets path even if the matrix
+    /// has empty rows (used by the empty-row ablation bench; the default
+    /// adaptive behaviour compacts offsets when empty rows are detected).
+    pub force_no_compaction: bool,
+}
+
+impl SpmvConfig {
+    /// Nonzeros per CTA.
+    pub fn nv(&self) -> usize {
+        self.block_threads * self.items_per_thread
+    }
+}
+
+impl Default for SpmvConfig {
+    fn default() -> Self {
+        SpmvConfig {
+            block_threads: 128,
+            items_per_thread: 7,
+            force_no_compaction: false,
+        }
+    }
+}
+
+/// Balanced-path SpAdd tuning (Section III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpAddConfig {
+    /// Threads per CTA.
+    pub block_threads: usize,
+    /// Input elements (from A and B combined) per CTA tile.
+    pub nv: usize,
+}
+
+impl Default for SpAddConfig {
+    fn default() -> Self {
+        SpAddConfig {
+            block_threads: 128,
+            nv: 1024,
+        }
+    }
+}
+
+/// Merge SpGEMM tuning (Section III-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpgemmConfig {
+    /// Threads per CTA.
+    pub block_threads: usize,
+    /// Intermediate products expanded per thread.
+    pub items_per_thread: usize,
+    /// Tile size of the global radix-sort passes.
+    pub global_sort_nv: usize,
+}
+
+impl SpgemmConfig {
+    /// Products per CTA (`N_CTA` in the paper).
+    pub fn nv(&self) -> usize {
+        self.block_threads * self.items_per_thread
+    }
+}
+
+impl Default for SpgemmConfig {
+    fn default() -> Self {
+        SpgemmConfig {
+            block_threads: 128,
+            items_per_thread: 11,
+            global_sort_nv: 2048,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spgemm_tile_matches_paper_microbenchmark() {
+        // Figure 4: 128 threads × 11 items = 1408 products per CTA.
+        assert_eq!(SpgemmConfig::default().nv(), 1408);
+    }
+
+    #[test]
+    fn spmv_tile_is_threads_times_items() {
+        let c = SpmvConfig {
+            block_threads: 64,
+            items_per_thread: 4,
+            force_no_compaction: false,
+        };
+        assert_eq!(c.nv(), 256);
+    }
+}

@@ -1,0 +1,29 @@
+//! # mps-core — merge-path sparse matrix kernels
+//!
+//! The paper's contribution: three sparse kernels whose work decomposition
+//! is *flat* — a fixed number of nonzeros (or intermediate products) per
+//! CTA, independent of row segmentation — so processing time tracks total
+//! work with correlation ≈ 1 across wildly different sparsity structures.
+//!
+//! * [`spmv`] — CSR SpMV in three phases (partition / reduction / update),
+//!   with adaptive empty-row compaction (Section III-A);
+//! * [`spadd`] — sparse matrix addition as a balanced-path set union over
+//!   (row,col)-packed keys (Section III-B);
+//! * [`spgemm`] — sparse matrix-matrix multiplication by flat decomposition
+//!   over intermediate products with two-level sorting: a single-pass CTA
+//!   radix sort, a permutation-only global sort, deferred product
+//!   formation, and a final reduce-by-key (Section III-C, Figure 3).
+//!
+//! All kernels run on the [`mps_simt`] virtual device and report both their
+//! results and the simulated cost of every launch.
+
+pub mod config;
+pub mod spadd;
+pub mod spgemm;
+pub mod spmv;
+
+pub use config::{SpAddConfig, SpgemmConfig, SpmvConfig};
+pub use spadd::{merge_spadd, SpAddResult};
+pub use spgemm::adaptive::{adaptive_spgemm, segmented_spgemm, AdaptivePolicy, PipelineChoice};
+pub use spgemm::{merge_spgemm, PhaseTimes, SpgemmResult};
+pub use spmv::{merge_spmv, SpmvPlan, SpmvResult};

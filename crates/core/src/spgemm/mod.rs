@@ -1,0 +1,370 @@
+//! Merge-path SpGEMM (Section III-C).
+//!
+//! C = A·B decomposed flatly over the intermediate *products* rather than
+//! rows: every CTA expands and locally reduces exactly `nv` products,
+//! irrespective of how the input rows distribute them. The pipeline
+//! (Figure 3) runs five phases, each reported separately for Figure 11:
+//!
+//! 1. **Setup** — segmented prefix sum `S` of per-A-nonzero product counts;
+//! 2. **Block Sort** — per-CTA expansion + single-pass column radix sort +
+//!    local duplicate reduction (values still unformed);
+//! 3. **Global Sort** — permutation-only two-pass radix sort of the
+//!    reduced (row,col) pairs;
+//! 4. **Product Compute** — second expansion forms the products, applies
+//!    the stored local permutation, segment-reduces duplicates and scatters
+//!    results straight into globally sorted order;
+//! 5. **Product Reduce** — reduce-by-key over the ordered entries forms C.
+
+pub mod adaptive;
+pub mod block_sort;
+pub mod product;
+pub mod setup;
+
+use mps_merge::radix::sort_permutation;
+use mps_simt::grid::{launch_map_named, LaunchConfig, LaunchStats};
+use mps_simt::Device;
+use mps_sparse::{unpack_key, CsrMatrix};
+
+use crate::config::SpgemmConfig;
+use block_sort::bits_for;
+
+/// Per-phase simulated times in milliseconds (the Figure 11 breakdown).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTimes {
+    pub setup: f64,
+    pub block_sort: f64,
+    pub global_sort: f64,
+    pub product_compute: f64,
+    pub product_reduce: f64,
+    pub other: f64,
+}
+
+impl PhaseTimes {
+    pub fn total(&self) -> f64 {
+        self.setup
+            + self.block_sort
+            + self.global_sort
+            + self.product_compute
+            + self.product_reduce
+            + self.other
+    }
+
+    /// Phase fractions in Figure 11's legend order.
+    pub fn fractions(&self) -> [(&'static str, f64); 6] {
+        let t = self.total().max(f64::MIN_POSITIVE);
+        [
+            ("Setup", self.setup / t),
+            ("Block Sort", self.block_sort / t),
+            ("Product Compute", self.product_compute / t),
+            ("Global Sort", self.global_sort / t),
+            ("Product Reduce", self.product_reduce / t),
+            ("Other", self.other / t),
+        ]
+    }
+}
+
+/// Result of a merge SpGEMM.
+#[derive(Debug, Clone)]
+pub struct SpgemmResult {
+    pub c: CsrMatrix,
+    /// Intermediate products expanded (the paper's work measure).
+    pub products: u64,
+    pub phases: PhaseTimes,
+    /// Aggregated launch statistics over all phases.
+    pub stats: LaunchStats,
+}
+
+impl SpgemmResult {
+    /// Total simulated kernel time in milliseconds.
+    pub fn sim_ms(&self) -> f64 {
+        self.phases.total()
+    }
+}
+
+/// C = A·B with the two-level merge-path decomposition.
+///
+/// # Panics
+/// Panics if `a.num_cols != b.num_rows`.
+pub fn merge_spgemm(device: &Device, a: &CsrMatrix, b: &CsrMatrix, cfg: &SpgemmConfig) -> SpgemmResult {
+    assert_eq!(a.num_cols, b.num_rows, "inner dimensions must agree");
+    let mut stats = LaunchStats::default();
+    let mut phases = PhaseTimes::default();
+
+    // ---- Phase 1: setup --------------------------------------------------------
+    let (exp, setup_stats) = setup::setup(device, a, b);
+    phases.setup = setup_stats.sim_ms;
+    stats.add(&setup_stats);
+
+    if exp.products == 0 {
+        return SpgemmResult {
+            c: CsrMatrix::zeros(a.num_rows, b.num_cols),
+            products: 0,
+            phases,
+            stats,
+        };
+    }
+
+    // ---- Phase 2: block sort ----------------------------------------------------
+    let (tiles, bs_stats) = block_sort::block_sort(device, a, b, &exp, cfg);
+    phases.block_sort = bs_stats.sim_ms;
+    stats.add(&bs_stats);
+
+    // Concatenated locally reduced keys, in tile order.
+    let reduced_keys: Vec<u64> = tiles
+        .iter()
+        .flat_map(|t| t.unique_keys.iter().copied())
+        .collect();
+
+    // ---- Phase 3: global sort (permutation only) ---------------------------------
+    // Sort only the meaningful bits: column bits then row bits — the
+    // "two-pass" global radix sort of the paper. Keys are repacked
+    // compactly as (row << col_bits) | col so row-major order needs exactly
+    // col_bits + row_bits sorted bits.
+    let col_bits = bits_for(b.num_cols);
+    let key_bits = col_bits + bits_for(a.num_rows);
+    let sort_keys: Vec<u64> = reduced_keys
+        .iter()
+        .map(|&k| {
+            let (r, c) = unpack_key(k);
+            ((r as u64) << col_bits) | c as u64
+        })
+        .collect();
+    let (gperm, gs_stats) = sort_permutation(device, &sort_keys, key_bits.max(1), cfg.global_sort_nv);
+    phases.global_sort = gs_stats.sim_ms;
+    stats.add(&gs_stats);
+
+    // Invert the permutation: rank of each reduced entry in sorted order.
+    // One extra coalesced pass on the device.
+    let n_reduced = reduced_keys.len();
+    let mut rank = vec![0u32; n_reduced];
+    for (pos, &src) in gperm.iter().enumerate() {
+        rank[src as usize] = pos as u32;
+    }
+    let gperm_ref = &gperm;
+    let (_, inv_stats) = launch_map_named(
+        device,
+        "spgemm_rank_invert",
+        LaunchConfig::new(n_reduced.div_ceil(cfg.global_sort_nv).max(1), cfg.block_threads),
+        |cta| {
+            let lo = cta.cta_id * cfg.global_sort_nv;
+            let hi = (lo + cfg.global_sort_nv).min(n_reduced);
+            cta.read_coalesced(hi - lo, 4);
+            cta.scatter(gperm_ref[lo..hi].iter().map(|&p| p as usize), 4);
+        },
+    );
+    phases.global_sort += inv_stats.sim_ms;
+    stats.add(&inv_stats);
+
+    let sorted_keys: Vec<u64> = gperm.iter().map(|&p| reduced_keys[p as usize]).collect();
+
+    // ---- Phase 4: product compute -------------------------------------------------
+    let (ordered_vals, pc_stats) = product::product_compute(device, a, b, &exp, &tiles, &rank, cfg);
+    phases.product_compute = pc_stats.sim_ms;
+    stats.add(&pc_stats);
+
+    // ---- Phase 5: product reduce ---------------------------------------------------
+    let (final_keys, final_vals, pr_stats) =
+        product::product_reduce(device, &sorted_keys, &ordered_vals, cfg);
+    phases.product_reduce = pr_stats.sim_ms;
+    stats.add(&pr_stats);
+
+    // ---- Other: CSR assembly (allocation + row-offset count pass) ------------------
+    let (c, other_stats) = assemble_csr(device, a.num_rows, b.num_cols, &final_keys, final_vals);
+    phases.other = other_stats.sim_ms;
+    stats.add(&other_stats);
+
+    SpgemmResult {
+        c,
+        products: exp.products as u64,
+        phases,
+        stats,
+    }
+}
+
+/// Build the CSR output from sorted unique (row,col) keys.
+fn assemble_csr(
+    device: &Device,
+    num_rows: usize,
+    num_cols: usize,
+    keys: &[u64],
+    values: Vec<f64>,
+) -> (CsrMatrix, LaunchStats) {
+    let n = keys.len();
+    let nv = 4096;
+    let (_, stats) = launch_map_named(
+        device,
+        "csr_assemble",
+        LaunchConfig::new(n.div_ceil(nv).max(1), 128),
+        |cta| {
+            let lo = cta.cta_id * nv;
+            let hi = (lo + nv).min(n);
+            cta.read_coalesced(hi - lo, 8);
+            cta.alu((hi - lo) as u64);
+            cta.write_coalesced(hi - lo, 4);
+        },
+    );
+    let mut row_offsets = vec![0usize; num_rows + 1];
+    let mut col_idx = Vec::with_capacity(n);
+    for &k in keys {
+        let (r, c) = unpack_key(k);
+        row_offsets[r as usize + 1] += 1;
+        col_idx.push(c);
+    }
+    for i in 0..num_rows {
+        row_offsets[i + 1] += row_offsets[i];
+    }
+    (
+        CsrMatrix {
+            num_rows,
+            num_cols,
+            row_offsets,
+            col_idx,
+            values,
+        },
+        stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_sparse::dense::to_dense;
+    use mps_sparse::ops::{spgemm_products, spgemm_ref};
+    use mps_sparse::{gen, CooMatrix};
+    use proptest::prelude::*;
+
+    fn dev() -> Device {
+        Device::titan()
+    }
+
+    fn paper_ab() -> (CsrMatrix, CsrMatrix) {
+        let a = CooMatrix::from_triplets(
+            4,
+            4,
+            [
+                (0, 0, 10.0),
+                (1, 1, 20.0),
+                (1, 2, 30.0),
+                (1, 3, 40.0),
+                (2, 3, 50.0),
+                (3, 1, 60.0),
+            ],
+        )
+        .to_csr();
+        let b = CooMatrix::from_triplets(
+            4,
+            4,
+            [
+                (0, 0, 1.0),
+                (1, 1, 2.0),
+                (1, 3, 3.0),
+                (2, 0, 4.0),
+                (2, 1, 5.0),
+                (3, 1, 6.0),
+                (3, 3, 7.0),
+            ],
+        )
+        .to_csr();
+        (a, b)
+    }
+
+    #[test]
+    fn paper_worked_example() {
+        let (a, b) = paper_ab();
+        let r = merge_spgemm(&dev(), &a, &b, &SpgemmConfig::default());
+        assert_eq!(r.products, 11);
+        let expected = vec![
+            vec![10.0, 0.0, 0.0, 0.0],
+            vec![120.0, 430.0, 0.0, 340.0],
+            vec![0.0, 300.0, 0.0, 350.0],
+            vec![0.0, 120.0, 0.0, 180.0],
+        ];
+        assert_eq!(to_dense(&r.c), expected);
+        r.c.validate().expect("well-formed product");
+    }
+
+    #[test]
+    fn tiny_tiles_split_rows_across_ctas() {
+        // Force many CTAs so that single output rows span several tiles
+        // and cross-tile duplicates exercise the global reduce.
+        let (a, b) = paper_ab();
+        let cfg = SpgemmConfig {
+            block_threads: 1,
+            items_per_thread: 2,
+            global_sort_nv: 3,
+        };
+        let r = merge_spgemm(&dev(), &a, &b, &cfg);
+        assert!(r.c.approx_eq(&spgemm_ref(&a, &b), 1e-12));
+    }
+
+    #[test]
+    fn identity_product() {
+        let a = gen::random_uniform(40, 40, 5.0, 2.0, 3);
+        let i = CsrMatrix::identity(40);
+        let r = merge_spgemm(&dev(), &a, &i, &SpgemmConfig::default());
+        assert_eq!(r.c, a);
+        let r = merge_spgemm(&dev(), &i, &a, &SpgemmConfig::default());
+        assert_eq!(r.c, a);
+    }
+
+    #[test]
+    fn empty_inputs_give_empty_output() {
+        let a = CsrMatrix::zeros(5, 4);
+        let b = CsrMatrix::zeros(4, 6);
+        let r = merge_spgemm(&dev(), &a, &b, &SpgemmConfig::default());
+        assert_eq!(r.c.nnz(), 0);
+        assert_eq!((r.c.num_rows, r.c.num_cols), (5, 6));
+        assert_eq!(r.products, 0);
+    }
+
+    #[test]
+    fn rectangular_product() {
+        let a = gen::random_uniform(30, 50, 6.0, 3.0, 5);
+        let b = gen::random_uniform(50, 20, 4.0, 2.0, 6);
+        let r = merge_spgemm(&dev(), &a, &b, &SpgemmConfig::default());
+        assert!(r.c.approx_eq(&spgemm_ref(&a, &b), 1e-12));
+        assert_eq!(r.products, spgemm_products(&a, &b));
+    }
+
+    #[test]
+    fn a_times_a_transpose_lp_shape() {
+        let a = gen::lp_like(20, 500, 30.0, 40.0, 7);
+        let at = a.transpose();
+        let r = merge_spgemm(&dev(), &a, &at, &SpgemmConfig::default());
+        assert!(r.c.approx_eq(&spgemm_ref(&a, &at), 1e-12));
+    }
+
+    #[test]
+    fn phase_times_cover_total() {
+        let a = gen::random_uniform(200, 200, 8.0, 4.0, 8);
+        let r = merge_spgemm(&dev(), &a, &a, &SpgemmConfig::default());
+        let p = r.phases;
+        assert!(p.total() > 0.0);
+        let frac_sum: f64 = p.fractions().iter().map(|(_, f)| f).sum();
+        assert!((frac_sum - 1.0).abs() < 1e-9);
+        assert!(p.block_sort > 0.0 && p.global_sort > 0.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn random_products_match_reference(
+            m in 1usize..40,
+            k in 1usize..40,
+            n in 1usize..40,
+            s1 in 0u64..100,
+            s2 in 100u64..200,
+            items in 1usize..4,
+        ) {
+            let a = gen::random_uniform(m, k, 3.0, 2.0, s1);
+            let b = gen::random_uniform(k, n, 3.0, 2.0, s2);
+            let cfg = SpgemmConfig {
+                block_threads: 16,
+                items_per_thread: items,
+                global_sort_nv: 64,
+            };
+            let r = merge_spgemm(&dev(), &a, &b, &cfg);
+            prop_assert!(r.c.approx_eq(&spgemm_ref(&a, &b), 1e-12));
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! SpGEMM phases 3–4: deferred product formation and the final global
+//! reduce-by-key ("Product Compute" and "Product Reduce" in Figure 11).
+//!
+//! No numerical values exist before this point. Each CTA re-runs its
+//! expansion to form the actual products, permutes them with the stored
+//! block-sort permutation, segment-reduces duplicates with the precomputed
+//! head flags, and scatters the locally reduced values directly to their
+//! *globally sorted* positions (the rank from the global permutation sort).
+//! A last reduce-by-key pass folds cross-tile duplicates.
+
+use mps_simt::grid::{launch_map_named, LaunchConfig, LaunchStats};
+use mps_simt::Device;
+use mps_sparse::CsrMatrix;
+
+use super::block_sort::TileReduced;
+use super::setup::Expansion;
+use crate::config::SpgemmConfig;
+
+/// Phase 3: recompute, permute and locally reduce products, writing each
+/// reduced value to its global sorted position.
+///
+/// `rank[i]` is the globally sorted position of reduced entry `i` (tile
+/// entries concatenated in tile order). Returns values aligned with the
+/// globally sorted key order.
+pub fn product_compute(
+    device: &Device,
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    exp: &Expansion,
+    tiles: &[TileReduced],
+    rank: &[u32],
+    cfg: &SpgemmConfig,
+) -> (Vec<f64>, LaunchStats) {
+    let nv = cfg.nv();
+    let total = exp.products;
+    let num_ctas = total.div_ceil(nv).max(1);
+    debug_assert_eq!(num_ctas, tiles.len());
+
+    // Global offset of each tile's reduced entries.
+    let mut tile_offsets = Vec::with_capacity(tiles.len() + 1);
+    tile_offsets.push(0usize);
+    for t in tiles {
+        tile_offsets.push(tile_offsets.last().expect("non-empty") + t.unique_keys.len());
+    }
+    let reduced_total = *tile_offsets.last().expect("non-empty");
+    debug_assert_eq!(reduced_total, rank.len());
+
+    let launch = LaunchConfig::new(num_ctas, cfg.block_threads);
+    let tile_offsets_ref = &tile_offsets;
+    let (scattered, stats) = launch_map_named(device, "spgemm_product_compute", launch, |cta| {
+        let lo = cta.cta_id * nv;
+        let hi = (lo + nv).min(total);
+        let count = hi - lo;
+        let tile = &tiles[cta.cta_id];
+
+        // Second expansion: this time the values are fetched and formed.
+        let mut vals: Vec<f64> = Vec::with_capacity(count);
+        exp.walk_tile(cta, lo, hi, |_, j, t| {
+            let brow = a.col_idx[j] as usize;
+            let bpos = b.row_offsets[brow] + t;
+            vals.push(a.values[j] * b.values[bpos]);
+        });
+        cta.read_coalesced(count, 4); // A col idx
+        cta.gather(lo..hi, 8); // B values (per-row contiguous)
+        cta.alu(count as u64); // multiplies
+
+        // Load the stored permutation and head flags, permute in shared
+        // memory, and segment-reduce duplicate runs.
+        cta.read_coalesced(count, 2);
+        cta.read_coalesced(count.div_ceil(8), 1);
+        cta.shmem(2 * count as u64);
+        cta.sync();
+        cta.alu(2 * count as u64);
+
+        let base = tile_offsets_ref[cta.cta_id];
+        let mut out: Vec<(u32, f64)> = Vec::with_capacity(tile.unique_keys.len());
+        let mut local = 0usize;
+        for s in 0..count {
+            let v = vals[tile.perm[s] as usize];
+            if tile.head[s] {
+                out.push((rank[base + local], v));
+                local += 1;
+            } else {
+                out.last_mut().expect("head precedes body").1 += v;
+            }
+        }
+        // Scatter reduced values to their globally sorted positions.
+        cta.scatter(out.iter().map(|&(r, _)| r as usize), 8);
+        out
+    });
+
+    let mut ordered = vec![0.0f64; reduced_total];
+    for tile in scattered {
+        for (r, v) in tile {
+            ordered[r as usize] = v;
+        }
+    }
+    (ordered, stats)
+}
+
+/// Phase 4: reduce-by-key over globally sorted keys/values, producing the
+/// final unique coordinate list of C.
+pub fn product_reduce(
+    device: &Device,
+    sorted_keys: &[u64],
+    ordered_vals: &[f64],
+    cfg: &SpgemmConfig,
+) -> (Vec<u64>, Vec<f64>, LaunchStats) {
+    debug_assert_eq!(sorted_keys.len(), ordered_vals.len());
+    let n = sorted_keys.len();
+    let nv = cfg.global_sort_nv;
+    let num_ctas = n.div_ceil(nv).max(1);
+
+    let launch = LaunchConfig::new(num_ctas, cfg.block_threads);
+    let (parts, stats) = launch_map_named(device, "spgemm_product_reduce", launch, |cta| {
+        let lo = cta.cta_id * nv;
+        let hi = (lo + nv).min(n);
+        cta.read_coalesced(hi - lo, 16);
+        cta.alu(3 * (hi - lo) as u64);
+        // Segmented reduce within the tile; the trailing run is the carry.
+        let mut keys = Vec::new();
+        let mut vals: Vec<f64> = Vec::new();
+        for i in lo..hi {
+            if keys.last() == Some(&sorted_keys[i]) {
+                *vals.last_mut().expect("parallel vectors") += ordered_vals[i];
+            } else {
+                keys.push(sorted_keys[i]);
+                vals.push(ordered_vals[i]);
+            }
+        }
+        cta.write_coalesced(keys.len(), 16);
+        (keys, vals)
+    });
+
+    // Stitch tiles: a run spanning a tile boundary merges with the
+    // previous tile's trailing entry (the carry of the SpMV update phase,
+    // applied to keys).
+    let mut keys: Vec<u64> = Vec::with_capacity(n);
+    let mut vals: Vec<f64> = Vec::with_capacity(n);
+    for (tk, tv) in parts {
+        let mut start = 0;
+        if let (Some(&last), Some(&first)) = (keys.last(), tk.first()) {
+            if last == first {
+                *vals.last_mut().expect("parallel vectors") += tv[0];
+                start = 1;
+            }
+        }
+        keys.extend_from_slice(&tk[start..]);
+        vals.extend_from_slice(&tv[start..]);
+    }
+    (keys, vals, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> Device {
+        Device::titan()
+    }
+
+    fn cfg() -> SpgemmConfig {
+        SpgemmConfig {
+            global_sort_nv: 4,
+            ..SpgemmConfig::default()
+        }
+    }
+
+    #[test]
+    fn reduce_by_key_folds_runs_within_tiles() {
+        let keys = vec![1u64, 1, 2, 3, 3, 3];
+        let vals = vec![1.0, 2.0, 4.0, 1.0, 1.0, 1.0];
+        let (k, v, _) = product_reduce(&dev(), &keys, &vals, &cfg());
+        assert_eq!(k, vec![1, 2, 3]);
+        assert_eq!(v, vec![3.0, 4.0, 3.0]);
+    }
+
+    #[test]
+    fn reduce_by_key_folds_runs_across_tile_boundaries() {
+        // nv = 4 puts the run of 7s across the boundary.
+        let keys = vec![5u64, 7, 7, 7, 7, 9];
+        let vals = vec![1.0, 1.0, 1.0, 1.0, 1.0, 2.0];
+        let (k, v, _) = product_reduce(&dev(), &keys, &vals, &cfg());
+        assert_eq!(k, vec![5, 7, 9]);
+        assert_eq!(v, vec![1.0, 4.0, 2.0]);
+    }
+
+    #[test]
+    fn reduce_of_empty_input() {
+        let (k, v, _) = product_reduce(&dev(), &[], &[], &cfg());
+        assert!(k.is_empty() && v.is_empty());
+    }
+
+    #[test]
+    fn reduce_single_giant_run() {
+        let keys = vec![42u64; 23];
+        let vals = vec![0.5f64; 23];
+        let (k, v, _) = product_reduce(&dev(), &keys, &vals, &cfg());
+        assert_eq!(k, vec![42]);
+        assert!((v[0] - 11.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,482 @@
+//! Merge-path SpMV (Section III-A).
+//!
+//! Flat decomposition: each CTA processes exactly `nv` nonzeros regardless
+//! of row geometry. Three phases:
+//!
+//! 1. **Partition** — one binary search per CTA boundary into the CSR row
+//!    offsets, recording the row containing each CTA's first nonzero in the
+//!    auxiliary buffer `S`.
+//! 2. **Reduction** — each CTA loads its nonzeros in striped (coalesced)
+//!    order, gathers `x`, forms the products, transposes to blocked order
+//!    and runs a CTA-wide segmented scan; complete rows are stored to `y`,
+//!    and the (possibly row-spanning) trailing partial sum becomes the
+//!    CTA's carry in `r`.
+//! 3. **Update** — a segmented scan over the carries folds row-spanning
+//!    partial sums into `y`.
+//!
+//! Empty rows: the fast path walks the raw row offsets; when the input has
+//! empty rows the kernel adaptively compacts the offsets array first (the
+//! paper's "slightly slower method"), charging the extra pass.
+
+use mps_simt::block::{binary_search_partition, block_segmented_reduce};
+use mps_simt::cta::Cta;
+use mps_simt::grid::{launch_map_named, LaunchConfig, LaunchStats};
+use mps_simt::Device;
+use mps_sparse::CsrMatrix;
+
+use crate::config::SpmvConfig;
+
+/// Charge the shared-memory cost of a striped→blocked exchange of `items`
+/// register-tile entries (the data itself is already in natural order on
+/// the host).
+fn charge_exchange(cta: &mut Cta, items: usize) {
+    cta.shmem(2 * items as u64);
+    cta.sync();
+    cta.sync();
+}
+
+/// Result of a merge SpMV: the product vector plus per-phase simulated cost.
+#[derive(Debug, Clone)]
+pub struct SpmvResult {
+    pub y: Vec<f64>,
+    pub partition: LaunchStats,
+    pub reduction: LaunchStats,
+    pub update: LaunchStats,
+    /// Whether the adaptive empty-row compaction path ran.
+    pub compacted: bool,
+}
+
+impl SpmvResult {
+    /// Total simulated kernel time in milliseconds.
+    pub fn sim_ms(&self) -> f64 {
+        self.partition.sim_ms + self.reduction.sim_ms + self.update.sim_ms
+    }
+
+    /// Achieved double-precision GFLOP/s under simulated time, counting the
+    /// paper's 2·nnz flops.
+    pub fn gflops(&self, nnz: usize) -> f64 {
+        if self.sim_ms() == 0.0 {
+            return 0.0;
+        }
+        2.0 * nnz as f64 / (self.sim_ms() * 1e-3) / 1e9
+    }
+}
+
+/// Precomputed SpMV partition: the phase-1 state (boundary searches plus
+/// any empty-row compaction) for a fixed matrix.
+///
+/// Iterative solvers apply the same operator hundreds of times; the
+/// partition depends only on the matrix, so a plan pays it once and every
+/// [`SpmvPlan::execute`] runs only the reduction and update phases.
+#[derive(Debug, Clone)]
+pub struct SpmvPlan {
+    cfg: SpmvConfig,
+    nnz: usize,
+    num_rows: usize,
+    num_cols: usize,
+    /// Possibly compacted row offsets.
+    offsets: Vec<usize>,
+    /// Logical→physical row map when compaction ran.
+    row_ids: Option<Vec<u32>>,
+    /// Per-CTA starting rows (the paper's auxiliary buffer S).
+    s: Vec<usize>,
+    /// Cost of the partition (and compaction) phase, paid at plan build.
+    pub partition: LaunchStats,
+}
+
+impl SpmvPlan {
+    /// Build the partition for `a` (phase 1 of Section III-A).
+    pub fn new(device: &Device, a: &CsrMatrix, cfg: &SpmvConfig) -> SpmvPlan {
+        let nnz = a.nnz();
+        let nv = cfg.nv();
+        if nnz == 0 {
+            return SpmvPlan {
+                cfg: *cfg,
+                nnz,
+                num_rows: a.num_rows,
+                num_cols: a.num_cols,
+                offsets: vec![0],
+                row_ids: None,
+                s: Vec::new(),
+                partition: LaunchStats::default(),
+            };
+        }
+
+        // Adaptive path selection: detect empty rows and compact the
+        // offsets so the partition search and the row walker never see
+        // zero-length rows.
+        let has_empty = a.empty_rows() > 0;
+        let compacted = has_empty && !cfg.force_no_compaction;
+        let (offsets, row_ids): (Vec<usize>, Option<Vec<u32>>) = if compacted {
+            let (off, ids) = a.compact_rows();
+            (off, Some(ids))
+        } else {
+            (a.row_offsets.clone(), None)
+        };
+        let logical_rows = offsets.len() - 1;
+        let num_ctas = nnz.div_ceil(nv);
+
+        // One boundary search per CTA; S[i] = row containing nonzero i*nv.
+        let offsets_ref = &offsets;
+        let cfg_part = LaunchConfig::new(num_ctas + 1, 64);
+        let (s, mut partition) = launch_map_named(device, "spmv_partition", cfg_part, |cta| {
+            let item = (cta.cta_id * nv).min(nnz.saturating_sub(1));
+            cta.read_coalesced(2 * usize::BITS as usize, 8);
+            binary_search_partition(cta, offsets_ref, item)
+        });
+        if compacted {
+            // Charge the compaction pass: stream offsets, flag non-empties,
+            // scan, scatter the surviving offsets/ids.
+            partition.totals.dram_read_bytes += (a.num_rows as u64 + 1) * 8;
+            partition.totals.dram_write_bytes += (logical_rows as u64) * 12;
+            partition.totals.dram_transactions +=
+                ((a.num_rows as u64 + 1) * 8 + logical_rows as u64 * 12) / 128 + 1;
+        }
+        SpmvPlan {
+            cfg: *cfg,
+            nnz,
+            num_rows: a.num_rows,
+            num_cols: a.num_cols,
+            offsets,
+            row_ids,
+            s,
+            partition,
+        }
+    }
+
+    /// Whether the adaptive empty-row compaction path ran.
+    pub fn compacted(&self) -> bool {
+        self.row_ids.is_some()
+    }
+
+    /// Run the reduction + update phases against the planned matrix.
+    ///
+    /// # Panics
+    /// Panics if `a` does not match the planned matrix's shape/nnz or `x`
+    /// has the wrong length.
+    pub fn execute(&self, device: &Device, a: &CsrMatrix, x: &[f64]) -> SpmvResult {
+        assert_eq!(x.len(), self.num_cols, "x length must equal num_cols");
+        assert_eq!(
+            (a.num_rows, a.num_cols, a.nnz()),
+            (self.num_rows, self.num_cols, self.nnz),
+            "matrix does not match the plan"
+        );
+        plan_execute(self, device, a, x)
+    }
+}
+
+/// y = A·x with the merge-path flat decomposition.
+///
+/// # Panics
+/// Panics if `x.len() != a.num_cols`.
+pub fn merge_spmv(device: &Device, a: &CsrMatrix, x: &[f64], cfg: &SpmvConfig) -> SpmvResult {
+    let plan = SpmvPlan::new(device, a, cfg);
+    let mut result = plan.execute(device, a, x);
+    result.partition = plan.partition;
+    result
+}
+
+/// Reduction + update phases against a prepared plan.
+fn plan_execute(plan: &SpmvPlan, device: &Device, a: &CsrMatrix, x: &[f64]) -> SpmvResult {
+    let nnz = plan.nnz;
+    let nv = plan.cfg.nv();
+    let cfg = &plan.cfg;
+    let compacted = plan.compacted();
+    let offsets = &plan.offsets;
+    let row_ids = &plan.row_ids;
+    let logical_rows = offsets.len().saturating_sub(1);
+    let to_physical = |logical: usize| -> usize {
+        match row_ids {
+            Some(ids) => ids[logical] as usize,
+            None => logical,
+        }
+    };
+
+    let mut y = vec![0.0; plan.num_rows];
+    if nnz == 0 {
+        return SpmvResult {
+            y,
+            partition: LaunchStats::default(),
+            reduction: LaunchStats::default(),
+            update: LaunchStats::default(),
+            compacted: false,
+        };
+    }
+    let num_ctas = nnz.div_ceil(nv);
+    let offsets_ref = offsets;
+
+    // ---- Phase 2: reduction ---------------------------------------------------
+    let s_ref = &plan.s;
+    let cfg_red = LaunchConfig::new(num_ctas, cfg.block_threads);
+    let (outputs, reduction) = launch_map_named(device, "spmv_reduce", cfg_red, |cta| {
+        let lo = cta.cta_id * nv;
+        let hi = (lo + nv).min(nnz);
+        let count = hi - lo;
+        let row_lo = s_ref[cta.cta_id];
+        // The last boundary search used item nnz-1; the row range for this
+        // CTA ends at the row containing its last item.
+        let row_hi = if cta.cta_id + 1 < s_ref.len() {
+            s_ref[cta.cta_id + 1]
+        } else {
+            logical_rows - 1
+        };
+
+        // Row offsets for the CTA's rows into shared memory.
+        cta.read_coalesced(row_hi - row_lo + 2, 8);
+        cta.shmem((row_hi - row_lo + 2) as u64);
+
+        // Strided loads of column indices and values (coalesced).
+        cta.read_coalesced(count, 4); // col_idx
+        cta.read_coalesced(count, 8); // values
+
+        // Gather x by column index: the data-dependent access.
+        cta.gather(
+            a.col_idx[lo..hi].iter().map(|&c| c as usize),
+            8,
+        );
+
+        // Form products (one multiply per item — the 2·nnz flops together
+        // with the adds inside the segmented reduction).
+        cta.alu(count as u64);
+        let mut products = Vec::with_capacity(count);
+        for i in lo..hi {
+            products.push(a.values[i] * x[a.col_idx[i] as usize]);
+        }
+
+        // Expand logical row ids by walking the shared offsets.
+        let mut rows = Vec::with_capacity(count);
+        let mut r = row_lo;
+        cta.alu(count as u64);
+        for item in lo..hi {
+            while r < row_hi && offsets_ref[r + 1] <= item {
+                r += 1;
+            }
+            rows.push(r);
+        }
+
+        // On hardware the strided register tile is transposed to blocked
+        // order through shared memory before the scan; host-side the arrays
+        // are already in natural order, so only the exchange cost applies
+        // (two tiles: products and row indices).
+        charge_exchange(cta, 2 * count);
+
+        let seg = block_segmented_reduce(cta, &products, &rows);
+
+        // Complete rows go straight to y (contiguous rows: coalesced-ish).
+        cta.write_coalesced(seg.complete.len(), 8);
+        (seg.complete, seg.carry)
+    });
+
+    // Host-side assembly of the per-CTA outputs (disjoint complete rows).
+    let mut carries: Vec<(usize, f64)> = Vec::with_capacity(num_ctas);
+    for (complete, carry) in outputs {
+        for (logical, sum) in complete {
+            y[to_physical(logical)] = sum;
+        }
+        if let Some(c) = carry {
+            carries.push(c);
+        }
+    }
+
+    // ---- Phase 3: update -------------------------------------------------------
+    // Segmented scan over the carries; every carry accumulates into its row.
+    let carries_ref = &carries;
+    let cfg_upd = LaunchConfig::new(1, cfg.block_threads);
+    let (folds, update) = launch_map_named(device, "spmv_update", cfg_upd, |cta| {
+        cta.read_coalesced(carries_ref.len(), 12);
+        cta.alu(2 * carries_ref.len() as u64);
+        cta.scatter(carries_ref.iter().map(|&(r, _)| r), 8);
+        carries_ref.clone()
+    });
+    for (logical, sum) in folds.into_iter().flatten() {
+        y[to_physical(logical)] += sum;
+    }
+
+    SpmvResult {
+        y,
+        partition: LaunchStats::default(),
+        reduction,
+        update,
+        compacted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_sparse::ops::spmv_ref;
+    use mps_sparse::{gen, CooMatrix};
+    use proptest::prelude::*;
+
+    fn dev() -> Device {
+        Device::titan()
+    }
+
+    fn x_for(m: &CsrMatrix) -> Vec<f64> {
+        (0..m.num_cols).map(|i| 1.0 + (i % 13) as f64 * 0.5).collect()
+    }
+
+    fn assert_close(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (x - y).abs() <= 1e-9 * (1.0 + x.abs().max(y.abs())),
+                "row {i}: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_paper_matrix() {
+        let a = CooMatrix::from_triplets(
+            4,
+            4,
+            [
+                (0, 0, 10.0),
+                (1, 1, 20.0),
+                (1, 2, 30.0),
+                (1, 3, 40.0),
+                (2, 3, 50.0),
+                (3, 1, 60.0),
+            ],
+        )
+        .to_csr();
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let r = merge_spmv(&dev(), &a, &x, &SpmvConfig::default());
+        assert_eq!(r.y, vec![10.0, 290.0, 200.0, 120.0]);
+        assert!(!r.compacted);
+    }
+
+    #[test]
+    fn rows_spanning_many_ctas_accumulate_via_carries() {
+        // One row with far more nonzeros than a CTA tile.
+        let cfg = SpmvConfig {
+            block_threads: 32,
+            items_per_thread: 2,
+            force_no_compaction: false,
+        };
+        let n = 10 * cfg.nv() + 17;
+        let mut coo = CooMatrix::new(2, n);
+        for c in 0..n {
+            coo.push(0, c as u32, 1.0);
+        }
+        coo.push(1, 0, 5.0);
+        let a = coo.to_csr();
+        let x = vec![1.0; n];
+        let r = merge_spmv(&dev(), &a, &x, &cfg);
+        assert_close(&r.y, &[n as f64, 5.0]);
+    }
+
+    #[test]
+    fn empty_rows_trigger_compaction_and_stay_zero() {
+        let a = CooMatrix::from_triplets(6, 6, [(1, 0, 2.0), (4, 5, 3.0)]).to_csr();
+        let x = vec![1.0; 6];
+        let r = merge_spmv(&dev(), &a, &x, &SpmvConfig::default());
+        assert!(r.compacted);
+        assert_eq!(r.y, vec![0.0, 2.0, 0.0, 0.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn forced_raw_path_still_correct_with_empty_rows() {
+        let cfg = SpmvConfig {
+            force_no_compaction: true,
+            ..SpmvConfig::default()
+        };
+        let a = CooMatrix::from_triplets(6, 6, [(1, 0, 2.0), (4, 5, 3.0)]).to_csr();
+        let r = merge_spmv(&dev(), &a, &[1.0; 6], &cfg);
+        assert!(!r.compacted);
+        assert_eq!(r.y, vec![0.0, 2.0, 0.0, 0.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_matrix_gives_zero_vector() {
+        let a = CsrMatrix::zeros(5, 5);
+        let r = merge_spmv(&dev(), &a, &[1.0; 5], &SpmvConfig::default());
+        assert_eq!(r.y, vec![0.0; 5]);
+        assert_eq!(r.sim_ms(), 0.0);
+    }
+
+    #[test]
+    fn matches_reference_on_generated_matrices() {
+        for m in [
+            gen::stencil_5pt(20, 20),
+            gen::banded(300, 20.0, 8.0, 60, 1),
+            gen::random_uniform(400, 400, 6.0, 4.0, 2),
+            gen::power_law(500, 500, 1, 1.5, 200, 3),
+        ] {
+            let x = x_for(&m);
+            let r = merge_spmv(&dev(), &m, &x, &SpmvConfig::default());
+            assert_close(&r.y, &spmv_ref(&m, &x));
+        }
+    }
+
+    #[test]
+    fn gflops_positive_for_nontrivial_matrix() {
+        let m = gen::stencil_5pt(50, 50);
+        let x = x_for(&m);
+        let r = merge_spmv(&dev(), &m, &x, &SpmvConfig::default());
+        assert!(r.gflops(m.nnz()) > 0.0);
+        assert!(r.sim_ms() > 0.0);
+    }
+
+    #[test]
+    fn plan_reuse_matches_direct_and_skips_partition_cost() {
+        let a = gen::banded(500, 20.0, 6.0, 60, 5);
+        let x1 = x_for(&a);
+        let x2: Vec<f64> = x1.iter().map(|v| v * 2.0 - 1.0).collect();
+        let cfg = SpmvConfig::default();
+
+        let plan = SpmvPlan::new(&dev(), &a, &cfg);
+        let direct1 = merge_spmv(&dev(), &a, &x1, &cfg);
+        let planned1 = plan.execute(&dev(), &a, &x1);
+        assert_close(&planned1.y, &direct1.y);
+        // The planned run carries no partition cost.
+        assert_eq!(planned1.partition.sim_ms, 0.0);
+        assert!(direct1.partition.sim_ms > 0.0);
+
+        // Different vector, same plan.
+        let planned2 = plan.execute(&dev(), &a, &x2);
+        assert_close(&planned2.y, &spmv_ref(&a, &x2));
+    }
+
+    #[test]
+    fn plan_handles_empty_rows() {
+        let a = CooMatrix::from_triplets(8, 8, [(1, 0, 2.0), (6, 7, 3.0)]).to_csr();
+        let plan = SpmvPlan::new(&dev(), &a, &SpmvConfig::default());
+        assert!(plan.compacted());
+        let r = plan.execute(&dev(), &a, &vec![1.0; 8]);
+        assert_eq!(r.y, vec![0.0, 2.0, 0.0, 0.0, 0.0, 0.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match the plan")]
+    fn plan_rejects_mismatched_matrix() {
+        let a = gen::stencil_5pt(8, 8);
+        let b = gen::stencil_5pt(9, 9);
+        let plan = SpmvPlan::new(&dev(), &a, &SpmvConfig::default());
+        // x sized for the plan so the shape check is what fires.
+        plan.execute(&dev(), &b, &vec![1.0; a.num_cols]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn random_matrices_match_reference(
+            rows in 1usize..80,
+            cols in 1usize..80,
+            density in 0.0f64..0.4,
+            seed in 0u64..1000,
+            items in 1usize..4,
+        ) {
+            let avg = density * cols as f64;
+            let m = gen::random_uniform(rows, cols, avg, avg / 2.0, seed);
+            let x = x_for(&m);
+            let cfg = SpmvConfig { block_threads: 32, items_per_thread: items, force_no_compaction: false };
+            let r = merge_spmv(&dev(), &m, &x, &cfg);
+            let expect = spmv_ref(&m, &x);
+            for (a, b) in r.y.iter().zip(&expect) {
+                prop_assert!((a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs())));
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Connected components by min-label propagation.
+//!
+//! Every vertex starts labelled with its own id; each (min, min) semiring
+//! SpMV replaces a label with the smallest label in the neighbourhood;
+//! convergence leaves every component carrying its minimum vertex id.
+
+use mps_simt::Device;
+use mps_sparse::CsrMatrix;
+
+use crate::semiring::{semiring_spmv, MinMin};
+
+/// Component label (minimum member id) per vertex, plus simulated ms.
+///
+/// # Panics
+/// Panics if the graph is not square.
+pub fn connected_components(device: &Device, graph: &CsrMatrix) -> (Vec<u32>, f64) {
+    assert_eq!(graph.num_rows, graph.num_cols, "CC needs a square adjacency");
+    let n = graph.num_rows;
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+    let mut sim_ms = 0.0;
+    loop {
+        let (neighbour_min, stats) = semiring_spmv(device, &MinMin, graph, &labels);
+        sim_ms += stats.sim_ms;
+        let mut changed = false;
+        for v in 0..n {
+            let candidate = neighbour_min[v].min(labels[v]);
+            if candidate < labels[v] {
+                labels[v] = candidate;
+                changed = true;
+            }
+        }
+        if !changed {
+            return (labels, sim_ms);
+        }
+    }
+}
+
+/// Number of distinct components in a label array.
+pub fn component_count(labels: &[u32]) -> usize {
+    let mut sorted = labels.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    sorted.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjacency_from_edges;
+
+    fn dev() -> Device {
+        Device::titan()
+    }
+
+    #[test]
+    fn two_cliques_and_an_isolate() {
+        let g = adjacency_from_edges(7, &[(0, 1), (1, 2), (4, 5), (5, 6)]);
+        let (labels, _) = connected_components(&dev(), &g);
+        assert_eq!(labels, vec![0, 0, 0, 3, 4, 4, 4]);
+        assert_eq!(component_count(&labels), 3);
+    }
+
+    #[test]
+    fn single_ring_is_one_component() {
+        let edges: Vec<(u32, u32)> = (0..50).map(|v| (v, (v + 1) % 50)).collect();
+        let g = adjacency_from_edges(50, &edges);
+        let (labels, _) = connected_components(&dev(), &g);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn empty_graph_is_all_singletons() {
+        let g = CsrMatrix::zeros(6, 6);
+        let (labels, ms) = connected_components(&dev(), &g);
+        assert_eq!(labels, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(component_count(&labels), 6);
+        assert_eq!(ms, 0.0);
+    }
+
+    #[test]
+    fn component_labels_are_component_minima() {
+        let g = adjacency_from_edges(8, &[(7, 3), (3, 5), (2, 6)]);
+        let (labels, _) = connected_components(&dev(), &g);
+        assert_eq!(labels[7], 3);
+        assert_eq!(labels[5], 3);
+        assert_eq!(labels[6], 2);
+        assert_eq!(labels[0], 0);
+    }
+}

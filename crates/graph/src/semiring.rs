@@ -1,0 +1,226 @@
+//! Flat-decomposition SpMV over an arbitrary semiring.
+//!
+//! The merge SpMV of `mps-core` specializes (⊕, ⊗) = (+, ×); this is the
+//! same three-phase structure — partition by fixed nonzero count, CTA
+//! segmented reduce, carry update — generic over the semiring, which is
+//! what turns one kernel into a BFS engine (∨, ∧), a label propagator
+//! (min, min), or a shortest-path relaxation (min, +).
+
+use mps_simt::block::binary_search_partition;
+use mps_simt::grid::{launch_map_named, LaunchConfig, LaunchStats};
+use mps_simt::Device;
+use mps_sparse::CsrMatrix;
+
+/// An algebraic semiring over value type `T`.
+pub trait Semiring: Sync {
+    type T: Copy + Send + Sync + PartialEq;
+    /// Additive identity (the ⊕ unit; also the "empty row" output).
+    fn zero(&self) -> Self::T;
+    /// ⊕ — combines partial results.
+    fn add(&self, a: Self::T, b: Self::T) -> Self::T;
+    /// ⊗ — combines a matrix entry with a vector entry.
+    fn mul(&self, edge: f64, x: Self::T) -> Self::T;
+}
+
+/// The ordinary arithmetic semiring (+, ×) over f64.
+pub struct PlusTimes;
+
+impl Semiring for PlusTimes {
+    type T = f64;
+    fn zero(&self) -> f64 {
+        0.0
+    }
+    fn add(&self, a: f64, b: f64) -> f64 {
+        a + b
+    }
+    fn mul(&self, edge: f64, x: f64) -> f64 {
+        edge * x
+    }
+}
+
+/// Boolean (∨, ∧) over reachability flags.
+pub struct BoolOrAnd;
+
+impl Semiring for BoolOrAnd {
+    type T = bool;
+    fn zero(&self) -> bool {
+        false
+    }
+    fn add(&self, a: bool, b: bool) -> bool {
+        a || b
+    }
+    fn mul(&self, edge: f64, x: bool) -> bool {
+        edge != 0.0 && x
+    }
+}
+
+/// (min, min) over labels — one step of min-label propagation.
+pub struct MinMin;
+
+impl Semiring for MinMin {
+    type T = u32;
+    fn zero(&self) -> u32 {
+        u32::MAX
+    }
+    fn add(&self, a: u32, b: u32) -> u32 {
+        a.min(b)
+    }
+    fn mul(&self, _edge: f64, x: u32) -> u32 {
+        x
+    }
+}
+
+/// (min, +) over distances — one relaxation step of SSSP.
+pub struct MinPlus;
+
+impl Semiring for MinPlus {
+    type T = f64;
+    fn zero(&self) -> f64 {
+        f64::INFINITY
+    }
+    fn add(&self, a: f64, b: f64) -> f64 {
+        a.min(b)
+    }
+    fn mul(&self, edge: f64, x: f64) -> f64 {
+        edge + x
+    }
+}
+
+/// y = A ⊗ x over the given semiring, with the merge-path flat
+/// decomposition (fixed nonzeros per CTA, carries across boundaries).
+/// Rows with no entries yield `ring.zero()`.
+///
+/// # Panics
+/// Panics if `x.len() != a.num_cols`.
+pub fn semiring_spmv<S: Semiring>(
+    device: &Device,
+    ring: &S,
+    a: &CsrMatrix,
+    x: &[S::T],
+) -> (Vec<S::T>, LaunchStats) {
+    assert_eq!(x.len(), a.num_cols, "x length must equal num_cols");
+    let nnz = a.nnz();
+    let mut y = vec![ring.zero(); a.num_rows];
+    if nnz == 0 {
+        return (y, LaunchStats::default());
+    }
+    let nv = 896;
+    let num_ctas = nnz.div_ceil(nv);
+    let elem = std::mem::size_of::<S::T>().max(1);
+
+    let offsets = &a.row_offsets;
+    let cfg = LaunchConfig::new(num_ctas, 128);
+    let (outputs, mut stats) = launch_map_named(device, "semiring_spmv", cfg, |cta| {
+        let lo = cta.cta_id * nv;
+        let hi = (lo + nv).min(nnz);
+        let count = hi - lo;
+        let row_lo = binary_search_partition(cta, offsets, lo);
+        cta.read_coalesced(count, 4 + 8);
+        cta.gather(a.col_idx[lo..hi].iter().map(|&c| c as usize), elem);
+        cta.alu(3 * count as u64);
+        cta.shmem(2 * count as u64);
+        cta.sync();
+        cta.sync();
+
+        // Walk items, closing each finished row (empty rows close with the
+        // ⊕ identity, which is a no-op when folded into y).
+        let mut complete: Vec<(usize, S::T)> = Vec::new();
+        let mut r = row_lo;
+        let mut acc = ring.zero();
+        for i in lo..hi {
+            while offsets[r + 1] <= i {
+                complete.push((r, acc));
+                acc = ring.zero();
+                r += 1;
+            }
+            acc = ring.add(acc, ring.mul(a.values[i], x[a.col_idx[i] as usize]));
+        }
+        let carry = Some((r, acc));
+        cta.write_coalesced(complete.len(), elem);
+        (complete, carry)
+    });
+
+    // Fold completes and carries (⊕ is associative, so boundary partials
+    // combine exactly as the sum semiring's carries do).
+    let mut folded: Vec<(usize, S::T)> = Vec::new();
+    for (complete, carry) in outputs {
+        for (r, v) in complete {
+            folded.push((r, v));
+        }
+        if let Some(c) = carry {
+            folded.push(c);
+        }
+    }
+    let (_, fold_stats) = launch_map_named(device, "semiring_fold", LaunchConfig::new(1, 128), |cta| {
+        cta.read_coalesced(folded.len(), elem + 4);
+        cta.alu(folded.len() as u64);
+        cta.scatter(folded.iter().map(|&(r, _)| r), elem);
+    });
+    stats.add(&fold_stats);
+    for (r, v) in folded {
+        y[r] = ring.add(y[r], v);
+    }
+    (y, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_sparse::gen;
+    use mps_sparse::ops::spmv_ref;
+
+    fn dev() -> Device {
+        Device::titan()
+    }
+
+    #[test]
+    fn plus_times_matches_reference_spmv() {
+        for m in [
+            gen::stencil_5pt(12, 12),
+            gen::random_uniform(300, 300, 5.0, 3.0, 1),
+            gen::power_law(200, 200, 1, 1.5, 100, 2),
+        ] {
+            let x: Vec<f64> = (0..m.num_cols).map(|i| 1.0 + (i % 7) as f64).collect();
+            let (y, _) = semiring_spmv(&dev(), &PlusTimes, &m, &x);
+            let expect = spmv_ref(&m, &x);
+            for (a, b) in y.iter().zip(&expect) {
+                assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn bool_semiring_computes_one_hop_reachability() {
+        let a = crate::adjacency_from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        let mut x = vec![false; 5];
+        x[0] = true;
+        let (y, _) = semiring_spmv(&dev(), &BoolOrAnd, &a, &x);
+        assert_eq!(y, vec![false, true, false, false, false]);
+    }
+
+    #[test]
+    fn min_min_propagates_smallest_neighbour_label() {
+        let a = crate::adjacency_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let labels = vec![3u32, 0, 9, 1];
+        let (y, _) = semiring_spmv(&dev(), &MinMin, &a, &labels);
+        // Each node sees the min of its neighbours' labels.
+        assert_eq!(y, vec![0, 3, 0, 9]);
+    }
+
+    #[test]
+    fn min_plus_relaxes_distances() {
+        // Path 0-1-2 with unit edges.
+        let a = crate::adjacency_from_edges(3, &[(0, 1), (1, 2)]);
+        let d = vec![0.0, f64::INFINITY, f64::INFINITY];
+        let (d1, _) = semiring_spmv(&dev(), &MinPlus, &a, &d);
+        assert_eq!(d1[1], 1.0);
+        assert!(d1[2].is_infinite());
+    }
+
+    #[test]
+    fn empty_rows_yield_zero_element() {
+        let a = mps_sparse::CooMatrix::from_triplets(3, 3, [(0, 1, 1.0)]).to_csr();
+        let (y, _) = semiring_spmv(&dev(), &MinMin, &a, &[5, 7, 9]);
+        assert_eq!(y, vec![7, u32::MAX, u32::MAX]);
+    }
+}

@@ -1,0 +1,224 @@
+//! Balanced-path partitioning (Section III-B, Figure 1b).
+//!
+//! Merge path is inadequate for duplicate-aware set operations: it consumes
+//! every duplicate of a key from `A` before any from `B`, so a diagonal can
+//! split a matched key pair between two partitions. Balanced path assigns a
+//! *rank* to each duplicate within its run and consumes matched ranks in
+//! zipped order `(a₀,b₀),(a₁,b₁),…`; a partition boundary falling between
+//! the halves of a zipped pair is shifted ("starred") to steal the `B`
+//! element into the left partition, so every pair lands whole on one side.
+
+use mps_simt::block::search::merge_path_search;
+use mps_simt::cta::Cta;
+use mps_simt::grid::{launch_map_named, LaunchConfig, LaunchStats};
+use mps_simt::Device;
+
+use crate::Key;
+
+/// A balanced-path partition point. The left partition covers `a[..a]` and
+/// `b[..b]`; `a + b == diag + starred as usize`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BalancedPoint {
+    pub a: usize,
+    pub b: usize,
+    pub starred: bool,
+}
+
+/// First index of `key` in a sorted slice (length of the `< key` prefix).
+fn lower_bound<K: Ord>(s: &[K], key: &K) -> usize {
+    s.partition_point(|x| x < key)
+}
+
+/// One past the last index of `key` in a sorted slice.
+fn upper_bound<K: Ord>(s: &[K], key: &K) -> usize {
+    s.partition_point(|x| x <= key)
+}
+
+/// Balanced-path search along diagonal `diag` of sorted sequences `a`, `b`.
+///
+/// Starts from the merge-path point and, when the diagonal lands inside a
+/// run of duplicated keys, redistributes the consumed duplicates into
+/// zipped rank order, starring the diagonal when a matched pair would
+/// otherwise split.
+pub fn balanced_path_search<K: Key>(cta: &mut Cta, a: &[K], b: &[K], diag: usize) -> BalancedPoint {
+    let mut ai = merge_path_search(cta, a, b, diag);
+    let bi = diag - ai;
+    let mut starred = false;
+
+    if bi < b.len() {
+        let x = b[bi];
+        // Duplicates of x consumed so far from each side. Merge path drains
+        // a's run before touching b's, so a's run (if any) is fully left of
+        // `ai` whenever b has consumed any.
+        let a_start = lower_bound(&a[..ai], &x);
+        let a_run = ai - a_start;
+        let b_start = lower_bound(&b[..bi], &x);
+        let b_consumed = bi - b_start;
+        let x_count = a_run + b_consumed;
+        if x_count > 0 {
+            // Cost: two extra run-boundary searches.
+            cta.alu(2 * usize::BITS as u64);
+            // Zipped split: b takes floor(x_count/2), but never fewer than
+            // it already consumed, and never more than its run holds.
+            let b_run_total = upper_bound(&b[b_start..], &x);
+            let b_advance = (x_count >> 1).max(x_count - a_run).min(b_run_total);
+            let a_advance = x_count - b_advance;
+            // A pair would split when a leads b by one with b duplicates
+            // still available: extend the partition to keep the pair whole.
+            starred = a_advance == b_advance + 1 && b_advance < b_run_total;
+            ai = a_start + a_advance;
+        }
+    }
+
+    BalancedPoint {
+        a: ai,
+        b: diag - ai + starred as usize,
+        starred,
+    }
+}
+
+/// Grid-level balanced partition at `nv`-element intervals. Returns
+/// `num_tiles + 1` points; the first is the origin, the last covers both
+/// inputs exactly.
+pub fn partition_balanced<K: Key>(
+    device: &Device,
+    a: &[K],
+    b: &[K],
+    nv: usize,
+) -> (Vec<BalancedPoint>, LaunchStats) {
+    assert!(nv > 1, "balanced tiles need nv > 1 (stars shift boundaries by one)");
+    let total = a.len() + b.len();
+    let num_tiles = total.div_ceil(nv).max(1);
+    let cfg = LaunchConfig::new(num_tiles + 1, 64);
+    let (points, stats) = launch_map_named(device, "balanced_partition", cfg, |cta| {
+        let diag = (cta.cta_id * nv).min(total);
+        cta.read_coalesced(2 * usize::BITS as usize, K::BYTES);
+        if diag == total {
+            // Terminal point covers everything, never starred.
+            BalancedPoint {
+                a: a.len(),
+                b: b.len(),
+                starred: false,
+            }
+        } else {
+            balanced_path_search(cta, a, b, diag)
+        }
+    });
+    debug_assert!(points
+        .windows(2)
+        .all(|w| w[0].a <= w[1].a && w[0].b <= w[1].b));
+    (points, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cta() -> Cta {
+        Cta::new(0, 1, 128, 32)
+    }
+
+    /// The worked example of Figure 1: A = [a,b,c,c,c,e], B = [c,c,c,c,d,f]
+    /// encoded as integers, partitioned for four threads (nv = 3).
+    #[test]
+    fn figure_1b_example() {
+        let a = [0u32, 1, 2, 2, 2, 4];
+        let b = [2u32, 2, 2, 2, 3, 5];
+        let mut c = cta();
+
+        // t0/t1 boundary (diag 3) is the starred diagonal of the figure:
+        // thread t0 takes a,b,c0 from A plus the matched c0 from B.
+        let p1 = balanced_path_search(&mut c, &a, &b, 3);
+        assert_eq!(p1, BalancedPoint { a: 3, b: 1, starred: true });
+
+        // t1/t2 boundary (diag 6): c1-pair complete, unstarred.
+        let p2 = balanced_path_search(&mut c, &a, &b, 6);
+        assert_eq!(p2, BalancedPoint { a: 4, b: 2, starred: false });
+
+        // t2/t3 boundary (diag 9): lands outside any shared run.
+        let p3 = balanced_path_search(&mut c, &a, &b, 9);
+        assert_eq!(p3, BalancedPoint { a: 5, b: 4, starred: false });
+    }
+
+    #[test]
+    fn no_duplicates_reduces_to_merge_path() {
+        let a = [1u32, 3, 5, 7];
+        let b = [2u32, 4, 6, 8];
+        let mut c = cta();
+        for diag in 0..=8 {
+            let p = balanced_path_search(&mut c, &a, &b, diag);
+            assert!(!p.starred, "diag {diag} should not star");
+            assert_eq!(p.a + p.b, diag);
+            let mp = merge_path_search(&mut c, &a, &b, diag);
+            assert_eq!(p.a, mp);
+        }
+    }
+
+    /// Every boundary keeps zipped pairs whole: within each run of a key,
+    /// the number of a-elements left of the boundary differs from the
+    /// number of b-elements by at most the unpaired surplus.
+    #[test]
+    fn pairs_never_split_across_boundaries() {
+        let a: Vec<u32> = vec![0, 0, 0, 1, 2, 2, 5, 5, 5, 5, 9];
+        let b: Vec<u32> = vec![0, 2, 2, 2, 5, 5, 7, 7, 9, 9];
+        let mut c = cta();
+        let total = a.len() + b.len();
+        for diag in 0..=total {
+            let p = balanced_path_search(&mut c, &a, &b, diag);
+            // For each key, pairs formed on the left must be "closed": the
+            // count from a and from b can differ only when one side's run
+            // is exhausted on the left of the boundary.
+            for key in [0u32, 1, 2, 5, 7, 9] {
+                let ca = a[..p.a].iter().filter(|&&k| k == key).count();
+                let cb = b[..p.b].iter().filter(|&&k| k == key).count();
+                let ta = a.iter().filter(|&&k| k == key).count();
+                let tb = b.iter().filter(|&&k| k == key).count();
+                let pairs_left = ca.min(cb);
+                let a_unpaired = ca - pairs_left;
+                let b_unpaired = cb - pairs_left;
+                // Unpaired left-side elements are only allowed if the other
+                // side has no partner remaining.
+                if a_unpaired > 0 {
+                    assert!(cb == tb, "diag {diag} key {key} splits an a-pair: ca={ca} cb={cb}");
+                }
+                if b_unpaired > 0 {
+                    assert!(ca == ta, "diag {diag} key {key} splits a b-pair: ca={ca} cb={cb}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn starred_point_consumes_one_extra() {
+        let a = [3u32, 3, 3];
+        let b = [3u32, 3, 3];
+        let mut c = cta();
+        let p = balanced_path_search(&mut c, &a, &b, 1);
+        // One element consumed must become a whole pair.
+        assert!(p.starred);
+        assert_eq!((p.a, p.b), (1, 1));
+    }
+
+    #[test]
+    fn grid_partition_covers_inputs_monotonically() {
+        let dev = Device::titan();
+        let a: Vec<u64> = (0..1000).map(|i| (i / 3) as u64).collect();
+        let b: Vec<u64> = (0..800).map(|i| (i / 5) as u64).collect();
+        let (points, _) = partition_balanced(&dev, &a, &b, 128);
+        assert_eq!(points[0], BalancedPoint { a: 0, b: 0, starred: false });
+        let last = points.last().expect("non-empty");
+        assert_eq!((last.a, last.b), (a.len(), b.len()));
+        for w in points.windows(2) {
+            assert!(w[0].a <= w[1].a && w[0].b <= w[1].b);
+            let tile = (w[1].a - w[0].a) + (w[1].b - w[0].b);
+            assert!(tile <= 128 + 2, "tile too large: {tile}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nv > 1")]
+    fn tiny_tiles_rejected() {
+        let dev = Device::titan();
+        partition_balanced::<u32>(&dev, &[1], &[1], 1);
+    }
+}

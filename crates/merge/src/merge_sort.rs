@@ -1,0 +1,113 @@
+//! Device-wide merge sort built on merge-path partitioning.
+//!
+//! The comparison-based counterpart of [`crate::radix`] (the paper's
+//! background: merge sort "exploits approximate sorted-ness of the input
+//! sequence", unlike radix). Bottom-up: CTA-sized runs sort locally, then
+//! pairs of runs merge with perfectly balanced merge-path tiles until one
+//! run remains. Nearly sorted inputs finish their local sorts cheaply and
+//! the merge passes stream linearly.
+
+use mps_simt::grid::{launch_map_named, LaunchConfig, LaunchStats};
+use mps_simt::Device;
+
+use crate::merge_path::parallel_merge;
+use crate::Key;
+
+/// Sort a sequence with device-wide merge sort. Returns the sorted data
+/// and accumulated simulated cost.
+pub fn parallel_merge_sort<K: Key>(device: &Device, data: &[K], nv: usize) -> (Vec<K>, LaunchStats) {
+    assert!(nv > 0, "tile size must be positive");
+    let n = data.len();
+    let mut stats = LaunchStats::default();
+    if n <= 1 {
+        return (data.to_vec(), stats);
+    }
+
+    // Pass 1: sort each nv-element run inside its CTA. Comparison-sort
+    // cost: n log2(nv) compares/moves through shared memory.
+    let num_ctas = n.div_ceil(nv);
+    let (mut runs, local_stats) = launch_map_named(
+        device,
+        "merge_sort_block",
+        LaunchConfig::new(num_ctas, 128),
+        |cta| {
+            let lo = cta.cta_id * nv;
+            let hi = (lo + nv).min(n);
+            let count = hi - lo;
+            cta.read_coalesced(count, K::BYTES);
+            let log = (count.max(2) as f64).log2().ceil() as u64;
+            cta.alu(2 * count as u64 * log);
+            cta.shmem(2 * count as u64 * log);
+            cta.sync();
+            let mut run = data[lo..hi].to_vec();
+            run.sort_unstable();
+            cta.write_coalesced(count, K::BYTES);
+            run
+        },
+    );
+    stats.add(&local_stats);
+
+    // log2(runs) merge passes, each a balanced merge-path merge.
+    while runs.len() > 1 {
+        let mut next = Vec::with_capacity(runs.len().div_ceil(2));
+        let mut iter = runs.into_iter();
+        while let Some(a) = iter.next() {
+            match iter.next() {
+                Some(b) => {
+                    let (merged, pass_stats) = parallel_merge(device, &a, &b, nv);
+                    stats.add(&pass_stats);
+                    next.push(merged);
+                }
+                None => next.push(a),
+            }
+        }
+        runs = next;
+    }
+    (runs.pop().expect("one run remains"), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn dev() -> Device {
+        Device::titan()
+    }
+
+    #[test]
+    fn sorts_reversed_input() {
+        let data: Vec<u64> = (0..10_000).rev().collect();
+        let (sorted, _) = parallel_merge_sort(&dev(), &data, 512);
+        let expect: Vec<u64> = (0..10_000).collect();
+        assert_eq!(sorted, expect);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let (s, _) = parallel_merge_sort::<u32>(&dev(), &[], 64);
+        assert!(s.is_empty());
+        let (s, _) = parallel_merge_sort(&dev(), &[7u32], 64);
+        assert_eq!(s, vec![7]);
+    }
+
+    #[test]
+    fn duplicates_survive() {
+        let data = vec![3u32, 1, 3, 1, 3];
+        let (s, _) = parallel_merge_sort(&dev(), &data, 2);
+        assert_eq!(s, vec![1, 1, 3, 3, 3]);
+    }
+
+    proptest! {
+        #[test]
+        fn sort_matches_std(
+            data in proptest::collection::vec(0u64..1000, 0..2000),
+            nv in 1usize..700,
+        ) {
+            let (got, _) = parallel_merge_sort(&dev(), &data, nv);
+            let mut expect = data.clone();
+            expect.sort_unstable();
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

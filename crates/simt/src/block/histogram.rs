@@ -1,0 +1,89 @@
+//! Block-wide histogram and stream compaction.
+//!
+//! The remaining CUB collectives the sparse pipelines lean on implicitly:
+//! radix ranking is a histogram + scan, and duplicate-flag reduction is a
+//! compaction. Exposed as standalone primitives for kernel authors.
+
+use crate::cta::Cta;
+
+/// Histogram a tile of values into `bins` buckets (values ≥ `bins` are
+/// clamped into the last bucket). Cost: one shared-memory atomic per item
+/// plus a barrier.
+pub fn block_histogram(cta: &mut Cta, tile: &[u32], bins: usize) -> Vec<u32> {
+    assert!(bins > 0, "need at least one bin");
+    cta.shmem(tile.len() as u64 + bins as u64);
+    cta.alu(tile.len() as u64);
+    cta.sync();
+    let mut hist = vec![0u32; bins];
+    for &v in tile {
+        let b = (v as usize).min(bins - 1);
+        hist[b] += 1;
+    }
+    hist
+}
+
+/// Compact the tile's selected items, preserving order. Cost: a flag scan
+/// (2 ALU + 2 shared per item, two barriers) plus the compacted writes.
+pub fn block_compact<T: Copy>(cta: &mut Cta, tile: &[T], keep: &[bool]) -> Vec<T> {
+    assert_eq!(tile.len(), keep.len(), "flag slice must match tile");
+    cta.alu(2 * tile.len() as u64);
+    cta.shmem(2 * tile.len() as u64);
+    cta.sync();
+    cta.sync();
+    tile.iter()
+        .zip(keep)
+        .filter_map(|(&v, &k)| k.then_some(v))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cta() -> Cta {
+        Cta::new(0, 1, 128, 32)
+    }
+
+    #[test]
+    fn histogram_counts_each_bin() {
+        let mut c = cta();
+        let tile = [0u32, 1, 1, 2, 2, 2, 9];
+        let h = block_histogram(&mut c, &tile, 4);
+        assert_eq!(h, vec![1, 2, 3, 1]); // 9 clamps to the last bin
+        assert_eq!(h.iter().sum::<u32>() as usize, tile.len());
+    }
+
+    #[test]
+    fn histogram_of_empty_tile() {
+        let mut c = cta();
+        assert_eq!(block_histogram(&mut c, &[], 3), vec![0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        block_histogram(&mut cta(), &[1], 0);
+    }
+
+    #[test]
+    fn compact_preserves_order() {
+        let mut c = cta();
+        let tile = [10, 20, 30, 40, 50];
+        let keep = [true, false, true, false, true];
+        assert_eq!(block_compact(&mut c, &tile, &keep), vec![10, 30, 50]);
+    }
+
+    #[test]
+    fn compact_none_and_all() {
+        let mut c = cta();
+        let tile = [1, 2, 3];
+        assert!(block_compact(&mut c, &tile, &[false; 3]).is_empty());
+        assert_eq!(block_compact(&mut c, &tile, &[true; 3]), vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "flag slice")]
+    fn mismatched_flags_panic() {
+        block_compact(&mut cta(), &[1, 2], &[true]);
+    }
+}

@@ -1,0 +1,114 @@
+//! CTA-wide merge of two sorted tiles via merge-path partitioning.
+//!
+//! Each thread binary-searches its pair of diagonals, then serially merges
+//! its equal-sized slice of the output — property (1) and (2) of merge path:
+//! equal work per thread, no inter-thread communication beyond the
+//! partition search.
+
+use crate::cta::Cta;
+
+use super::search::merge_path_search_by;
+
+/// Merge sorted `a` and `b` into one sorted vector, distributing the work
+/// over `threads` virtual threads. `a_wins(x, y)` is the "consume from `a`"
+/// predicate (stable merge: `x <= y`).
+pub fn block_merge_by<T, F>(cta: &mut Cta, a: &[T], b: &[T], threads: usize, a_wins: F) -> Vec<T>
+where
+    T: Copy,
+    F: Fn(&T, &T) -> bool,
+{
+    let total = a.len() + b.len();
+    let threads = threads.max(1);
+    let per_thread = total.div_ceil(threads);
+    let mut out = Vec::with_capacity(total);
+
+    // One diagonal search per thread, then a serial merge of its range.
+    for t in 0..threads {
+        let d0 = (t * per_thread).min(total);
+        let d1 = ((t + 1) * per_thread).min(total);
+        if d0 == d1 {
+            continue;
+        }
+        let mut i = merge_path_search_by(cta, a, b, d0, &a_wins);
+        let mut j = d0 - i;
+        cta.alu(2 * (d1 - d0) as u64); // one compare + one move per output
+        for _ in d0..d1 {
+            let take_a = if i >= a.len() {
+                false
+            } else if j >= b.len() {
+                true
+            } else {
+                a_wins(&a[i], &b[j])
+            };
+            if take_a {
+                out.push(a[i]);
+                i += 1;
+            } else {
+                out.push(b[j]);
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cta() -> Cta {
+        Cta::new(0, 1, 128, 32)
+    }
+
+    fn le(a: &u32, b: &u32) -> bool {
+        a <= b
+    }
+
+    #[test]
+    fn merges_disjoint_ranges() {
+        let mut c = cta();
+        let out = block_merge_by(&mut c, &[1, 2, 3], &[4, 5, 6], 4, le);
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn merges_interleaved_with_many_threads() {
+        let mut c = cta();
+        let a: Vec<u32> = (0..100).map(|i| i * 2).collect();
+        let b: Vec<u32> = (0..100).map(|i| i * 2 + 1).collect();
+        let out = block_merge_by(&mut c, &a, &b, 32, le);
+        let expected: Vec<u32> = (0..200).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn stable_on_duplicates_a_first() {
+        let mut c = cta();
+        // Tag elements by side in the upper bits; compare only low bits.
+        let a = [0x10u32, 0x17, 0x17];
+        let b = [0x27u32, 0x29];
+        let out = block_merge_by(&mut c, &a, &b, 3, |x, y| (x & 0xf) <= (y & 0xf));
+        assert_eq!(out, vec![0x10, 0x17, 0x17, 0x27, 0x29]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let mut c = cta();
+        let empty: [u32; 0] = [];
+        assert_eq!(block_merge_by(&mut c, &empty, &empty, 8, le), Vec::<u32>::new());
+        assert_eq!(block_merge_by(&mut c, &[1, 2], &empty, 8, le), vec![1, 2]);
+        assert_eq!(block_merge_by(&mut c, &empty, &[1, 2], 8, le), vec![1, 2]);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_result() {
+        let mut c = cta();
+        let a: Vec<u32> = vec![1, 1, 2, 5, 9, 9, 9];
+        let b: Vec<u32> = vec![0, 1, 3, 9, 12];
+        let t1 = block_merge_by(&mut c, &a, &b, 1, le);
+        let t7 = block_merge_by(&mut c, &a, &b, 7, le);
+        let t128 = block_merge_by(&mut c, &a, &b, 128, le);
+        assert_eq!(t1, t7);
+        assert_eq!(t1, t128);
+    }
+}

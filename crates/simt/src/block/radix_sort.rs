@@ -1,0 +1,188 @@
+//! Block-wide LSD radix sort (CUB-style).
+//!
+//! Sorts a CTA tile of `u32` keys (optionally carrying a `u32` value) over a
+//! caller-chosen bit range. The digit width is [`RADIX_BITS`] bits per pass,
+//! so narrowing the sorted bit range reduces the number of ranking passes —
+//! the optimization Figure 4 of the paper quantifies (`1P(28-bits)` …
+//! `1P(12-bits)`), enabled by sorting only `ceil(log2(n_cols))` bits and
+//! embedding permutation indices in the unused upper key bits.
+//!
+//! Cost per digit pass per item: ranking through shared memory (8 shared
+//! ops, 16 ALU) plus 3 barriers per pass; moving a value payload adds 2
+//! shared + 2 ALU per item per pass.
+
+use crate::cta::Cta;
+
+/// Digit width of one ranking pass.
+pub const RADIX_BITS: u32 = 4;
+
+/// Ranking passes needed to sort `bits` key bits.
+pub fn passes_for_bits(bits: u32) -> u32 {
+    bits.div_ceil(RADIX_BITS)
+}
+
+/// Cost facts reported by a block sort invocation (consumed by the Fig. 4
+/// microbenchmark).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSortCost {
+    pub digit_passes: u32,
+    pub items: usize,
+}
+
+const SHMEM_PER_ITEM_PASS: u64 = 8;
+const ALU_PER_ITEM_PASS: u64 = 16;
+const VALUE_SHMEM_PER_ITEM_PASS: u64 = 2;
+const VALUE_ALU_PER_ITEM_PASS: u64 = 2;
+const SYNCS_PER_PASS: u64 = 3;
+
+fn charge_passes(cta: &mut Cta, items: usize, passes: u32, with_values: bool) {
+    let n = items as u64;
+    let p = passes as u64;
+    let mut shmem = SHMEM_PER_ITEM_PASS;
+    let mut alu = ALU_PER_ITEM_PASS;
+    if with_values {
+        shmem += VALUE_SHMEM_PER_ITEM_PASS;
+        alu += VALUE_ALU_PER_ITEM_PASS;
+    }
+    cta.shmem(shmem * n * p);
+    cta.alu(alu * n * p);
+    for _ in 0..p * SYNCS_PER_PASS {
+        cta.sync();
+    }
+}
+
+fn masked(key: u32, begin_bit: u32, end_bit: u32) -> u32 {
+    debug_assert!(begin_bit <= end_bit && end_bit <= 32);
+    if end_bit == begin_bit {
+        return 0;
+    }
+    let width = end_bit - begin_bit;
+    let mask = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+    (key >> begin_bit) & mask
+}
+
+/// Stable keys-only sort of the bit range `[begin_bit, end_bit)`.
+pub fn block_radix_sort_keys(
+    cta: &mut Cta,
+    keys: &mut [u32],
+    begin_bit: u32,
+    end_bit: u32,
+) -> BlockSortCost {
+    let passes = passes_for_bits(end_bit - begin_bit);
+    charge_passes(cta, keys.len(), passes, false);
+    keys.sort_by_key(|&k| masked(k, begin_bit, end_bit));
+    BlockSortCost {
+        digit_passes: passes,
+        items: keys.len(),
+    }
+}
+
+/// Stable key-value pair sort of the bit range `[begin_bit, end_bit)`.
+pub fn block_radix_sort_pairs(
+    cta: &mut Cta,
+    keys: &mut [u32],
+    values: &mut [u32],
+    begin_bit: u32,
+    end_bit: u32,
+) -> BlockSortCost {
+    assert_eq!(keys.len(), values.len(), "pair sort needs equal-length tiles");
+    let passes = passes_for_bits(end_bit - begin_bit);
+    charge_passes(cta, keys.len(), passes, true);
+    let mut zipped: Vec<(u32, u32)> = keys.iter().copied().zip(values.iter().copied()).collect();
+    zipped.sort_by_key(|&(k, _)| masked(k, begin_bit, end_bit));
+    for (i, (k, v)) in zipped.into_iter().enumerate() {
+        keys[i] = k;
+        values[i] = v;
+    }
+    BlockSortCost {
+        digit_passes: passes,
+        items: keys.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cta() -> Cta {
+        Cta::new(0, 1, 128, 32)
+    }
+
+    #[test]
+    fn passes_round_up() {
+        assert_eq!(passes_for_bits(0), 0);
+        assert_eq!(passes_for_bits(1), 1);
+        assert_eq!(passes_for_bits(4), 1);
+        assert_eq!(passes_for_bits(5), 2);
+        assert_eq!(passes_for_bits(32), 8);
+    }
+
+    #[test]
+    fn keys_sort_full_range() {
+        let mut c = cta();
+        let mut keys = vec![5u32, 1, 4, 1, 3];
+        block_radix_sort_keys(&mut c, &mut keys, 0, 32);
+        assert_eq!(keys, vec![1, 1, 3, 4, 5]);
+    }
+
+    #[test]
+    fn partial_bit_range_sort_is_stable_on_upper_bits() {
+        let mut c = cta();
+        // Low byte is the sort key; high byte is a payload tag that must
+        // keep insertion order within equal low bytes (stability).
+        let mut keys = vec![0x0102u32, 0x0201, 0x0301, 0x0402];
+        block_radix_sort_keys(&mut c, &mut keys, 0, 8);
+        assert_eq!(keys, vec![0x0201, 0x0301, 0x0102, 0x0402]);
+    }
+
+    #[test]
+    fn pair_sort_carries_values() {
+        let mut c = cta();
+        let mut keys = vec![3u32, 1, 2];
+        let mut vals = vec![30u32, 10, 20];
+        block_radix_sort_pairs(&mut c, &mut keys, &mut vals, 0, 32);
+        assert_eq!(keys, vec![1, 2, 3]);
+        assert_eq!(vals, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn narrower_bits_cost_fewer_cycles() {
+        let model = crate::cost::CostModel::default();
+        let mut wide = cta();
+        let mut keys: Vec<u32> = (0..1408).rev().collect();
+        block_radix_sort_keys(&mut wide, &mut keys.clone(), 0, 28);
+        let mut narrow = cta();
+        block_radix_sort_keys(&mut narrow, &mut keys, 0, 12);
+        let cw = model.cta_cycles(wide.counters());
+        let cn = model.cta_cycles(narrow.counters());
+        assert!(cn < cw, "12-bit sort {cn} should beat 28-bit {cw}");
+    }
+
+    #[test]
+    fn pair_sort_costs_more_than_keys_only() {
+        let model = crate::cost::CostModel::default();
+        let keys: Vec<u32> = (0..1408).rev().collect();
+        let mut a = cta();
+        block_radix_sort_keys(&mut a, &mut keys.clone(), 0, 32);
+        let mut b = cta();
+        let mut vals = vec![0u32; 1408];
+        block_radix_sort_pairs(&mut b, &mut keys.clone(), &mut vals, 0, 32);
+        assert!(model.cta_cycles(b.counters()) > model.cta_cycles(a.counters()));
+    }
+
+    #[test]
+    fn zero_width_range_leaves_tile_untouched() {
+        let mut c = cta();
+        let mut keys = vec![9u32, 3, 7];
+        block_radix_sort_keys(&mut c, &mut keys, 8, 8);
+        assert_eq!(keys, vec![9, 3, 7]);
+        assert_eq!(c.counters().syncs, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn pair_sort_length_mismatch_panics() {
+        let mut c = cta();
+        block_radix_sort_pairs(&mut c, &mut [1u32, 2], &mut [1u32], 0, 32);
+    }
+}

@@ -1,0 +1,35 @@
+//! Block-wide reduction.
+
+use crate::cta::Cta;
+
+use super::scan::Semigroup;
+
+/// Reduce a CTA tile to a single aggregate. Cost: one combine per item plus
+/// a shared round trip for warp aggregates and one barrier.
+pub fn block_reduce<T: Semigroup>(cta: &mut Cta, tile: &[T]) -> T {
+    cta.alu(tile.len() as u64);
+    cta.shmem((tile.len() / cta.warp_size.max(1)) as u64 * 2);
+    cta.sync();
+    tile.iter().fold(T::identity(), |acc, &v| acc.combine(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_sums_tile() {
+        let mut c = Cta::new(0, 1, 128, 32);
+        let tile: Vec<u64> = (0..100).collect();
+        assert_eq!(block_reduce(&mut c, &tile), 4950);
+        assert_eq!(c.counters().alu_ops, 100);
+        assert_eq!(c.counters().syncs, 1);
+    }
+
+    #[test]
+    fn reduce_empty_tile_is_identity() {
+        let mut c = Cta::new(0, 1, 128, 32);
+        let tile: Vec<f64> = vec![];
+        assert_eq!(block_reduce(&mut c, &tile), 0.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Block-wide prefix scans.
+//!
+//! Cost model: the canonical warp-scan + shared-memory-of-warp-aggregates
+//! construction — every item participates in `log2(warp)` shuffle steps,
+//! plus one shared-memory round trip for the warp aggregates and two
+//! barriers. Charged as `2n` ALU + `2n` shared ops + 2 syncs for an
+//! `n`-item tile.
+
+use crate::cta::Cta;
+
+/// Values a scan/reduce can combine. Addition-like: associative with an
+/// identity. Implemented for the arithmetic types the kernels use.
+pub trait Semigroup: Copy {
+    fn identity() -> Self;
+    fn combine(self, other: Self) -> Self;
+}
+
+macro_rules! impl_sum_semigroup {
+    ($($t:ty),*) => {$(
+        impl Semigroup for $t {
+            #[inline]
+            fn identity() -> Self { 0 as $t }
+            #[inline]
+            fn combine(self, other: Self) -> Self { self + other }
+        }
+    )*};
+}
+
+impl_sum_semigroup!(f64, f32, u32, u64, usize, i64);
+
+fn charge_scan(cta: &mut Cta, n: usize) {
+    cta.alu(2 * n as u64);
+    cta.shmem(2 * n as u64);
+    cta.sync();
+    cta.sync();
+}
+
+/// In-place inclusive scan of a CTA tile. Returns the tile aggregate.
+pub fn block_inclusive_scan<T: Semigroup>(cta: &mut Cta, tile: &mut [T]) -> T {
+    charge_scan(cta, tile.len());
+    let mut acc = T::identity();
+    for v in tile.iter_mut() {
+        acc = acc.combine(*v);
+        *v = acc;
+    }
+    acc
+}
+
+/// In-place exclusive scan of a CTA tile. Returns the tile aggregate.
+pub fn block_exclusive_scan<T: Semigroup>(cta: &mut Cta, tile: &mut [T]) -> T {
+    charge_scan(cta, tile.len());
+    let mut acc = T::identity();
+    for v in tile.iter_mut() {
+        let next = acc.combine(*v);
+        *v = acc;
+        acc = next;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cta() -> Cta {
+        Cta::new(0, 1, 128, 32)
+    }
+
+    #[test]
+    fn inclusive_scan_and_aggregate() {
+        let mut c = cta();
+        let mut tile = vec![1u64, 2, 3, 4];
+        let agg = block_inclusive_scan(&mut c, &mut tile);
+        assert_eq!(tile, vec![1, 3, 6, 10]);
+        assert_eq!(agg, 10);
+    }
+
+    #[test]
+    fn exclusive_scan_shifts_by_identity() {
+        let mut c = cta();
+        let mut tile = vec![1u64, 2, 3, 4];
+        let agg = block_exclusive_scan(&mut c, &mut tile);
+        assert_eq!(tile, vec![0, 1, 3, 6]);
+        assert_eq!(agg, 10);
+    }
+
+    #[test]
+    fn scan_charges_two_barriers() {
+        let mut c = cta();
+        let mut tile = vec![0.0f64; 256];
+        block_inclusive_scan(&mut c, &mut tile);
+        assert_eq!(c.counters().syncs, 2);
+        assert_eq!(c.counters().alu_ops, 512);
+    }
+
+    #[test]
+    fn empty_tile_scan_is_identity() {
+        let mut c = cta();
+        let mut tile: Vec<f64> = vec![];
+        assert_eq!(block_inclusive_scan(&mut c, &mut tile), 0.0);
+    }
+
+    #[test]
+    fn float_scan_accumulates() {
+        let mut c = cta();
+        let mut tile = vec![0.5f64; 8];
+        let agg = block_inclusive_scan(&mut c, &mut tile);
+        assert!((agg - 4.0).abs() < 1e-12);
+        assert!((tile[3] - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,219 @@
+//! Per-CTA execution context.
+//!
+//! A [`Cta`] is handed to the kernel body for every block in the grid. It
+//! identifies the block, exposes the device's geometry, and provides the
+//! *memory accounting* interface: kernels call `read_*`/`write_*`/`gather`
+//! to declare their global-memory traffic, and `alu`/`shmem`/`sync` for
+//! on-chip work. Semantically the kernel body is ordinary Rust operating on
+//! host slices — the Cta only records what the access pattern would have
+//! cost on the virtual device.
+
+use crate::cost::{coalesced_transactions, Counters, TX_BYTES};
+
+/// Execution context for a single cooperative thread array.
+#[derive(Debug)]
+pub struct Cta {
+    /// Block index within the grid.
+    pub cta_id: usize,
+    /// Number of blocks in the grid.
+    pub grid_dim: usize,
+    /// Threads per block.
+    pub threads: usize,
+    /// Warp width of the device.
+    pub warp_size: usize,
+    counters: Counters,
+}
+
+impl Cta {
+    pub fn new(cta_id: usize, grid_dim: usize, threads: usize, warp_size: usize) -> Self {
+        Cta {
+            cta_id,
+            grid_dim,
+            threads,
+            warp_size,
+            counters: Counters::default(),
+        }
+    }
+
+    /// Counters accumulated so far.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Take the accumulated counters (used by the launcher).
+    pub(crate) fn into_counters(self) -> Counters {
+        self.counters
+    }
+
+    // ---- on-chip cost charging -------------------------------------------------
+
+    /// Charge `n` arithmetic thread-operations.
+    #[inline]
+    pub fn alu(&mut self, n: u64) {
+        self.counters.alu_ops += n;
+    }
+
+    /// Charge `n` shared-memory accesses.
+    #[inline]
+    pub fn shmem(&mut self, n: u64) {
+        self.counters.shmem_ops += n;
+    }
+
+    /// Charge one block-wide barrier.
+    #[inline]
+    pub fn sync(&mut self) {
+        self.counters.syncs += 1;
+    }
+
+    // ---- global memory accounting ----------------------------------------------
+
+    /// Charge a perfectly coalesced read of `count` elements of `elem_bytes`
+    /// bytes each (e.g. a strided tile load of consecutive values).
+    pub fn read_coalesced(&mut self, count: usize, elem_bytes: usize) {
+        let bytes = (count * elem_bytes) as u64;
+        self.counters.dram_read_bytes += bytes;
+        self.counters.dram_transactions += coalesced_transactions(bytes);
+    }
+
+    /// Charge a perfectly coalesced write of `count` elements.
+    pub fn write_coalesced(&mut self, count: usize, elem_bytes: usize) {
+        let bytes = (count * elem_bytes) as u64;
+        self.counters.dram_write_bytes += bytes;
+        self.counters.dram_transactions += coalesced_transactions(bytes);
+    }
+
+    /// Charge a data-dependent gather: `indices` are *element* indices into
+    /// an array of `elem_bytes`-sized elements. Transactions are counted per
+    /// warp as the number of distinct 128-byte segments the warp touches —
+    /// the standard coalescing model. Consecutive indices therefore cost the
+    /// same as `read_coalesced`; scattered indices cost up to one
+    /// transaction per lane.
+    pub fn gather<I>(&mut self, indices: I, elem_bytes: usize)
+    where
+        I: IntoIterator<Item = usize>,
+    {
+        let tx = self.access_transactions(indices, elem_bytes);
+        self.counters.dram_transactions += tx.0;
+        self.counters.dram_read_bytes += tx.1;
+    }
+
+    /// Charge a data-dependent scatter (same coalescing model as [`gather`]).
+    ///
+    /// [`gather`]: Cta::gather
+    pub fn scatter<I>(&mut self, indices: I, elem_bytes: usize)
+    where
+        I: IntoIterator<Item = usize>,
+    {
+        let tx = self.access_transactions(indices, elem_bytes);
+        self.counters.dram_transactions += tx.0;
+        self.counters.dram_write_bytes += tx.1;
+    }
+
+    /// Returns (transactions, payload bytes) for an indexed access pattern.
+    fn access_transactions<I>(&mut self, indices: I, elem_bytes: usize) -> (u64, u64)
+    where
+        I: IntoIterator<Item = usize>,
+    {
+        let per_tx = (TX_BYTES as usize / elem_bytes).max(1);
+        let mut transactions = 0u64;
+        let mut n = 0u64;
+        // Distinct segments per warp: lanes of one warp coalesce, different
+        // warps issue independently.
+        let mut warp_segments: Vec<usize> = Vec::with_capacity(self.warp_size);
+        let mut lane = 0;
+        for idx in indices {
+            n += 1;
+            warp_segments.push(idx / per_tx);
+            lane += 1;
+            if lane == self.warp_size {
+                transactions += distinct_count(&mut warp_segments);
+                warp_segments.clear();
+                lane = 0;
+            }
+        }
+        if !warp_segments.is_empty() {
+            transactions += distinct_count(&mut warp_segments);
+        }
+        (transactions, n * elem_bytes as u64)
+    }
+}
+
+/// Count distinct values in a small scratch vector (sorts in place).
+fn distinct_count(v: &mut [usize]) -> u64 {
+    v.sort_unstable();
+    let mut count = 0u64;
+    let mut prev = usize::MAX;
+    for &s in v.iter() {
+        if s != prev {
+            count += 1;
+            prev = s;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cta() -> Cta {
+        Cta::new(0, 1, 128, 32)
+    }
+
+    #[test]
+    fn coalesced_read_counts_payload_and_segments() {
+        let mut c = cta();
+        c.read_coalesced(32, 4); // 128 bytes = 1 transaction
+        assert_eq!(c.counters().dram_transactions, 1);
+        assert_eq!(c.counters().dram_read_bytes, 128);
+    }
+
+    #[test]
+    fn contiguous_gather_is_coalesced() {
+        let mut c = cta();
+        c.gather(0..32usize, 4); // one warp, one 128B segment
+        assert_eq!(c.counters().dram_transactions, 1);
+    }
+
+    #[test]
+    fn strided_gather_pays_one_transaction_per_lane() {
+        let mut c = cta();
+        // Stride of 32 elements × 4B = every lane in its own segment.
+        c.gather((0..32usize).map(|i| i * 32), 4);
+        assert_eq!(c.counters().dram_transactions, 32);
+    }
+
+    #[test]
+    fn gather_of_eight_byte_elems_halves_elems_per_segment() {
+        let mut c = cta();
+        c.gather(0..32usize, 8); // 256 bytes over one warp = 2 segments
+        assert_eq!(c.counters().dram_transactions, 2);
+        assert_eq!(c.counters().dram_read_bytes, 256);
+    }
+
+    #[test]
+    fn partial_warp_still_counted() {
+        let mut c = cta();
+        c.gather(0..5usize, 4);
+        assert_eq!(c.counters().dram_transactions, 1);
+        assert_eq!(c.counters().dram_read_bytes, 20);
+    }
+
+    #[test]
+    fn repeated_index_in_warp_coalesces_to_one_segment() {
+        let mut c = cta();
+        c.gather(std::iter::repeat_n(7usize, 32), 4);
+        assert_eq!(c.counters().dram_transactions, 1);
+    }
+
+    #[test]
+    fn on_chip_charges_accumulate() {
+        let mut c = cta();
+        c.alu(10);
+        c.shmem(20);
+        c.sync();
+        c.sync();
+        let k = c.counters();
+        assert_eq!((k.alu_ops, k.shmem_ops, k.syncs), (10, 20, 2));
+    }
+}

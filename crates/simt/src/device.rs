@@ -1,0 +1,189 @@
+//! Virtual device description.
+//!
+//! The default device is modeled on the GTX Titan used in the paper
+//! (Table I): 14 SMX units at 0.88 GHz with ~288 GB/s of DRAM bandwidth and
+//! ECC disabled. Only aggregate throughput numbers enter the cost model, so
+//! the description is deliberately small.
+
+use std::sync::Arc;
+
+use crate::cost::CostModel;
+use crate::trace::Tracer;
+
+/// Static properties of a virtual SIMT device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceProps {
+    /// Human-readable name, reported by the benchmark harness (Table I).
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub num_sms: usize,
+    /// Threads per warp; all block primitives assume this SIMD width.
+    pub warp_size: usize,
+    /// Maximum CTAs resident on one SM (occupancy bound used by the
+    /// wave scheduler).
+    pub max_ctas_per_sm: usize,
+    /// Core clock in GHz; converts cycles to simulated time.
+    pub clock_ghz: f64,
+    /// Aggregate DRAM bandwidth in GB/s.
+    pub dram_bandwidth_gbps: f64,
+    /// Shared memory per SM in bytes (bounds tile sizes).
+    pub shared_mem_per_sm: usize,
+}
+
+impl DeviceProps {
+    /// The GTX-Titan-like configuration from Table I of the paper.
+    pub fn gtx_titan() -> Self {
+        DeviceProps {
+            name: "Virtual GTX Titan (simulated)",
+            num_sms: 14,
+            warp_size: 32,
+            // Shared-memory-heavy sparse kernels rarely reach full
+            // occupancy; four resident CTAs per SMX matches Kepler-era
+            // profiles of CUB/ModernGPU tile kernels.
+            max_ctas_per_sm: 4,
+            clock_ghz: 0.88,
+            dram_bandwidth_gbps: 288.0,
+            shared_mem_per_sm: 48 * 1024,
+        }
+    }
+
+    /// Kepler GTX 680 (consumer-class, fewer SMs, less bandwidth).
+    pub fn gtx_680() -> Self {
+        DeviceProps {
+            name: "Virtual GTX 680 (simulated)",
+            num_sms: 8,
+            warp_size: 32,
+            max_ctas_per_sm: 4,
+            clock_ghz: 1.006,
+            dram_bandwidth_gbps: 192.0,
+            shared_mem_per_sm: 48 * 1024,
+        }
+    }
+
+    /// Tesla K20 (compute-class Kepler).
+    pub fn k20() -> Self {
+        DeviceProps {
+            name: "Virtual Tesla K20 (simulated)",
+            num_sms: 13,
+            warp_size: 32,
+            max_ctas_per_sm: 4,
+            clock_ghz: 0.706,
+            dram_bandwidth_gbps: 208.0,
+            shared_mem_per_sm: 48 * 1024,
+        }
+    }
+
+    /// Maxwell Titan X (the generation after the paper's testbed).
+    pub fn titan_x_maxwell() -> Self {
+        DeviceProps {
+            name: "Virtual Titan X / Maxwell (simulated)",
+            num_sms: 24,
+            warp_size: 32,
+            max_ctas_per_sm: 6,
+            clock_ghz: 1.0,
+            dram_bandwidth_gbps: 336.0,
+            shared_mem_per_sm: 96 * 1024,
+        }
+    }
+
+    /// DRAM bytes one SM can consume per core cycle, assuming bandwidth is
+    /// shared evenly. This is the constant that turns transaction counts
+    /// into memory cycles.
+    pub fn bytes_per_cycle_per_sm(&self) -> f64 {
+        self.dram_bandwidth_gbps / (self.clock_ghz * self.num_sms as f64)
+    }
+}
+
+impl Default for DeviceProps {
+    fn default() -> Self {
+        Self::gtx_titan()
+    }
+}
+
+/// A device instance: properties plus the derived cost model and an
+/// optional kernel tracer.
+#[derive(Debug, Clone, Default)]
+pub struct Device {
+    pub props: DeviceProps,
+    pub cost: CostModel,
+    /// Launch log, present when tracing is enabled.
+    pub tracer: Option<Arc<Tracer>>,
+}
+
+impl Device {
+    pub fn new(props: DeviceProps) -> Self {
+        let cost = CostModel::for_props(&props);
+        Device {
+            props,
+            cost,
+            tracer: None,
+        }
+    }
+
+    /// Enable kernel tracing: every launch appends to `self.tracer`.
+    pub fn with_tracing(mut self) -> Self {
+        self.tracer = Some(Tracer::new());
+        self
+    }
+
+    /// GTX-Titan-like virtual device (the configuration every experiment
+    /// in this repository uses unless stated otherwise).
+    pub fn titan() -> Self {
+        Self::new(DeviceProps::gtx_titan())
+    }
+
+    /// All preset devices, for sensitivity sweeps.
+    pub fn presets() -> Vec<Device> {
+        vec![
+            Self::new(DeviceProps::gtx_680()),
+            Self::new(DeviceProps::k20()),
+            Self::new(DeviceProps::gtx_titan()),
+            Self::new(DeviceProps::titan_x_maxwell()),
+        ]
+    }
+
+    /// Convert a cycle count into simulated milliseconds.
+    pub fn cycles_to_ms(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.props.clock_ghz * 1e9) * 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn titan_props_match_table_one() {
+        let d = DeviceProps::gtx_titan();
+        assert_eq!(d.num_sms, 14);
+        assert_eq!(d.warp_size, 32);
+        assert!((d.clock_ghz - 0.88).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bytes_per_cycle_is_bandwidth_split_across_sms() {
+        let d = DeviceProps::gtx_titan();
+        let b = d.bytes_per_cycle_per_sm();
+        // 288 / (0.88 * 14) ≈ 23.38 bytes per cycle per SM.
+        assert!(b > 20.0 && b < 28.0, "unexpected {b}");
+    }
+
+    #[test]
+    fn presets_are_distinct_and_ordered_by_bandwidth() {
+        let presets = Device::presets();
+        assert_eq!(presets.len(), 4);
+        let bw: Vec<f64> = presets.iter().map(|d| d.props.dram_bandwidth_gbps).collect();
+        assert!(bw.windows(2).all(|w| w[0] < w[1]), "{bw:?}");
+        let names: std::collections::HashSet<&str> =
+            presets.iter().map(|d| d.props.name).collect();
+        assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    fn cycles_to_ms_round_trip() {
+        let dev = Device::titan();
+        // 0.88e9 cycles is exactly one second = 1000 ms.
+        let ms = dev.cycles_to_ms(880_000_000);
+        assert!((ms - 1000.0).abs() < 1e-9);
+    }
+}

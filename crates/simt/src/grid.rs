@@ -1,0 +1,182 @@
+//! Grid launch: run a kernel body over every CTA and aggregate cost.
+//!
+//! The launcher is deliberately functional: the kernel body receives a
+//! [`Cta`] and returns that block's output value (usually a small struct or
+//! a `Vec` covering the block's disjoint output range). The host reassembles
+//! the per-CTA outputs in block order, which keeps execution deterministic
+//! and data-race free while still letting rayon run blocks concurrently.
+
+use rayon::prelude::*;
+
+use crate::cost::Counters;
+use crate::cta::Cta;
+use crate::device::Device;
+use crate::sched::makespan;
+use crate::trace::KernelRecord;
+
+/// Grid geometry for one kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Number of CTAs.
+    pub grid_dim: usize,
+    /// Threads per CTA.
+    pub block_dim: usize,
+}
+
+impl LaunchConfig {
+    pub fn new(grid_dim: usize, block_dim: usize) -> Self {
+        LaunchConfig { grid_dim, block_dim }
+    }
+
+    /// Grid sized to cover `work` items at `per_cta` items per block.
+    pub fn cover(work: usize, per_cta: usize, block_dim: usize) -> Self {
+        LaunchConfig {
+            grid_dim: work.div_ceil(per_cta).max(1),
+            block_dim,
+        }
+    }
+}
+
+/// Aggregated result of a kernel launch.
+#[derive(Debug, Clone, Default)]
+pub struct LaunchStats {
+    /// Cycle estimate of each CTA, in block order.
+    pub per_cta_cycles: Vec<u64>,
+    /// Counters summed over all CTAs.
+    pub totals: Counters,
+    /// Simulated kernel time under the wave scheduler, in milliseconds.
+    pub sim_ms: f64,
+}
+
+impl LaunchStats {
+    /// Combine stats of consecutive kernel launches (times add; counters
+    /// accumulate; per-CTA vectors concatenate).
+    pub fn add(&mut self, other: &LaunchStats) {
+        self.per_cta_cycles.extend_from_slice(&other.per_cta_cycles);
+        self.totals.add(&other.totals);
+        self.sim_ms += other.sim_ms;
+    }
+}
+
+/// Launch `grid_dim` CTAs, collecting each block's output into a `Vec` in
+/// block order, together with the launch's simulated cost.
+pub fn launch_map<T, F>(device: &Device, cfg: LaunchConfig, body: F) -> (Vec<T>, LaunchStats)
+where
+    T: Send,
+    F: Fn(&mut Cta) -> T + Sync,
+{
+    launch_map_named(device, "unnamed", cfg, body)
+}
+
+/// [`launch_map`] with a kernel name recorded by the device tracer.
+pub fn launch_map_named<T, F>(
+    device: &Device,
+    name: &'static str,
+    cfg: LaunchConfig,
+    body: F,
+) -> (Vec<T>, LaunchStats)
+where
+    T: Send,
+    F: Fn(&mut Cta) -> T + Sync,
+{
+    let warp = device.props.warp_size;
+    let results: Vec<(T, Counters)> = (0..cfg.grid_dim)
+        .into_par_iter()
+        .map(|cta_id| {
+            let mut cta = Cta::new(cta_id, cfg.grid_dim, cfg.block_dim, warp);
+            let out = body(&mut cta);
+            (out, cta.into_counters())
+        })
+        .collect();
+
+    let mut outputs = Vec::with_capacity(results.len());
+    let mut per_cta_cycles = Vec::with_capacity(results.len());
+    let mut totals = Counters::default();
+    for (out, counters) in results {
+        per_cta_cycles.push(device.cost.cta_cycles(&counters));
+        totals.add(&counters);
+        outputs.push(out);
+    }
+    let cycles = makespan(&device.props, &per_cta_cycles);
+    let stats = LaunchStats {
+        per_cta_cycles,
+        totals,
+        sim_ms: device.cycles_to_ms(cycles),
+    };
+    if let Some(tracer) = &device.tracer {
+        tracer.record(KernelRecord {
+            name,
+            grid_dim: cfg.grid_dim,
+            block_dim: cfg.block_dim,
+            makespan_cycles: cycles,
+            sim_ms: stats.sim_ms,
+            dram_bytes: stats.totals.dram_bytes(),
+        });
+    }
+    (outputs, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cover_rounds_grid_up_and_never_zero() {
+        assert_eq!(LaunchConfig::cover(1000, 256, 128).grid_dim, 4);
+        assert_eq!(LaunchConfig::cover(1024, 256, 128).grid_dim, 4);
+        assert_eq!(LaunchConfig::cover(0, 256, 128).grid_dim, 1);
+    }
+
+    #[test]
+    fn launch_outputs_are_in_block_order() {
+        let dev = Device::titan();
+        let (out, _) = launch_map(&dev, LaunchConfig::new(64, 128), |cta| cta.cta_id * 2);
+        assert_eq!(out, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn launch_accumulates_counters_across_ctas() {
+        let dev = Device::titan();
+        let (_, stats) = launch_map(&dev, LaunchConfig::new(10, 128), |cta| {
+            cta.alu(100);
+            cta.read_coalesced(32, 4);
+        });
+        assert_eq!(stats.totals.alu_ops, 1000);
+        assert_eq!(stats.totals.dram_transactions, 10);
+        assert_eq!(stats.per_cta_cycles.len(), 10);
+        assert!(stats.sim_ms > 0.0);
+    }
+
+    #[test]
+    fn stats_add_concatenates_and_sums() {
+        let dev = Device::titan();
+        let (_, mut a) = launch_map(&dev, LaunchConfig::new(2, 32), |cta| cta.alu(1));
+        let (_, b) = launch_map(&dev, LaunchConfig::new(3, 32), |cta| cta.alu(1));
+        let total_ms = a.sim_ms + b.sim_ms;
+        a.add(&b);
+        assert_eq!(a.per_cta_cycles.len(), 5);
+        assert!((a.sim_ms - total_ms).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalanced_grid_simulates_slower_than_balanced_grid() {
+        let dev = Device::titan();
+        let slots = dev.props.num_sms * dev.props.max_ctas_per_sm;
+        let ctas = slots * 4;
+        // Balanced: every CTA does the same work.
+        let (_, bal) = launch_map(&dev, LaunchConfig::new(ctas, 128), |cta| cta.alu(32_000));
+        // Imbalanced: same total work concentrated in one CTA.
+        let total = 32_000u64 * ctas as u64;
+        let (_, imb) = launch_map(&dev, LaunchConfig::new(ctas, 128), move |cta| {
+            if cta.cta_id == 0 {
+                cta.alu(total);
+            }
+        });
+        assert!(
+            imb.sim_ms > bal.sim_ms * 2.0,
+            "imbalance should dominate: {} vs {}",
+            imb.sim_ms,
+            bal.sim_ms
+        );
+    }
+}

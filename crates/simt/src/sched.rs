@@ -1,0 +1,84 @@
+//! Wave scheduler: maps per-CTA cycle counts to a kernel makespan.
+//!
+//! Hardware dispatches CTAs greedily to SMs as resident slots free up. We
+//! model each SM as `max_ctas_per_sm` independent slots and assign CTAs in
+//! issue order to the earliest-finishing slot. The kernel's simulated cycle
+//! count is the latest slot finish time — so a single long-running CTA (one
+//! monstrous row in a row-wise decomposition) stretches the whole kernel,
+//! which is precisely the imbalance pathology the paper's flat
+//! decompositions eliminate.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::device::DeviceProps;
+
+/// Greedy list-scheduling makespan of `per_cta_cycles` on the device.
+///
+/// Returns total kernel cycles. An empty grid costs nothing.
+pub fn makespan(props: &DeviceProps, per_cta_cycles: &[u64]) -> u64 {
+    let slots = (props.num_sms * props.max_ctas_per_sm).max(1);
+    if per_cta_cycles.is_empty() {
+        return 0;
+    }
+    let mut heap: BinaryHeap<Reverse<u64>> = (0..slots).map(|_| Reverse(0u64)).collect();
+    for &cycles in per_cta_cycles {
+        let Reverse(free_at) = heap.pop().expect("heap has `slots` entries");
+        heap.push(Reverse(free_at + cycles));
+    }
+    heap.into_iter().map(|Reverse(t)| t).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_device(slots: usize) -> DeviceProps {
+        DeviceProps {
+            num_sms: slots,
+            max_ctas_per_sm: 1,
+            ..DeviceProps::gtx_titan()
+        }
+    }
+
+    #[test]
+    fn empty_grid_is_free() {
+        assert_eq!(makespan(&small_device(4), &[]), 0);
+    }
+
+    #[test]
+    fn single_cta_costs_its_own_cycles() {
+        assert_eq!(makespan(&small_device(4), &[123]), 123);
+    }
+
+    #[test]
+    fn balanced_ctas_divide_evenly_across_slots() {
+        // 8 CTAs of 10 cycles on 4 slots → 2 waves → 20 cycles.
+        let cycles = vec![10u64; 8];
+        assert_eq!(makespan(&small_device(4), &cycles), 20);
+    }
+
+    #[test]
+    fn one_giant_cta_dominates_makespan() {
+        // The imbalance pathology: total work 13 but makespan 10.
+        let cycles = vec![10, 1, 1, 1];
+        assert_eq!(makespan(&small_device(4), &cycles), 10);
+    }
+
+    #[test]
+    fn issue_order_greedy_matches_hand_schedule() {
+        // 2 slots, CTAs [4,3,2,1]: slot A gets 4, slot B gets 3, then B (free
+        // at 3) gets 2 → 5, then A (free at 4) gets 1 → 5. Makespan 5.
+        let cycles = vec![4, 3, 2, 1];
+        assert_eq!(makespan(&small_device(2), &cycles), 5);
+    }
+
+    #[test]
+    fn makespan_at_least_mean_load_and_at_most_serial() {
+        let cycles: Vec<u64> = (1..100).collect();
+        let m = makespan(&small_device(7), &cycles);
+        let total: u64 = cycles.iter().sum();
+        assert!(m >= total / 7);
+        assert!(m <= total);
+    }
+}

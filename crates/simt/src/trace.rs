@@ -1,0 +1,139 @@
+//! Kernel tracing: a per-device log of every launch.
+//!
+//! Enable with [`crate::Device::with_tracing`]; every named launch appends
+//! a [`KernelRecord`]. The report aggregates by kernel name — the
+//! `nvprof`-style breakdown used by `repro trace` to show where a composite
+//! operation's simulated time goes.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// One recorded kernel launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelRecord {
+    pub name: &'static str,
+    pub grid_dim: usize,
+    pub block_dim: usize,
+    pub makespan_cycles: u64,
+    pub sim_ms: f64,
+    pub dram_bytes: u64,
+}
+
+/// Thread-safe launch log attached to a device.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    records: Mutex<Vec<KernelRecord>>,
+}
+
+impl Tracer {
+    pub fn new() -> Arc<Self> {
+        Arc::new(Tracer::default())
+    }
+
+    pub fn record(&self, record: KernelRecord) {
+        self.records.lock().push(record);
+    }
+
+    /// Snapshot of all records in launch order.
+    pub fn records(&self) -> Vec<KernelRecord> {
+        self.records.lock().clone()
+    }
+
+    /// Drop all records.
+    pub fn clear(&self) {
+        self.records.lock().clear();
+    }
+
+    /// Total simulated milliseconds across all launches.
+    pub fn total_ms(&self) -> f64 {
+        self.records.lock().iter().map(|r| r.sim_ms).sum()
+    }
+
+    /// Aggregate by kernel name: (name, launches, total ms, total DRAM GB),
+    /// sorted by descending time.
+    pub fn by_kernel(&self) -> Vec<(&'static str, usize, f64, f64)> {
+        let records = self.records.lock();
+        let mut agg: Vec<(&'static str, usize, f64, f64)> = Vec::new();
+        for r in records.iter() {
+            match agg.iter_mut().find(|(n, ..)| *n == r.name) {
+                Some(entry) => {
+                    entry.1 += 1;
+                    entry.2 += r.sim_ms;
+                    entry.3 += r.dram_bytes as f64 / 1e9;
+                }
+                None => agg.push((r.name, 1, r.sim_ms, r.dram_bytes as f64 / 1e9)),
+            }
+        }
+        agg.sort_by(|a, b| b.2.total_cmp(&a.2));
+        agg
+    }
+
+    /// Render the aggregate table.
+    pub fn report(&self) -> String {
+        let mut out = String::from(
+            "kernel                        launches     total ms      DRAM GB\n\
+             -----------------------------------------------------------------\n",
+        );
+        for (name, launches, ms, gb) in self.by_kernel() {
+            out.push_str(&format!("{name:<28} {launches:>9} {ms:>12.4} {gb:>12.4}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    
+    use crate::grid::{launch_map_named, LaunchConfig};
+    use crate::Device;
+
+    #[test]
+    fn untraced_device_records_nothing() {
+        let dev = Device::titan();
+        assert!(dev.tracer.is_none());
+        let (_, _) = launch_map_named(&dev, "probe", LaunchConfig::new(4, 32), |cta| cta.alu(1));
+        // No tracer, nothing to check beyond not panicking.
+    }
+
+    #[test]
+    fn traced_device_logs_every_launch() {
+        let dev = Device::titan().with_tracing();
+        let tracer = dev.tracer.as_ref().expect("tracing enabled").clone();
+        launch_map_named(&dev, "alpha", LaunchConfig::new(4, 32), |cta| cta.alu(10));
+        launch_map_named(&dev, "beta", LaunchConfig::new(2, 64), |cta| {
+            cta.read_coalesced(100, 8)
+        });
+        launch_map_named(&dev, "alpha", LaunchConfig::new(8, 32), |cta| cta.alu(10));
+        let records = tracer.records();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].name, "alpha");
+        assert_eq!(records[1].grid_dim, 2);
+        assert!(records[1].dram_bytes >= 1600);
+
+        let agg = tracer.by_kernel();
+        assert_eq!(agg.len(), 2);
+        let alpha = agg.iter().find(|(n, ..)| *n == "alpha").expect("present");
+        assert_eq!(alpha.1, 2);
+        assert!(tracer.total_ms() > 0.0);
+    }
+
+    #[test]
+    fn report_lists_kernels() {
+        let dev = Device::titan().with_tracing();
+        launch_map_named(&dev, "gamma", LaunchConfig::new(1, 32), |cta| cta.alu(1));
+        let report = dev.tracer.as_ref().expect("tracing").report();
+        assert!(report.contains("gamma"));
+        assert!(report.contains("launches"));
+    }
+
+    #[test]
+    fn clear_resets_the_log() {
+        let dev = Device::titan().with_tracing();
+        launch_map_named(&dev, "delta", LaunchConfig::new(1, 32), |cta| cta.alu(1));
+        let tracer = dev.tracer.as_ref().expect("tracing");
+        assert_eq!(tracer.records().len(), 1);
+        tracer.clear();
+        assert!(tracer.records().is_empty());
+    }
+}

@@ -1,0 +1,104 @@
+//! Level-1 vector operations with device cost accounting.
+//!
+//! Streaming kernels: a dot product reads both vectors once and reduces; an
+//! axpy reads both and writes one. The grid covers the vector at 4096
+//! elements per CTA, so cost scales like the SpMV phases around them.
+
+use mps_simt::grid::{launch_map_named, LaunchConfig, LaunchStats};
+use mps_simt::Device;
+
+const NV: usize = 4096;
+
+fn streaming_launch(device: &Device, n: usize, streams_read: usize, writes: bool) -> LaunchStats {
+    let cfg = LaunchConfig::new(n.div_ceil(NV).max(1), 128);
+    let (_, stats) = launch_map_named(device, "blas1_stream", cfg, |cta| {
+        let lo = cta.cta_id * NV;
+        let hi = (lo + NV).min(n);
+        cta.read_coalesced((hi - lo) * streams_read, 8);
+        cta.alu(2 * (hi - lo) as u64);
+        if writes {
+            cta.write_coalesced(hi - lo, 8);
+        }
+    });
+    stats
+}
+
+/// Device dot product.
+pub fn dot(device: &Device, a: &[f64], b: &[f64]) -> (f64, LaunchStats) {
+    assert_eq!(a.len(), b.len(), "dot operands must match");
+    let stats = streaming_launch(device, a.len(), 2, false);
+    (a.iter().zip(b).map(|(x, y)| x * y).sum(), stats)
+}
+
+/// Device `y += alpha * x`.
+pub fn axpy(device: &Device, alpha: f64, x: &[f64], y: &mut [f64]) -> LaunchStats {
+    assert_eq!(x.len(), y.len(), "axpy operands must match");
+    let stats = streaming_launch(device, x.len(), 2, true);
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+    stats
+}
+
+/// Device `y = x + beta * y` (the CG direction update).
+pub fn xpby(device: &Device, x: &[f64], beta: f64, y: &mut [f64]) -> LaunchStats {
+    assert_eq!(x.len(), y.len(), "xpby operands must match");
+    let stats = streaming_launch(device, x.len(), 2, true);
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi = xi + beta * *yi;
+    }
+    stats
+}
+
+/// Euclidean norm.
+pub fn norm2(device: &Device, a: &[f64]) -> (f64, LaunchStats) {
+    let (d, stats) = dot(device, a, a);
+    (d.sqrt(), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> Device {
+        Device::titan()
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        let a = vec![3.0, 4.0];
+        let (n, _) = norm2(&dev(), &a);
+        assert!((n - 5.0).abs() < 1e-12);
+        let (d, _) = dot(&dev(), &a, &[1.0, 2.0]);
+        assert_eq!(d, 11.0);
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let mut y = vec![1.0, 1.0, 1.0];
+        axpy(&dev(), 2.0, &[1.0, 2.0, 3.0], &mut y);
+        assert_eq!(y, vec![3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn xpby_computes_direction_update() {
+        let mut p = vec![10.0, 20.0];
+        xpby(&dev(), &[1.0, 2.0], 0.5, &mut p);
+        assert_eq!(p, vec![6.0, 12.0]);
+    }
+
+    #[test]
+    fn costs_scale_with_length() {
+        let a = vec![1.0; 2_000_000];
+        let b = vec![1.0; 20_000];
+        let (_, big) = dot(&dev(), &a, &a);
+        let (_, small) = dot(&dev(), &b, &b);
+        assert!(big.sim_ms > small.sim_ms);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn mismatched_lengths_panic() {
+        dot(&dev(), &[1.0], &[1.0, 2.0]);
+    }
+}

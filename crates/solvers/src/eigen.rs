@@ -1,0 +1,95 @@
+//! Power iteration — the spectral-radius estimate smoothed aggregation
+//! needs to scale its prolongator smoother.
+
+use mps_core::{merge_spmv, SpmvConfig};
+use mps_simt::Device;
+use mps_sparse::CsrMatrix;
+
+use crate::blas1;
+use crate::SimClock;
+
+/// Estimate of the dominant eigenvalue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerEstimate {
+    pub eigenvalue: f64,
+    pub iterations: usize,
+    pub sim_ms: f64,
+}
+
+/// Power iteration from a deterministic start vector.
+///
+/// # Panics
+/// Panics if the matrix is not square.
+pub fn power_method(device: &Device, a: &CsrMatrix, iterations: usize) -> PowerEstimate {
+    assert_eq!(a.num_rows, a.num_cols, "power iteration needs a square matrix");
+    let cfg = SpmvConfig::default();
+    let mut clock = SimClock::default();
+    let n = a.num_rows;
+    if n == 0 {
+        return PowerEstimate {
+            eigenvalue: 0.0,
+            iterations: 0,
+            sim_ms: 0.0,
+        };
+    }
+    // Deterministic pseudo-random start avoids symmetry traps.
+    let mut v: Vec<f64> = (0..n).map(|i| 1.0 + ((i * 37 + 11) % 17) as f64 / 17.0).collect();
+    let mut lambda = 0.0;
+    let mut done = 0;
+    for _ in 0..iterations {
+        let av = merge_spmv(device, a, &v, &cfg);
+        clock.add_ms(av.sim_ms());
+        let (norm, s) = blas1::norm2(device, &av.y);
+        clock.add(&s);
+        if norm == 0.0 {
+            lambda = 0.0;
+            done += 1;
+            break;
+        }
+        lambda = norm;
+        v = av.y.into_iter().map(|x| x / norm).collect();
+        done += 1;
+    }
+    PowerEstimate {
+        eigenvalue: lambda,
+        iterations: done,
+        sim_ms: clock.ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_sparse::dense::from_dense;
+    use mps_sparse::gen;
+
+    fn dev() -> Device {
+        Device::titan()
+    }
+
+    #[test]
+    fn diagonal_matrix_dominant_eigenvalue() {
+        let a = from_dense(&[
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 5.0, 0.0],
+            vec![0.0, 0.0, 2.0],
+        ]);
+        let est = power_method(&dev(), &a, 100);
+        assert!((est.eigenvalue - 5.0).abs() < 1e-6, "{}", est.eigenvalue);
+    }
+
+    #[test]
+    fn poisson_spectral_radius_below_eight() {
+        // The 5-point Laplacian's eigenvalues lie in (0, 8).
+        let a = gen::stencil_5pt(16, 16);
+        let est = power_method(&dev(), &a, 200);
+        assert!(est.eigenvalue < 8.0 && est.eigenvalue > 6.0, "{}", est.eigenvalue);
+    }
+
+    #[test]
+    fn zero_matrix_gives_zero() {
+        let a = CsrMatrix::zeros(5, 5);
+        let est = power_method(&dev(), &a, 10);
+        assert_eq!(est.eigenvalue, 0.0);
+    }
+}

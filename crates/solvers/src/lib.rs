@@ -1,0 +1,43 @@
+//! # mps-solvers — iterative solvers on the merge-path kernels
+//!
+//! The paper motivates its kernels with the workloads that consume them:
+//! "SpMV operations are at the core of many sparse iterative solvers", and
+//! its SpGEMM lineage comes from algebraic multigrid setup. This crate is
+//! that downstream layer, built entirely on the `mps-core` kernels and the
+//! virtual device, with simulated kernel time accumulated across whole
+//! solves:
+//!
+//! * [`blas1`] — device-charged vector operations (dot, axpy, scale);
+//! * [`krylov`] — conjugate gradients and BiCGStab;
+//! * [`smoothers`] — (weighted) Jacobi relaxation;
+//! * [`eigen`] — power iteration for spectral-radius estimates;
+//! * [`amg`] — smoothed-aggregation algebraic multigrid: hierarchy setup
+//!   via SpGEMM Galerkin products, V-cycle solve;
+//! * [`pcg`](mod@pcg) — preconditioned CG (Jacobi or AMG-V-cycle preconditioners).
+
+pub mod amg;
+pub mod blas1;
+pub mod eigen;
+pub mod krylov;
+pub mod pcg;
+pub mod smoothers;
+
+pub use amg::{AmgHierarchy, AmgOptions};
+pub use krylov::{bicgstab, cg, SolveReport, SolverOptions};
+pub use pcg::{pcg, JacobiPreconditioner, Preconditioner};
+
+/// Accumulated simulated device time of a composite operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SimClock {
+    pub ms: f64,
+}
+
+impl SimClock {
+    pub fn add(&mut self, stats: &mps_simt::grid::LaunchStats) {
+        self.ms += stats.sim_ms;
+    }
+
+    pub fn add_ms(&mut self, ms: f64) {
+        self.ms += ms;
+    }
+}

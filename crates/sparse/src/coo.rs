@@ -1,0 +1,206 @@
+//! Coordinate (COO) storage: one `(row, col, value)` tuple per nonzero.
+
+use crate::csr::CsrMatrix;
+use crate::pack_key;
+
+/// A sparse matrix in coordinate format. Entries may be in any order and
+/// may contain duplicates until [`CooMatrix::canonicalize`] is called.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CooMatrix {
+    pub num_rows: usize,
+    pub num_cols: usize,
+    pub row_idx: Vec<u32>,
+    pub col_idx: Vec<u32>,
+    pub values: Vec<f64>,
+}
+
+impl CooMatrix {
+    /// Empty matrix of the given shape.
+    pub fn new(num_rows: usize, num_cols: usize) -> Self {
+        CooMatrix {
+            num_rows,
+            num_cols,
+            row_idx: Vec::new(),
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Build from a triplet list.
+    ///
+    /// # Panics
+    /// Panics if any coordinate is out of bounds.
+    pub fn from_triplets(
+        num_rows: usize,
+        num_cols: usize,
+        triplets: impl IntoIterator<Item = (u32, u32, f64)>,
+    ) -> Self {
+        let mut m = CooMatrix::new(num_rows, num_cols);
+        for (r, c, v) in triplets {
+            m.push(r, c, v);
+        }
+        m
+    }
+
+    /// Append one entry.
+    ///
+    /// # Panics
+    /// Panics if the coordinate is out of bounds.
+    pub fn push(&mut self, row: u32, col: u32, value: f64) {
+        assert!(
+            (row as usize) < self.num_rows && (col as usize) < self.num_cols,
+            "entry ({row},{col}) out of bounds for {}x{}",
+            self.num_rows,
+            self.num_cols
+        );
+        self.row_idx.push(row);
+        self.col_idx.push(col);
+        self.values.push(value);
+    }
+
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if entries are sorted by (row, col) with no duplicates.
+    pub fn is_canonical(&self) -> bool {
+        self.row_idx
+            .iter()
+            .zip(&self.col_idx)
+            .map(|(&r, &c)| pack_key(r, c))
+            .collect::<Vec<_>>()
+            .windows(2)
+            .all(|w| w[0] < w[1])
+    }
+
+    /// Sort by (row, col) and sum duplicate coordinates.
+    pub fn canonicalize(&mut self) {
+        let mut perm: Vec<usize> = (0..self.nnz()).collect();
+        perm.sort_by_key(|&i| pack_key(self.row_idx[i], self.col_idx[i]));
+        let (mut rows, mut cols, mut vals) = (
+            Vec::with_capacity(self.nnz()),
+            Vec::with_capacity(self.nnz()),
+            Vec::with_capacity(self.nnz()),
+        );
+        for &i in &perm {
+            let (r, c, v) = (self.row_idx[i], self.col_idx[i], self.values[i]);
+            if let (Some(&lr), Some(&lc)) = (rows.last(), cols.last()) {
+                if lr == r && lc == c {
+                    *vals.last_mut().expect("parallel vectors") += v;
+                    continue;
+                }
+            }
+            rows.push(r);
+            cols.push(c);
+            vals.push(v);
+        }
+        self.row_idx = rows;
+        self.col_idx = cols;
+        self.values = vals;
+    }
+
+    /// Convert to CSR (canonicalizes first if needed).
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut coo = self.clone();
+        if !coo.is_canonical() {
+            coo.canonicalize();
+        }
+        let mut row_offsets = vec![0usize; coo.num_rows + 1];
+        for &r in &coo.row_idx {
+            row_offsets[r as usize + 1] += 1;
+        }
+        for i in 0..coo.num_rows {
+            row_offsets[i + 1] += row_offsets[i];
+        }
+        CsrMatrix {
+            num_rows: coo.num_rows,
+            num_cols: coo.num_cols,
+            row_offsets,
+            col_idx: coo.col_idx,
+            values: coo.values,
+        }
+    }
+
+    /// Iterate entries as `(row, col, value)` tuples.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, f64)> + '_ {
+        self.row_idx
+            .iter()
+            .zip(&self.col_idx)
+            .zip(&self.values)
+            .map(|((&r, &c), &v)| (r, c, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The example matrix A from Section III of the paper.
+    pub fn paper_a() -> CooMatrix {
+        CooMatrix::from_triplets(
+            4,
+            4,
+            [
+                (0, 0, 10.0),
+                (1, 1, 20.0),
+                (1, 2, 30.0),
+                (1, 3, 40.0),
+                (2, 3, 50.0),
+                (3, 1, 60.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn push_and_nnz() {
+        let m = paper_a();
+        assert_eq!(m.nnz(), 6);
+        assert!(m.is_canonical());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_rejected() {
+        let mut m = CooMatrix::new(2, 2);
+        m.push(2, 0, 1.0);
+    }
+
+    #[test]
+    fn canonicalize_sorts_and_sums_duplicates() {
+        let mut m = CooMatrix::from_triplets(
+            3,
+            3,
+            [(2, 2, 1.0), (0, 0, 2.0), (2, 2, 3.0), (1, 0, 4.0), (0, 0, -2.0)],
+        );
+        assert!(!m.is_canonical());
+        m.canonicalize();
+        assert!(m.is_canonical());
+        let entries: Vec<_> = m.iter().collect();
+        assert_eq!(entries, vec![(0, 0, 0.0), (1, 0, 4.0), (2, 2, 4.0)]);
+    }
+
+    #[test]
+    fn to_csr_matches_paper_example() {
+        let csr = paper_a().to_csr();
+        assert_eq!(csr.row_offsets, vec![0, 1, 4, 5, 6]);
+        assert_eq!(csr.col_idx, vec![0, 1, 2, 3, 3, 1]);
+        assert_eq!(csr.values, vec![10.0, 20.0, 30.0, 40.0, 50.0, 60.0]);
+    }
+
+    #[test]
+    fn to_csr_handles_unsorted_input_and_empty_rows() {
+        let m = CooMatrix::from_triplets(4, 4, [(3, 0, 1.0), (0, 3, 2.0)]);
+        let csr = m.to_csr();
+        assert_eq!(csr.row_offsets, vec![0, 1, 1, 1, 2]);
+        assert_eq!(csr.col_idx, vec![3, 0]);
+    }
+
+    #[test]
+    fn empty_matrix_round_trips() {
+        let m = CooMatrix::new(5, 7);
+        let csr = m.to_csr();
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.num_cols, 7);
+        assert_eq!(csr.row_offsets.len(), 6);
+    }
+}

@@ -1,0 +1,121 @@
+//! Compressed sparse column (CSC) storage.
+//!
+//! Structurally the CSR of the transpose, kept as its own type so intent
+//! is visible in APIs (e.g. fast column slicing, `Aᵀx` products).
+
+use crate::csr::CsrMatrix;
+
+/// A sparse matrix in CSC format: `col_offsets[c]..col_offsets[c+1]` is the
+/// slice of `row_idx`/`values` holding column `c`, sorted by row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    pub num_rows: usize,
+    pub num_cols: usize,
+    pub col_offsets: Vec<usize>,
+    pub row_idx: Vec<u32>,
+    pub values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Convert from CSR.
+    pub fn from_csr(m: &CsrMatrix) -> Self {
+        let t = m.transpose();
+        CscMatrix {
+            num_rows: m.num_rows,
+            num_cols: m.num_cols,
+            col_offsets: t.row_offsets,
+            row_idx: t.col_idx,
+            values: t.values,
+        }
+    }
+
+    /// Convert to CSR.
+    pub fn to_csr(&self) -> CsrMatrix {
+        // The CSC arrays are the CSR representation of the transpose;
+        // transposing once more recovers row-major order.
+        CsrMatrix {
+            num_rows: self.num_cols,
+            num_cols: self.num_rows,
+            row_offsets: self.col_offsets.clone(),
+            col_idx: self.row_idx.clone(),
+            values: self.values.clone(),
+        }
+        .transpose()
+    }
+
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Row indices of column `c`.
+    pub fn col_rows(&self, c: usize) -> &[u32] {
+        &self.row_idx[self.col_offsets[c]..self.col_offsets[c + 1]]
+    }
+
+    /// Values of column `c`.
+    pub fn col_vals(&self, c: usize) -> &[f64] {
+        &self.values[self.col_offsets[c]..self.col_offsets[c + 1]]
+    }
+
+    /// y = Aᵀ·x computed directly from the CSC arrays (each column of A is
+    /// a row of Aᵀ).
+    pub fn transpose_spmv(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.num_rows, "x length must equal num_rows");
+        (0..self.num_cols)
+            .map(|c| {
+                self.col_rows(c)
+                    .iter()
+                    .zip(self.col_vals(c))
+                    .map(|(&r, v)| v * x[r as usize])
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::ops::spmv_ref;
+
+    #[test]
+    fn round_trip_preserves_matrix() {
+        let m = gen::random_uniform(60, 40, 5.0, 3.0, 1);
+        let csc = CscMatrix::from_csr(&m);
+        assert_eq!(csc.nnz(), m.nnz());
+        assert_eq!(csc.to_csr(), m);
+    }
+
+    #[test]
+    fn column_access_matches_transpose_rows() {
+        let m = gen::banded(30, 6.0, 2.0, 10, 2);
+        let csc = CscMatrix::from_csr(&m);
+        let t = m.transpose();
+        for c in 0..m.num_cols {
+            assert_eq!(csc.col_rows(c), t.row_cols(c));
+            assert_eq!(csc.col_vals(c), t.row_vals(c));
+        }
+    }
+
+    #[test]
+    fn transpose_spmv_matches_reference() {
+        let m = gen::random_uniform(25, 35, 4.0, 2.0, 3);
+        let x: Vec<f64> = (0..25).map(|i| 1.0 + i as f64 * 0.1).collect();
+        let csc = CscMatrix::from_csr(&m);
+        let got = csc.transpose_spmv(&x);
+        let expect = spmv_ref(&m.transpose(), &x);
+        for (a, b) in got.iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = CsrMatrix::zeros(3, 4);
+        let csc = CscMatrix::from_csr(&m);
+        assert_eq!(csc.nnz(), 0);
+        assert_eq!(csc.col_offsets.len(), 5);
+        assert_eq!(csc.to_csr(), m);
+    }
+}

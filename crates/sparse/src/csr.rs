@@ -1,0 +1,261 @@
+//! Compressed sparse row (CSR) storage.
+
+use crate::coo::CooMatrix;
+
+/// A sparse matrix in CSR format: `row_offsets[r]..row_offsets[r+1]` is the
+/// slice of `col_idx`/`values` holding row `r`, sorted by column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    pub num_rows: usize,
+    pub num_cols: usize,
+    /// Length `num_rows + 1`; `row_offsets[0] == 0`, last entry == nnz.
+    pub row_offsets: Vec<usize>,
+    pub col_idx: Vec<u32>,
+    pub values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Empty matrix of the given shape.
+    pub fn zeros(num_rows: usize, num_cols: usize) -> Self {
+        CsrMatrix {
+            num_rows,
+            num_cols,
+            row_offsets: vec![0; num_rows + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        CsrMatrix {
+            num_rows: n,
+            num_cols: n,
+            row_offsets: (0..=n).collect(),
+            col_idx: (0..n as u32).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Column indices of row `r`.
+    pub fn row_cols(&self, r: usize) -> &[u32] {
+        &self.col_idx[self.row_offsets[r]..self.row_offsets[r + 1]]
+    }
+
+    /// Values of row `r`.
+    pub fn row_vals(&self, r: usize) -> &[f64] {
+        &self.values[self.row_offsets[r]..self.row_offsets[r + 1]]
+    }
+
+    /// Number of entries in row `r`.
+    pub fn row_len(&self, r: usize) -> usize {
+        self.row_offsets[r + 1] - self.row_offsets[r]
+    }
+
+    /// Number of rows with no entries.
+    pub fn empty_rows(&self) -> usize {
+        (0..self.num_rows).filter(|&r| self.row_len(r) == 0).count()
+    }
+
+    /// Check structural invariants: monotone offsets, bounded columns, and
+    /// strictly increasing columns within each row.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.row_offsets.len() != self.num_rows + 1 {
+            return Err(format!(
+                "row_offsets length {} != num_rows+1 {}",
+                self.row_offsets.len(),
+                self.num_rows + 1
+            ));
+        }
+        if self.row_offsets[0] != 0 {
+            return Err("row_offsets[0] != 0".into());
+        }
+        if *self.row_offsets.last().expect("non-empty offsets") != self.nnz() {
+            return Err("last offset != nnz".into());
+        }
+        if self.col_idx.len() != self.values.len() {
+            return Err("col_idx/values length mismatch".into());
+        }
+        for r in 0..self.num_rows {
+            let (lo, hi) = (self.row_offsets[r], self.row_offsets[r + 1]);
+            if lo > hi {
+                return Err(format!("row {r} has decreasing offsets"));
+            }
+            let cols = &self.col_idx[lo..hi];
+            if cols.iter().any(|&c| c as usize >= self.num_cols) {
+                return Err(format!("row {r} has out-of-bounds column"));
+            }
+            if cols.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!("row {r} columns not strictly increasing"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Convert to COO (entries emerge canonical).
+    pub fn to_coo(&self) -> CooMatrix {
+        let mut row_idx = Vec::with_capacity(self.nnz());
+        for r in 0..self.num_rows {
+            row_idx.extend(std::iter::repeat_n(r as u32, self.row_len(r)));
+        }
+        CooMatrix {
+            num_rows: self.num_rows,
+            num_cols: self.num_cols,
+            row_idx,
+            col_idx: self.col_idx.clone(),
+            values: self.values.clone(),
+        }
+    }
+
+    /// Transpose (result is valid CSR of the transposed matrix; equals the
+    /// CSC representation of `self`).
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.num_cols + 1];
+        for &c in &self.col_idx {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 0..self.num_cols {
+            counts[i + 1] += counts[i];
+        }
+        let row_offsets = counts.clone();
+        let mut col_idx = vec![0u32; self.nnz()];
+        let mut values = vec![0.0; self.nnz()];
+        let mut cursor = counts;
+        for r in 0..self.num_rows {
+            for (c, v) in self.row_cols(r).iter().zip(self.row_vals(r)) {
+                let dst = cursor[*c as usize];
+                col_idx[dst] = r as u32;
+                values[dst] = *v;
+                cursor[*c as usize] += 1;
+            }
+        }
+        CsrMatrix {
+            num_rows: self.num_cols,
+            num_cols: self.num_rows,
+            row_offsets,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Structural equality plus element-wise value agreement within a
+    /// relative tolerance — the right comparison for parallel kernels whose
+    /// summation order differs from a sequential reference.
+    pub fn approx_eq(&self, other: &CsrMatrix, rel_tol: f64) -> bool {
+        self.num_rows == other.num_rows
+            && self.num_cols == other.num_cols
+            && self.row_offsets == other.row_offsets
+            && self.col_idx == other.col_idx
+            && self
+                .values
+                .iter()
+                .zip(&other.values)
+                .all(|(a, b)| (a - b).abs() <= rel_tol * (1.0 + a.abs().max(b.abs())))
+    }
+
+    /// Row offsets with empty rows compacted away, paired with the surviving
+    /// row ids. This is the "slightly slower method that compacts the CSR
+    /// row offsets" the merge SpMV switches to when empty rows are present.
+    pub fn compact_rows(&self) -> (Vec<usize>, Vec<u32>) {
+        let mut offsets = Vec::with_capacity(self.num_rows + 1);
+        let mut ids = Vec::with_capacity(self.num_rows);
+        offsets.push(0);
+        for r in 0..self.num_rows {
+            if self.row_len(r) > 0 {
+                ids.push(r as u32);
+                offsets.push(self.row_offsets[r + 1]);
+            }
+        }
+        (offsets, ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Matrix B from Section III of the paper.
+    pub fn paper_b() -> CsrMatrix {
+        CooMatrix::from_triplets(
+            4,
+            4,
+            [
+                (0, 0, 1.0),
+                (1, 1, 2.0),
+                (1, 3, 3.0),
+                (2, 0, 4.0),
+                (2, 1, 5.0),
+                (3, 1, 6.0),
+                (3, 3, 7.0),
+            ],
+        )
+        .to_csr()
+    }
+
+    #[test]
+    fn identity_validates() {
+        let i = CsrMatrix::identity(10);
+        i.validate().expect("identity is well-formed");
+        assert_eq!(i.nnz(), 10);
+        assert_eq!(i.empty_rows(), 0);
+    }
+
+    #[test]
+    fn row_access_matches_layout() {
+        let b = paper_b();
+        assert_eq!(b.row_cols(2), &[0, 1]);
+        assert_eq!(b.row_vals(2), &[4.0, 5.0]);
+        assert_eq!(b.row_len(0), 1);
+    }
+
+    #[test]
+    fn transpose_twice_is_identity_op() {
+        let b = paper_b();
+        let btt = b.transpose().transpose();
+        assert_eq!(b, btt);
+    }
+
+    #[test]
+    fn transpose_moves_entries() {
+        let b = paper_b();
+        let bt = b.transpose();
+        bt.validate().expect("transpose well-formed");
+        // B[1,3] = 3.0 must be Bᵀ[3,1].
+        let r3 = bt.row_cols(3);
+        let pos = r3.iter().position(|&c| c == 1).expect("entry present");
+        assert_eq!(bt.row_vals(3)[pos], 3.0);
+    }
+
+    #[test]
+    fn validate_catches_unsorted_columns() {
+        let mut b = paper_b();
+        b.col_idx.swap(3, 4); // breaks row 2's ordering? entries 3,4 are rows 2's (0,1)
+        assert!(b.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_out_of_bounds_column() {
+        let mut b = paper_b();
+        b.col_idx[0] = 99;
+        assert!(b.validate().is_err());
+    }
+
+    #[test]
+    fn compact_rows_drops_empties() {
+        let m = CooMatrix::from_triplets(5, 5, [(0, 0, 1.0), (3, 2, 2.0), (3, 4, 3.0)]).to_csr();
+        let (offsets, ids) = m.compact_rows();
+        assert_eq!(ids, vec![0, 3]);
+        assert_eq!(offsets, vec![0, 1, 3]);
+        assert_eq!(m.empty_rows(), 3);
+    }
+
+    #[test]
+    fn coo_round_trip() {
+        let b = paper_b();
+        assert_eq!(b.to_coo().to_csr(), b);
+    }
+}

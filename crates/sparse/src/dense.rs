@@ -1,0 +1,84 @@
+//! Dense helpers used by tests and small examples.
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+
+/// Convert a CSR matrix into a dense row-major `Vec<Vec<f64>>`.
+pub fn to_dense(m: &CsrMatrix) -> Vec<Vec<f64>> {
+    let mut out = vec![vec![0.0; m.num_cols]; m.num_rows];
+    for (r, row) in out.iter_mut().enumerate() {
+        for (c, v) in m.row_cols(r).iter().zip(m.row_vals(r)) {
+            row[*c as usize] = *v;
+        }
+    }
+    out
+}
+
+/// Build a CSR matrix from a dense row-major table, dropping exact zeros.
+pub fn from_dense(rows: &[Vec<f64>]) -> CsrMatrix {
+    let num_rows = rows.len();
+    let num_cols = rows.first().map_or(0, |r| r.len());
+    let mut coo = CooMatrix::new(num_rows, num_cols);
+    for (r, row) in rows.iter().enumerate() {
+        assert_eq!(row.len(), num_cols, "ragged dense input");
+        for (c, &v) in row.iter().enumerate() {
+            if v != 0.0 {
+                coo.push(r as u32, c as u32, v);
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// Dense matrix-matrix product of two CSR operands (test oracle).
+pub fn dense_matmul(a: &CsrMatrix, b: &CsrMatrix) -> Vec<Vec<f64>> {
+    assert_eq!(a.num_cols, b.num_rows, "inner dimensions must agree");
+    let da = to_dense(a);
+    let db = to_dense(b);
+    let mut out = vec![vec![0.0; b.num_cols]; a.num_rows];
+    for i in 0..a.num_rows {
+        for k in 0..a.num_cols {
+            let aik = da[i][k];
+            if aik == 0.0 {
+                continue;
+            }
+            for j in 0..b.num_cols {
+                out[i][j] += aik * db[k][j];
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_round_trip() {
+        let table = vec![
+            vec![1.0, 0.0, 2.0],
+            vec![0.0, 0.0, 0.0],
+            vec![0.0, 3.0, 0.0],
+        ];
+        let csr = from_dense(&table);
+        assert_eq!(csr.nnz(), 3);
+        assert_eq!(to_dense(&csr), table);
+    }
+
+    #[test]
+    fn matmul_against_hand_computation() {
+        let a = from_dense(&[vec![1.0, 2.0], vec![0.0, 3.0]]);
+        let b = from_dense(&[vec![4.0, 0.0], vec![5.0, 6.0]]);
+        let c = dense_matmul(&a, &b);
+        assert_eq!(c, vec![vec![14.0, 12.0], vec![15.0, 18.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_shape_mismatch_panics() {
+        let a = from_dense(&[vec![1.0, 2.0]]);
+        let b = from_dense(&[vec![1.0]]);
+        dense_matmul(&a, &b);
+    }
+}

@@ -1,0 +1,326 @@
+//! Specialized storage formats: ELL, DIA, and the Bell–Garland HYB.
+//!
+//! The paper positions its format-agnostic CSR kernels *against* the
+//! format-specialized SpMV tradition (its citation \[8\], Bell & Garland
+//! SC'09, whose ELL/DIA/HYB formats these are). They are implemented here
+//! so the ablation benches can quantify exactly the trade-off the paper
+//! describes: specialized formats win on matrices they fit, degrade or
+//! blow up in memory on everything else, and are unusable as inputs to
+//! SpAdd/SpGEMM without conversion back.
+
+use crate::csr::CsrMatrix;
+
+/// ELLPACK format: a dense `rows × max_row` table of column indices and
+/// values, padded with sentinel columns. Ideal when row lengths are nearly
+/// uniform; memory explodes under skew.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EllMatrix {
+    pub num_rows: usize,
+    pub num_cols: usize,
+    /// Entries per padded row.
+    pub width: usize,
+    /// Column indices in row-major `rows × width` layout; `u32::MAX` pads.
+    pub col_idx: Vec<u32>,
+    pub values: Vec<f64>,
+}
+
+/// Sentinel column index marking an ELL padding slot.
+pub const ELL_PAD: u32 = u32::MAX;
+
+impl EllMatrix {
+    /// Convert from CSR, padding every row to the longest.
+    pub fn from_csr(m: &CsrMatrix) -> Self {
+        let width = (0..m.num_rows).map(|r| m.row_len(r)).max().unwrap_or(0);
+        Self::from_csr_with_width(m, width)
+            .expect("width covers the longest row by construction")
+    }
+
+    /// Convert from CSR with an explicit width; returns `None` if any row
+    /// exceeds it (the HYB builder uses this to split).
+    pub fn from_csr_with_width(m: &CsrMatrix, width: usize) -> Option<Self> {
+        if (0..m.num_rows).any(|r| m.row_len(r) > width) {
+            return None;
+        }
+        let mut col_idx = vec![ELL_PAD; m.num_rows * width];
+        let mut values = vec![0.0; m.num_rows * width];
+        for r in 0..m.num_rows {
+            for (i, (c, v)) in m.row_cols(r).iter().zip(m.row_vals(r)).enumerate() {
+                col_idx[r * width + i] = *c;
+                values[r * width + i] = *v;
+            }
+        }
+        Some(EllMatrix {
+            num_rows: m.num_rows,
+            num_cols: m.num_cols,
+            width,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Stored slots including padding.
+    pub fn padded_len(&self) -> usize {
+        self.num_rows * self.width
+    }
+
+    /// Actual nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.iter().filter(|&&c| c != ELL_PAD).count()
+    }
+
+    /// Fraction of stored slots that are padding.
+    pub fn padding_ratio(&self) -> f64 {
+        if self.padded_len() == 0 {
+            return 0.0;
+        }
+        1.0 - self.nnz() as f64 / self.padded_len() as f64
+    }
+
+    /// Convert back to CSR.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut row_offsets = Vec::with_capacity(self.num_rows + 1);
+        row_offsets.push(0usize);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        for r in 0..self.num_rows {
+            for i in 0..self.width {
+                let c = self.col_idx[r * self.width + i];
+                if c != ELL_PAD {
+                    col_idx.push(c);
+                    values.push(self.values[r * self.width + i]);
+                }
+            }
+            row_offsets.push(col_idx.len());
+        }
+        CsrMatrix {
+            num_rows: self.num_rows,
+            num_cols: self.num_cols,
+            row_offsets,
+            col_idx,
+            values,
+        }
+    }
+}
+
+/// Diagonal (DIA) format: a band of dense diagonals. Only sensible for
+/// stencil-like matrices; returns `None` when the diagonal count explodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiaMatrix {
+    pub num_rows: usize,
+    pub num_cols: usize,
+    /// Offsets of the stored diagonals (`col - row`), ascending.
+    pub offsets: Vec<i64>,
+    /// `offsets.len() × num_rows` table in diagonal-major layout; entry
+    /// `(d, r)` holds `A[r, r + offsets[d]]`.
+    pub values: Vec<f64>,
+}
+
+impl DiaMatrix {
+    /// Convert from CSR, refusing when more than `max_diags` distinct
+    /// diagonals are populated (the format's memory would explode).
+    pub fn from_csr(m: &CsrMatrix, max_diags: usize) -> Option<Self> {
+        let mut offsets: Vec<i64> = Vec::new();
+        for r in 0..m.num_rows {
+            for &c in m.row_cols(r) {
+                let off = c as i64 - r as i64;
+                if let Err(pos) = offsets.binary_search(&off) {
+                    if offsets.len() == max_diags {
+                        return None;
+                    }
+                    offsets.insert(pos, off);
+                }
+            }
+        }
+        let mut values = vec![0.0; offsets.len() * m.num_rows];
+        for r in 0..m.num_rows {
+            for (c, v) in m.row_cols(r).iter().zip(m.row_vals(r)) {
+                let off = *c as i64 - r as i64;
+                let d = offsets.binary_search(&off).expect("collected above");
+                values[d * m.num_rows + r] = *v;
+            }
+        }
+        Some(DiaMatrix {
+            num_rows: m.num_rows,
+            num_cols: m.num_cols,
+            offsets,
+            values,
+        })
+    }
+
+    /// Convert back to CSR (drops explicit zeros introduced by the band).
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut coo = crate::coo::CooMatrix::new(self.num_rows, self.num_cols);
+        for (d, &off) in self.offsets.iter().enumerate() {
+            for r in 0..self.num_rows {
+                let c = r as i64 + off;
+                if c >= 0 && (c as usize) < self.num_cols {
+                    let v = self.values[d * self.num_rows + r];
+                    if v != 0.0 {
+                        coo.push(r as u32, c as u32, v);
+                    }
+                }
+            }
+        }
+        coo.to_csr()
+    }
+}
+
+/// Bell–Garland hybrid: an ELL part sized to a typical row plus a COO tail
+/// holding the overflow of long rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HybMatrix {
+    pub ell: EllMatrix,
+    pub coo_rows: Vec<u32>,
+    pub coo_cols: Vec<u32>,
+    pub coo_vals: Vec<f64>,
+}
+
+impl HybMatrix {
+    /// Split at `width` entries per row: the first `width` entries of each
+    /// row go to ELL, the rest to the COO tail.
+    pub fn from_csr(m: &CsrMatrix, width: usize) -> Self {
+        let mut ell_cols = vec![ELL_PAD; m.num_rows * width];
+        let mut ell_vals = vec![0.0; m.num_rows * width];
+        let mut coo_rows = Vec::new();
+        let mut coo_cols = Vec::new();
+        let mut coo_vals = Vec::new();
+        for r in 0..m.num_rows {
+            for (i, (c, v)) in m.row_cols(r).iter().zip(m.row_vals(r)).enumerate() {
+                if i < width {
+                    ell_cols[r * width + i] = *c;
+                    ell_vals[r * width + i] = *v;
+                } else {
+                    coo_rows.push(r as u32);
+                    coo_cols.push(*c);
+                    coo_vals.push(*v);
+                }
+            }
+        }
+        HybMatrix {
+            ell: EllMatrix {
+                num_rows: m.num_rows,
+                num_cols: m.num_cols,
+                width,
+                col_idx: ell_cols,
+                values: ell_vals,
+            },
+            coo_rows,
+            coo_cols,
+            coo_vals,
+        }
+    }
+
+    /// The Bell–Garland heuristic width: the largest `k` such that at
+    /// least a third of the rows have `k` or more entries.
+    pub fn heuristic_width(m: &CsrMatrix) -> usize {
+        let mut lens: Vec<usize> = (0..m.num_rows).map(|r| m.row_len(r)).collect();
+        lens.sort_unstable_by(|a, b| b.cmp(a));
+        if lens.is_empty() {
+            return 0;
+        }
+        lens[(m.num_rows / 3).min(lens.len() - 1)]
+    }
+
+    pub fn nnz(&self) -> usize {
+        self.ell.nnz() + self.coo_vals.len()
+    }
+
+    /// Convert back to CSR.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut coo = crate::coo::CooMatrix::new(self.ell.num_rows, self.ell.num_cols);
+        for r in 0..self.ell.num_rows {
+            for i in 0..self.ell.width {
+                let c = self.ell.col_idx[r * self.ell.width + i];
+                if c != ELL_PAD {
+                    coo.push(r as u32, c, self.ell.values[r * self.ell.width + i]);
+                }
+            }
+        }
+        for ((r, c), v) in self
+            .coo_rows
+            .iter()
+            .zip(&self.coo_cols)
+            .zip(&self.coo_vals)
+        {
+            coo.push(*r, *c, *v);
+        }
+        coo.to_csr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn ell_round_trip_uniform_matrix() {
+        let m = gen::fixed_per_row(50, 80, 7, 1);
+        let ell = EllMatrix::from_csr(&m);
+        assert_eq!(ell.width, 7);
+        assert_eq!(ell.nnz(), m.nnz());
+        assert_eq!(ell.padding_ratio(), 0.0);
+        assert_eq!(ell.to_csr(), m);
+    }
+
+    #[test]
+    fn ell_padding_explodes_under_skew() {
+        let m = gen::power_law(200, 200, 1, 1.4, 150, 2);
+        let ell = EllMatrix::from_csr(&m);
+        assert!(ell.padding_ratio() > 0.5, "ratio {}", ell.padding_ratio());
+        assert_eq!(ell.to_csr(), m);
+    }
+
+    #[test]
+    fn ell_fixed_width_rejects_long_rows() {
+        let m = gen::power_law(100, 100, 1, 1.4, 80, 3);
+        assert!(EllMatrix::from_csr_with_width(&m, 1).is_none());
+    }
+
+    #[test]
+    fn dia_round_trip_stencil() {
+        let m = gen::stencil_5pt(12, 12);
+        let dia = DiaMatrix::from_csr(&m, 8).expect("stencil has 5 diagonals");
+        assert_eq!(dia.offsets.len(), 5);
+        assert_eq!(dia.to_csr(), m);
+    }
+
+    #[test]
+    fn dia_refuses_unstructured_matrices() {
+        let m = gen::random_uniform(300, 300, 8.0, 4.0, 4);
+        assert!(DiaMatrix::from_csr(&m, 32).is_none());
+    }
+
+    #[test]
+    fn hyb_round_trip_skewed_matrix() {
+        let m = gen::power_law(300, 300, 1, 1.5, 200, 5);
+        let w = HybMatrix::heuristic_width(&m);
+        let hyb = HybMatrix::from_csr(&m, w);
+        assert_eq!(hyb.nnz(), m.nnz());
+        assert_eq!(hyb.to_csr(), m);
+        // The tail should hold a minority of entries.
+        assert!(hyb.coo_vals.len() < m.nnz());
+    }
+
+    #[test]
+    fn hyb_zero_width_is_pure_coo() {
+        let m = gen::random_uniform(40, 40, 4.0, 2.0, 6);
+        let hyb = HybMatrix::from_csr(&m, 0);
+        assert_eq!(hyb.coo_vals.len(), m.nnz());
+        assert_eq!(hyb.to_csr(), m);
+    }
+
+    #[test]
+    fn heuristic_width_tracks_typical_rows() {
+        let m = gen::fixed_per_row(90, 90, 5, 7);
+        assert_eq!(HybMatrix::heuristic_width(&m), 5);
+    }
+
+    #[test]
+    fn empty_matrix_round_trips_through_all_formats() {
+        let m = CsrMatrix::zeros(5, 5);
+        assert_eq!(EllMatrix::from_csr(&m).to_csr(), m);
+        assert_eq!(DiaMatrix::from_csr(&m, 4).expect("no diagonals").to_csr(), m);
+        assert_eq!(HybMatrix::from_csr(&m, 2).to_csr(), m);
+    }
+}

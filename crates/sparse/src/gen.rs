@@ -1,0 +1,334 @@
+//! Deterministic matrix generators.
+//!
+//! Each generator takes an explicit seed, so every experiment in the
+//! repository is reproducible bit-for-bit. The generators target the
+//! structural families in the paper's test suite: dense blocks, FEM-style
+//! banded matrices, fixed-degree lattices (QCD), uniformly random patterns
+//! (circuit/economics), power-law degree distributions (Webbase), and
+//! short-and-wide LP constraint matrices.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+
+/// Sample a standard normal via Box–Muller (keeps `rand` as the only
+/// dependency; `rand_distr` stays out of the workspace).
+fn normal(rng: &mut SmallRng, mean: f64, std: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    mean + std * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Sample a row length from a clipped normal distribution.
+fn row_len(rng: &mut SmallRng, mean: f64, std: f64, max: usize) -> usize {
+    (normal(rng, mean, std).round().max(0.0) as usize).min(max)
+}
+
+/// `k` distinct sorted columns from `0..cols`.
+fn distinct_cols(rng: &mut SmallRng, k: usize, cols: usize) -> Vec<u32> {
+    let k = k.min(cols);
+    if k == cols {
+        return (0..cols as u32).collect();
+    }
+    let mut out: Vec<u32> = Vec::with_capacity(k + k / 4);
+    while out.len() < k {
+        let need = k - out.len();
+        for _ in 0..need + need / 4 + 1 {
+            out.push(rng.gen_range(0..cols as u32));
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
+    out.truncate(k);
+    out
+}
+
+fn fill_rows<F>(rows: usize, cols: usize, mut row_fn: F) -> CsrMatrix
+where
+    F: FnMut(usize) -> Vec<u32>,
+{
+    let mut coo = CooMatrix::new(rows, cols);
+    for r in 0..rows {
+        for c in row_fn(r) {
+            // Deterministic nonzero value derived from the coordinate: keeps
+            // results reproducible without another RNG stream.
+            let v = 1.0 + ((r as u64 * 31 + c as u64 * 7) % 97) as f64 / 97.0;
+            coo.push(r as u32, c, v);
+        }
+    }
+    coo.to_csr()
+}
+
+/// Fully dense matrix stored as CSR (the paper's "Dense" 2000×2000 case).
+pub fn dense(rows: usize, cols: usize) -> CsrMatrix {
+    fill_rows(rows, cols, |_| (0..cols as u32).collect())
+}
+
+/// 5-point Poisson stencil on an `nx × ny` grid.
+pub fn stencil_5pt(nx: usize, ny: usize) -> CsrMatrix {
+    let n = nx * ny;
+    let mut coo = CooMatrix::new(n, n);
+    for y in 0..ny {
+        for x in 0..nx {
+            let i = (y * nx + x) as u32;
+            coo.push(i, i, 4.0);
+            if x > 0 {
+                coo.push(i, i - 1, -1.0);
+            }
+            if x + 1 < nx {
+                coo.push(i, i + 1, -1.0);
+            }
+            if y > 0 {
+                coo.push(i, i - nx as u32, -1.0);
+            }
+            if y + 1 < ny {
+                coo.push(i, i + nx as u32, -1.0);
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// FEM-style banded matrix: each row has ~N(avg, std) entries clustered in
+/// a band around the diagonal (Protein / Spheres / Cantilever / Ship family).
+pub fn banded(rows: usize, avg: f64, std: f64, bandwidth: usize, seed: u64) -> CsrMatrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    fill_rows(rows, rows, |r| {
+        let len = row_len(&mut rng, avg, std, rows).max(1);
+        let half = bandwidth / 2;
+        let lo = r.saturating_sub(half);
+        let hi = (r + half + 1).min(rows);
+        let width = hi - lo;
+        let mut cols = distinct_cols(&mut rng, len.min(width), width);
+        for c in &mut cols {
+            *c += lo as u32;
+        }
+        cols
+    })
+}
+
+/// Exactly `k` uniformly random entries per row (QCD: k=39, std 0;
+/// Epidemiology: k=4).
+pub fn fixed_per_row(rows: usize, cols: usize, k: usize, seed: u64) -> CsrMatrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    fill_rows(rows, cols, |_| distinct_cols(&mut rng, k, cols))
+}
+
+/// Row lengths ~N(avg, std), uniformly random columns (Economics /
+/// Circuit / Accelerator family).
+pub fn random_uniform(rows: usize, cols: usize, avg: f64, std: f64, seed: u64) -> CsrMatrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    fill_rows(rows, cols, |_| {
+        let len = row_len(&mut rng, avg, std, cols);
+        distinct_cols(&mut rng, len, cols)
+    })
+}
+
+/// Structured sparse matrix: row lengths ~N(avg, std); columns come in
+/// `block`-long runs of consecutive indices placed within a `window`
+/// around the row's diagonal position. Models the block/banded locality of
+/// real lattice (QCD), epidemiology-grid and circuit matrices — locality
+/// that matters to the coalescing model exactly as it does to real DRAM.
+pub fn structured(
+    rows: usize,
+    cols: usize,
+    avg: f64,
+    std: f64,
+    window: usize,
+    block: usize,
+    seed: u64,
+) -> CsrMatrix {
+    assert!(block > 0, "block must be positive");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let window = window.clamp(block, cols);
+    fill_rows(rows, cols, |r| {
+        let len = if std == 0.0 {
+            avg.round() as usize
+        } else {
+            row_len(&mut rng, avg, std, cols).max(1)
+        };
+        // Window centered on the row's diagonal position, shifted (not
+        // clipped) at the edges so every row sees the full window width.
+        let center = if rows <= 1 { 0 } else { r * cols / rows };
+        let lo = center
+            .saturating_sub(window / 2)
+            .min(cols.saturating_sub(window));
+        let hi = (lo + window).min(cols);
+        let span = hi - lo;
+        let clusters = len.div_ceil(block);
+        // Distinct block-aligned cluster starts: clusters never overlap, so
+        // rows keep their full length (real block matrices behave this way).
+        let slots = (span / block).max(1);
+        let starts = distinct_cols(&mut rng, clusters.min(slots), slots);
+        let mut out: Vec<u32> = Vec::with_capacity(clusters * block);
+        for s in starts {
+            let start = lo + s as usize * block;
+            for b in 0..block {
+                let c = start + b;
+                if c < cols {
+                    out.push(c as u32);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out.truncate(len);
+        out
+    })
+}
+
+/// Power-law row lengths: `P(len ≥ x) ∝ x^(-alpha)`, capped at `max_row`.
+/// Models the Webbase crawl's degree distribution — a few enormous rows
+/// and a long tail of tiny ones.
+pub fn power_law(
+    rows: usize,
+    cols: usize,
+    min_row: usize,
+    alpha: f64,
+    max_row: usize,
+    seed: u64,
+) -> CsrMatrix {
+    assert!(alpha > 1.0, "alpha must exceed 1 for a finite mean");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    fill_rows(rows, cols, |_| {
+        // Inverse-CDF Pareto sample.
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let len = (min_row as f64 * u.powf(-1.0 / alpha)).round() as usize;
+        distinct_cols(&mut rng, len.min(max_row), cols)
+    })
+}
+
+/// Short-and-wide LP constraint matrix: few rows, huge column dimension,
+/// extreme row-length variance (a handful of rows carry most entries).
+pub fn lp_like(rows: usize, cols: usize, avg: f64, std: f64, seed: u64) -> CsrMatrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    fill_rows(rows, cols, |_| {
+        // Log-normal-ish: exponentiate a normal to get the heavy tail LP
+        // row statistics exhibit (avg 2633, std 4209 in Table II).
+        let ln_mean = (avg.powi(2) / (avg.powi(2) + std.powi(2)).sqrt()).ln();
+        let ln_std = (1.0 + (std / avg).powi(2)).ln().sqrt();
+        let len = normal(&mut rng, ln_mean, ln_std).exp().round() as usize;
+        distinct_cols(&mut rng, len.clamp(1, cols), cols)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::MatrixStats;
+
+    #[test]
+    fn dense_has_every_entry() {
+        let m = dense(10, 12);
+        assert_eq!(m.nnz(), 120);
+        m.validate().expect("well-formed");
+    }
+
+    #[test]
+    fn stencil_is_symmetric_pattern() {
+        let m = stencil_5pt(8, 8);
+        m.validate().expect("well-formed");
+        assert_eq!(m.num_rows, 64);
+        let t = m.transpose();
+        assert_eq!(m.col_idx, t.col_idx);
+        // Interior points have 5 entries.
+        let s = MatrixStats::of(&m);
+        assert!(s.avg_per_row > 4.0 && s.avg_per_row < 5.0);
+    }
+
+    #[test]
+    fn fixed_per_row_has_zero_std() {
+        let m = fixed_per_row(200, 500, 39, 1);
+        let s = MatrixStats::of(&m);
+        assert_eq!(s.avg_per_row, 39.0);
+        assert_eq!(s.std_per_row, 0.0);
+        m.validate().expect("well-formed");
+    }
+
+    #[test]
+    fn banded_respects_bandwidth_and_avg() {
+        let m = banded(1000, 50.0, 10.0, 120, 2);
+        m.validate().expect("well-formed");
+        let s = MatrixStats::of(&m);
+        assert!((s.avg_per_row - 50.0).abs() < 8.0, "avg {}", s.avg_per_row);
+        for r in 0..m.num_rows {
+            for &c in m.row_cols(r) {
+                assert!((c as i64 - r as i64).unsigned_abs() <= 61);
+            }
+        }
+    }
+
+    #[test]
+    fn structured_stays_in_window_with_block_runs() {
+        let m = structured(500, 500, 24.0, 0.0, 64, 8, 9);
+        m.validate().expect("well-formed");
+        for r in 0..m.num_rows {
+            for &c in m.row_cols(r) {
+                // Window half-width plus block length, plus edge clamping.
+                assert!((c as i64 - r as i64).unsigned_abs() <= 64 + 8, "row {r} col {c}");
+            }
+        }
+        // Rows should contain runs of consecutive columns (block structure).
+        let runs: usize = (0..m.num_rows)
+            .map(|r| {
+                m.row_cols(r)
+                    .windows(2)
+                    .filter(|w| w[1] == w[0] + 1)
+                    .count()
+            })
+            .sum();
+        assert!(runs > m.nnz() / 2, "expected block runs, got {runs} of {}", m.nnz());
+    }
+
+    #[test]
+    fn structured_zero_std_has_near_constant_rows() {
+        let m = structured(300, 300, 16.0, 0.0, 80, 4, 10);
+        let s = MatrixStats::of(&m);
+        // Block-aligned clusters never collide; only edge clipping trims rows.
+        assert!(s.avg_per_row > 14.0 && s.avg_per_row <= 16.0, "{}", s.avg_per_row);
+    }
+
+    #[test]
+    fn power_law_produces_heavy_tail() {
+        let m = power_law(5000, 5000, 1, 1.5, 4000, 3);
+        m.validate().expect("well-formed");
+        let s = MatrixStats::of(&m);
+        assert!(
+            s.std_per_row > 2.0 * s.avg_per_row,
+            "power law should be highly skewed: avg {} std {}",
+            s.avg_per_row,
+            s.std_per_row
+        );
+    }
+
+    #[test]
+    fn lp_like_is_short_and_wide() {
+        let m = lp_like(100, 20_000, 200.0, 400.0, 4);
+        m.validate().expect("well-formed");
+        let s = MatrixStats::of(&m);
+        assert!(s.std_per_row > s.avg_per_row * 0.8);
+        assert_eq!(s.rows, 100);
+        assert_eq!(s.cols, 20_000);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = random_uniform(300, 300, 6.0, 4.0, 42);
+        let b = random_uniform(300, 300, 6.0, 4.0, 42);
+        assert_eq!(a, b);
+        let c = random_uniform(300, 300, 6.0, 4.0, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn distinct_cols_are_sorted_unique_and_exact() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for k in [0usize, 1, 5, 100, 500] {
+            let cols = distinct_cols(&mut rng, k, 500);
+            assert_eq!(cols.len(), k.min(500));
+            assert!(cols.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

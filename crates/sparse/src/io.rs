@@ -1,0 +1,191 @@
+//! Matrix Market (coordinate, real, general) I/O.
+//!
+//! Enough of the MatrixMarket exchange format to load real UFL matrices
+//! when they are available and to persist generated suites. Symmetric
+//! inputs are expanded to general storage on read.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+
+/// Errors from Matrix Market parsing.
+#[derive(Debug)]
+pub enum MmError {
+    Io(std::io::Error),
+    Parse(String),
+}
+
+impl std::fmt::Display for MmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MmError::Io(e) => write!(f, "I/O error: {e}"),
+            MmError::Parse(m) => write!(f, "Matrix Market parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MmError {}
+
+impl From<std::io::Error> for MmError {
+    fn from(e: std::io::Error) -> Self {
+        MmError::Io(e)
+    }
+}
+
+fn parse_err(msg: impl Into<String>) -> MmError {
+    MmError::Parse(msg.into())
+}
+
+/// Read a coordinate-format Matrix Market stream into CSR.
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<CsrMatrix, MmError> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| parse_err("empty stream"))??;
+    let header_lc = header.to_ascii_lowercase();
+    if !header_lc.starts_with("%%matrixmarket matrix coordinate") {
+        return Err(parse_err(format!("unsupported header: {header}")));
+    }
+    let symmetric = header_lc.contains("symmetric");
+    if header_lc.contains("complex") {
+        return Err(parse_err("complex matrices are not supported"));
+    }
+    let pattern = header_lc.contains("pattern");
+
+    // Skip comments, find the size line.
+    let size_line = loop {
+        let line = lines
+            .next()
+            .ok_or_else(|| parse_err("missing size line"))??;
+        let t = line.trim();
+        if !t.is_empty() && !t.starts_with('%') {
+            break t.to_string();
+        }
+    };
+    let mut it = size_line.split_whitespace();
+    let rows: usize = it
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| parse_err("bad row count"))?;
+    let cols: usize = it
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| parse_err("bad col count"))?;
+    let nnz: usize = it
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| parse_err("bad nnz count"))?;
+
+    let mut coo = CooMatrix::new(rows, cols);
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut f = t.split_whitespace();
+        let r: usize = f
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err("bad row index"))?;
+        let c: usize = f
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err("bad col index"))?;
+        let v: f64 = if pattern {
+            1.0
+        } else {
+            f.next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| parse_err("bad value"))?
+        };
+        if r == 0 || c == 0 || r > rows || c > cols {
+            return Err(parse_err(format!("entry ({r},{c}) out of bounds")));
+        }
+        // Matrix Market is 1-indexed.
+        coo.push((r - 1) as u32, (c - 1) as u32, v);
+        if symmetric && r != c {
+            coo.push((c - 1) as u32, (r - 1) as u32, v);
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(parse_err(format!("expected {nnz} entries, found {seen}")));
+    }
+    Ok(coo.to_csr())
+}
+
+/// Load a `.mtx` file.
+pub fn load_matrix_market(path: &Path) -> Result<CsrMatrix, MmError> {
+    read_matrix_market(std::fs::File::open(path)?)
+}
+
+/// Write `m` in coordinate general format.
+pub fn write_matrix_market<W: Write>(writer: W, m: &CsrMatrix) -> Result<(), MmError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "{} {} {}", m.num_rows, m.num_cols, m.nnz())?;
+    for r in 0..m.num_rows {
+        for (c, v) in m.row_cols(r).iter().zip(m.row_vals(r)) {
+            writeln!(w, "{} {} {v:e}", r + 1, *c + 1)?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn round_trip_preserves_matrix() {
+        let m = gen::random_uniform(50, 40, 5.0, 2.0, 11);
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &m).expect("write");
+        let back = read_matrix_market(buf.as_slice()).expect("read");
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn reads_symmetric_by_mirroring() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    % comment\n\
+                    3 3 2\n\
+                    1 1 5.0\n\
+                    3 1 2.0\n";
+        let m = read_matrix_market(text.as_bytes()).expect("read");
+        assert_eq!(m.nnz(), 3); // diagonal entry not mirrored
+        assert_eq!(m.row_cols(0), &[0, 2]);
+        assert_eq!(m.row_cols(2), &[0]);
+    }
+
+    #[test]
+    fn reads_pattern_as_ones() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n2 1\n";
+        let m = read_matrix_market(text.as_bytes()).expect("read");
+        assert_eq!(m.row_vals(1), &[1.0]);
+    }
+
+    #[test]
+    fn rejects_wrong_entry_count() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_entry() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_alien_header() {
+        let text = "%%MatrixMarket matrix array real general\n2 2\n1.0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+}

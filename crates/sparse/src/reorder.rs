@@ -1,0 +1,189 @@
+//! Matrix reordering: symmetric permutations and reverse Cuthill–McKee.
+//!
+//! Bandwidth-reducing reorderings concentrate a matrix's columns near the
+//! diagonal, which the virtual device's coalescing model rewards exactly as
+//! real DRAM does: the SpMV `x` gathers hit fewer 128-byte segments. The
+//! `ablation_spmv_reorder` bench quantifies the effect.
+
+use std::collections::VecDeque;
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+
+/// Apply a symmetric permutation: `B[p[i], p[j]] = A[i, j]` (i.e. `perm`
+/// maps old indices to new positions).
+///
+/// # Panics
+/// Panics if the matrix is not square or `perm` is not a permutation of
+/// `0..n`.
+pub fn permute_symmetric(a: &CsrMatrix, perm: &[u32]) -> CsrMatrix {
+    assert_eq!(a.num_rows, a.num_cols, "symmetric permutation needs a square matrix");
+    assert_eq!(perm.len(), a.num_rows, "permutation length mismatch");
+    let mut seen = vec![false; perm.len()];
+    for &p in perm {
+        assert!(
+            (p as usize) < perm.len() && !seen[p as usize],
+            "perm is not a permutation"
+        );
+        seen[p as usize] = true;
+    }
+    let mut coo = CooMatrix::new(a.num_rows, a.num_cols);
+    for r in 0..a.num_rows {
+        for (c, v) in a.row_cols(r).iter().zip(a.row_vals(r)) {
+            coo.push(perm[r], perm[*c as usize], *v);
+        }
+    }
+    coo.to_csr()
+}
+
+/// Bandwidth: `max |i - j|` over stored entries.
+pub fn bandwidth(a: &CsrMatrix) -> usize {
+    (0..a.num_rows)
+        .flat_map(|r| {
+            a.row_cols(r)
+                .iter()
+                .map(move |&c| (c as i64 - r as i64).unsigned_abs() as usize)
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Reverse Cuthill–McKee ordering of a square matrix's graph. Returns the
+/// permutation (old index → new position). Disconnected components are
+/// processed from their minimum-degree vertices.
+///
+/// # Panics
+/// Panics if the matrix is not square.
+pub fn reverse_cuthill_mckee(a: &CsrMatrix) -> Vec<u32> {
+    assert_eq!(a.num_rows, a.num_cols, "RCM needs a square matrix");
+    let n = a.num_rows;
+    let degree = |v: usize| a.row_len(v);
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    let mut queue = VecDeque::new();
+    let mut neighbours: Vec<u32> = Vec::new();
+
+    // Seed order: ascending degree, so each component starts peripheral-ish.
+    let mut seeds: Vec<usize> = (0..n).collect();
+    seeds.sort_by_key(|&v| degree(v));
+
+    for &seed in &seeds {
+        if visited[seed] {
+            continue;
+        }
+        visited[seed] = true;
+        queue.push_back(seed);
+        while let Some(v) = queue.pop_front() {
+            order.push(v as u32);
+            neighbours.clear();
+            neighbours.extend(a.row_cols(v).iter().filter(|&&c| {
+                (c as usize) < n && !visited[c as usize] && c as usize != v
+            }));
+            neighbours.sort_by_key(|&c| degree(c as usize));
+            for &c in &neighbours {
+                if !visited[c as usize] {
+                    visited[c as usize] = true;
+                    queue.push_back(c as usize);
+                }
+            }
+        }
+    }
+    // Reverse the Cuthill–McKee order, then invert into old→new form.
+    order.reverse();
+    let mut perm = vec![0u32; n];
+    for (new_pos, &old) in order.iter().enumerate() {
+        perm[old as usize] = new_pos as u32;
+    }
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::to_dense;
+    use crate::gen;
+    use crate::ops::spmv_ref;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_permutation_is_noop() {
+        let a = gen::stencil_5pt(6, 6);
+        let id: Vec<u32> = (0..a.num_rows as u32).collect();
+        assert_eq!(permute_symmetric(&a, &id), a);
+    }
+
+    #[test]
+    fn permutation_preserves_spmv_up_to_reordering() {
+        let a = gen::random_uniform(40, 40, 5.0, 2.0, 1);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(9);
+        let mut perm: Vec<u32> = (0..40).collect();
+        perm.shuffle(&mut rng);
+        let b = permute_symmetric(&a, &perm);
+        // (P A Pᵀ)(P x) = P (A x)
+        let x: Vec<f64> = (0..40).map(|i| 1.0 + i as f64).collect();
+        let mut px = vec![0.0; 40];
+        for (i, &p) in perm.iter().enumerate() {
+            px[p as usize] = x[i];
+        }
+        let ax = spmv_ref(&a, &x);
+        let bpx = spmv_ref(&b, &px);
+        for (i, &p) in perm.iter().enumerate() {
+            assert!((bpx[p as usize] - ax[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rcm_reduces_bandwidth_of_shuffled_stencil() {
+        // Scramble a banded matrix, then recover a narrow band with RCM.
+        let a = gen::stencil_5pt(16, 16);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let mut shuffle: Vec<u32> = (0..a.num_rows as u32).collect();
+        shuffle.shuffle(&mut rng);
+        let scrambled = permute_symmetric(&a, &shuffle);
+        let bw_scrambled = bandwidth(&scrambled);
+
+        let rcm = reverse_cuthill_mckee(&scrambled);
+        let restored = permute_symmetric(&scrambled, &rcm);
+        let bw_restored = bandwidth(&restored);
+        assert!(
+            bw_restored * 4 < bw_scrambled,
+            "RCM should shrink bandwidth: {bw_restored} vs {bw_scrambled}"
+        );
+        restored.validate().expect("well-formed");
+    }
+
+    #[test]
+    fn rcm_handles_disconnected_components() {
+        // Two disjoint 2-cliques plus an isolated vertex.
+        let a = crate::dense::from_dense(&[
+            vec![1.0, 1.0, 0.0, 0.0, 0.0],
+            vec![1.0, 1.0, 0.0, 0.0, 0.0],
+            vec![0.0, 0.0, 0.0, 0.0, 0.0],
+            vec![0.0, 0.0, 0.0, 1.0, 1.0],
+            vec![0.0, 0.0, 0.0, 1.0, 1.0],
+        ]);
+        let perm = reverse_cuthill_mckee(&a);
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+        let b = permute_symmetric(&a, &perm);
+        // Permutation must preserve the value multiset.
+        let sum_a: f64 = to_dense(&a).iter().flatten().sum();
+        let sum_b: f64 = to_dense(&b).iter().flatten().sum();
+        assert_eq!(sum_a, sum_b);
+    }
+
+    #[test]
+    fn bandwidth_of_diagonal_is_zero() {
+        assert_eq!(bandwidth(&CsrMatrix::identity(10)), 0);
+        assert_eq!(bandwidth(&CsrMatrix::zeros(4, 4)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn bad_permutation_rejected() {
+        let a = CsrMatrix::identity(3);
+        permute_symmetric(&a, &[0, 0, 1]);
+    }
+}

@@ -1,0 +1,273 @@
+//! The synthetic stand-in for the paper's UFL test suite (Table II).
+//!
+//! The original evaluation uses 14 matrices from the University of Florida
+//! collection. Redistributing them is not possible here, and the evaluation
+//! only depends on their structural statistics, so each matrix is replaced
+//! by a deterministic generator matched to its Table II row: dimensions,
+//! nonzero count, mean entries per row, and row-length spread/shape
+//! (banded FEM, fixed-degree lattice, uniform random, power-law crawl,
+//! short-and-wide LP). A `scale` parameter shrinks every matrix uniformly
+//! so the full figure set regenerates in minutes on a laptop; the printed
+//! Table II reports both the paper's numbers and the generated ones.
+
+use crate::csr::CsrMatrix;
+use crate::gen;
+
+/// Identifier for each matrix in the paper's test suite, in Table II order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SuiteMatrix {
+    Dense,
+    Protein,
+    Spheres,
+    Cantilever,
+    WindTunnel,
+    Harbor,
+    Qcd,
+    Ship,
+    Economics,
+    Epidemiology,
+    Accelerator,
+    Circuit,
+    Webbase,
+    Lp,
+}
+
+/// The statistics row Table II reports for the original matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperStats {
+    pub rows: usize,
+    pub cols: usize,
+    pub nnz: usize,
+    pub avg_per_row: f64,
+    pub std_per_row: f64,
+}
+
+impl SuiteMatrix {
+    /// All 14 matrices in Table II order.
+    pub const ALL: [SuiteMatrix; 14] = [
+        SuiteMatrix::Dense,
+        SuiteMatrix::Protein,
+        SuiteMatrix::Spheres,
+        SuiteMatrix::Cantilever,
+        SuiteMatrix::WindTunnel,
+        SuiteMatrix::Harbor,
+        SuiteMatrix::Qcd,
+        SuiteMatrix::Ship,
+        SuiteMatrix::Economics,
+        SuiteMatrix::Epidemiology,
+        SuiteMatrix::Accelerator,
+        SuiteMatrix::Circuit,
+        SuiteMatrix::Webbase,
+        SuiteMatrix::Lp,
+    ];
+
+    /// Display name as printed in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            SuiteMatrix::Dense => "Dense",
+            SuiteMatrix::Protein => "Protein",
+            SuiteMatrix::Spheres => "Spheres",
+            SuiteMatrix::Cantilever => "Cantilever",
+            SuiteMatrix::WindTunnel => "Wind",
+            SuiteMatrix::Harbor => "Harbor",
+            SuiteMatrix::Qcd => "QCD",
+            SuiteMatrix::Ship => "Ship",
+            SuiteMatrix::Economics => "Economics",
+            SuiteMatrix::Epidemiology => "Epidemiology",
+            SuiteMatrix::Accelerator => "Accelerator",
+            SuiteMatrix::Circuit => "Circuit",
+            SuiteMatrix::Webbase => "Webbase",
+            SuiteMatrix::Lp => "LP",
+        }
+    }
+
+    /// Table II row of the original UFL matrix.
+    pub fn paper_stats(self) -> PaperStats {
+        let (rows, cols, nnz, avg, std) = match self {
+            SuiteMatrix::Dense => (2000, 2000, 4_000_000, 2000.00, 0.00),
+            SuiteMatrix::Protein => (36_417, 36_417, 4_344_765, 119.31, 31.86),
+            SuiteMatrix::Spheres => (83_334, 83_334, 6_010_480, 72.13, 19.08),
+            SuiteMatrix::Cantilever => (62_451, 62_451, 4_007_383, 64.17, 14.06),
+            SuiteMatrix::WindTunnel => (217_918, 217_918, 11_634_424, 53.39, 4.74),
+            SuiteMatrix::Harbor => (46_835, 46_835, 2_374_001, 50.69, 27.78),
+            SuiteMatrix::Qcd => (49_152, 49_152, 1_916_928, 39.00, 0.00),
+            SuiteMatrix::Ship => (140_874, 140_874, 7_813_404, 55.46, 11.07),
+            SuiteMatrix::Economics => (206_500, 206_500, 1_273_389, 6.17, 4.44),
+            SuiteMatrix::Epidemiology => (525_825, 525_825, 2_100_225, 3.99, 0.08),
+            SuiteMatrix::Accelerator => (121_192, 121_192, 2_624_331, 21.65, 13.79),
+            SuiteMatrix::Circuit => (170_998, 170_998, 958_936, 5.61, 4.39),
+            SuiteMatrix::Webbase => (1_000_005, 1_000_005, 3_105_536, 3.11, 25.35),
+            SuiteMatrix::Lp => (4284, 1_092_610, 11_279_748, 2632.99, 4209.26),
+        };
+        PaperStats {
+            rows,
+            cols,
+            nnz,
+            avg_per_row: avg,
+            std_per_row: std,
+        }
+    }
+
+    /// Generate the synthetic stand-in at the given `scale` (fraction of the
+    /// original dimensions; `1.0` reproduces Table II sizes).
+    ///
+    /// # Panics
+    /// Panics if `scale` is not strictly positive.
+    pub fn generate(self, scale: f64) -> CsrMatrix {
+        assert!(scale > 0.0, "scale must be positive");
+        let p = self.paper_stats();
+        let seed = 0x5EED_0000 + self as u64;
+        let rows = ((p.rows as f64 * scale).round() as usize).max(4);
+        let cols = ((p.cols as f64 * scale).round() as usize).max(4);
+        match self {
+            // Dense keeps nnz = rows² in CSR; scale the side by sqrt so the
+            // nonzero count scales like every other matrix.
+            SuiteMatrix::Dense => {
+                let side = ((2000.0 * scale.sqrt()).round() as usize).max(4);
+                gen::dense(side, side)
+            }
+            SuiteMatrix::Protein => gen::banded(rows, p.avg_per_row, p.std_per_row, 600, seed),
+            SuiteMatrix::Spheres => gen::banded(rows, p.avg_per_row, p.std_per_row, 360, seed),
+            SuiteMatrix::Cantilever => gen::banded(rows, p.avg_per_row, p.std_per_row, 320, seed),
+            SuiteMatrix::WindTunnel => gen::banded(rows, p.avg_per_row, p.std_per_row, 270, seed),
+            SuiteMatrix::Harbor => gen::banded(rows, p.avg_per_row, p.std_per_row, 260, seed),
+            // 4-D lattice operator: fixed degree, block spin-color structure,
+            // neighbours within a bounded index window.
+            SuiteMatrix::Qcd => gen::structured(rows, cols, 39.0, 0.0, (cols / 12).max(64), 13, seed),
+            SuiteMatrix::Ship => gen::banded(rows, p.avg_per_row, p.std_per_row, 280, seed),
+            SuiteMatrix::Economics => gen::structured(
+                rows,
+                cols,
+                p.avg_per_row,
+                p.std_per_row,
+                (cols / 4).max(32),
+                2,
+                seed,
+            ),
+            // Population-grid model: ~4 adjacent neighbours per row.
+            SuiteMatrix::Epidemiology => {
+                gen::structured(rows, cols, 3.99, 0.08, (cols / 50).max(16), 2, seed)
+            }
+            SuiteMatrix::Accelerator => gen::structured(
+                rows,
+                cols,
+                p.avg_per_row,
+                p.std_per_row,
+                (cols / 4).max(32),
+                3,
+                seed,
+            ),
+            SuiteMatrix::Circuit => gen::structured(
+                rows,
+                cols,
+                p.avg_per_row,
+                p.std_per_row,
+                (cols / 4).max(32),
+                2,
+                seed,
+            ),
+            // Pareto with x_min = 1: mean = α/(α−1) = 3.11 ⇒ α ≈ 1.47.
+            SuiteMatrix::Webbase => {
+                let cap = (rows / 20).clamp(64, 5000);
+                gen::power_law(rows, cols, 1, 1.47, cap, seed)
+            }
+            SuiteMatrix::Lp => gen::lp_like(rows, cols, p.avg_per_row, p.std_per_row, seed),
+        }
+    }
+
+    /// Operands for the SpGEMM experiment: `A·A`, except the nonsquare LP
+    /// matrix where the paper computes `A·Aᵀ`.
+    pub fn spgemm_operands(self, scale: f64) -> (CsrMatrix, CsrMatrix) {
+        let a = self.generate(scale);
+        if self == SuiteMatrix::Lp {
+            let at = a.transpose();
+            (a, at)
+        } else {
+            let b = a.clone();
+            (a, b)
+        }
+    }
+}
+
+impl std::fmt::Display for SuiteMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::MatrixStats;
+
+    const SCALE: f64 = 0.01;
+
+    #[test]
+    fn all_fourteen_generate_and_validate() {
+        for m in SuiteMatrix::ALL {
+            let a = m.generate(SCALE);
+            a.validate().unwrap_or_else(|e| panic!("{m}: {e}"));
+            assert!(a.nnz() > 0, "{m} generated empty");
+        }
+    }
+
+    #[test]
+    fn average_row_lengths_track_table_two() {
+        // Structure statistics should be near the paper's (Dense and LP
+        // aside, whose averages are dimension-coupled).
+        for m in [
+            SuiteMatrix::Protein,
+            SuiteMatrix::WindTunnel,
+            SuiteMatrix::Qcd,
+            SuiteMatrix::Economics,
+            SuiteMatrix::Epidemiology,
+        ] {
+            let s = MatrixStats::of(&m.generate(0.02));
+            let p = m.paper_stats();
+            let rel = (s.avg_per_row - p.avg_per_row).abs() / p.avg_per_row;
+            assert!(rel < 0.25, "{m}: avg {} vs paper {}", s.avg_per_row, p.avg_per_row);
+        }
+    }
+
+    #[test]
+    fn qcd_has_near_uniform_rows() {
+        // Fixed 39-entry rows; rare cluster collisions may drop an entry.
+        let s = MatrixStats::of(&SuiteMatrix::Qcd.generate(SCALE));
+        assert!(s.std_per_row < 1.0, "std {}", s.std_per_row);
+        assert!((s.avg_per_row - 39.0).abs() < 2.0, "avg {}", s.avg_per_row);
+    }
+
+    #[test]
+    fn webbase_is_heavy_tailed() {
+        let s = MatrixStats::of(&SuiteMatrix::Webbase.generate(SCALE));
+        assert!(s.std_per_row > 2.0 * s.avg_per_row, "{s:?}");
+    }
+
+    #[test]
+    fn lp_is_short_and_wide() {
+        let a = SuiteMatrix::Lp.generate(SCALE);
+        assert!(a.num_cols > 20 * a.num_rows);
+        let (x, xt) = SuiteMatrix::Lp.spgemm_operands(SCALE);
+        assert_eq!(x.num_cols, xt.num_rows);
+        assert_eq!(xt.num_cols, x.num_rows);
+    }
+
+    #[test]
+    fn square_suite_spgemm_operands_are_self() {
+        let (a, b) = SuiteMatrix::Qcd.spgemm_operands(SCALE);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SuiteMatrix::Circuit.generate(SCALE);
+        let b = SuiteMatrix::Circuit.generate(SCALE);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_rejected() {
+        SuiteMatrix::Dense.generate(0.0);
+    }
+}

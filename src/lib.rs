@@ -1,0 +1,53 @@
+//! # merge-path-sparse
+//!
+//! Reproduction of *"Optimizing Sparse Matrix Operations on GPUs using
+//! Merge Path"* (Dalton, Olson, Baxter, Merrill, Garland — IPDPS 2015) as
+//! a pure-Rust library running on a virtual SIMT device.
+//!
+//! This facade crate re-exports the workspace so downstream users need a
+//! single dependency:
+//!
+//! ```
+//! use merge_path_sparse::prelude::*;
+//!
+//! let device = Device::titan();
+//! let a = gen::stencil_5pt(16, 16);
+//! let x = vec![1.0; a.num_cols];
+//! let result = merge_spmv(&device, &a, &x, &SpmvConfig::default());
+//! assert_eq!(result.y.len(), a.num_rows);
+//! ```
+//!
+//! Crate map:
+//! * [`simt`] — the virtual GPU (grid/CTA/warp model, block primitives,
+//!   cost model, wave scheduler);
+//! * [`sparse`] — COO/CSR formats, reference kernels, generators, the
+//!   synthetic Table II suite, Matrix Market I/O;
+//! * [`merge`] — merge-path / balanced-path partitioning and parallel set
+//!   operations;
+//! * [`core`] — the paper's kernels: merge SpMV, balanced-path SpAdd, and
+//!   two-level-sort SpGEMM;
+//! * [`baselines`] — the comparators (Cusp-like, cuSPARSE-like, sequential
+//!   CPU with an analytic cost model);
+//! * [`solvers`] — the downstream layer the paper motivates: Krylov
+//!   solvers and smoothed-aggregation algebraic multigrid driven entirely
+//!   by the merge-path kernels;
+//! * [`graph`] — graph analytics over a generic-semiring flat SpMV (BFS,
+//!   connected components, PageRank, triangle counting).
+
+pub use mps_baselines as baselines;
+pub use mps_core as core;
+pub use mps_graph as graph;
+pub use mps_merge as merge;
+pub use mps_simt as simt;
+pub use mps_solvers as solvers;
+pub use mps_sparse as sparse;
+
+/// The commonly used names in one import.
+pub mod prelude {
+    pub use mps_core::{
+        merge_spadd, merge_spgemm, merge_spmv, SpAddConfig, SpgemmConfig, SpmvConfig,
+    };
+    pub use mps_simt::Device;
+    pub use mps_solvers::{cg, AmgHierarchy, AmgOptions, SolverOptions};
+    pub use mps_sparse::{gen, suite::SuiteMatrix, CooMatrix, CsrMatrix, MatrixStats};
+}

@@ -1,0 +1,113 @@
+//! Property-based integration tests: the kernels must satisfy the algebra
+//! they implement, composed across crates.
+
+use merge_path_sparse::prelude::*;
+use merge_path_sparse::sparse::ops;
+use proptest::prelude::*;
+
+fn device() -> Device {
+    Device::titan()
+}
+
+fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = CsrMatrix> {
+    (0u64..10_000, 1.0f64..8.0).prop_map(move |(seed, avg)| {
+        gen::random_uniform(rows, cols, avg, avg / 2.0, seed)
+    })
+}
+
+fn close(a: &[f64], b: &[f64]) -> bool {
+    a.iter()
+        .zip(b)
+        .all(|(x, y)| (x - y).abs() <= 1e-8 * (1.0 + x.abs().max(y.abs())))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// (A + B)·x == A·x + B·x with every operation on the device.
+    #[test]
+    fn spadd_distributes_over_spmv(
+        a in arb_matrix(60, 40),
+        b in arb_matrix(60, 40),
+    ) {
+        let dev = device();
+        let x: Vec<f64> = (0..40).map(|i| (i as f64).sin() + 2.0).collect();
+        let sum = merge_spadd(&dev, &a, &b, &SpAddConfig::default());
+        let lhs = merge_spmv(&dev, &sum.c, &x, &SpmvConfig::default());
+        let ya = merge_spmv(&dev, &a, &x, &SpmvConfig::default());
+        let yb = merge_spmv(&dev, &b, &x, &SpmvConfig::default());
+        let rhs: Vec<f64> = ya.y.iter().zip(&yb.y).map(|(p, q)| p + q).collect();
+        prop_assert!(close(&lhs.y, &rhs));
+    }
+
+    /// (A·B)·x == A·(B·x): SpGEMM then SpMV equals two chained SpMVs.
+    #[test]
+    fn spgemm_is_consistent_with_chained_spmv(
+        a in arb_matrix(40, 50),
+        b in arb_matrix(50, 30),
+    ) {
+        let dev = device();
+        let x: Vec<f64> = (0..30).map(|i| 1.0 + (i % 5) as f64).collect();
+        let ab = merge_spgemm(&dev, &a, &b, &SpgemmConfig::default());
+        let lhs = merge_spmv(&dev, &ab.c, &x, &SpmvConfig::default());
+        let bx = merge_spmv(&dev, &b, &x, &SpmvConfig::default());
+        let rhs = merge_spmv(&dev, &a, &bx.y, &SpmvConfig::default());
+        prop_assert!(close(&lhs.y, &rhs.y));
+    }
+
+    /// A·(B + C) == A·B + A·C across SpGEMM and SpAdd.
+    #[test]
+    fn spgemm_distributes_over_spadd(
+        a in arb_matrix(30, 40),
+        b in arb_matrix(40, 30),
+        c in arb_matrix(40, 30),
+    ) {
+        let dev = device();
+        let bc = merge_spadd(&dev, &b, &c, &SpAddConfig::default());
+        let lhs = merge_spgemm(&dev, &a, &bc.c, &SpgemmConfig::default());
+        let ab = merge_spgemm(&dev, &a, &b, &SpgemmConfig::default());
+        let ac = merge_spgemm(&dev, &a, &c, &SpgemmConfig::default());
+        let rhs = merge_spadd(&dev, &ab.c, &ac.c, &SpAddConfig::default());
+        // Structures may differ where exact zeros arise; compare densely.
+        let ld = merge_path_sparse::sparse::dense::to_dense(&lhs.c);
+        let rd = merge_path_sparse::sparse::dense::to_dense(&rhs.c);
+        for (lr, rr) in ld.iter().zip(&rd) {
+            prop_assert!(close(lr, rr));
+        }
+    }
+
+    /// SpAdd is commutative.
+    #[test]
+    fn spadd_commutes(
+        a in arb_matrix(70, 70),
+        b in arb_matrix(70, 70),
+    ) {
+        let dev = device();
+        let ab = merge_spadd(&dev, &a, &b, &SpAddConfig::default());
+        let ba = merge_spadd(&dev, &b, &a, &SpAddConfig::default());
+        prop_assert!(ab.c.approx_eq(&ba.c, 1e-12));
+    }
+
+    /// (A·B)ᵀ == Bᵀ·Aᵀ.
+    #[test]
+    fn transpose_of_product(
+        a in arb_matrix(30, 40),
+        b in arb_matrix(40, 20),
+    ) {
+        let dev = device();
+        let ab = merge_spgemm(&dev, &a, &b, &SpgemmConfig::default());
+        let btat = merge_spgemm(&dev, &b.transpose(), &a.transpose(), &SpgemmConfig::default());
+        prop_assert!(ab.c.transpose().approx_eq(&btat.c, 1e-9));
+    }
+
+    /// Device SpGEMM against the Gustavson reference on rectangular chains.
+    #[test]
+    fn rectangular_chain_matches_reference(
+        a in arb_matrix(25, 35),
+        b in arb_matrix(35, 15),
+    ) {
+        let dev = device();
+        let got = merge_spgemm(&dev, &a, &b, &SpgemmConfig::default());
+        prop_assert!(got.c.approx_eq(&ops::spgemm_ref(&a, &b), 1e-9));
+    }
+}

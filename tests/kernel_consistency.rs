@@ -1,0 +1,95 @@
+//! Cross-crate consistency: every parallel implementation of each kernel
+//! (the paper's Merge kernels and both comparator packages) agrees with
+//! the sequential reference on every suite family.
+
+use merge_path_sparse::baselines::{cusp, cusparse_like};
+use merge_path_sparse::prelude::*;
+use merge_path_sparse::sparse::ops;
+
+const SCALE: f64 = 0.004;
+
+fn device() -> Device {
+    Device::titan()
+}
+
+fn vectors_close(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| (x - y).abs() <= 1e-9 * (1.0 + x.abs().max(y.abs())))
+}
+
+#[test]
+fn every_spmv_agrees_on_every_suite_family() {
+    let dev = device();
+    for m in SuiteMatrix::ALL {
+        let a = m.generate(SCALE);
+        let x: Vec<f64> = (0..a.num_cols).map(|i| 0.5 + (i % 11) as f64).collect();
+        let expect = ops::spmv_ref(&a, &x);
+
+        let merge = merge_spmv(&dev, &a, &x, &SpmvConfig::default());
+        assert!(vectors_close(&merge.y, &expect), "{m}: merge SpMV diverges");
+
+        let (scalar, _) = cusp::spmv_scalar(&dev, &a, &x);
+        assert!(vectors_close(&scalar, &expect), "{m}: scalar SpMV diverges");
+
+        let (vector, _) = cusp::spmv_vector(&dev, &a, &x);
+        assert!(vectors_close(&vector, &expect), "{m}: vector SpMV diverges");
+
+        let (adaptive, _) = cusparse_like::spmv(&dev, &a, &x);
+        assert!(vectors_close(&adaptive, &expect), "{m}: adaptive SpMV diverges");
+    }
+}
+
+#[test]
+fn every_spadd_agrees_on_every_suite_family() {
+    let dev = device();
+    for m in SuiteMatrix::ALL {
+        let a = m.generate(SCALE);
+        let expect = ops::spadd_ref(&a, &a);
+
+        let merge = merge_spadd(&dev, &a, &a, &SpAddConfig::default());
+        assert_eq!(merge.c, expect, "{m}: merge SpAdd diverges");
+
+        let (cusp_c, _) = cusp::spadd_global_sort(&dev, &a, &a);
+        assert_eq!(cusp_c, expect, "{m}: global-sort SpAdd diverges");
+
+        let (cusparse_c, _) = cusparse_like::spadd(&dev, &a, &a);
+        assert_eq!(cusparse_c, expect, "{m}: row-merge SpAdd diverges");
+    }
+}
+
+#[test]
+fn every_spgemm_agrees_on_every_suite_family() {
+    let dev = device();
+    for m in SuiteMatrix::ALL {
+        let (a, b) = m.spgemm_operands(SCALE);
+        let expect = ops::spgemm_ref(&a, &b);
+
+        let merge = merge_spgemm(&dev, &a, &b, &SpgemmConfig::default());
+        assert!(
+            merge.c.approx_eq(&expect, 1e-9),
+            "{m}: merge SpGEMM diverges"
+        );
+        assert_eq!(merge.products, ops::spgemm_products(&a, &b), "{m}: product count");
+
+        let (esc, _) = cusp::spgemm_esc(&dev, &a, &b);
+        assert!(esc.approx_eq(&expect, 1e-9), "{m}: ESC SpGEMM diverges");
+
+        let (hash, _) = cusparse_like::spgemm(&dev, &a, &b);
+        assert!(hash.approx_eq(&expect, 1e-9), "{m}: hash SpGEMM diverges");
+    }
+}
+
+#[test]
+fn mixed_operand_spadd_across_families() {
+    // Adding matrices with completely different structure exercises the
+    // balanced-path star logic across tile boundaries.
+    let dev = device();
+    let banded = SuiteMatrix::Harbor.generate(SCALE);
+    let n = banded.num_rows;
+    let power = gen::power_law(n, n, 1, 1.5, n / 2, 99);
+    let expect = ops::spadd_ref(&banded, &power);
+    let merge = merge_spadd(&dev, &banded, &power, &SpAddConfig::default());
+    assert_eq!(merge.c, expect);
+}

@@ -1,0 +1,93 @@
+//! End-to-end checks of the paper's headline claims, driven through the
+//! same experiment harness that regenerates the figures.
+
+use mps_bench::{fig4, spadd_exp, spgemm_exp, spmv_exp, stats};
+use merge_path_sparse::prelude::*;
+
+/// Scaled-down suite fractions used by the claims (kept small enough for
+/// CI; the repro binary runs larger defaults).
+const SPMV_SCALE: f64 = 0.05;
+const SPGEMM_SCALE: f64 = 0.01;
+
+#[test]
+fn claim_spmv_time_correlates_with_nonzeros() {
+    // Figure 6: ρ_Merge ≈ 0.97, above the row-structured comparator.
+    let rows = spmv_exp::run(&Device::titan(), SPMV_SCALE);
+    let (rho_merge, rho_cusparse) = spmv_exp::correlations(&rows);
+    assert!(rho_merge > 0.9, "rho_merge = {rho_merge}");
+    assert!(
+        rho_merge > rho_cusparse,
+        "flat decomposition should predict better: {rho_merge} vs {rho_cusparse}"
+    );
+}
+
+#[test]
+fn claim_spadd_time_correlates_perfectly_with_work() {
+    // Figure 8: ρ_Merge = 1.0 — "parallel decompositions that yield perfect
+    // balance irrespective of the segmentation of the underlying data".
+    let rows = spadd_exp::run(&Device::titan(), SPMV_SCALE);
+    let (rho_merge, rho_cusparse) = spadd_exp::correlations(&rows);
+    assert!(rho_merge > 0.98, "rho_merge = {rho_merge}");
+    assert!(rho_merge > rho_cusparse + 0.1);
+}
+
+#[test]
+fn claim_spgemm_time_correlates_with_products() {
+    // Figure 10: ρ_Merge = 0.98 vs ρ_Cusparse = −0.02.
+    let rows = spgemm_exp::run(&Device::titan(), SPGEMM_SCALE, false);
+    let (rho_merge, rho_cusparse) = spgemm_exp::correlations(&rows);
+    assert!(rho_merge > 0.9, "rho_merge = {rho_merge}");
+    assert!(rho_merge > rho_cusparse);
+}
+
+#[test]
+fn claim_row_structured_schemes_collapse_on_irregular_inputs() {
+    // Figures 5/7/9: the comparators win on regular matrices but lose
+    // dramatically on Webbase/LP; Merge stays steady.
+    let rows = spmv_exp::run(&Device::titan(), SPMV_SCALE);
+    let get = |n: &str| rows.iter().find(|r| r.name == n).expect("row");
+
+    // Regular matrix: the row-vectorized kernel is competitive (within 2x).
+    let wind = get("Wind");
+    assert!(wind.cusp_ms < wind.merge_ms * 2.0);
+
+    // Power-law matrix: flat decomposition wins by a wide margin.
+    let webbase = get("Webbase");
+    assert!(
+        webbase.cusp_ms > webbase.merge_ms * 2.0,
+        "cusp {} vs merge {}",
+        webbase.cusp_ms,
+        webbase.merge_ms
+    );
+}
+
+#[test]
+fn claim_single_pass_block_sort_halves_cycles() {
+    // Figure 4 and the Section III-C observation driving it.
+    let pts = fig4::run(&Device::titan());
+    let get = |m: &str| pts.iter().find(|p| p.method == m).expect("method").cycles as f64;
+    let ratio = get("2P-Pairs") / get("1P-Pairs");
+    assert!((1.6..2.4).contains(&ratio), "ratio {ratio}");
+    assert!(get("1P(12-bits)") < get("1P(28-bits)"));
+}
+
+#[test]
+fn claim_predictability_enables_extrapolation() {
+    // Figure 6's point: a linear fit on half the suite predicts the other
+    // half's merge SpMV time to within a modest relative error.
+    let rows = spmv_exp::run(&Device::titan(), SPMV_SCALE);
+    let (train, test): (Vec<_>, Vec<_>) = rows.iter().enumerate().partition(|(i, _)| i % 2 == 0);
+    let xs: Vec<f64> = train.iter().map(|(_, r)| r.nnz as f64).collect();
+    let ys: Vec<f64> = train.iter().map(|(_, r)| r.merge_ms).collect();
+    let (a, b) = stats::linear_fit(&xs, &ys);
+    for (_, r) in test {
+        let predicted = a + b * r.nnz as f64;
+        let err = (predicted - r.merge_ms).abs() / r.merge_ms;
+        assert!(
+            err < 0.8,
+            "{}: predicted {predicted:.4} actual {:.4}",
+            r.name,
+            r.merge_ms
+        );
+    }
+}

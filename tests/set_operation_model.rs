@@ -1,0 +1,113 @@
+//! Model-based tests of the balanced-path set operations against a
+//! multiset oracle built on `BTreeMap`, across the crate boundary exactly
+//! as SpAdd uses them.
+
+use merge_path_sparse::merge::set_ops::{set_op_keys, SetOp};
+use merge_path_sparse::prelude::*;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn counts(v: &[u32]) -> BTreeMap<u32, usize> {
+    let mut m = BTreeMap::new();
+    for &k in v {
+        *m.entry(k).or_insert(0) += 1;
+    }
+    m
+}
+
+/// Rank-matched multiset semantics of each operation.
+fn model(op: SetOp, a: &[u32], b: &[u32]) -> Vec<u32> {
+    let ca = counts(a);
+    let cb = counts(b);
+    let mut keys: Vec<u32> = ca.keys().chain(cb.keys()).copied().collect();
+    keys.sort_unstable();
+    keys.dedup();
+    let mut out = Vec::new();
+    for k in keys {
+        let p = ca.get(&k).copied().unwrap_or(0);
+        let q = cb.get(&k).copied().unwrap_or(0);
+        let n = match op {
+            SetOp::Union => p.max(q),
+            SetOp::Intersection => p.min(q),
+            SetOp::Difference => p.saturating_sub(q),
+            SetOp::SymmetricDifference => p.abs_diff(q),
+        };
+        out.extend(std::iter::repeat_n(k, n));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn device_set_ops_match_multiset_model(
+        mut a in proptest::collection::vec(0u32..40, 0..400),
+        mut b in proptest::collection::vec(0u32..40, 0..400),
+        nv in 2usize..700,
+        op_idx in 0usize..4,
+    ) {
+        a.sort_unstable();
+        b.sort_unstable();
+        let op = [SetOp::Union, SetOp::Intersection, SetOp::Difference,
+                  SetOp::SymmetricDifference][op_idx];
+        let (got, _) = set_op_keys(&Device::titan(), op, &a, &b, nv);
+        prop_assert_eq!(got, model(op, &a, &b));
+    }
+
+    /// De Morgan-ish identity: |A ∪ B| + |A ∩ B| == |A| + |B| for
+    /// rank-matched multisets.
+    #[test]
+    fn union_and_intersection_sizes_are_complementary(
+        mut a in proptest::collection::vec(0u32..30, 0..300),
+        mut b in proptest::collection::vec(0u32..30, 0..300),
+    ) {
+        a.sort_unstable();
+        b.sort_unstable();
+        let dev = Device::titan();
+        let (u, _) = set_op_keys(&dev, SetOp::Union, &a, &b, 128);
+        let (i, _) = set_op_keys(&dev, SetOp::Intersection, &a, &b, 128);
+        prop_assert_eq!(u.len() + i.len(), a.len() + b.len());
+    }
+
+    /// Symmetric difference == (A − B) ∪ (B − A).
+    #[test]
+    fn symmetric_difference_decomposes(
+        mut a in proptest::collection::vec(0u32..30, 0..300),
+        mut b in proptest::collection::vec(0u32..30, 0..300),
+    ) {
+        a.sort_unstable();
+        b.sort_unstable();
+        let dev = Device::titan();
+        let (sd, _) = set_op_keys(&dev, SetOp::SymmetricDifference, &a, &b, 64);
+        let (ab, _) = set_op_keys(&dev, SetOp::Difference, &a, &b, 64);
+        let (ba, _) = set_op_keys(&dev, SetOp::Difference, &b, &a, 64);
+        let (merged, _) = set_op_keys(&dev, SetOp::Union, &ab, &ba, 64);
+        prop_assert_eq!(sd, merged);
+    }
+}
+
+#[test]
+fn spadd_through_set_union_equals_reference_on_suite() {
+    // The whole chain the paper describes: CSR → COO keys → balanced-path
+    // union → CSR, compared against the row-merge reference.
+    let dev = Device::titan();
+    let a = SuiteMatrix::Circuit.generate(0.004);
+    let b = SuiteMatrix::Economics.generate(0.004);
+    // Same shape required: trim to the smaller square.
+    let n = a.num_rows.min(b.num_rows);
+    let trim = |m: &CsrMatrix| {
+        let mut coo = CooMatrix::new(n, n);
+        for r in 0..n {
+            for (c, v) in m.row_cols(r).iter().zip(m.row_vals(r)) {
+                if (*c as usize) < n {
+                    coo.push(r as u32, *c, *v);
+                }
+            }
+        }
+        coo.to_csr()
+    };
+    let (ta, tb) = (trim(&a), trim(&b));
+    let got = merge_spadd(&dev, &ta, &tb, &SpAddConfig::default());
+    assert_eq!(got.c, merge_path_sparse::sparse::ops::spadd_ref(&ta, &tb));
+}
