@@ -13,6 +13,7 @@
 //! | Figures 5–6 | [`spmv_exp`] | SpMV GFLOP/s bars + time-vs-nnz correlation |
 //! | Figures 7–8 | [`spadd_exp`] | SpAdd speedup bars + time-vs-work correlation |
 //! | Figures 9–11 | [`spgemm_exp`] | SpGEMM speedups, time-vs-products, phase breakdown |
+//! | solver layer | [`solver_exp`] | solver sim_ms + measured host wall-clock, plan-vs-per-call |
 //!
 //! All experiments are deterministic: simulated device time is a pure
 //! function of the generated workloads.
@@ -20,6 +21,7 @@
 pub mod fig2;
 pub mod fig4;
 pub mod sensitivity;
+pub mod solver_exp;
 pub mod spadd_exp;
 pub mod spgemm_exp;
 pub mod spmv_exp;

@@ -1,0 +1,338 @@
+//! Solver-layer benchmark: host wall-clock as a first-class quantity.
+//!
+//! The plan/workspace layer exists to shrink *host* time — the simulated
+//! device cost of an iteration is identical whether the SpMV re-partitions
+//! every call or replays a plan, but the host work is not. This experiment
+//! measures both: per-solver rows report `sim_ms` next to measured
+//! `host_ms` per iteration, and a planned-vs-per-call PCG comparison
+//! quantifies what plan reuse buys. Results serialize to
+//! `BENCH_solvers.json` so the trajectory is tracked across PRs.
+
+use std::time::Instant;
+
+use mps_core::{merge_spmv, SpmvConfig, SpmvPlan, Workspace};
+use mps_simt::Device;
+use mps_solvers::blas1;
+use mps_solvers::pcg::JacobiPreconditioner;
+use mps_solvers::{cg, pcg, AmgHierarchy, AmgOptions, SolverOptions};
+use mps_sparse::{gen, CsrMatrix};
+
+/// One solver measurement.
+#[derive(Debug, Clone)]
+pub struct SolverRow {
+    pub solver: &'static str,
+    pub n: usize,
+    pub nnz: usize,
+    pub iterations: usize,
+    pub sim_ms: f64,
+    pub host_ms: f64,
+}
+
+impl SolverRow {
+    /// Measured host wall-clock per solver iteration, ms.
+    pub fn host_ms_per_iter(&self) -> f64 {
+        self.host_ms / self.iterations.max(1) as f64
+    }
+}
+
+/// Planned-vs-per-call PCG comparison on one operator.
+#[derive(Debug, Clone)]
+pub struct PlanComparison {
+    pub n: usize,
+    pub nnz: usize,
+    pub iterations: usize,
+    /// Host ms/iter when every SpMV re-runs the full simulated pipeline.
+    pub per_call_host_ms_per_iter: f64,
+    /// Host ms/iter through the plan's numeric-execute path.
+    pub planned_host_ms_per_iter: f64,
+}
+
+impl PlanComparison {
+    pub fn speedup(&self) -> f64 {
+        if self.planned_host_ms_per_iter <= 0.0 {
+            return 0.0;
+        }
+        self.per_call_host_ms_per_iter / self.planned_host_ms_per_iter
+    }
+}
+
+fn point_source(n: usize) -> Vec<f64> {
+    let mut b = vec![0.0; n];
+    b[n / 2] = 1.0;
+    b
+}
+
+/// Jacobi-PCG with a one-shot [`merge_spmv`] per iteration — the pre-plan
+/// code path, kept as the baseline the plan API is measured against. The
+/// simulated charges per iteration exceed the planned path only by the
+/// partition phase; the host cost difference is the quantity of interest.
+pub fn pcg_per_call_host_ms(
+    device: &Device,
+    a: &CsrMatrix,
+    b: &[f64],
+    opts: &SolverOptions,
+) -> (usize, f64) {
+    let inv_diag = mps_solvers::smoothers::inverse_diagonal(a);
+    let cfg = SpmvConfig::default();
+    let host_start = Instant::now();
+    let mut x = vec![0.0; a.num_rows];
+    let mut r = b.to_vec();
+    let (bn, _) = blas1::norm2(device, b);
+    let target = (opts.rel_tolerance * bn).max(f64::MIN_POSITIVE);
+    let mut z: Vec<f64> = r.iter().zip(&inv_diag).map(|(ri, di)| ri * di).collect();
+    let mut p = z.clone();
+    let (mut rz, _) = blas1::dot(device, &r, &z);
+    let mut iterations = 0;
+    let (rn0, _) = blas1::norm2(device, &r);
+    while rn0 > target && iterations < opts.max_iterations {
+        // The per-call path: partition + simulate + allocate, every time.
+        let spmv = merge_spmv(device, a, &p, &cfg);
+        let ap = spmv.y;
+        let (pap, _) = blas1::dot(device, &p, &ap);
+        if pap <= 0.0 || rz == 0.0 {
+            break;
+        }
+        let alpha = rz / pap;
+        blas1::axpy(device, alpha, &p, &mut x);
+        blas1::axpy(device, -alpha, &ap, &mut r);
+        iterations += 1;
+        let (rn, _) = blas1::norm2(device, &r);
+        if rn <= target {
+            break;
+        }
+        z.clear();
+        z.extend(r.iter().zip(&inv_diag).map(|(ri, di)| ri * di));
+        let (rz_next, _) = blas1::dot(device, &r, &z);
+        blas1::xpby(device, &z, rz_next / rz, &mut p);
+        rz = rz_next;
+    }
+    (iterations, host_start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Compare planned against per-call Jacobi-PCG host time on a Poisson
+/// operator of `grid`×`grid` unknowns, iterating a fixed count so both
+/// paths do identical numeric work.
+pub fn plan_comparison(device: &Device, grid: usize, iterations: usize) -> PlanComparison {
+    let a = gen::stencil_5pt(grid, grid);
+    let b = point_source(a.num_rows);
+    let opts = SolverOptions {
+        max_iterations: iterations,
+        rel_tolerance: 0.0, // fixed-iteration cost measurement
+    };
+    let pre = JacobiPreconditioner::new(&a);
+    // Warm both paths once so first-touch effects don't skew either side.
+    pcg(device, &a, &b, &pre, &opts);
+    pcg_per_call_host_ms(device, &a, &b, &opts);
+
+    let planned = pcg(device, &a, &b, &pre, &opts);
+    let (iters_pc, per_call_ms) = pcg_per_call_host_ms(device, &a, &b, &opts);
+    let iters = planned.iterations.max(1);
+    PlanComparison {
+        n: a.num_rows,
+        nnz: a.nnz(),
+        iterations: planned.iterations.min(iters_pc),
+        per_call_host_ms_per_iter: per_call_ms / iters_pc.max(1) as f64,
+        planned_host_ms_per_iter: planned.host_ms / iters as f64,
+    }
+}
+
+/// Raw planned-vs-per-call SpMV host cost: `iters` products with the same
+/// operator, plan built once vs rebuilt per call.
+pub fn spmv_plan_comparison(device: &Device, a: &CsrMatrix, iters: usize) -> PlanComparison {
+    let cfg = SpmvConfig::default();
+    let x: Vec<f64> = (0..a.num_cols).map(|i| 1.0 + (i % 9) as f64 * 0.25).collect();
+
+    // Per-call: full pipeline each product.
+    merge_spmv(device, a, &x, &cfg); // warm
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        merge_spmv(device, a, &x, &cfg);
+    }
+    let per_call_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Planned: structure once, numeric executes after.
+    let plan = SpmvPlan::new(device, a, &cfg);
+    let mut ws = Workspace::new();
+    let mut y: Vec<f64> = Vec::new();
+    plan.execute_into(a, &x, &mut y, &mut ws); // warm
+    let t1 = Instant::now();
+    for _ in 0..iters {
+        plan.execute_into(a, &x, &mut y, &mut ws);
+    }
+    let planned_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    PlanComparison {
+        n: a.num_rows,
+        nnz: a.nnz(),
+        iterations: iters,
+        per_call_host_ms_per_iter: per_call_ms / iters.max(1) as f64,
+        planned_host_ms_per_iter: planned_ms / iters.max(1) as f64,
+    }
+}
+
+/// Run the solver suite on a Poisson operator of `grid`×`grid` unknowns.
+pub fn run(device: &Device, grid: usize) -> Vec<SolverRow> {
+    let a = gen::stencil_5pt(grid, grid);
+    let b = point_source(a.num_rows);
+    let opts = SolverOptions::default();
+    let mut rows = Vec::new();
+
+    let r = cg(device, &a, &b, &opts);
+    rows.push(SolverRow {
+        solver: "cg",
+        n: a.num_rows,
+        nnz: a.nnz(),
+        iterations: r.iterations,
+        sim_ms: r.sim_ms,
+        host_ms: r.host_ms,
+    });
+
+    let pre = JacobiPreconditioner::new(&a);
+    let r = pcg(device, &a, &b, &pre, &opts);
+    rows.push(SolverRow {
+        solver: "pcg_jacobi",
+        n: a.num_rows,
+        nnz: a.nnz(),
+        iterations: r.iterations,
+        sim_ms: r.sim_ms,
+        host_ms: r.host_ms,
+    });
+
+    let h = AmgHierarchy::build(device, a.clone(), AmgOptions::default());
+    let r = pcg(device, &a, &b, &h, &opts);
+    rows.push(SolverRow {
+        solver: "pcg_amg",
+        n: a.num_rows,
+        nnz: a.nnz(),
+        iterations: r.iterations,
+        sim_ms: r.sim_ms,
+        host_ms: r.host_ms,
+    });
+    rows
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Hand-rolled JSON for `BENCH_solvers.json` (no serde in the tree).
+pub fn to_json(rows: &[SolverRow], pcg_cmp: &PlanComparison, spmv_cmp: &PlanComparison) -> String {
+    let mut out = String::from("{\n  \"solvers\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"solver\": \"{}\", \"n\": {}, \"nnz\": {}, \"iterations\": {}, \
+             \"sim_ms\": {}, \"host_ms\": {}, \"host_ms_per_iter\": {}}}{}\n",
+            r.solver,
+            r.n,
+            r.nnz,
+            r.iterations,
+            json_f(r.sim_ms),
+            json_f(r.host_ms),
+            json_f(r.host_ms_per_iter()),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    for (key, c) in [("pcg_plan_comparison", pcg_cmp), ("spmv_plan_comparison", spmv_cmp)] {
+        out.push_str(&format!(
+            "  \"{}\": {{\"n\": {}, \"nnz\": {}, \"iterations\": {}, \
+             \"per_call_host_ms_per_iter\": {}, \"planned_host_ms_per_iter\": {}, \
+             \"speedup\": {}}}{}\n",
+            key,
+            c.n,
+            c.nnz,
+            c.iterations,
+            json_f(c.per_call_host_ms_per_iter),
+            json_f(c.planned_host_ms_per_iter),
+            json_f(c.speedup()),
+            if key == "pcg_plan_comparison" { "," } else { "" },
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render the solver table.
+pub fn render(rows: &[SolverRow]) -> String {
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.solver.to_string(),
+                r.n.to_string(),
+                r.iterations.to_string(),
+                format!("{:.3}", r.sim_ms),
+                format!("{:.3}", r.host_ms),
+                format!("{:.4}", r.host_ms_per_iter()),
+            ]
+        })
+        .collect();
+    crate::render_table(
+        &["solver", "n", "iters", "sim_ms", "host_ms", "host_ms/iter"],
+        &data,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> Device {
+        Device::titan()
+    }
+
+    #[test]
+    fn rows_report_host_time() {
+        let rows = run(&dev(), 16);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.host_ms > 0.0, "{} must measure host time", r.solver);
+            assert!(r.sim_ms > 0.0);
+            assert!(r.iterations > 0);
+        }
+    }
+
+    #[test]
+    fn planned_spmv_is_measurably_faster_on_host() {
+        // The per-call path re-simulates the whole grid every product; the
+        // planned path is a flat numeric loop. The gap is large — assert a
+        // conservative bound so scheduler noise can't flake the test.
+        let a = gen::stencil_5pt(64, 64);
+        let cmp = spmv_plan_comparison(&dev(), &a, 20);
+        assert!(
+            cmp.planned_host_ms_per_iter < cmp.per_call_host_ms_per_iter,
+            "planned {} vs per-call {}",
+            cmp.planned_host_ms_per_iter,
+            cmp.per_call_host_ms_per_iter
+        );
+    }
+
+    #[test]
+    fn pcg_plan_comparison_reports_speedup() {
+        let cmp = plan_comparison(&dev(), 32, 15);
+        assert!(cmp.per_call_host_ms_per_iter > 0.0);
+        assert!(cmp.planned_host_ms_per_iter > 0.0);
+        assert!(
+            cmp.planned_host_ms_per_iter < cmp.per_call_host_ms_per_iter,
+            "plans must lower host cost per iteration: planned {} vs per-call {}",
+            cmp.planned_host_ms_per_iter,
+            cmp.per_call_host_ms_per_iter
+        );
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let rows = run(&dev(), 8);
+        let cmp = spmv_plan_comparison(&dev(), &gen::stencil_5pt(8, 8), 3);
+        let j = to_json(&rows, &cmp, &cmp);
+        assert!(j.starts_with('{') && j.trim_end().ends_with('}'));
+        assert_eq!(j.matches("\"solver\"").count(), rows.len());
+        assert!(j.contains("\"pcg_plan_comparison\""));
+        assert!(j.contains("\"spmv_plan_comparison\""));
+        assert!(!j.contains("NaN") && !j.contains("inf"));
+    }
+}

@@ -17,13 +17,16 @@
 //! All kernels run on the [`mps_simt`] virtual device and report both their
 //! results and the simulated cost of every launch.
 
+pub mod assemble;
 pub mod config;
 pub mod spadd;
 pub mod spgemm;
 pub mod spmv;
+pub mod workspace;
 
 pub use config::{SpAddConfig, SpgemmConfig, SpmvConfig};
-pub use spadd::{merge_spadd, SpAddResult};
+pub use spadd::{merge_spadd, SpAddPlan, SpAddResult};
 pub use spgemm::adaptive::{adaptive_spgemm, segmented_spgemm, AdaptivePolicy, PipelineChoice};
-pub use spgemm::{merge_spgemm, PhaseTimes, SpgemmResult};
+pub use spgemm::{merge_spgemm, PhaseTimes, SpgemmPlan, SpgemmResult};
 pub use spmv::{merge_spmv, SpmvPlan, SpmvResult};
+pub use workspace::Workspace;

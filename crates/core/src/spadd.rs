@@ -8,12 +8,23 @@
 //! is `nv ± 1` input entries — perfectly balanced irrespective of row
 //! structure, which is why Figure 8 reports a correlation of 1.0 between
 //! time and `|A| + |B|`.
+//!
+//! **Plan/execute split.** Key expansion, the balanced-path partition, the
+//! count/fill walk and the output pattern depend only on the two sparsity
+//! patterns — never on the values. [`SpAddPlan`] runs the whole pipeline
+//! once with *provenance indices* in place of values (an index pair has the
+//! same 8-byte footprint as an `f64`, so the charged cost is identical) and
+//! records, for every output nonzero, which input entries feed it. Each
+//! execute is then one flat pass over that source map.
+
+use rayon::prelude::*;
 
 use mps_merge::set_ops::{set_op_pairs, SetOp};
 use mps_simt::grid::{launch_map_named, LaunchConfig, LaunchStats};
 use mps_simt::Device;
-use mps_sparse::{pack_key, unpack_key, CsrMatrix};
+use mps_sparse::{pack_key, CsrMatrix};
 
+use crate::assemble;
 use crate::config::SpAddConfig;
 
 /// Result of a balanced-path SpAdd.
@@ -33,18 +44,45 @@ impl SpAddResult {
     }
 }
 
+/// Expand a CSR matrix into packed (row,col) keys on the host, using the
+/// same per-CTA tiles the device kernel is charged for: each chunk seeks
+/// its starting row with one binary search, then walks the offsets.
+fn expand_keys_host(m: &CsrMatrix, nv: usize) -> Vec<u64> {
+    let nnz = m.nnz();
+    if nnz == 0 {
+        return Vec::new();
+    }
+    let chunks = nnz.div_ceil(nv);
+    let parts: Vec<Vec<u64>> = (0..chunks)
+        .into_par_iter()
+        .map(|chunk| {
+            let lo = chunk * nv;
+            let hi = (lo + nv).min(nnz);
+            // Row containing nonzero `lo`: last row whose offset is ≤ lo
+            // (ties from empty rows resolve to the owning row).
+            let mut r = m.row_offsets.partition_point(|&o| o <= lo) - 1;
+            let mut keys = Vec::with_capacity(hi - lo);
+            for i in lo..hi {
+                while m.row_offsets[r + 1] <= i {
+                    r += 1;
+                }
+                keys.push(pack_key(r as u32, m.col_idx[i]));
+            }
+            keys
+        })
+        .collect();
+    let mut keys = Vec::with_capacity(nnz);
+    for p in parts {
+        keys.extend(p);
+    }
+    keys
+}
+
 /// Expand a CSR matrix into packed (row,col) keys, charging one pass.
 fn expand_keys(device: &Device, m: &CsrMatrix, nv: usize) -> (Vec<u64>, LaunchStats) {
     let nnz = m.nnz();
     let num_ctas = nnz.div_ceil(nv).max(1);
-    // Precompute on the host; the launch charges the device cost of the
-    // offsets-to-rows expansion (load offsets + col indices, write keys).
-    let mut keys = Vec::with_capacity(nnz);
-    for r in 0..m.num_rows {
-        for &c in m.row_cols(r) {
-            keys.push(pack_key(r as u32, c));
-        }
-    }
+    let keys = expand_keys_host(m, nv);
     let cfg = LaunchConfig::new(num_ctas, 128);
     let (_, stats) = launch_map_named(device, "coo_expand", cfg, |cta| {
         let lo = cta.cta_id * nv;
@@ -56,52 +94,161 @@ fn expand_keys(device: &Device, m: &CsrMatrix, nv: usize) -> (Vec<u64>, LaunchSt
     (keys, stats)
 }
 
+/// Sentinel marking "no contribution from this operand" in a source pair.
+const NONE: u32 = u32::MAX;
+
+/// Precomputed SpAdd state for a fixed pair of sparsity patterns: the
+/// output pattern, a per-output source map into the operands' value arrays,
+/// and the cached simulated cost of every phase.
+///
+/// The build runs the exact pipeline `merge_spadd` used to run per call —
+/// expansion launches, balanced-path partition, count and fill passes —
+/// but carries `(a index, b index)` provenance pairs through the union
+/// instead of values. A pair is 8 bytes, the same as an `f64`, so the
+/// charged cost is identical to a numeric run. Each
+/// [`SpAddPlan::execute_into`] is then a single flat loop: `a_only` entries
+/// copy, `b_only` entries copy, matched entries add — in exactly the order
+/// and with exactly the floating-point combination the fused kernel used.
+#[derive(Debug, Clone)]
+pub struct SpAddPlan {
+    num_rows: usize,
+    num_cols: usize,
+    a_nnz: usize,
+    b_nnz: usize,
+    /// Output pattern.
+    row_offsets: Vec<usize>,
+    col_idx: Vec<u32>,
+    /// Per-output (index into a.values, index into b.values); [`NONE`]
+    /// marks an absent operand.
+    src: Vec<(u32, u32)>,
+    /// Cached cost of the two expansion launches.
+    expand: LaunchStats,
+    /// Cached cost of the partition + count + fill passes.
+    union: LaunchStats,
+}
+
+impl SpAddPlan {
+    /// Build the plan for `a + b`'s sparsity patterns, charging the full
+    /// pipeline cost against `device` once.
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn new(device: &Device, a: &CsrMatrix, b: &CsrMatrix, cfg: &SpAddConfig) -> SpAddPlan {
+        assert_eq!(
+            (a.num_rows, a.num_cols),
+            (b.num_rows, b.num_cols),
+            "SpAdd operands must have identical shape"
+        );
+
+        let (a_keys, mut expand) = expand_keys(device, a, cfg.nv);
+        let (b_keys, expand_b) = expand_keys(device, b, cfg.nv);
+        expand.add(&expand_b);
+
+        // Provenance pairs ride through the union where values normally
+        // would; the combine records the matched pair.
+        let a_src: Vec<(u32, u32)> = (0..a.nnz() as u32).map(|i| (i, NONE)).collect();
+        let b_src: Vec<(u32, u32)> = (0..b.nnz() as u32).map(|j| (NONE, j)).collect();
+        let (keys, src, union) = set_op_pairs(
+            device,
+            SetOp::Union,
+            &a_keys,
+            &a_src,
+            &b_keys,
+            &b_src,
+            |x, y| (x.0, y.1),
+            cfg.nv,
+        );
+
+        let offsets = assemble::row_offsets_from_sorted_keys(a.num_rows, &keys);
+        let cols = assemble::cols_from_keys(&keys);
+        SpAddPlan {
+            num_rows: a.num_rows,
+            num_cols: a.num_cols,
+            a_nnz: a.nnz(),
+            b_nnz: b.nnz(),
+            row_offsets: offsets,
+            col_idx: cols,
+            src,
+            expand,
+            union,
+        }
+    }
+
+    /// Number of nonzeros in the output pattern.
+    pub fn output_nnz(&self) -> usize {
+        self.src.len()
+    }
+
+    /// Simulated milliseconds charged at plan build (expand + union).
+    pub fn build_sim_ms(&self) -> f64 {
+        self.expand.sim_ms + self.union.sim_ms
+    }
+
+    fn check_inputs(&self, a: &CsrMatrix, b: &CsrMatrix) {
+        assert_eq!(
+            (a.num_rows, a.num_cols, a.nnz()),
+            (self.num_rows, self.num_cols, self.a_nnz),
+            "matrix A does not match the plan"
+        );
+        assert_eq!(
+            (b.num_rows, b.num_cols, b.nnz()),
+            (self.num_rows, self.num_cols, self.b_nnz),
+            "matrix B does not match the plan"
+        );
+    }
+
+    /// Steady-state execution: write the output values for `a + b` into a
+    /// caller-owned buffer (the pattern lives in the plan). Performs no
+    /// heap allocation once `values` has warmed to capacity.
+    ///
+    /// Returns the simulated milliseconds of the planned pipeline (from the
+    /// cached stats — structure work is not re-simulated).
+    ///
+    /// # Panics
+    /// Panics if either matrix does not match the planned patterns.
+    pub fn execute_into(&self, a: &CsrMatrix, b: &CsrMatrix, values: &mut Vec<f64>) -> f64 {
+        self.check_inputs(a, b);
+        values.clear();
+        values.reserve(self.src.len());
+        for &(i, j) in &self.src {
+            let v = if j == NONE {
+                a.values[i as usize]
+            } else if i == NONE {
+                b.values[j as usize]
+            } else {
+                a.values[i as usize] + b.values[j as usize]
+            };
+            values.push(v);
+        }
+        self.build_sim_ms()
+    }
+
+    /// Run the planned addition, assembling a full [`SpAddResult`] (clones
+    /// the cached pattern and stats). `device` is unused beyond API
+    /// symmetry — the cost was charged at plan build.
+    pub fn execute(&self, _device: &Device, a: &CsrMatrix, b: &CsrMatrix) -> SpAddResult {
+        let mut values = Vec::new();
+        self.execute_into(a, b, &mut values);
+        SpAddResult {
+            c: CsrMatrix {
+                num_rows: self.num_rows,
+                num_cols: self.num_cols,
+                row_offsets: self.row_offsets.clone(),
+                col_idx: self.col_idx.clone(),
+                values,
+            },
+            expand: self.expand.clone(),
+            union: self.union.clone(),
+        }
+    }
+}
+
 /// C = A + B via balanced-path set union.
 ///
 /// # Panics
 /// Panics if the shapes differ.
 pub fn merge_spadd(device: &Device, a: &CsrMatrix, b: &CsrMatrix, cfg: &SpAddConfig) -> SpAddResult {
-    assert_eq!(
-        (a.num_rows, a.num_cols),
-        (b.num_rows, b.num_cols),
-        "SpAdd operands must have identical shape"
-    );
-
-    let (a_keys, mut expand) = expand_keys(device, a, cfg.nv);
-    let (b_keys, expand_b) = expand_keys(device, b, cfg.nv);
-    expand.add(&expand_b);
-
-    let (keys, vals, union) = set_op_pairs(
-        device,
-        SetOp::Union,
-        &a_keys,
-        &a.values,
-        &b_keys,
-        &b.values,
-        |x, y| x + y,
-        cfg.nv,
-    );
-
-    // Rebuild CSR from the sorted unique keys (row-offset counting pass is
-    // part of the fill kernel's write cost; host just restructures).
-    let mut row_offsets = vec![0usize; a.num_rows + 1];
-    let mut col_idx = Vec::with_capacity(keys.len());
-    for &k in &keys {
-        let (r, c) = unpack_key(k);
-        row_offsets[r as usize + 1] += 1;
-        col_idx.push(c);
-    }
-    for i in 0..a.num_rows {
-        row_offsets[i + 1] += row_offsets[i];
-    }
-    let c = CsrMatrix {
-        num_rows: a.num_rows,
-        num_cols: a.num_cols,
-        row_offsets,
-        col_idx,
-        values: vals,
-    };
-    SpAddResult { c, expand, union }
+    SpAddPlan::new(device, a, b, cfg).execute(device, a, b)
 }
 
 #[cfg(test)]
@@ -177,6 +324,42 @@ mod tests {
         let rs = merge_spadd(&dev(), &small, &small, &cfg());
         let rb = merge_spadd(&dev(), &big, &big, &cfg());
         assert!(rb.sim_ms() > rs.sim_ms());
+    }
+
+    #[test]
+    fn plan_reuse_with_new_values_matches_one_shot() {
+        let a = gen::random_uniform(200, 200, 5.0, 3.0, 21);
+        let b = gen::random_uniform(200, 200, 5.0, 3.0, 22);
+        let plan = SpAddPlan::new(&dev(), &a, &b, &cfg());
+
+        let planned = plan.execute(&dev(), &a, &b);
+        let one_shot = merge_spadd(&dev(), &a, &b, &cfg());
+        assert_eq!(planned.c, one_shot.c, "same values: byte-identical output");
+        assert_eq!(planned.sim_ms(), one_shot.sim_ms(), "provenance run must cost the same");
+
+        // Same patterns, different values: the plan still applies.
+        let mut a2 = a.clone();
+        for v in &mut a2.values {
+            *v *= -3.0;
+        }
+        let planned2 = plan.execute(&dev(), &a2, &b);
+        assert_eq!(planned2.c, spadd_ref(&a2, &b));
+    }
+
+    #[test]
+    fn execute_into_reuses_buffer_without_reallocating() {
+        let a = gen::random_uniform(100, 100, 5.0, 3.0, 31);
+        let b = gen::random_uniform(100, 100, 5.0, 3.0, 32);
+        let plan = SpAddPlan::new(&dev(), &a, &b, &cfg());
+        let mut values = Vec::new();
+        plan.execute_into(&a, &b, &mut values);
+        assert_eq!(values.len(), plan.output_nnz());
+        let cap = values.capacity();
+        let ptr = values.as_ptr();
+        plan.execute_into(&a, &b, &mut values);
+        assert_eq!(values.capacity(), cap);
+        assert_eq!(values.as_ptr(), ptr, "warm buffer must be reused in place");
+        assert_eq!(values, spadd_ref(&a, &b).values);
     }
 
     #[test]

@@ -17,16 +17,16 @@
 
 pub mod adaptive;
 pub mod block_sort;
+pub mod plan;
 pub mod product;
 pub mod setup;
 
-use mps_merge::radix::sort_permutation;
 use mps_simt::grid::{launch_map_named, LaunchConfig, LaunchStats};
 use mps_simt::Device;
-use mps_sparse::{unpack_key, CsrMatrix};
+use mps_sparse::CsrMatrix;
 
 use crate::config::SpgemmConfig;
-use block_sort::bits_for;
+pub use plan::SpgemmPlan;
 
 /// Per-phase simulated times in milliseconds (the Figure 11 breakdown).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -79,117 +79,36 @@ impl SpgemmResult {
     pub fn sim_ms(&self) -> f64 {
         self.phases.total()
     }
+
+    /// Achieved GFLOP/s under simulated time, counting the paper's
+    /// 2·products flops (a multiply and an add per intermediate product).
+    ///
+    /// Empty inputs (zero products, zero phase-total time) report 0.0
+    /// rather than NaN/inf.
+    pub fn gflops(&self) -> f64 {
+        let total_ms = self.phases.total();
+        if total_ms <= 0.0 {
+            return 0.0;
+        }
+        2.0 * self.products as f64 / (total_ms * 1e-3) / 1e9
+    }
 }
 
 /// C = A·B with the two-level merge-path decomposition.
 ///
+/// One-shot convenience over [`SpgemmPlan`]: builds the plan (charging the
+/// full five-phase pipeline) and executes it once.
+///
 /// # Panics
 /// Panics if `a.num_cols != b.num_rows`.
 pub fn merge_spgemm(device: &Device, a: &CsrMatrix, b: &CsrMatrix, cfg: &SpgemmConfig) -> SpgemmResult {
-    assert_eq!(a.num_cols, b.num_rows, "inner dimensions must agree");
-    let mut stats = LaunchStats::default();
-    let mut phases = PhaseTimes::default();
-
-    // ---- Phase 1: setup --------------------------------------------------------
-    let (exp, setup_stats) = setup::setup(device, a, b);
-    phases.setup = setup_stats.sim_ms;
-    stats.add(&setup_stats);
-
-    if exp.products == 0 {
-        return SpgemmResult {
-            c: CsrMatrix::zeros(a.num_rows, b.num_cols),
-            products: 0,
-            phases,
-            stats,
-        };
-    }
-
-    // ---- Phase 2: block sort ----------------------------------------------------
-    let (tiles, bs_stats) = block_sort::block_sort(device, a, b, &exp, cfg);
-    phases.block_sort = bs_stats.sim_ms;
-    stats.add(&bs_stats);
-
-    // Concatenated locally reduced keys, in tile order.
-    let reduced_keys: Vec<u64> = tiles
-        .iter()
-        .flat_map(|t| t.unique_keys.iter().copied())
-        .collect();
-
-    // ---- Phase 3: global sort (permutation only) ---------------------------------
-    // Sort only the meaningful bits: column bits then row bits — the
-    // "two-pass" global radix sort of the paper. Keys are repacked
-    // compactly as (row << col_bits) | col so row-major order needs exactly
-    // col_bits + row_bits sorted bits.
-    let col_bits = bits_for(b.num_cols);
-    let key_bits = col_bits + bits_for(a.num_rows);
-    let sort_keys: Vec<u64> = reduced_keys
-        .iter()
-        .map(|&k| {
-            let (r, c) = unpack_key(k);
-            ((r as u64) << col_bits) | c as u64
-        })
-        .collect();
-    let (gperm, gs_stats) = sort_permutation(device, &sort_keys, key_bits.max(1), cfg.global_sort_nv);
-    phases.global_sort = gs_stats.sim_ms;
-    stats.add(&gs_stats);
-
-    // Invert the permutation: rank of each reduced entry in sorted order.
-    // One extra coalesced pass on the device.
-    let n_reduced = reduced_keys.len();
-    let mut rank = vec![0u32; n_reduced];
-    for (pos, &src) in gperm.iter().enumerate() {
-        rank[src as usize] = pos as u32;
-    }
-    let gperm_ref = &gperm;
-    let (_, inv_stats) = launch_map_named(
-        device,
-        "spgemm_rank_invert",
-        LaunchConfig::new(n_reduced.div_ceil(cfg.global_sort_nv).max(1), cfg.block_threads),
-        |cta| {
-            let lo = cta.cta_id * cfg.global_sort_nv;
-            let hi = (lo + cfg.global_sort_nv).min(n_reduced);
-            cta.read_coalesced(hi - lo, 4);
-            cta.scatter(gperm_ref[lo..hi].iter().map(|&p| p as usize), 4);
-        },
-    );
-    phases.global_sort += inv_stats.sim_ms;
-    stats.add(&inv_stats);
-
-    let sorted_keys: Vec<u64> = gperm.iter().map(|&p| reduced_keys[p as usize]).collect();
-
-    // ---- Phase 4: product compute -------------------------------------------------
-    let (ordered_vals, pc_stats) = product::product_compute(device, a, b, &exp, &tiles, &rank, cfg);
-    phases.product_compute = pc_stats.sim_ms;
-    stats.add(&pc_stats);
-
-    // ---- Phase 5: product reduce ---------------------------------------------------
-    let (final_keys, final_vals, pr_stats) =
-        product::product_reduce(device, &sorted_keys, &ordered_vals, cfg);
-    phases.product_reduce = pr_stats.sim_ms;
-    stats.add(&pr_stats);
-
-    // ---- Other: CSR assembly (allocation + row-offset count pass) ------------------
-    let (c, other_stats) = assemble_csr(device, a.num_rows, b.num_cols, &final_keys, final_vals);
-    phases.other = other_stats.sim_ms;
-    stats.add(&other_stats);
-
-    SpgemmResult {
-        c,
-        products: exp.products as u64,
-        phases,
-        stats,
-    }
+    SpgemmPlan::new(device, a, b, cfg).execute(device, a, b)
 }
 
-/// Build the CSR output from sorted unique (row,col) keys.
-fn assemble_csr(
-    device: &Device,
-    num_rows: usize,
-    num_cols: usize,
-    keys: &[u64],
-    values: Vec<f64>,
-) -> (CsrMatrix, LaunchStats) {
-    let n = keys.len();
+/// Charge the CSR-assembly kernel (allocation + row-offset count pass) for
+/// an output of `n` nonzeros. The host-side pattern build itself is the
+/// parallel [`crate::assemble`] pass.
+pub(crate) fn charge_assemble(device: &Device, n: usize) -> LaunchStats {
     let nv = 4096;
     let (_, stats) = launch_map_named(
         device,
@@ -203,26 +122,7 @@ fn assemble_csr(
             cta.write_coalesced(hi - lo, 4);
         },
     );
-    let mut row_offsets = vec![0usize; num_rows + 1];
-    let mut col_idx = Vec::with_capacity(n);
-    for &k in keys {
-        let (r, c) = unpack_key(k);
-        row_offsets[r as usize + 1] += 1;
-        col_idx.push(c);
-    }
-    for i in 0..num_rows {
-        row_offsets[i + 1] += row_offsets[i];
-    }
-    (
-        CsrMatrix {
-            num_rows,
-            num_cols,
-            row_offsets,
-            col_idx,
-            values,
-        },
-        stats,
-    )
+    stats
 }
 
 #[cfg(test)]
@@ -315,6 +215,34 @@ mod tests {
         assert_eq!(r.c.nnz(), 0);
         assert_eq!((r.c.num_rows, r.c.num_cols), (5, 6));
         assert_eq!(r.products, 0);
+    }
+
+    #[test]
+    fn empty_input_gflops_is_zero_not_nan() {
+        // Regression: with zero products the phase-total time is 0.0 and a
+        // naive rate divides 0/0.
+        let a = CsrMatrix::zeros(5, 4);
+        let b = CsrMatrix::zeros(4, 6);
+        let r = merge_spgemm(&dev(), &a, &b, &SpgemmConfig::default());
+        assert_eq!(r.products, 0);
+        assert_eq!(r.gflops(), 0.0);
+        assert!(r.gflops().is_finite());
+        // The other degenerate corner: no charged time at all.
+        let zeroed = SpgemmResult {
+            c: CsrMatrix::zeros(1, 1),
+            products: 0,
+            phases: PhaseTimes::default(),
+            stats: LaunchStats::default(),
+        };
+        assert_eq!(zeroed.gflops(), 0.0);
+        assert!(zeroed.gflops().is_finite());
+    }
+
+    #[test]
+    fn gflops_positive_for_nontrivial_product() {
+        let a = gen::random_uniform(100, 100, 5.0, 2.0, 19);
+        let r = merge_spgemm(&dev(), &a, &a, &SpgemmConfig::default());
+        assert!(r.gflops() > 0.0);
     }
 
     #[test]

@@ -1,0 +1,487 @@
+//! Plan/execute split for merge-path SpGEMM.
+//!
+//! Every phase of the Figure 3 pipeline except the arithmetic itself is a
+//! function of the two sparsity patterns: the product-space prefix sum, the
+//! block-sort permutations and duplicate heads, the global sort order, and
+//! the output pattern never look at a value. [`SpgemmPlan`] runs the whole
+//! simulated pipeline once — charging exactly what `merge_spgemm` charges —
+//! and keeps the structure maps it discovers:
+//!
+//! * `a_idx` / `b_pos` — for every intermediate product, the input value
+//!   indices that form it (the second expansion, precomputed);
+//! * `perm` / `head` / `tile_offsets` — the per-tile block-sort
+//!   permutation and duplicate-run heads (Figure 3 c–d);
+//! * `rank` — globally sorted position of each locally reduced entry;
+//! * `run_of` — output nonzero owning each sorted position;
+//! * the CSR pattern of C.
+//!
+//! A planned execution is then three flat loops (form + locally reduce +
+//! scatter, then reduce-by-key, then value placement) that replay the exact
+//! floating-point accumulation order of the one-shot pipeline — including
+//! the per-tile grouping and cross-tile carry stitch of the product-reduce
+//! phase, so results are bitwise identical.
+
+use rayon::prelude::*;
+
+use mps_merge::radix::sort_permutation;
+use mps_simt::grid::{launch_map_named, LaunchConfig, LaunchStats};
+use mps_simt::Device;
+use mps_sparse::{unpack_key, CsrMatrix};
+
+use super::block_sort::{self, bits_for};
+use super::product;
+use super::setup;
+use super::{PhaseTimes, SpgemmResult};
+use crate::assemble;
+use crate::config::SpgemmConfig;
+use crate::workspace::Workspace;
+
+/// Precomputed SpGEMM state for a fixed pair of sparsity patterns: all
+/// structure maps plus the cached simulated cost of every phase.
+#[derive(Debug, Clone)]
+pub struct SpgemmPlan {
+    a_dims: (usize, usize, usize),
+    b_dims: (usize, usize, usize),
+    /// Intermediate products (the paper's work measure).
+    products: usize,
+    /// Block-sort tile width used at build.
+    nv: usize,
+    /// Per-product index into `a.values` (expansion order).
+    a_idx: Vec<u32>,
+    /// Per-product index into `b.values` (expansion order).
+    b_pos: Vec<u32>,
+    /// Flattened per-tile sorted-position → tile-local product offset.
+    perm: Vec<u16>,
+    /// Flattened per-tile duplicate-run head flags.
+    head: Vec<bool>,
+    /// Reduced-entry base of each block-sort tile.
+    tile_offsets: Vec<usize>,
+    /// Locally reduced entry → globally sorted position.
+    rank: Vec<u32>,
+    /// Globally sorted position → output nonzero index.
+    run_of: Vec<u32>,
+    /// Reduce-by-key tile width used at build.
+    global_sort_nv: usize,
+    /// Output pattern.
+    row_offsets: Vec<usize>,
+    col_idx: Vec<u32>,
+    /// Cached per-phase simulated times, paid at plan build.
+    phases: PhaseTimes,
+    /// Cached aggregate launch statistics.
+    stats: LaunchStats,
+}
+
+impl SpgemmPlan {
+    /// Build the plan for `a · b`, charging the full five-phase pipeline
+    /// cost against `device` once.
+    ///
+    /// # Panics
+    /// Panics if `a.num_cols != b.num_rows`.
+    pub fn new(device: &Device, a: &CsrMatrix, b: &CsrMatrix, cfg: &SpgemmConfig) -> SpgemmPlan {
+        assert_eq!(a.num_cols, b.num_rows, "inner dimensions must agree");
+        let mut stats = LaunchStats::default();
+        let mut phases = PhaseTimes::default();
+        let a_dims = (a.num_rows, a.num_cols, a.nnz());
+        let b_dims = (b.num_rows, b.num_cols, b.nnz());
+
+        // ---- Phase 1: setup -------------------------------------------
+        let (exp, setup_stats) = setup::setup(device, a, b);
+        phases.setup = setup_stats.sim_ms;
+        stats.add(&setup_stats);
+
+        if exp.products == 0 {
+            return SpgemmPlan {
+                a_dims,
+                b_dims,
+                products: 0,
+                nv: cfg.nv(),
+                a_idx: Vec::new(),
+                b_pos: Vec::new(),
+                perm: Vec::new(),
+                head: Vec::new(),
+                tile_offsets: vec![0],
+                rank: Vec::new(),
+                run_of: Vec::new(),
+                global_sort_nv: cfg.global_sort_nv,
+                row_offsets: vec![0; a.num_rows + 1],
+                col_idx: Vec::new(),
+                phases,
+                stats,
+            };
+        }
+
+        // ---- Phase 2: block sort --------------------------------------
+        let (tiles, bs_stats) = block_sort::block_sort(device, a, b, &exp, cfg);
+        phases.block_sort = bs_stats.sim_ms;
+        stats.add(&bs_stats);
+
+        let reduced_keys: Vec<u64> = tiles
+            .iter()
+            .flat_map(|t| t.unique_keys.iter().copied())
+            .collect();
+
+        // ---- Phase 3: global sort (permutation only) ------------------
+        let col_bits = bits_for(b.num_cols);
+        let key_bits = col_bits + bits_for(a.num_rows);
+        let sort_keys: Vec<u64> = reduced_keys
+            .iter()
+            .map(|&k| {
+                let (r, c) = unpack_key(k);
+                ((r as u64) << col_bits) | c as u64
+            })
+            .collect();
+        let (gperm, gs_stats) =
+            sort_permutation(device, &sort_keys, key_bits.max(1), cfg.global_sort_nv);
+        phases.global_sort = gs_stats.sim_ms;
+        stats.add(&gs_stats);
+
+        let n_reduced = reduced_keys.len();
+        let mut rank = vec![0u32; n_reduced];
+        for (pos, &src) in gperm.iter().enumerate() {
+            rank[src as usize] = pos as u32;
+        }
+        let gperm_ref = &gperm;
+        let (_, inv_stats) = launch_map_named(
+            device,
+            "spgemm_rank_invert",
+            LaunchConfig::new(
+                n_reduced.div_ceil(cfg.global_sort_nv).max(1),
+                cfg.block_threads,
+            ),
+            |cta| {
+                let lo = cta.cta_id * cfg.global_sort_nv;
+                let hi = (lo + cfg.global_sort_nv).min(n_reduced);
+                cta.read_coalesced(hi - lo, 4);
+                cta.scatter(gperm_ref[lo..hi].iter().map(|&p| p as usize), 4);
+            },
+        );
+        phases.global_sort += inv_stats.sim_ms;
+        stats.add(&inv_stats);
+
+        let sorted_keys: Vec<u64> = gperm.iter().map(|&p| reduced_keys[p as usize]).collect();
+
+        // ---- Phase 4: product compute (charged; numerics discarded) ---
+        let (_, pc_stats) = product::product_compute(device, a, b, &exp, &tiles, &rank, cfg);
+        phases.product_compute = pc_stats.sim_ms;
+        stats.add(&pc_stats);
+
+        // ---- Phase 5: product reduce (charged; run map kept) ----------
+        let zeros = vec![0.0f64; sorted_keys.len()];
+        let (final_keys, _, pr_stats) = product::product_reduce(device, &sorted_keys, &zeros, cfg);
+        phases.product_reduce = pr_stats.sim_ms;
+        stats.add(&pr_stats);
+
+        // Sorted position → output index: runs of equal sorted keys.
+        let mut run_of = Vec::with_capacity(sorted_keys.len());
+        let mut run = 0u32;
+        for (i, &k) in sorted_keys.iter().enumerate() {
+            if i > 0 && k != sorted_keys[i - 1] {
+                run += 1;
+            }
+            run_of.push(run);
+        }
+        debug_assert_eq!(final_keys.len(), run as usize + 1);
+
+        // ---- Other: CSR assembly charge + parallel host pattern build -
+        let other_stats = super::charge_assemble(device, final_keys.len());
+        phases.other = other_stats.sim_ms;
+        stats.add(&other_stats);
+        let row_offsets = assemble::row_offsets_from_sorted_keys(a.num_rows, &final_keys);
+        let col_idx = assemble::cols_from_keys(&final_keys);
+
+        // Structure maps for the numeric replay.
+        let (a_idx, b_pos) = product_sources(a, b, &exp.s, cfg.nv());
+        let mut perm = Vec::with_capacity(exp.products);
+        let mut head = Vec::with_capacity(exp.products);
+        let mut tile_offsets = Vec::with_capacity(tiles.len() + 1);
+        tile_offsets.push(0usize);
+        for t in &tiles {
+            perm.extend(t.perm.iter().copied());
+            head.extend(t.head.iter().copied());
+            tile_offsets.push(tile_offsets.last().expect("non-empty") + t.unique_keys.len());
+        }
+
+        SpgemmPlan {
+            a_dims,
+            b_dims,
+            products: exp.products,
+            nv: cfg.nv(),
+            a_idx,
+            b_pos,
+            perm,
+            head,
+            tile_offsets,
+            rank,
+            run_of,
+            global_sort_nv: cfg.global_sort_nv,
+            row_offsets,
+            col_idx,
+            phases,
+            stats,
+        }
+    }
+
+    /// Intermediate products expanded by the planned multiply.
+    pub fn products(&self) -> u64 {
+        self.products as u64
+    }
+
+    /// Number of nonzeros in the output pattern.
+    pub fn output_nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Cached per-phase simulated times, charged once at plan build.
+    pub fn phases(&self) -> &PhaseTimes {
+        &self.phases
+    }
+
+    fn check_inputs(&self, a: &CsrMatrix, b: &CsrMatrix) {
+        assert_eq!(
+            (a.num_rows, a.num_cols, a.nnz()),
+            self.a_dims,
+            "matrix A does not match the plan"
+        );
+        assert_eq!(
+            (b.num_rows, b.num_cols, b.nnz()),
+            self.b_dims,
+            "matrix B does not match the plan"
+        );
+    }
+
+    /// Steady-state execution: write the output values for `a · b` into a
+    /// caller-owned buffer (the pattern lives in the plan), using workspace
+    /// scratch for the ordered intermediate array. Performs no heap
+    /// allocation once `values` and `ws` have warmed to capacity.
+    ///
+    /// Returns the simulated milliseconds of the planned pipeline (from the
+    /// cached stats — structure work is not re-simulated).
+    ///
+    /// # Panics
+    /// Panics if either matrix does not match the planned patterns.
+    pub fn execute_into(
+        &self,
+        a: &CsrMatrix,
+        b: &CsrMatrix,
+        values: &mut Vec<f64>,
+        ws: &mut Workspace,
+    ) -> f64 {
+        self.check_inputs(a, b);
+        let n_reduced = self.rank.len();
+        let out_nnz = self.output_nnz();
+        values.clear();
+        values.resize(out_nnz, 0.0);
+        if self.products == 0 {
+            return self.phases.total();
+        }
+
+        // Product compute replay: form each tile's products, apply the
+        // stored permutation, fold duplicate runs, scatter by rank.
+        let mut ordered = ws.take_f64();
+        ordered.resize(n_reduced, 0.0);
+        let total = self.products;
+        let num_tiles = total.div_ceil(self.nv);
+        for tile in 0..num_tiles {
+            let lo = tile * self.nv;
+            let hi = (lo + self.nv).min(total);
+            let base = self.tile_offsets[tile];
+            let mut local = 0usize;
+            let mut cur = 0usize;
+            for s in lo..hi {
+                let q = lo + self.perm[s] as usize;
+                let v = a.values[self.a_idx[q] as usize] * b.values[self.b_pos[q] as usize];
+                if self.head[s] {
+                    cur = self.rank[base + local] as usize;
+                    ordered[cur] = v;
+                    local += 1;
+                } else {
+                    ordered[cur] += v;
+                }
+            }
+        }
+
+        // Product reduce replay: per-tile reduce-by-key with the original
+        // tile grouping, cross-tile runs stitched by a second accumulation
+        // into the same output slot (the carry of the one-shot kernel).
+        let mut last_flushed = usize::MAX;
+        let num_rtiles = n_reduced.div_ceil(self.global_sort_nv).max(1);
+        for tile in 0..num_rtiles {
+            let lo = tile * self.global_sort_nv;
+            let hi = (lo + self.global_sort_nv).min(n_reduced);
+            let mut i = lo;
+            while i < hi {
+                let run = self.run_of[i] as usize;
+                let mut acc = ordered[i];
+                i += 1;
+                while i < hi && self.run_of[i] as usize == run {
+                    acc += ordered[i];
+                    i += 1;
+                }
+                if run == last_flushed {
+                    values[run] += acc;
+                } else {
+                    values[run] = acc;
+                    last_flushed = run;
+                }
+            }
+        }
+        ws.put_f64(ordered);
+        self.phases.total()
+    }
+
+    /// Run the planned multiply, assembling a full [`SpgemmResult`] (clones
+    /// the cached pattern and stats). `device` is unused beyond API
+    /// symmetry — the cost was charged at plan build.
+    pub fn execute(&self, _device: &Device, a: &CsrMatrix, b: &CsrMatrix) -> SpgemmResult {
+        let mut values = Vec::new();
+        let mut ws = Workspace::new();
+        self.execute_into(a, b, &mut values, &mut ws);
+        SpgemmResult {
+            c: CsrMatrix {
+                num_rows: self.a_dims.0,
+                num_cols: self.b_dims.1,
+                row_offsets: self.row_offsets.clone(),
+                col_idx: self.col_idx.clone(),
+                values,
+            },
+            products: self.products as u64,
+            phases: self.phases,
+            stats: self.stats.clone(),
+        }
+    }
+}
+
+/// Per-product source indices `(a value index, b value index)` in expansion
+/// order, computed with the same per-tile chunking the kernels use: each
+/// chunk seeks its first A nonzero with one binary search into the product
+/// prefix sum, then walks.
+fn product_sources(a: &CsrMatrix, b: &CsrMatrix, s: &[usize], nv: usize) -> (Vec<u32>, Vec<u32>) {
+    let total = *s.last().expect("non-empty prefix sum");
+    if total == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    let chunks = total.div_ceil(nv);
+    let parts: Vec<(Vec<u32>, Vec<u32>)> = (0..chunks)
+        .into_par_iter()
+        .map(|chunk| {
+            let lo = chunk * nv;
+            let hi = (lo + nv).min(total);
+            let mut j = s.partition_point(|&v| v <= lo) - 1;
+            let mut a_idx = Vec::with_capacity(hi - lo);
+            let mut b_pos = Vec::with_capacity(hi - lo);
+            for q in lo..hi {
+                while s[j + 1] <= q {
+                    j += 1;
+                }
+                let t = q - s[j];
+                a_idx.push(j as u32);
+                b_pos.push((b.row_offsets[a.col_idx[j] as usize] + t) as u32);
+            }
+            (a_idx, b_pos)
+        })
+        .collect();
+    let mut a_idx = Vec::with_capacity(total);
+    let mut b_pos = Vec::with_capacity(total);
+    for (ai, bp) in parts {
+        a_idx.extend(ai);
+        b_pos.extend(bp);
+    }
+    (a_idx, b_pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spgemm::merge_spgemm;
+    use mps_sparse::gen;
+    use mps_sparse::ops::spgemm_ref;
+
+    fn dev() -> Device {
+        Device::titan()
+    }
+
+    #[test]
+    fn plan_execute_matches_one_shot_bitwise() {
+        let a = gen::random_uniform(120, 90, 5.0, 3.0, 41);
+        let b = gen::random_uniform(90, 110, 4.0, 2.0, 42);
+        let cfg = SpgemmConfig::default();
+        let one_shot = merge_spgemm(&dev(), &a, &b, &cfg);
+        let plan = SpgemmPlan::new(&dev(), &a, &b, &cfg);
+        let planned = plan.execute(&dev(), &a, &b);
+        assert_eq!(planned.c, one_shot.c, "planned result must be byte-identical");
+        assert_eq!(planned.products, one_shot.products);
+        assert_eq!(planned.phases, one_shot.phases);
+    }
+
+    #[test]
+    fn plan_reuse_with_new_values() {
+        let a = gen::random_uniform(80, 80, 5.0, 3.0, 51);
+        let b = gen::random_uniform(80, 80, 5.0, 3.0, 52);
+        let cfg = SpgemmConfig {
+            block_threads: 16,
+            items_per_thread: 3,
+            global_sort_nv: 64,
+        };
+        let plan = SpgemmPlan::new(&dev(), &a, &b, &cfg);
+        let mut a2 = a.clone();
+        for (i, v) in a2.values.iter_mut().enumerate() {
+            *v = (i % 7) as f64 - 2.5;
+        }
+        let planned = plan.execute(&dev(), &a2, &b);
+        assert!(planned.c.approx_eq(&spgemm_ref(&a2, &b), 1e-12));
+    }
+
+    #[test]
+    fn tiny_tiles_cross_tile_runs_replay_exactly() {
+        // Runs spanning reduce-tile boundaries exercise the carry stitch.
+        let a = gen::random_uniform(30, 30, 4.0, 2.0, 61);
+        let b = gen::random_uniform(30, 30, 4.0, 2.0, 62);
+        let cfg = SpgemmConfig {
+            block_threads: 1,
+            items_per_thread: 2,
+            global_sort_nv: 3,
+        };
+        let one_shot = merge_spgemm(&dev(), &a, &b, &cfg);
+        let plan = SpgemmPlan::new(&dev(), &a, &b, &cfg);
+        let planned = plan.execute(&dev(), &a, &b);
+        assert_eq!(planned.c, one_shot.c);
+    }
+
+    #[test]
+    fn empty_product_space_plan() {
+        let a = CsrMatrix::zeros(5, 4);
+        let b = CsrMatrix::zeros(4, 6);
+        let plan = SpgemmPlan::new(&dev(), &a, &b, &SpgemmConfig::default());
+        assert_eq!(plan.products(), 0);
+        let r = plan.execute(&dev(), &a, &b);
+        assert_eq!(r.c.nnz(), 0);
+        assert_eq!((r.c.num_rows, r.c.num_cols), (5, 6));
+    }
+
+    #[test]
+    fn execute_into_reuses_buffers() {
+        let a = gen::random_uniform(60, 60, 5.0, 2.0, 71);
+        let b = gen::random_uniform(60, 60, 5.0, 2.0, 72);
+        let plan = SpgemmPlan::new(&dev(), &a, &b, &SpgemmConfig::default());
+        let mut ws = Workspace::new();
+        let mut values = Vec::new();
+        plan.execute_into(&a, &b, &mut values, &mut ws);
+        let expected = values.clone();
+        let cap = values.capacity();
+        let ptr = values.as_ptr();
+        plan.execute_into(&a, &b, &mut values, &mut ws);
+        assert_eq!(values, expected);
+        assert_eq!(values.capacity(), cap);
+        assert_eq!(values.as_ptr(), ptr, "warm buffer must be reused in place");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match the plan")]
+    fn plan_rejects_mismatched_operand() {
+        let a = gen::random_uniform(20, 20, 4.0, 2.0, 81);
+        let b = gen::random_uniform(20, 20, 4.0, 2.0, 82);
+        let other = gen::random_uniform(20, 20, 4.0, 2.0, 83);
+        let plan = SpgemmPlan::new(&dev(), &a, &b, &SpgemmConfig::default());
+        plan.execute(&dev(), &other, &b);
+    }
+}

@@ -17,6 +17,16 @@
 //! Empty rows: the fast path walks the raw row offsets; when the input has
 //! empty rows the kernel adaptively compacts the offsets array first (the
 //! paper's "slightly slower method"), charging the extra pass.
+//!
+//! **Plan/execute split.** Every phase's simulated cost is a function of the
+//! sparsity structure alone — the partition boundaries, the row walk, the
+//! segment layout and the carry set never depend on the numeric values. A
+//! [`SpmvPlan`] therefore charges the full pipeline once at build time and
+//! caches the per-phase [`LaunchStats`]; each [`SpmvPlan::execute_into`]
+//! afterwards is a pure flat loop over the precomputed maps that reproduces
+//! the kernel's floating-point summation order exactly (per-CTA segmented
+//! sums, then carry folds in CTA order) without re-simulating any launch —
+//! and, given a warmed [`Workspace`], without allocating.
 
 use mps_simt::block::{binary_search_partition, block_segmented_reduce};
 use mps_simt::cta::Cta;
@@ -25,6 +35,7 @@ use mps_simt::Device;
 use mps_sparse::CsrMatrix;
 
 use crate::config::SpmvConfig;
+use crate::workspace::Workspace;
 
 /// Charge the shared-memory cost of a striped→blocked exchange of `items`
 /// register-tile entries (the data itself is already in natural order on
@@ -62,12 +73,18 @@ impl SpmvResult {
     }
 }
 
-/// Precomputed SpMV partition: the phase-1 state (boundary searches plus
-/// any empty-row compaction) for a fixed matrix.
+/// Precomputed SpMV state: the phase-1 partition (boundary searches plus
+/// any empty-row compaction) for a fixed matrix, together with the cached
+/// simulated cost of the value-dependent phases.
 ///
-/// Iterative solvers apply the same operator hundreds of times; the
-/// partition depends only on the matrix, so a plan pays it once and every
-/// [`SpmvPlan::execute`] runs only the reduction and update phases.
+/// Iterative solvers apply the same operator hundreds of times. Everything
+/// the simulated pipeline does except the arithmetic itself — partitioning,
+/// the row walk, segment layout, carry structure, and therefore the entire
+/// cost model — depends only on the sparsity pattern, so a plan pays all of
+/// it once: [`SpmvPlan::new`] runs the partition *and* charges the
+/// reduction/update phases against the device, and every subsequent
+/// [`SpmvPlan::execute`]/[`SpmvPlan::execute_into`] performs only the flat
+/// numeric work.
 #[derive(Debug, Clone)]
 pub struct SpmvPlan {
     cfg: SpmvConfig,
@@ -82,10 +99,15 @@ pub struct SpmvPlan {
     s: Vec<usize>,
     /// Cost of the partition (and compaction) phase, paid at plan build.
     pub partition: LaunchStats,
+    /// Cached cost of the reduction phase (structure-only; charged once).
+    reduction: LaunchStats,
+    /// Cached cost of the update phase (structure-only; charged once).
+    update: LaunchStats,
 }
 
 impl SpmvPlan {
-    /// Build the partition for `a` (phase 1 of Section III-A).
+    /// Build the partition for `a` (phase 1 of Section III-A) and charge
+    /// the value-independent cost of the remaining phases.
     pub fn new(device: &Device, a: &CsrMatrix, cfg: &SpmvConfig) -> SpmvPlan {
         let nnz = a.nnz();
         let nv = cfg.nv();
@@ -99,6 +121,8 @@ impl SpmvPlan {
                 row_ids: None,
                 s: Vec::new(),
                 partition: LaunchStats::default(),
+                reduction: LaunchStats::default(),
+                update: LaunchStats::default(),
             };
         }
 
@@ -132,7 +156,8 @@ impl SpmvPlan {
             partition.totals.dram_transactions +=
                 ((a.num_rows as u64 + 1) * 8 + logical_rows as u64 * 12) / 128 + 1;
         }
-        SpmvPlan {
+
+        let mut plan = SpmvPlan {
             cfg: *cfg,
             nnz,
             num_rows: a.num_rows,
@@ -141,7 +166,13 @@ impl SpmvPlan {
             row_ids,
             s,
             partition,
-        }
+            reduction: LaunchStats::default(),
+            update: LaunchStats::default(),
+        };
+        let (reduction, update) = plan.charge_numeric_phases(device, a);
+        plan.reduction = reduction;
+        plan.update = update;
+        plan
     }
 
     /// Whether the adaptive empty-row compaction path ran.
@@ -149,19 +180,216 @@ impl SpmvPlan {
         self.row_ids.is_some()
     }
 
-    /// Run the reduction + update phases against the planned matrix.
-    ///
-    /// # Panics
-    /// Panics if `a` does not match the planned matrix's shape/nnz or `x`
-    /// has the wrong length.
-    pub fn execute(&self, device: &Device, a: &CsrMatrix, x: &[f64]) -> SpmvResult {
+    /// Cached simulated cost of the reduction phase.
+    pub fn reduction_stats(&self) -> &LaunchStats {
+        &self.reduction
+    }
+
+    /// Cached simulated cost of the update phase.
+    pub fn update_stats(&self) -> &LaunchStats {
+        &self.update
+    }
+
+    /// Simulated milliseconds of one planned execution (reduction + update).
+    pub fn execute_sim_ms(&self) -> f64 {
+        self.reduction.sim_ms + self.update.sim_ms
+    }
+
+    /// Simulate the reduction and update phases once, charging the device
+    /// with exactly the traffic of the original per-call kernels. The
+    /// numeric outputs are discarded — only the structure (segment layout,
+    /// carry set) and the cost survive in the plan.
+    fn charge_numeric_phases(&self, device: &Device, a: &CsrMatrix) -> (LaunchStats, LaunchStats) {
+        let nnz = self.nnz;
+        let nv = self.cfg.nv();
+        let num_ctas = nnz.div_ceil(nv);
+        let offsets_ref = &self.offsets;
+        let s_ref = &self.s;
+        let logical_rows = self.offsets.len().saturating_sub(1);
+
+        // ---- Phase 2: reduction -----------------------------------------
+        let cfg_red = LaunchConfig::new(num_ctas, self.cfg.block_threads);
+        let (outputs, reduction) = launch_map_named(device, "spmv_reduce", cfg_red, |cta| {
+            let lo = cta.cta_id * nv;
+            let hi = (lo + nv).min(nnz);
+            let count = hi - lo;
+            let row_lo = s_ref[cta.cta_id];
+            // The last boundary search used item nnz-1; the row range for
+            // this CTA ends at the row containing its last item.
+            let row_hi = if cta.cta_id + 1 < s_ref.len() {
+                s_ref[cta.cta_id + 1]
+            } else {
+                logical_rows - 1
+            };
+
+            // Row offsets for the CTA's rows into shared memory.
+            cta.read_coalesced(row_hi - row_lo + 2, 8);
+            cta.shmem((row_hi - row_lo + 2) as u64);
+
+            // Strided loads of column indices and values (coalesced).
+            cta.read_coalesced(count, 4); // col_idx
+            cta.read_coalesced(count, 8); // values
+
+            // Gather x by column index: the data-dependent access.
+            cta.gather(a.col_idx[lo..hi].iter().map(|&c| c as usize), 8);
+
+            // Form products (one multiply per item — the 2·nnz flops
+            // together with the adds inside the segmented reduction).
+            cta.alu(count as u64);
+
+            // Expand logical row ids by walking the shared offsets.
+            let mut rows = Vec::with_capacity(count);
+            let mut r = row_lo;
+            cta.alu(count as u64);
+            for item in lo..hi {
+                while r < row_hi && offsets_ref[r + 1] <= item {
+                    r += 1;
+                }
+                rows.push(r);
+            }
+
+            // On hardware the strided register tile is transposed to
+            // blocked order through shared memory before the scan; the
+            // exchange covers two tiles (products and row indices).
+            charge_exchange(cta, 2 * count);
+
+            // Values are irrelevant to both structure and cost; segment
+            // layout comes from the row expansion alone.
+            let zeros = vec![0.0f64; count];
+            let seg = block_segmented_reduce(cta, &zeros, &rows);
+
+            // Complete rows go straight to y (contiguous rows: coalesced-ish).
+            cta.write_coalesced(seg.complete.len(), 8);
+            seg.carry.map(|(row, _)| row)
+        });
+
+        let carry_rows: Vec<usize> = outputs.into_iter().flatten().collect();
+
+        // ---- Phase 3: update --------------------------------------------
+        let carries_ref = &carry_rows;
+        let cfg_upd = LaunchConfig::new(1, self.cfg.block_threads);
+        let (_, update) = launch_map_named(device, "spmv_update", cfg_upd, |cta| {
+            cta.read_coalesced(carries_ref.len(), 12);
+            cta.alu(2 * carries_ref.len() as u64);
+            cta.scatter(carries_ref.iter().copied(), 8);
+        });
+        (reduction, update)
+    }
+
+    /// The numeric phases as pure flat loops: per-CTA fused product-and-
+    /// segmented-sum (bitwise identical to the simulated kernel's grouping:
+    /// products accumulate in item order within each row segment), complete
+    /// rows assigned, trailing partials folded as carries in CTA order.
+    fn numeric_execute(&self, a: &CsrMatrix, x: &[f64], y: &mut [f64], carries: &mut Vec<(usize, f64)>) {
+        y.fill(0.0);
+        carries.clear();
+        let nnz = self.nnz;
+        if nnz == 0 {
+            return;
+        }
+        let nv = self.cfg.nv();
+        let num_ctas = nnz.div_ceil(nv);
+        let offsets = &self.offsets;
+        let logical_rows = offsets.len().saturating_sub(1);
+        let to_physical = |logical: usize| -> usize {
+            match &self.row_ids {
+                Some(ids) => ids[logical] as usize,
+                None => logical,
+            }
+        };
+
+        for cta_id in 0..num_ctas {
+            let lo = cta_id * nv;
+            let hi = (lo + nv).min(nnz);
+            let row_lo = self.s[cta_id];
+            let row_hi = if cta_id + 1 < self.s.len() {
+                self.s[cta_id + 1]
+            } else {
+                logical_rows - 1
+            };
+            let mut r = row_lo;
+            let mut acc = 0.0f64;
+            let mut any = false;
+            for i in lo..hi {
+                while r < row_hi && offsets[r + 1] <= i {
+                    if any {
+                        y[to_physical(r)] = acc;
+                    }
+                    r += 1;
+                    acc = 0.0;
+                    any = false;
+                }
+                acc += a.values[i] * x[a.col_idx[i] as usize];
+                any = true;
+            }
+            // The tile's final segment is the CTA carry, even when the row
+            // happens to end exactly at the tile boundary.
+            if any {
+                carries.push((r, acc));
+            }
+        }
+
+        for &(logical, sum) in carries.iter() {
+            y[to_physical(logical)] += sum;
+        }
+    }
+
+    fn check_inputs(&self, a: &CsrMatrix, x: &[f64]) {
         assert_eq!(x.len(), self.num_cols, "x length must equal num_cols");
         assert_eq!(
             (a.num_rows, a.num_cols, a.nnz()),
             (self.num_rows, self.num_cols, self.nnz),
             "matrix does not match the plan"
         );
-        plan_execute(self, device, a, x)
+    }
+
+    /// Run the reduction + update phases against the planned matrix.
+    ///
+    /// Convenience wrapper over [`SpmvPlan::execute_into`] that allocates
+    /// the output vector and clones the cached phase stats. `device` is
+    /// unused beyond API symmetry — the cost was charged at plan build.
+    ///
+    /// # Panics
+    /// Panics if `a` does not match the planned matrix's shape/nnz or `x`
+    /// has the wrong length.
+    pub fn execute(&self, _device: &Device, a: &CsrMatrix, x: &[f64]) -> SpmvResult {
+        self.check_inputs(a, x);
+        let mut y = vec![0.0; self.num_rows];
+        let mut carries = Vec::new();
+        self.numeric_execute(a, x, &mut y, &mut carries);
+        SpmvResult {
+            y,
+            partition: LaunchStats::default(),
+            reduction: self.reduction.clone(),
+            update: self.update.clone(),
+            compacted: self.compacted(),
+        }
+    }
+
+    /// Steady-state execution: write `y = A·x` into a caller-owned buffer
+    /// using workspace scratch, returning the simulated milliseconds of the
+    /// numeric phases (from the plan's cached stats).
+    ///
+    /// After one warm-up call with the same `y`/`ws`, this performs no heap
+    /// allocation.
+    ///
+    /// # Panics
+    /// Panics if `a` does not match the planned matrix's shape/nnz or `x`
+    /// has the wrong length.
+    pub fn execute_into(
+        &self,
+        a: &CsrMatrix,
+        x: &[f64],
+        y: &mut Vec<f64>,
+        ws: &mut Workspace,
+    ) -> f64 {
+        self.check_inputs(a, x);
+        y.clear();
+        y.resize(self.num_rows, 0.0);
+        let mut carries = ws.take_carries();
+        self.numeric_execute(a, x, y, &mut carries);
+        ws.put_carries(carries);
+        self.execute_sim_ms()
     }
 }
 
@@ -174,131 +402,6 @@ pub fn merge_spmv(device: &Device, a: &CsrMatrix, x: &[f64], cfg: &SpmvConfig) -
     let mut result = plan.execute(device, a, x);
     result.partition = plan.partition;
     result
-}
-
-/// Reduction + update phases against a prepared plan.
-fn plan_execute(plan: &SpmvPlan, device: &Device, a: &CsrMatrix, x: &[f64]) -> SpmvResult {
-    let nnz = plan.nnz;
-    let nv = plan.cfg.nv();
-    let cfg = &plan.cfg;
-    let compacted = plan.compacted();
-    let offsets = &plan.offsets;
-    let row_ids = &plan.row_ids;
-    let logical_rows = offsets.len().saturating_sub(1);
-    let to_physical = |logical: usize| -> usize {
-        match row_ids {
-            Some(ids) => ids[logical] as usize,
-            None => logical,
-        }
-    };
-
-    let mut y = vec![0.0; plan.num_rows];
-    if nnz == 0 {
-        return SpmvResult {
-            y,
-            partition: LaunchStats::default(),
-            reduction: LaunchStats::default(),
-            update: LaunchStats::default(),
-            compacted: false,
-        };
-    }
-    let num_ctas = nnz.div_ceil(nv);
-    let offsets_ref = offsets;
-
-    // ---- Phase 2: reduction ---------------------------------------------------
-    let s_ref = &plan.s;
-    let cfg_red = LaunchConfig::new(num_ctas, cfg.block_threads);
-    let (outputs, reduction) = launch_map_named(device, "spmv_reduce", cfg_red, |cta| {
-        let lo = cta.cta_id * nv;
-        let hi = (lo + nv).min(nnz);
-        let count = hi - lo;
-        let row_lo = s_ref[cta.cta_id];
-        // The last boundary search used item nnz-1; the row range for this
-        // CTA ends at the row containing its last item.
-        let row_hi = if cta.cta_id + 1 < s_ref.len() {
-            s_ref[cta.cta_id + 1]
-        } else {
-            logical_rows - 1
-        };
-
-        // Row offsets for the CTA's rows into shared memory.
-        cta.read_coalesced(row_hi - row_lo + 2, 8);
-        cta.shmem((row_hi - row_lo + 2) as u64);
-
-        // Strided loads of column indices and values (coalesced).
-        cta.read_coalesced(count, 4); // col_idx
-        cta.read_coalesced(count, 8); // values
-
-        // Gather x by column index: the data-dependent access.
-        cta.gather(
-            a.col_idx[lo..hi].iter().map(|&c| c as usize),
-            8,
-        );
-
-        // Form products (one multiply per item — the 2·nnz flops together
-        // with the adds inside the segmented reduction).
-        cta.alu(count as u64);
-        let mut products = Vec::with_capacity(count);
-        for i in lo..hi {
-            products.push(a.values[i] * x[a.col_idx[i] as usize]);
-        }
-
-        // Expand logical row ids by walking the shared offsets.
-        let mut rows = Vec::with_capacity(count);
-        let mut r = row_lo;
-        cta.alu(count as u64);
-        for item in lo..hi {
-            while r < row_hi && offsets_ref[r + 1] <= item {
-                r += 1;
-            }
-            rows.push(r);
-        }
-
-        // On hardware the strided register tile is transposed to blocked
-        // order through shared memory before the scan; host-side the arrays
-        // are already in natural order, so only the exchange cost applies
-        // (two tiles: products and row indices).
-        charge_exchange(cta, 2 * count);
-
-        let seg = block_segmented_reduce(cta, &products, &rows);
-
-        // Complete rows go straight to y (contiguous rows: coalesced-ish).
-        cta.write_coalesced(seg.complete.len(), 8);
-        (seg.complete, seg.carry)
-    });
-
-    // Host-side assembly of the per-CTA outputs (disjoint complete rows).
-    let mut carries: Vec<(usize, f64)> = Vec::with_capacity(num_ctas);
-    for (complete, carry) in outputs {
-        for (logical, sum) in complete {
-            y[to_physical(logical)] = sum;
-        }
-        if let Some(c) = carry {
-            carries.push(c);
-        }
-    }
-
-    // ---- Phase 3: update -------------------------------------------------------
-    // Segmented scan over the carries; every carry accumulates into its row.
-    let carries_ref = &carries;
-    let cfg_upd = LaunchConfig::new(1, cfg.block_threads);
-    let (folds, update) = launch_map_named(device, "spmv_update", cfg_upd, |cta| {
-        cta.read_coalesced(carries_ref.len(), 12);
-        cta.alu(2 * carries_ref.len() as u64);
-        cta.scatter(carries_ref.iter().map(|&(r, _)| r), 8);
-        carries_ref.clone()
-    });
-    for (logical, sum) in folds.into_iter().flatten() {
-        y[to_physical(logical)] += sum;
-    }
-
-    SpmvResult {
-        y,
-        partition: LaunchStats::default(),
-        reduction,
-        update,
-        compacted,
-    }
 }
 
 #[cfg(test)]
@@ -440,11 +543,52 @@ mod tests {
     }
 
     #[test]
+    fn execute_into_is_bitwise_identical_to_one_shot() {
+        for m in [
+            gen::banded(400, 15.0, 6.0, 50, 9),
+            gen::power_law(300, 300, 1, 1.5, 120, 4),
+            // Empty rows: the compaction path.
+            CooMatrix::from_triplets(50, 50, [(3, 1, 2.5), (30, 49, -1.0), (31, 0, 4.0)]).to_csr(),
+        ] {
+            let x = x_for(&m);
+            let one_shot = merge_spmv(&dev(), &m, &x, &SpmvConfig::default());
+            let plan = SpmvPlan::new(&dev(), &m, &SpmvConfig::default());
+            let mut ws = Workspace::new();
+            let mut y = Vec::new();
+            let ms = plan.execute_into(&m, &x, &mut y, &mut ws);
+            assert_eq!(y, one_shot.y, "planned result must be byte-identical");
+            assert!((ms - (one_shot.reduction.sim_ms + one_shot.update.sim_ms)).abs() < 1e-12);
+            // Re-run with the warmed workspace: still identical.
+            plan.execute_into(&m, &x, &mut y, &mut ws);
+            assert_eq!(y, one_shot.y);
+        }
+    }
+
+    #[test]
+    fn cached_numeric_stats_match_legacy_per_call_charges() {
+        // The build-time charge must equal what the per-call kernels used
+        // to charge: nonzero reduction cost, nonzero update cost when rows
+        // span tiles, and identical totals between two identical plans.
+        let a = gen::random_uniform(600, 600, 8.0, 4.0, 13);
+        let cfg = SpmvConfig::default();
+        let p1 = SpmvPlan::new(&dev(), &a, &cfg);
+        let p2 = SpmvPlan::new(&dev(), &a, &cfg);
+        assert!(p1.reduction_stats().sim_ms > 0.0);
+        assert_eq!(p1.reduction_stats().sim_ms, p2.reduction_stats().sim_ms);
+        assert_eq!(p1.update_stats().sim_ms, p2.update_stats().sim_ms);
+        assert_eq!(
+            p1.reduction_stats().totals.dram_read_bytes,
+            p2.reduction_stats().totals.dram_read_bytes
+        );
+        assert!(p1.execute_sim_ms() > 0.0);
+    }
+
+    #[test]
     fn plan_handles_empty_rows() {
         let a = CooMatrix::from_triplets(8, 8, [(1, 0, 2.0), (6, 7, 3.0)]).to_csr();
         let plan = SpmvPlan::new(&dev(), &a, &SpmvConfig::default());
         assert!(plan.compacted());
-        let r = plan.execute(&dev(), &a, &vec![1.0; 8]);
+        let r = plan.execute(&dev(), &a, &[1.0; 8]);
         assert_eq!(r.y, vec![0.0, 2.0, 0.0, 0.0, 0.0, 0.0, 3.0, 0.0]);
     }
 

@@ -9,7 +9,7 @@
 use mps_simt::Device;
 use mps_sparse::CsrMatrix;
 
-use crate::semiring::{semiring_spmv, BoolOrAnd};
+use crate::semiring::{semiring_spmv_into, BoolOrAnd, SemiringScratch};
 
 /// BFS levels from `source` (unreached vertices get `u32::MAX`).
 /// Returns the level array and the total simulated device time in ms.
@@ -24,24 +24,25 @@ pub fn bfs_levels(device: &Device, graph: &CsrMatrix, source: usize) -> (Vec<u32
     levels[source] = 0;
     let mut frontier = vec![false; n];
     frontier[source] = true;
+    let mut next = vec![false; n];
+    let mut reached: Vec<bool> = Vec::new();
+    let mut scratch = SemiringScratch::new();
     let mut sim_ms = 0.0;
 
     for depth in 1..=n as u32 {
-        let (reached, stats) = semiring_spmv(device, &BoolOrAnd, graph, &frontier);
-        sim_ms += stats.sim_ms;
-        let mut next = vec![false; n];
+        sim_ms += semiring_spmv_into(device, &BoolOrAnd, graph, &frontier, &mut reached, &mut scratch);
         let mut any = false;
         for v in 0..n {
-            if reached[v] && levels[v] == u32::MAX {
+            next[v] = reached[v] && levels[v] == u32::MAX;
+            if next[v] {
                 levels[v] = depth;
-                next[v] = true;
                 any = true;
             }
         }
         if !any {
             break;
         }
-        frontier = next;
+        std::mem::swap(&mut frontier, &mut next);
     }
     (levels, sim_ms)
 }

@@ -5,7 +5,7 @@
 //! the Webbase case of the paper's suite, where flat decomposition is at
 //! its most valuable.
 
-use mps_core::{SpmvConfig, SpmvPlan};
+use mps_core::{SpmvConfig, SpmvPlan, Workspace};
 use mps_simt::Device;
 use mps_sparse::CsrMatrix;
 
@@ -62,13 +62,14 @@ pub fn pagerank(
     let cfg = SpmvConfig::default();
     let plan = SpmvPlan::new(device, &t, &cfg);
     let mut sim_ms = plan.partition.sim_ms;
+    let mut ws = Workspace::new();
+    let mut y: Vec<f64> = Vec::new();
 
     let mut r = vec![1.0 / n as f64; n];
     let mut iterations = 0;
     let mut converged = false;
     while iterations < max_iterations {
-        let spmv = plan.execute(device, &t, &r);
-        sim_ms += spmv.sim_ms();
+        sim_ms += plan.execute_into(&t, &r, &mut y, &mut ws);
         // Dangling vertices spread their mass uniformly.
         let dangling_mass: f64 = r
             .iter()
@@ -77,9 +78,14 @@ pub fn pagerank(
             .map(|(ri, _)| ri)
             .sum();
         let base = (1.0 - damping) / n as f64 + damping * dangling_mass / n as f64;
-        let next: Vec<f64> = spmv.y.iter().map(|&v| base + damping * v).collect();
-        let delta: f64 = next.iter().zip(&r).map(|(a, b)| (a - b).abs()).sum();
-        r = next;
+        // Finish the update in place and swap buffers: steady-state
+        // iterations allocate nothing.
+        let mut delta = 0.0;
+        for (yi, ri) in y.iter_mut().zip(&r) {
+            *yi = base + damping * *yi;
+            delta += (*yi - ri).abs();
+        }
+        std::mem::swap(&mut r, &mut y);
         iterations += 1;
         if delta < tolerance {
             converged = true;

@@ -7,7 +7,7 @@
 //! (min, min), or a shortest-path relaxation (min, +).
 
 use mps_simt::block::binary_search_partition;
-use mps_simt::grid::{launch_map_named, LaunchConfig, LaunchStats};
+use mps_simt::grid::{launch_map_into, LaunchBuffers, LaunchConfig, LaunchStats};
 use mps_simt::Device;
 use mps_sparse::CsrMatrix;
 
@@ -86,6 +86,41 @@ impl Semiring for MinPlus {
     }
 }
 
+/// Reusable scratch for [`semiring_spmv_into`]: holds the launch staging
+/// buffers and the fold list across calls, so level-synchronous algorithms
+/// (BFS, label propagation) allocate nothing per step in steady state.
+pub struct SemiringScratch<T> {
+    bufs: LaunchBuffers<PerCta<T>>,
+    outputs: Vec<PerCta<T>>,
+    stats: LaunchStats,
+    fold_bufs: LaunchBuffers<()>,
+    fold_out: Vec<()>,
+    fold_stats: LaunchStats,
+    folded: Vec<(usize, T)>,
+}
+
+type PerCta<T> = (Vec<(usize, T)>, Option<(usize, T)>);
+
+impl<T> SemiringScratch<T> {
+    pub fn new() -> Self {
+        SemiringScratch {
+            bufs: LaunchBuffers::new(),
+            outputs: Vec::new(),
+            stats: LaunchStats::default(),
+            fold_bufs: LaunchBuffers::new(),
+            fold_out: Vec::new(),
+            fold_stats: LaunchStats::default(),
+            folded: Vec::new(),
+        }
+    }
+}
+
+impl<T> Default for SemiringScratch<T> {
+    fn default() -> Self {
+        SemiringScratch::new()
+    }
+}
+
 /// y = A ⊗ x over the given semiring, with the merge-path flat
 /// decomposition (fixed nonzeros per CTA, carries across boundaries).
 /// Rows with no entries yield `ring.zero()`.
@@ -98,11 +133,35 @@ pub fn semiring_spmv<S: Semiring>(
     a: &CsrMatrix,
     x: &[S::T],
 ) -> (Vec<S::T>, LaunchStats) {
+    let mut scratch = SemiringScratch::new();
+    let mut y = Vec::new();
+    semiring_spmv_into(device, ring, a, x, &mut y, &mut scratch);
+    let mut stats = scratch.stats;
+    stats.add(&scratch.fold_stats);
+    (y, stats)
+}
+
+/// [`semiring_spmv`] writing into a caller-owned `y` and reusing `scratch`
+/// across calls. Returns the launch's simulated time in milliseconds.
+///
+/// # Panics
+/// Panics if `x.len() != a.num_cols`.
+pub fn semiring_spmv_into<S: Semiring>(
+    device: &Device,
+    ring: &S,
+    a: &CsrMatrix,
+    x: &[S::T],
+    y: &mut Vec<S::T>,
+    scratch: &mut SemiringScratch<S::T>,
+) -> f64 {
     assert_eq!(x.len(), a.num_cols, "x length must equal num_cols");
     let nnz = a.nnz();
-    let mut y = vec![ring.zero(); a.num_rows];
+    y.clear();
+    y.resize(a.num_rows, ring.zero());
     if nnz == 0 {
-        return (y, LaunchStats::default());
+        scratch.stats = LaunchStats::default();
+        scratch.fold_stats = LaunchStats::default();
+        return 0.0;
     }
     let nv = 896;
     let num_ctas = nnz.div_ceil(nv);
@@ -110,7 +169,7 @@ pub fn semiring_spmv<S: Semiring>(
 
     let offsets = &a.row_offsets;
     let cfg = LaunchConfig::new(num_ctas, 128);
-    let (outputs, mut stats) = launch_map_named(device, "semiring_spmv", cfg, |cta| {
+    let body = |cta: &mut mps_simt::Cta| {
         let lo = cta.cta_id * nv;
         let hi = (lo + nv).min(nnz);
         let count = hi - lo;
@@ -138,29 +197,53 @@ pub fn semiring_spmv<S: Semiring>(
         let carry = Some((r, acc));
         cta.write_coalesced(complete.len(), elem);
         (complete, carry)
-    });
+    };
+    launch_map_into(
+        device,
+        "semiring_spmv",
+        cfg,
+        body,
+        &mut scratch.bufs,
+        &mut scratch.outputs,
+        &mut scratch.stats,
+    );
 
     // Fold completes and carries (⊕ is associative, so boundary partials
     // combine exactly as the sum semiring's carries do).
-    let mut folded: Vec<(usize, S::T)> = Vec::new();
-    for (complete, carry) in outputs {
+    scratch.folded.clear();
+    for (complete, carry) in scratch.outputs.drain(..) {
         for (r, v) in complete {
-            folded.push((r, v));
+            scratch.folded.push((r, v));
         }
         if let Some(c) = carry {
-            folded.push(c);
+            scratch.folded.push(c);
         }
     }
-    let (_, fold_stats) = launch_map_named(device, "semiring_fold", LaunchConfig::new(1, 128), |cta| {
-        cta.read_coalesced(folded.len(), elem + 4);
-        cta.alu(folded.len() as u64);
-        cta.scatter(folded.iter().map(|&(r, _)| r), elem);
-    });
-    stats.add(&fold_stats);
-    for (r, v) in folded {
+    let SemiringScratch {
+        folded,
+        fold_bufs,
+        fold_out,
+        fold_stats,
+        ..
+    } = &mut *scratch;
+    let folded: &Vec<(usize, S::T)> = folded;
+    launch_map_into(
+        device,
+        "semiring_fold",
+        LaunchConfig::new(1, 128),
+        |cta| {
+            cta.read_coalesced(folded.len(), elem + 4);
+            cta.alu(folded.len() as u64);
+            cta.scatter(folded.iter().map(|&(r, _)| r), elem);
+        },
+        fold_bufs,
+        fold_out,
+        fold_stats,
+    );
+    for &(r, v) in folded {
         y[r] = ring.add(y[r], v);
     }
-    (y, stats)
+    scratch.stats.sim_ms + scratch.fold_stats.sim_ms
 }
 
 #[cfg(test)]

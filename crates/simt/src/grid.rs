@@ -116,6 +116,74 @@ where
     (outputs, stats)
 }
 
+/// Reusable scratch for [`launch_map_into`]: owns the per-CTA
+/// (output, counters) staging vector between launches so repeated launches
+/// of a same-shaped kernel perform no heap allocation in steady state.
+#[derive(Debug)]
+pub struct LaunchBuffers<T> {
+    pairs: Vec<(T, Counters)>,
+}
+
+impl<T> LaunchBuffers<T> {
+    pub fn new() -> Self {
+        LaunchBuffers { pairs: Vec::new() }
+    }
+}
+
+impl<T> Default for LaunchBuffers<T> {
+    fn default() -> Self {
+        LaunchBuffers::new()
+    }
+}
+
+/// [`launch_map_named`] writing into caller-owned buffers: outputs land in
+/// `outputs` (block order) and the launch's cost overwrites `stats`, both
+/// reusing their existing capacity. `bufs` carries the internal staging
+/// vector across launches.
+pub fn launch_map_into<T, F>(
+    device: &Device,
+    name: &'static str,
+    cfg: LaunchConfig,
+    body: F,
+    bufs: &mut LaunchBuffers<T>,
+    outputs: &mut Vec<T>,
+    stats: &mut LaunchStats,
+) where
+    T: Send,
+    F: Fn(&mut Cta) -> T + Sync,
+{
+    let warp = device.props.warp_size;
+    (0..cfg.grid_dim)
+        .into_par_iter()
+        .map(|cta_id| {
+            let mut cta = Cta::new(cta_id, cfg.grid_dim, cfg.block_dim, warp);
+            let out = body(&mut cta);
+            (out, cta.into_counters())
+        })
+        .collect_into_vec(&mut bufs.pairs);
+
+    outputs.clear();
+    stats.per_cta_cycles.clear();
+    stats.totals = Counters::default();
+    for (out, counters) in bufs.pairs.drain(..) {
+        stats.per_cta_cycles.push(device.cost.cta_cycles(&counters));
+        stats.totals.add(&counters);
+        outputs.push(out);
+    }
+    let cycles = makespan(&device.props, &stats.per_cta_cycles);
+    stats.sim_ms = device.cycles_to_ms(cycles);
+    if let Some(tracer) = &device.tracer {
+        tracer.record(KernelRecord {
+            name,
+            grid_dim: cfg.grid_dim,
+            block_dim: cfg.block_dim,
+            makespan_cycles: cycles,
+            sim_ms: stats.sim_ms,
+            dram_bytes: stats.totals.dram_bytes(),
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,6 +224,36 @@ mod tests {
         a.add(&b);
         assert_eq!(a.per_cta_cycles.len(), 5);
         assert!((a.sim_ms - total_ms).abs() < 1e-12);
+    }
+
+    #[test]
+    fn launch_map_into_matches_launch_map_and_reuses_buffers() {
+        let dev = Device::titan();
+        let cfg = LaunchConfig::new(48, 128);
+        let body = |cta: &mut Cta| {
+            cta.alu(10 * (cta.cta_id as u64 + 1));
+            cta.read_coalesced(64, 8);
+            cta.cta_id * 3
+        };
+        let (expect_out, expect_stats) = launch_map(&dev, cfg, body);
+
+        let mut bufs = LaunchBuffers::new();
+        let mut outputs = Vec::new();
+        let mut stats = LaunchStats::default();
+        launch_map_into(&dev, "reused", cfg, body, &mut bufs, &mut outputs, &mut stats);
+        assert_eq!(outputs, expect_out);
+        assert_eq!(stats.per_cta_cycles, expect_stats.per_cta_cycles);
+        assert_eq!(stats.sim_ms, expect_stats.sim_ms);
+        assert_eq!(stats.totals.alu_ops, expect_stats.totals.alu_ops);
+
+        // Second launch reuses every buffer in place.
+        let out_ptr = outputs.as_ptr();
+        let cyc_ptr = stats.per_cta_cycles.as_ptr();
+        launch_map_into(&dev, "reused", cfg, body, &mut bufs, &mut outputs, &mut stats);
+        assert_eq!(outputs, expect_out);
+        assert_eq!(outputs.as_ptr(), out_ptr, "output buffer must be reused");
+        assert_eq!(stats.per_cta_cycles.as_ptr(), cyc_ptr, "cycles buffer must be reused");
+        assert_eq!(stats.sim_ms, expect_stats.sim_ms, "stats overwrite, not accumulate");
     }
 
     #[test]

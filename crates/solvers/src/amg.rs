@@ -7,13 +7,15 @@
 //! product `A_c = Pᵀ A P` — all of which run through the merge-path
 //! kernels here, with simulated setup cost reported per level.
 
-use mps_core::{merge_spadd, merge_spgemm, SpAddConfig, SpgemmConfig};
+use std::time::Instant;
+
+use mps_core::{merge_spadd, merge_spgemm, SpAddConfig, SpgemmConfig, SpmvConfig, SpmvPlan, Workspace};
 use mps_simt::Device;
 use mps_sparse::{CooMatrix, CsrMatrix};
 
 use crate::eigen::power_method;
 use crate::krylov::{cg, SolverOptions};
-use crate::smoothers::{inverse_diagonal, jacobi_sweep};
+use crate::smoothers::{inverse_diagonal, jacobi_sweep_planned};
 use crate::SimClock;
 
 /// AMG construction and cycling parameters.
@@ -42,6 +44,10 @@ impl Default for AmgOptions {
 }
 
 /// One level of the hierarchy.
+///
+/// Each operator carries its [`SpmvPlan`], so every SpMV inside a cycle —
+/// smoothing, residual, restriction, prolongation — is a pure numeric
+/// execute against precomputed structure.
 #[derive(Debug, Clone)]
 pub struct AmgLevel {
     pub a: CsrMatrix,
@@ -50,6 +56,9 @@ pub struct AmgLevel {
     pub p: Option<CsrMatrix>,
     pub pt: Option<CsrMatrix>,
     pub inv_diag: Vec<f64>,
+    pub a_plan: SpmvPlan,
+    pub p_plan: Option<SpmvPlan>,
+    pub pt_plan: Option<SpmvPlan>,
 }
 
 /// A built multigrid hierarchy.
@@ -114,6 +123,7 @@ impl AmgHierarchy {
         assert_eq!(a.num_rows, a.num_cols, "AMG needs a square operator");
         let gemm_cfg = SpgemmConfig::default();
         let add_cfg = SpAddConfig::default();
+        let spmv_cfg = SpmvConfig::default();
         let mut clock = SimClock::default();
         let mut levels: Vec<AmgLevel> = Vec::new();
         let mut current = a;
@@ -153,20 +163,34 @@ impl AmgHierarchy {
             let ac = merge_spgemm(device, &pt, &ap.c, &gemm_cfg);
             clock.add_ms(ac.sim_ms());
 
+            let a_plan = SpmvPlan::new(device, &current, &spmv_cfg);
+            clock.add(&a_plan.partition);
+            let p_plan = SpmvPlan::new(device, &p, &spmv_cfg);
+            clock.add(&p_plan.partition);
+            let pt_plan = SpmvPlan::new(device, &pt, &spmv_cfg);
+            clock.add(&pt_plan.partition);
             levels.push(AmgLevel {
                 a: current,
                 p: Some(p),
                 pt: Some(pt),
                 inv_diag,
+                a_plan,
+                p_plan: Some(p_plan),
+                pt_plan: Some(pt_plan),
             });
             current = ac.c;
         }
         let inv_diag = inverse_diagonal(&current);
+        let a_plan = SpmvPlan::new(device, &current, &spmv_cfg);
+        clock.add(&a_plan.partition);
         levels.push(AmgLevel {
             a: current,
             p: None,
             pt: None,
             inv_diag,
+            a_plan,
+            p_plan: None,
+            pt_plan: None,
         });
         AmgHierarchy {
             levels,
@@ -177,10 +201,18 @@ impl AmgHierarchy {
 
     /// One V-cycle applied to `b` from `x`, returning simulated ms.
     pub fn v_cycle(&self, device: &Device, b: &[f64], x: &mut Vec<f64>) -> f64 {
-        self.cycle(device, 0, b, x)
+        let mut ws = Workspace::new();
+        self.cycle(device, 0, b, x, &mut ws)
     }
 
-    fn cycle(&self, device: &Device, level: usize, b: &[f64], x: &mut Vec<f64>) -> f64 {
+    /// [`Self::v_cycle`] against a caller-owned [`Workspace`]: repeated
+    /// cycles reuse every scratch vector, so steady-state applications do
+    /// no heap allocation above the coarsest-level direct solve.
+    pub fn v_cycle_with(&self, device: &Device, b: &[f64], x: &mut Vec<f64>, ws: &mut Workspace) -> f64 {
+        self.cycle(device, 0, b, x, ws)
+    }
+
+    fn cycle(&self, device: &Device, level: usize, b: &[f64], x: &mut Vec<f64>, ws: &mut Workspace) -> f64 {
         let lvl = &self.levels[level];
         let mut ms = 0.0;
         if lvl.p.is_none() {
@@ -193,49 +225,69 @@ impl AmgHierarchy {
             *x = report.x;
             return report.sim_ms;
         }
+        let mut ax = ws.take_f64();
         for _ in 0..self.options.pre_sweeps {
-            ms += jacobi_sweep(device, &lvl.a, &lvl.inv_diag, b, x, self.options.omega);
+            ms += jacobi_sweep_planned(
+                device, &lvl.a_plan, &lvl.a, &lvl.inv_diag, b, x, self.options.omega, &mut ax, ws,
+            );
         }
         // Restrict the residual.
-        let ax = mps_core::merge_spmv(device, &lvl.a, x, &mps_core::SpmvConfig::default());
-        ms += ax.sim_ms();
-        let r: Vec<f64> = b.iter().zip(&ax.y).map(|(bi, yi)| bi - yi).collect();
+        ms += lvl.a_plan.execute_into(&lvl.a, x, &mut ax, ws);
+        let mut r = ws.take_f64();
+        r.clear();
+        r.extend(b.iter().zip(&ax).map(|(bi, yi)| bi - yi));
         let pt = lvl.pt.as_ref().expect("interior level");
-        let rc = mps_core::merge_spmv(device, pt, &r, &mps_core::SpmvConfig::default());
-        ms += rc.sim_ms();
+        let pt_plan = lvl.pt_plan.as_ref().expect("interior level");
+        let mut rc = ws.take_f64();
+        ms += pt_plan.execute_into(pt, &r, &mut rc, ws);
 
         // Coarse correction.
-        let mut xc = vec![0.0; pt.num_rows];
-        ms += self.cycle(device, level + 1, &rc.y, &mut xc);
+        let mut xc = ws.take_f64();
+        xc.clear();
+        xc.resize(pt.num_rows, 0.0);
+        ms += self.cycle(device, level + 1, &rc, &mut xc, ws);
         let p = lvl.p.as_ref().expect("interior level");
-        let correction = mps_core::merge_spmv(device, p, &xc, &mps_core::SpmvConfig::default());
-        ms += correction.sim_ms();
-        for (xi, ci) in x.iter_mut().zip(&correction.y) {
+        let p_plan = lvl.p_plan.as_ref().expect("interior level");
+        let mut correction = ws.take_f64();
+        ms += p_plan.execute_into(p, &xc, &mut correction, ws);
+        for (xi, ci) in x.iter_mut().zip(&correction) {
             *xi += ci;
         }
 
         for _ in 0..self.options.post_sweeps {
-            ms += jacobi_sweep(device, &lvl.a, &lvl.inv_diag, b, x, self.options.omega);
+            ms += jacobi_sweep_planned(
+                device, &lvl.a_plan, &lvl.a, &lvl.inv_diag, b, x, self.options.omega, &mut ax, ws,
+            );
         }
+        ws.put_f64(ax);
+        ws.put_f64(r);
+        ws.put_f64(rc);
+        ws.put_f64(xc);
+        ws.put_f64(correction);
         ms
     }
 
     /// V-cycle iteration until the relative residual target is met.
     pub fn solve(&self, device: &Device, b: &[f64], opts: &SolverOptions) -> crate::SolveReport {
-        let a = &self.levels[0].a;
+        let host_start = Instant::now();
+        let lvl0 = &self.levels[0];
+        let a = &lvl0.a;
         let mut x = vec![0.0; a.num_rows];
         let mut clock = SimClock::default();
+        let mut ws = Workspace::new();
+        let mut ax: Vec<f64> = Vec::new();
+        let mut r: Vec<f64> = Vec::new();
         let (bn, s) = crate::blas1::norm2(device, b);
         clock.add(&s);
         let target = (opts.rel_tolerance * bn).max(f64::MIN_POSITIVE);
         let mut iterations = 0;
         let mut converged = false;
         while iterations < opts.max_iterations {
-            clock.add_ms(self.v_cycle(device, b, &mut x));
+            clock.add_ms(self.cycle(device, 0, b, &mut x, &mut ws));
             iterations += 1;
-            let ax = mps_core::merge_spmv(device, a, &x, &mps_core::SpmvConfig::default());
-            clock.add_ms(ax.sim_ms());
-            let r: Vec<f64> = b.iter().zip(&ax.y).map(|(bi, yi)| bi - yi).collect();
+            clock.add_ms(lvl0.a_plan.execute_into(a, &x, &mut ax, &mut ws));
+            r.clear();
+            r.extend(b.iter().zip(&ax).map(|(bi, yi)| bi - yi));
             let (rn, s) = crate::blas1::norm2(device, &r);
             clock.add(&s);
             if rn <= target {
@@ -243,15 +295,20 @@ impl AmgHierarchy {
                 break;
             }
         }
-        let ax = mps_core::merge_spmv(device, a, &x, &mps_core::SpmvConfig::default());
-        let r: Vec<f64> = b.iter().zip(&ax.y).map(|(bi, yi)| bi - yi).collect();
-        let rn = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+        lvl0.a_plan.execute_into(a, &x, &mut ax, &mut ws);
+        let rn = b
+            .iter()
+            .zip(&ax)
+            .map(|(bi, yi)| (bi - yi) * (bi - yi))
+            .sum::<f64>()
+            .sqrt();
         crate::SolveReport {
             x,
             iterations,
             converged,
             relative_residual: if bn == 0.0 { rn } else { rn / bn },
             sim_ms: clock.ms,
+            host_ms: host_start.elapsed().as_secs_f64() * 1e3,
         }
     }
 }

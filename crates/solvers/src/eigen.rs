@@ -1,7 +1,7 @@
 //! Power iteration — the spectral-radius estimate smoothed aggregation
 //! needs to scale its prolongator smoother.
 
-use mps_core::{merge_spmv, SpmvConfig};
+use mps_core::{SpmvConfig, SpmvPlan, Workspace};
 use mps_simt::Device;
 use mps_sparse::CsrMatrix;
 
@@ -32,14 +32,18 @@ pub fn power_method(device: &Device, a: &CsrMatrix, iterations: usize) -> PowerE
             sim_ms: 0.0,
         };
     }
+    // Plan once; each iteration's product is a numeric execute.
+    let plan = SpmvPlan::new(device, a, &cfg);
+    clock.add(&plan.partition);
+    let mut ws = Workspace::new();
+    let mut av: Vec<f64> = Vec::new();
     // Deterministic pseudo-random start avoids symmetry traps.
     let mut v: Vec<f64> = (0..n).map(|i| 1.0 + ((i * 37 + 11) % 17) as f64 / 17.0).collect();
     let mut lambda = 0.0;
     let mut done = 0;
     for _ in 0..iterations {
-        let av = merge_spmv(device, a, &v, &cfg);
-        clock.add_ms(av.sim_ms());
-        let (norm, s) = blas1::norm2(device, &av.y);
+        clock.add_ms(plan.execute_into(a, &v, &mut av, &mut ws));
+        let (norm, s) = blas1::norm2(device, &av);
         clock.add(&s);
         if norm == 0.0 {
             lambda = 0.0;
@@ -47,7 +51,8 @@ pub fn power_method(device: &Device, a: &CsrMatrix, iterations: usize) -> PowerE
             break;
         }
         lambda = norm;
-        v = av.y.into_iter().map(|x| x / norm).collect();
+        v.clear();
+        v.extend(av.iter().map(|x| x / norm));
         done += 1;
     }
     PowerEstimate {

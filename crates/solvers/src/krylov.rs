@@ -4,7 +4,9 @@
 //! cost inherits the kernel's predictability: solve time ≈ iterations ×
 //! (2·nnz work), independent of row structure.
 
-use mps_core::{merge_spmv, SpmvConfig, SpmvPlan};
+use std::time::Instant;
+
+use mps_core::{merge_spmv, SpmvConfig, SpmvPlan, Workspace};
 use mps_simt::Device;
 use mps_sparse::CsrMatrix;
 
@@ -39,6 +41,11 @@ pub struct SolveReport {
     pub relative_residual: f64,
     /// Accumulated simulated device time (SpMV + vector kernels), ms.
     pub sim_ms: f64,
+    /// Measured host wall-clock of the whole solve, ms. Unlike `sim_ms`
+    /// (the cost model's estimate of device time), this is real time spent
+    /// by the host driving the solve — the quantity the plan/workspace
+    /// layer exists to shrink.
+    pub host_ms: f64,
 }
 
 fn true_residual(device: &Device, a: &CsrMatrix, b: &[f64], x: &[f64], cfg: &SpmvConfig) -> f64 {
@@ -60,11 +67,15 @@ fn true_residual(device: &Device, a: &CsrMatrix, b: &[f64], x: &[f64], cfg: &Spm
 pub fn cg(device: &Device, a: &CsrMatrix, b: &[f64], opts: &SolverOptions) -> SolveReport {
     assert_eq!(a.num_rows, a.num_cols, "CG needs a square system");
     assert_eq!(b.len(), a.num_rows, "right-hand side length mismatch");
+    let host_start = Instant::now();
     let cfg = SpmvConfig::default();
     let mut clock = SimClock::default();
-    // The operator is fixed across iterations: partition once.
+    // The operator is fixed across iterations: plan once. Every per-
+    // iteration product is a pure numeric execute into a reused buffer.
     let plan = SpmvPlan::new(device, a, &cfg);
     clock.add(&plan.partition);
+    let mut ws = Workspace::new();
+    let mut ap: Vec<f64> = Vec::new();
 
     let mut x = vec![0.0; a.num_rows];
     let mut r = b.to_vec();
@@ -78,9 +89,7 @@ pub fn cg(device: &Device, a: &CsrMatrix, b: &[f64], opts: &SolverOptions) -> So
     let mut iterations = 0;
     let mut converged = rr.sqrt() <= target;
     while !converged && iterations < opts.max_iterations {
-        let spmv = plan.execute(device, a, &p);
-        clock.add_ms(spmv.sim_ms());
-        let ap = spmv.y;
+        clock.add_ms(plan.execute_into(a, &p, &mut ap, &mut ws));
         let (pap, s) = blas1::dot(device, &p, &ap);
         clock.add(&s);
         if pap <= 0.0 {
@@ -107,6 +116,7 @@ pub fn cg(device: &Device, a: &CsrMatrix, b: &[f64], opts: &SolverOptions) -> So
         converged,
         relative_residual,
         sim_ms: clock.ms,
+        host_ms: host_start.elapsed().as_secs_f64() * 1e3,
     }
 }
 
@@ -117,12 +127,16 @@ pub fn cg(device: &Device, a: &CsrMatrix, b: &[f64], opts: &SolverOptions) -> So
 pub fn bicgstab(device: &Device, a: &CsrMatrix, b: &[f64], opts: &SolverOptions) -> SolveReport {
     assert_eq!(a.num_rows, a.num_cols, "BiCGStab needs a square system");
     assert_eq!(b.len(), a.num_rows, "right-hand side length mismatch");
+    let host_start = Instant::now();
     let cfg = SpmvConfig::default();
     let mut clock = SimClock::default();
     let n = a.num_rows;
     // The operator is fixed across iterations: partition once.
     let plan = SpmvPlan::new(device, a, &cfg);
     clock.add(&plan.partition);
+    let mut ws = Workspace::new();
+    let mut v: Vec<f64> = Vec::new();
+    let mut t: Vec<f64> = Vec::new();
 
     let mut x = vec![0.0; n];
     let mut r = b.to_vec();
@@ -137,9 +151,7 @@ pub fn bicgstab(device: &Device, a: &CsrMatrix, b: &[f64], opts: &SolverOptions)
     let mut iterations = 0;
     let mut converged = false;
     while iterations < opts.max_iterations {
-        let spmv = plan.execute(device, a, &p);
-        clock.add_ms(spmv.sim_ms());
-        let v = spmv.y;
+        clock.add_ms(plan.execute_into(a, &p, &mut v, &mut ws));
         let (r0v, s) = blas1::dot(device, &r0, &v);
         clock.add(&s);
         if r0v == 0.0 || rho == 0.0 {
@@ -157,9 +169,7 @@ pub fn bicgstab(device: &Device, a: &CsrMatrix, b: &[f64], opts: &SolverOptions)
             converged = true;
             break;
         }
-        let spmv2 = plan.execute(device, a, &s_vec);
-        clock.add_ms(spmv2.sim_ms());
-        let t = spmv2.y;
+        clock.add_ms(plan.execute_into(a, &s_vec, &mut t, &mut ws));
         let (ts, st2) = blas1::dot(device, &t, &s_vec);
         clock.add(&st2);
         let (tt, st3) = blas1::dot(device, &t, &t);
@@ -195,6 +205,7 @@ pub fn bicgstab(device: &Device, a: &CsrMatrix, b: &[f64], opts: &SolverOptions)
         converged,
         relative_residual,
         sim_ms: clock.ms,
+        host_ms: host_start.elapsed().as_secs_f64() * 1e3,
     }
 }
 
@@ -221,6 +232,7 @@ mod tests {
         assert!(report.converged, "stalled at {}", report.relative_residual);
         assert!(report.relative_residual < 1e-9);
         assert!(report.sim_ms > 0.0);
+        assert!(report.host_ms > 0.0, "host wall-clock must be measured");
         assert!(report.iterations > 5 && report.iterations < 500);
     }
 

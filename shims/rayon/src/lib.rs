@@ -1,0 +1,285 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the small slice of rayon's API it actually uses: parallel
+//! iteration over index ranges with order-preserving `map`/`collect` and
+//! `for_each`. Work is split into contiguous chunks and executed on
+//! scoped std threads; outputs are reassembled in index order, so
+//! results are deterministic and identical to sequential evaluation.
+//!
+//! Small inputs run sequentially: spawning threads costs more than the
+//! work they would cover, and the repository's kernels launch many tiny
+//! grids from tests.
+
+use std::ops::Range;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+/// Number of worker threads used for parallel execution.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Inputs shorter than this run sequentially (thread spawn amortization).
+const SEQUENTIAL_CUTOFF: usize = 16;
+
+/// Split `len` items into per-thread chunks, run `run(chunk_range)` on
+/// scoped threads, and return each chunk's output in index order.
+fn chunked<T, F>(len: usize, run: F) -> Vec<Vec<T>>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> Vec<T> + Sync,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    let threads = current_num_threads().min(len);
+    if len < SEQUENTIAL_CUTOFF || threads <= 1 {
+        return vec![run(0..len)];
+    }
+    let chunk = len.div_ceil(threads);
+    let mut bounds = Vec::with_capacity(threads);
+    let mut lo = 0;
+    while lo < len {
+        let hi = (lo + chunk).min(len);
+        bounds.push(lo..hi);
+        lo = hi;
+    }
+    let run_ref = &run;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = bounds
+            .into_iter()
+            .map(|r| scope.spawn(move || run_ref(r)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+}
+
+/// Conversion into a parallel iterator (rayon's entry-point trait).
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// The subset of rayon's `ParallelIterator` combinators the workspace
+/// uses, implemented concretely for range-rooted pipelines.
+pub trait ParallelIterator: Sized + Sync {
+    type Item: Send;
+
+    /// Evaluate this pipeline for one index.
+    fn eval(&self, index: usize) -> Self::Item;
+
+    /// Number of items in the pipeline.
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Order-preserving parallel map.
+    fn map<R, F>(self, f: F) -> ParMap<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        ParMap { base: self, f }
+    }
+
+    /// Run `f` for every item.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        let this = &self;
+        chunked(self.len(), |r| {
+            for i in r {
+                f(this.eval(i));
+            }
+            Vec::<()>::new()
+        });
+    }
+
+    /// Collect all items in index order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        let this = &self;
+        let chunks = chunked(self.len(), |r| r.map(|i| this.eval(i)).collect());
+        let mut out = Vec::with_capacity(self.len());
+        for chunk in chunks {
+            out.extend(chunk);
+        }
+        C::from_ordered_vec(out)
+    }
+
+    /// Collect all items in index order into an existing vector, reusing
+    /// its capacity. Workers write their chunks directly into the target's
+    /// (disjoint) slots, so a warm target needs no allocation at all.
+    fn collect_into_vec(self, target: &mut Vec<Self::Item>) {
+        let len = self.len();
+        target.clear();
+        target.reserve(len);
+        let ptr = SendPtr(target.as_mut_ptr());
+        let this = &self;
+        chunked::<(), _>(len, |r| {
+            for i in r {
+                // Disjoint indices: each worker owns its chunk's slots.
+                unsafe { ptr.get().add(i).write(this.eval(i)) };
+            }
+            Vec::new()
+        });
+        // All `len` slots are initialized (chunks cover 0..len exactly).
+        unsafe { target.set_len(len) };
+    }
+}
+
+/// Raw-pointer wrapper so workers can write disjoint output slots. The
+/// accessor keeps closures capturing the wrapper (which is `Sync`) rather
+/// than the raw pointer field itself.
+struct SendPtr<T>(*mut T);
+
+impl<T> SendPtr<T> {
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+/// Collection target for [`ParallelIterator::collect`].
+pub trait FromParallelIterator<T: Send> {
+    fn from_ordered_vec(items: Vec<T>) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_vec(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// Parallel iterator over a `Range<usize>`.
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParallelIterator for ParRange {
+    type Item = usize;
+
+    fn eval(&self, index: usize) -> usize {
+        self.range.start + index
+    }
+
+    fn len(&self) -> usize {
+        self.range.end.saturating_sub(self.range.start)
+    }
+}
+
+/// `map` adaptor over a parallel iterator.
+pub struct ParMap<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for ParMap<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn eval(&self, index: usize) -> R {
+        (self.f)(self.base.eval(index))
+    }
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 3).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn small_and_empty_ranges_work() {
+        let out: Vec<usize> = (0..3).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(out, vec![1, 2, 3]);
+        let empty: Vec<usize> = (5..5).into_par_iter().map(|i| i).collect();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let sum = AtomicUsize::new(0);
+        (0..100usize).into_par_iter().for_each(|i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    }
+
+    #[test]
+    fn collect_into_vec_matches_collect_and_reuses_capacity() {
+        use crate::ParallelIterator;
+        let mut target: Vec<usize> = Vec::new();
+        (0..1000).into_par_iter().map(|i| i * 7).collect_into_vec(&mut target);
+        assert_eq!(target, (0..1000).map(|i| i * 7).collect::<Vec<_>>());
+        let cap = target.capacity();
+        let ptr = target.as_ptr();
+        (0..1000).into_par_iter().map(|i| i + 1).collect_into_vec(&mut target);
+        assert_eq!(target[999], 1000);
+        assert_eq!(target.capacity(), cap);
+        assert_eq!(target.as_ptr(), ptr, "warm target must be written in place");
+        // Shrinking and empty runs are fine too.
+        (0..5).into_par_iter().map(|i| i).collect_into_vec(&mut target);
+        assert_eq!(target, vec![0, 1, 2, 3, 4]);
+        (0..0).into_par_iter().map(|i| i).collect_into_vec(&mut target);
+        assert!(target.is_empty());
+    }
+
+    #[test]
+    fn collect_into_vec_with_drop_types() {
+        use crate::ParallelIterator;
+        let mut target: Vec<String> = Vec::new();
+        (0..100).into_par_iter().map(|i| format!("s{i}")).collect_into_vec(&mut target);
+        assert_eq!(target[42], "s42");
+        (0..50).into_par_iter().map(|i| format!("t{i}")).collect_into_vec(&mut target);
+        assert_eq!(target.len(), 50);
+        assert_eq!(target[0], "t0");
+    }
+
+    #[test]
+    fn chained_maps_collect() {
+        let out: Vec<usize> = (0..64)
+            .into_par_iter()
+            .map(|i| i + 1)
+            .map(|i| i * 2)
+            .collect();
+        assert_eq!(out[..4], [2, 4, 6, 8]);
+    }
+}

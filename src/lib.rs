@@ -45,7 +45,8 @@ pub use mps_sparse as sparse;
 /// The commonly used names in one import.
 pub mod prelude {
     pub use mps_core::{
-        merge_spadd, merge_spgemm, merge_spmv, SpAddConfig, SpgemmConfig, SpmvConfig,
+        merge_spadd, merge_spgemm, merge_spmv, SpAddConfig, SpAddPlan, SpgemmConfig, SpgemmPlan,
+        SpmvConfig, SpmvPlan, Workspace,
     };
     pub use mps_simt::Device;
     pub use mps_solvers::{cg, AmgHierarchy, AmgOptions, SolverOptions};

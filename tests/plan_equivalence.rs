@@ -1,0 +1,190 @@
+//! Plan-reuse equivalence: for every kernel, building a plan and executing
+//! it — once, or repeatedly with fresh numeric values over the same
+//! sparsity pattern — must be *bitwise* identical to the one-shot kernel
+//! on the same operands. The plans replay the exact reduction order of the
+//! simulated pipeline, so equality here is `f64::to_bits`, not a tolerance.
+
+use merge_path_sparse::prelude::*;
+use proptest::prelude::*;
+
+fn device() -> Device {
+    Device::titan()
+}
+
+/// Random CSR with controllable empty-row structure: only rows where
+/// `r % stride == 0` receive entries, so `stride > 1` produces the
+/// empty-row-heavy shapes that trigger the SpMV compaction path.
+fn sprinkled(rows: usize, cols: usize, stride: usize, per_row: usize, seed: u64) -> CsrMatrix {
+    let mut coo = CooMatrix::new(rows, cols);
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for r in (0..rows).step_by(stride) {
+        for _ in 0..per_row {
+            let c = (next() as usize) % cols;
+            let v = 1.0 + (next() % 1000) as f64 / 250.0;
+            coo.push(r as u32, c as u32, v);
+        }
+    }
+    coo.to_csr()
+}
+
+/// Same pattern, different numbers: scale and shift every stored value.
+fn with_new_values(a: &CsrMatrix, scale: f64, shift: f64) -> CsrMatrix {
+    let mut out = a.clone();
+    for v in &mut out.values {
+        *v = *v * scale + shift;
+    }
+    out
+}
+
+fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: element {i} differs: {x} vs {y}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn spmv_plan_executes_are_bitwise_identical_to_one_shot(
+        rows in 1usize..250,
+        cols in 1usize..250,
+        stride in 1usize..6,
+        per_row in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let dev = device();
+        let cfg = SpmvConfig::default();
+        let a = sprinkled(rows, cols, stride, per_row, seed);
+        let x: Vec<f64> = (0..cols).map(|i| 0.25 + ((i * 7 + 3) % 13) as f64 * 0.5).collect();
+
+        let plan = SpmvPlan::new(&dev, &a, &cfg);
+        let one_shot = merge_spmv(&dev, &a, &x, &cfg);
+        let planned = plan.execute(&dev, &a, &x);
+        assert_bits_eq(&planned.y, &one_shot.y, "spmv plan execute");
+        prop_assert_eq!(planned.compacted, one_shot.compacted);
+
+        // Same pattern, new values, through the buffered path.
+        let a2 = with_new_values(&a, -1.75, 0.125);
+        let expect2 = merge_spmv(&dev, &a2, &x, &cfg);
+        let mut ws = Workspace::new();
+        let mut y = Vec::new();
+        for _ in 0..2 {
+            plan.execute_into(&a2, &x, &mut y, &mut ws);
+            assert_bits_eq(&y, &expect2.y, "spmv execute_into with new values");
+        }
+    }
+
+    #[test]
+    fn spmv_compaction_path_matches_one_shot(
+        rows in 50usize..300,
+        seed in 0u64..1000,
+    ) {
+        // Almost-all-empty rows: the adaptive compaction path must engage
+        // and the plan must replay it identically.
+        let dev = device();
+        let cfg = SpmvConfig::default();
+        let a = sprinkled(rows, 64, 17, 3, seed);
+        let x: Vec<f64> = (0..64).map(|i| 1.0 + (i % 5) as f64).collect();
+        let plan = SpmvPlan::new(&dev, &a, &cfg);
+        let one_shot = merge_spmv(&dev, &a, &x, &cfg);
+        prop_assert!(one_shot.compacted, "test shape should trigger compaction");
+        prop_assert!(plan.compacted());
+        let planned = plan.execute(&dev, &a, &x);
+        assert_bits_eq(&planned.y, &one_shot.y, "spmv compacted plan execute");
+    }
+
+    #[test]
+    fn spadd_plan_executes_are_bitwise_identical_to_one_shot(
+        rows in 1usize..120,
+        cols in 1usize..120,
+        stride_a in 1usize..4,
+        stride_b in 1usize..4,
+        per_row in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let dev = device();
+        let cfg = SpAddConfig::default();
+        let a = sprinkled(rows, cols, stride_a, per_row, seed);
+        let b = sprinkled(rows, cols, stride_b, per_row, seed.wrapping_add(77));
+
+        let plan = SpAddPlan::new(&dev, &a, &b, &cfg);
+        let one_shot = merge_spadd(&dev, &a, &b, &cfg);
+        let planned = plan.execute(&dev, &a, &b);
+        prop_assert_eq!(&planned.c.row_offsets, &one_shot.c.row_offsets);
+        prop_assert_eq!(&planned.c.col_idx, &one_shot.c.col_idx);
+        assert_bits_eq(&planned.c.values, &one_shot.c.values, "spadd plan execute");
+
+        let a2 = with_new_values(&a, 3.5, -2.0);
+        let b2 = with_new_values(&b, 0.25, 1.0);
+        let expect2 = merge_spadd(&dev, &a2, &b2, &cfg);
+        let mut values = Vec::new();
+        for _ in 0..2 {
+            plan.execute_into(&a2, &b2, &mut values);
+            assert_bits_eq(&values, &expect2.c.values, "spadd execute_into with new values");
+        }
+    }
+
+    #[test]
+    fn spgemm_plan_executes_are_bitwise_identical_to_one_shot(
+        m in 1usize..50,
+        k in 1usize..50,
+        n in 1usize..50,
+        stride in 1usize..4,
+        per_row in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let dev = device();
+        let cfg = SpgemmConfig::default();
+        let a = sprinkled(m, k, stride, per_row, seed);
+        let b = sprinkled(k, n, 1, per_row, seed.wrapping_add(31));
+
+        let plan = SpgemmPlan::new(&dev, &a, &b, &cfg);
+        let one_shot = merge_spgemm(&dev, &a, &b, &cfg);
+        let planned = plan.execute(&dev, &a, &b);
+        prop_assert_eq!(&planned.c.row_offsets, &one_shot.c.row_offsets);
+        prop_assert_eq!(&planned.c.col_idx, &one_shot.c.col_idx);
+        assert_bits_eq(&planned.c.values, &one_shot.c.values, "spgemm plan execute");
+        prop_assert_eq!(planned.products, one_shot.products);
+
+        let a2 = with_new_values(&a, -0.5, 0.75);
+        let b2 = with_new_values(&b, 2.0, -1.25);
+        let expect2 = merge_spgemm(&dev, &a2, &b2, &cfg);
+        let mut ws = Workspace::new();
+        let mut values = Vec::new();
+        for _ in 0..2 {
+            plan.execute_into(&a2, &b2, &mut values, &mut ws);
+            assert_bits_eq(&values, &expect2.c.values, "spgemm execute_into with new values");
+        }
+    }
+}
+
+#[test]
+fn empty_inputs_plan_like_one_shots() {
+    let dev = device();
+    let a = CsrMatrix::zeros(7, 5);
+    let x = vec![1.0; 5];
+    let plan = SpmvPlan::new(&dev, &a, &SpmvConfig::default());
+    let planned = plan.execute(&dev, &a, &x);
+    let one_shot = merge_spmv(&dev, &a, &x, &SpmvConfig::default());
+    assert_bits_eq(&planned.y, &one_shot.y, "empty spmv");
+
+    let b = CsrMatrix::zeros(7, 5);
+    let add_plan = SpAddPlan::new(&dev, &a, &b, &SpAddConfig::default());
+    assert_eq!(add_plan.execute(&dev, &a, &b).c.nnz(), 0);
+
+    let c = CsrMatrix::zeros(5, 3);
+    let gemm_plan = SpgemmPlan::new(&dev, &a, &c, &SpgemmConfig::default());
+    assert_eq!(gemm_plan.execute(&dev, &a, &c).c.nnz(), 0);
+}

@@ -1,0 +1,104 @@
+//! Steady-state allocation audit: once a plan's buffers are warm, repeated
+//! numeric executes must perform **zero** heap allocations. This binary
+//! installs a counting wrapper over the system allocator, warms each
+//! kernel's execute path once, then asserts the allocation counter does
+//! not move across many further executes.
+//!
+//! The whole audit lives in one `#[test]` because rayon's worker threads
+//! (and the test harness itself) allocate on their own schedule; the
+//! simulated kernels are only used at *plan build* here, and the measured
+//! region is the pure host numeric loop, which is single-threaded.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn steady_state_plan_executes_allocate_nothing() {
+    use merge_path_sparse::prelude::*;
+
+    let device = Device::titan();
+
+    // --- SpMV ------------------------------------------------------------
+    let a = gen::stencil_5pt(48, 48);
+    let x: Vec<f64> = (0..a.num_cols).map(|i| 1.0 + (i % 9) as f64 * 0.5).collect();
+    let plan = SpmvPlan::new(&device, &a, &SpmvConfig::default());
+    let mut ws = Workspace::new();
+    let mut y: Vec<f64> = Vec::new();
+    // Warm-up: sizes the output buffer and the carry scratch.
+    plan.execute_into(&a, &x, &mut y, &mut ws);
+    plan.execute_into(&a, &x, &mut y, &mut ws);
+    let before = allocations();
+    for _ in 0..50 {
+        plan.execute_into(&a, &x, &mut y, &mut ws);
+    }
+    assert_eq!(
+        allocations(),
+        before,
+        "warm SpMV plan executes must not allocate"
+    );
+    let expect = merge_spmv(&device, &a, &x, &SpmvConfig::default());
+    assert_eq!(y, expect.y, "the audited path must still be correct");
+
+    // --- SpAdd -----------------------------------------------------------
+    let b = {
+        let mut b = a.clone();
+        for v in &mut b.values {
+            *v *= -0.5;
+        }
+        b
+    };
+    let add_plan = SpAddPlan::new(&device, &a, &b, &SpAddConfig::default());
+    let mut values: Vec<f64> = Vec::new();
+    add_plan.execute_into(&a, &b, &mut values);
+    let before = allocations();
+    for _ in 0..50 {
+        add_plan.execute_into(&a, &b, &mut values);
+    }
+    assert_eq!(
+        allocations(),
+        before,
+        "warm SpAdd plan executes must not allocate"
+    );
+
+    // --- SpGEMM ----------------------------------------------------------
+    let gemm_plan = SpgemmPlan::new(&device, &a, &b, &SpgemmConfig::default());
+    let mut gemm_values: Vec<f64> = Vec::new();
+    gemm_plan.execute_into(&a, &b, &mut gemm_values, &mut ws);
+    gemm_plan.execute_into(&a, &b, &mut gemm_values, &mut ws);
+    let before = allocations();
+    for _ in 0..20 {
+        gemm_plan.execute_into(&a, &b, &mut gemm_values, &mut ws);
+    }
+    assert_eq!(
+        allocations(),
+        before,
+        "warm SpGEMM plan executes must not allocate"
+    );
+}
