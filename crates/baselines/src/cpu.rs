@@ -120,7 +120,10 @@ mod tests {
         let big = gen::stencil_5pt(50, 50);
         let (ys, ts) = spmv(&m, &small, &vec![1.0; small.num_cols]);
         let (yb, tb) = spmv(&m, &big, &vec![1.0; big.num_cols]);
-        assert_eq!(ys, mps_sparse::ops::spmv_ref(&small, &vec![1.0; small.num_cols]));
+        assert_eq!(
+            ys,
+            mps_sparse::ops::spmv_ref(&small, &vec![1.0; small.num_cols])
+        );
         assert_eq!(yb.len(), big.num_rows);
         assert!(tb > ts);
     }

@@ -26,46 +26,52 @@ pub fn spmv_scalar(device: &Device, a: &CsrMatrix, x: &[f64]) -> (Vec<f64>, Laun
     let rows = a.num_rows;
     let num_ctas = rows.div_ceil(threads).max(1);
     let warp = device.props.warp_size;
-    let (tiles, stats) = launch_map_named(device, "cusp_spmv_scalar", LaunchConfig::new(num_ctas, threads), |cta| {
-        let row_lo = cta.cta_id * threads;
-        let row_hi = (row_lo + threads).min(rows);
-        let mut y = Vec::with_capacity(row_hi - row_lo);
-        // Process warp by warp: each warp pays for its slowest lane, and
-        // each SIMD step's 32 lane addresses are spread across 32 rows.
-        for warp_lo in (row_lo..row_hi).step_by(warp) {
-            let warp_hi = (warp_lo + warp).min(row_hi);
-            let lane_rows = warp_lo..warp_hi;
-            let lane_work: Vec<u64> = lane_rows.clone().map(|r| 3 * a.row_len(r) as u64).collect();
-            warp_divergent_cost(cta, &lane_work);
-            let max_len = lane_rows.clone().map(|r| a.row_len(r)).max().unwrap_or(0);
-            for step in 0..max_len {
-                // Lane addresses at this step: one per row, far apart.
-                cta.gather(
-                    lane_rows.clone().filter_map(|r| {
-                        let o = a.row_offsets[r] + step;
-                        (o < a.row_offsets[r + 1]).then_some(o)
-                    }),
-                    12,
-                );
-                cta.gather(
-                    lane_rows.clone().filter_map(|r| {
-                        let o = a.row_offsets[r] + step;
-                        (o < a.row_offsets[r + 1]).then(|| a.col_idx[o] as usize)
-                    }),
-                    8,
-                );
-            }
-            for r in lane_rows {
-                let mut acc = 0.0;
-                for (c, v) in a.row_cols(r).iter().zip(a.row_vals(r)) {
-                    acc += v * x[*c as usize];
+    let (tiles, stats) = launch_map_named(
+        device,
+        "cusp_spmv_scalar",
+        LaunchConfig::new(num_ctas, threads),
+        |cta| {
+            let row_lo = cta.cta_id * threads;
+            let row_hi = (row_lo + threads).min(rows);
+            let mut y = Vec::with_capacity(row_hi - row_lo);
+            // Process warp by warp: each warp pays for its slowest lane, and
+            // each SIMD step's 32 lane addresses are spread across 32 rows.
+            for warp_lo in (row_lo..row_hi).step_by(warp) {
+                let warp_hi = (warp_lo + warp).min(row_hi);
+                let lane_rows = warp_lo..warp_hi;
+                let lane_work: Vec<u64> =
+                    lane_rows.clone().map(|r| 3 * a.row_len(r) as u64).collect();
+                warp_divergent_cost(cta, &lane_work);
+                let max_len = lane_rows.clone().map(|r| a.row_len(r)).max().unwrap_or(0);
+                for step in 0..max_len {
+                    // Lane addresses at this step: one per row, far apart.
+                    cta.gather(
+                        lane_rows.clone().filter_map(|r| {
+                            let o = a.row_offsets[r] + step;
+                            (o < a.row_offsets[r + 1]).then_some(o)
+                        }),
+                        12,
+                    );
+                    cta.gather(
+                        lane_rows.clone().filter_map(|r| {
+                            let o = a.row_offsets[r] + step;
+                            (o < a.row_offsets[r + 1]).then(|| a.col_idx[o] as usize)
+                        }),
+                        8,
+                    );
                 }
-                y.push(acc);
+                for r in lane_rows {
+                    let mut acc = 0.0;
+                    for (c, v) in a.row_cols(r).iter().zip(a.row_vals(r)) {
+                        acc += v * x[*c as usize];
+                    }
+                    y.push(acc);
+                }
             }
-        }
-        cta.write_coalesced(row_hi - row_lo, 8);
-        y
-    });
+            cta.write_coalesced(row_hi - row_lo, 8);
+            y
+        },
+    );
     let mut y = Vec::with_capacity(rows);
     for t in tiles {
         y.extend(t);
@@ -83,29 +89,34 @@ pub fn spmv_vector(device: &Device, a: &CsrMatrix, x: &[f64]) -> (Vec<f64>, Laun
     let rows_per_cta = threads / warp;
     let rows = a.num_rows;
     let num_ctas = rows.div_ceil(rows_per_cta).max(1);
-    let (tiles, stats) = launch_map_named(device, "cusp_spmv_vector", LaunchConfig::new(num_ctas, threads), |cta| {
-        let row_lo = cta.cta_id * rows_per_cta;
-        let row_hi = (row_lo + rows_per_cta).min(rows);
-        let mut y = Vec::with_capacity(row_hi - row_lo);
-        for r in row_lo..row_hi {
-            let len = a.row_len(r);
-            // Coalesced row segment reads; every SIMD step engages the full
-            // warp even when fewer entries remain.
-            cta.read_coalesced(len, 12);
-            cta.gather(a.row_cols(r).iter().map(|&c| c as usize), 8);
-            let steps = len.div_ceil(warp).max(1) as u64;
-            cta.alu(steps * warp as u64 * 2);
-            // Warp-wide tree reduction of partial sums.
-            cta.alu((warp.ilog2() as u64) * warp as u64);
-            let mut acc = 0.0;
-            for (c, v) in a.row_cols(r).iter().zip(a.row_vals(r)) {
-                acc += v * x[*c as usize];
+    let (tiles, stats) = launch_map_named(
+        device,
+        "cusp_spmv_vector",
+        LaunchConfig::new(num_ctas, threads),
+        |cta| {
+            let row_lo = cta.cta_id * rows_per_cta;
+            let row_hi = (row_lo + rows_per_cta).min(rows);
+            let mut y = Vec::with_capacity(row_hi - row_lo);
+            for r in row_lo..row_hi {
+                let len = a.row_len(r);
+                // Coalesced row segment reads; every SIMD step engages the full
+                // warp even when fewer entries remain.
+                cta.read_coalesced(len, 12);
+                cta.gather(a.row_cols(r).iter().map(|&c| c as usize), 8);
+                let steps = len.div_ceil(warp).max(1) as u64;
+                cta.alu(steps * warp as u64 * 2);
+                // Warp-wide tree reduction of partial sums.
+                cta.alu((warp.ilog2() as u64) * warp as u64);
+                let mut acc = 0.0;
+                for (c, v) in a.row_cols(r).iter().zip(a.row_vals(r)) {
+                    acc += v * x[*c as usize];
+                }
+                y.push(acc);
             }
-            y.push(acc);
-        }
-        cta.write_coalesced(row_hi - row_lo, 8);
-        y
-    });
+            cta.write_coalesced(row_hi - row_lo, 8);
+            y
+        },
+    );
     let mut y = Vec::with_capacity(rows);
     for t in tiles {
         y.extend(t);
@@ -194,7 +205,11 @@ fn expand_coo_keys(m: &CsrMatrix) -> Vec<u64> {
 
 /// Global-sort SpAdd: concatenate, radix-sort the whole intermediate
 /// matrix, reduce duplicates (the Cusp bars of Figure 7).
-pub fn spadd_global_sort(device: &Device, a: &CsrMatrix, b: &CsrMatrix) -> (CsrMatrix, LaunchStats) {
+pub fn spadd_global_sort(
+    device: &Device,
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+) -> (CsrMatrix, LaunchStats) {
     assert_eq!(
         (a.num_rows, a.num_cols),
         (b.num_rows, b.num_cols),
@@ -207,11 +222,12 @@ pub fn spadd_global_sort(device: &Device, a: &CsrMatrix, b: &CsrMatrix) -> (CsrM
 
     // Full-width sort of the packed tuples: the k-times-more-expensive
     // monolithic approach of Section III-B.
-    let bits = 64 - (pack_key(
-        a.num_rows.saturating_sub(1) as u32,
-        a.num_cols.saturating_sub(1) as u32,
-    ))
-    .leading_zeros();
+    let bits = 64
+        - (pack_key(
+            a.num_rows.saturating_sub(1) as u32,
+            a.num_cols.saturating_sub(1) as u32,
+        ))
+        .leading_zeros();
     let (sk, sv, mut stats) = sort_pairs(device, &keys, &vals, bits.max(1), 2048);
     let (c, reduce_stats) = reduce_sorted_coo(device, &sk, &sv, a.num_rows, a.num_cols);
     stats.add(&reduce_stats);

@@ -33,32 +33,41 @@ pub fn spmv(device: &Device, a: &CsrMatrix, x: &[f64]) -> (Vec<f64>, LaunchStats
     assert_eq!(x.len(), a.num_cols, "x length must equal num_cols");
     let rows = a.num_rows;
     let warp = device.props.warp_size;
-    let avg = if rows == 0 { 0.0 } else { a.nnz() as f64 / rows as f64 };
+    let avg = if rows == 0 {
+        0.0
+    } else {
+        a.nnz() as f64 / rows as f64
+    };
     let tpr = threads_per_row(avg, warp);
     let threads = 128;
     let rows_per_cta = threads / tpr;
     let num_ctas = rows.div_ceil(rows_per_cta).max(1);
-    let (tiles, stats) = launch_map_named(device, "cusparse_spmv", LaunchConfig::new(num_ctas, threads), |cta| {
-        let row_lo = cta.cta_id * rows_per_cta;
-        let row_hi = (row_lo + rows_per_cta).min(rows);
-        let mut y = Vec::with_capacity(row_hi - row_lo);
-        for r in row_lo..row_hi {
-            let len = a.row_len(r);
-            cta.read_coalesced(len, 12);
-            cta.gather(a.row_cols(r).iter().map(|&c| c as usize), 8);
-            // Each SIMD step engages tpr lanes; the thread group reduces
-            // partials in log2(tpr) steps.
-            let steps = len.div_ceil(tpr).max(1) as u64;
-            cta.alu(steps * tpr as u64 * 2 + tpr.ilog2().max(1) as u64 * tpr as u64);
-            let mut acc = 0.0;
-            for (c, v) in a.row_cols(r).iter().zip(a.row_vals(r)) {
-                acc += v * x[*c as usize];
+    let (tiles, stats) = launch_map_named(
+        device,
+        "cusparse_spmv",
+        LaunchConfig::new(num_ctas, threads),
+        |cta| {
+            let row_lo = cta.cta_id * rows_per_cta;
+            let row_hi = (row_lo + rows_per_cta).min(rows);
+            let mut y = Vec::with_capacity(row_hi - row_lo);
+            for r in row_lo..row_hi {
+                let len = a.row_len(r);
+                cta.read_coalesced(len, 12);
+                cta.gather(a.row_cols(r).iter().map(|&c| c as usize), 8);
+                // Each SIMD step engages tpr lanes; the thread group reduces
+                // partials in log2(tpr) steps.
+                let steps = len.div_ceil(tpr).max(1) as u64;
+                cta.alu(steps * tpr as u64 * 2 + tpr.ilog2().max(1) as u64 * tpr as u64);
+                let mut acc = 0.0;
+                for (c, v) in a.row_cols(r).iter().zip(a.row_vals(r)) {
+                    acc += v * x[*c as usize];
+                }
+                y.push(acc);
             }
-            y.push(acc);
-        }
-        cta.write_coalesced(row_hi - row_lo, 8);
-        y
-    });
+            cta.write_coalesced(row_hi - row_lo, 8);
+            y
+        },
+    );
     let mut y = Vec::with_capacity(rows);
     for t in tiles {
         y.extend(t);
@@ -78,36 +87,41 @@ pub fn spadd(device: &Device, a: &CsrMatrix, b: &CsrMatrix) -> (CsrMatrix, Launc
     let warp = device.props.warp_size;
     let rows_per_cta = (128 / warp).max(1);
     let num_ctas = rows.div_ceil(rows_per_cta).max(1);
-    let (tiles, stats) = launch_map_named(device, "cusparse_spadd", LaunchConfig::new(num_ctas, 128), |cta| {
-        let row_lo = cta.cta_id * rows_per_cta;
-        let row_hi = (row_lo + rows_per_cta).min(rows);
-        let mut out: Vec<(u32, f64)> = Vec::new();
-        let mut lens = Vec::with_capacity(row_hi - row_lo);
-        for r in row_lo..row_hi {
-            let (ac, av) = (a.row_cols(r), a.row_vals(r));
-            let (bc, bv) = (b.row_cols(r), b.row_vals(r));
-            cta.read_coalesced(ac.len() + bc.len(), 12);
-            cta.alu(3 * (ac.len() + bc.len()) as u64);
-            let before = out.len();
-            let (mut i, mut j) = (0, 0);
-            while i < ac.len() || j < bc.len() {
-                if j >= bc.len() || (i < ac.len() && ac[i] < bc[j]) {
-                    out.push((ac[i], av[i]));
-                    i += 1;
-                } else if i >= ac.len() || bc[j] < ac[i] {
-                    out.push((bc[j], bv[j]));
-                    j += 1;
-                } else {
-                    out.push((ac[i], av[i] + bv[j]));
-                    i += 1;
-                    j += 1;
+    let (tiles, stats) = launch_map_named(
+        device,
+        "cusparse_spadd",
+        LaunchConfig::new(num_ctas, 128),
+        |cta| {
+            let row_lo = cta.cta_id * rows_per_cta;
+            let row_hi = (row_lo + rows_per_cta).min(rows);
+            let mut out: Vec<(u32, f64)> = Vec::new();
+            let mut lens = Vec::with_capacity(row_hi - row_lo);
+            for r in row_lo..row_hi {
+                let (ac, av) = (a.row_cols(r), a.row_vals(r));
+                let (bc, bv) = (b.row_cols(r), b.row_vals(r));
+                cta.read_coalesced(ac.len() + bc.len(), 12);
+                cta.alu(3 * (ac.len() + bc.len()) as u64);
+                let before = out.len();
+                let (mut i, mut j) = (0, 0);
+                while i < ac.len() || j < bc.len() {
+                    if j >= bc.len() || (i < ac.len() && ac[i] < bc[j]) {
+                        out.push((ac[i], av[i]));
+                        i += 1;
+                    } else if i >= ac.len() || bc[j] < ac[i] {
+                        out.push((bc[j], bv[j]));
+                        j += 1;
+                    } else {
+                        out.push((ac[i], av[i] + bv[j]));
+                        i += 1;
+                        j += 1;
+                    }
                 }
+                lens.push(out.len() - before);
+                cta.write_coalesced(out.len() - before, 12);
             }
-            lens.push(out.len() - before);
-            cta.write_coalesced(out.len() - before, 12);
-        }
-        (lens, out)
-    });
+            (lens, out)
+        },
+    );
     let mut row_offsets = vec![0usize; rows + 1];
     let mut col_idx = Vec::new();
     let mut values = Vec::new();
@@ -157,53 +171,60 @@ pub fn spgemm(device: &Device, a: &CsrMatrix, b: &CsrMatrix) -> (CsrMatrix, Laun
     assert_eq!(a.num_cols, b.num_rows, "inner dimensions must agree");
     let rows = a.num_rows;
     let num_ctas = rows.max(1); // one CTA per output row
-    let (tiles, stats) = launch_map_named(device, "cusparse_spgemm_row", LaunchConfig::new(num_ctas, 128), |cta| {
-        let r = cta.cta_id;
-        if r >= rows {
-            return (Vec::new(), Vec::new());
-        }
-        // Row products: every referenced B row streams through the table.
-        let mut products = 0usize;
-        for &k in a.row_cols(r) {
-            products += b.row_len(k as usize);
-        }
-        cta.read_coalesced(a.row_len(r), 12);
-        cta.alu(ROW_SETUP_THREAD_OPS);
-        let spills = products > SHARED_HASH_CAPACITY;
-        let per_insert_alu = 6u64;
-        if spills {
-            // Global-memory hash: every probe is an irregular DRAM access.
-            cta.alu(products as u64 * per_insert_alu * GLOBAL_FALLBACK_PENALTY);
-            cta.gather((0..products).map(|p| (p * 2654435761) % (1 << 22)), 16);
-        } else {
-            cta.alu(products as u64 * per_insert_alu);
-            cta.shmem(3 * products as u64);
-        }
-        // Gather the referenced B segments.
-        cta.gather(0..products, 12);
+    let (tiles, stats) = launch_map_named(
+        device,
+        "cusparse_spgemm_row",
+        LaunchConfig::new(num_ctas, 128),
+        |cta| {
+            let r = cta.cta_id;
+            if r >= rows {
+                return (Vec::new(), Vec::new());
+            }
+            // Row products: every referenced B row streams through the table.
+            let mut products = 0usize;
+            for &k in a.row_cols(r) {
+                products += b.row_len(k as usize);
+            }
+            cta.read_coalesced(a.row_len(r), 12);
+            cta.alu(ROW_SETUP_THREAD_OPS);
+            let spills = products > SHARED_HASH_CAPACITY;
+            let per_insert_alu = 6u64;
+            if spills {
+                // Global-memory hash: every probe is an irregular DRAM access.
+                cta.alu(products as u64 * per_insert_alu * GLOBAL_FALLBACK_PENALTY);
+                cta.gather((0..products).map(|p| (p * 2654435761) % (1 << 22)), 16);
+            } else {
+                cta.alu(products as u64 * per_insert_alu);
+                cta.shmem(3 * products as u64);
+            }
+            // Gather the referenced B segments.
+            cta.gather(0..products, 12);
 
-        // Semantics: dense-marker accumulation, then sort the output row.
-        let mut acc: Vec<(u32, f64)> = Vec::new();
-        let mut marker: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
-        for (k, av) in a.row_cols(r).iter().zip(a.row_vals(r)) {
-            let k = *k as usize;
-            for (c, bv) in b.row_cols(k).iter().zip(b.row_vals(k)) {
-                match marker.get(c) {
-                    Some(&slot) => acc[slot].1 += av * bv,
-                    None => {
-                        marker.insert(*c, acc.len());
-                        acc.push((*c, av * bv));
+            // Semantics: dense-marker accumulation, then sort the output row.
+            let mut acc: Vec<(u32, f64)> = Vec::new();
+            let mut marker: std::collections::HashMap<u32, usize> =
+                std::collections::HashMap::new();
+            for (k, av) in a.row_cols(r).iter().zip(a.row_vals(r)) {
+                let k = *k as usize;
+                for (c, bv) in b.row_cols(k).iter().zip(b.row_vals(k)) {
+                    match marker.get(c) {
+                        Some(&slot) => acc[slot].1 += av * bv,
+                        None => {
+                            marker.insert(*c, acc.len());
+                            acc.push((*c, av * bv));
+                        }
                     }
                 }
             }
-        }
-        acc.sort_unstable_by_key(|&(c, _)| c);
-        let sort_ops = (acc.len() as u64) * (64 - (acc.len() as u64).max(1).leading_zeros()) as u64;
-        cta.alu(sort_ops);
-        cta.write_coalesced(acc.len(), 12);
-        let (cols, vals): (Vec<u32>, Vec<f64>) = acc.into_iter().unzip();
-        (cols, vals)
-    });
+            acc.sort_unstable_by_key(|&(c, _)| c);
+            let sort_ops =
+                (acc.len() as u64) * (64 - (acc.len() as u64).max(1).leading_zeros()) as u64;
+            cta.alu(sort_ops);
+            cta.write_coalesced(acc.len(), 12);
+            let (cols, vals): (Vec<u32>, Vec<f64>) = acc.into_iter().unzip();
+            (cols, vals)
+        },
+    );
     let mut row_offsets = vec![0usize; rows + 1];
     let mut col_idx = Vec::new();
     let mut values = Vec::new();

@@ -19,30 +19,35 @@ pub fn spmv_ell(device: &Device, m: &EllMatrix, x: &[f64]) -> (Vec<f64>, LaunchS
     let threads = 128;
     let rows = m.num_rows;
     let num_ctas = rows.div_ceil(threads).max(1);
-    let (tiles, stats) = launch_map_named(device, "ell_spmv", LaunchConfig::new(num_ctas, threads), |cta| {
-        let row_lo = cta.cta_id * threads;
-        let row_hi = (row_lo + threads).min(rows);
-        let count = row_hi - row_lo;
-        // Every padded slot is touched: width steps of coalesced loads.
-        cta.read_coalesced(count * m.width, 12);
-        cta.alu(2 * (count * m.width) as u64);
-        let mut y = Vec::with_capacity(count);
-        for r in row_lo..row_hi {
-            let mut acc = 0.0;
-            let mut gathered = Vec::new();
-            for i in 0..m.width {
-                let c = m.col_idx[r * m.width + i];
-                if c != ELL_PAD {
-                    gathered.push(c as usize);
-                    acc += m.values[r * m.width + i] * x[c as usize];
+    let (tiles, stats) = launch_map_named(
+        device,
+        "ell_spmv",
+        LaunchConfig::new(num_ctas, threads),
+        |cta| {
+            let row_lo = cta.cta_id * threads;
+            let row_hi = (row_lo + threads).min(rows);
+            let count = row_hi - row_lo;
+            // Every padded slot is touched: width steps of coalesced loads.
+            cta.read_coalesced(count * m.width, 12);
+            cta.alu(2 * (count * m.width) as u64);
+            let mut y = Vec::with_capacity(count);
+            for r in row_lo..row_hi {
+                let mut acc = 0.0;
+                let mut gathered = Vec::new();
+                for i in 0..m.width {
+                    let c = m.col_idx[r * m.width + i];
+                    if c != ELL_PAD {
+                        gathered.push(c as usize);
+                        acc += m.values[r * m.width + i] * x[c as usize];
+                    }
                 }
+                cta.gather(gathered, 8);
+                y.push(acc);
             }
-            cta.gather(gathered, 8);
-            y.push(acc);
-        }
-        cta.write_coalesced(count, 8);
-        y
-    });
+            cta.write_coalesced(count, 8);
+            y
+        },
+    );
     let mut y = Vec::with_capacity(rows);
     for t in tiles {
         y.extend(t);
@@ -59,26 +64,31 @@ pub fn spmv_dia(device: &Device, m: &DiaMatrix, x: &[f64]) -> (Vec<f64>, LaunchS
     let rows = m.num_rows;
     let num_ctas = rows.div_ceil(threads).max(1);
     let ndiag = m.offsets.len();
-    let (tiles, stats) = launch_map_named(device, "dia_spmv", LaunchConfig::new(num_ctas, threads), |cta| {
-        let row_lo = cta.cta_id * threads;
-        let row_hi = (row_lo + threads).min(rows);
-        let count = row_hi - row_lo;
-        // Diagonal values stream; x windows are contiguous per diagonal.
-        cta.read_coalesced(count * ndiag, 8);
-        cta.read_coalesced(count * ndiag, 8);
-        cta.alu(2 * (count * ndiag) as u64);
-        let mut y = vec![0.0; count];
-        for (d, &off) in m.offsets.iter().enumerate() {
-            for r in row_lo..row_hi {
-                let c = r as i64 + off;
-                if c >= 0 && (c as usize) < m.num_cols {
-                    y[r - row_lo] += m.values[d * rows + r] * x[c as usize];
+    let (tiles, stats) = launch_map_named(
+        device,
+        "dia_spmv",
+        LaunchConfig::new(num_ctas, threads),
+        |cta| {
+            let row_lo = cta.cta_id * threads;
+            let row_hi = (row_lo + threads).min(rows);
+            let count = row_hi - row_lo;
+            // Diagonal values stream; x windows are contiguous per diagonal.
+            cta.read_coalesced(count * ndiag, 8);
+            cta.read_coalesced(count * ndiag, 8);
+            cta.alu(2 * (count * ndiag) as u64);
+            let mut y = vec![0.0; count];
+            for (d, &off) in m.offsets.iter().enumerate() {
+                for r in row_lo..row_hi {
+                    let c = r as i64 + off;
+                    if c >= 0 && (c as usize) < m.num_cols {
+                        y[r - row_lo] += m.values[d * rows + r] * x[c as usize];
+                    }
                 }
             }
-        }
-        cta.write_coalesced(count, 8);
-        y
-    });
+            cta.write_coalesced(count, 8);
+            y
+        },
+    );
     let mut y = Vec::with_capacity(rows);
     for t in tiles {
         y.extend(t);
@@ -95,18 +105,28 @@ pub fn spmv_hyb(device: &Device, m: &HybMatrix, x: &[f64]) -> (Vec<f64>, LaunchS
     if tail > 0 {
         let nv = 4096;
         let num_ctas = tail.div_ceil(nv).max(1);
-        let (parts, coo_stats) = launch_map_named(device, "hyb_coo_tail", LaunchConfig::new(num_ctas, 128), |cta| {
-            let lo = cta.cta_id * nv;
-            let hi = (lo + nv).min(tail);
-            cta.read_coalesced(hi - lo, 16);
-            cta.gather(m.coo_cols[lo..hi].iter().map(|&c| c as usize), 8);
-            // Atomic accumulation into y.
-            cta.scatter(m.coo_rows[lo..hi].iter().map(|&r| r as usize), 8);
-            cta.alu(2 * (hi - lo) as u64);
-            (lo..hi)
-                .map(|i| (m.coo_rows[i] as usize, m.coo_vals[i] * x[m.coo_cols[i] as usize]))
-                .collect::<Vec<_>>()
-        });
+        let (parts, coo_stats) = launch_map_named(
+            device,
+            "hyb_coo_tail",
+            LaunchConfig::new(num_ctas, 128),
+            |cta| {
+                let lo = cta.cta_id * nv;
+                let hi = (lo + nv).min(tail);
+                cta.read_coalesced(hi - lo, 16);
+                cta.gather(m.coo_cols[lo..hi].iter().map(|&c| c as usize), 8);
+                // Atomic accumulation into y.
+                cta.scatter(m.coo_rows[lo..hi].iter().map(|&r| r as usize), 8);
+                cta.alu(2 * (hi - lo) as u64);
+                (lo..hi)
+                    .map(|i| {
+                        (
+                            m.coo_rows[i] as usize,
+                            m.coo_vals[i] * x[m.coo_cols[i] as usize],
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            },
+        );
         for part in parts {
             for (r, v) in part {
                 y[r] += v;
@@ -195,7 +215,12 @@ mod tests {
         let dia = DiaMatrix::from_csr(&m, 8).expect("stencil");
         let (_, sd) = spmv_dia(&dev(), &dia, &x);
         let (_, sc) = crate::cusp::spmv_vector(&dev(), &m, &x);
-        assert!(sd.sim_ms < sc.sim_ms, "DIA {} vs vector CSR {}", sd.sim_ms, sc.sim_ms);
+        assert!(
+            sd.sim_ms < sc.sim_ms,
+            "DIA {} vs vector CSR {}",
+            sd.sim_ms,
+            sc.sim_ms
+        );
     }
 
     #[test]

@@ -16,9 +16,12 @@
 //!   of Figures 7 and 9);
 //! * [`format_spmv`] — the format-specialized SpMV tradition the paper
 //!   argues against (Bell-Garland ELL/DIA/HYB kernels), used by the
-//!   format ablation bench.
+//!   format ablation bench;
+//! * [`spmm`] — warp-per-row CSR SpMM, the row-structured comparator for
+//!   the column-tiled merge-path multi-vector kernel.
 
 pub mod cpu;
 pub mod cusp;
 pub mod cusparse_like;
 pub mod format_spmv;
+pub mod spmm;

@@ -1,0 +1,116 @@
+//! Row-structured SpMM baseline: one warp per row of `A`, all `k` output
+//! columns produced by that warp before it moves on.
+//!
+//! This is the natural extension of the vectorized (warp-per-row) CSR SpMV
+//! to a dense multi-vector operand, and the comparator the merge-path SpMM
+//! is measured against. It inherits both pathologies of its SpMV parent —
+//! warps serialize on long rows, short rows waste lanes — and adds a third:
+//! the operand block's rows are gathered entry by entry (one narrow gather
+//! per nonzero per column), so it never benefits from the row-major layout
+//! the way the column-tiled kernel's wide loads do.
+
+use mps_simt::grid::{launch_map_named, LaunchConfig, LaunchStats};
+use mps_simt::Device;
+use mps_sparse::{CsrMatrix, DenseBlock};
+
+/// Warp-per-row CSR SpMM: `Y = A·X` with one warp cooperating on each row
+/// of `A`, iterating over the `k` operand columns in an inner loop.
+pub fn spmm_row_warp(device: &Device, a: &CsrMatrix, x: &DenseBlock) -> (DenseBlock, LaunchStats) {
+    assert_eq!(x.rows, a.num_cols, "operand block must have num_cols rows");
+    let k = x.cols;
+    let threads = 128;
+    let warp = device.props.warp_size;
+    let rows_per_cta = threads / warp;
+    let rows = a.num_rows;
+    let num_ctas = rows.div_ceil(rows_per_cta).max(1);
+    let (tiles, stats) = launch_map_named(
+        device,
+        "row_warp_spmm",
+        LaunchConfig::new(num_ctas, threads),
+        |cta| {
+            let row_lo = cta.cta_id * rows_per_cta;
+            let row_hi = (row_lo + rows_per_cta).min(rows);
+            let mut y = Vec::with_capacity((row_hi - row_lo) * k);
+            for r in row_lo..row_hi {
+                let len = a.row_len(r);
+                // The row segment of A is re-read for every output column:
+                // the warp holds no register tile across columns.
+                for c in 0..k {
+                    cta.read_coalesced(len, 12);
+                    // Narrow gathers of X: lane addresses are k apart in
+                    // the row-major block, so each pays its own transaction.
+                    cta.gather(a.row_cols(r).iter().map(|&j| j as usize * k + c), 8);
+                    let steps = len.div_ceil(warp).max(1) as u64;
+                    cta.alu(steps * warp as u64 * 2);
+                    // Warp-wide tree reduction of partial sums.
+                    cta.alu((warp.ilog2() as u64) * warp as u64);
+                    let mut acc = 0.0;
+                    for (j, v) in a.row_cols(r).iter().zip(a.row_vals(r)) {
+                        acc += v * x.get(*j as usize, c);
+                    }
+                    y.push(acc);
+                }
+            }
+            cta.write_coalesced((row_hi - row_lo) * k, 8);
+            y
+        },
+    );
+    let mut y = DenseBlock::zeros(rows, k);
+    let mut flat = Vec::with_capacity(rows * k);
+    for t in tiles {
+        flat.extend(t);
+    }
+    y.data = flat;
+    (y, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_sparse::dense::spmm_ref;
+    use mps_sparse::gen;
+
+    fn dev() -> Device {
+        Device::titan()
+    }
+
+    #[test]
+    fn row_warp_spmm_matches_reference() {
+        for m in [
+            gen::stencil_5pt(15, 15),
+            gen::power_law(200, 200, 1, 1.5, 80, 5),
+        ] {
+            for k in [1usize, 4, 9] {
+                let x = DenseBlock::from_fn(m.num_cols, k, |r, c| {
+                    1.0 + ((r * 5 + c * 3) % 11) as f64 * 0.5
+                });
+                let (y, stats) = spmm_row_warp(&dev(), &m, &x);
+                let expect = spmm_ref(&m, &x);
+                assert_eq!((y.rows, y.cols), (expect.rows, expect.cols));
+                for (a, b) in y.data.iter().zip(&expect.data) {
+                    assert!((a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs())));
+                }
+                assert!(stats.sim_ms > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn cost_scales_with_block_width() {
+        let m = gen::random_uniform(400, 400, 8.0, 4.0, 7);
+        let x1 = DenseBlock::from_fn(m.num_cols, 1, |r, _| r as f64);
+        let x8 = DenseBlock::from_fn(m.num_cols, 8, |r, c| (r + c) as f64);
+        let (_, s1) = spmm_row_warp(&dev(), &m, &x1);
+        let (_, s8) = spmm_row_warp(&dev(), &m, &x8);
+        // No column tiling: k columns cost roughly k single-vector passes.
+        assert!(s8.sim_ms > 4.0 * s1.sim_ms);
+    }
+
+    #[test]
+    fn empty_matrix_yields_zero_block() {
+        let m = CsrMatrix::zeros(6, 6);
+        let x = DenseBlock::from_fn(6, 3, |r, c| (r * 3 + c) as f64);
+        let (y, _) = spmm_row_warp(&dev(), &m, &x);
+        assert_eq!(y.data, vec![0.0; 18]);
+    }
+}

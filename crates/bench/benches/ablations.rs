@@ -7,8 +7,8 @@
 //! through criterion for regression tracking.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mps_baselines::format_spmv;
 use mps_baselines::cusp;
+use mps_baselines::format_spmv;
 use mps_core::{merge_spadd, merge_spgemm, merge_spmv, SpAddConfig, SpgemmConfig, SpmvConfig};
 use mps_simt::Device;
 use mps_sparse::formats::{DiaMatrix, EllMatrix, HybMatrix};
@@ -31,7 +31,10 @@ fn ablation_spmv_tile(c: &mut Criterion) {
             force_no_compaction: false,
         };
         let sim = merge_spmv(&device, &a, &x, &cfg).sim_ms();
-        println!("spmv tile {}x{items}: simulated {sim:.4} ms", cfg.block_threads);
+        println!(
+            "spmv tile {}x{items}: simulated {sim:.4} ms",
+            cfg.block_threads
+        );
         group.bench_with_input(BenchmarkId::from_parameter(items), &cfg, |b, cfg| {
             b.iter(|| merge_spmv(&device, &a, &x, cfg))
         });
@@ -116,7 +119,9 @@ fn ablation_spmv_empty_rows(c: &mut Criterion) {
     group.bench_function("adaptive_compaction", |b| {
         b.iter(|| merge_spmv(&device, &a, &x, &adaptive))
     });
-    group.bench_function("raw_offsets", |b| b.iter(|| merge_spmv(&device, &a, &x, &raw)));
+    group.bench_function("raw_offsets", |b| {
+        b.iter(|| merge_spmv(&device, &a, &x, &raw))
+    });
     group.finish();
 }
 
@@ -134,11 +139,16 @@ fn ablation_spmv_formats(c: &mut Criterion) {
     let dia = DiaMatrix::from_csr(&stencil, 8).expect("stencil is banded");
     let merge_ms = merge_spmv(&device, &stencil, &xs, &SpmvConfig::default()).sim_ms();
     let (_, dia_stats) = format_spmv::spmv_dia(&device, &dia, &xs);
-    println!("stencil: merge CSR {merge_ms:.4} ms vs DIA {:.4} ms simulated", dia_stats.sim_ms);
+    println!(
+        "stencil: merge CSR {merge_ms:.4} ms vs DIA {:.4} ms simulated",
+        dia_stats.sim_ms
+    );
     group.bench_function("stencil_merge_csr", |b| {
         b.iter(|| merge_spmv(&device, &stencil, &xs, &SpmvConfig::default()))
     });
-    group.bench_function("stencil_dia", |b| b.iter(|| format_spmv::spmv_dia(&device, &dia, &xs)));
+    group.bench_function("stencil_dia", |b| {
+        b.iter(|| format_spmv::spmv_dia(&device, &dia, &xs))
+    });
 
     let crawl = SuiteMatrix::Webbase.generate(0.02);
     let xc = vec![1.0; crawl.num_cols];
@@ -156,7 +166,9 @@ fn ablation_spmv_formats(c: &mut Criterion) {
     group.bench_function("webbase_merge_csr", |b| {
         b.iter(|| merge_spmv(&device, &crawl, &xc, &SpmvConfig::default()))
     });
-    group.bench_function("webbase_hyb", |b| b.iter(|| format_spmv::spmv_hyb(&device, &hyb, &xc)));
+    group.bench_function("webbase_hyb", |b| {
+        b.iter(|| format_spmv::spmv_hyb(&device, &hyb, &xc))
+    });
     group.finish();
 }
 
@@ -189,7 +201,9 @@ fn ablation_spmv_reorder(c: &mut Criterion) {
     group.bench_function("scrambled", |b| {
         b.iter(|| merge_spmv(&device, &scrambled, &x, &SpmvConfig::default()))
     });
-    group.bench_function("rcm", |b| b.iter(|| merge_spmv(&device, &rcm, &x, &SpmvConfig::default())));
+    group.bench_function("rcm", |b| {
+        b.iter(|| merge_spmv(&device, &rcm, &x, &SpmvConfig::default()))
+    });
     group.finish();
 }
 

@@ -43,7 +43,16 @@ fn bench_union(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("pairs-64", n), &n, |bench, _| {
             bench.iter(|| {
-                set_op_pairs(&device, SetOp::Union, &a64, &av, &b64, &bv, |x, y| x + y, 1024)
+                set_op_pairs(
+                    &device,
+                    SetOp::Union,
+                    &a64,
+                    &av,
+                    &b64,
+                    &bv,
+                    |x, y| x + y,
+                    1024,
+                )
             })
         });
     }

@@ -20,15 +20,21 @@ fn bench_spadd(c: &mut Criterion) {
     for m in [SuiteMatrix::Harbor, SuiteMatrix::Webbase, SuiteMatrix::Lp] {
         let a = m.generate(SCALE);
         group.throughput(Throughput::Elements(2 * a.nnz() as u64));
-        group.bench_with_input(BenchmarkId::new("merge_balanced_path", m.name()), &a, |b, a| {
-            b.iter(|| merge_spadd(&device, a, a, &cfg))
-        });
-        group.bench_with_input(BenchmarkId::new("cusp_global_sort", m.name()), &a, |b, a| {
-            b.iter(|| cusp::spadd_global_sort(&device, a, a))
-        });
-        group.bench_with_input(BenchmarkId::new("cusparse_row_merge", m.name()), &a, |b, a| {
-            b.iter(|| cusparse_like::spadd(&device, a, a))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("merge_balanced_path", m.name()),
+            &a,
+            |b, a| b.iter(|| merge_spadd(&device, a, a, &cfg)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cusp_global_sort", m.name()),
+            &a,
+            |b, a| b.iter(|| cusp::spadd_global_sort(&device, a, a)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cusparse_row_merge", m.name()),
+            &a,
+            |b, a| b.iter(|| cusparse_like::spadd(&device, a, a)),
+        );
         group.bench_with_input(BenchmarkId::new("cpu_sequential", m.name()), &a, |b, a| {
             b.iter(|| spadd_ref(a, a))
         });

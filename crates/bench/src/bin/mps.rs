@@ -38,10 +38,10 @@ fn save(path: &str, m: &CsrMatrix) -> Result<(), String> {
 }
 
 fn suite_by_name(name: &str) -> Option<SuiteMatrix> {
-    SuiteMatrix::ALL
-        .iter()
-        .copied()
-        .find(|m| m.name().eq_ignore_ascii_case(name) || m.name().to_lowercase().starts_with(&name.to_lowercase()))
+    SuiteMatrix::ALL.iter().copied().find(|m| {
+        m.name().eq_ignore_ascii_case(name)
+            || m.name().to_lowercase().starts_with(&name.to_lowercase())
+    })
 }
 
 struct Parsed {
@@ -109,7 +109,8 @@ fn run() -> Result<(), String> {
         }
         "generate" => {
             let name = p.positional.first().ok_or(usage())?;
-            let suite = suite_by_name(name).ok_or_else(|| format!("unknown suite matrix {name}"))?;
+            let suite =
+                suite_by_name(name).ok_or_else(|| format!("unknown suite matrix {name}"))?;
             let out = p.out.ok_or("generate needs -o <out.mtx>")?;
             let m = suite.generate(p.scale);
             save(out.to_str().ok_or("bad output path")?, &m)?;

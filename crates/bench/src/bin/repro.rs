@@ -86,8 +86,8 @@ fn main() {
     // Heavy experiment sweeps are shared between their figures.
     let spmv_rows = need(&["fig5", "fig6"]).then(|| spmv_exp::run(&device, opts.scale));
     let spadd_rows = need(&["fig7", "fig8"]).then(|| spadd_exp::run(&device, opts.scale));
-    let spgemm_rows =
-        need(&["fig9", "fig10", "fig11"]).then(|| spgemm_exp::run(&device, opts.spgemm_scale, true));
+    let spgemm_rows = need(&["fig9", "fig10", "fig11"])
+        .then(|| spgemm_exp::run(&device, opts.spgemm_scale, true));
 
     for artifact in &opts.artifacts {
         let header = format!("==== {artifact} ====");
@@ -100,20 +100,44 @@ fn main() {
                 println!("{}", fig2::render(&pts));
             }
             "fig4" => println!("{}", fig4::render(&fig4::run(&device))),
-            "fig5" => println!("{}", spmv_exp::render_fig5(spmv_rows.as_ref().expect("run above"))),
-            "fig6" => println!("{}", spmv_exp::render_fig6(spmv_rows.as_ref().expect("run above"))),
-            "fig7" => println!("{}", spadd_exp::render_fig7(spadd_rows.as_ref().expect("run above"))),
-            "fig8" => println!("{}", spadd_exp::render_fig8(spadd_rows.as_ref().expect("run above"))),
-            "fig9" => println!("{}", spgemm_exp::render_fig9(spgemm_rows.as_ref().expect("run above"))),
+            "fig5" => println!(
+                "{}",
+                spmv_exp::render_fig5(spmv_rows.as_ref().expect("run above"))
+            ),
+            "fig6" => println!(
+                "{}",
+                spmv_exp::render_fig6(spmv_rows.as_ref().expect("run above"))
+            ),
+            "fig7" => println!(
+                "{}",
+                spadd_exp::render_fig7(spadd_rows.as_ref().expect("run above"))
+            ),
+            "fig8" => println!(
+                "{}",
+                spadd_exp::render_fig8(spadd_rows.as_ref().expect("run above"))
+            ),
+            "fig9" => println!(
+                "{}",
+                spgemm_exp::render_fig9(spgemm_rows.as_ref().expect("run above"))
+            ),
             "fig10" => {
-                println!("{}", spgemm_exp::render_fig10(spgemm_rows.as_ref().expect("run above")))
+                println!(
+                    "{}",
+                    spgemm_exp::render_fig10(spgemm_rows.as_ref().expect("run above"))
+                )
             }
             "fig11" => {
-                println!("{}", spgemm_exp::render_fig11(spgemm_rows.as_ref().expect("run above")))
+                println!(
+                    "{}",
+                    spgemm_exp::render_fig11(spgemm_rows.as_ref().expect("run above"))
+                )
             }
             "sensitivity" => {
                 // Extension: the rho ≈ 1 claim across virtual device presets.
-                println!("{}", sensitivity::render(&sensitivity::run(opts.scale.min(0.1))));
+                println!(
+                    "{}",
+                    sensitivity::render(&sensitivity::run(opts.scale.min(0.1)))
+                );
             }
             "trace" => {
                 // Kernel-level breakdown of one merge SpGEMM (nvprof-style).
@@ -122,9 +146,14 @@ fn main() {
                 let r = merge_spgemm(&traced, &a, &b, &SpgemmConfig::default());
                 println!(
                     "merge SpGEMM on Harbor (scale {}): {} products, {:.3} ms simulated\n",
-                    opts.spgemm_scale, r.products, r.sim_ms()
+                    opts.spgemm_scale,
+                    r.products,
+                    r.sim_ms()
                 );
-                println!("{}", traced.tracer.as_ref().expect("tracing enabled").report());
+                println!(
+                    "{}",
+                    traced.tracer.as_ref().expect("tracing enabled").report()
+                );
             }
             other => eprintln!("unknown artifact: {other}"),
         }

@@ -1,0 +1,38 @@
+//! SpMM experiment driver: tiled multi-vector kernel vs K repeated
+//! planned SpMVs across K ∈ {1, 4, 16, 64}. Writes `BENCH_spmm.json` at
+//! the repository root; `--tiny` runs a fast smoke configuration (used by
+//! CI) and prints the table without writing the artifact.
+
+use std::path::Path;
+
+use mps_bench::spmm_exp;
+use mps_simt::Device;
+
+fn main() {
+    let tiny = std::env::args().any(|a| a == "--tiny");
+    let device = Device::titan();
+    let rows = if tiny {
+        spmm_exp::run(&device, 300, 6.0, 2)
+    } else {
+        spmm_exp::run(&device, 4000, 16.0, 10)
+    };
+    println!("{}", spmm_exp::render(&rows));
+    for r in &rows {
+        println!(
+            "k={:>2}: sim speedup {:.2}x, host speedup {:.2}x over {} planned SpMVs",
+            r.k,
+            r.sim_speedup(),
+            r.host_speedup(),
+            r.k
+        );
+    }
+    if tiny {
+        return;
+    }
+    let json = spmm_exp::to_json(&rows);
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_spmm.json");
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(e) => eprintln!("could not write {}: {e}", out.display()),
+    }
+}

@@ -127,7 +127,12 @@ mod tests {
     fn larger_keys_are_slower_per_input() {
         // 64-bit traffic should not beat 32-bit at saturating sizes.
         let pts = run(&Device::titan(), &[2_000_000]);
-        let get = |v: &str| pts.iter().find(|p| p.variant == v).expect("variant").minputs_per_sec;
+        let get = |v: &str| {
+            pts.iter()
+                .find(|p| p.variant == v)
+                .expect("variant")
+                .minputs_per_sec
+        };
         assert!(get("keys-32") >= get("keys-64") * 0.95);
         assert!(get("keys-32") > get("pairs-64"));
     }

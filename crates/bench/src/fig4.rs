@@ -127,10 +127,16 @@ mod tests {
     #[test]
     fn cycles_fall_monotonically_with_bits() {
         let pts = run(&Device::titan());
-        let seq: Vec<u64> = ["1P(28-bits)", "1P(24-bits)", "1P(20-bits)", "1P(16-bits)", "1P(12-bits)"]
-            .iter()
-            .map(|m| pts.iter().find(|p| &p.method == m).expect("method").cycles)
-            .collect();
+        let seq: Vec<u64> = [
+            "1P(28-bits)",
+            "1P(24-bits)",
+            "1P(20-bits)",
+            "1P(16-bits)",
+            "1P(12-bits)",
+        ]
+        .iter()
+        .map(|m| pts.iter().find(|p| &p.method == m).expect("method").cycles)
+        .collect();
         assert!(seq.windows(2).all(|w| w[0] > w[1]), "{seq:?}");
     }
 

@@ -14,6 +14,7 @@
 //! | Figures 7–8 | [`spadd_exp`] | SpAdd speedup bars + time-vs-work correlation |
 //! | Figures 9–11 | [`spgemm_exp`] | SpGEMM speedups, time-vs-products, phase breakdown |
 //! | solver layer | [`solver_exp`] | solver sim_ms + measured host wall-clock, plan-vs-per-call |
+//! | SpMM layer | [`spmm_exp`] | tiled SpMM vs K repeated planned SpMVs (sim + host) |
 //!
 //! All experiments are deterministic: simulated device time is a pure
 //! function of the generated workloads.
@@ -24,6 +25,7 @@ pub mod sensitivity;
 pub mod solver_exp;
 pub mod spadd_exp;
 pub mod spgemm_exp;
+pub mod spmm_exp;
 pub mod spmv_exp;
 pub mod stats;
 pub mod tables;

@@ -64,10 +64,7 @@ pub fn render(rows: &[SensitivityRow]) -> String {
             ]
         })
         .collect();
-    crate::render_table(
-        &["device", "rho SpMV", "rho SpAdd", "SpMV total ms"],
-        &data,
-    )
+    crate::render_table(&["device", "rho SpMV", "rho SpAdd", "SpMV total ms"], &data)
 }
 
 #[cfg(test)]
@@ -80,12 +77,20 @@ mod tests {
         assert_eq!(rows.len(), 4);
         for r in &rows {
             assert!(r.rho_spmv > 0.85, "{}: rho_spmv {}", r.device, r.rho_spmv);
-            assert!(r.rho_spadd > 0.95, "{}: rho_spadd {}", r.device, r.rho_spadd);
+            assert!(
+                r.rho_spadd > 0.95,
+                "{}: rho_spadd {}",
+                r.device,
+                r.rho_spadd
+            );
         }
         // Absolute times differ across devices (faster hardware, less time).
         let times: Vec<f64> = rows.iter().map(|r| r.spmv_total_ms).collect();
         let spread = times.iter().cloned().fold(f64::MIN, f64::max)
             / times.iter().cloned().fold(f64::MAX, f64::min);
-        assert!(spread > 1.3, "devices should differ in absolute speed: {times:?}");
+        assert!(
+            spread > 1.3,
+            "devices should differ in absolute speed: {times:?}"
+        );
     }
 }

@@ -140,7 +140,9 @@ pub fn plan_comparison(device: &Device, grid: usize, iterations: usize) -> PlanC
 /// operator, plan built once vs rebuilt per call.
 pub fn spmv_plan_comparison(device: &Device, a: &CsrMatrix, iters: usize) -> PlanComparison {
     let cfg = SpmvConfig::default();
-    let x: Vec<f64> = (0..a.num_cols).map(|i| 1.0 + (i % 9) as f64 * 0.25).collect();
+    let x: Vec<f64> = (0..a.num_cols)
+        .map(|i| 1.0 + (i % 9) as f64 * 0.25)
+        .collect();
 
     // Per-call: full pipeline each product.
     merge_spmv(device, a, &x, &cfg); // warm
@@ -237,7 +239,10 @@ pub fn to_json(rows: &[SolverRow], pcg_cmp: &PlanComparison, spmv_cmp: &PlanComp
         ));
     }
     out.push_str("  ],\n");
-    for (key, c) in [("pcg_plan_comparison", pcg_cmp), ("spmv_plan_comparison", spmv_cmp)] {
+    for (key, c) in [
+        ("pcg_plan_comparison", pcg_cmp),
+        ("spmv_plan_comparison", spmv_cmp),
+    ] {
         out.push_str(&format!(
             "  \"{}\": {{\"n\": {}, \"nnz\": {}, \"iterations\": {}, \
              \"per_call_host_ms_per_iter\": {}, \"planned_host_ms_per_iter\": {}, \
@@ -249,7 +254,11 @@ pub fn to_json(rows: &[SolverRow], pcg_cmp: &PlanComparison, spmv_cmp: &PlanComp
             json_f(c.per_call_host_ms_per_iter),
             json_f(c.planned_host_ms_per_iter),
             json_f(c.speedup()),
-            if key == "pcg_plan_comparison" { "," } else { "" },
+            if key == "pcg_plan_comparison" {
+                ","
+            } else {
+                ""
+            },
         ));
     }
     out.push_str("}\n");

@@ -85,7 +85,10 @@ pub fn render_fig7(rows: &[SpAddRow]) -> String {
             ]
         })
         .collect();
-    crate::render_table(&["matrix", "2*nnz", "Cusp x", "Cusparse x", "Merge x"], &data)
+    crate::render_table(
+        &["matrix", "2*nnz", "Cusp x", "Cusparse x", "Merge x"],
+        &data,
+    )
 }
 
 /// Render Figure 8 (time vs work + correlations).

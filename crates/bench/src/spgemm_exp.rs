@@ -202,7 +202,10 @@ mod tests {
             );
             checked += 1;
         }
-        assert!(checked >= 6, "expected several substantial instances, got {checked}");
+        assert!(
+            checked >= 6,
+            "expected several substantial instances, got {checked}"
+        );
     }
 
     #[test]

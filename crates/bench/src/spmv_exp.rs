@@ -51,7 +51,9 @@ pub fn run(device: &Device, scale: f64) -> Vec<SpmvRow> {
         .iter()
         .map(|&m| {
             let a = m.generate(scale);
-            let x: Vec<f64> = (0..a.num_cols).map(|i| 1.0 + (i % 9) as f64 * 0.25).collect();
+            let x: Vec<f64> = (0..a.num_cols)
+                .map(|i| 1.0 + (i % 9) as f64 * 0.25)
+                .collect();
             let (_, cusp_stats) = cusp::spmv_vector(device, &a, &x);
             let (_, cusparse_stats) = cusparse_like::spmv(device, &a, &x);
             let merge = merge_spmv(device, &a, &x, &cfg);

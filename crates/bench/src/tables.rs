@@ -16,11 +16,17 @@ pub fn render_table1(device: &Device) -> String {
     let p = &device.props;
     let cpu = CpuModel::default();
     let rows = vec![
-        vec!["CPU model".to_string(), format!("i7-3820-class, {} GHz (analytic)", cpu.clock_ghz)],
+        vec![
+            "CPU model".to_string(),
+            format!("i7-3820-class, {} GHz (analytic)", cpu.clock_ghz),
+        ],
         vec!["GPU".to_string(), p.name.to_string()],
         vec!["SMs".to_string(), p.num_sms.to_string()],
         vec!["GPU clock".to_string(), format!("{} GHz", p.clock_ghz)],
-        vec!["DRAM bandwidth".to_string(), format!("{} GB/s", p.dram_bandwidth_gbps)],
+        vec![
+            "DRAM bandwidth".to_string(),
+            format!("{} GB/s", p.dram_bandwidth_gbps),
+        ],
         vec!["Warp size".to_string(), p.warp_size.to_string()],
         vec!["Max CTAs/SM".to_string(), p.max_ctas_per_sm.to_string()],
         vec!["ECC".to_string(), "disabled (not modeled)".to_string()],

@@ -20,8 +20,19 @@ fn tmp(name: &str) -> PathBuf {
 #[test]
 fn generate_then_info_round_trip() {
     let path = tmp("qcd.mtx");
-    let out = mps(&["generate", "qcd", "--scale", "0.005", "-o", path.to_str().unwrap()]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = mps(&[
+        "generate",
+        "qcd",
+        "--scale",
+        "0.005",
+        "-o",
+        path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let info = mps(&["info", path.to_str().unwrap()]);
     assert!(info.status.success());
@@ -33,9 +44,16 @@ fn generate_then_info_round_trip() {
 #[test]
 fn spmv_reports_all_three_kernels() {
     let path = tmp("harbor.mtx");
-    assert!(mps(&["generate", "harbor", "--scale", "0.005", "-o", path.to_str().unwrap()])
-        .status
-        .success());
+    assert!(mps(&[
+        "generate",
+        "harbor",
+        "--scale",
+        "0.005",
+        "-o",
+        path.to_str().unwrap()
+    ])
+    .status
+    .success());
     let out = mps(&["spmv", path.to_str().unwrap()]);
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
@@ -47,16 +65,39 @@ fn spmv_reports_all_three_kernels() {
 #[test]
 fn spadd_and_spgemm_write_outputs() {
     let a = tmp("circuit_a.mtx");
-    assert!(mps(&["generate", "circuit", "--scale", "0.003", "-o", a.to_str().unwrap()])
-        .status
-        .success());
+    assert!(mps(&[
+        "generate",
+        "circuit",
+        "--scale",
+        "0.003",
+        "-o",
+        a.to_str().unwrap()
+    ])
+    .status
+    .success());
     let sum = tmp("sum.mtx");
-    let out = mps(&["spadd", a.to_str().unwrap(), a.to_str().unwrap(), "-o", sum.to_str().unwrap()]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = mps(&[
+        "spadd",
+        a.to_str().unwrap(),
+        a.to_str().unwrap(),
+        "-o",
+        sum.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(sum.exists());
 
     let prod = tmp("prod.mtx");
-    let out = mps(&["spgemm", a.to_str().unwrap(), a.to_str().unwrap(), "-o", prod.to_str().unwrap()]);
+    let out = mps(&[
+        "spgemm",
+        a.to_str().unwrap(),
+        a.to_str().unwrap(),
+        "-o",
+        prod.to_str().unwrap(),
+    ]);
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("products"));
@@ -71,12 +112,28 @@ fn spadd_and_spgemm_write_outputs() {
 #[test]
 fn reorder_reduces_bandwidth() {
     let a = tmp("econ.mtx");
-    assert!(mps(&["generate", "economics", "--scale", "0.003", "-o", a.to_str().unwrap()])
-        .status
-        .success());
+    assert!(mps(&[
+        "generate",
+        "economics",
+        "--scale",
+        "0.003",
+        "-o",
+        a.to_str().unwrap()
+    ])
+    .status
+    .success());
     let out_path = tmp("econ_rcm.mtx");
-    let out = mps(&["reorder", a.to_str().unwrap(), "-o", out_path.to_str().unwrap()]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = mps(&[
+        "reorder",
+        a.to_str().unwrap(),
+        "-o",
+        out_path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("bandwidth"), "{text}");
 }
@@ -85,7 +142,9 @@ fn reorder_reduces_bandwidth() {
 fn bad_usage_exits_nonzero() {
     assert!(!mps(&[]).status.success());
     assert!(!mps(&["info"]).status.success());
-    assert!(!mps(&["generate", "no-such-matrix", "-o", "/tmp/x.mtx"]).status.success());
+    assert!(!mps(&["generate", "no-such-matrix", "-o", "/tmp/x.mtx"])
+        .status
+        .success());
     assert!(!mps(&["frobnicate"]).status.success());
 }
 

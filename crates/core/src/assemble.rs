@@ -9,8 +9,8 @@
 //! parallel, so the host phase no longer serializes behind the simulated
 //! kernels.
 
-use rayon::prelude::*;
 use mps_sparse::{unpack_key, CsrMatrix};
+use rayon::prelude::*;
 
 /// Chunk width for parallel host passes (matches the `nv = 4096` flat tiles
 /// the assembly kernels charge on the device).
@@ -64,7 +64,10 @@ pub fn csr_from_sorted_keys(
     values: Vec<f64>,
 ) -> CsrMatrix {
     debug_assert_eq!(keys.len(), values.len());
-    debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must be sorted unique");
+    debug_assert!(
+        keys.windows(2).all(|w| w[0] < w[1]),
+        "keys must be sorted unique"
+    );
     CsrMatrix {
         num_rows,
         num_cols,
@@ -137,7 +140,10 @@ mod tests {
         // More rows than one chunk so the parallel row-pointer pass spans
         // several chunks.
         let rows = 3 * super::CHUNK + 17;
-        let keys: Vec<u64> = (0..rows as u32).step_by(3).map(|r| pack_key(r, 1)).collect();
+        let keys: Vec<u64> = (0..rows as u32)
+            .step_by(3)
+            .map(|r| pack_key(r, 1))
+            .collect();
         let vals = vec![1.0; keys.len()];
         let c = csr_from_sorted_keys(rows, 4, &keys, vals.clone());
         assert_eq!(c, csr_ref(rows, 4, &keys, vals));

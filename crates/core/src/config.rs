@@ -34,6 +34,46 @@ impl Default for SpmvConfig {
     }
 }
 
+/// Column-tiled merge SpMM tuning (the multi-vector extension of the
+/// Section III-A decomposition, after Yang/Buluç/Owens' design principles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpmmConfig {
+    /// Threads per CTA.
+    pub block_threads: usize,
+    /// Nonzeros processed per thread.
+    pub items_per_thread: usize,
+    /// Output columns produced per traversal of `A`'s nonzeros (one
+    /// reduction+update launch pair per tile). Wider tiles amortize the CSR
+    /// traversal across more columns but hold more state per thread.
+    pub tile_k: usize,
+    /// When true, always run the raw row-offsets path even if the matrix
+    /// has empty rows (mirrors [`SpmvConfig::force_no_compaction`]).
+    pub force_no_compaction: bool,
+}
+
+impl SpmmConfig {
+    /// Nonzeros per CTA.
+    pub fn nv(&self) -> usize {
+        self.block_threads * self.items_per_thread
+    }
+
+    /// Column tile width, clamped to at least one.
+    pub fn tile(&self) -> usize {
+        self.tile_k.max(1)
+    }
+}
+
+impl Default for SpmmConfig {
+    fn default() -> Self {
+        SpmmConfig {
+            block_threads: 128,
+            items_per_thread: 7,
+            tile_k: 16,
+            force_no_compaction: false,
+        }
+    }
+}
+
 /// Balanced-path SpAdd tuning (Section III-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SpAddConfig {

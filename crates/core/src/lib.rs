@@ -7,6 +7,9 @@
 //!
 //! * [`spmv`] — CSR SpMV in three phases (partition / reduction / update),
 //!   with adaptive empty-row compaction (Section III-A);
+//! * [`spmm`] — CSR × dense multi-vector by the same decomposition, column
+//!   tiled so one traversal of A's nonzeros produces `TILE_K` output
+//!   columns, sharing the [`partition`] phase with SpMV;
 //! * [`spadd`] — sparse matrix addition as a balanced-path set union over
 //!   (row,col)-packed keys (Section III-B);
 //! * [`spgemm`] — sparse matrix-matrix multiplication by flat decomposition
@@ -19,14 +22,18 @@
 
 pub mod assemble;
 pub mod config;
+pub mod partition;
 pub mod spadd;
 pub mod spgemm;
+pub mod spmm;
 pub mod spmv;
 pub mod workspace;
 
-pub use config::{SpAddConfig, SpgemmConfig, SpmvConfig};
+pub use config::{SpAddConfig, SpgemmConfig, SpmmConfig, SpmvConfig};
+pub use partition::MergePartition;
 pub use spadd::{merge_spadd, SpAddPlan, SpAddResult};
 pub use spgemm::adaptive::{adaptive_spgemm, segmented_spgemm, AdaptivePolicy, PipelineChoice};
 pub use spgemm::{merge_spgemm, PhaseTimes, SpgemmPlan, SpgemmResult};
+pub use spmm::{merge_spmm, SpmmPlan, SpmmResult};
 pub use spmv::{merge_spmv, SpmvPlan, SpmvResult};
 pub use workspace::Workspace;

@@ -1,0 +1,186 @@
+//! Shared merge-path partition (phase 1 of Section III-A).
+//!
+//! Both the SpMV and SpMM plans start from the same structural object: one
+//! binary search per CTA boundary into the CSR row offsets (with the
+//! adaptive empty-row compaction pass in front when the matrix has empty
+//! rows), yielding the auxiliary buffer `S` of per-CTA starting rows. The
+//! partition depends only on the sparsity pattern and the tile size `nv`,
+//! never on numeric values or on how many output columns a consumer wants —
+//! so [`MergePartition`] is built **once** per (pattern, `nv`) and shared:
+//! [`crate::spmv::SpmvPlan`] executes it against one vector at a time,
+//! [`crate::spmm::SpmmPlan`] re-walks the identical boundaries for every
+//! column tile of a dense multi-vector block.
+
+use mps_simt::block::binary_search_partition;
+use mps_simt::grid::{launch_map_named, LaunchConfig, LaunchStats};
+use mps_simt::Device;
+use mps_sparse::CsrMatrix;
+
+/// The merge-path partition of one CSR matrix at a fixed tile size:
+/// possibly compacted row offsets, the logical→physical row map, and the
+/// per-CTA starting rows, together with the simulated cost of computing
+/// them on the device.
+#[derive(Debug, Clone)]
+pub struct MergePartition {
+    /// Nonzeros of the partitioned matrix.
+    pub nnz: usize,
+    /// Physical row count of the partitioned matrix.
+    pub num_rows: usize,
+    /// Nonzeros per CTA tile the boundaries were searched at.
+    pub nv: usize,
+    /// Possibly compacted row offsets.
+    pub offsets: Vec<usize>,
+    /// Logical→physical row map when compaction ran.
+    pub row_ids: Option<Vec<u32>>,
+    /// Per-CTA starting rows (the paper's auxiliary buffer S).
+    pub s: Vec<usize>,
+    /// Cost of the partition (and compaction) phase, paid once at build.
+    pub stats: LaunchStats,
+}
+
+impl MergePartition {
+    /// Run the boundary searches (and, adaptively, the empty-row
+    /// compaction pass) for `a` at `nv` nonzeros per CTA, charging the
+    /// device for the partition kernel.
+    pub fn build(
+        device: &Device,
+        a: &CsrMatrix,
+        nv: usize,
+        force_no_compaction: bool,
+    ) -> MergePartition {
+        let nnz = a.nnz();
+        if nnz == 0 {
+            return MergePartition {
+                nnz,
+                num_rows: a.num_rows,
+                nv,
+                offsets: vec![0],
+                row_ids: None,
+                s: Vec::new(),
+                stats: LaunchStats::default(),
+            };
+        }
+
+        // Adaptive path selection: detect empty rows and compact the
+        // offsets so the partition search and the row walker never see
+        // zero-length rows.
+        let has_empty = a.empty_rows() > 0;
+        let compacted = has_empty && !force_no_compaction;
+        let (offsets, row_ids): (Vec<usize>, Option<Vec<u32>>) = if compacted {
+            let (off, ids) = a.compact_rows();
+            (off, Some(ids))
+        } else {
+            (a.row_offsets.clone(), None)
+        };
+        let logical_rows = offsets.len() - 1;
+        let num_ctas = nnz.div_ceil(nv);
+
+        // One boundary search per CTA; S[i] = row containing nonzero i*nv.
+        let offsets_ref = &offsets;
+        let cfg_part = LaunchConfig::new(num_ctas + 1, 64);
+        let (s, mut stats) = launch_map_named(device, "spmv_partition", cfg_part, |cta| {
+            let item = (cta.cta_id * nv).min(nnz.saturating_sub(1));
+            cta.read_coalesced(2 * usize::BITS as usize, 8);
+            binary_search_partition(cta, offsets_ref, item)
+        });
+        if compacted {
+            // Charge the compaction pass: stream offsets, flag non-empties,
+            // scan, scatter the surviving offsets/ids.
+            stats.totals.dram_read_bytes += (a.num_rows as u64 + 1) * 8;
+            stats.totals.dram_write_bytes += (logical_rows as u64) * 12;
+            stats.totals.dram_transactions +=
+                ((a.num_rows as u64 + 1) * 8 + logical_rows as u64 * 12) / 128 + 1;
+        }
+
+        MergePartition {
+            nnz,
+            num_rows: a.num_rows,
+            nv,
+            offsets,
+            row_ids,
+            s,
+            stats,
+        }
+    }
+
+    /// Whether the adaptive empty-row compaction path ran.
+    pub fn compacted(&self) -> bool {
+        self.row_ids.is_some()
+    }
+
+    /// Rows after compaction (equals `num_rows` on the raw path).
+    pub fn logical_rows(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Number of CTA tiles covering the nonzeros.
+    pub fn num_ctas(&self) -> usize {
+        self.nnz.div_ceil(self.nv)
+    }
+
+    /// Map a logical (possibly compacted) row back to its physical index.
+    #[inline]
+    pub fn to_physical(&self, logical: usize) -> usize {
+        match &self.row_ids {
+            Some(ids) => ids[logical] as usize,
+            None => logical,
+        }
+    }
+
+    /// Row range `[start, end]` a CTA's nonzeros fall into (logical rows).
+    #[inline]
+    pub fn cta_row_range(&self, cta_id: usize) -> (usize, usize) {
+        let row_lo = self.s[cta_id];
+        // The last boundary search used item nnz-1; the row range for the
+        // final CTA ends at the row containing its last item.
+        let row_hi = if cta_id + 1 < self.s.len() {
+            self.s[cta_id + 1]
+        } else {
+            self.logical_rows() - 1
+        };
+        (row_lo, row_hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_sparse::{gen, CooMatrix};
+
+    fn dev() -> Device {
+        Device::titan()
+    }
+
+    #[test]
+    fn partition_is_deterministic_and_charged() {
+        let a = gen::banded(400, 12.0, 5.0, 40, 3);
+        let p1 = MergePartition::build(&dev(), &a, 896, false);
+        let p2 = MergePartition::build(&dev(), &a, 896, false);
+        assert_eq!(p1.s, p2.s);
+        assert!(p1.stats.sim_ms > 0.0);
+        assert_eq!(p1.num_ctas(), a.nnz().div_ceil(896));
+        assert!(!p1.compacted());
+        assert_eq!(p1.logical_rows(), a.num_rows);
+    }
+
+    #[test]
+    fn compaction_engages_on_empty_rows() {
+        let a = CooMatrix::from_triplets(10, 10, [(2, 1, 1.0), (7, 3, 2.0)]).to_csr();
+        let p = MergePartition::build(&dev(), &a, 896, false);
+        assert!(p.compacted());
+        assert_eq!(p.logical_rows(), 2);
+        assert_eq!(p.to_physical(0), 2);
+        assert_eq!(p.to_physical(1), 7);
+        let raw = MergePartition::build(&dev(), &a, 896, true);
+        assert!(!raw.compacted());
+        assert_eq!(raw.to_physical(7), 7);
+    }
+
+    #[test]
+    fn empty_matrix_partitions_to_nothing() {
+        let a = CsrMatrix::zeros(4, 4);
+        let p = MergePartition::build(&dev(), &a, 896, false);
+        assert_eq!(p.num_ctas(), 0);
+        assert_eq!(p.stats.sim_ms, 0.0);
+    }
+}

@@ -247,7 +247,12 @@ impl SpAddPlan {
 ///
 /// # Panics
 /// Panics if the shapes differ.
-pub fn merge_spadd(device: &Device, a: &CsrMatrix, b: &CsrMatrix, cfg: &SpAddConfig) -> SpAddResult {
+pub fn merge_spadd(
+    device: &Device,
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    cfg: &SpAddConfig,
+) -> SpAddResult {
     SpAddPlan::new(device, a, b, cfg).execute(device, a, b)
 }
 
@@ -255,8 +260,8 @@ pub fn merge_spadd(device: &Device, a: &CsrMatrix, b: &CsrMatrix, cfg: &SpAddCon
 mod tests {
     use super::*;
     use mps_sparse::dense::{from_dense, to_dense};
-    use mps_sparse::ops::spadd_ref;
     use mps_sparse::gen;
+    use mps_sparse::ops::spadd_ref;
     use proptest::prelude::*;
 
     fn dev() -> Device {
@@ -297,7 +302,10 @@ mod tests {
     #[test]
     fn matches_reference_on_suite_families() {
         for (a, b) in [
-            (gen::banded(200, 12.0, 4.0, 40, 1), gen::banded(200, 8.0, 3.0, 30, 2)),
+            (
+                gen::banded(200, 12.0, 4.0, 40, 1),
+                gen::banded(200, 8.0, 3.0, 30, 2),
+            ),
             (
                 gen::power_law(300, 300, 1, 1.5, 100, 3),
                 gen::random_uniform(300, 300, 4.0, 2.0, 4),
@@ -312,7 +320,10 @@ mod tests {
     fn small_tiles_still_correct() {
         let a = gen::random_uniform(50, 50, 5.0, 3.0, 7);
         let b = gen::random_uniform(50, 50, 5.0, 3.0, 8);
-        let tiny = SpAddConfig { block_threads: 32, nv: 2 };
+        let tiny = SpAddConfig {
+            block_threads: 32,
+            nv: 2,
+        };
         let r = merge_spadd(&dev(), &a, &b, &tiny);
         assert_eq!(r.c, spadd_ref(&a, &b));
     }
@@ -335,7 +346,11 @@ mod tests {
         let planned = plan.execute(&dev(), &a, &b);
         let one_shot = merge_spadd(&dev(), &a, &b, &cfg());
         assert_eq!(planned.c, one_shot.c, "same values: byte-identical output");
-        assert_eq!(planned.sim_ms(), one_shot.sim_ms(), "provenance run must cost the same");
+        assert_eq!(
+            planned.sim_ms(),
+            one_shot.sim_ms(),
+            "provenance run must cost the same"
+        );
 
         // Same patterns, different values: the plan still applies.
         let mut a2 = a.clone();
@@ -365,7 +380,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "identical shape")]
     fn shape_mismatch_panics() {
-        merge_spadd(&dev(), &CsrMatrix::zeros(2, 2), &CsrMatrix::zeros(2, 3), &cfg());
+        merge_spadd(
+            &dev(),
+            &CsrMatrix::zeros(2, 2),
+            &CsrMatrix::zeros(2, 3),
+            &cfg(),
+        );
     }
 
     proptest! {

@@ -124,49 +124,51 @@ pub fn segmented_spgemm(
         "spgemm_segmented",
         LaunchConfig::new(rows.max(1), cfg.block_threads),
         |cta| {
-        let r = cta.cta_id;
-        if r >= rows {
-            return (Vec::new(), Vec::new(), 0u64);
-        }
-        let mut products = 0usize;
-        for &k in a.row_cols(r) {
-            products += b.row_len(k as usize);
-        }
-        cta.read_coalesced(a.row_len(r), 12);
-        cta.gather(0..products, 12);
-        cta.alu(2 * products as u64);
+            let r = cta.cta_id;
+            if r >= rows {
+                return (Vec::new(), Vec::new(), 0u64);
+            }
+            let mut products = 0usize;
+            for &k in a.row_cols(r) {
+                products += b.row_len(k as usize);
+            }
+            cta.read_coalesced(a.row_len(r), 12);
+            cta.gather(0..products, 12);
+            cta.alu(2 * products as u64);
 
-        // Accumulate (semantics: dense-marker per row; cost: table traffic).
-        let mut acc: Vec<(u32, f64)> = Vec::new();
-        let mut marker: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
-        for (k, av) in a.row_cols(r).iter().zip(a.row_vals(r)) {
-            for (c, bv) in b.row_cols(*k as usize).iter().zip(b.row_vals(*k as usize)) {
-                match marker.get(c) {
-                    Some(&slot) => acc[slot].1 += av * bv,
-                    None => {
-                        marker.insert(*c, acc.len());
-                        acc.push((*c, av * bv));
+            // Accumulate (semantics: dense-marker per row; cost: table traffic).
+            let mut acc: Vec<(u32, f64)> = Vec::new();
+            let mut marker: std::collections::HashMap<u32, usize> =
+                std::collections::HashMap::new();
+            for (k, av) in a.row_cols(r).iter().zip(a.row_vals(r)) {
+                for (c, bv) in b.row_cols(*k as usize).iter().zip(b.row_vals(*k as usize)) {
+                    match marker.get(c) {
+                        Some(&slot) => acc[slot].1 += av * bv,
+                        None => {
+                            marker.insert(*c, acc.len());
+                            acc.push((*c, av * bv));
+                        }
                     }
                 }
             }
-        }
-        if acc.len() <= capacity {
-            cta.shmem(3 * products as u64);
-        } else {
-            // Accumulator spills: table traffic becomes scattered DRAM.
-            cta.scatter((0..products).map(|p| (p * 2654435761) % (1 << 22)), 12);
-        }
+            if acc.len() <= capacity {
+                cta.shmem(3 * products as u64);
+            } else {
+                // Accumulator spills: table traffic becomes scattered DRAM.
+                cta.scatter((0..products).map(|p| (p * 2654435761) % (1 << 22)), 12);
+            }
 
-        // Sort the row's unique columns with a single block radix sort over
-        // the meaningful column bits only.
-        let mut keys: Vec<u32> = acc.iter().map(|&(c, _)| c).collect();
-        block_radix_sort_keys(cta, &mut keys, 0, col_bits);
-        acc.sort_unstable_by_key(|&(c, _)| c);
+            // Sort the row's unique columns with a single block radix sort over
+            // the meaningful column bits only.
+            let mut keys: Vec<u32> = acc.iter().map(|&(c, _)| c).collect();
+            block_radix_sort_keys(cta, &mut keys, 0, col_bits);
+            acc.sort_unstable_by_key(|&(c, _)| c);
 
-        cta.write_coalesced(acc.len(), 12);
-        let (cols, vals): (Vec<u32>, Vec<f64>) = acc.into_iter().unzip();
-        (cols, vals, products as u64)
-    });
+            cta.write_coalesced(acc.len(), 12);
+            let (cols, vals): (Vec<u32>, Vec<f64>) = acc.into_iter().unzip();
+            (cols, vals, products as u64)
+        },
+    );
 
     let mut row_offsets = vec![0usize; rows + 1];
     let mut col_idx = Vec::new();
@@ -208,7 +210,10 @@ pub fn adaptive_spgemm(
     policy: &AdaptivePolicy,
 ) -> (SpgemmResult, PipelineChoice) {
     match policy.choose(a, b, cfg.nv()) {
-        PipelineChoice::Segmented => (segmented_spgemm(device, a, b, cfg), PipelineChoice::Segmented),
+        PipelineChoice::Segmented => (
+            segmented_spgemm(device, a, b, cfg),
+            PipelineChoice::Segmented,
+        ),
         PipelineChoice::FlatMerge => (merge_spgemm(device, a, b, cfg), PipelineChoice::FlatMerge),
     }
 }
@@ -286,7 +291,10 @@ mod tests {
     #[test]
     fn adaptive_result_is_correct_either_way() {
         let policy = AdaptivePolicy::default();
-        for a in [gen::dense(64, 64), gen::random_uniform(200, 200, 5.0, 3.0, 6)] {
+        for a in [
+            gen::dense(64, 64),
+            gen::random_uniform(200, 200, 5.0, 3.0, 6),
+        ] {
             let (r, _) = adaptive_spgemm(&dev(), &a, &a, &cfg(), &policy);
             assert!(r.c.approx_eq(&spgemm_ref(&a, &a), 1e-12));
         }

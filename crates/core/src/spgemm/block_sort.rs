@@ -68,10 +68,7 @@ pub fn block_sort(
         // Traffic: A column indices (sequential), B row offsets and column
         // indices (gathered by referenced row, contiguous runs inside it).
         cta.read_coalesced(count, 4);
-        cta.gather(
-            lo..hi,
-            4,
-        );
+        cta.gather(lo..hi, 4);
 
         // Single-pass stable radix sort on the column index. The sorted
         // permutation either rides in the upper key bits (keys-only sort)
@@ -185,7 +182,11 @@ mod tests {
         assert_eq!(tiles.len(), 2);
         // Tile 0 = products 0..6: (0,0),(1,3),(1,1),(1,1),(1,0),(1,3)
         // → unique {(0,0),(1,0),(1,1),(1,3)}.
-        let t0: Vec<(u32, u32)> = tiles[0].unique_keys.iter().map(|&k| unpack_key(k)).collect();
+        let t0: Vec<(u32, u32)> = tiles[0]
+            .unique_keys
+            .iter()
+            .map(|&k| unpack_key(k))
+            .collect();
         assert_eq!(t0.len(), 4);
         assert!(t0.contains(&(0, 0)) && t0.contains(&(1, 0)));
         assert!(t0.contains(&(1, 1)) && t0.contains(&(1, 3)));

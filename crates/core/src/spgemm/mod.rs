@@ -101,7 +101,12 @@ impl SpgemmResult {
 ///
 /// # Panics
 /// Panics if `a.num_cols != b.num_rows`.
-pub fn merge_spgemm(device: &Device, a: &CsrMatrix, b: &CsrMatrix, cfg: &SpgemmConfig) -> SpgemmResult {
+pub fn merge_spgemm(
+    device: &Device,
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    cfg: &SpgemmConfig,
+) -> SpgemmResult {
     SpgemmPlan::new(device, a, b, cfg).execute(device, a, b)
 }
 

@@ -408,7 +408,10 @@ mod tests {
         let one_shot = merge_spgemm(&dev(), &a, &b, &cfg);
         let plan = SpgemmPlan::new(&dev(), &a, &b, &cfg);
         let planned = plan.execute(&dev(), &a, &b);
-        assert_eq!(planned.c, one_shot.c, "planned result must be byte-identical");
+        assert_eq!(
+            planned.c, one_shot.c,
+            "planned result must be byte-identical"
+        );
         assert_eq!(planned.products, one_shot.products);
         assert_eq!(planned.phases, one_shot.phases);
     }

@@ -165,7 +165,9 @@ mod tests {
         for split in [1, 4, 7, 10] {
             let mut parts = Vec::new();
             exp.walk_tile(&mut cta, 0, split, |q, j, t| parts.push((q, j, t)));
-            exp.walk_tile(&mut cta, split, exp.products, |q, j, t| parts.push((q, j, t)));
+            exp.walk_tile(&mut cta, split, exp.products, |q, j, t| {
+                parts.push((q, j, t))
+            });
             assert_eq!(parts, all, "split at {split}");
         }
     }

@@ -1,0 +1,629 @@
+//! Merge-path SpMM: CSR × dense multi-vector (column-tiled).
+//!
+//! Extends the Section III-A flat decomposition from one dense vector to a
+//! block of `k` column vectors (the operand shape of block-Krylov solvers
+//! and batched PageRank). The design follows the row-major / column-tiled
+//! decomposition popularized by Yang, Buluç and Owens for merge-based SpMM:
+//!
+//! * The **partition** phase is unchanged — boundaries depend only on the
+//!   sparsity pattern and the tile size, never on how many output columns
+//!   are produced. A plan builds one [`MergePartition`] and re-walks the
+//!   identical CTA boundaries for every column tile.
+//! * The **reduction** phase processes a tile of `TILE_K` output columns
+//!   per launch: each nonzero gathers a contiguous `TILE_K`-wide run of the
+//!   operand block's row (row-major [`DenseBlock`] layout) instead of one
+//!   scalar, and the CTA-wide segmented scan carries `TILE_K` partial sums
+//!   per segment. A's column indices and values are streamed once per tile
+//!   rather than once per column.
+//! * The **update** phase folds `TILE_K`-wide carries into `Y` with wide
+//!   scatters.
+//!
+//! The payoff over `k` independent SpMVs is twofold and the cost model sees
+//! both: A's CSR arrays are read `⌈k / TILE_K⌉` times instead of `k` times,
+//! and the operand gathers are *wide* — one nonzero's `TILE_K` doubles span
+//! a handful of 128-byte segments, where `k` scalar gathers of the same
+//! data pay a transaction each (see `Cta::gather_wide` and the
+//! `dram_wide_bytes` counter).
+//!
+//! **Plan/execute split.** Exactly as for [`crate::spmv::SpmvPlan`]: every
+//! launch cost is structure-only, charged once at [`SpmmPlan::new`], and
+//! [`SpmmPlan::execute_into`] is a pure flat loop that reproduces, column
+//! by column, the bitwise floating-point summation order of the planned
+//! SpMV — column `c` of the product equals `SpmvPlan::execute` on column
+//! `c` of the operand, bit for bit.
+
+use mps_simt::block::block_segmented_reduce;
+use mps_simt::grid::{launch_map_into, LaunchBuffers, LaunchConfig, LaunchStats};
+use mps_simt::Device;
+use mps_sparse::{CsrMatrix, DenseBlock};
+
+use crate::config::SpmmConfig;
+use crate::partition::MergePartition;
+use crate::spmv::charge_exchange;
+use crate::workspace::Workspace;
+
+/// Column tiles of a `k`-wide block at width `tile`: `(first_col, width)`.
+fn column_tiles(k: usize, tile: usize) -> impl Iterator<Item = (usize, usize)> {
+    (0..k)
+        .step_by(tile)
+        .map(move |col0| (col0, tile.min(k - col0)))
+}
+
+/// Result of a merge SpMM: the product block plus per-phase simulated cost.
+#[derive(Debug, Clone)]
+pub struct SpmmResult {
+    pub y: DenseBlock,
+    pub partition: LaunchStats,
+    pub reduction: LaunchStats,
+    pub update: LaunchStats,
+    /// Whether the adaptive empty-row compaction path ran.
+    pub compacted: bool,
+}
+
+impl SpmmResult {
+    /// Total simulated kernel time in milliseconds.
+    pub fn sim_ms(&self) -> f64 {
+        self.partition.sim_ms + self.reduction.sim_ms + self.update.sim_ms
+    }
+
+    /// Achieved double-precision GFLOP/s under simulated time, counting
+    /// 2·nnz·k flops.
+    pub fn gflops(&self, nnz: usize, k: usize) -> f64 {
+        if self.sim_ms() == 0.0 {
+            return 0.0;
+        }
+        2.0 * nnz as f64 * k as f64 / (self.sim_ms() * 1e-3) / 1e9
+    }
+}
+
+/// Precomputed SpMM state for a fixed matrix and block width `k`: the
+/// shared merge-path partition plus the cached simulated cost of the
+/// per-tile reduction/update launches.
+///
+/// Block solvers apply the same operator to the same `k` right-hand sides
+/// every iteration, so the plan charges the full tiled pipeline once —
+/// `⌈k / TILE_K⌉` reduction/update launch pairs, staged through one reused
+/// [`LaunchBuffers`] — and each [`SpmmPlan::execute_into`] afterwards is
+/// flat numeric work with no allocation in steady state.
+#[derive(Debug, Clone)]
+pub struct SpmmPlan {
+    cfg: SpmmConfig,
+    k: usize,
+    num_cols: usize,
+    /// Shared merge-path partition (phase 1), reused by every tile.
+    part: MergePartition,
+    /// Cost of the partition (and compaction) phase, paid at plan build.
+    pub partition: LaunchStats,
+    /// Cached cost of all reduction-phase tile launches.
+    reduction: LaunchStats,
+    /// Cached cost of all update-phase tile launches.
+    update: LaunchStats,
+}
+
+impl SpmmPlan {
+    /// Build the partition for `a` and charge the value-independent cost of
+    /// the tiled reduction/update phases for a `k`-column operand block.
+    pub fn new(device: &Device, a: &CsrMatrix, k: usize, cfg: &SpmmConfig) -> SpmmPlan {
+        let mut part = MergePartition::build(device, a, cfg.nv(), cfg.force_no_compaction);
+        let partition = std::mem::take(&mut part.stats);
+        let mut plan = SpmmPlan {
+            cfg: *cfg,
+            k,
+            num_cols: a.num_cols,
+            part,
+            partition,
+            reduction: LaunchStats::default(),
+            update: LaunchStats::default(),
+        };
+        if plan.part.nnz > 0 && k > 0 {
+            plan.charge_tiled_phases(device, a);
+        }
+        plan
+    }
+
+    /// Block width the plan was built for.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of column tiles per execution.
+    pub fn num_tiles(&self) -> usize {
+        self.k.div_ceil(self.cfg.tile())
+    }
+
+    /// Whether the adaptive empty-row compaction path ran.
+    pub fn compacted(&self) -> bool {
+        self.part.compacted()
+    }
+
+    /// The shared merge-path partition underlying this plan.
+    pub fn partition_structure(&self) -> &MergePartition {
+        &self.part
+    }
+
+    /// Cached simulated cost of the reduction-phase tile launches.
+    pub fn reduction_stats(&self) -> &LaunchStats {
+        &self.reduction
+    }
+
+    /// Cached simulated cost of the update-phase tile launches.
+    pub fn update_stats(&self) -> &LaunchStats {
+        &self.update
+    }
+
+    /// Simulated milliseconds of one planned execution (all tiles'
+    /// reduction + update launches).
+    pub fn execute_sim_ms(&self) -> f64 {
+        self.reduction.sim_ms + self.update.sim_ms
+    }
+
+    /// Simulate one reduction/update launch pair per column tile, staging
+    /// every launch through the same [`LaunchBuffers`]. The numeric outputs
+    /// are discarded — only the cost survives in the plan.
+    fn charge_tiled_phases(&mut self, device: &Device, a: &CsrMatrix) {
+        let nnz = self.part.nnz;
+        let nv = self.cfg.nv();
+        let k = self.k;
+        let num_ctas = self.part.num_ctas();
+        let part = &self.part;
+        let offsets = &self.part.offsets;
+
+        let mut reduce_bufs: LaunchBuffers<Option<usize>> = LaunchBuffers::new();
+        let mut update_bufs: LaunchBuffers<()> = LaunchBuffers::new();
+        let mut carry_opts: Vec<Option<usize>> = Vec::new();
+        let mut unit_out: Vec<()> = Vec::new();
+        let mut carry_rows: Vec<usize> = Vec::new();
+        let mut tile_stats = LaunchStats::default();
+        let mut reduction = LaunchStats::default();
+        let mut update = LaunchStats::default();
+
+        for (col0, w) in column_tiles(k, self.cfg.tile()) {
+            // ---- Phase 2: reduction over one column tile ----------------
+            let cfg_red = LaunchConfig::new(num_ctas, self.cfg.block_threads);
+            launch_map_into(
+                device,
+                "spmm_reduce",
+                cfg_red,
+                |cta| {
+                    let lo = cta.cta_id * nv;
+                    let hi = (lo + nv).min(nnz);
+                    let count = hi - lo;
+                    let (row_lo, row_hi) = part.cta_row_range(cta.cta_id);
+
+                    // Row offsets for the CTA's rows into shared memory.
+                    cta.read_coalesced(row_hi - row_lo + 2, 8);
+                    cta.shmem((row_hi - row_lo + 2) as u64);
+
+                    // A's column indices and values, streamed once per tile
+                    // (this is the traffic k independent SpMVs pay k times).
+                    cta.read_coalesced(count, 4);
+                    cta.read_coalesced(count, 8);
+
+                    // Wide gather of operand rows: each nonzero loads a
+                    // contiguous w-wide run of X's row-major storage.
+                    cta.gather_wide(
+                        a.col_idx[lo..hi].iter().map(|&c| c as usize * k + col0),
+                        8,
+                        w,
+                    );
+
+                    // One multiply per nonzero per column slot.
+                    cta.alu((count * w) as u64);
+
+                    // Expand logical row ids by walking the shared offsets.
+                    let mut rows = Vec::with_capacity(count);
+                    let mut r = row_lo;
+                    cta.alu(count as u64);
+                    for item in lo..hi {
+                        while r < row_hi && offsets[r + 1] <= item {
+                            r += 1;
+                        }
+                        rows.push(r);
+                    }
+
+                    // Striped→blocked exchange of the row-id tile plus the
+                    // w-wide product tile.
+                    charge_exchange(cta, (1 + w) * count);
+
+                    // Segmented scan: the base routine prices one value
+                    // lane; the remaining w-1 lanes share the segment
+                    // bookkeeping and add only their adds and staging.
+                    let zeros = vec![0.0f64; count];
+                    let seg = block_segmented_reduce(cta, &zeros, &rows);
+                    cta.alu((3 * count * (w - 1)) as u64);
+                    cta.shmem((2 * count * (w - 1)) as u64);
+
+                    // Complete rows store w consecutive doubles each.
+                    cta.scatter_wide(
+                        seg.complete
+                            .iter()
+                            .map(|&(row, _)| part.to_physical(row) * k + col0),
+                        8,
+                        w,
+                    );
+                    seg.carry.map(|(row, _)| row)
+                },
+                &mut reduce_bufs,
+                &mut carry_opts,
+                &mut tile_stats,
+            );
+            reduction.add(&tile_stats);
+
+            carry_rows.clear();
+            carry_rows.extend(carry_opts.iter().flatten());
+
+            // ---- Phase 3: update over the tile's carries ----------------
+            let carries_ref = &carry_rows;
+            let cfg_upd = LaunchConfig::new(1, self.cfg.block_threads);
+            launch_map_into(
+                device,
+                "spmm_update",
+                cfg_upd,
+                |cta| {
+                    cta.read_coalesced(carries_ref.len(), 4);
+                    cta.read_coalesced(carries_ref.len() * w, 8);
+                    cta.alu((2 * carries_ref.len() * w) as u64);
+                    cta.scatter_wide(
+                        carries_ref
+                            .iter()
+                            .map(|&row| part.to_physical(row) * k + col0),
+                        8,
+                        w,
+                    );
+                },
+                &mut update_bufs,
+                &mut unit_out,
+                &mut tile_stats,
+            );
+            update.add(&tile_stats);
+        }
+
+        self.reduction = reduction;
+        self.update = update;
+    }
+
+    /// The numeric phases as pure flat loops, tile by tile. Within a tile
+    /// each CTA runs the fused product-and-segmented-sum with a `w`-wide
+    /// accumulator; per column slot the floating-point op sequence is
+    /// exactly [`crate::spmv::SpmvPlan`]'s (products in item order within
+    /// each row segment, complete rows assigned, trailing partials folded
+    /// as carries in CTA order), so every column of the result is bitwise
+    /// identical to a planned SpMV on that operand column.
+    fn numeric_execute(
+        &self,
+        a: &CsrMatrix,
+        x: &DenseBlock,
+        y: &mut DenseBlock,
+        acc: &mut Vec<f64>,
+        carries: &mut Vec<(usize, f64)>,
+    ) {
+        y.reset(self.part.num_rows, self.k);
+        let nnz = self.part.nnz;
+        if nnz == 0 || self.k == 0 {
+            return;
+        }
+        let nv = self.cfg.nv();
+        let k = self.k;
+        let num_ctas = self.part.num_ctas();
+        let offsets = &self.part.offsets;
+
+        for (col0, w) in column_tiles(k, self.cfg.tile()) {
+            carries.clear();
+            for cta_id in 0..num_ctas {
+                let lo = cta_id * nv;
+                let hi = (lo + nv).min(nnz);
+                let (row_lo, row_hi) = self.part.cta_row_range(cta_id);
+                let mut r = row_lo;
+                acc.clear();
+                acc.resize(w, 0.0);
+                let mut any = false;
+                for i in lo..hi {
+                    while r < row_hi && offsets[r + 1] <= i {
+                        if any {
+                            let base = self.part.to_physical(r) * k + col0;
+                            y.data[base..base + w].copy_from_slice(acc);
+                        }
+                        r += 1;
+                        acc.iter_mut().for_each(|s| *s = 0.0);
+                        any = false;
+                    }
+                    let v = a.values[i];
+                    let xrow = &x.data[a.col_idx[i] as usize * k + col0..][..w];
+                    for (s, &xj) in acc.iter_mut().zip(xrow) {
+                        *s += v * xj;
+                    }
+                    any = true;
+                }
+                // The tile's final segment is the CTA carry, even when the
+                // row ends exactly at the tile boundary.
+                if any {
+                    let base = self.part.to_physical(r) * k + col0;
+                    for (t, &s) in acc.iter().enumerate() {
+                        carries.push((base + t, s));
+                    }
+                }
+            }
+            for &(idx, sum) in carries.iter() {
+                y.data[idx] += sum;
+            }
+        }
+    }
+
+    fn check_inputs(&self, a: &CsrMatrix, x: &DenseBlock) {
+        assert_eq!(
+            x.rows, self.num_cols,
+            "operand block must have num_cols rows"
+        );
+        assert_eq!(
+            x.cols, self.k,
+            "operand block width must equal the planned k"
+        );
+        assert_eq!(
+            (a.num_rows, a.num_cols, a.nnz()),
+            (self.part.num_rows, self.num_cols, self.part.nnz),
+            "matrix does not match the plan"
+        );
+    }
+
+    /// Run the tiled reduction + update phases against the planned matrix.
+    ///
+    /// Convenience wrapper over [`SpmmPlan::execute_into`] that allocates
+    /// the output block and clones the cached phase stats. `device` is
+    /// unused beyond API symmetry — the cost was charged at plan build.
+    ///
+    /// # Panics
+    /// Panics if `a` does not match the planned matrix's shape/nnz or `x`
+    /// is not `num_cols × k`.
+    pub fn execute(&self, _device: &Device, a: &CsrMatrix, x: &DenseBlock) -> SpmmResult {
+        self.check_inputs(a, x);
+        let mut y = DenseBlock::zeros(0, 0);
+        let mut acc = Vec::new();
+        let mut carries = Vec::new();
+        self.numeric_execute(a, x, &mut y, &mut acc, &mut carries);
+        SpmmResult {
+            y,
+            partition: LaunchStats::default(),
+            reduction: self.reduction.clone(),
+            update: self.update.clone(),
+            compacted: self.compacted(),
+        }
+    }
+
+    /// Steady-state execution: write `Y = A·X` into a caller-owned block
+    /// using workspace scratch, returning the simulated milliseconds of the
+    /// numeric phases (from the plan's cached stats).
+    ///
+    /// After one warm-up call with the same `y`/`ws`, this performs no heap
+    /// allocation.
+    ///
+    /// # Panics
+    /// Panics if `a` does not match the planned matrix's shape/nnz or `x`
+    /// is not `num_cols × k`.
+    pub fn execute_into(
+        &self,
+        a: &CsrMatrix,
+        x: &DenseBlock,
+        y: &mut DenseBlock,
+        ws: &mut Workspace,
+    ) -> f64 {
+        self.check_inputs(a, x);
+        let mut acc = ws.take_f64();
+        let mut carries = ws.take_carries();
+        self.numeric_execute(a, x, y, &mut acc, &mut carries);
+        ws.put_f64(acc);
+        ws.put_carries(carries);
+        self.execute_sim_ms()
+    }
+}
+
+/// Y = A·X with the column-tiled merge-path decomposition; `k` is taken
+/// from the operand block.
+///
+/// # Panics
+/// Panics if `x.rows != a.num_cols`.
+pub fn merge_spmm(device: &Device, a: &CsrMatrix, x: &DenseBlock, cfg: &SpmmConfig) -> SpmmResult {
+    let plan = SpmmPlan::new(device, a, x.cols, cfg);
+    let mut result = plan.execute(device, a, x);
+    result.partition = plan.partition;
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SpmvConfig;
+    use crate::spmv::SpmvPlan;
+    use mps_sparse::dense::spmm_ref;
+    use mps_sparse::{gen, CooMatrix};
+
+    fn dev() -> Device {
+        Device::titan()
+    }
+
+    fn x_block(rows: usize, cols: usize) -> DenseBlock {
+        DenseBlock::from_fn(rows, cols, |r, c| {
+            1.0 + ((r * 7 + c * 13) % 23) as f64 * 0.25 - (c % 3) as f64
+        })
+    }
+
+    fn assert_close_block(a: &DenseBlock, b: &DenseBlock) {
+        assert_eq!((a.rows, a.cols), (b.rows, b.cols));
+        for (i, (x, y)) in a.data.iter().zip(&b.data).enumerate() {
+            assert!(
+                (x - y).abs() <= 1e-9 * (1.0 + x.abs().max(y.abs())),
+                "flat index {i}: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_generated_matrices() {
+        for m in [
+            gen::stencil_5pt(18, 18),
+            gen::banded(250, 16.0, 6.0, 50, 2),
+            gen::random_uniform(300, 280, 7.0, 4.0, 5),
+            gen::power_law(350, 350, 1, 1.5, 140, 11),
+        ] {
+            for k in [1usize, 3, 16, 33] {
+                let x = x_block(m.num_cols, k);
+                let r = merge_spmm(&dev(), &m, &x, &SpmmConfig::default());
+                assert_close_block(&r.y, &spmm_ref(&m, &x));
+            }
+        }
+    }
+
+    #[test]
+    fn k1_is_bitwise_identical_to_planned_spmv() {
+        for m in [
+            gen::banded(300, 14.0, 5.0, 45, 7),
+            gen::power_law(250, 250, 1, 1.5, 100, 3),
+            // Empty rows: the compaction path.
+            CooMatrix::from_triplets(40, 40, [(2, 1, 2.5), (25, 39, -1.0), (26, 0, 4.0)]).to_csr(),
+        ] {
+            let x = x_block(m.num_cols, 1);
+            let spmm = SpmmPlan::new(&dev(), &m, 1, &SpmmConfig::default());
+            let spmv = SpmvPlan::new(&dev(), &m, &SpmvConfig::default());
+            let ym = spmm.execute(&dev(), &m, &x);
+            let yv = spmv.execute(&dev(), &m, &x.column(0));
+            assert_eq!(ym.y.data, yv.y, "k=1 SpMM must be bitwise SpMV");
+        }
+    }
+
+    #[test]
+    fn columns_are_bitwise_identical_to_planned_spmv_columns() {
+        let m = gen::random_uniform(220, 220, 6.0, 3.0, 9);
+        let k = 9;
+        let x = x_block(m.num_cols, k);
+        let spmm = SpmmPlan::new(
+            &dev(),
+            &m,
+            k,
+            &SpmmConfig {
+                tile_k: 4,
+                ..SpmmConfig::default()
+            },
+        );
+        let spmv = SpmvPlan::new(&dev(), &m, &SpmvConfig::default());
+        let ym = spmm.execute(&dev(), &m, &x);
+        for c in 0..k {
+            let yv = spmv.execute(&dev(), &m, &x.column(c));
+            assert_eq!(ym.y.column(c), yv.y, "column {c}");
+        }
+    }
+
+    #[test]
+    fn tile_width_does_not_change_the_result_bits() {
+        let m = gen::banded(280, 18.0, 7.0, 55, 21);
+        let x = x_block(m.num_cols, 13);
+        let mut reference: Option<DenseBlock> = None;
+        for tile_k in [1usize, 2, 5, 13, 64] {
+            let cfg = SpmmConfig {
+                tile_k,
+                ..SpmmConfig::default()
+            };
+            let r = merge_spmm(&dev(), &m, &x, &cfg);
+            match &reference {
+                None => reference = Some(r.y),
+                Some(want) => assert_eq!(&r.y, want, "tile_k={tile_k}"),
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_execution_beats_k_repeated_planned_spmvs() {
+        let m = gen::random_uniform(2000, 2000, 12.0, 6.0, 17);
+        let spmv = SpmvPlan::new(&dev(), &m, &SpmvConfig::default());
+        for k in [4usize, 16, 64] {
+            let spmm = SpmmPlan::new(&dev(), &m, k, &SpmmConfig::default());
+            let tiled = spmm.execute_sim_ms();
+            let repeated = k as f64 * spmv.execute_sim_ms();
+            assert!(
+                tiled < repeated,
+                "k={k}: tiled {tiled} ms !< {repeated} ms for repeated SpMVs"
+            );
+        }
+    }
+
+    #[test]
+    fn wide_loads_show_up_in_the_dram_counters() {
+        let m = gen::stencil_5pt(40, 40);
+        let plan = SpmmPlan::new(&dev(), &m, 16, &SpmmConfig::default());
+        assert!(plan.reduction_stats().totals.dram_wide_bytes > 0);
+        assert!(plan.update_stats().totals.dram_wide_bytes > 0);
+        // The SpMV plan never issues wide accesses.
+        let spmv = SpmvPlan::new(&dev(), &m, &SpmvConfig::default());
+        assert_eq!(spmv.reduction_stats().totals.dram_wide_bytes, 0);
+    }
+
+    #[test]
+    fn empty_rows_trigger_compaction_and_stay_zero() {
+        let a = CooMatrix::from_triplets(6, 6, [(1, 0, 2.0), (4, 5, 3.0)]).to_csr();
+        let x = x_block(6, 3);
+        let r = merge_spmm(&dev(), &a, &x, &SpmmConfig::default());
+        assert!(r.compacted);
+        assert_close_block(&r.y, &spmm_ref(&a, &x));
+        assert_eq!(r.y.row(0), &[0.0; 3]);
+        assert_eq!(r.y.row(3), &[0.0; 3]);
+    }
+
+    #[test]
+    fn empty_matrix_gives_zero_block() {
+        let a = mps_sparse::CsrMatrix::zeros(5, 5);
+        let x = x_block(5, 4);
+        let r = merge_spmm(&dev(), &a, &x, &SpmmConfig::default());
+        assert_eq!(r.y.data, vec![0.0; 20]);
+        assert_eq!(r.sim_ms(), 0.0);
+    }
+
+    #[test]
+    fn execute_into_is_bitwise_identical_and_reuses_buffers() {
+        let m = gen::power_law(400, 400, 1, 1.5, 160, 29);
+        let k = 8;
+        let x = x_block(m.num_cols, k);
+        let plan = SpmmPlan::new(&dev(), &m, k, &SpmmConfig::default());
+        let one_shot = plan.execute(&dev(), &m, &x);
+        let mut ws = Workspace::new();
+        let mut y = DenseBlock::zeros(0, 0);
+        let ms = plan.execute_into(&m, &x, &mut y, &mut ws);
+        assert_eq!(y, one_shot.y);
+        assert!((ms - plan.execute_sim_ms()).abs() < 1e-12);
+        // Warm re-run: same result, same backing buffer.
+        let ptr = y.data.as_ptr();
+        plan.execute_into(&m, &x, &mut y, &mut ws);
+        assert_eq!(y, one_shot.y);
+        assert_eq!(y.data.as_ptr(), ptr, "output storage must be reused");
+    }
+
+    #[test]
+    fn num_tiles_covers_k() {
+        let m = gen::stencil_5pt(10, 10);
+        let cfg = SpmmConfig {
+            tile_k: 16,
+            ..SpmmConfig::default()
+        };
+        assert_eq!(SpmmPlan::new(&dev(), &m, 1, &cfg).num_tiles(), 1);
+        assert_eq!(SpmmPlan::new(&dev(), &m, 16, &cfg).num_tiles(), 1);
+        assert_eq!(SpmmPlan::new(&dev(), &m, 17, &cfg).num_tiles(), 2);
+        assert_eq!(SpmmPlan::new(&dev(), &m, 64, &cfg).num_tiles(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "operand block width")]
+    fn plan_rejects_mismatched_block_width() {
+        let m = gen::stencil_5pt(6, 6);
+        let plan = SpmmPlan::new(&dev(), &m, 4, &SpmmConfig::default());
+        let x = x_block(m.num_cols, 5);
+        plan.execute(&dev(), &m, &x);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match the plan")]
+    fn plan_rejects_mismatched_matrix() {
+        let a = gen::stencil_5pt(8, 8);
+        let b = gen::stencil_5pt(9, 9);
+        let plan = SpmmPlan::new(&dev(), &a, 2, &SpmmConfig::default());
+        // Operand sized for the plan so the shape check is what fires.
+        let x = x_block(a.num_cols, 2);
+        plan.execute(&dev(), &b, &x);
+    }
+}

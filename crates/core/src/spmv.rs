@@ -28,19 +28,20 @@
 //! sums, then carry folds in CTA order) without re-simulating any launch —
 //! and, given a warmed [`Workspace`], without allocating.
 
-use mps_simt::block::{binary_search_partition, block_segmented_reduce};
+use mps_simt::block::block_segmented_reduce;
 use mps_simt::cta::Cta;
 use mps_simt::grid::{launch_map_named, LaunchConfig, LaunchStats};
 use mps_simt::Device;
 use mps_sparse::CsrMatrix;
 
 use crate::config::SpmvConfig;
+use crate::partition::MergePartition;
 use crate::workspace::Workspace;
 
 /// Charge the shared-memory cost of a striped→blocked exchange of `items`
 /// register-tile entries (the data itself is already in natural order on
 /// the host).
-fn charge_exchange(cta: &mut Cta, items: usize) {
+pub(crate) fn charge_exchange(cta: &mut Cta, items: usize) {
     cta.shmem(2 * items as u64);
     cta.sync();
     cta.sync();
@@ -88,15 +89,9 @@ impl SpmvResult {
 #[derive(Debug, Clone)]
 pub struct SpmvPlan {
     cfg: SpmvConfig,
-    nnz: usize,
-    num_rows: usize,
     num_cols: usize,
-    /// Possibly compacted row offsets.
-    offsets: Vec<usize>,
-    /// Logical→physical row map when compaction ran.
-    row_ids: Option<Vec<u32>>,
-    /// Per-CTA starting rows (the paper's auxiliary buffer S).
-    s: Vec<usize>,
+    /// Shared merge-path partition (phase 1), reused by every execute.
+    part: MergePartition,
     /// Cost of the partition (and compaction) phase, paid at plan build.
     pub partition: LaunchStats,
     /// Cached cost of the reduction phase (structure-only; charged once).
@@ -109,75 +104,32 @@ impl SpmvPlan {
     /// Build the partition for `a` (phase 1 of Section III-A) and charge
     /// the value-independent cost of the remaining phases.
     pub fn new(device: &Device, a: &CsrMatrix, cfg: &SpmvConfig) -> SpmvPlan {
-        let nnz = a.nnz();
-        let nv = cfg.nv();
-        if nnz == 0 {
-            return SpmvPlan {
-                cfg: *cfg,
-                nnz,
-                num_rows: a.num_rows,
-                num_cols: a.num_cols,
-                offsets: vec![0],
-                row_ids: None,
-                s: Vec::new(),
-                partition: LaunchStats::default(),
-                reduction: LaunchStats::default(),
-                update: LaunchStats::default(),
-            };
-        }
-
-        // Adaptive path selection: detect empty rows and compact the
-        // offsets so the partition search and the row walker never see
-        // zero-length rows.
-        let has_empty = a.empty_rows() > 0;
-        let compacted = has_empty && !cfg.force_no_compaction;
-        let (offsets, row_ids): (Vec<usize>, Option<Vec<u32>>) = if compacted {
-            let (off, ids) = a.compact_rows();
-            (off, Some(ids))
-        } else {
-            (a.row_offsets.clone(), None)
-        };
-        let logical_rows = offsets.len() - 1;
-        let num_ctas = nnz.div_ceil(nv);
-
-        // One boundary search per CTA; S[i] = row containing nonzero i*nv.
-        let offsets_ref = &offsets;
-        let cfg_part = LaunchConfig::new(num_ctas + 1, 64);
-        let (s, mut partition) = launch_map_named(device, "spmv_partition", cfg_part, |cta| {
-            let item = (cta.cta_id * nv).min(nnz.saturating_sub(1));
-            cta.read_coalesced(2 * usize::BITS as usize, 8);
-            binary_search_partition(cta, offsets_ref, item)
-        });
-        if compacted {
-            // Charge the compaction pass: stream offsets, flag non-empties,
-            // scan, scatter the surviving offsets/ids.
-            partition.totals.dram_read_bytes += (a.num_rows as u64 + 1) * 8;
-            partition.totals.dram_write_bytes += (logical_rows as u64) * 12;
-            partition.totals.dram_transactions +=
-                ((a.num_rows as u64 + 1) * 8 + logical_rows as u64 * 12) / 128 + 1;
-        }
-
+        let mut part = MergePartition::build(device, a, cfg.nv(), cfg.force_no_compaction);
+        let partition = std::mem::take(&mut part.stats);
         let mut plan = SpmvPlan {
             cfg: *cfg,
-            nnz,
-            num_rows: a.num_rows,
             num_cols: a.num_cols,
-            offsets,
-            row_ids,
-            s,
+            part,
             partition,
             reduction: LaunchStats::default(),
             update: LaunchStats::default(),
         };
-        let (reduction, update) = plan.charge_numeric_phases(device, a);
-        plan.reduction = reduction;
-        plan.update = update;
+        if plan.part.nnz > 0 {
+            let (reduction, update) = plan.charge_numeric_phases(device, a);
+            plan.reduction = reduction;
+            plan.update = update;
+        }
         plan
     }
 
     /// Whether the adaptive empty-row compaction path ran.
     pub fn compacted(&self) -> bool {
-        self.row_ids.is_some()
+        self.part.compacted()
+    }
+
+    /// The shared merge-path partition underlying this plan.
+    pub fn partition_structure(&self) -> &MergePartition {
+        &self.part
     }
 
     /// Cached simulated cost of the reduction phase.
@@ -200,12 +152,11 @@ impl SpmvPlan {
     /// numeric outputs are discarded — only the structure (segment layout,
     /// carry set) and the cost survive in the plan.
     fn charge_numeric_phases(&self, device: &Device, a: &CsrMatrix) -> (LaunchStats, LaunchStats) {
-        let nnz = self.nnz;
+        let nnz = self.part.nnz;
         let nv = self.cfg.nv();
-        let num_ctas = nnz.div_ceil(nv);
-        let offsets_ref = &self.offsets;
-        let s_ref = &self.s;
-        let logical_rows = self.offsets.len().saturating_sub(1);
+        let num_ctas = self.part.num_ctas();
+        let offsets_ref = &self.part.offsets;
+        let part = &self.part;
 
         // ---- Phase 2: reduction -----------------------------------------
         let cfg_red = LaunchConfig::new(num_ctas, self.cfg.block_threads);
@@ -213,14 +164,7 @@ impl SpmvPlan {
             let lo = cta.cta_id * nv;
             let hi = (lo + nv).min(nnz);
             let count = hi - lo;
-            let row_lo = s_ref[cta.cta_id];
-            // The last boundary search used item nnz-1; the row range for
-            // this CTA ends at the row containing its last item.
-            let row_hi = if cta.cta_id + 1 < s_ref.len() {
-                s_ref[cta.cta_id + 1]
-            } else {
-                logical_rows - 1
-            };
+            let (row_lo, row_hi) = part.cta_row_range(cta.cta_id);
 
             // Row offsets for the CTA's rows into shared memory.
             cta.read_coalesced(row_hi - row_lo + 2, 8);
@@ -280,33 +224,28 @@ impl SpmvPlan {
     /// segmented-sum (bitwise identical to the simulated kernel's grouping:
     /// products accumulate in item order within each row segment), complete
     /// rows assigned, trailing partials folded as carries in CTA order.
-    fn numeric_execute(&self, a: &CsrMatrix, x: &[f64], y: &mut [f64], carries: &mut Vec<(usize, f64)>) {
+    fn numeric_execute(
+        &self,
+        a: &CsrMatrix,
+        x: &[f64],
+        y: &mut [f64],
+        carries: &mut Vec<(usize, f64)>,
+    ) {
         y.fill(0.0);
         carries.clear();
-        let nnz = self.nnz;
+        let nnz = self.part.nnz;
         if nnz == 0 {
             return;
         }
         let nv = self.cfg.nv();
-        let num_ctas = nnz.div_ceil(nv);
-        let offsets = &self.offsets;
-        let logical_rows = offsets.len().saturating_sub(1);
-        let to_physical = |logical: usize| -> usize {
-            match &self.row_ids {
-                Some(ids) => ids[logical] as usize,
-                None => logical,
-            }
-        };
+        let num_ctas = self.part.num_ctas();
+        let offsets = &self.part.offsets;
+        let to_physical = |logical: usize| self.part.to_physical(logical);
 
         for cta_id in 0..num_ctas {
             let lo = cta_id * nv;
             let hi = (lo + nv).min(nnz);
-            let row_lo = self.s[cta_id];
-            let row_hi = if cta_id + 1 < self.s.len() {
-                self.s[cta_id + 1]
-            } else {
-                logical_rows - 1
-            };
+            let (row_lo, row_hi) = self.part.cta_row_range(cta_id);
             let mut r = row_lo;
             let mut acc = 0.0f64;
             let mut any = false;
@@ -338,7 +277,7 @@ impl SpmvPlan {
         assert_eq!(x.len(), self.num_cols, "x length must equal num_cols");
         assert_eq!(
             (a.num_rows, a.num_cols, a.nnz()),
-            (self.num_rows, self.num_cols, self.nnz),
+            (self.part.num_rows, self.num_cols, self.part.nnz),
             "matrix does not match the plan"
         );
     }
@@ -354,7 +293,7 @@ impl SpmvPlan {
     /// has the wrong length.
     pub fn execute(&self, _device: &Device, a: &CsrMatrix, x: &[f64]) -> SpmvResult {
         self.check_inputs(a, x);
-        let mut y = vec![0.0; self.num_rows];
+        let mut y = vec![0.0; self.part.num_rows];
         let mut carries = Vec::new();
         self.numeric_execute(a, x, &mut y, &mut carries);
         SpmvResult {
@@ -385,7 +324,7 @@ impl SpmvPlan {
     ) -> f64 {
         self.check_inputs(a, x);
         y.clear();
-        y.resize(self.num_rows, 0.0);
+        y.resize(self.part.num_rows, 0.0);
         let mut carries = ws.take_carries();
         self.numeric_execute(a, x, y, &mut carries);
         ws.put_carries(carries);
@@ -416,7 +355,9 @@ mod tests {
     }
 
     fn x_for(m: &CsrMatrix) -> Vec<f64> {
-        (0..m.num_cols).map(|i| 1.0 + (i % 13) as f64 * 0.5).collect()
+        (0..m.num_cols)
+            .map(|i| 1.0 + (i % 13) as f64 * 0.5)
+            .collect()
     }
 
     fn assert_close(a: &[f64], b: &[f64]) {

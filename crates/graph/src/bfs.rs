@@ -17,7 +17,10 @@ use crate::semiring::{semiring_spmv_into, BoolOrAnd, SemiringScratch};
 /// # Panics
 /// Panics if the graph is not square or `source` is out of range.
 pub fn bfs_levels(device: &Device, graph: &CsrMatrix, source: usize) -> (Vec<u32>, f64) {
-    assert_eq!(graph.num_rows, graph.num_cols, "BFS needs a square adjacency");
+    assert_eq!(
+        graph.num_rows, graph.num_cols,
+        "BFS needs a square adjacency"
+    );
     assert!(source < graph.num_rows, "source out of range");
     let n = graph.num_rows;
     let mut levels = vec![u32::MAX; n];
@@ -30,7 +33,14 @@ pub fn bfs_levels(device: &Device, graph: &CsrMatrix, source: usize) -> (Vec<u32
     let mut sim_ms = 0.0;
 
     for depth in 1..=n as u32 {
-        sim_ms += semiring_spmv_into(device, &BoolOrAnd, graph, &frontier, &mut reached, &mut scratch);
+        sim_ms += semiring_spmv_into(
+            device,
+            &BoolOrAnd,
+            graph,
+            &frontier,
+            &mut reached,
+            &mut scratch,
+        );
         let mut any = false;
         for v in 0..n {
             next[v] = reached[v] && levels[v] == u32::MAX;

@@ -14,7 +14,10 @@ use crate::semiring::{semiring_spmv, MinMin};
 /// # Panics
 /// Panics if the graph is not square.
 pub fn connected_components(device: &Device, graph: &CsrMatrix) -> (Vec<u32>, f64) {
-    assert_eq!(graph.num_rows, graph.num_cols, "CC needs a square adjacency");
+    assert_eq!(
+        graph.num_rows, graph.num_cols,
+        "CC needs a square adjacency"
+    );
     let n = graph.num_rows;
     let mut labels: Vec<u32> = (0..n as u32).collect();
     let mut sim_ms = 0.0;

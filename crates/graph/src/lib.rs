@@ -11,7 +11,8 @@
 //! * [`components`] — connected components by min-label propagation
 //!   (min-min semiring);
 //! * [`pagerank`](mod@pagerank) — damped power iteration (ordinary (+, ×) via the
-//!   merge SpMV);
+//!   merge SpMV), plus batched multi-source personalized PageRank over one
+//!   merge SpMM per step;
 //! * [`triangles`] — triangle counting: SpGEMM + balanced-path
 //!   intersection (the paper's set-operation extension at work).
 
@@ -23,7 +24,7 @@ pub mod triangles;
 
 pub use bfs::bfs_levels;
 pub use components::connected_components;
-pub use pagerank::{pagerank, PageRankResult};
+pub use pagerank::{pagerank, pagerank_multi, MultiPageRankResult, PageRankResult};
 pub use semiring::{semiring_spmv, Semiring};
 pub use triangles::count_triangles;
 

@@ -26,13 +26,24 @@ fn coo_keys(m: &CsrMatrix) -> (Vec<u64>, Vec<f64>) {
 /// # Panics
 /// Panics if the adjacency is not square.
 pub fn count_triangles(device: &Device, graph: &CsrMatrix) -> (u64, f64) {
-    assert_eq!(graph.num_rows, graph.num_cols, "triangles need a square adjacency");
+    assert_eq!(
+        graph.num_rows, graph.num_cols,
+        "triangles need a square adjacency"
+    );
     let gemm = merge_spgemm(device, graph, graph, &SpgemmConfig::default());
     let mut sim_ms = gemm.sim_ms();
     let (ck, cv) = coo_keys(&gemm.c);
     let (ak, av) = coo_keys(graph);
-    let (_, matched, stats) =
-        set_op_pairs(device, SetOp::Intersection, &ck, &cv, &ak, &av, |c, _| c, 1024);
+    let (_, matched, stats) = set_op_pairs(
+        device,
+        SetOp::Intersection,
+        &ck,
+        &cv,
+        &ak,
+        &av,
+        |c, _| c,
+        1024,
+    );
     sim_ms += stats.sim_ms;
     let paths: f64 = matched.iter().sum();
     ((paths / 6.0).round() as u64, sim_ms)

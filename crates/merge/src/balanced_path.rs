@@ -86,7 +86,10 @@ pub fn partition_balanced<K: Key>(
     b: &[K],
     nv: usize,
 ) -> (Vec<BalancedPoint>, LaunchStats) {
-    assert!(nv > 1, "balanced tiles need nv > 1 (stars shift boundaries by one)");
+    assert!(
+        nv > 1,
+        "balanced tiles need nv > 1 (stars shift boundaries by one)"
+    );
     let total = a.len() + b.len();
     let num_tiles = total.div_ceil(nv).max(1);
     let cfg = LaunchConfig::new(num_tiles + 1, 64);
@@ -129,15 +132,36 @@ mod tests {
         // t0/t1 boundary (diag 3) is the starred diagonal of the figure:
         // thread t0 takes a,b,c0 from A plus the matched c0 from B.
         let p1 = balanced_path_search(&mut c, &a, &b, 3);
-        assert_eq!(p1, BalancedPoint { a: 3, b: 1, starred: true });
+        assert_eq!(
+            p1,
+            BalancedPoint {
+                a: 3,
+                b: 1,
+                starred: true
+            }
+        );
 
         // t1/t2 boundary (diag 6): c1-pair complete, unstarred.
         let p2 = balanced_path_search(&mut c, &a, &b, 6);
-        assert_eq!(p2, BalancedPoint { a: 4, b: 2, starred: false });
+        assert_eq!(
+            p2,
+            BalancedPoint {
+                a: 4,
+                b: 2,
+                starred: false
+            }
+        );
 
         // t2/t3 boundary (diag 9): lands outside any shared run.
         let p3 = balanced_path_search(&mut c, &a, &b, 9);
-        assert_eq!(p3, BalancedPoint { a: 5, b: 4, starred: false });
+        assert_eq!(
+            p3,
+            BalancedPoint {
+                a: 5,
+                b: 4,
+                starred: false
+            }
+        );
     }
 
     #[test]
@@ -179,10 +203,16 @@ mod tests {
                 // Unpaired left-side elements are only allowed if the other
                 // side has no partner remaining.
                 if a_unpaired > 0 {
-                    assert!(cb == tb, "diag {diag} key {key} splits an a-pair: ca={ca} cb={cb}");
+                    assert!(
+                        cb == tb,
+                        "diag {diag} key {key} splits an a-pair: ca={ca} cb={cb}"
+                    );
                 }
                 if b_unpaired > 0 {
-                    assert!(ca == ta, "diag {diag} key {key} splits a b-pair: ca={ca} cb={cb}");
+                    assert!(
+                        ca == ta,
+                        "diag {diag} key {key} splits a b-pair: ca={ca} cb={cb}"
+                    );
                 }
             }
         }
@@ -205,7 +235,14 @@ mod tests {
         let a: Vec<u64> = (0..1000).map(|i| (i / 3) as u64).collect();
         let b: Vec<u64> = (0..800).map(|i| (i / 5) as u64).collect();
         let (points, _) = partition_balanced(&dev, &a, &b, 128);
-        assert_eq!(points[0], BalancedPoint { a: 0, b: 0, starred: false });
+        assert_eq!(
+            points[0],
+            BalancedPoint {
+                a: 0,
+                b: 0,
+                starred: false
+            }
+        );
         let last = points.last().expect("non-empty");
         assert_eq!((last.a, last.b), (a.len(), b.len()));
         for w in points.windows(2) {

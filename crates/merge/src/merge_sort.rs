@@ -15,7 +15,11 @@ use crate::Key;
 
 /// Sort a sequence with device-wide merge sort. Returns the sorted data
 /// and accumulated simulated cost.
-pub fn parallel_merge_sort<K: Key>(device: &Device, data: &[K], nv: usize) -> (Vec<K>, LaunchStats) {
+pub fn parallel_merge_sort<K: Key>(
+    device: &Device,
+    data: &[K],
+    nv: usize,
+) -> (Vec<K>, LaunchStats) {
     assert!(nv > 0, "tile size must be positive");
     let n = data.len();
     let mut stats = LaunchStats::default();

@@ -98,29 +98,30 @@ pub fn sort_permutation_with_payload(
         // Downsweep: rank and scatter each tile's elements.
         let offsets_ref = &offsets;
         let perm_ref = &perm;
-        let (scattered, down_stats) = launch_map_named(device, "radix_downsweep", cfg, move |cta| {
-            let lo = cta.cta_id * nv;
-            let hi = (lo + nv).min(n);
-            cta.read_coalesced(2 * (hi - lo), 8 + payload_bytes);
-            cta.alu(4 * (hi - lo) as u64);
-            cta.shmem(4 * (hi - lo) as u64);
-            cta.sync();
-            let mut cursor = vec![0u32; RADIX];
-            let mut moves: Vec<(u32, u64, u32)> = Vec::with_capacity(hi - lo);
-            for i in lo..hi {
-                let d = digit(cur_ref[i]);
-                let dst = offsets_ref[d * num_tiles + cta.cta_id] + cursor[d];
-                cursor[d] += 1;
-                moves.push((dst, cur_ref[i], perm_ref[i]));
-            }
-            // Charge the genuine scatter pattern (key + permutation entry,
-            // plus any payload riding along in this pass).
-            cta.scatter(
-                moves.iter().map(|&(dst, _, _)| dst as usize),
-                12 + payload_bytes,
-            );
-            moves
-        });
+        let (scattered, down_stats) =
+            launch_map_named(device, "radix_downsweep", cfg, move |cta| {
+                let lo = cta.cta_id * nv;
+                let hi = (lo + nv).min(n);
+                cta.read_coalesced(2 * (hi - lo), 8 + payload_bytes);
+                cta.alu(4 * (hi - lo) as u64);
+                cta.shmem(4 * (hi - lo) as u64);
+                cta.sync();
+                let mut cursor = vec![0u32; RADIX];
+                let mut moves: Vec<(u32, u64, u32)> = Vec::with_capacity(hi - lo);
+                for i in lo..hi {
+                    let d = digit(cur_ref[i]);
+                    let dst = offsets_ref[d * num_tiles + cta.cta_id] + cursor[d];
+                    cursor[d] += 1;
+                    moves.push((dst, cur_ref[i], perm_ref[i]));
+                }
+                // Charge the genuine scatter pattern (key + permutation entry,
+                // plus any payload riding along in this pass).
+                cta.scatter(
+                    moves.iter().map(|&(dst, _, _)| dst as usize),
+                    12 + payload_bytes,
+                );
+                moves
+            });
         stats.add(&down_stats);
 
         let mut next_keys = vec![0u64; n];
@@ -225,7 +226,9 @@ mod tests {
 
     #[test]
     fn fewer_bits_cost_less() {
-        let keys: Vec<u64> = (0..20_000).map(|i| (i * 2654435761u64) & 0xffff_ffff).collect();
+        let keys: Vec<u64> = (0..20_000)
+            .map(|i| (i * 2654435761u64) & 0xffff_ffff)
+            .collect();
         let (_, wide) = sort_permutation(&dev(), &keys, 32, 1024);
         let (_, narrow) = sort_permutation(&dev(), &keys, 16, 1024);
         assert!(narrow.sim_ms < wide.sim_ms);

@@ -32,7 +32,10 @@ pub enum SetOp {
 
 impl SetOp {
     fn emit_a_only(self) -> bool {
-        matches!(self, SetOp::Union | SetOp::Difference | SetOp::SymmetricDifference)
+        matches!(
+            self,
+            SetOp::Union | SetOp::Difference | SetOp::SymmetricDifference
+        )
     }
 
     fn emit_b_only(self) -> bool {

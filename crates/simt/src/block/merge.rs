@@ -95,7 +95,10 @@ mod tests {
     fn empty_inputs() {
         let mut c = cta();
         let empty: [u32; 0] = [];
-        assert_eq!(block_merge_by(&mut c, &empty, &empty, 8, le), Vec::<u32>::new());
+        assert_eq!(
+            block_merge_by(&mut c, &empty, &empty, 8, le),
+            Vec::<u32>::new()
+        );
         assert_eq!(block_merge_by(&mut c, &[1, 2], &empty, 8, le), vec![1, 2]);
         assert_eq!(block_merge_by(&mut c, &empty, &[1, 2], 8, le), vec![1, 2]);
     }

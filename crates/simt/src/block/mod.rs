@@ -15,7 +15,7 @@ pub mod scan;
 pub mod search;
 pub mod segscan;
 
-pub use exchange::{striped_to_blocked, blocked_to_striped};
+pub use exchange::{blocked_to_striped, striped_to_blocked};
 pub use histogram::{block_compact, block_histogram};
 pub use merge::block_merge_by;
 pub use radix_sort::{block_radix_sort_keys, block_radix_sort_pairs, BlockSortCost};

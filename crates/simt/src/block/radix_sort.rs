@@ -57,7 +57,11 @@ fn masked(key: u32, begin_bit: u32, end_bit: u32) -> u32 {
         return 0;
     }
     let width = end_bit - begin_bit;
-    let mask = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+    let mask = if width == 32 {
+        u32::MAX
+    } else {
+        (1u32 << width) - 1
+    };
     (key >> begin_bit) & mask
 }
 
@@ -85,7 +89,11 @@ pub fn block_radix_sort_pairs(
     begin_bit: u32,
     end_bit: u32,
 ) -> BlockSortCost {
-    assert_eq!(keys.len(), values.len(), "pair sort needs equal-length tiles");
+    assert_eq!(
+        keys.len(),
+        values.len(),
+        "pair sort needs equal-length tiles"
+    );
     let passes = passes_for_bits(end_bit - begin_bit);
     charge_passes(cta, keys.len(), passes, true);
     let mut zipped: Vec<(u32, u32)> = keys.iter().copied().zip(values.iter().copied()).collect();

@@ -30,6 +30,11 @@ pub struct Counters {
     pub dram_write_bytes: u64,
     /// 128-byte DRAM transactions issued (≥ payload/128 when uncoalesced).
     pub dram_transactions: u64,
+    /// Payload bytes moved by *wide* accesses (each lane touching a run of
+    /// consecutive elements, e.g. a dense column-tile row). Subset of the
+    /// read/write byte totals; tracked separately so tiled multi-vector
+    /// kernels are priced distinctly from repeated narrow gathers.
+    pub dram_wide_bytes: u64,
     /// Shared-memory accesses (one per thread per load/store).
     pub shmem_ops: u64,
     /// Arithmetic/logic thread-operations.
@@ -43,6 +48,7 @@ impl Counters {
         self.dram_read_bytes += other.dram_read_bytes;
         self.dram_write_bytes += other.dram_write_bytes;
         self.dram_transactions += other.dram_transactions;
+        self.dram_wide_bytes += other.dram_wide_bytes;
         self.shmem_ops += other.shmem_ops;
         self.alu_ops += other.alu_ops;
         self.syncs += other.syncs;
@@ -120,6 +126,7 @@ mod tests {
             dram_read_bytes: 1,
             dram_write_bytes: 2,
             dram_transactions: 3,
+            dram_wide_bytes: 7,
             shmem_ops: 4,
             alu_ops: 5,
             syncs: 6,
@@ -127,6 +134,7 @@ mod tests {
         a.add(&a.clone());
         assert_eq!(a.dram_read_bytes, 2);
         assert_eq!(a.syncs, 12);
+        assert_eq!(a.dram_wide_bytes, 14);
         assert_eq!(a.dram_bytes(), 6);
     }
 

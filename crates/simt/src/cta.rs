@@ -109,6 +109,37 @@ impl Cta {
         self.counters.dram_write_bytes += tx.1;
     }
 
+    /// Charge a *wide* data-dependent gather: each index names the first of
+    /// `width` consecutive elements (a row of a row-major dense column
+    /// tile), and the lane loads the whole run. Transactions are counted per
+    /// warp as the distinct 128-byte segments the union of the runs touches,
+    /// so one `width`-wide gather is priced far below `width` independent
+    /// narrow gathers of the same indices — the coalescing advantage tiled
+    /// multi-vector kernels exist to exploit. The payload also accrues to
+    /// the [`Counters::dram_wide_bytes`] counter.
+    pub fn gather_wide<I>(&mut self, indices: I, elem_bytes: usize, width: usize)
+    where
+        I: IntoIterator<Item = usize>,
+    {
+        let tx = self.wide_access_transactions(indices, elem_bytes, width);
+        self.counters.dram_transactions += tx.0;
+        self.counters.dram_read_bytes += tx.1;
+        self.counters.dram_wide_bytes += tx.1;
+    }
+
+    /// Charge a wide data-dependent scatter (same model as [`gather_wide`]).
+    ///
+    /// [`gather_wide`]: Cta::gather_wide
+    pub fn scatter_wide<I>(&mut self, indices: I, elem_bytes: usize, width: usize)
+    where
+        I: IntoIterator<Item = usize>,
+    {
+        let tx = self.wide_access_transactions(indices, elem_bytes, width);
+        self.counters.dram_transactions += tx.0;
+        self.counters.dram_write_bytes += tx.1;
+        self.counters.dram_wide_bytes += tx.1;
+    }
+
     /// Returns (transactions, payload bytes) for an indexed access pattern.
     fn access_transactions<I>(&mut self, indices: I, elem_bytes: usize) -> (u64, u64)
     where
@@ -135,6 +166,43 @@ impl Cta {
             transactions += distinct_count(&mut warp_segments);
         }
         (transactions, n * elem_bytes as u64)
+    }
+
+    /// Returns (transactions, payload bytes) for a wide indexed access:
+    /// every index pulls `width` consecutive elements, and a warp coalesces
+    /// over the union of all its lanes' runs.
+    fn wide_access_transactions<I>(
+        &mut self,
+        indices: I,
+        elem_bytes: usize,
+        width: usize,
+    ) -> (u64, u64)
+    where
+        I: IntoIterator<Item = usize>,
+    {
+        let width = width.max(1);
+        let per_tx = (TX_BYTES as usize / elem_bytes).max(1);
+        let mut transactions = 0u64;
+        let mut n = 0u64;
+        let mut warp_segments: Vec<usize> = Vec::with_capacity(self.warp_size * 2);
+        let mut lane = 0;
+        for idx in indices {
+            n += 1;
+            // Segments spanned by elements [idx, idx + width).
+            let first = idx / per_tx;
+            let last = (idx + width - 1) / per_tx;
+            warp_segments.extend(first..=last);
+            lane += 1;
+            if lane == self.warp_size {
+                transactions += distinct_count(&mut warp_segments);
+                warp_segments.clear();
+                lane = 0;
+            }
+        }
+        if !warp_segments.is_empty() {
+            transactions += distinct_count(&mut warp_segments);
+        }
+        (transactions, n * width as u64 * elem_bytes as u64)
     }
 }
 
@@ -204,6 +272,60 @@ mod tests {
         let mut c = cta();
         c.gather(std::iter::repeat_n(7usize, 32), 4);
         assert_eq!(c.counters().dram_transactions, 1);
+    }
+
+    #[test]
+    fn wide_gather_of_width_one_matches_narrow_gather() {
+        let mut narrow = cta();
+        narrow.gather((0..32usize).map(|i| i * 16), 8);
+        let mut wide = cta();
+        wide.gather_wide((0..32usize).map(|i| i * 16), 8, 1);
+        assert_eq!(
+            narrow.counters().dram_transactions,
+            wide.counters().dram_transactions
+        );
+        assert_eq!(
+            narrow.counters().dram_read_bytes,
+            wide.counters().dram_read_bytes
+        );
+        assert_eq!(wide.counters().dram_wide_bytes, 32 * 8);
+    }
+
+    #[test]
+    fn wide_gather_is_cheaper_than_repeated_narrow_gathers() {
+        // 16 scattered dense rows of width 16 (a column tile): one wide
+        // gather per row vs 16 narrow gathers of the same rows.
+        let k = 16usize;
+        let rows: Vec<usize> = (0..16).map(|i| i * 331).collect();
+        let mut wide = cta();
+        wide.gather_wide(rows.iter().map(|r| r * k), 8, k);
+        let mut narrow = cta();
+        for j in 0..k {
+            narrow.gather(rows.iter().map(|r| r * k + j), 8);
+        }
+        assert_eq!(
+            wide.counters().dram_read_bytes,
+            narrow.counters().dram_read_bytes,
+            "same payload either way"
+        );
+        assert!(
+            wide.counters().dram_transactions < narrow.counters().dram_transactions / 4,
+            "wide {} vs narrow {}",
+            wide.counters().dram_transactions,
+            narrow.counters().dram_transactions
+        );
+        assert_eq!(narrow.counters().dram_wide_bytes, 0);
+        assert!(wide.counters().dram_wide_bytes > 0);
+    }
+
+    #[test]
+    fn wide_scatter_spans_run_segments() {
+        let mut c = cta();
+        // One lane writing 32 consecutive f64s = 256 bytes = 2 segments.
+        c.scatter_wide(std::iter::once(0usize), 8, 32);
+        assert_eq!(c.counters().dram_transactions, 2);
+        assert_eq!(c.counters().dram_write_bytes, 256);
+        assert_eq!(c.counters().dram_wide_bytes, 256);
     }
 
     #[test]

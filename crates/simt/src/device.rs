@@ -172,10 +172,12 @@ mod tests {
     fn presets_are_distinct_and_ordered_by_bandwidth() {
         let presets = Device::presets();
         assert_eq!(presets.len(), 4);
-        let bw: Vec<f64> = presets.iter().map(|d| d.props.dram_bandwidth_gbps).collect();
+        let bw: Vec<f64> = presets
+            .iter()
+            .map(|d| d.props.dram_bandwidth_gbps)
+            .collect();
         assert!(bw.windows(2).all(|w| w[0] < w[1]), "{bw:?}");
-        let names: std::collections::HashSet<&str> =
-            presets.iter().map(|d| d.props.name).collect();
+        let names: std::collections::HashSet<&str> = presets.iter().map(|d| d.props.name).collect();
         assert_eq!(names.len(), 4);
     }
 

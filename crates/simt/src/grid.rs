@@ -25,13 +25,20 @@ pub struct LaunchConfig {
 
 impl LaunchConfig {
     pub fn new(grid_dim: usize, block_dim: usize) -> Self {
-        LaunchConfig { grid_dim, block_dim }
+        LaunchConfig {
+            grid_dim,
+            block_dim,
+        }
     }
 
     /// Grid sized to cover `work` items at `per_cta` items per block.
+    ///
+    /// A `per_cta` of zero is treated as one item per block (a zero-item
+    /// tile cannot cover anything), so degenerate configurations launch a
+    /// valid one-CTA grid instead of dividing by zero.
     pub fn cover(work: usize, per_cta: usize, block_dim: usize) -> Self {
         LaunchConfig {
-            grid_dim: work.div_ceil(per_cta).max(1),
+            grid_dim: work.div_ceil(per_cta.max(1)).max(1),
             block_dim,
         }
     }
@@ -196,6 +203,15 @@ mod tests {
     }
 
     #[test]
+    fn cover_clamps_zero_items_per_cta() {
+        // A zero-item tile must not divide by zero: it degrades to one
+        // item per block.
+        assert_eq!(LaunchConfig::cover(0, 0, 128).grid_dim, 1);
+        assert_eq!(LaunchConfig::cover(7, 0, 128).grid_dim, 7);
+        assert_eq!(LaunchConfig::cover(7, 0, 64).block_dim, 64);
+    }
+
+    #[test]
     fn launch_outputs_are_in_block_order() {
         let dev = Device::titan();
         let (out, _) = launch_map(&dev, LaunchConfig::new(64, 128), |cta| cta.cta_id * 2);
@@ -240,7 +256,15 @@ mod tests {
         let mut bufs = LaunchBuffers::new();
         let mut outputs = Vec::new();
         let mut stats = LaunchStats::default();
-        launch_map_into(&dev, "reused", cfg, body, &mut bufs, &mut outputs, &mut stats);
+        launch_map_into(
+            &dev,
+            "reused",
+            cfg,
+            body,
+            &mut bufs,
+            &mut outputs,
+            &mut stats,
+        );
         assert_eq!(outputs, expect_out);
         assert_eq!(stats.per_cta_cycles, expect_stats.per_cta_cycles);
         assert_eq!(stats.sim_ms, expect_stats.sim_ms);
@@ -249,11 +273,26 @@ mod tests {
         // Second launch reuses every buffer in place.
         let out_ptr = outputs.as_ptr();
         let cyc_ptr = stats.per_cta_cycles.as_ptr();
-        launch_map_into(&dev, "reused", cfg, body, &mut bufs, &mut outputs, &mut stats);
+        launch_map_into(
+            &dev,
+            "reused",
+            cfg,
+            body,
+            &mut bufs,
+            &mut outputs,
+            &mut stats,
+        );
         assert_eq!(outputs, expect_out);
         assert_eq!(outputs.as_ptr(), out_ptr, "output buffer must be reused");
-        assert_eq!(stats.per_cta_cycles.as_ptr(), cyc_ptr, "cycles buffer must be reused");
-        assert_eq!(stats.sim_ms, expect_stats.sim_ms, "stats overwrite, not accumulate");
+        assert_eq!(
+            stats.per_cta_cycles.as_ptr(),
+            cyc_ptr,
+            "cycles buffer must be reused"
+        );
+        assert_eq!(
+            stats.sim_ms, expect_stats.sim_ms,
+            "stats overwrite, not accumulate"
+        );
     }
 
     #[test]

@@ -36,5 +36,7 @@ pub mod warp;
 pub use cost::{CostModel, Counters};
 pub use cta::Cta;
 pub use device::{Device, DeviceProps};
-pub use grid::{launch_map, launch_map_into, launch_map_named, LaunchBuffers, LaunchConfig, LaunchStats};
+pub use grid::{
+    launch_map, launch_map_into, launch_map_named, LaunchBuffers, LaunchConfig, LaunchStats,
+};
 pub use trace::{KernelRecord, Tracer};

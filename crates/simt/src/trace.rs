@@ -84,7 +84,7 @@ impl Tracer {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::grid::{launch_map_named, LaunchConfig};
     use crate::Device;
 

@@ -9,7 +9,9 @@
 
 use std::time::Instant;
 
-use mps_core::{merge_spadd, merge_spgemm, SpAddConfig, SpgemmConfig, SpmvConfig, SpmvPlan, Workspace};
+use mps_core::{
+    merge_spadd, merge_spgemm, SpAddConfig, SpgemmConfig, SpmvConfig, SpmvPlan, Workspace,
+};
 use mps_simt::Device;
 use mps_sparse::{CooMatrix, CsrMatrix};
 
@@ -208,11 +210,24 @@ impl AmgHierarchy {
     /// [`Self::v_cycle`] against a caller-owned [`Workspace`]: repeated
     /// cycles reuse every scratch vector, so steady-state applications do
     /// no heap allocation above the coarsest-level direct solve.
-    pub fn v_cycle_with(&self, device: &Device, b: &[f64], x: &mut Vec<f64>, ws: &mut Workspace) -> f64 {
+    pub fn v_cycle_with(
+        &self,
+        device: &Device,
+        b: &[f64],
+        x: &mut Vec<f64>,
+        ws: &mut Workspace,
+    ) -> f64 {
         self.cycle(device, 0, b, x, ws)
     }
 
-    fn cycle(&self, device: &Device, level: usize, b: &[f64], x: &mut Vec<f64>, ws: &mut Workspace) -> f64 {
+    fn cycle(
+        &self,
+        device: &Device,
+        level: usize,
+        b: &[f64],
+        x: &mut Vec<f64>,
+        ws: &mut Workspace,
+    ) -> f64 {
         let lvl = &self.levels[level];
         let mut ms = 0.0;
         if lvl.p.is_none() {
@@ -228,7 +243,15 @@ impl AmgHierarchy {
         let mut ax = ws.take_f64();
         for _ in 0..self.options.pre_sweeps {
             ms += jacobi_sweep_planned(
-                device, &lvl.a_plan, &lvl.a, &lvl.inv_diag, b, x, self.options.omega, &mut ax, ws,
+                device,
+                &lvl.a_plan,
+                &lvl.a,
+                &lvl.inv_diag,
+                b,
+                x,
+                self.options.omega,
+                &mut ax,
+                ws,
             );
         }
         // Restrict the residual.
@@ -256,7 +279,15 @@ impl AmgHierarchy {
 
         for _ in 0..self.options.post_sweeps {
             ms += jacobi_sweep_planned(
-                device, &lvl.a_plan, &lvl.a, &lvl.inv_diag, b, x, self.options.omega, &mut ax, ws,
+                device,
+                &lvl.a_plan,
+                &lvl.a,
+                &lvl.inv_diag,
+                b,
+                x,
+                self.options.omega,
+                &mut ax,
+                ws,
             );
         }
         ws.put_f64(ax);
@@ -369,14 +400,22 @@ mod tests {
         h.v_cycle(&dev(), &b, &mut x_mg);
         let res_mg: f64 = {
             let ax = mps_sparse::ops::spmv_ref(&a, &x_mg);
-            b.iter().zip(&ax).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt()
+            b.iter()
+                .zip(&ax)
+                .map(|(p, q)| (p - q) * (p - q))
+                .sum::<f64>()
+                .sqrt()
         };
 
         let mut x_j = vec![0.0; a.num_rows];
         crate::smoothers::jacobi(&dev(), &a, &b, &mut x_j, 2.0 / 3.0, 4);
         let res_j: f64 = {
             let ax = mps_sparse::ops::spmv_ref(&a, &x_j);
-            b.iter().zip(&ax).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt()
+            b.iter()
+                .zip(&ax)
+                .map(|(p, q)| (p - q) * (p - q))
+                .sum::<f64>()
+                .sqrt()
         };
         assert!(
             res_mg < 0.5 * res_j,

@@ -6,6 +6,7 @@
 
 use mps_simt::grid::{launch_map_named, LaunchConfig, LaunchStats};
 use mps_simt::Device;
+use mps_sparse::DenseBlock;
 
 const NV: usize = 4096;
 
@@ -56,6 +57,82 @@ pub fn norm2(device: &Device, a: &[f64]) -> (f64, LaunchStats) {
     (d.sqrt(), stats)
 }
 
+/// Per-column dot products of two row-major blocks, one streaming pass
+/// over both operands. Column `c`'s sum accumulates in row order — the
+/// same floating-point order as [`dot`] on the extracted column vectors.
+pub fn block_dots(device: &Device, a: &DenseBlock, b: &DenseBlock) -> (Vec<f64>, LaunchStats) {
+    assert_eq!(
+        (a.rows, a.cols),
+        (b.rows, b.cols),
+        "block dot operands must match"
+    );
+    let stats = streaming_launch(device, a.rows * a.cols, 2, false);
+    let mut out = vec![0.0; a.cols];
+    for r in 0..a.rows {
+        for ((o, x), y) in out.iter_mut().zip(a.row(r)).zip(b.row(r)) {
+            *o += x * y;
+        }
+    }
+    (out, stats)
+}
+
+/// Per-column `y_c += alphas[c] * x_c` over active columns; inactive
+/// columns are left untouched bit for bit (on hardware the lanes would be
+/// predicated off — the streaming charge still covers the whole block).
+pub fn block_axpy(
+    device: &Device,
+    alphas: &[f64],
+    active: &[bool],
+    x: &DenseBlock,
+    y: &mut DenseBlock,
+) -> LaunchStats {
+    assert_eq!(
+        (x.rows, x.cols),
+        (y.rows, y.cols),
+        "axpy operands must match"
+    );
+    assert_eq!(alphas.len(), x.cols, "one alpha per column");
+    assert_eq!(active.len(), x.cols, "one mask entry per column");
+    let stats = streaming_launch(device, x.rows * x.cols, 2, true);
+    for r in 0..x.rows {
+        let xr = x.row(r);
+        for (c, yv) in y.row_mut(r).iter_mut().enumerate() {
+            if active[c] {
+                *yv += alphas[c] * xr[c];
+            }
+        }
+    }
+    stats
+}
+
+/// Per-column `y_c = x_c + betas[c] * y_c` over active columns (the block
+/// CG direction update); inactive columns are left untouched.
+pub fn block_xpby(
+    device: &Device,
+    x: &DenseBlock,
+    betas: &[f64],
+    active: &[bool],
+    y: &mut DenseBlock,
+) -> LaunchStats {
+    assert_eq!(
+        (x.rows, x.cols),
+        (y.rows, y.cols),
+        "xpby operands must match"
+    );
+    assert_eq!(betas.len(), x.cols, "one beta per column");
+    assert_eq!(active.len(), x.cols, "one mask entry per column");
+    let stats = streaming_launch(device, x.rows * x.cols, 2, true);
+    for r in 0..x.rows {
+        let xr = x.row(r);
+        for (c, yv) in y.row_mut(r).iter_mut().enumerate() {
+            if active[c] {
+                *yv = xr[c] + betas[c] * *yv;
+            }
+        }
+    }
+    stats
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,5 +177,28 @@ mod tests {
     #[should_panic(expected = "must match")]
     fn mismatched_lengths_panic() {
         dot(&dev(), &[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn block_dots_match_per_column_dots() {
+        let a = DenseBlock::from_fn(40, 3, |r, c| (r * 3 + c) as f64 * 0.25 - 2.0);
+        let b = DenseBlock::from_fn(40, 3, |r, c| 1.0 + ((r + c) % 5) as f64);
+        let (ds, _) = block_dots(&dev(), &a, &b);
+        for c in 0..3 {
+            let (want, _) = dot(&dev(), &a.column(c), &b.column(c));
+            assert_eq!(ds[c], want, "column {c} must match the vector dot bitwise");
+        }
+    }
+
+    #[test]
+    fn block_axpy_and_xpby_respect_the_mask() {
+        let x = DenseBlock::from_fn(5, 2, |r, _| r as f64 + 1.0);
+        let mut y = DenseBlock::zeros(5, 2);
+        block_axpy(&dev(), &[2.0, 100.0], &[true, false], &x, &mut y);
+        assert_eq!(y.column(0), vec![2.0, 4.0, 6.0, 8.0, 10.0]);
+        assert_eq!(y.column(1), vec![0.0; 5], "inactive column untouched");
+        block_xpby(&dev(), &x, &[0.5, 9.0], &[true, false], &mut y);
+        assert_eq!(y.column(0), vec![2.0, 4.0, 6.0, 8.0, 10.0]);
+        assert_eq!(y.column(1), vec![0.0; 5]);
     }
 }

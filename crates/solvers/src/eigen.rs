@@ -21,7 +21,10 @@ pub struct PowerEstimate {
 /// # Panics
 /// Panics if the matrix is not square.
 pub fn power_method(device: &Device, a: &CsrMatrix, iterations: usize) -> PowerEstimate {
-    assert_eq!(a.num_rows, a.num_cols, "power iteration needs a square matrix");
+    assert_eq!(
+        a.num_rows, a.num_cols,
+        "power iteration needs a square matrix"
+    );
     let cfg = SpmvConfig::default();
     let mut clock = SimClock::default();
     let n = a.num_rows;
@@ -38,7 +41,9 @@ pub fn power_method(device: &Device, a: &CsrMatrix, iterations: usize) -> PowerE
     let mut ws = Workspace::new();
     let mut av: Vec<f64> = Vec::new();
     // Deterministic pseudo-random start avoids symmetry traps.
-    let mut v: Vec<f64> = (0..n).map(|i| 1.0 + ((i * 37 + 11) % 17) as f64 / 17.0).collect();
+    let mut v: Vec<f64> = (0..n)
+        .map(|i| 1.0 + ((i * 37 + 11) % 17) as f64 / 17.0)
+        .collect();
     let mut lambda = 0.0;
     let mut done = 0;
     for _ in 0..iterations {
@@ -88,7 +93,11 @@ mod tests {
         // The 5-point Laplacian's eigenvalues lie in (0, 8).
         let a = gen::stencil_5pt(16, 16);
         let est = power_method(&dev(), &a, 200);
-        assert!(est.eigenvalue < 8.0 && est.eigenvalue > 6.0, "{}", est.eigenvalue);
+        assert!(
+            est.eigenvalue < 8.0 && est.eigenvalue > 6.0,
+            "{}",
+            est.eigenvalue
+        );
     }
 
     #[test]

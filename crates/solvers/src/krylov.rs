@@ -293,7 +293,12 @@ mod tests {
     #[test]
     fn zero_rhs_is_immediately_converged() {
         let a = gen::stencil_5pt(8, 8);
-        let report = cg(&dev(), &a, &vec![0.0; a.num_rows], &SolverOptions::default());
+        let report = cg(
+            &dev(),
+            &a,
+            &vec![0.0; a.num_rows],
+            &SolverOptions::default(),
+        );
         assert!(report.converged);
         assert_eq!(report.iterations, 0);
     }

@@ -9,6 +9,8 @@
 //!
 //! * [`blas1`] — device-charged vector operations (dot, axpy, scale);
 //! * [`krylov`] — conjugate gradients and BiCGStab;
+//! * [`block_cg`](mod@block_cg) — CG for multiple right-hand sides sharing
+//!   one column-tiled SpMM per iteration;
 //! * [`smoothers`] — (weighted) Jacobi relaxation;
 //! * [`eigen`] — power iteration for spectral-radius estimates;
 //! * [`amg`] — smoothed-aggregation algebraic multigrid: hierarchy setup
@@ -17,12 +19,14 @@
 
 pub mod amg;
 pub mod blas1;
+pub mod block_cg;
 pub mod eigen;
 pub mod krylov;
 pub mod pcg;
 pub mod smoothers;
 
 pub use amg::{AmgHierarchy, AmgOptions};
+pub use block_cg::{block_cg, BlockSolveReport};
 pub use krylov::{bicgstab, cg, SolveReport, SolverOptions};
 pub use pcg::{pcg, JacobiPreconditioner, Preconditioner};
 

@@ -42,7 +42,11 @@ impl JacobiPreconditioner {
 impl Preconditioner for JacobiPreconditioner {
     fn apply(&self, device: &Device, r: &[f64]) -> (Vec<f64>, f64) {
         // One streaming pass.
-        let z: Vec<f64> = r.iter().zip(&self.inv_diag).map(|(ri, di)| ri * di).collect();
+        let z: Vec<f64> = r
+            .iter()
+            .zip(&self.inv_diag)
+            .map(|(ri, di)| ri * di)
+            .collect();
         let stats = blas1::axpy(device, 0.0, r, &mut z.clone());
         (z, stats.sim_ms)
     }

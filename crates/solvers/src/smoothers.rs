@@ -156,7 +156,15 @@ mod tests {
         for _ in 0..3 {
             let ms1 = jacobi_sweep(&dev(), &a, &inv_diag, &b, &mut x1, 0.7);
             let ms2 = jacobi_sweep_planned(
-                &dev(), &plan, &a, &inv_diag, &b, &mut x2, 0.7, &mut ax, &mut ws,
+                &dev(),
+                &plan,
+                &a,
+                &inv_diag,
+                &b,
+                &mut x2,
+                0.7,
+                &mut ax,
+                &mut ws,
             );
             // The planned sweep amortizes the partition: per-sweep cost is
             // exactly the one-shot cost minus the partition phase.
@@ -167,7 +175,11 @@ mod tests {
             );
         }
         for (p, q) in x1.iter().zip(&x2) {
-            assert_eq!(p.to_bits(), q.to_bits(), "planned sweep must be bitwise identical");
+            assert_eq!(
+                p.to_bits(),
+                q.to_bits(),
+                "planned sweep must be bitwise identical"
+            );
         }
     }
 

@@ -170,7 +170,13 @@ mod tests {
         let mut m = CooMatrix::from_triplets(
             3,
             3,
-            [(2, 2, 1.0), (0, 0, 2.0), (2, 2, 3.0), (1, 0, 4.0), (0, 0, -2.0)],
+            [
+                (2, 2, 1.0),
+                (0, 0, 2.0),
+                (2, 2, 3.0),
+                (1, 0, 4.0),
+                (0, 0, -2.0),
+            ],
         );
         assert!(!m.is_canonical());
         m.canonicalize();

@@ -1,7 +1,126 @@
-//! Dense helpers used by tests and small examples.
+//! Dense helpers: the [`DenseBlock`] multi-vector type consumed by the
+//! SpMM kernel and block solvers, plus conversion/oracle utilities used by
+//! tests and small examples.
 
 use crate::coo::CooMatrix;
 use crate::csr::CsrMatrix;
+
+/// A dense block of `cols` column vectors stored **row-major**: element
+/// `(r, c)` lives at `data[r * cols + c]`, so one matrix row is a
+/// contiguous run of `cols` values. This is the layout the column-tiled
+/// SpMM kernel wants: gathering row `j` of the operand block loads
+/// `tile_k` consecutive doubles — a wide, coalescing-friendly access —
+/// instead of `tile_k` scattered singles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseBlock {
+    /// Number of rows (vector length).
+    pub rows: usize,
+    /// Number of column vectors.
+    pub cols: usize,
+    /// Row-major storage, `rows * cols` long.
+    pub data: Vec<f64>,
+}
+
+impl DenseBlock {
+    /// All-zero block.
+    pub fn zeros(rows: usize, cols: usize) -> DenseBlock {
+        DenseBlock {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from a closure over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> DenseBlock {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        DenseBlock { rows, cols, data }
+    }
+
+    /// Interleave equally long column vectors into a row-major block.
+    ///
+    /// # Panics
+    /// Panics if the columns have differing lengths.
+    pub fn from_columns(columns: &[Vec<f64>]) -> DenseBlock {
+        let cols = columns.len();
+        let rows = columns.first().map_or(0, |c| c.len());
+        assert!(
+            columns.iter().all(|c| c.len() == rows),
+            "ragged column lengths"
+        );
+        DenseBlock::from_fn(rows, cols, |r, c| columns[c][r])
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row `r` as a contiguous slice of `cols` values.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Extract column `c` as an owned vector.
+    pub fn column(&self, c: usize) -> Vec<f64> {
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Write column `c` from a slice.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != rows`.
+    pub fn set_column(&mut self, c: usize, v: &[f64]) {
+        assert_eq!(v.len(), self.rows, "column length mismatch");
+        for (r, &x) in v.iter().enumerate() {
+            self.set(r, c, x);
+        }
+    }
+
+    /// Reshape in place to `rows × cols`, zero-filled, reusing capacity.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+}
+
+/// Reference dense SpMM oracle: `A · X` column by column through
+/// [`crate::ops::spmv_ref`]-equivalent row sums.
+pub fn spmm_ref(a: &CsrMatrix, x: &DenseBlock) -> DenseBlock {
+    assert_eq!(x.rows, a.num_cols, "operand block must have num_cols rows");
+    let mut y = DenseBlock::zeros(a.num_rows, x.cols);
+    for r in 0..a.num_rows {
+        for (c, v) in a.row_cols(r).iter().zip(a.row_vals(r)) {
+            let xrow = x.row(*c as usize);
+            let yrow = y.row_mut(r);
+            for (yj, xj) in yrow.iter_mut().zip(xrow) {
+                *yj += v * xj;
+            }
+        }
+    }
+    y
+}
 
 /// Convert a CSR matrix into a dense row-major `Vec<Vec<f64>>`.
 pub fn to_dense(m: &CsrMatrix) -> Vec<Vec<f64>> {
@@ -53,6 +172,48 @@ pub fn dense_matmul(a: &CsrMatrix, b: &CsrMatrix) -> Vec<Vec<f64>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn dense_block_round_trips_columns() {
+        let cols = vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]];
+        let b = DenseBlock::from_columns(&cols);
+        assert_eq!((b.rows, b.cols), (3, 2));
+        assert_eq!(b.row(1), &[2.0, 5.0]);
+        assert_eq!(b.column(0), cols[0]);
+        assert_eq!(b.column(1), cols[1]);
+        assert_eq!(b.get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn dense_block_set_column_and_reset() {
+        let mut b = DenseBlock::zeros(2, 2);
+        b.set_column(1, &[7.0, 8.0]);
+        assert_eq!(b.data, vec![0.0, 7.0, 0.0, 8.0]);
+        b.reset(1, 3);
+        assert_eq!((b.rows, b.cols), (1, 3));
+        assert_eq!(b.data, vec![0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_columns_panic() {
+        DenseBlock::from_columns(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn spmm_ref_matches_per_column_spmv_ref() {
+        let a = from_dense(&[
+            vec![1.0, 0.0, 2.0],
+            vec![0.0, 3.0, 0.0],
+            vec![4.0, 5.0, 6.0],
+        ]);
+        let x = DenseBlock::from_fn(3, 4, |r, c| (r * 4 + c) as f64 + 0.5);
+        let y = spmm_ref(&a, &x);
+        for j in 0..x.cols {
+            let yj = crate::ops::spmv_ref(&a, &x.column(j));
+            assert_eq!(y.column(j), yj, "column {j}");
+        }
+    }
 
     #[test]
     fn dense_round_trip() {

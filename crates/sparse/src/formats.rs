@@ -31,8 +31,7 @@ impl EllMatrix {
     /// Convert from CSR, padding every row to the longest.
     pub fn from_csr(m: &CsrMatrix) -> Self {
         let width = (0..m.num_rows).map(|r| m.row_len(r)).max().unwrap_or(0);
-        Self::from_csr_with_width(m, width)
-            .expect("width covers the longest row by construction")
+        Self::from_csr_with_width(m, width).expect("width covers the longest row by construction")
     }
 
     /// Convert from CSR with an explicit width; returns `None` if any row
@@ -236,12 +235,7 @@ impl HybMatrix {
                 }
             }
         }
-        for ((r, c), v) in self
-            .coo_rows
-            .iter()
-            .zip(&self.coo_cols)
-            .zip(&self.coo_vals)
-        {
+        for ((r, c), v) in self.coo_rows.iter().zip(&self.coo_cols).zip(&self.coo_vals) {
             coo.push(*r, *c, *v);
         }
         coo.to_csr()
@@ -320,7 +314,10 @@ mod tests {
     fn empty_matrix_round_trips_through_all_formats() {
         let m = CsrMatrix::zeros(5, 5);
         assert_eq!(EllMatrix::from_csr(&m).to_csr(), m);
-        assert_eq!(DiaMatrix::from_csr(&m, 4).expect("no diagonals").to_csr(), m);
+        assert_eq!(
+            DiaMatrix::from_csr(&m, 4).expect("no diagonals").to_csr(),
+            m
+        );
         assert_eq!(HybMatrix::from_csr(&m, 2).to_csr(), m);
     }
 }

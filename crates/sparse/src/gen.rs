@@ -267,7 +267,10 @@ mod tests {
         for r in 0..m.num_rows {
             for &c in m.row_cols(r) {
                 // Window half-width plus block length, plus edge clamping.
-                assert!((c as i64 - r as i64).unsigned_abs() <= 64 + 8, "row {r} col {c}");
+                assert!(
+                    (c as i64 - r as i64).unsigned_abs() <= 64 + 8,
+                    "row {r} col {c}"
+                );
             }
         }
         // Rows should contain runs of consecutive columns (block structure).
@@ -279,7 +282,11 @@ mod tests {
                     .count()
             })
             .sum();
-        assert!(runs > m.nnz() / 2, "expected block runs, got {runs} of {}", m.nnz());
+        assert!(
+            runs > m.nnz() / 2,
+            "expected block runs, got {runs} of {}",
+            m.nnz()
+        );
     }
 
     #[test]
@@ -287,7 +294,11 @@ mod tests {
         let m = structured(300, 300, 16.0, 0.0, 80, 4, 10);
         let s = MatrixStats::of(&m);
         // Block-aligned clusters never collide; only edge clipping trims rows.
-        assert!(s.avg_per_row > 14.0 && s.avg_per_row <= 16.0, "{}", s.avg_per_row);
+        assert!(
+            s.avg_per_row > 14.0 && s.avg_per_row <= 16.0,
+            "{}",
+            s.avg_per_row
+        );
     }
 
     #[test]

@@ -41,9 +41,7 @@ fn parse_err(msg: impl Into<String>) -> MmError {
 /// Read a coordinate-format Matrix Market stream into CSR.
 pub fn read_matrix_market<R: Read>(reader: R) -> Result<CsrMatrix, MmError> {
     let mut lines = BufReader::new(reader).lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| parse_err("empty stream"))??;
+    let header = lines.next().ok_or_else(|| parse_err("empty stream"))??;
     let header_lc = header.to_ascii_lowercase();
     if !header_lc.starts_with("%%matrixmarket matrix coordinate") {
         return Err(parse_err(format!("unsupported header: {header}")));

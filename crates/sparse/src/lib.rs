@@ -28,6 +28,7 @@ pub mod suite;
 pub use coo::CooMatrix;
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
+pub use dense::DenseBlock;
 pub use stats::MatrixStats;
 
 /// Pack a (row, col) coordinate into a lexicographically ordered `u64` key.

@@ -209,7 +209,10 @@ mod tests {
         let a = paper_a();
         let c = spadd_ref(&a, &a);
         assert_eq!(c.nnz(), a.nnz());
-        assert_eq!(c.values.iter().sum::<f64>(), 2.0 * a.values.iter().sum::<f64>());
+        assert_eq!(
+            c.values.iter().sum::<f64>(),
+            2.0 * a.values.iter().sum::<f64>()
+        );
         c.validate().expect("well-formed sum");
     }
 

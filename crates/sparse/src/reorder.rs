@@ -17,7 +17,10 @@ use crate::csr::CsrMatrix;
 /// Panics if the matrix is not square or `perm` is not a permutation of
 /// `0..n`.
 pub fn permute_symmetric(a: &CsrMatrix, perm: &[u32]) -> CsrMatrix {
-    assert_eq!(a.num_rows, a.num_cols, "symmetric permutation needs a square matrix");
+    assert_eq!(
+        a.num_rows, a.num_cols,
+        "symmetric permutation needs a square matrix"
+    );
     assert_eq!(perm.len(), a.num_rows, "permutation length mismatch");
     let mut seen = vec![false; perm.len()];
     for &p in perm {
@@ -76,9 +79,11 @@ pub fn reverse_cuthill_mckee(a: &CsrMatrix) -> Vec<u32> {
         while let Some(v) = queue.pop_front() {
             order.push(v as u32);
             neighbours.clear();
-            neighbours.extend(a.row_cols(v).iter().filter(|&&c| {
-                (c as usize) < n && !visited[c as usize] && c as usize != v
-            }));
+            neighbours.extend(
+                a.row_cols(v)
+                    .iter()
+                    .filter(|&&c| (c as usize) < n && !visited[c as usize] && c as usize != v),
+            );
             neighbours.sort_by_key(|&c| degree(c as usize));
             for &c in &neighbours {
                 if !visited[c as usize] {

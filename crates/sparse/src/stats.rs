@@ -19,7 +19,11 @@ impl MatrixStats {
     pub fn of(m: &CsrMatrix) -> Self {
         let rows = m.num_rows;
         let nnz = m.nnz();
-        let avg = if rows == 0 { 0.0 } else { nnz as f64 / rows as f64 };
+        let avg = if rows == 0 {
+            0.0
+        } else {
+            nnz as f64 / rows as f64
+        };
         let mut var = 0.0;
         let mut empty = 0;
         let mut max_row = 0;
@@ -32,7 +36,11 @@ impl MatrixStats {
             let d = len as f64 - avg;
             var += d * d;
         }
-        let std = if rows == 0 { 0.0 } else { (var / rows as f64).sqrt() };
+        let std = if rows == 0 {
+            0.0
+        } else {
+            (var / rows as f64).sqrt()
+        };
         MatrixStats {
             rows,
             cols: m.num_cols,

@@ -133,7 +133,9 @@ impl SuiteMatrix {
             SuiteMatrix::Harbor => gen::banded(rows, p.avg_per_row, p.std_per_row, 260, seed),
             // 4-D lattice operator: fixed degree, block spin-color structure,
             // neighbours within a bounded index window.
-            SuiteMatrix::Qcd => gen::structured(rows, cols, 39.0, 0.0, (cols / 12).max(64), 13, seed),
+            SuiteMatrix::Qcd => {
+                gen::structured(rows, cols, 39.0, 0.0, (cols / 12).max(64), 13, seed)
+            }
             SuiteMatrix::Ship => gen::banded(rows, p.avg_per_row, p.std_per_row, 280, seed),
             SuiteMatrix::Economics => gen::structured(
                 rows,
@@ -225,7 +227,12 @@ mod tests {
             let s = MatrixStats::of(&m.generate(0.02));
             let p = m.paper_stats();
             let rel = (s.avg_per_row - p.avg_per_row).abs() / p.avg_per_row;
-            assert!(rel < 0.25, "{m}: avg {} vs paper {}", s.avg_per_row, p.avg_per_row);
+            assert!(
+                rel < 0.25,
+                "{m}: avg {} vs paper {}",
+                s.avg_per_row,
+                p.avg_per_row
+            );
         }
     }
 

@@ -64,7 +64,12 @@ fn main() {
     let gemm_cfg = SpgemmConfig::default();
 
     let a = gen::stencil_5pt(n, n);
-    println!("fine operator: {}x{}, {} nonzeros", a.num_rows, a.num_cols, a.nnz());
+    println!(
+        "fine operator: {}x{}, {} nonzeros",
+        a.num_rows,
+        a.num_cols,
+        a.nnz()
+    );
 
     // Smoothed-aggregation prolongator P = (I - ω D⁻¹ A) · T.
     let t = aggregation(n);
@@ -115,6 +120,9 @@ fn main() {
         .map(|(x, y)| (x - y).abs())
         .fold(0.0, f64::max);
     println!("max |A_c·1 - Pᵀ·A·P·1| = {err:.3e}");
-    assert!(err < 1e-8, "Galerkin product disagrees with reference chain");
+    assert!(
+        err < 1e-8,
+        "Galerkin product disagrees with reference chain"
+    );
     println!("Galerkin product verified against the reference kernel chain");
 }

@@ -21,7 +21,11 @@ fn main() {
     let a = gen::stencil_5pt(n, n);
     let mut b = vec![0.0; a.num_rows];
     b[(n / 2) * n + n / 2] = 1.0;
-    println!("Poisson {n}x{n}: {} unknowns, {} nonzeros", a.num_rows, a.nnz());
+    println!(
+        "Poisson {n}x{n}: {} unknowns, {} nonzeros",
+        a.num_rows,
+        a.nnz()
+    );
 
     // --- AMG -----------------------------------------------------------------
     let hierarchy = AmgHierarchy::build(&device, a.clone(), AmgOptions::default());
@@ -31,7 +35,11 @@ fn main() {
         hierarchy.setup_sim_ms
     );
     for (i, lvl) in hierarchy.levels.iter().enumerate() {
-        println!("  level {i}: {:>8} unknowns, {:>9} nonzeros", lvl.a.num_rows, lvl.a.nnz());
+        println!(
+            "  level {i}: {:>8} unknowns, {:>9} nonzeros",
+            lvl.a.num_rows,
+            lvl.a.nnz()
+        );
     }
     let opts = SolverOptions {
         max_iterations: 100,

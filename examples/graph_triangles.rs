@@ -77,8 +77,16 @@ fn main() {
     // every matched (i,j) contributes |paths i→k→j| closing a triangle.
     let (ck, cv) = coo_keys(&gemm.c);
     let (ak, av) = coo_keys(&a);
-    let (_, matched, set_stats) =
-        set_op_pairs(&device, SetOp::Intersection, &ck, &cv, &ak, &av, |c, _| c, 1024);
+    let (_, matched, set_stats) = set_op_pairs(
+        &device,
+        SetOp::Intersection,
+        &ck,
+        &cv,
+        &ak,
+        &av,
+        |c, _| c,
+        1024,
+    );
     let triangles = matched.iter().sum::<f64>() / 6.0;
     println!(
         "balanced-path intersection: {} matched edges, simulated {:.3} ms",

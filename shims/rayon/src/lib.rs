@@ -247,18 +247,30 @@ mod tests {
     fn collect_into_vec_matches_collect_and_reuses_capacity() {
         use crate::ParallelIterator;
         let mut target: Vec<usize> = Vec::new();
-        (0..1000).into_par_iter().map(|i| i * 7).collect_into_vec(&mut target);
+        (0..1000)
+            .into_par_iter()
+            .map(|i| i * 7)
+            .collect_into_vec(&mut target);
         assert_eq!(target, (0..1000).map(|i| i * 7).collect::<Vec<_>>());
         let cap = target.capacity();
         let ptr = target.as_ptr();
-        (0..1000).into_par_iter().map(|i| i + 1).collect_into_vec(&mut target);
+        (0..1000)
+            .into_par_iter()
+            .map(|i| i + 1)
+            .collect_into_vec(&mut target);
         assert_eq!(target[999], 1000);
         assert_eq!(target.capacity(), cap);
         assert_eq!(target.as_ptr(), ptr, "warm target must be written in place");
         // Shrinking and empty runs are fine too.
-        (0..5).into_par_iter().map(|i| i).collect_into_vec(&mut target);
+        (0..5)
+            .into_par_iter()
+            .map(|i| i)
+            .collect_into_vec(&mut target);
         assert_eq!(target, vec![0, 1, 2, 3, 4]);
-        (0..0).into_par_iter().map(|i| i).collect_into_vec(&mut target);
+        (0..0)
+            .into_par_iter()
+            .map(|i| i)
+            .collect_into_vec(&mut target);
         assert!(target.is_empty());
     }
 
@@ -266,9 +278,15 @@ mod tests {
     fn collect_into_vec_with_drop_types() {
         use crate::ParallelIterator;
         let mut target: Vec<String> = Vec::new();
-        (0..100).into_par_iter().map(|i| format!("s{i}")).collect_into_vec(&mut target);
+        (0..100)
+            .into_par_iter()
+            .map(|i| format!("s{i}"))
+            .collect_into_vec(&mut target);
         assert_eq!(target[42], "s42");
-        (0..50).into_par_iter().map(|i| format!("t{i}")).collect_into_vec(&mut target);
+        (0..50)
+            .into_par_iter()
+            .map(|i| format!("t{i}"))
+            .collect_into_vec(&mut target);
         assert_eq!(target.len(), 50);
         assert_eq!(target[0], "t0");
     }

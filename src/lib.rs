@@ -24,8 +24,8 @@
 //!   synthetic Table II suite, Matrix Market I/O;
 //! * [`merge`] — merge-path / balanced-path partitioning and parallel set
 //!   operations;
-//! * [`core`] — the paper's kernels: merge SpMV, balanced-path SpAdd, and
-//!   two-level-sort SpGEMM;
+//! * [`core`] — the paper's kernels: merge SpMV, column-tiled merge SpMM,
+//!   balanced-path SpAdd, and two-level-sort SpGEMM;
 //! * [`baselines`] — the comparators (Cusp-like, cuSPARSE-like, sequential
 //!   CPU with an analytic cost model);
 //! * [`solvers`] — the downstream layer the paper motivates: Krylov
@@ -45,10 +45,10 @@ pub use mps_sparse as sparse;
 /// The commonly used names in one import.
 pub mod prelude {
     pub use mps_core::{
-        merge_spadd, merge_spgemm, merge_spmv, SpAddConfig, SpAddPlan, SpgemmConfig, SpgemmPlan,
-        SpmvConfig, SpmvPlan, Workspace,
+        merge_spadd, merge_spgemm, merge_spmm, merge_spmv, SpAddConfig, SpAddPlan, SpgemmConfig,
+        SpgemmPlan, SpmmConfig, SpmmPlan, SpmvConfig, SpmvPlan, Workspace,
     };
     pub use mps_simt::Device;
-    pub use mps_solvers::{cg, AmgHierarchy, AmgOptions, SolverOptions};
-    pub use mps_sparse::{gen, suite::SuiteMatrix, CooMatrix, CsrMatrix, MatrixStats};
+    pub use mps_solvers::{block_cg, cg, AmgHierarchy, AmgOptions, SolverOptions};
+    pub use mps_sparse::{gen, suite::SuiteMatrix, CooMatrix, CsrMatrix, DenseBlock, MatrixStats};
 }

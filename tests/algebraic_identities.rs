@@ -10,9 +10,8 @@ fn device() -> Device {
 }
 
 fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = CsrMatrix> {
-    (0u64..10_000, 1.0f64..8.0).prop_map(move |(seed, avg)| {
-        gen::random_uniform(rows, cols, avg, avg / 2.0, seed)
-    })
+    (0u64..10_000, 1.0f64..8.0)
+        .prop_map(move |(seed, avg)| gen::random_uniform(rows, cols, avg, avg / 2.0, seed))
 }
 
 fn close(a: &[f64], b: &[f64]) -> bool {

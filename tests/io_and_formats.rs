@@ -9,9 +9,8 @@ use merge_path_sparse::sparse::CscMatrix;
 use proptest::prelude::*;
 
 fn arb_matrix() -> impl Strategy<Value = CsrMatrix> {
-    (1usize..60, 1usize..60, 0u64..10_000, 0.5f64..8.0).prop_map(|(r, c, seed, avg)| {
-        gen::random_uniform(r, c, avg, avg / 2.0, seed)
-    })
+    (1usize..60, 1usize..60, 0u64..10_000, 0.5f64..8.0)
+        .prop_map(|(r, c, seed, avg)| gen::random_uniform(r, c, avg, avg / 2.0, seed))
 }
 
 proptest! {

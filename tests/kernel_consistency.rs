@@ -37,7 +37,10 @@ fn every_spmv_agrees_on_every_suite_family() {
         assert!(vectors_close(&vector, &expect), "{m}: vector SpMV diverges");
 
         let (adaptive, _) = cusparse_like::spmv(&dev, &a, &x);
-        assert!(vectors_close(&adaptive, &expect), "{m}: adaptive SpMV diverges");
+        assert!(
+            vectors_close(&adaptive, &expect),
+            "{m}: adaptive SpMV diverges"
+        );
     }
 }
 
@@ -71,7 +74,11 @@ fn every_spgemm_agrees_on_every_suite_family() {
             merge.c.approx_eq(&expect, 1e-9),
             "{m}: merge SpGEMM diverges"
         );
-        assert_eq!(merge.products, ops::spgemm_products(&a, &b), "{m}: product count");
+        assert_eq!(
+            merge.products,
+            ops::spgemm_products(&a, &b),
+            "{m}: product count"
+        );
 
         let (esc, _) = cusp::spgemm_esc(&dev, &a, &b);
         assert!(esc.approx_eq(&expect, 1e-9), "{m}: ESC SpGEMM diverges");

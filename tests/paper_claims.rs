@@ -1,8 +1,8 @@
 //! End-to-end checks of the paper's headline claims, driven through the
 //! same experiment harness that regenerates the figures.
 
-use mps_bench::{fig4, spadd_exp, spgemm_exp, spmv_exp, stats};
 use merge_path_sparse::prelude::*;
+use mps_bench::{fig4, spadd_exp, spgemm_exp, spmv_exp, stats};
 
 /// Scaled-down suite fractions used by the claims (kept small enough for
 /// CI; the repro binary runs larger defaults).

@@ -106,6 +106,66 @@ proptest! {
     }
 
     #[test]
+    fn spmm_with_one_column_is_bitwise_identical_to_planned_spmv(
+        rows in 1usize..250,
+        cols in 1usize..250,
+        stride in 1usize..6,
+        per_row in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let dev = device();
+        let a = sprinkled(rows, cols, stride, per_row, seed);
+        let x: Vec<f64> = (0..cols).map(|i| 0.25 + ((i * 7 + 3) % 13) as f64 * 0.5).collect();
+        let xb = DenseBlock::from_columns(std::slice::from_ref(&x));
+
+        let spmm_plan = SpmmPlan::new(&dev, &a, 1, &SpmmConfig::default());
+        let spmv_plan = SpmvPlan::new(&dev, &a, &SpmvConfig::default());
+        let ym = spmm_plan.execute(&dev, &a, &xb);
+        let yv = spmv_plan.execute(&dev, &a, &x);
+        assert_bits_eq(&ym.y.data, &yv.y, "k=1 spmm vs spmv plan");
+        prop_assert_eq!(ym.compacted, yv.compacted);
+
+        // Same pattern, new values, through the buffered path.
+        let a2 = with_new_values(&a, -1.75, 0.125);
+        let expect2 = spmv_plan.execute(&dev, &a2, &x);
+        let mut ws = Workspace::new();
+        let mut y = DenseBlock::zeros(0, 0);
+        for _ in 0..2 {
+            spmm_plan.execute_into(&a2, &xb, &mut y, &mut ws);
+            assert_bits_eq(&y.data, &expect2.y, "k=1 spmm execute_into with new values");
+        }
+    }
+
+    #[test]
+    fn spmm_columns_are_bitwise_identical_to_independent_planned_spmvs(
+        rows in 1usize..160,
+        cols in 1usize..160,
+        stride in 1usize..5,
+        per_row in 1usize..7,
+        k in 1usize..20,
+        tile_k in 1usize..24,
+        seed in 0u64..1000,
+    ) {
+        let dev = device();
+        let a = sprinkled(rows, cols, stride, per_row, seed);
+        let x = DenseBlock::from_fn(cols, k, |r, c| {
+            0.5 + ((r * 11 + c * 5 + 1) % 19) as f64 * 0.375 - (c % 4) as f64
+        });
+
+        let cfg = SpmmConfig { tile_k, ..SpmmConfig::default() };
+        let spmm_plan = SpmmPlan::new(&dev, &a, k, &cfg);
+        let spmv_plan = SpmvPlan::new(&dev, &a, &SpmvConfig::default());
+        let mut ws = Workspace::new();
+        let mut y = DenseBlock::zeros(0, 0);
+        spmm_plan.execute_into(&a, &x, &mut y, &mut ws);
+        let mut yc = Vec::new();
+        for c in 0..k {
+            spmv_plan.execute_into(&a, &x.column(c), &mut yc, &mut ws);
+            assert_bits_eq(&y.column(c), &yc, "spmm column vs independent spmv");
+        }
+    }
+
+    #[test]
     fn spadd_plan_executes_are_bitwise_identical_to_one_shot(
         rows in 1usize..120,
         cols in 1usize..120,

@@ -47,7 +47,9 @@ fn steady_state_plan_executes_allocate_nothing() {
 
     // --- SpMV ------------------------------------------------------------
     let a = gen::stencil_5pt(48, 48);
-    let x: Vec<f64> = (0..a.num_cols).map(|i| 1.0 + (i % 9) as f64 * 0.5).collect();
+    let x: Vec<f64> = (0..a.num_cols)
+        .map(|i| 1.0 + (i % 9) as f64 * 0.5)
+        .collect();
     let plan = SpmvPlan::new(&device, &a, &SpmvConfig::default());
     let mut ws = Workspace::new();
     let mut y: Vec<f64> = Vec::new();
@@ -65,6 +67,25 @@ fn steady_state_plan_executes_allocate_nothing() {
     );
     let expect = merge_spmv(&device, &a, &x, &SpmvConfig::default());
     assert_eq!(y, expect.y, "the audited path must still be correct");
+
+    // --- SpMM ------------------------------------------------------------
+    let xb = DenseBlock::from_fn(a.num_cols, 8, |r, c| 1.0 + ((r * 3 + c) % 7) as f64 * 0.5);
+    let spmm_plan = SpmmPlan::new(&device, &a, 8, &SpmmConfig::default());
+    let mut yb = DenseBlock::zeros(0, 0);
+    // Warm-up: sizes the output block, the accumulator and the carries.
+    spmm_plan.execute_into(&a, &xb, &mut yb, &mut ws);
+    spmm_plan.execute_into(&a, &xb, &mut yb, &mut ws);
+    let before = allocations();
+    for _ in 0..50 {
+        spmm_plan.execute_into(&a, &xb, &mut yb, &mut ws);
+    }
+    assert_eq!(
+        allocations(),
+        before,
+        "warm SpMM plan executes must not allocate"
+    );
+    let expect = merge_spmm(&device, &a, &xb, &SpmmConfig::default());
+    assert_eq!(yb, expect.y, "the audited SpMM path must still be correct");
 
     // --- SpAdd -----------------------------------------------------------
     let b = {
