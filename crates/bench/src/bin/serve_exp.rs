@@ -1,0 +1,40 @@
+//! Serving-engine experiment driver: batched vs unbatched SpMV serving
+//! across concurrency levels C ∈ {1, 2, 4, 8, 16}. Writes
+//! `BENCH_serve.json` at the repository root; `--tiny` runs a fast smoke
+//! configuration (used by CI) and prints the table without writing the
+//! artifact.
+
+use std::path::Path;
+
+use mps_bench::serve_exp;
+use mps_simt::Device;
+
+fn main() {
+    let tiny = std::env::args().any(|a| a == "--tiny");
+    let device = Device::titan();
+    let rows = if tiny {
+        serve_exp::run(&device, 300, 6.0, 2)
+    } else {
+        serve_exp::run(&device, 4000, 16.0, 10)
+    };
+    println!("{}", serve_exp::render(&rows));
+    for r in &rows {
+        println!(
+            "C={:>2}: sim speedup {:.2}x, host speedup {:.2}x, cache hit {:.0}%, mean batch {:.1}",
+            r.concurrency,
+            r.sim_speedup(),
+            r.host_speedup(),
+            100.0 * r.cache_hit_rate,
+            r.mean_batch
+        );
+    }
+    if tiny {
+        return;
+    }
+    let json = serve_exp::to_json(&rows);
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(e) => eprintln!("could not write {}: {e}", out.display()),
+    }
+}

@@ -1,0 +1,43 @@
+//! Solver-layer experiment driver: per-solver sim/host rows plus the
+//! plan-vs-per-call comparisons. Writes `BENCH_solvers.json` at the
+//! repository root (the criterion bench emits the same artifact; this bin
+//! is the direct, harness-free path). `--tiny` runs a fast smoke
+//! configuration (used by CI) and prints the tables without writing.
+
+use std::path::Path;
+
+use mps_bench::solver_exp;
+use mps_simt::Device;
+use mps_sparse::gen;
+
+fn main() {
+    let tiny = std::env::args().any(|a| a == "--tiny");
+    let device = Device::titan();
+    let (grid, iters, spmv_grid) = if tiny { (16, 5, 24) } else { (48, 25, 96) };
+    let rows = solver_exp::run(&device, grid);
+    let pcg_cmp = solver_exp::plan_comparison(&device, grid, iters);
+    let spmv_cmp =
+        solver_exp::spmv_plan_comparison(&device, &gen::stencil_5pt(spmv_grid, spmv_grid), iters);
+    println!("{}", solver_exp::render(&rows));
+    println!(
+        "pcg host ms/iter: per-call {:.4}, planned {:.4} ({:.2}x)",
+        pcg_cmp.per_call_host_ms_per_iter,
+        pcg_cmp.planned_host_ms_per_iter,
+        pcg_cmp.speedup()
+    );
+    println!(
+        "spmv host ms/iter: per-call {:.4}, planned {:.4} ({:.2}x)",
+        spmv_cmp.per_call_host_ms_per_iter,
+        spmv_cmp.planned_host_ms_per_iter,
+        spmv_cmp.speedup()
+    );
+    if tiny {
+        return;
+    }
+    let json = solver_exp::to_json(&rows, &pcg_cmp, &spmv_cmp);
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_solvers.json");
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(e) => eprintln!("could not write {}: {e}", out.display()),
+    }
+}

@@ -15,6 +15,7 @@
 //! | Figures 9–11 | [`spgemm_exp`] | SpGEMM speedups, time-vs-products, phase breakdown |
 //! | solver layer | [`solver_exp`] | solver sim_ms + measured host wall-clock, plan-vs-per-call |
 //! | SpMM layer | [`spmm_exp`] | tiled SpMM vs K repeated planned SpMVs (sim + host) |
+//! | serving layer | [`serve_exp`] | batched vs unbatched SpMV serving through the engine |
 //!
 //! All experiments are deterministic: simulated device time is a pure
 //! function of the generated workloads.
@@ -22,6 +23,7 @@
 pub mod fig2;
 pub mod fig4;
 pub mod sensitivity;
+pub mod serve_exp;
 pub mod solver_exp;
 pub mod spadd_exp;
 pub mod spgemm_exp;

@@ -1,0 +1,92 @@
+//! Submission queues and completion store for SpMV batching.
+//!
+//! Requests are grouped by the matrix's pattern fingerprint: everything in
+//! one queue targets the same matrix, so a flush can interleave up to
+//! `max_batch` operand vectors into one [`mps_sparse::DenseBlock`] and run
+//! them through a single column-tiled SpMM traversal. The data structures
+//! live here; the drain logic (which needs the plan cache and workspace
+//! pool) lives on [`crate::Engine::flush`].
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::Instant;
+
+use mps_sparse::CsrMatrix;
+
+use crate::error::EngineError;
+
+/// Handle to a submitted request; redeem with
+/// [`crate::Engine::take_result`] after a flush.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ticket(pub(crate) u64);
+
+pub(crate) struct SpmvRequest {
+    pub ticket: Ticket,
+    pub x: Vec<f64>,
+    /// Absolute expiry; `None` means no deadline.
+    pub deadline: Option<Instant>,
+}
+
+/// One per distinct pattern fingerprint with pending work.
+pub(crate) struct Queue {
+    /// The matrix every pending request multiplies. Kept as an `Arc` so
+    /// the queue works even if the submitter drops its handle pre-flush.
+    pub matrix: Arc<CsrMatrix>,
+    pub pending: VecDeque<SpmvRequest>,
+}
+
+pub(crate) struct Batcher {
+    pub queues: HashMap<u64, Queue>,
+    pub completed: HashMap<Ticket, Result<Vec<f64>, EngineError>>,
+    next_ticket: u64,
+}
+
+impl Batcher {
+    pub fn new() -> Batcher {
+        Batcher {
+            queues: HashMap::new(),
+            completed: HashMap::new(),
+            next_ticket: 0,
+        }
+    }
+
+    /// Enqueue a request, enforcing the per-queue depth limit.
+    pub fn submit(
+        &mut self,
+        fingerprint: u64,
+        matrix: &Arc<CsrMatrix>,
+        x: Vec<f64>,
+        deadline: Option<Instant>,
+        max_queue_depth: usize,
+    ) -> Result<Ticket, EngineError> {
+        let queue = self.queues.entry(fingerprint).or_insert_with(|| Queue {
+            matrix: Arc::clone(matrix),
+            pending: VecDeque::new(),
+        });
+        if queue.pending.len() >= max_queue_depth {
+            return Err(EngineError::Overloaded {
+                fingerprint,
+                queue_depth: queue.pending.len(),
+                limit: max_queue_depth,
+            });
+        }
+        self.next_ticket += 1;
+        let ticket = Ticket(self.next_ticket);
+        queue.pending.push_back(SpmvRequest {
+            ticket,
+            x,
+            deadline,
+        });
+        Ok(ticket)
+    }
+
+    /// Requests waiting on one fingerprint's queue.
+    pub fn depth(&self, fingerprint: u64) -> usize {
+        self.queues.get(&fingerprint).map_or(0, |q| q.pending.len())
+    }
+
+    /// Total requests waiting across all queues.
+    pub fn total_pending(&self) -> usize {
+        self.queues.values().map(|q| q.pending.len()).sum()
+    }
+}

@@ -1,0 +1,167 @@
+//! Fingerprint-keyed LRU cache of built plans.
+//!
+//! The merge-path plan/execute split charges every structure-dependent
+//! phase (partitioning, balanced-path search, sort rank construction) at
+//! plan-build time. Two matrices with the same
+//! [`mps_sparse::CsrMatrix::pattern_fingerprint`] share all of that
+//! structure, so one plan serves every request carrying the pattern. The
+//! cache is bounded: beyond capacity the least-recently-used plan is
+//! dropped (plans are `Arc`-shared, so in-flight executions keep theirs
+//! alive).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use mps_core::{SpAddPlan, SpgemmPlan, SpmmPlan, SpmvPlan};
+
+/// What a cached plan is keyed on. SpMM plans additionally carry their
+/// operand width `k` because the tile loop count is baked in at build.
+/// Binary-operator plans key on both operand fingerprints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlanKey {
+    Spmv { pattern: u64 },
+    Spmm { pattern: u64, k: usize },
+    SpAdd { a: u64, b: u64 },
+    Spgemm { a: u64, b: u64 },
+}
+
+/// A plan of any of the four kernel types, shared out of the cache.
+#[derive(Debug, Clone)]
+pub enum CachedPlan {
+    Spmv(Arc<SpmvPlan>),
+    Spmm(Arc<SpmmPlan>),
+    SpAdd(Arc<SpAddPlan>),
+    Spgemm(Arc<SpgemmPlan>),
+}
+
+struct Entry {
+    plan: CachedPlan,
+    last_used: u64,
+}
+
+/// Bounded LRU map from [`PlanKey`] to built plans.
+pub(crate) struct PlanCache {
+    entries: HashMap<PlanKey, Entry>,
+    capacity: usize,
+    tick: u64,
+}
+
+/// Result of a cache lookup: the plan plus whether it was already present.
+pub(crate) struct Lookup {
+    pub plan: CachedPlan,
+    pub hit: bool,
+    pub evicted: bool,
+}
+
+impl PlanCache {
+    pub fn new(capacity: usize) -> PlanCache {
+        assert!(capacity > 0, "plan cache needs room for at least one plan");
+        PlanCache {
+            entries: HashMap::new(),
+            capacity,
+            tick: 0,
+        }
+    }
+
+    /// Fetch the plan under `key`, building it with `build` on a miss.
+    /// Every access refreshes the entry's recency; an insert beyond
+    /// capacity evicts the least recently used entry first.
+    pub fn get_or_insert_with(
+        &mut self,
+        key: PlanKey,
+        build: impl FnOnce() -> CachedPlan,
+    ) -> Lookup {
+        self.tick += 1;
+        if let Some(e) = self.entries.get_mut(&key) {
+            e.last_used = self.tick;
+            return Lookup {
+                plan: e.plan.clone(),
+                hit: true,
+                evicted: false,
+            };
+        }
+        let mut evicted = false;
+        if self.entries.len() >= self.capacity {
+            // O(n) scan is fine: capacity is small (plans are big).
+            let lru = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+                .expect("non-empty cache at capacity");
+            self.entries.remove(&lru);
+            evicted = true;
+        }
+        let plan = build();
+        self.entries.insert(
+            key,
+            Entry {
+                plan: plan.clone(),
+                last_used: self.tick,
+            },
+        );
+        Lookup {
+            plan,
+            hit: false,
+            evicted,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_core::SpmvConfig;
+    use mps_simt::Device;
+    use mps_sparse::CsrMatrix;
+
+    fn spmv_plan(n: usize) -> CachedPlan {
+        let device = Device::default();
+        let a = CsrMatrix::identity(n);
+        CachedPlan::Spmv(Arc::new(SpmvPlan::new(&device, &a, &SpmvConfig::default())))
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let mut c = PlanCache::new(4);
+        let key = PlanKey::Spmv { pattern: 1 };
+        assert!(!c.get_or_insert_with(key, || spmv_plan(4)).hit);
+        let l = c.get_or_insert_with(key, || panic!("must not rebuild"));
+        assert!(l.hit);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn distinct_k_are_distinct_entries() {
+        let mut c = PlanCache::new(4);
+        c.get_or_insert_with(PlanKey::Spmm { pattern: 1, k: 2 }, || spmv_plan(4));
+        let l = c.get_or_insert_with(PlanKey::Spmm { pattern: 1, k: 3 }, || spmv_plan(4));
+        assert!(!l.hit);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn eviction_removes_least_recently_used() {
+        let mut c = PlanCache::new(2);
+        let (k1, k2, k3) = (
+            PlanKey::Spmv { pattern: 1 },
+            PlanKey::Spmv { pattern: 2 },
+            PlanKey::Spmv { pattern: 3 },
+        );
+        c.get_or_insert_with(k1, || spmv_plan(4));
+        c.get_or_insert_with(k2, || spmv_plan(4));
+        c.get_or_insert_with(k1, || panic!("hit")); // refresh k1 → k2 is LRU
+        let l = c.get_or_insert_with(k3, || spmv_plan(4));
+        assert!(l.evicted);
+        assert_eq!(c.len(), 2);
+        assert!(c.get_or_insert_with(k1, || panic!("k1 must survive")).hit);
+        assert!(
+            !c.get_or_insert_with(k2, || spmv_plan(4)).hit,
+            "k2 was evicted"
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Typed admission-control errors.
+
+/// Why the engine refused (or failed to complete) a request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The per-fingerprint submission queue is full. Backpressure: the
+    /// caller should retry after a [`crate::Engine::flush`] drains the
+    /// queue, or shed the request.
+    Overloaded {
+        /// Pattern fingerprint whose queue rejected the submission.
+        fingerprint: u64,
+        /// Requests already waiting on that queue.
+        queue_depth: usize,
+        /// Configured depth limit ([`crate::EngineConfig::max_queue_depth`]).
+        limit: usize,
+    },
+    /// The request's deadline passed before a flush could execute it.
+    DeadlineExceeded,
+    /// No pending or completed request matches the ticket — either it was
+    /// never issued, or its result was already taken.
+    UnknownTicket(u64),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Overloaded {
+                fingerprint,
+                queue_depth,
+                limit,
+            } => write!(
+                f,
+                "queue for pattern {fingerprint:#018x} is full ({queue_depth}/{limit})"
+            ),
+            EngineError::DeadlineExceeded => write!(f, "request deadline exceeded before flush"),
+            EngineError::UnknownTicket(t) => write!(f, "unknown or already-consumed ticket {t}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}

@@ -1,0 +1,783 @@
+//! # mps-engine — serving layer over the merge-path plan kernels
+//!
+//! The plan/execute split in [`mps_core`] makes every structure-dependent
+//! phase a one-time cost, but each caller still owns its own plans and
+//! workspaces and executes alone. This crate adds the layer a serving
+//! system needs on top:
+//!
+//! * **Plan cache** — a bounded LRU keyed by
+//!   [`CsrMatrix::pattern_fingerprint`] (plus operand width for SpMM),
+//!   so repeated requests on one sparsity pattern reuse built
+//!   `SpmvPlan`/`SpmmPlan`/`SpAddPlan`/`SpgemmPlan` instances instead of
+//!   re-partitioning.
+//! * **Workspace pool** — checked-out [`Workspace`] arenas, prewarmed to
+//!   the pool's recorded high-water marks, keeping steady-state serving
+//!   zero-alloc.
+//! * **Batcher** — concurrent SpMV submissions on the same matrix are
+//!   queued per fingerprint and coalesced, up to
+//!   [`EngineConfig::max_batch`] at a time, into a single column-tiled
+//!   [`SpmmPlan`] traversal; the result columns are split back to the
+//!   submitters. Because the tiled SpMM computes each output column in
+//!   exactly the SpMV reduction order (PR 2's per-column equivalence),
+//!   the batched results are **bitwise identical** to running every
+//!   request alone.
+//! * **Admission control + stats** — bounded queue depth
+//!   ([`EngineError::Overloaded`]), per-request deadlines
+//!   ([`EngineError::DeadlineExceeded`]), and an [`EngineStats`] snapshot
+//!   covering cache hit rate, batch-size histogram, pool reuse, and simt
+//!   counters.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use mps_engine::Engine;
+//! use mps_simt::Device;
+//! use mps_sparse::CsrMatrix;
+//!
+//! let engine = Engine::new(&Device::titan());
+//! let a = Arc::new(CsrMatrix::identity(64));
+//! let x = vec![1.0; 64];
+//!
+//! // Direct path: plan cached under the pattern fingerprint.
+//! let y = engine.spmv(&a, &x);
+//! assert_eq!(y, x);
+//!
+//! // Batched path: submissions coalesce into one SpMM traversal.
+//! let t0 = engine.submit_spmv(&a, x.clone(), None).unwrap();
+//! let t1 = engine.submit_spmv(&a, x.clone(), None).unwrap();
+//! engine.flush();
+//! assert_eq!(engine.take_result(t0).unwrap(), y);
+//! assert_eq!(engine.take_result(t1).unwrap(), y);
+//! ```
+
+mod batch;
+mod cache;
+mod error;
+mod pool;
+mod stats;
+
+pub use batch::Ticket;
+pub use cache::{CachedPlan, PlanKey};
+pub use error::EngineError;
+pub use stats::EngineStats;
+
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use mps_core::{
+    SpAddConfig, SpAddPlan, SpAddResult, SpgemmConfig, SpgemmPlan, SpgemmResult, SpmmConfig,
+    SpmmPlan, SpmvConfig, SpmvPlan, Workspace,
+};
+use mps_simt::Device;
+use mps_sparse::{CsrMatrix, DenseBlock};
+
+use batch::{Batcher, SpmvRequest};
+use cache::PlanCache;
+use pool::WorkspacePool;
+
+/// Engine tuning. The kernel configs must agree on merge granularity
+/// (`nv = block_threads * items_per_thread`) between SpMV and SpMM —
+/// that shared granularity is what makes a batched SpMM column bitwise
+/// equal to the standalone SpMV it replaces.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Plans kept live in the LRU cache.
+    pub plan_capacity: usize,
+    /// Pending submissions allowed per fingerprint queue before
+    /// [`EngineError::Overloaded`].
+    pub max_queue_depth: usize,
+    /// Largest group of SpMV submissions coalesced into one SpMM
+    /// traversal (defaults to the SpMM column tile width, so a full batch
+    /// is exactly one reduction+update launch pair).
+    pub max_batch: usize,
+    pub spmv: SpmvConfig,
+    pub spmm: SpmmConfig,
+    pub spadd: SpAddConfig,
+    pub spgemm: SpgemmConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        let spmm = SpmmConfig::default();
+        EngineConfig {
+            plan_capacity: 32,
+            max_queue_depth: 64,
+            max_batch: spmm.tile(),
+            spmv: SpmvConfig::default(),
+            spmm,
+            spadd: SpAddConfig::default(),
+            spgemm: SpgemmConfig::default(),
+        }
+    }
+}
+
+struct Inner {
+    cache: PlanCache,
+    pool: WorkspacePool,
+    batcher: Batcher,
+    stats: EngineStats,
+    /// Memoized fingerprints of matrices seen on the submit path, matched
+    /// by `Arc` identity so the O(nnz) hash is paid once per matrix, not
+    /// once per request.
+    fp_memo: Vec<(Weak<CsrMatrix>, u64)>,
+    /// Reusable operand/result blocks for batched flushes (capacity
+    /// survives between batches).
+    scratch_x: DenseBlock,
+    scratch_y: DenseBlock,
+}
+
+impl Inner {
+    fn fingerprint_of(&mut self, a: &Arc<CsrMatrix>) -> u64 {
+        for (w, fp) in &self.fp_memo {
+            if let Some(live) = w.upgrade() {
+                if Arc::ptr_eq(&live, a) {
+                    return *fp;
+                }
+            }
+        }
+        let fp = a.pattern_fingerprint();
+        self.fp_memo.retain(|(w, _)| w.strong_count() > 0);
+        self.fp_memo.push((Arc::downgrade(a), fp));
+        fp
+    }
+
+    fn checkout_ws(&mut self) -> Workspace {
+        let before = self.pool.reuses;
+        let ws = self.pool.checkout();
+        self.stats.pool_checkouts += 1;
+        if self.pool.reuses > before {
+            self.stats.pool_reuses += 1;
+        }
+        ws
+    }
+}
+
+/// The serving engine: one per [`Device`]. Shareable across threads
+/// (`&Engine` is `Sync`); all mutable state sits behind one mutex, while
+/// kernel executions themselves run outside it on `Arc`-shared plans.
+pub struct Engine {
+    device: Device,
+    cfg: EngineConfig,
+    inner: Mutex<Inner>,
+}
+
+impl Engine {
+    pub fn new(device: &Device) -> Engine {
+        Engine::with_config(device, EngineConfig::default())
+    }
+
+    pub fn with_config(device: &Device, cfg: EngineConfig) -> Engine {
+        assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
+        assert!(
+            cfg.max_queue_depth >= 1,
+            "max_queue_depth must be at least 1"
+        );
+        assert_eq!(
+            cfg.spmv.nv(),
+            cfg.spmm.nv(),
+            "SpMV and SpMM must share merge granularity for batching equivalence"
+        );
+        Engine {
+            device: device.clone(),
+            inner: Mutex::new(Inner {
+                cache: PlanCache::new(cfg.plan_capacity),
+                pool: WorkspacePool::new(),
+                batcher: Batcher::new(),
+                stats: EngineStats::default(),
+                fp_memo: Vec::new(),
+                scratch_x: DenseBlock::zeros(0, 0),
+                scratch_y: DenseBlock::zeros(0, 0),
+            }),
+            cfg,
+        }
+    }
+
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Snapshot of the accumulated serving telemetry.
+    pub fn stats(&self) -> EngineStats {
+        self.inner.lock().stats.clone()
+    }
+
+    /// Zero the telemetry (e.g. after a warm-up phase, so steady-state
+    /// rates are not diluted by cold misses).
+    pub fn reset_stats(&self) {
+        self.inner.lock().stats = EngineStats::default();
+    }
+
+    /// Check out a workspace arena from the pool (for callers driving
+    /// plans themselves, e.g. solvers). Return it with
+    /// [`Engine::return_workspace`] so its capacity keeps serving.
+    pub fn checkout_workspace(&self) -> Workspace {
+        self.inner.lock().checkout_ws()
+    }
+
+    pub fn return_workspace(&self, ws: Workspace) {
+        self.inner.lock().pool.give_back(ws);
+    }
+
+    /// Plans currently held live by the LRU cache.
+    pub fn cached_plans(&self) -> usize {
+        self.inner.lock().cache.len()
+    }
+
+    /// Byte footprint a fresh pooled workspace is prewarmed to (the
+    /// high-water marks recorded across returned arenas).
+    pub fn pool_high_water_bytes(&self) -> usize {
+        self.inner.lock().pool.high_water_bytes()
+    }
+
+    // ---- plan cache -----------------------------------------------------
+
+    /// Cached SpMV plan for `a`'s sparsity pattern.
+    pub fn spmv_plan(&self, a: &CsrMatrix) -> Arc<SpmvPlan> {
+        let fp = a.pattern_fingerprint();
+        spmv_plan_locked(&self.device, &self.cfg, &mut self.inner.lock(), fp, a)
+    }
+
+    /// Cached SpMM plan for `a`'s pattern at operand width `k`.
+    pub fn spmm_plan(&self, a: &CsrMatrix, k: usize) -> Arc<SpmmPlan> {
+        let fp = a.pattern_fingerprint();
+        spmm_plan_locked(&self.device, &self.cfg, &mut self.inner.lock(), fp, a, k)
+    }
+
+    /// Cached SpAdd plan for the pattern pair `(a, b)`.
+    pub fn spadd_plan(&self, a: &CsrMatrix, b: &CsrMatrix) -> Arc<SpAddPlan> {
+        let key = PlanKey::SpAdd {
+            a: a.pattern_fingerprint(),
+            b: b.pattern_fingerprint(),
+        };
+        let mut inner = self.inner.lock();
+        let l = inner.cache.get_or_insert_with(key, || {
+            CachedPlan::SpAdd(Arc::new(SpAddPlan::new(
+                &self.device,
+                a,
+                b,
+                &self.cfg.spadd,
+            )))
+        });
+        record_lookup(&mut inner.stats, l.hit, l.evicted);
+        match l.plan {
+            CachedPlan::SpAdd(p) => {
+                if !l.hit {
+                    inner.stats.plan_build_sim_ms += p.build_sim_ms();
+                }
+                p
+            }
+            _ => unreachable!("SpAdd key holds SpAdd plan"),
+        }
+    }
+
+    /// Cached SpGEMM plan for the pattern pair `(a, b)`.
+    pub fn spgemm_plan(&self, a: &CsrMatrix, b: &CsrMatrix) -> Arc<SpgemmPlan> {
+        let key = PlanKey::Spgemm {
+            a: a.pattern_fingerprint(),
+            b: b.pattern_fingerprint(),
+        };
+        let mut inner = self.inner.lock();
+        let l = inner.cache.get_or_insert_with(key, || {
+            CachedPlan::Spgemm(Arc::new(SpgemmPlan::new(
+                &self.device,
+                a,
+                b,
+                &self.cfg.spgemm,
+            )))
+        });
+        record_lookup(&mut inner.stats, l.hit, l.evicted);
+        match l.plan {
+            CachedPlan::Spgemm(p) => {
+                if !l.hit {
+                    inner.stats.plan_build_sim_ms += p.phases().total();
+                }
+                p
+            }
+            _ => unreachable!("Spgemm key holds Spgemm plan"),
+        }
+    }
+
+    // ---- direct (unbatched) execution -----------------------------------
+
+    /// Execute `a · x` through the cached plan and a pooled workspace.
+    pub fn spmv(&self, a: &CsrMatrix, x: &[f64]) -> Vec<f64> {
+        let plan = self.spmv_plan(a);
+        let mut ws = self.checkout_workspace();
+        let mut y = Vec::new();
+        let ms = plan.execute_into(a, x, &mut y, &mut ws);
+        let mut inner = self.inner.lock();
+        inner.pool.give_back(ws);
+        inner.stats.requests += 1;
+        inner.stats.exec_sim_ms += ms;
+        inner.stats.totals.add(&plan.reduction_stats().totals);
+        inner.stats.totals.add(&plan.update_stats().totals);
+        y
+    }
+
+    /// Execute `a · x` (dense multi-vector operand) through the cached
+    /// column-tiled plan.
+    pub fn spmm(&self, a: &CsrMatrix, x: &DenseBlock) -> DenseBlock {
+        let plan = self.spmm_plan(a, x.cols);
+        let mut ws = self.checkout_workspace();
+        let mut y = DenseBlock::zeros(0, 0);
+        let ms = plan.execute_into(a, x, &mut y, &mut ws);
+        let mut inner = self.inner.lock();
+        inner.pool.give_back(ws);
+        inner.stats.requests += 1;
+        inner.stats.exec_sim_ms += ms;
+        inner.stats.totals.add(&plan.reduction_stats().totals);
+        inner.stats.totals.add(&plan.update_stats().totals);
+        y
+    }
+
+    /// Execute `a + b` through the cached balanced-path plan.
+    pub fn spadd(&self, a: &CsrMatrix, b: &CsrMatrix) -> SpAddResult {
+        let plan = self.spadd_plan(a, b);
+        let result = plan.execute(&self.device, a, b);
+        let mut inner = self.inner.lock();
+        inner.stats.requests += 1;
+        inner.stats.exec_sim_ms += result.sim_ms();
+        inner.stats.totals.add(&result.expand.totals);
+        inner.stats.totals.add(&result.union.totals);
+        result
+    }
+
+    /// Execute `a · b` through the cached two-level-sort plan. (Callers
+    /// that want the zero-alloc value-only replay should pair
+    /// [`Engine::spgemm_plan`] with a checked-out workspace and
+    /// `execute_into` themselves; this convenience path assembles a full
+    /// result matrix.)
+    pub fn spgemm(&self, a: &CsrMatrix, b: &CsrMatrix) -> SpgemmResult {
+        let plan = self.spgemm_plan(a, b);
+        let result = plan.execute(&self.device, a, b);
+        let mut inner = self.inner.lock();
+        inner.stats.requests += 1;
+        inner.stats.exec_sim_ms += result.phases.total();
+        inner.stats.totals.add(&result.stats.totals);
+        result
+    }
+
+    // ---- batched SpMV ---------------------------------------------------
+
+    /// Queue an SpMV request on `a` for the next [`Engine::flush`].
+    ///
+    /// `deadline`, when given, is relative to now; a request still queued
+    /// when its deadline passes resolves to
+    /// [`EngineError::DeadlineExceeded`] instead of a result. Submissions
+    /// beyond [`EngineConfig::max_queue_depth`] on one matrix's queue are
+    /// refused with [`EngineError::Overloaded`].
+    ///
+    /// # Panics
+    /// Panics if `x.len() != a.num_cols`.
+    pub fn submit_spmv(
+        &self,
+        a: &Arc<CsrMatrix>,
+        x: Vec<f64>,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, EngineError> {
+        assert_eq!(x.len(), a.num_cols, "operand length mismatch");
+        let mut inner = self.inner.lock();
+        let fp = inner.fingerprint_of(a);
+        let deadline = deadline.map(|d| Instant::now() + d);
+        match inner
+            .batcher
+            .submit(fp, a, x, deadline, self.cfg.max_queue_depth)
+        {
+            Ok(t) => Ok(t),
+            Err(e) => {
+                inner.stats.rejected_overload += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Requests currently queued (all fingerprints).
+    pub fn pending_requests(&self) -> usize {
+        self.inner.lock().batcher.total_pending()
+    }
+
+    /// Requests currently queued behind one matrix's pattern fingerprint.
+    pub fn queue_depth(&self, a: &Arc<CsrMatrix>) -> usize {
+        let mut inner = self.inner.lock();
+        let fp = inner.fingerprint_of(a);
+        inner.batcher.depth(fp)
+    }
+
+    /// Drain every submission queue, coalescing groups of up to
+    /// [`EngineConfig::max_batch`] same-matrix requests into single
+    /// column-tiled SpMM traversals (single requests run through the SpMV
+    /// plan). Returns the number of requests resolved — results and
+    /// deadline expirations both become redeemable via
+    /// [`Engine::take_result`].
+    pub fn flush(&self) -> usize {
+        let mut guard = self.inner.lock();
+        let inner = &mut *guard;
+        let now = Instant::now();
+        let mut resolved = 0usize;
+        let fps: Vec<u64> = inner.batcher.queues.keys().copied().collect();
+        for fp in fps {
+            loop {
+                let queue = inner
+                    .batcher
+                    .queues
+                    .get_mut(&fp)
+                    .expect("queue present for listed fingerprint");
+                let matrix = Arc::clone(&queue.matrix);
+                let mut group: Vec<SpmvRequest> = Vec::new();
+                let mut expired: Vec<Ticket> = Vec::new();
+                while group.len() < self.cfg.max_batch {
+                    match queue.pending.pop_front() {
+                        Some(r) => {
+                            if r.deadline.is_some_and(|d| now >= d) {
+                                expired.push(r.ticket);
+                            } else {
+                                group.push(r);
+                            }
+                        }
+                        None => break,
+                    }
+                }
+                for t in expired {
+                    inner.stats.rejected_deadline += 1;
+                    inner
+                        .batcher
+                        .completed
+                        .insert(t, Err(EngineError::DeadlineExceeded));
+                    resolved += 1;
+                }
+                if group.is_empty() {
+                    break;
+                }
+                resolved += group.len();
+                execute_group(&self.device, &self.cfg, inner, fp, &matrix, group);
+            }
+        }
+        inner.batcher.queues.retain(|_, q| !q.pending.is_empty());
+        resolved
+    }
+
+    /// Redeem a ticket issued by [`Engine::submit_spmv`]. Each ticket is
+    /// redeemable once, after the flush that resolved it.
+    pub fn take_result(&self, ticket: Ticket) -> Result<Vec<f64>, EngineError> {
+        self.inner
+            .lock()
+            .batcher
+            .completed
+            .remove(&ticket)
+            .unwrap_or(Err(EngineError::UnknownTicket(ticket.0)))
+    }
+}
+
+fn record_lookup(stats: &mut EngineStats, hit: bool, evicted: bool) {
+    if hit {
+        stats.cache_hits += 1;
+    } else {
+        stats.cache_misses += 1;
+    }
+    if evicted {
+        stats.cache_evictions += 1;
+    }
+}
+
+fn spmv_plan_locked(
+    device: &Device,
+    cfg: &EngineConfig,
+    inner: &mut Inner,
+    fp: u64,
+    a: &CsrMatrix,
+) -> Arc<SpmvPlan> {
+    let l = inner
+        .cache
+        .get_or_insert_with(PlanKey::Spmv { pattern: fp }, || {
+            CachedPlan::Spmv(Arc::new(SpmvPlan::new(device, a, &cfg.spmv)))
+        });
+    record_lookup(&mut inner.stats, l.hit, l.evicted);
+    match l.plan {
+        CachedPlan::Spmv(p) => {
+            if !l.hit {
+                inner.stats.plan_build_sim_ms += p.partition.sim_ms;
+            }
+            p
+        }
+        _ => unreachable!("Spmv key holds Spmv plan"),
+    }
+}
+
+fn spmm_plan_locked(
+    device: &Device,
+    cfg: &EngineConfig,
+    inner: &mut Inner,
+    fp: u64,
+    a: &CsrMatrix,
+    k: usize,
+) -> Arc<SpmmPlan> {
+    let l = inner
+        .cache
+        .get_or_insert_with(PlanKey::Spmm { pattern: fp, k }, || {
+            CachedPlan::Spmm(Arc::new(SpmmPlan::new(device, a, k, &cfg.spmm)))
+        });
+    record_lookup(&mut inner.stats, l.hit, l.evicted);
+    match l.plan {
+        CachedPlan::Spmm(p) => {
+            if !l.hit {
+                inner.stats.plan_build_sim_ms += p.partition.sim_ms;
+            }
+            p
+        }
+        _ => unreachable!("Spmm key holds Spmm plan"),
+    }
+}
+
+/// Run one flushed group: a single request goes through the SpMV plan, a
+/// larger group is interleaved into the scratch operand block and executed
+/// as one column-tiled SpMM, then split back column by column. Either way
+/// the per-request results are bitwise identical to standalone SpMV.
+fn execute_group(
+    device: &Device,
+    cfg: &EngineConfig,
+    inner: &mut Inner,
+    fp: u64,
+    matrix: &Arc<CsrMatrix>,
+    group: Vec<SpmvRequest>,
+) {
+    let k = group.len();
+    inner.stats.record_batch(k);
+    inner.stats.requests += k as u64;
+    if k == 1 {
+        let plan = spmv_plan_locked(device, cfg, inner, fp, matrix);
+        let mut ws = inner.checkout_ws();
+        let mut y = Vec::new();
+        let req = group.into_iter().next().expect("group of one");
+        let ms = plan.execute_into(matrix, &req.x, &mut y, &mut ws);
+        inner.pool.give_back(ws);
+        inner.stats.exec_sim_ms += ms;
+        inner.stats.totals.add(&plan.reduction_stats().totals);
+        inner.stats.totals.add(&plan.update_stats().totals);
+        inner.batcher.completed.insert(req.ticket, Ok(y));
+        return;
+    }
+    let plan = spmm_plan_locked(device, cfg, inner, fp, matrix, k);
+    let mut ws = inner.checkout_ws();
+    inner.scratch_x.reset(matrix.num_cols, k);
+    for (c, req) in group.iter().enumerate() {
+        inner.scratch_x.set_column(c, &req.x);
+    }
+    let ms = plan.execute_into(matrix, &inner.scratch_x, &mut inner.scratch_y, &mut ws);
+    inner.pool.give_back(ws);
+    inner.stats.exec_sim_ms += ms;
+    inner.stats.totals.add(&plan.reduction_stats().totals);
+    inner.stats.totals.add(&plan.update_stats().totals);
+    for (c, req) in group.into_iter().enumerate() {
+        inner
+            .batcher
+            .completed
+            .insert(req.ticket, Ok(inner.scratch_y.column(c)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_sparse::gen;
+
+    fn device() -> Device {
+        Device::titan()
+    }
+
+    fn matrix() -> Arc<CsrMatrix> {
+        Arc::new(gen::random_uniform(300, 300, 9.0, 3.0, 7))
+    }
+
+    fn operand(n: usize, seed: u64) -> Vec<f64> {
+        (0..n)
+            .map(|i| ((i as u64).wrapping_mul(seed).wrapping_add(11) % 1000) as f64 / 999.0 - 0.5)
+            .collect()
+    }
+
+    #[test]
+    fn direct_spmv_hits_cache_on_repeat() {
+        let e = Engine::new(&device());
+        let a = matrix();
+        let x = operand(a.num_cols, 3);
+        let y1 = e.spmv(&a, &x);
+        let y2 = e.spmv(&a, &x);
+        assert_eq!(y1, y2);
+        let s = e.stats();
+        assert_eq!((s.cache_hits, s.cache_misses), (1, 1));
+        assert_eq!(s.pool_checkouts, 2);
+        assert_eq!(s.pool_reuses, 1);
+        assert_eq!(s.requests, 2);
+        assert!(s.exec_sim_ms > 0.0);
+        assert!(s.plan_build_sim_ms > 0.0);
+        assert_eq!(e.cached_plans(), 1);
+        assert!(
+            e.pool_high_water_bytes() > 0,
+            "returned arena recorded marks"
+        );
+    }
+
+    #[test]
+    fn batched_results_are_bitwise_equal_to_sequential() {
+        let e = Engine::new(&device());
+        let a = matrix();
+        let sequential: Vec<Vec<f64>> = (0..5)
+            .map(|s| e.spmv(&a, &operand(a.num_cols, s)))
+            .collect();
+        let tickets: Vec<Ticket> = (0..5)
+            .map(|s| {
+                e.submit_spmv(&a, operand(a.num_cols, s), None)
+                    .expect("admitted")
+            })
+            .collect();
+        assert_eq!(e.pending_requests(), 5);
+        assert_eq!(e.flush(), 5);
+        assert_eq!(e.pending_requests(), 0);
+        for (t, want) in tickets.into_iter().zip(&sequential) {
+            let got = e.take_result(t).expect("completed");
+            let got_bits: Vec<u64> = got.iter().map(|v| v.to_bits()).collect();
+            let want_bits: Vec<u64> = want.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got_bits, want_bits);
+        }
+        let s = e.stats();
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.batched_requests, 5);
+        assert!(s.totals.dram_wide_bytes > 0, "batched path is column-tiled");
+    }
+
+    #[test]
+    fn oversized_waves_split_into_max_batch_groups() {
+        let cfg = EngineConfig {
+            max_batch: 4,
+            ..EngineConfig::default()
+        };
+        let e = Engine::with_config(&device(), cfg);
+        let a = matrix();
+        let tickets: Vec<Ticket> = (0..9)
+            .map(|s| {
+                e.submit_spmv(&a, operand(a.num_cols, s), None)
+                    .expect("admitted")
+            })
+            .collect();
+        assert_eq!(e.flush(), 9);
+        for t in tickets {
+            e.take_result(t).expect("completed");
+        }
+        let s = e.stats();
+        assert_eq!(s.batches, 3);
+        assert_eq!(s.batch_histogram, vec![0, 1, 0, 0, 2]); // 4 + 4 + 1
+    }
+
+    #[test]
+    fn queue_depth_backpressure_rejects_with_overloaded() {
+        let cfg = EngineConfig {
+            max_queue_depth: 2,
+            ..EngineConfig::default()
+        };
+        let e = Engine::with_config(&device(), cfg);
+        let a = matrix();
+        let x = operand(a.num_cols, 1);
+        e.submit_spmv(&a, x.clone(), None).expect("admitted");
+        e.submit_spmv(&a, x.clone(), None).expect("admitted");
+        assert_eq!(e.queue_depth(&a), 2);
+        match e.submit_spmv(&a, x.clone(), None) {
+            Err(EngineError::Overloaded {
+                queue_depth, limit, ..
+            }) => assert_eq!((queue_depth, limit), (2, 2)),
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert_eq!(e.stats().rejected_overload, 1);
+        // Flushing drains the queue and readmits.
+        e.flush();
+        e.submit_spmv(&a, x, None).expect("admitted after flush");
+    }
+
+    #[test]
+    fn expired_deadline_resolves_to_typed_error() {
+        let e = Engine::new(&device());
+        let a = matrix();
+        let t_expired = e
+            .submit_spmv(&a, operand(a.num_cols, 1), Some(Duration::ZERO))
+            .expect("admitted");
+        let t_live = e
+            .submit_spmv(&a, operand(a.num_cols, 2), Some(Duration::from_secs(3600)))
+            .expect("admitted");
+        assert_eq!(e.flush(), 2);
+        assert_eq!(e.take_result(t_expired), Err(EngineError::DeadlineExceeded));
+        assert!(e.take_result(t_live).is_ok());
+        assert_eq!(e.stats().rejected_deadline, 1);
+    }
+
+    #[test]
+    fn tickets_redeem_once_and_unknown_tickets_error() {
+        let e = Engine::new(&device());
+        let a = matrix();
+        let t = e
+            .submit_spmv(&a, operand(a.num_cols, 1), None)
+            .expect("admitted");
+        e.flush();
+        assert!(e.take_result(t).is_ok());
+        assert_eq!(e.take_result(t), Err(EngineError::UnknownTicket(t.0)));
+    }
+
+    #[test]
+    fn fingerprint_memo_avoids_rehash_but_not_correctness() {
+        let e = Engine::new(&device());
+        let a = matrix();
+        let b = Arc::new(gen::random_uniform(200, 300, 5.0, 2.0, 13));
+        let ta = e
+            .submit_spmv(&a, operand(a.num_cols, 1), None)
+            .expect("admitted");
+        let tb = e
+            .submit_spmv(&b, operand(b.num_cols, 2), None)
+            .expect("admitted");
+        e.flush();
+        assert_eq!(e.take_result(ta).expect("a result").len(), a.num_rows);
+        assert_eq!(e.take_result(tb).expect("b result").len(), b.num_rows);
+        // Separate queues → separate single-request batches.
+        assert_eq!(e.stats().batches, 2);
+    }
+
+    #[test]
+    fn spmm_spadd_spgemm_share_the_cache() {
+        let e = Engine::new(&device());
+        let a = gen::random_uniform(120, 120, 6.0, 2.0, 3);
+        let b = gen::random_uniform(120, 120, 6.0, 2.0, 4);
+        let x = DenseBlock::from_fn(120, 3, |r, c| (r * 3 + c) as f64);
+        let y1 = e.spmm(&a, &x);
+        let y2 = e.spmm(&a, &x);
+        assert_eq!(y1, y2);
+        let c1 = e.spadd(&a, &b);
+        let c2 = e.spadd(&a, &b);
+        assert_eq!(c1.c, c2.c);
+        let g1 = e.spgemm(&a, &b);
+        let g2 = e.spgemm(&a, &b);
+        assert_eq!(g1.c, g2.c);
+        let s = e.stats();
+        assert_eq!(s.cache_misses, 3);
+        assert_eq!(s.cache_hits, 3);
+        assert_eq!(s.requests, 6);
+    }
+
+    #[test]
+    fn lru_eviction_keeps_cache_bounded() {
+        let cfg = EngineConfig {
+            plan_capacity: 2,
+            ..EngineConfig::default()
+        };
+        let e = Engine::with_config(&device(), cfg);
+        let mats: Vec<CsrMatrix> = (0..4)
+            .map(|s| gen::random_uniform(80, 80, 4.0, 1.5, 100 + s))
+            .collect();
+        for m in &mats {
+            e.spmv_plan(m);
+        }
+        let s = e.stats();
+        assert_eq!(s.cache_misses, 4);
+        assert_eq!(s.cache_evictions, 2);
+    }
+}

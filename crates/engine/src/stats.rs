@@ -1,0 +1,156 @@
+//! Aggregated serving telemetry.
+
+use mps_simt::Counters;
+
+/// Snapshot of everything the engine has done since construction (or the
+/// last [`crate::Engine::reset_stats`]). Cheap to clone; all counters are
+/// plain integers plus the simt [`Counters`] accumulated over executed
+/// kernel phases.
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    /// Plan-cache lookups that found a live plan.
+    pub cache_hits: u64,
+    /// Plan-cache lookups that had to build (and charge) a new plan.
+    pub cache_misses: u64,
+    /// Plans dropped by the LRU policy to stay within capacity.
+    pub cache_evictions: u64,
+    /// Workspace checkouts served from the pool or fresh.
+    pub pool_checkouts: u64,
+    /// Checkouts satisfied by a previously returned arena (no new arena).
+    pub pool_reuses: u64,
+    /// Requests completed (direct calls plus flushed submissions).
+    pub requests: u64,
+    /// Coalesced SpMM traversals executed by the batcher.
+    pub batches: u64,
+    /// SpMV submissions completed through the batcher.
+    pub batched_requests: u64,
+    /// `batch_histogram[s]` counts flushed groups of exactly `s` requests
+    /// (index 0 is unused; the vector grows to the largest size seen).
+    pub batch_histogram: Vec<u64>,
+    /// Submissions refused with [`crate::EngineError::Overloaded`].
+    pub rejected_overload: u64,
+    /// Requests that missed their deadline
+    /// ([`crate::EngineError::DeadlineExceeded`]).
+    pub rejected_deadline: u64,
+    /// Simulated milliseconds charged at plan-build time (partition and
+    /// other structure phases) — paid once per cache miss.
+    pub plan_build_sim_ms: f64,
+    /// Simulated milliseconds of executed numeric phases.
+    pub exec_sim_ms: f64,
+    /// Simt counters summed over executed numeric phases, including
+    /// `dram_wide_bytes` from column-tiled batched traversals.
+    pub totals: Counters,
+}
+
+impl EngineStats {
+    /// Fraction of plan lookups served from the cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of workspace checkouts that reused a pooled arena.
+    pub fn pool_reuse_rate(&self) -> f64 {
+        if self.pool_checkouts == 0 {
+            0.0
+        } else {
+            self.pool_reuses as f64 / self.pool_checkouts as f64
+        }
+    }
+
+    /// Mean flushed batch size (requests per coalesced traversal).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_requests as f64 / self.batches as f64
+        }
+    }
+
+    pub(crate) fn record_batch(&mut self, size: usize) {
+        self.batches += 1;
+        self.batched_requests += size as u64;
+        if self.batch_histogram.len() <= size {
+            self.batch_histogram.resize(size + 1, 0);
+        }
+        self.batch_histogram[size] += 1;
+    }
+
+    /// Multi-line human-readable summary (used by the serving bench and
+    /// the README example).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "plan cache    {} hits / {} misses ({:.1}% hit rate), {} evictions\n",
+            self.cache_hits,
+            self.cache_misses,
+            100.0 * self.cache_hit_rate(),
+            self.cache_evictions,
+        ));
+        out.push_str(&format!(
+            "workspaces    {} checkouts, {:.1}% reused\n",
+            self.pool_checkouts,
+            100.0 * self.pool_reuse_rate(),
+        ));
+        out.push_str(&format!(
+            "requests      {} completed, {} rejected (overload), {} expired (deadline)\n",
+            self.requests, self.rejected_overload, self.rejected_deadline,
+        ));
+        let hist: Vec<String> = self
+            .batch_histogram
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(s, &n)| format!("{s}x{n}"))
+            .collect();
+        out.push_str(&format!(
+            "batches       {} traversals, mean size {:.2}, histogram [{}]\n",
+            self.batches,
+            self.mean_batch_size(),
+            hist.join(" "),
+        ));
+        out.push_str(&format!(
+            "sim time      {:.3} ms exec + {:.3} ms plan build\n",
+            self.exec_sim_ms, self.plan_build_sim_ms,
+        ));
+        out.push_str(&format!(
+            "dram          {} B read, {} B written, {} B wide, {} transactions\n",
+            self.totals.dram_read_bytes,
+            self.totals.dram_write_bytes,
+            self.totals.dram_wide_bytes,
+            self.totals.dram_transactions,
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_empty_stats() {
+        let s = EngineStats::default();
+        assert_eq!(s.cache_hit_rate(), 0.0);
+        assert_eq!(s.pool_reuse_rate(), 0.0);
+        assert_eq!(s.mean_batch_size(), 0.0);
+    }
+
+    #[test]
+    fn histogram_grows_to_largest_batch() {
+        let mut s = EngineStats::default();
+        s.record_batch(3);
+        s.record_batch(3);
+        s.record_batch(1);
+        assert_eq!(s.batch_histogram, vec![0, 1, 0, 2]);
+        assert_eq!(s.batches, 3);
+        assert_eq!(s.batched_requests, 7);
+        assert!((s.mean_batch_size() - 7.0 / 3.0).abs() < 1e-12);
+        let r = s.render();
+        assert!(r.contains("1x1 3x2"), "{r}");
+    }
+}

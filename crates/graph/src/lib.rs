@@ -24,7 +24,9 @@ pub mod triangles;
 
 pub use bfs::bfs_levels;
 pub use components::connected_components;
-pub use pagerank::{pagerank, pagerank_multi, MultiPageRankResult, PageRankResult};
+pub use pagerank::{
+    pagerank, pagerank_multi, pagerank_multi_with_engine, MultiPageRankResult, PageRankResult,
+};
 pub use semiring::{semiring_spmv, Semiring};
 pub use triangles::count_triangles;
 

@@ -26,7 +26,7 @@ pub mod pcg;
 pub mod smoothers;
 
 pub use amg::{AmgHierarchy, AmgOptions};
-pub use block_cg::{block_cg, BlockSolveReport};
+pub use block_cg::{block_cg, block_cg_with_engine, BlockSolveReport};
 pub use krylov::{bicgstab, cg, SolveReport, SolverOptions};
 pub use pcg::{pcg, JacobiPreconditioner, Preconditioner};
 

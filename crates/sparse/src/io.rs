@@ -15,6 +15,14 @@ use crate::csr::CsrMatrix;
 pub enum MmError {
     Io(std::io::Error),
     Parse(String),
+    /// The body ended before the entry count declared on the size line —
+    /// the signature of a truncated download or a half-written file. Typed
+    /// separately from [`MmError::Parse`] so callers can retry a transfer
+    /// rather than reject the file.
+    Truncated {
+        expected: usize,
+        found: usize,
+    },
 }
 
 impl std::fmt::Display for MmError {
@@ -22,6 +30,11 @@ impl std::fmt::Display for MmError {
         match self {
             MmError::Io(e) => write!(f, "I/O error: {e}"),
             MmError::Parse(m) => write!(f, "Matrix Market parse error: {m}"),
+            MmError::Truncated { expected, found } => write!(
+                f,
+                "Matrix Market body truncated: size line declared {expected} entries, \
+                 stream ended after {found}"
+            ),
         }
     }
 }
@@ -52,11 +65,14 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CsrMatrix, MmError> {
     }
     let pattern = header_lc.contains("pattern");
 
-    // Skip comments, find the size line.
+    // Skip comments, find the size line. `lineno` tracks the 1-based
+    // position in the stream so entry errors can point at their line.
+    let mut lineno = 1usize;
     let size_line = loop {
         let line = lines
             .next()
             .ok_or_else(|| parse_err("missing size line"))??;
+        lineno += 1;
         let t = line.trim();
         if !t.is_empty() && !t.starts_with('%') {
             break t.to_string();
@@ -75,33 +91,48 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CsrMatrix, MmError> {
         .next()
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| parse_err("bad nnz count"))?;
+    // Indices are stored as u32 downstream; larger declared dimensions
+    // would silently truncate in the narrowing cast below.
+    if rows > u32::MAX as usize || cols > u32::MAX as usize {
+        return Err(parse_err(format!(
+            "dimensions {rows}x{cols} exceed the u32 index range"
+        )));
+    }
 
     let mut coo = CooMatrix::new(rows, cols);
     let mut seen = 0usize;
     for line in lines {
         let line = line?;
+        lineno += 1;
         let t = line.trim();
         if t.is_empty() || t.starts_with('%') {
             continue;
+        }
+        if seen == nnz {
+            return Err(parse_err(format!(
+                "line {lineno}: more than the declared {nnz} entries"
+            )));
         }
         let mut f = t.split_whitespace();
         let r: usize = f
             .next()
             .and_then(|s| s.parse().ok())
-            .ok_or_else(|| parse_err("bad row index"))?;
+            .ok_or_else(|| parse_err(format!("line {lineno}: bad row index")))?;
         let c: usize = f
             .next()
             .and_then(|s| s.parse().ok())
-            .ok_or_else(|| parse_err("bad col index"))?;
+            .ok_or_else(|| parse_err(format!("line {lineno}: bad col index")))?;
         let v: f64 = if pattern {
             1.0
         } else {
             f.next()
                 .and_then(|s| s.parse().ok())
-                .ok_or_else(|| parse_err("bad value"))?
+                .ok_or_else(|| parse_err(format!("line {lineno}: bad value")))?
         };
         if r == 0 || c == 0 || r > rows || c > cols {
-            return Err(parse_err(format!("entry ({r},{c}) out of bounds")));
+            return Err(parse_err(format!(
+                "line {lineno}: entry ({r},{c}) out of bounds"
+            )));
         }
         // Matrix Market is 1-indexed.
         coo.push((r - 1) as u32, (c - 1) as u32, v);
@@ -111,7 +142,10 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CsrMatrix, MmError> {
         seen += 1;
     }
     if seen != nnz {
-        return Err(parse_err(format!("expected {nnz} entries, found {seen}")));
+        return Err(MmError::Truncated {
+            expected: nnz,
+            found: seen,
+        });
     }
     Ok(coo.to_csr())
 }
@@ -170,9 +204,70 @@ mod tests {
     }
 
     #[test]
-    fn rejects_wrong_entry_count() {
+    fn truncated_body_is_a_typed_error() {
         let text = "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n";
-        assert!(read_matrix_market(text.as_bytes()).is_err());
+        match read_matrix_market(text.as_bytes()) {
+            Err(MmError::Truncated { expected, found }) => {
+                assert_eq!((expected, found), (3, 1));
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn surplus_entries_are_a_parse_error_not_truncation() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.0\n2 2 2.0\n";
+        match read_matrix_market(text.as_bytes()) {
+            Err(MmError::Parse(m)) => assert!(m.contains("line 4"), "{m}"),
+            other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_entries_report_their_line() {
+        // A comment between size line and body shifts line numbers; the
+        // error must point at the stream position, not the entry ordinal.
+        for (body, needle) in [
+            ("1 x 1.0", "bad col index"),
+            ("1 1 abc", "bad value"),
+            ("1 1", "bad value"),
+            ("x 1 1.0", "bad row index"),
+            ("9 1 1.0", "out of bounds"),
+        ] {
+            let text =
+                format!("%%MatrixMarket matrix coordinate real general\n% note\n2 2 1\n{body}\n");
+            match read_matrix_market(text.as_bytes()) {
+                Err(MmError::Parse(m)) => {
+                    assert!(m.contains(needle), "{m} should mention {needle}");
+                    assert!(m.contains("line 4"), "{m} should point at line 4");
+                }
+                other => panic!("{body:?}: expected Parse, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_dimensions_are_rejected_not_truncated_to_u32() {
+        let text = format!(
+            "%%MatrixMarket matrix coordinate real general\n{} 2 1\n1 1 1.0\n",
+            u32::MAX as u64 + 10
+        );
+        match read_matrix_market(text.as_bytes()) {
+            Err(MmError::Parse(m)) => assert!(m.contains("u32 index range"), "{m}"),
+            other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_and_headerless_streams_are_errors() {
+        assert!(read_matrix_market(&b""[..]).is_err());
+        assert!(read_matrix_market(&b"1 1 1\n1 1 1.0\n"[..]).is_err());
+        // Header but nothing else: missing size line.
+        let text = "%%MatrixMarket matrix coordinate real general\n% only comments\n";
+        match read_matrix_market(text.as_bytes()) {
+            Err(MmError::Parse(m)) => assert!(m.contains("size line"), "{m}"),
+            other => panic!("expected Parse, got {other:?}"),
+        }
     }
 
     #[test]

@@ -32,10 +32,14 @@
 //!   solvers and smoothed-aggregation algebraic multigrid driven entirely
 //!   by the merge-path kernels;
 //! * [`graph`] — graph analytics over a generic-semiring flat SpMV (BFS,
-//!   connected components, PageRank, triangle counting).
+//!   connected components, PageRank, triangle counting);
+//! * [`engine`] — the serving layer: a plan cache keyed by pattern
+//!   fingerprint, a workspace pool, and a batcher that coalesces
+//!   concurrent SpMV requests into column-tiled SpMM traversals.
 
 pub use mps_baselines as baselines;
 pub use mps_core as core;
+pub use mps_engine as engine;
 pub use mps_graph as graph;
 pub use mps_merge as merge;
 pub use mps_simt as simt;
@@ -48,7 +52,10 @@ pub mod prelude {
         merge_spadd, merge_spgemm, merge_spmm, merge_spmv, SpAddConfig, SpAddPlan, SpgemmConfig,
         SpgemmPlan, SpmmConfig, SpmmPlan, SpmvConfig, SpmvPlan, Workspace,
     };
+    pub use mps_engine::{Engine, EngineConfig, EngineError, EngineStats, Ticket};
     pub use mps_simt::Device;
-    pub use mps_solvers::{block_cg, cg, AmgHierarchy, AmgOptions, SolverOptions};
+    pub use mps_solvers::{
+        block_cg, block_cg_with_engine, cg, AmgHierarchy, AmgOptions, SolverOptions,
+    };
     pub use mps_sparse::{gen, suite::SuiteMatrix, CooMatrix, CsrMatrix, DenseBlock, MatrixStats};
 }

@@ -1,0 +1,144 @@
+//! Batching equivalence for the serving engine: N concurrent SpMV
+//! submissions on one sparsity pattern must return results **bitwise**
+//! equal (`f64::to_bits`) to N sequential `SpmvPlan` executions. This is
+//! the contract that makes the engine's SpMV→SpMM coalescing transparent:
+//! the column-tiled SpMM computes each output column in exactly the SpMV
+//! reduction order, so a caller cannot tell whether its request ran alone
+//! or shared a traversal with 15 strangers.
+
+use std::sync::Arc;
+
+use merge_path_sparse::engine::{Engine, EngineConfig};
+use merge_path_sparse::prelude::*;
+use proptest::prelude::*;
+
+fn device() -> Device {
+    Device::titan()
+}
+
+/// Random CSR with controllable empty-row structure (matches the
+/// plan-equivalence suite's generator).
+fn sprinkled(rows: usize, cols: usize, stride: usize, per_row: usize, seed: u64) -> CsrMatrix {
+    let mut coo = CooMatrix::new(rows, cols);
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for r in (0..rows).step_by(stride) {
+        for _ in 0..per_row {
+            let c = (next() as usize) % cols;
+            let v = 1.0 + (next() % 1000) as f64 / 250.0;
+            coo.push(r as u32, c as u32, v);
+        }
+    }
+    coo.to_csr()
+}
+
+fn operand(cols: usize, slot: usize) -> Vec<f64> {
+    (0..cols)
+        .map(|i| 0.25 + ((i * 7 + slot * 31 + 3) % 13) as f64 * 0.5 - (slot % 3) as f64)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Batch sizes 1..=TILE_K+1: size 1 takes the engine's SpMV path,
+    /// 2..=16 coalesce into one SpMM traversal, and 17 forces a split
+    /// into a full tile plus a single — every grouping the batcher can
+    /// produce under the default `max_batch = TILE_K = 16`.
+    #[test]
+    fn concurrent_submissions_match_sequential_plans_bitwise(
+        rows in 1usize..200,
+        cols in 1usize..200,
+        stride in 1usize..5,
+        per_row in 1usize..7,
+        seed in 0u64..1000,
+        batch in 1usize..18,
+    ) {
+        let dev = device();
+        let a = Arc::new(sprinkled(rows, cols, stride, per_row, seed));
+        let xs: Vec<Vec<f64>> = (0..batch).map(|s| operand(cols, s)).collect();
+
+        // Reference: N sequential executions of one SpmvPlan.
+        let plan = SpmvPlan::new(&dev, &a, &SpmvConfig::default());
+        let mut ws = Workspace::new();
+        let expected: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|x| {
+                let mut y = Vec::new();
+                plan.execute_into(&a, x, &mut y, &mut ws);
+                y
+            })
+            .collect();
+
+        // Engine: N concurrent submissions, one flush.
+        let engine = Engine::new(&dev);
+        prop_assert_eq!(engine.config().max_batch, 16, "suite assumes TILE_K = 16");
+        let tickets: Vec<_> = xs
+            .iter()
+            .map(|x| engine.submit_spmv(&a, x.clone(), None).expect("under depth limit"))
+            .collect();
+        prop_assert_eq!(engine.flush(), batch);
+        for (i, (t, want)) in tickets.into_iter().zip(&expected).enumerate() {
+            let got = engine.take_result(t).expect("flushed request completed");
+            prop_assert_eq!(got.len(), want.len());
+            for (j, (g, w)) in got.iter().zip(want).enumerate() {
+                prop_assert_eq!(
+                    g.to_bits(),
+                    w.to_bits(),
+                    "request {} element {}: batched {} vs sequential {}",
+                    i, j, g, w
+                );
+            }
+        }
+        // Everything resolved: nothing pending, every ticket consumed.
+        prop_assert_eq!(engine.pending_requests(), 0);
+        let stats = engine.stats();
+        prop_assert_eq!(stats.requests, batch as u64);
+        prop_assert_eq!(stats.rejected_overload + stats.rejected_deadline, 0);
+    }
+
+    /// The same equivalence under a deliberately tiny `max_batch`, so the
+    /// batcher's splitting (not just the full-tile path) carries the load.
+    #[test]
+    fn equivalence_survives_forced_batch_splits(
+        rows in 1usize..120,
+        cols in 1usize..120,
+        seed in 0u64..1000,
+        batch in 1usize..12,
+        max_batch in 1usize..5,
+    ) {
+        let dev = device();
+        let a = Arc::new(sprinkled(rows, cols, 2, 4, seed));
+        let xs: Vec<Vec<f64>> = (0..batch).map(|s| operand(cols, s)).collect();
+        let plan = SpmvPlan::new(&dev, &a, &SpmvConfig::default());
+        let mut ws = Workspace::new();
+        let expected: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|x| {
+                let mut y = Vec::new();
+                plan.execute_into(&a, x, &mut y, &mut ws);
+                y
+            })
+            .collect();
+
+        let cfg = EngineConfig { max_batch, ..EngineConfig::default() };
+        let engine = Engine::with_config(&dev, cfg);
+        let tickets: Vec<_> = xs
+            .iter()
+            .map(|x| engine.submit_spmv(&a, x.clone(), None).expect("under depth limit"))
+            .collect();
+        prop_assert_eq!(engine.flush(), batch);
+        for (t, want) in tickets.into_iter().zip(&expected) {
+            let got = engine.take_result(t).expect("completed");
+            let got_bits: Vec<u64> = got.iter().map(|v| v.to_bits()).collect();
+            let want_bits: Vec<u64> = want.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(got_bits, want_bits);
+        }
+        prop_assert_eq!(engine.stats().batches as usize, batch.div_ceil(max_batch));
+    }
+}
