@@ -1,7 +1,7 @@
 //! Submission queues and completion store for SpMV batching.
 //!
-//! Requests are grouped by the matrix's pattern fingerprint: everything in
-//! one queue targets the same matrix, so a flush can interleave up to
+//! Requests are grouped per matrix: everything in one queue targets the
+//! same `Arc<CsrMatrix>` allocation, so a flush can interleave up to
 //! `max_batch` operand vectors into one [`mps_sparse::DenseBlock`] and run
 //! them through a single column-tiled SpMM traversal. The data structures
 //! live here; the drain logic (which needs the plan cache and workspace
@@ -20,6 +20,27 @@ use crate::error::EngineError;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Ticket(pub(crate) u64);
 
+/// Queue identity: the pattern fingerprint plus the address of the matrix
+/// allocation. Two matrices can share a sparsity pattern (and therefore a
+/// cached plan) while holding different values, so batching them through
+/// one queue — which pins a single matrix — would compute with the wrong
+/// values. The address disambiguates: while a queue holds its `Arc`, the
+/// allocation cannot be freed, so equal addresses mean the same matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct QueueKey {
+    pub fingerprint: u64,
+    ptr: usize,
+}
+
+impl QueueKey {
+    pub fn of(fingerprint: u64, matrix: &Arc<CsrMatrix>) -> QueueKey {
+        QueueKey {
+            fingerprint,
+            ptr: Arc::as_ptr(matrix) as usize,
+        }
+    }
+}
+
 pub(crate) struct SpmvRequest {
     pub ticket: Ticket,
     pub x: Vec<f64>,
@@ -27,17 +48,28 @@ pub(crate) struct SpmvRequest {
     pub deadline: Option<Instant>,
 }
 
-/// One per distinct pattern fingerprint with pending work.
+/// One per distinct matrix with pending work.
 pub(crate) struct Queue {
     /// The matrix every pending request multiplies. Kept as an `Arc` so
-    /// the queue works even if the submitter drops its handle pre-flush.
+    /// the queue works even if the submitter drops its handle pre-flush
+    /// (and so the [`QueueKey`] address stays pinned).
     pub matrix: Arc<CsrMatrix>,
     pub pending: VecDeque<SpmvRequest>,
 }
 
+/// A resolved request, stamped with the flush epoch that resolved it so
+/// unclaimed results can be aged out.
+pub(crate) struct Resolved {
+    epoch: u64,
+    pub result: Result<Vec<f64>, EngineError>,
+}
+
 pub(crate) struct Batcher {
-    pub queues: HashMap<u64, Queue>,
-    pub completed: HashMap<Ticket, Result<Vec<f64>, EngineError>>,
+    pub queues: HashMap<QueueKey, Queue>,
+    completed: HashMap<Ticket, Resolved>,
+    /// Number of completed [`crate::Engine::flush`] calls; the age unit
+    /// for [`Batcher::evict_stale`].
+    flush_epoch: u64,
     next_ticket: u64,
 }
 
@@ -46,6 +78,7 @@ impl Batcher {
         Batcher {
             queues: HashMap::new(),
             completed: HashMap::new(),
+            flush_epoch: 0,
             next_ticket: 0,
         }
     }
@@ -59,7 +92,8 @@ impl Batcher {
         deadline: Option<Instant>,
         max_queue_depth: usize,
     ) -> Result<Ticket, EngineError> {
-        let queue = self.queues.entry(fingerprint).or_insert_with(|| Queue {
+        let key = QueueKey::of(fingerprint, matrix);
+        let queue = self.queues.entry(key).or_insert_with(|| Queue {
             matrix: Arc::clone(matrix),
             pending: VecDeque::new(),
         });
@@ -80,9 +114,45 @@ impl Batcher {
         Ok(ticket)
     }
 
-    /// Requests waiting on one fingerprint's queue.
-    pub fn depth(&self, fingerprint: u64) -> usize {
-        self.queues.get(&fingerprint).map_or(0, |q| q.pending.len())
+    /// Record a request's outcome, redeemable via
+    /// [`crate::Engine::take_result`] until aged out.
+    pub fn complete(&mut self, ticket: Ticket, result: Result<Vec<f64>, EngineError>) {
+        self.completed.insert(
+            ticket,
+            Resolved {
+                epoch: self.flush_epoch,
+                result,
+            },
+        );
+    }
+
+    /// Remove and return a resolved request's outcome.
+    pub fn take_completed(&mut self, ticket: Ticket) -> Option<Result<Vec<f64>, EngineError>> {
+        self.completed.remove(&ticket).map(|r| r.result)
+    }
+
+    /// Whether the ticket is still queued (submitted, not yet flushed).
+    pub fn is_pending(&self, ticket: Ticket) -> bool {
+        self.queues
+            .values()
+            .any(|q| q.pending.iter().any(|r| r.ticket == ticket))
+    }
+
+    /// Close out a flush: advance the epoch and drop unclaimed results
+    /// older than `ttl_flushes` flushes, so tickets that are never
+    /// redeemed (dropped by the caller, abandoned waves) cannot grow the
+    /// completed map without bound. Returns the number evicted.
+    pub fn evict_stale(&mut self, ttl_flushes: u64) -> u64 {
+        self.flush_epoch += 1;
+        let cutoff = self.flush_epoch.saturating_sub(ttl_flushes);
+        let before = self.completed.len();
+        self.completed.retain(|_, r| r.epoch >= cutoff);
+        (before - self.completed.len()) as u64
+    }
+
+    /// Requests waiting on one queue.
+    pub fn depth(&self, key: QueueKey) -> usize {
+        self.queues.get(&key).map_or(0, |q| q.pending.len())
     }
 
     /// Total requests waiting across all queues.

@@ -16,8 +16,12 @@ pub enum EngineError {
     },
     /// The request's deadline passed before a flush could execute it.
     DeadlineExceeded,
-    /// No pending or completed request matches the ticket — either it was
-    /// never issued, or its result was already taken.
+    /// The ticket is still queued: it was submitted but no
+    /// [`crate::Engine::flush`] has resolved it yet. Flush, then redeem.
+    NotReady(u64),
+    /// No pending or completed request matches the ticket — it was never
+    /// issued, its result was already taken, or its unclaimed result was
+    /// evicted after [`crate::EngineConfig::result_ttl_flushes`] flushes.
     UnknownTicket(u64),
 }
 
@@ -33,6 +37,9 @@ impl std::fmt::Display for EngineError {
                 "queue for pattern {fingerprint:#018x} is full ({queue_depth}/{limit})"
             ),
             EngineError::DeadlineExceeded => write!(f, "request deadline exceeded before flush"),
+            EngineError::NotReady(t) => {
+                write!(f, "ticket {t} is still queued; flush before redeeming")
+            }
             EngineError::UnknownTicket(t) => write!(f, "unknown or already-consumed ticket {t}"),
         }
     }

@@ -14,7 +14,9 @@
 //!   the pool's recorded high-water marks, keeping steady-state serving
 //!   zero-alloc.
 //! * **Batcher** — concurrent SpMV submissions on the same matrix are
-//!   queued per fingerprint and coalesced, up to
+//!   queued per matrix (pattern fingerprint plus `Arc` identity, so
+//!   same-pattern matrices with different values never share a queue)
+//!   and coalesced, up to
 //!   [`EngineConfig::max_batch`] at a time, into a single column-tiled
 //!   [`SpmmPlan`] traversal; the result columns are split back to the
 //!   submitters. Because the tiled SpMM computes each output column in
@@ -60,6 +62,7 @@ pub use cache::{CachedPlan, PlanKey};
 pub use error::EngineError;
 pub use stats::EngineStats;
 
+use std::collections::HashMap;
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
@@ -72,7 +75,7 @@ use mps_core::{
 use mps_simt::Device;
 use mps_sparse::{CsrMatrix, DenseBlock};
 
-use batch::{Batcher, SpmvRequest};
+use batch::{Batcher, QueueKey, SpmvRequest};
 use cache::PlanCache;
 use pool::WorkspacePool;
 
@@ -91,6 +94,12 @@ pub struct EngineConfig {
     /// traversal (defaults to the SpMM column tile width, so a full batch
     /// is exactly one reduction+update launch pair).
     pub max_batch: usize,
+    /// Unclaimed results (and deadline expiries) are dropped from the
+    /// completion store once this many flushes have run after the one
+    /// that resolved them, counted in [`EngineStats::results_evicted`].
+    /// Bounds the store's growth when callers drop tickets without
+    /// redeeming them.
+    pub result_ttl_flushes: u64,
     pub spmv: SpmvConfig,
     pub spmm: SpmmConfig,
     pub spadd: SpAddConfig,
@@ -104,6 +113,7 @@ impl Default for EngineConfig {
             plan_capacity: 32,
             max_queue_depth: 64,
             max_batch: spmm.tile(),
+            result_ttl_flushes: 1024,
             spmv: SpmvConfig::default(),
             spmm,
             spadd: SpAddConfig::default(),
@@ -117,10 +127,13 @@ struct Inner {
     pool: WorkspacePool,
     batcher: Batcher,
     stats: EngineStats,
-    /// Memoized fingerprints of matrices seen on the submit path, matched
-    /// by `Arc` identity so the O(nnz) hash is paid once per matrix, not
-    /// once per request.
-    fp_memo: Vec<(Weak<CsrMatrix>, u64)>,
+    /// Memoized fingerprints of matrices seen on the submit path, indexed
+    /// by `Arc` address so the O(nnz) hash is paid once per matrix and
+    /// steady-state lookups are O(1). The held `Weak` pins the allocation
+    /// (an `Arc`'s storage outlives its last `Weak`), so a live address
+    /// can never be reused by a different matrix; a failed upgrade marks
+    /// the entry stale.
+    fp_memo: HashMap<usize, (Weak<CsrMatrix>, u64)>,
     /// Reusable operand/result blocks for batched flushes (capacity
     /// survives between batches).
     scratch_x: DenseBlock,
@@ -129,16 +142,15 @@ struct Inner {
 
 impl Inner {
     fn fingerprint_of(&mut self, a: &Arc<CsrMatrix>) -> u64 {
-        for (w, fp) in &self.fp_memo {
-            if let Some(live) = w.upgrade() {
-                if Arc::ptr_eq(&live, a) {
-                    return *fp;
-                }
+        let ptr = Arc::as_ptr(a) as usize;
+        if let Some((w, fp)) = self.fp_memo.get(&ptr) {
+            if w.strong_count() > 0 {
+                return *fp;
             }
         }
         let fp = a.pattern_fingerprint();
-        self.fp_memo.retain(|(w, _)| w.strong_count() > 0);
-        self.fp_memo.push((Arc::downgrade(a), fp));
+        self.fp_memo.retain(|_, (w, _)| w.strong_count() > 0);
+        self.fp_memo.insert(ptr, (Arc::downgrade(a), fp));
         fp
     }
 
@@ -173,6 +185,10 @@ impl Engine {
             cfg.max_queue_depth >= 1,
             "max_queue_depth must be at least 1"
         );
+        assert!(
+            cfg.result_ttl_flushes >= 1,
+            "result_ttl_flushes must be at least 1"
+        );
         assert_eq!(
             cfg.spmv.nv(),
             cfg.spmm.nv(),
@@ -185,7 +201,7 @@ impl Engine {
                 pool: WorkspacePool::new(),
                 batcher: Batcher::new(),
                 stats: EngineStats::default(),
-                fp_memo: Vec::new(),
+                fp_memo: HashMap::new(),
                 scratch_x: DenseBlock::zeros(0, 0),
                 scratch_y: DenseBlock::zeros(0, 0),
             }),
@@ -366,6 +382,11 @@ impl Engine {
 
     /// Queue an SpMV request on `a` for the next [`Engine::flush`].
     ///
+    /// Requests queue per matrix — the pattern fingerprint picks the
+    /// cached plan, but the queue additionally keys on the `Arc` identity
+    /// so two matrices sharing a sparsity pattern with different values
+    /// are never coalesced into one traversal.
+    ///
     /// `deadline`, when given, is relative to now; a request still queued
     /// when its deadline passes resolves to
     /// [`EngineError::DeadlineExceeded`] instead of a result. Submissions
@@ -401,11 +422,11 @@ impl Engine {
         self.inner.lock().batcher.total_pending()
     }
 
-    /// Requests currently queued behind one matrix's pattern fingerprint.
+    /// Requests currently queued behind one matrix.
     pub fn queue_depth(&self, a: &Arc<CsrMatrix>) -> usize {
         let mut inner = self.inner.lock();
         let fp = inner.fingerprint_of(a);
-        inner.batcher.depth(fp)
+        inner.batcher.depth(QueueKey::of(fp, a))
     }
 
     /// Drain every submission queue, coalescing groups of up to
@@ -419,14 +440,14 @@ impl Engine {
         let inner = &mut *guard;
         let now = Instant::now();
         let mut resolved = 0usize;
-        let fps: Vec<u64> = inner.batcher.queues.keys().copied().collect();
-        for fp in fps {
+        let keys: Vec<QueueKey> = inner.batcher.queues.keys().copied().collect();
+        for key in keys {
             loop {
                 let queue = inner
                     .batcher
                     .queues
-                    .get_mut(&fp)
-                    .expect("queue present for listed fingerprint");
+                    .get_mut(&key)
+                    .expect("queue present for listed key");
                 let matrix = Arc::clone(&queue.matrix);
                 let mut group: Vec<SpmvRequest> = Vec::new();
                 let mut expired: Vec<Ticket> = Vec::new();
@@ -446,30 +467,38 @@ impl Engine {
                     inner.stats.rejected_deadline += 1;
                     inner
                         .batcher
-                        .completed
-                        .insert(t, Err(EngineError::DeadlineExceeded));
+                        .complete(t, Err(EngineError::DeadlineExceeded));
                     resolved += 1;
                 }
                 if group.is_empty() {
                     break;
                 }
                 resolved += group.len();
-                execute_group(&self.device, &self.cfg, inner, fp, &matrix, group);
+                execute_group(
+                    &self.device,
+                    &self.cfg,
+                    inner,
+                    key.fingerprint,
+                    &matrix,
+                    group,
+                );
             }
         }
         inner.batcher.queues.retain(|_, q| !q.pending.is_empty());
+        inner.stats.results_evicted += inner.batcher.evict_stale(self.cfg.result_ttl_flushes);
         resolved
     }
 
     /// Redeem a ticket issued by [`Engine::submit_spmv`]. Each ticket is
-    /// redeemable once, after the flush that resolved it.
+    /// redeemable once, after the flush that resolved it; a ticket still
+    /// waiting for a flush returns [`EngineError::NotReady`].
     pub fn take_result(&self, ticket: Ticket) -> Result<Vec<f64>, EngineError> {
-        self.inner
-            .lock()
-            .batcher
-            .completed
-            .remove(&ticket)
-            .unwrap_or(Err(EngineError::UnknownTicket(ticket.0)))
+        let mut inner = self.inner.lock();
+        match inner.batcher.take_completed(ticket) {
+            Some(result) => result,
+            None if inner.batcher.is_pending(ticket) => Err(EngineError::NotReady(ticket.0)),
+            None => Err(EngineError::UnknownTicket(ticket.0)),
+        }
     }
 }
 
@@ -558,7 +587,7 @@ fn execute_group(
         inner.stats.exec_sim_ms += ms;
         inner.stats.totals.add(&plan.reduction_stats().totals);
         inner.stats.totals.add(&plan.update_stats().totals);
-        inner.batcher.completed.insert(req.ticket, Ok(y));
+        inner.batcher.complete(req.ticket, Ok(y));
         return;
     }
     let plan = spmm_plan_locked(device, cfg, inner, fp, matrix, k);
@@ -573,10 +602,8 @@ fn execute_group(
     inner.stats.totals.add(&plan.reduction_stats().totals);
     inner.stats.totals.add(&plan.update_stats().totals);
     for (c, req) in group.into_iter().enumerate() {
-        inner
-            .batcher
-            .completed
-            .insert(req.ticket, Ok(inner.scratch_y.column(c)));
+        let y = inner.scratch_y.column(c);
+        inner.batcher.complete(req.ticket, Ok(y));
     }
 }
 
@@ -721,6 +748,67 @@ mod tests {
             .expect("admitted");
         e.flush();
         assert!(e.take_result(t).is_ok());
+        assert_eq!(e.take_result(t), Err(EngineError::UnknownTicket(t.0)));
+    }
+
+    #[test]
+    fn same_pattern_different_values_never_share_a_batch() {
+        // Reviewer repro: identity(4) and 2*identity(4) share a sparsity
+        // pattern (and a cached plan) but must not share a queue, or the
+        // second submission computes with the first matrix's values.
+        let e = Engine::new(&device());
+        let a = Arc::new(CsrMatrix::identity(4));
+        let mut doubled = CsrMatrix::identity(4);
+        doubled.values = vec![2.0; 4];
+        let b = Arc::new(doubled);
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let ta = e.submit_spmv(&a, x.clone(), None).expect("admitted");
+        let tb = e.submit_spmv(&b, x.clone(), None).expect("admitted");
+        assert_eq!(e.queue_depth(&a), 1);
+        assert_eq!(e.queue_depth(&b), 1);
+        assert_eq!(e.flush(), 2);
+        assert_eq!(e.take_result(ta).expect("a result"), x);
+        assert_eq!(
+            e.take_result(tb).expect("b result"),
+            vec![2.0, 4.0, 6.0, 8.0]
+        );
+        // Distinct queues → two single-request batches, one shared plan.
+        let s = e.stats();
+        assert_eq!(s.batches, 2);
+        assert_eq!((s.cache_misses, s.cache_hits), (1, 1));
+    }
+
+    #[test]
+    fn pending_ticket_is_not_ready_until_flushed() {
+        let e = Engine::new(&device());
+        let a = matrix();
+        let t = e
+            .submit_spmv(&a, operand(a.num_cols, 1), None)
+            .expect("admitted");
+        assert_eq!(e.take_result(t), Err(EngineError::NotReady(t.0)));
+        e.flush();
+        assert!(e.take_result(t).is_ok());
+    }
+
+    #[test]
+    fn unclaimed_results_age_out_of_completion_store() {
+        let cfg = EngineConfig {
+            result_ttl_flushes: 2,
+            ..EngineConfig::default()
+        };
+        let e = Engine::with_config(&device(), cfg);
+        let a = matrix();
+        let t = e
+            .submit_spmv(&a, operand(a.num_cols, 1), None)
+            .expect("admitted");
+        assert_eq!(e.flush(), 1);
+        // The unclaimed result stays redeemable until `result_ttl_flushes`
+        // further flushes have completed…
+        e.flush();
+        assert_eq!(e.stats().results_evicted, 0);
+        // …then ages out.
+        e.flush();
+        assert_eq!(e.stats().results_evicted, 1);
         assert_eq!(e.take_result(t), Err(EngineError::UnknownTicket(t.0)));
     }
 

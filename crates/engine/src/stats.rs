@@ -32,6 +32,9 @@ pub struct EngineStats {
     /// Requests that missed their deadline
     /// ([`crate::EngineError::DeadlineExceeded`]).
     pub rejected_deadline: u64,
+    /// Unclaimed results dropped from the completion store after
+    /// outliving [`crate::EngineConfig::result_ttl_flushes`] flushes.
+    pub results_evicted: u64,
     /// Simulated milliseconds charged at plan-build time (partition and
     /// other structure phases) — paid once per cache miss.
     pub plan_build_sim_ms: f64,
@@ -97,8 +100,8 @@ impl EngineStats {
             100.0 * self.pool_reuse_rate(),
         ));
         out.push_str(&format!(
-            "requests      {} completed, {} rejected (overload), {} expired (deadline)\n",
-            self.requests, self.rejected_overload, self.rejected_deadline,
+            "requests      {} completed, {} rejected (overload), {} expired (deadline), {} unclaimed aged out\n",
+            self.requests, self.rejected_overload, self.rejected_deadline, self.results_evicted,
         ));
         let hist: Vec<String> = self
             .batch_histogram
