@@ -7,6 +7,7 @@
 //! mps spadd a.mtx b.mtx [-o sum.mtx]
 //! mps spgemm a.mtx b.mtx [-o prod.mtx]
 //! mps reorder a.mtx -o rcm.mtx        # RCM bandwidth reduction
+//! mps trace a.mtx                      # phase-attributed kernel breakdown
 //! ```
 //!
 //! Simulated device timings and correlations print to stdout; matrices
@@ -16,6 +17,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use mps_baselines::{cusp, cusparse_like};
+use mps_bench::trace_exp;
 use mps_core::{merge_spadd, merge_spgemm, merge_spmv, SpAddConfig, SpgemmConfig, SpmvConfig};
 use mps_simt::Device;
 use mps_sparse::io::{load_matrix_market, write_matrix_market};
@@ -25,7 +27,7 @@ use mps_sparse::suite::SuiteMatrix;
 use mps_sparse::CsrMatrix;
 
 fn usage() -> &'static str {
-    "usage:\n  mps info <matrix.mtx>\n  mps generate <suite-name> [--scale X] -o <out.mtx>\n  mps spmv <a.mtx>\n  mps spadd <a.mtx> <b.mtx> [-o <out.mtx>]\n  mps spgemm <a.mtx> <b.mtx> [-o <out.mtx>]\n  mps reorder <a.mtx> -o <out.mtx>\n\nsuite names: dense protein spheres cantilever wind harbor qcd ship\n             economics epidemiology accelerator circuit webbase lp"
+    "usage:\n  mps info <matrix.mtx>\n  mps generate <suite-name> [--scale X] -o <out.mtx>\n  mps spmv <a.mtx>\n  mps spadd <a.mtx> <b.mtx> [-o <out.mtx>]\n  mps spgemm <a.mtx> <b.mtx> [-o <out.mtx>]\n  mps reorder <a.mtx> -o <out.mtx>\n  mps trace <a.mtx | suite-name> [--scale X]\n\nsuite names: dense protein spheres cantilever wind harbor qcd ship\n             economics epidemiology accelerator circuit webbase lp"
 }
 
 fn load(path: &str) -> Result<CsrMatrix, String> {
@@ -170,6 +172,32 @@ fn run() -> Result<(), String> {
             }
             if let Some(out) = p.out {
                 save(out.to_str().ok_or("bad output path")?, &r.c)?;
+            }
+        }
+        "trace" => {
+            let arg = p.positional.first().ok_or(usage())?;
+            let a = match load(arg) {
+                Ok(m) => m,
+                Err(load_err) => suite_by_name(arg)
+                    .map(|s| s.generate(p.scale))
+                    .ok_or(load_err)?,
+            };
+            print_stats(arg, &a);
+            let b = if a.num_rows == a.num_cols {
+                a.clone()
+            } else {
+                a.transpose()
+            };
+            let runs = [
+                trace_exp::trace_spmv("A", &a),
+                trace_exp::trace_spmm("A", &a, 8),
+                trace_exp::trace_spadd("A", &a),
+                trace_exp::trace_spgemm("A", &a, &b),
+            ];
+            for r in &runs {
+                println!();
+                println!("== {} ({:.4} ms simulated) ==", r.kernel, r.total_ms());
+                print!("{}", r.report.render());
             }
         }
         "reorder" => {

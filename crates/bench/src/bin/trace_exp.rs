@@ -1,0 +1,25 @@
+//! Phase-attribution experiment driver: traces all four core kernels over
+//! the Table II suite and writes the per-kernel phase breakdown to
+//! `BENCH_phases.json` at the repository root. `--tiny` runs a fast smoke
+//! configuration (used by CI) and writes the artifact from it.
+
+use std::path::Path;
+
+use mps_bench::trace_exp;
+use mps_bench::{DEFAULT_SCALE, DEFAULT_SPGEMM_SCALE};
+
+fn main() {
+    let tiny = std::env::args().any(|a| a == "--tiny");
+    let rows = if tiny {
+        trace_exp::run(0.01, 0.005, 4)
+    } else {
+        trace_exp::run(DEFAULT_SCALE, DEFAULT_SPGEMM_SCALE, 8)
+    };
+    println!("{}", trace_exp::render(&rows));
+    let json = trace_exp::to_json(&rows);
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_phases.json");
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(e) => eprintln!("could not write {}: {e}", out.display()),
+    }
+}

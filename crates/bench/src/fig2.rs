@@ -70,13 +70,13 @@ pub fn run(device: &Device, sizes: &[usize]) -> Vec<UnionPoint> {
         out.push(UnionPoint {
             variant: "pairs-32",
             inputs: n,
-            minputs_per_sec: throughput(n, s.sim_ms),
+            minputs_per_sec: throughput(n, s.sim_ms()),
         });
         let (_, _, s) = set_op_pairs(device, SetOp::Union, &a64, &av, &b64, &bv, |x, y| x + y, NV);
         out.push(UnionPoint {
             variant: "pairs-64",
             inputs: n,
-            minputs_per_sec: throughput(n, s.sim_ms),
+            minputs_per_sec: throughput(n, s.sim_ms()),
         });
     }
     out

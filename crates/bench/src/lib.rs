@@ -16,6 +16,7 @@
 //! | solver layer | [`solver_exp`] | solver sim_ms + measured host wall-clock, plan-vs-per-call |
 //! | SpMM layer | [`spmm_exp`] | tiled SpMM vs K repeated planned SpMVs (sim + host) |
 //! | serving layer | [`serve_exp`] | batched vs unbatched SpMV serving through the engine |
+//! | phase breakdown | [`trace_exp`] | per-kernel phase-attributed time over the suite |
 //!
 //! All experiments are deterministic: simulated device time is a pure
 //! function of the generated workloads.
@@ -31,6 +32,7 @@ pub mod spmm_exp;
 pub mod spmv_exp;
 pub mod stats;
 pub mod tables;
+pub mod trace_exp;
 
 /// Default generation scale for SpMV/SpAdd experiments (fraction of the
 /// paper's matrix dimensions).

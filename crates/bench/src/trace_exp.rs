@@ -1,0 +1,285 @@
+//! Phase-attribution experiment: where does simulated device time go?
+//!
+//! For every matrix of the Table II suite, each of the four core kernels
+//! runs on its own tracing device; the tracer's phase-attributed records
+//! aggregate into a [`PhaseReport`] per `(matrix, kernel)` pair. The
+//! breakdown is the simulation's analogue of the paper's per-phase
+//! figures (the SpGEMM phase legend of Figure 11 especially): every
+//! kernel's time splits across its named phases, and the per-phase
+//! fractions sum to one.
+//!
+//! Kernel → phase taxonomy:
+//! * `spmv` — Partition, Empty-Row Fixup (when rows are compacted),
+//!   Reduction, Update;
+//! * `spmm` — Partition, Empty-Row Fixup, Tile Traversal;
+//! * `spadd` — Expand, Partition, Count, Fill;
+//! * `spgemm` — the paper's six: Setup, Block Sort, Global Sort,
+//!   Product Compute, Product Reduce, Other.
+//!
+//! Results serialize to `BENCH_phases.json`.
+
+use mps_core::{
+    merge_spadd, merge_spgemm, merge_spmm, merge_spmv, SpAddConfig, SpgemmConfig, SpmmConfig,
+    SpmvConfig,
+};
+use mps_simt::{Device, Phase, PhaseReport};
+use mps_sparse::{suite::SuiteMatrix, CsrMatrix, DenseBlock};
+
+/// The four traced kernels, in report order.
+pub const KERNELS: [&str; 4] = ["spmv", "spmm", "spadd", "spgemm"];
+
+/// Phase breakdown of one kernel on one suite matrix.
+#[derive(Debug, Clone)]
+pub struct TraceRow {
+    pub matrix: &'static str,
+    pub kernel: &'static str,
+    pub n: usize,
+    pub nnz: usize,
+    pub report: PhaseReport,
+}
+
+impl TraceRow {
+    pub fn total_ms(&self) -> f64 {
+        self.report.total_ms()
+    }
+
+    /// `(phase name, fraction of this kernel's time)` — sums to 1.
+    pub fn fractions(&self) -> Vec<(&'static str, f64)> {
+        self.report.fractions()
+    }
+}
+
+fn traced() -> Device {
+    Device::titan().with_tracing()
+}
+
+fn finish(matrix: &'static str, kernel: &'static str, a: &CsrMatrix, dev: &Device) -> TraceRow {
+    let tracer = dev.tracer.as_ref().expect("tracing enabled");
+    TraceRow {
+        matrix,
+        kernel,
+        n: a.num_rows,
+        nnz: a.nnz(),
+        report: tracer.phase_report(),
+    }
+}
+
+fn operand(n: usize) -> Vec<f64> {
+    (0..n).map(|i| 1.0 + (i % 13) as f64 * 0.25).collect()
+}
+
+pub fn trace_spmv(matrix: &'static str, a: &CsrMatrix) -> TraceRow {
+    let dev = traced();
+    merge_spmv(&dev, a, &operand(a.num_cols), &SpmvConfig::default());
+    finish(matrix, "spmv", a, &dev)
+}
+
+pub fn trace_spmm(matrix: &'static str, a: &CsrMatrix, k: usize) -> TraceRow {
+    let dev = traced();
+    let x = DenseBlock::from_fn(a.num_cols, k, |r, c| 1.0 + ((r * 3 + c) % 11) as f64 * 0.5);
+    merge_spmm(&dev, a, &x, &SpmmConfig::default());
+    finish(matrix, "spmm", a, &dev)
+}
+
+pub fn trace_spadd(matrix: &'static str, a: &CsrMatrix) -> TraceRow {
+    let dev = traced();
+    merge_spadd(&dev, a, a, &SpAddConfig::default());
+    finish(matrix, "spadd", a, &dev)
+}
+
+pub fn trace_spgemm(matrix: &'static str, a: &CsrMatrix, b: &CsrMatrix) -> TraceRow {
+    let dev = traced();
+    merge_spgemm(&dev, a, b, &SpgemmConfig::default());
+    finish(matrix, "spgemm", a, &dev)
+}
+
+/// Trace all four kernels over the suite. SpMV/SpMM/SpAdd share operands
+/// generated at `scale`; SpGEMM uses `spgemm_scale` (products grow
+/// quadratically). `k` is the SpMM operand width.
+pub fn run(scale: f64, spgemm_scale: f64, k: usize) -> Vec<TraceRow> {
+    let mut rows = Vec::new();
+    for &m in SuiteMatrix::ALL.iter() {
+        let a = m.generate(scale);
+        rows.push(trace_spmv(m.name(), &a));
+        rows.push(trace_spmm(m.name(), &a, k));
+        rows.push(trace_spadd(m.name(), &a));
+        let (ga, gb) = m.spgemm_operands(spgemm_scale);
+        rows.push(trace_spgemm(m.name(), &ga, &gb));
+    }
+    rows
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.9}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Hand-rolled JSON for `BENCH_phases.json` (no serde in the tree).
+pub fn to_json(rows: &[TraceRow]) -> String {
+    let mut out = String::from("{\n  \"phase_breakdown\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let phases: Vec<String> = r
+            .report
+            .entries()
+            .iter()
+            .map(|e| {
+                format!(
+                    "\"{}\": {{\"launches\": {}, \"sim_ms\": {}, \"fraction\": {}, \"dram_gb\": {}}}",
+                    e.phase.as_str(),
+                    e.launches,
+                    json_f(e.sim_ms),
+                    json_f(e.fraction),
+                    json_f(e.dram_gb),
+                )
+            })
+            .collect();
+        out.push_str(&format!(
+            "    {{\"matrix\": \"{}\", \"kernel\": \"{}\", \"n\": {}, \"nnz\": {}, \
+             \"total_ms\": {}, \"phases\": {{{}}}}}{}\n",
+            r.matrix,
+            r.kernel,
+            r.n,
+            r.nnz,
+            json_f(r.total_ms()),
+            phases.join(", "),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Render one kernel's suite-wide fraction table: one row per matrix, one
+/// column per phase the kernel exercised anywhere in the suite (in
+/// [`Phase::ALL`] order), cells in percent of that run's time.
+pub fn render_kernel(rows: &[TraceRow], kernel: &str) -> String {
+    let rows: Vec<&TraceRow> = rows.iter().filter(|r| r.kernel == kernel).collect();
+    let phases: Vec<Phase> = Phase::ALL
+        .iter()
+        .copied()
+        .filter(|&p| {
+            rows.iter()
+                .any(|r| r.report.entries().iter().any(|e| e.phase == p))
+        })
+        .collect();
+    let mut header: Vec<&str> = vec!["matrix", "total_ms"];
+    header.extend(phases.iter().map(|p| p.as_str()));
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut cells = vec![r.matrix.to_string(), format!("{:.4}", r.total_ms())];
+            for &p in &phases {
+                let frac = r
+                    .report
+                    .entries()
+                    .iter()
+                    .find(|e| e.phase == p)
+                    .map_or(0.0, |e| e.fraction);
+                cells.push(format!("{:.1}%", 100.0 * frac));
+            }
+            cells
+        })
+        .collect();
+    crate::render_table(&header, &data)
+}
+
+/// Render every kernel's table, titled.
+pub fn render(rows: &[TraceRow]) -> String {
+    let mut out = String::new();
+    for kernel in KERNELS {
+        out.push_str(&format!("== {kernel} phase fractions ==\n"));
+        out.push_str(&render_kernel(rows, kernel));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCALE: f64 = 0.01;
+    const GEMM_SCALE: f64 = 0.005;
+
+    #[test]
+    fn every_kernel_is_traced_for_every_suite_matrix() {
+        let rows = run(SCALE, GEMM_SCALE, 4);
+        assert_eq!(rows.len(), SuiteMatrix::ALL.len() * KERNELS.len());
+        for kernel in KERNELS {
+            assert_eq!(
+                rows.iter().filter(|r| r.kernel == kernel).count(),
+                SuiteMatrix::ALL.len()
+            );
+        }
+        for r in &rows {
+            assert!(
+                r.total_ms() > 0.0,
+                "{} {} traced no time",
+                r.matrix,
+                r.kernel
+            );
+        }
+    }
+
+    #[test]
+    fn fractions_sum_to_one_per_kernel_run() {
+        let rows = run(SCALE, GEMM_SCALE, 4);
+        for r in &rows {
+            let sum: f64 = r.fractions().iter().map(|(_, f)| f).sum();
+            assert!(
+                (sum - 1.0).abs() < 1e-6,
+                "{} {}: fractions sum to {sum}",
+                r.matrix,
+                r.kernel
+            );
+        }
+    }
+
+    #[test]
+    fn spgemm_reports_exactly_the_papers_six_phases() {
+        let rows = run(SCALE, GEMM_SCALE, 4);
+        for r in rows.iter().filter(|r| r.kernel == "spgemm") {
+            let names: Vec<&str> = r.fractions().iter().map(|(n, _)| *n).collect();
+            assert_eq!(
+                names,
+                vec![
+                    "Setup",
+                    "Block Sort",
+                    "Global Sort",
+                    "Product Compute",
+                    "Product Reduce",
+                    "Other"
+                ],
+                "{}",
+                r.matrix
+            );
+        }
+    }
+
+    #[test]
+    fn phase_sums_match_the_tracer_total() {
+        let a = SuiteMatrix::Qcd.generate(SCALE);
+        let dev = traced();
+        merge_spmv(&dev, &a, &operand(a.num_cols), &SpmvConfig::default());
+        let tracer = dev.tracer.as_ref().expect("tracing enabled");
+        let report = tracer.phase_report();
+        assert!((report.total_ms() - tracer.total_ms()).abs() < 1e-9);
+        assert!(report.total_ms() > 0.0);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let rows = run(0.005, 0.003, 2);
+        let j = to_json(&rows);
+        assert!(j.starts_with('{') && j.trim_end().ends_with('}'));
+        assert_eq!(j.matches("\"kernel\":").count(), rows.len());
+        assert!(!j.contains("NaN") && !j.contains("inf"));
+        let t = render(&rows);
+        for kernel in KERNELS {
+            assert!(t.contains(&format!("== {kernel} phase fractions ==")));
+        }
+    }
+}

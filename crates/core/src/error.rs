@@ -1,0 +1,58 @@
+//! Typed plan-construction errors.
+//!
+//! The planning constructors historically asserted on dimension mismatch.
+//! The `try_new` variants return these errors instead; the panicking
+//! `new` paths remain as thin wrappers whose messages are the `Display`
+//! text below (so existing `should_panic` expectations keep holding).
+
+/// Why a plan could not be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// SpAdd operands have different shapes.
+    ShapeMismatch {
+        left: (usize, usize),
+        right: (usize, usize),
+    },
+    /// SpGEMM operands' inner dimensions disagree.
+    InnerDimMismatch { a_cols: usize, b_rows: usize },
+    /// A kernel configuration value is out of range.
+    InvalidConfig(&'static str),
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::ShapeMismatch { left, right } => write!(
+                f,
+                "SpAdd operands must have identical shape: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            PlanError::InnerDimMismatch { a_cols, b_rows } => write!(
+                f,
+                "inner dimensions must agree: A has {a_cols} columns, B has {b_rows} rows"
+            ),
+            PlanError::InvalidConfig(what) => write!(f, "invalid plan configuration: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_preserves_the_legacy_assert_messages() {
+        let shape = PlanError::ShapeMismatch {
+            left: (2, 2),
+            right: (2, 3),
+        };
+        assert!(shape.to_string().contains("identical shape"));
+        let inner = PlanError::InnerDimMismatch {
+            a_cols: 2,
+            b_rows: 1,
+        };
+        assert!(inner.to_string().contains("inner dimensions must agree"));
+    }
+}

@@ -22,6 +22,7 @@
 
 pub mod assemble;
 pub mod config;
+pub mod error;
 pub mod partition;
 pub mod spadd;
 pub mod spgemm;
@@ -30,6 +31,7 @@ pub mod spmv;
 pub mod workspace;
 
 pub use config::{SpAddConfig, SpgemmConfig, SpmmConfig, SpmvConfig};
+pub use error::PlanError;
 pub use partition::MergePartition;
 pub use spadd::{merge_spadd, SpAddPlan, SpAddResult};
 pub use spgemm::adaptive::{adaptive_spgemm, segmented_spgemm, AdaptivePolicy, PipelineChoice};

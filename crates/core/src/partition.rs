@@ -12,8 +12,8 @@
 //! column tile of a dense multi-vector block.
 
 use mps_simt::block::binary_search_partition;
-use mps_simt::grid::{launch_map_named, LaunchConfig, LaunchStats};
-use mps_simt::Device;
+use mps_simt::grid::{launch_map_phased, LaunchConfig, LaunchStats};
+use mps_simt::{Device, Phase};
 use mps_sparse::CsrMatrix;
 
 /// The merge-path partition of one CSR matrix at a fixed tile size:
@@ -34,8 +34,11 @@ pub struct MergePartition {
     pub row_ids: Option<Vec<u32>>,
     /// Per-CTA starting rows (the paper's auxiliary buffer S).
     pub s: Vec<usize>,
-    /// Cost of the partition (and compaction) phase, paid once at build.
+    /// Cost of the partition boundary searches, paid once at build.
     pub stats: LaunchStats,
+    /// Cost of the adaptive empty-row compaction pass (zero when the raw
+    /// path ran). Kept separate so phase reports can attribute it.
+    pub fixup: LaunchStats,
 }
 
 impl MergePartition {
@@ -58,6 +61,7 @@ impl MergePartition {
                 row_ids: None,
                 s: Vec::new(),
                 stats: LaunchStats::default(),
+                fixup: LaunchStats::default(),
             };
         }
 
@@ -75,22 +79,48 @@ impl MergePartition {
         let logical_rows = offsets.len() - 1;
         let num_ctas = nnz.div_ceil(nv);
 
+        // The compaction pass streams the raw offsets, flags non-empties,
+        // scans, and scatters the surviving offsets/ids — one coalesced
+        // sweep over the physical rows, charged as a real kernel so the
+        // trace attributes it to the empty-row fixup phase.
+        let fixup = if compacted {
+            let rows = a.num_rows + 1;
+            let per_cta = 128 * 8;
+            let cfg_fix = LaunchConfig::cover(rows, per_cta, 128);
+            let survivors_per_cta = logical_rows.div_ceil(cfg_fix.grid_dim.max(1));
+            let (_, fix_stats) = launch_map_phased(
+                device,
+                "row_compaction",
+                Phase::EmptyRowFixup,
+                cfg_fix,
+                |cta| {
+                    let lo = cta.cta_id * per_cta;
+                    let hi = (lo + per_cta).min(rows);
+                    let span = hi.saturating_sub(lo);
+                    cta.read_coalesced(span, 8);
+                    cta.alu(2 * span as u64);
+                    cta.write_coalesced(survivors_per_cta.min(span), 12);
+                },
+            );
+            fix_stats
+        } else {
+            LaunchStats::default()
+        };
+
         // One boundary search per CTA; S[i] = row containing nonzero i*nv.
         let offsets_ref = &offsets;
         let cfg_part = LaunchConfig::new(num_ctas + 1, 64);
-        let (s, mut stats) = launch_map_named(device, "spmv_partition", cfg_part, |cta| {
-            let item = (cta.cta_id * nv).min(nnz.saturating_sub(1));
-            cta.read_coalesced(2 * usize::BITS as usize, 8);
-            binary_search_partition(cta, offsets_ref, item)
-        });
-        if compacted {
-            // Charge the compaction pass: stream offsets, flag non-empties,
-            // scan, scatter the surviving offsets/ids.
-            stats.totals.dram_read_bytes += (a.num_rows as u64 + 1) * 8;
-            stats.totals.dram_write_bytes += (logical_rows as u64) * 12;
-            stats.totals.dram_transactions +=
-                ((a.num_rows as u64 + 1) * 8 + logical_rows as u64 * 12) / 128 + 1;
-        }
+        let (s, stats) = launch_map_phased(
+            device,
+            "spmv_partition",
+            Phase::Partition,
+            cfg_part,
+            |cta| {
+                let item = (cta.cta_id * nv).min(nnz.saturating_sub(1));
+                cta.read_coalesced(2 * usize::BITS as usize, 8);
+                binary_search_partition(cta, offsets_ref, item)
+            },
+        );
 
         MergePartition {
             nnz,
@@ -100,7 +130,13 @@ impl MergePartition {
             row_ids,
             s,
             stats,
+            fixup,
         }
+    }
+
+    /// Simulated milliseconds of the whole build (searches + compaction).
+    pub fn build_sim_ms(&self) -> f64 {
+        self.stats.sim_ms + self.fixup.sim_ms
     }
 
     /// Whether the adaptive empty-row compaction path ran.

@@ -19,13 +19,14 @@
 
 use rayon::prelude::*;
 
-use mps_merge::set_ops::{set_op_pairs, SetOp};
-use mps_simt::grid::{launch_map_named, LaunchConfig, LaunchStats};
-use mps_simt::Device;
+use mps_merge::set_ops::{set_op_pairs, SetOp, SetOpStats};
+use mps_simt::grid::{launch_map_phased, LaunchConfig, LaunchStats};
+use mps_simt::{Device, Phase};
 use mps_sparse::{pack_key, CsrMatrix};
 
 use crate::assemble;
 use crate::config::SpAddConfig;
+use crate::error::PlanError;
 
 /// Result of a balanced-path SpAdd.
 #[derive(Debug, Clone)]
@@ -84,7 +85,7 @@ fn expand_keys(device: &Device, m: &CsrMatrix, nv: usize) -> (Vec<u64>, LaunchSt
     let num_ctas = nnz.div_ceil(nv).max(1);
     let keys = expand_keys_host(m, nv);
     let cfg = LaunchConfig::new(num_ctas, 128);
-    let (_, stats) = launch_map_named(device, "coo_expand", cfg, |cta| {
+    let (_, stats) = launch_map_phased(device, "coo_expand", Phase::Expand, cfg, |cta| {
         let lo = cta.cta_id * nv;
         let hi = (lo + nv).min(nnz);
         cta.read_coalesced(hi - lo, 4);
@@ -123,8 +124,8 @@ pub struct SpAddPlan {
     src: Vec<(u32, u32)>,
     /// Cached cost of the two expansion launches.
     expand: LaunchStats,
-    /// Cached cost of the partition + count + fill passes.
-    union: LaunchStats,
+    /// Cached per-phase cost of the partition + count + fill passes.
+    union: SetOpStats,
 }
 
 impl SpAddPlan {
@@ -134,11 +135,28 @@ impl SpAddPlan {
     /// # Panics
     /// Panics if the shapes differ.
     pub fn new(device: &Device, a: &CsrMatrix, b: &CsrMatrix, cfg: &SpAddConfig) -> SpAddPlan {
-        assert_eq!(
-            (a.num_rows, a.num_cols),
-            (b.num_rows, b.num_cols),
-            "SpAdd operands must have identical shape"
-        );
+        Self::try_new(device, a, b, cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Non-panicking [`SpAddPlan::new`]: returns [`PlanError`] when the
+    /// operand shapes differ or the configuration is invalid.
+    pub fn try_new(
+        device: &Device,
+        a: &CsrMatrix,
+        b: &CsrMatrix,
+        cfg: &SpAddConfig,
+    ) -> Result<SpAddPlan, PlanError> {
+        if (a.num_rows, a.num_cols) != (b.num_rows, b.num_cols) {
+            return Err(PlanError::ShapeMismatch {
+                left: (a.num_rows, a.num_cols),
+                right: (b.num_rows, b.num_cols),
+            });
+        }
+        if cfg.nv <= 1 {
+            return Err(PlanError::InvalidConfig(
+                "SpAdd nv must exceed 1 (balanced tiles shift by one)",
+            ));
+        }
 
         let (a_keys, mut expand) = expand_keys(device, a, cfg.nv);
         let (b_keys, expand_b) = expand_keys(device, b, cfg.nv);
@@ -161,7 +179,7 @@ impl SpAddPlan {
 
         let offsets = assemble::row_offsets_from_sorted_keys(a.num_rows, &keys);
         let cols = assemble::cols_from_keys(&keys);
-        SpAddPlan {
+        Ok(SpAddPlan {
             num_rows: a.num_rows,
             num_cols: a.num_cols,
             a_nnz: a.nnz(),
@@ -171,7 +189,7 @@ impl SpAddPlan {
             src,
             expand,
             union,
-        }
+        })
     }
 
     /// Number of nonzeros in the output pattern.
@@ -181,7 +199,18 @@ impl SpAddPlan {
 
     /// Simulated milliseconds charged at plan build (expand + union).
     pub fn build_sim_ms(&self) -> f64 {
-        self.expand.sim_ms + self.union.sim_ms
+        self.expand.sim_ms + self.union.sim_ms()
+    }
+
+    /// Cached cost of the two key-expansion launches.
+    pub fn expand_stats(&self) -> &LaunchStats {
+        &self.expand
+    }
+
+    /// Cached per-phase cost of the balanced-path union (partition, count,
+    /// fill).
+    pub fn union_stats(&self) -> &SetOpStats {
+        &self.union
     }
 
     fn check_inputs(&self, a: &CsrMatrix, b: &CsrMatrix) {
@@ -238,7 +267,7 @@ impl SpAddPlan {
                 values,
             },
             expand: self.expand.clone(),
-            union: self.union.clone(),
+            union: self.union.combined(),
         }
     }
 }

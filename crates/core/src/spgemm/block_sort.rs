@@ -10,8 +10,8 @@
 //! key bits, turning the pair sort into a cheaper keys-only sort.
 
 use mps_simt::block::radix_sort::{block_radix_sort_keys, block_radix_sort_pairs};
-use mps_simt::grid::{launch_map_named, LaunchConfig, LaunchStats};
-use mps_simt::Device;
+use mps_simt::grid::{launch_map_phased, LaunchConfig, LaunchStats};
+use mps_simt::{Device, Phase};
 use mps_sparse::{pack_key, CsrMatrix};
 
 use super::setup::Expansion;
@@ -50,79 +50,85 @@ pub fn block_sort(
     let keys_only = col_bits + perm_bits <= 32;
 
     let launch = LaunchConfig::new(num_ctas, cfg.block_threads);
-    let (tiles, stats) = launch_map_named(device, "spgemm_block_sort", launch, |cta| {
-        let lo = cta.cta_id * nv;
-        let hi = (lo + nv).min(total);
-        let count = hi - lo;
+    let (tiles, stats) = launch_map_phased(
+        device,
+        "spgemm_block_sort",
+        Phase::BlockSort,
+        launch,
+        |cta| {
+            let lo = cta.cta_id * nv;
+            let hi = (lo + nv).min(total);
+            let count = hi - lo;
 
-        // Expand the tile's (row, col) coordinates. Values are NOT formed
-        // in this phase (the χ placeholders of Figure 3a).
-        let mut rows: Vec<u32> = Vec::with_capacity(count);
-        let mut cols: Vec<u32> = Vec::with_capacity(count);
-        exp.walk_tile(cta, lo, hi, |_, j, t| {
-            let brow = a.col_idx[j] as usize;
-            let bpos = b.row_offsets[brow] + t;
-            rows.push(exp.a_row_of_nnz[j]);
-            cols.push(b.col_idx[bpos]);
-        });
-        // Traffic: A column indices (sequential), B row offsets and column
-        // indices (gathered by referenced row, contiguous runs inside it).
-        cta.read_coalesced(count, 4);
-        cta.gather(lo..hi, 4);
+            // Expand the tile's (row, col) coordinates. Values are NOT formed
+            // in this phase (the χ placeholders of Figure 3a).
+            let mut rows: Vec<u32> = Vec::with_capacity(count);
+            let mut cols: Vec<u32> = Vec::with_capacity(count);
+            exp.walk_tile(cta, lo, hi, |_, j, t| {
+                let brow = a.col_idx[j] as usize;
+                let bpos = b.row_offsets[brow] + t;
+                rows.push(exp.a_row_of_nnz[j]);
+                cols.push(b.col_idx[bpos]);
+            });
+            // Traffic: A column indices (sequential), B row offsets and column
+            // indices (gathered by referenced row, contiguous runs inside it).
+            cta.read_coalesced(count, 4);
+            cta.gather(lo..hi, 4);
 
-        // Single-pass stable radix sort on the column index. The sorted
-        // permutation either rides in the upper key bits (keys-only sort)
-        // or travels as an explicit 16-bit value (pair sort).
-        let mut perm: Vec<u16>;
-        if keys_only {
-            let mut keys: Vec<u32> = cols
-                .iter()
-                .enumerate()
-                .map(|(i, &c)| c | ((i as u32) << col_bits))
-                .collect();
-            block_radix_sort_keys(cta, &mut keys, 0, col_bits);
-            perm = keys.iter().map(|&k| (k >> col_bits) as u16).collect();
-        } else {
-            let mut keys = cols.clone();
-            let mut vals: Vec<u32> = (0..count as u32).collect();
-            block_radix_sort_pairs(cta, &mut keys, &mut vals, 0, col_bits);
-            perm = vals.iter().map(|&v| v as u16).collect();
-        }
-        // Defensive: ensure stability produced a valid permutation.
-        debug_assert_eq!(perm.len(), count);
-
-        // Scan sorted entries for duplicate heads and reduce locally. Two
-        // entries are duplicates when both row and col match; rows within a
-        // column group are non-decreasing, so duplicates are adjacent.
-        cta.alu(3 * count as u64);
-        let mut unique_keys = Vec::with_capacity(count);
-        let mut head = Vec::with_capacity(count);
-        let mut prev: Option<(u32, u32)> = None;
-        for &p in perm.iter() {
-            let orig = p as usize;
-            let rc = (rows[orig], cols[orig]);
-            let is_head = prev != Some(rc);
-            head.push(is_head);
-            if is_head {
-                unique_keys.push(pack_key(rc.0, rc.1));
+            // Single-pass stable radix sort on the column index. The sorted
+            // permutation either rides in the upper key bits (keys-only sort)
+            // or travels as an explicit 16-bit value (pair sort).
+            let mut perm: Vec<u16>;
+            if keys_only {
+                let mut keys: Vec<u32> = cols
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &c)| c | ((i as u32) << col_bits))
+                    .collect();
+                block_radix_sort_keys(cta, &mut keys, 0, col_bits);
+                perm = keys.iter().map(|&k| (k >> col_bits) as u16).collect();
+            } else {
+                let mut keys = cols.clone();
+                let mut vals: Vec<u32> = (0..count as u32).collect();
+                block_radix_sort_pairs(cta, &mut keys, &mut vals, 0, col_bits);
+                perm = vals.iter().map(|&v| v as u16).collect();
             }
-            prev = Some(rc);
-        }
+            // Defensive: ensure stability produced a valid permutation.
+            debug_assert_eq!(perm.len(), count);
 
-        // Store: 16-bit permutation + packed head bits + the reduced pairs.
-        cta.write_coalesced(count, 2);
-        cta.write_coalesced(count.div_ceil(8), 1);
-        cta.write_coalesced(unique_keys.len(), 8);
+            // Scan sorted entries for duplicate heads and reduce locally. Two
+            // entries are duplicates when both row and col match; rows within a
+            // column group are non-decreasing, so duplicates are adjacent.
+            cta.alu(3 * count as u64);
+            let mut unique_keys = Vec::with_capacity(count);
+            let mut head = Vec::with_capacity(count);
+            let mut prev: Option<(u32, u32)> = None;
+            for &p in perm.iter() {
+                let orig = p as usize;
+                let rc = (rows[orig], cols[orig]);
+                let is_head = prev != Some(rc);
+                head.push(is_head);
+                if is_head {
+                    unique_keys.push(pack_key(rc.0, rc.1));
+                }
+                prev = Some(rc);
+            }
 
-        if count == 0 {
-            perm = Vec::new();
-        }
-        TileReduced {
-            unique_keys,
-            perm,
-            head,
-        }
-    });
+            // Store: 16-bit permutation + packed head bits + the reduced pairs.
+            cta.write_coalesced(count, 2);
+            cta.write_coalesced(count.div_ceil(8), 1);
+            cta.write_coalesced(unique_keys.len(), 8);
+
+            if count == 0 {
+                perm = Vec::new();
+            }
+            TileReduced {
+                unique_keys,
+                perm,
+                head,
+            }
+        },
+    );
     (tiles, stats)
 }
 

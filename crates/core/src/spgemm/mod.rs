@@ -21,8 +21,8 @@ pub mod plan;
 pub mod product;
 pub mod setup;
 
-use mps_simt::grid::{launch_map_named, LaunchConfig, LaunchStats};
-use mps_simt::Device;
+use mps_simt::grid::{launch_map_phased, LaunchConfig, LaunchStats};
+use mps_simt::{Device, Phase};
 use mps_sparse::CsrMatrix;
 
 use crate::config::SpgemmConfig;
@@ -115,9 +115,10 @@ pub fn merge_spgemm(
 /// parallel [`crate::assemble`] pass.
 pub(crate) fn charge_assemble(device: &Device, n: usize) -> LaunchStats {
     let nv = 4096;
-    let (_, stats) = launch_map_named(
+    let (_, stats) = launch_map_phased(
         device,
         "csr_assemble",
+        Phase::Other,
         LaunchConfig::new(n.div_ceil(nv).max(1), 128),
         |cta| {
             let lo = cta.cta_id * nv;

@@ -24,8 +24,8 @@
 use rayon::prelude::*;
 
 use mps_merge::radix::sort_permutation;
-use mps_simt::grid::{launch_map_named, LaunchConfig, LaunchStats};
-use mps_simt::Device;
+use mps_simt::grid::{launch_map_phased, LaunchConfig, LaunchStats};
+use mps_simt::{Device, Phase, PhaseLedger};
 use mps_sparse::{unpack_key, CsrMatrix};
 
 use super::block_sort::{self, bits_for};
@@ -34,6 +34,7 @@ use super::setup;
 use super::{PhaseTimes, SpgemmResult};
 use crate::assemble;
 use crate::config::SpgemmConfig;
+use crate::error::PlanError;
 use crate::workspace::Workspace;
 
 /// Precomputed SpGEMM state for a fixed pair of sparsity patterns: all
@@ -67,6 +68,9 @@ pub struct SpgemmPlan {
     col_idx: Vec<u32>,
     /// Cached per-phase simulated times, paid at plan build.
     phases: PhaseTimes,
+    /// Per-phase launch/time/DRAM ledger (same totals as `phases`, plus
+    /// traffic), in [`Phase`] terms for trace aggregation.
+    ledger: PhaseLedger,
     /// Cached aggregate launch statistics.
     stats: LaunchStats,
 }
@@ -78,15 +82,47 @@ impl SpgemmPlan {
     /// # Panics
     /// Panics if `a.num_cols != b.num_rows`.
     pub fn new(device: &Device, a: &CsrMatrix, b: &CsrMatrix, cfg: &SpgemmConfig) -> SpgemmPlan {
-        assert_eq!(a.num_cols, b.num_rows, "inner dimensions must agree");
+        Self::try_new(device, a, b, cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Non-panicking [`SpgemmPlan::new`]: returns [`PlanError`] when the
+    /// inner dimensions disagree or the configuration is invalid.
+    pub fn try_new(
+        device: &Device,
+        a: &CsrMatrix,
+        b: &CsrMatrix,
+        cfg: &SpgemmConfig,
+    ) -> Result<SpgemmPlan, PlanError> {
+        if a.num_cols != b.num_rows {
+            return Err(PlanError::InnerDimMismatch {
+                a_cols: a.num_cols,
+                b_rows: b.num_rows,
+            });
+        }
+        if cfg.block_threads == 0 {
+            return Err(PlanError::InvalidConfig("block_threads must be nonzero"));
+        }
+        if cfg.global_sort_nv == 0 {
+            return Err(PlanError::InvalidConfig("global_sort_nv must be nonzero"));
+        }
+        Ok(Self::build(device, a, b, cfg))
+    }
+
+    fn build(device: &Device, a: &CsrMatrix, b: &CsrMatrix, cfg: &SpgemmConfig) -> SpgemmPlan {
         let mut stats = LaunchStats::default();
         let mut phases = PhaseTimes::default();
+        let mut ledger = PhaseLedger::new();
         let a_dims = (a.num_rows, a.num_cols, a.nnz());
         let b_dims = (b.num_rows, b.num_cols, b.nnz());
 
         // ---- Phase 1: setup -------------------------------------------
         let (exp, setup_stats) = setup::setup(device, a, b);
         phases.setup = setup_stats.sim_ms;
+        ledger.charge(
+            Phase::Setup,
+            setup_stats.sim_ms,
+            setup_stats.totals.dram_bytes(),
+        );
         stats.add(&setup_stats);
 
         if exp.products == 0 {
@@ -106,6 +142,7 @@ impl SpgemmPlan {
                 row_offsets: vec![0; a.num_rows + 1],
                 col_idx: Vec::new(),
                 phases,
+                ledger,
                 stats,
             };
         }
@@ -113,6 +150,11 @@ impl SpgemmPlan {
         // ---- Phase 2: block sort --------------------------------------
         let (tiles, bs_stats) = block_sort::block_sort(device, a, b, &exp, cfg);
         phases.block_sort = bs_stats.sim_ms;
+        ledger.charge(
+            Phase::BlockSort,
+            bs_stats.sim_ms,
+            bs_stats.totals.dram_bytes(),
+        );
         stats.add(&bs_stats);
 
         let reduced_keys: Vec<u64> = tiles
@@ -130,9 +172,15 @@ impl SpgemmPlan {
                 ((r as u64) << col_bits) | c as u64
             })
             .collect();
-        let (gperm, gs_stats) =
-            sort_permutation(device, &sort_keys, key_bits.max(1), cfg.global_sort_nv);
+        let (gperm, gs_stats) = device.phase_scope(Phase::GlobalSort, || {
+            sort_permutation(device, &sort_keys, key_bits.max(1), cfg.global_sort_nv)
+        });
         phases.global_sort = gs_stats.sim_ms;
+        ledger.charge(
+            Phase::GlobalSort,
+            gs_stats.sim_ms,
+            gs_stats.totals.dram_bytes(),
+        );
         stats.add(&gs_stats);
 
         let n_reduced = reduced_keys.len();
@@ -141,9 +189,10 @@ impl SpgemmPlan {
             rank[src as usize] = pos as u32;
         }
         let gperm_ref = &gperm;
-        let (_, inv_stats) = launch_map_named(
+        let (_, inv_stats) = launch_map_phased(
             device,
             "spgemm_rank_invert",
+            Phase::GlobalSort,
             LaunchConfig::new(
                 n_reduced.div_ceil(cfg.global_sort_nv).max(1),
                 cfg.block_threads,
@@ -156,6 +205,11 @@ impl SpgemmPlan {
             },
         );
         phases.global_sort += inv_stats.sim_ms;
+        ledger.charge(
+            Phase::GlobalSort,
+            inv_stats.sim_ms,
+            inv_stats.totals.dram_bytes(),
+        );
         stats.add(&inv_stats);
 
         let sorted_keys: Vec<u64> = gperm.iter().map(|&p| reduced_keys[p as usize]).collect();
@@ -163,12 +217,22 @@ impl SpgemmPlan {
         // ---- Phase 4: product compute (charged; numerics discarded) ---
         let (_, pc_stats) = product::product_compute(device, a, b, &exp, &tiles, &rank, cfg);
         phases.product_compute = pc_stats.sim_ms;
+        ledger.charge(
+            Phase::ProductCompute,
+            pc_stats.sim_ms,
+            pc_stats.totals.dram_bytes(),
+        );
         stats.add(&pc_stats);
 
         // ---- Phase 5: product reduce (charged; run map kept) ----------
         let zeros = vec![0.0f64; sorted_keys.len()];
         let (final_keys, _, pr_stats) = product::product_reduce(device, &sorted_keys, &zeros, cfg);
         phases.product_reduce = pr_stats.sim_ms;
+        ledger.charge(
+            Phase::ProductReduce,
+            pr_stats.sim_ms,
+            pr_stats.totals.dram_bytes(),
+        );
         stats.add(&pr_stats);
 
         // Sorted position → output index: runs of equal sorted keys.
@@ -185,6 +249,11 @@ impl SpgemmPlan {
         // ---- Other: CSR assembly charge + parallel host pattern build -
         let other_stats = super::charge_assemble(device, final_keys.len());
         phases.other = other_stats.sim_ms;
+        ledger.charge(
+            Phase::Other,
+            other_stats.sim_ms,
+            other_stats.totals.dram_bytes(),
+        );
         stats.add(&other_stats);
         let row_offsets = assemble::row_offsets_from_sorted_keys(a.num_rows, &final_keys);
         let col_idx = assemble::cols_from_keys(&final_keys);
@@ -217,8 +286,14 @@ impl SpgemmPlan {
             row_offsets,
             col_idx,
             phases,
+            ledger,
             stats,
         }
+    }
+
+    /// Per-phase launch/time/DRAM ledger charged at plan build.
+    pub fn ledger(&self) -> &PhaseLedger {
+        &self.ledger
     }
 
     /// Intermediate products expanded by the planned multiply.

@@ -8,8 +8,8 @@
 //! *globally sorted* positions (the rank from the global permutation sort).
 //! A last reduce-by-key pass folds cross-tile duplicates.
 
-use mps_simt::grid::{launch_map_named, LaunchConfig, LaunchStats};
-use mps_simt::Device;
+use mps_simt::grid::{launch_map_phased, LaunchConfig, LaunchStats};
+use mps_simt::{Device, Phase};
 use mps_sparse::CsrMatrix;
 
 use super::block_sort::TileReduced;
@@ -47,47 +47,53 @@ pub fn product_compute(
 
     let launch = LaunchConfig::new(num_ctas, cfg.block_threads);
     let tile_offsets_ref = &tile_offsets;
-    let (scattered, stats) = launch_map_named(device, "spgemm_product_compute", launch, |cta| {
-        let lo = cta.cta_id * nv;
-        let hi = (lo + nv).min(total);
-        let count = hi - lo;
-        let tile = &tiles[cta.cta_id];
+    let (scattered, stats) = launch_map_phased(
+        device,
+        "spgemm_product_compute",
+        Phase::ProductCompute,
+        launch,
+        |cta| {
+            let lo = cta.cta_id * nv;
+            let hi = (lo + nv).min(total);
+            let count = hi - lo;
+            let tile = &tiles[cta.cta_id];
 
-        // Second expansion: this time the values are fetched and formed.
-        let mut vals: Vec<f64> = Vec::with_capacity(count);
-        exp.walk_tile(cta, lo, hi, |_, j, t| {
-            let brow = a.col_idx[j] as usize;
-            let bpos = b.row_offsets[brow] + t;
-            vals.push(a.values[j] * b.values[bpos]);
-        });
-        cta.read_coalesced(count, 4); // A col idx
-        cta.gather(lo..hi, 8); // B values (per-row contiguous)
-        cta.alu(count as u64); // multiplies
+            // Second expansion: this time the values are fetched and formed.
+            let mut vals: Vec<f64> = Vec::with_capacity(count);
+            exp.walk_tile(cta, lo, hi, |_, j, t| {
+                let brow = a.col_idx[j] as usize;
+                let bpos = b.row_offsets[brow] + t;
+                vals.push(a.values[j] * b.values[bpos]);
+            });
+            cta.read_coalesced(count, 4); // A col idx
+            cta.gather(lo..hi, 8); // B values (per-row contiguous)
+            cta.alu(count as u64); // multiplies
 
-        // Load the stored permutation and head flags, permute in shared
-        // memory, and segment-reduce duplicate runs.
-        cta.read_coalesced(count, 2);
-        cta.read_coalesced(count.div_ceil(8), 1);
-        cta.shmem(2 * count as u64);
-        cta.sync();
-        cta.alu(2 * count as u64);
+            // Load the stored permutation and head flags, permute in shared
+            // memory, and segment-reduce duplicate runs.
+            cta.read_coalesced(count, 2);
+            cta.read_coalesced(count.div_ceil(8), 1);
+            cta.shmem(2 * count as u64);
+            cta.sync();
+            cta.alu(2 * count as u64);
 
-        let base = tile_offsets_ref[cta.cta_id];
-        let mut out: Vec<(u32, f64)> = Vec::with_capacity(tile.unique_keys.len());
-        let mut local = 0usize;
-        for s in 0..count {
-            let v = vals[tile.perm[s] as usize];
-            if tile.head[s] {
-                out.push((rank[base + local], v));
-                local += 1;
-            } else {
-                out.last_mut().expect("head precedes body").1 += v;
+            let base = tile_offsets_ref[cta.cta_id];
+            let mut out: Vec<(u32, f64)> = Vec::with_capacity(tile.unique_keys.len());
+            let mut local = 0usize;
+            for s in 0..count {
+                let v = vals[tile.perm[s] as usize];
+                if tile.head[s] {
+                    out.push((rank[base + local], v));
+                    local += 1;
+                } else {
+                    out.last_mut().expect("head precedes body").1 += v;
+                }
             }
-        }
-        // Scatter reduced values to their globally sorted positions.
-        cta.scatter(out.iter().map(|&(r, _)| r as usize), 8);
-        out
-    });
+            // Scatter reduced values to their globally sorted positions.
+            cta.scatter(out.iter().map(|&(r, _)| r as usize), 8);
+            out
+        },
+    );
 
     let mut ordered = vec![0.0f64; reduced_total];
     for tile in scattered {
@@ -112,25 +118,31 @@ pub fn product_reduce(
     let num_ctas = n.div_ceil(nv).max(1);
 
     let launch = LaunchConfig::new(num_ctas, cfg.block_threads);
-    let (parts, stats) = launch_map_named(device, "spgemm_product_reduce", launch, |cta| {
-        let lo = cta.cta_id * nv;
-        let hi = (lo + nv).min(n);
-        cta.read_coalesced(hi - lo, 16);
-        cta.alu(3 * (hi - lo) as u64);
-        // Segmented reduce within the tile; the trailing run is the carry.
-        let mut keys = Vec::new();
-        let mut vals: Vec<f64> = Vec::new();
-        for i in lo..hi {
-            if keys.last() == Some(&sorted_keys[i]) {
-                *vals.last_mut().expect("parallel vectors") += ordered_vals[i];
-            } else {
-                keys.push(sorted_keys[i]);
-                vals.push(ordered_vals[i]);
+    let (parts, stats) = launch_map_phased(
+        device,
+        "spgemm_product_reduce",
+        Phase::ProductReduce,
+        launch,
+        |cta| {
+            let lo = cta.cta_id * nv;
+            let hi = (lo + nv).min(n);
+            cta.read_coalesced(hi - lo, 16);
+            cta.alu(3 * (hi - lo) as u64);
+            // Segmented reduce within the tile; the trailing run is the carry.
+            let mut keys = Vec::new();
+            let mut vals: Vec<f64> = Vec::new();
+            for i in lo..hi {
+                if keys.last() == Some(&sorted_keys[i]) {
+                    *vals.last_mut().expect("parallel vectors") += ordered_vals[i];
+                } else {
+                    keys.push(sorted_keys[i]);
+                    vals.push(ordered_vals[i]);
+                }
             }
-        }
-        cta.write_coalesced(keys.len(), 16);
-        (keys, vals)
-    });
+            cta.write_coalesced(keys.len(), 16);
+            (keys, vals)
+        },
+    );
 
     // Stitch tiles: a run spanning a tile boundary merges with the
     // previous tile's trailing entry (the carry of the SpMV update phase,

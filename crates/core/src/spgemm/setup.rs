@@ -7,8 +7,8 @@
 //! form output row coordinates during expansion).
 
 use mps_simt::block::load_balance_search;
-use mps_simt::grid::{launch_map_named, LaunchConfig, LaunchStats};
-use mps_simt::Device;
+use mps_simt::grid::{launch_map_phased, LaunchConfig, LaunchStats};
+use mps_simt::{Device, Phase};
 use mps_sparse::CsrMatrix;
 
 /// Product-space description shared by every later phase.
@@ -42,7 +42,7 @@ pub fn setup(device: &Device, a: &CsrMatrix, b: &CsrMatrix) -> (Expansion, Launc
     // B row offsets bounding each referenced row, scan, write S.
     let nv = 2048;
     let cfg = LaunchConfig::new(nnz.div_ceil(nv).max(1), 128);
-    let (_, stats) = launch_map_named(device, "spgemm_setup", cfg, |cta| {
+    let (_, stats) = launch_map_phased(device, "spgemm_setup", Phase::Setup, cfg, |cta| {
         let lo = cta.cta_id * nv;
         let hi = (lo + nv).min(nnz);
         cta.read_coalesced(hi - lo, 4);

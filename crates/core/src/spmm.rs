@@ -33,11 +33,12 @@
 //! `c` of the operand, bit for bit.
 
 use mps_simt::block::block_segmented_reduce;
-use mps_simt::grid::{launch_map_into, LaunchBuffers, LaunchConfig, LaunchStats};
-use mps_simt::Device;
+use mps_simt::grid::{launch_map_into_phased, LaunchBuffers, LaunchConfig, LaunchStats};
+use mps_simt::{Device, Phase};
 use mps_sparse::{CsrMatrix, DenseBlock};
 
 use crate::config::SpmmConfig;
+use crate::error::PlanError;
 use crate::partition::MergePartition;
 use crate::spmv::charge_exchange;
 use crate::workspace::Workspace;
@@ -92,8 +93,11 @@ pub struct SpmmPlan {
     num_cols: usize,
     /// Shared merge-path partition (phase 1), reused by every tile.
     part: MergePartition,
-    /// Cost of the partition (and compaction) phase, paid at plan build.
+    /// Cost of the partition boundary searches, paid at plan build.
     pub partition: LaunchStats,
+    /// Cost of the empty-row compaction pass (zero on the raw path), paid
+    /// at plan build alongside the partition.
+    pub fixup: LaunchStats,
     /// Cached cost of all reduction-phase tile launches.
     reduction: LaunchStats,
     /// Cached cost of all update-phase tile launches.
@@ -101,17 +105,39 @@ pub struct SpmmPlan {
 }
 
 impl SpmmPlan {
+    /// Non-panicking [`SpmmPlan::new`]: validates the configuration and
+    /// returns [`PlanError`] instead of asserting.
+    pub fn try_new(
+        device: &Device,
+        a: &CsrMatrix,
+        k: usize,
+        cfg: &SpmmConfig,
+    ) -> Result<SpmmPlan, PlanError> {
+        if cfg.block_threads == 0 {
+            return Err(PlanError::InvalidConfig("block_threads must be nonzero"));
+        }
+        if cfg.items_per_thread == 0 {
+            return Err(PlanError::InvalidConfig("items_per_thread must be nonzero"));
+        }
+        if cfg.tile_k == 0 {
+            return Err(PlanError::InvalidConfig("tile_k must be nonzero"));
+        }
+        Ok(SpmmPlan::new(device, a, k, cfg))
+    }
+
     /// Build the partition for `a` and charge the value-independent cost of
     /// the tiled reduction/update phases for a `k`-column operand block.
     pub fn new(device: &Device, a: &CsrMatrix, k: usize, cfg: &SpmmConfig) -> SpmmPlan {
         let mut part = MergePartition::build(device, a, cfg.nv(), cfg.force_no_compaction);
         let partition = std::mem::take(&mut part.stats);
+        let fixup = std::mem::take(&mut part.fixup);
         let mut plan = SpmmPlan {
             cfg: *cfg,
             k,
             num_cols: a.num_cols,
             part,
             partition,
+            fixup,
             reduction: LaunchStats::default(),
             update: LaunchStats::default(),
         };
@@ -157,6 +183,12 @@ impl SpmmPlan {
         self.reduction.sim_ms + self.update.sim_ms
     }
 
+    /// Simulated milliseconds paid once at plan build (partition searches
+    /// plus any empty-row compaction).
+    pub fn build_sim_ms(&self) -> f64 {
+        self.partition.sim_ms + self.fixup.sim_ms
+    }
+
     /// Simulate one reduction/update launch pair per column tile, staging
     /// every launch through the same [`LaunchBuffers`]. The numeric outputs
     /// are discarded — only the cost survives in the plan.
@@ -180,9 +212,10 @@ impl SpmmPlan {
         for (col0, w) in column_tiles(k, self.cfg.tile()) {
             // ---- Phase 2: reduction over one column tile ----------------
             let cfg_red = LaunchConfig::new(num_ctas, self.cfg.block_threads);
-            launch_map_into(
+            launch_map_into_phased(
                 device,
                 "spmm_reduce",
+                Phase::TileTraversal,
                 cfg_red,
                 |cta| {
                     let lo = cta.cta_id * nv;
@@ -255,9 +288,10 @@ impl SpmmPlan {
             // ---- Phase 3: update over the tile's carries ----------------
             let carries_ref = &carry_rows;
             let cfg_upd = LaunchConfig::new(1, self.cfg.block_threads);
-            launch_map_into(
+            launch_map_into_phased(
                 device,
                 "spmm_update",
+                Phase::TileTraversal,
                 cfg_upd,
                 |cta| {
                     cta.read_coalesced(carries_ref.len(), 4);
@@ -425,6 +459,7 @@ pub fn merge_spmm(device: &Device, a: &CsrMatrix, x: &DenseBlock, cfg: &SpmmConf
     let plan = SpmmPlan::new(device, a, x.cols, cfg);
     let mut result = plan.execute(device, a, x);
     result.partition = plan.partition;
+    result.partition.add(&plan.fixup);
     result
 }
 

@@ -30,11 +30,12 @@
 
 use mps_simt::block::block_segmented_reduce;
 use mps_simt::cta::Cta;
-use mps_simt::grid::{launch_map_named, LaunchConfig, LaunchStats};
-use mps_simt::Device;
+use mps_simt::grid::{launch_map_phased, LaunchConfig, LaunchStats};
+use mps_simt::{Device, Phase};
 use mps_sparse::CsrMatrix;
 
 use crate::config::SpmvConfig;
+use crate::error::PlanError;
 use crate::partition::MergePartition;
 use crate::workspace::Workspace;
 
@@ -92,8 +93,11 @@ pub struct SpmvPlan {
     num_cols: usize,
     /// Shared merge-path partition (phase 1), reused by every execute.
     part: MergePartition,
-    /// Cost of the partition (and compaction) phase, paid at plan build.
+    /// Cost of the partition boundary searches, paid at plan build.
     pub partition: LaunchStats,
+    /// Cost of the empty-row compaction pass (zero on the raw path), paid
+    /// at plan build alongside the partition.
+    pub fixup: LaunchStats,
     /// Cached cost of the reduction phase (structure-only; charged once).
     reduction: LaunchStats,
     /// Cached cost of the update phase (structure-only; charged once).
@@ -101,16 +105,34 @@ pub struct SpmvPlan {
 }
 
 impl SpmvPlan {
+    /// Non-panicking [`SpmvPlan::new`]: validates the configuration and
+    /// returns [`PlanError`] instead of asserting.
+    pub fn try_new(
+        device: &Device,
+        a: &CsrMatrix,
+        cfg: &SpmvConfig,
+    ) -> Result<SpmvPlan, PlanError> {
+        if cfg.block_threads == 0 {
+            return Err(PlanError::InvalidConfig("block_threads must be nonzero"));
+        }
+        if cfg.items_per_thread == 0 {
+            return Err(PlanError::InvalidConfig("items_per_thread must be nonzero"));
+        }
+        Ok(SpmvPlan::new(device, a, cfg))
+    }
+
     /// Build the partition for `a` (phase 1 of Section III-A) and charge
     /// the value-independent cost of the remaining phases.
     pub fn new(device: &Device, a: &CsrMatrix, cfg: &SpmvConfig) -> SpmvPlan {
         let mut part = MergePartition::build(device, a, cfg.nv(), cfg.force_no_compaction);
         let partition = std::mem::take(&mut part.stats);
+        let fixup = std::mem::take(&mut part.fixup);
         let mut plan = SpmvPlan {
             cfg: *cfg,
             num_cols: a.num_cols,
             part,
             partition,
+            fixup,
             reduction: LaunchStats::default(),
             update: LaunchStats::default(),
         };
@@ -147,6 +169,12 @@ impl SpmvPlan {
         self.reduction.sim_ms + self.update.sim_ms
     }
 
+    /// Simulated milliseconds paid once at plan build (partition searches
+    /// plus any empty-row compaction).
+    pub fn build_sim_ms(&self) -> f64 {
+        self.partition.sim_ms + self.fixup.sim_ms
+    }
+
     /// Simulate the reduction and update phases once, charging the device
     /// with exactly the traffic of the original per-call kernels. The
     /// numeric outputs are discarded — only the structure (segment layout,
@@ -160,59 +188,60 @@ impl SpmvPlan {
 
         // ---- Phase 2: reduction -----------------------------------------
         let cfg_red = LaunchConfig::new(num_ctas, self.cfg.block_threads);
-        let (outputs, reduction) = launch_map_named(device, "spmv_reduce", cfg_red, |cta| {
-            let lo = cta.cta_id * nv;
-            let hi = (lo + nv).min(nnz);
-            let count = hi - lo;
-            let (row_lo, row_hi) = part.cta_row_range(cta.cta_id);
+        let (outputs, reduction) =
+            launch_map_phased(device, "spmv_reduce", Phase::Reduction, cfg_red, |cta| {
+                let lo = cta.cta_id * nv;
+                let hi = (lo + nv).min(nnz);
+                let count = hi - lo;
+                let (row_lo, row_hi) = part.cta_row_range(cta.cta_id);
 
-            // Row offsets for the CTA's rows into shared memory.
-            cta.read_coalesced(row_hi - row_lo + 2, 8);
-            cta.shmem((row_hi - row_lo + 2) as u64);
+                // Row offsets for the CTA's rows into shared memory.
+                cta.read_coalesced(row_hi - row_lo + 2, 8);
+                cta.shmem((row_hi - row_lo + 2) as u64);
 
-            // Strided loads of column indices and values (coalesced).
-            cta.read_coalesced(count, 4); // col_idx
-            cta.read_coalesced(count, 8); // values
+                // Strided loads of column indices and values (coalesced).
+                cta.read_coalesced(count, 4); // col_idx
+                cta.read_coalesced(count, 8); // values
 
-            // Gather x by column index: the data-dependent access.
-            cta.gather(a.col_idx[lo..hi].iter().map(|&c| c as usize), 8);
+                // Gather x by column index: the data-dependent access.
+                cta.gather(a.col_idx[lo..hi].iter().map(|&c| c as usize), 8);
 
-            // Form products (one multiply per item — the 2·nnz flops
-            // together with the adds inside the segmented reduction).
-            cta.alu(count as u64);
+                // Form products (one multiply per item — the 2·nnz flops
+                // together with the adds inside the segmented reduction).
+                cta.alu(count as u64);
 
-            // Expand logical row ids by walking the shared offsets.
-            let mut rows = Vec::with_capacity(count);
-            let mut r = row_lo;
-            cta.alu(count as u64);
-            for item in lo..hi {
-                while r < row_hi && offsets_ref[r + 1] <= item {
-                    r += 1;
+                // Expand logical row ids by walking the shared offsets.
+                let mut rows = Vec::with_capacity(count);
+                let mut r = row_lo;
+                cta.alu(count as u64);
+                for item in lo..hi {
+                    while r < row_hi && offsets_ref[r + 1] <= item {
+                        r += 1;
+                    }
+                    rows.push(r);
                 }
-                rows.push(r);
-            }
 
-            // On hardware the strided register tile is transposed to
-            // blocked order through shared memory before the scan; the
-            // exchange covers two tiles (products and row indices).
-            charge_exchange(cta, 2 * count);
+                // On hardware the strided register tile is transposed to
+                // blocked order through shared memory before the scan; the
+                // exchange covers two tiles (products and row indices).
+                charge_exchange(cta, 2 * count);
 
-            // Values are irrelevant to both structure and cost; segment
-            // layout comes from the row expansion alone.
-            let zeros = vec![0.0f64; count];
-            let seg = block_segmented_reduce(cta, &zeros, &rows);
+                // Values are irrelevant to both structure and cost; segment
+                // layout comes from the row expansion alone.
+                let zeros = vec![0.0f64; count];
+                let seg = block_segmented_reduce(cta, &zeros, &rows);
 
-            // Complete rows go straight to y (contiguous rows: coalesced-ish).
-            cta.write_coalesced(seg.complete.len(), 8);
-            seg.carry.map(|(row, _)| row)
-        });
+                // Complete rows go straight to y (contiguous rows: coalesced-ish).
+                cta.write_coalesced(seg.complete.len(), 8);
+                seg.carry.map(|(row, _)| row)
+            });
 
         let carry_rows: Vec<usize> = outputs.into_iter().flatten().collect();
 
         // ---- Phase 3: update --------------------------------------------
         let carries_ref = &carry_rows;
         let cfg_upd = LaunchConfig::new(1, self.cfg.block_threads);
-        let (_, update) = launch_map_named(device, "spmv_update", cfg_upd, |cta| {
+        let (_, update) = launch_map_phased(device, "spmv_update", Phase::Update, cfg_upd, |cta| {
             cta.read_coalesced(carries_ref.len(), 12);
             cta.alu(2 * carries_ref.len() as u64);
             cta.scatter(carries_ref.iter().copied(), 8);
@@ -340,6 +369,7 @@ pub fn merge_spmv(device: &Device, a: &CsrMatrix, x: &[f64], cfg: &SpmvConfig) -
     let plan = SpmvPlan::new(device, a, cfg);
     let mut result = plan.execute(device, a, x);
     result.partition = plan.partition;
+    result.partition.add(&plan.fixup);
     result
 }
 

@@ -1,19 +1,21 @@
-//! Submission queues and completion store for SpMV batching.
+//! Submission queues and completion store for batched execution.
 //!
 //! Requests are grouped per matrix: everything in one queue targets the
-//! same `Arc<CsrMatrix>` allocation, so a flush can interleave up to
-//! `max_batch` operand vectors into one [`mps_sparse::DenseBlock`] and run
-//! them through a single column-tiled SpMM traversal. The data structures
-//! live here; the drain logic (which needs the plan cache and workspace
-//! pool) lives on [`crate::Engine::flush`].
+//! same `Arc<CsrMatrix>` allocation, so a flush can interleave the pending
+//! operands — single vectors and dense blocks alike — into one
+//! [`mps_sparse::DenseBlock`] and run them through a single column-tiled
+//! SpMM traversal. The data structures live here; the drain logic (which
+//! needs the plan cache and workspace pool) lives on
+//! [`crate::Engine::flush`].
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Instant;
 
-use mps_sparse::CsrMatrix;
+use mps_sparse::{CsrMatrix, DenseBlock};
 
 use crate::error::EngineError;
+use crate::EngineOutput;
 
 /// Handle to a submitted request; redeem with
 /// [`crate::Engine::take_result`] after a flush.
@@ -41,9 +43,27 @@ impl QueueKey {
     }
 }
 
-pub(crate) struct SpmvRequest {
+/// What a request wants multiplied: one vector (SpMV) or a dense block
+/// (SpMM). Both coalesce into the same column-tiled traversal; the payload
+/// kind decides the [`EngineOutput`] variant handed back at redemption.
+pub(crate) enum RequestPayload {
+    Vector(Vec<f64>),
+    Block(DenseBlock),
+}
+
+impl RequestPayload {
+    /// Output columns this payload contributes to a coalesced traversal.
+    pub fn cols(&self) -> usize {
+        match self {
+            RequestPayload::Vector(_) => 1,
+            RequestPayload::Block(b) => b.cols,
+        }
+    }
+}
+
+pub(crate) struct Request {
     pub ticket: Ticket,
-    pub x: Vec<f64>,
+    pub payload: RequestPayload,
     /// Absolute expiry; `None` means no deadline.
     pub deadline: Option<Instant>,
 }
@@ -54,14 +74,14 @@ pub(crate) struct Queue {
     /// the queue works even if the submitter drops its handle pre-flush
     /// (and so the [`QueueKey`] address stays pinned).
     pub matrix: Arc<CsrMatrix>,
-    pub pending: VecDeque<SpmvRequest>,
+    pub pending: VecDeque<Request>,
 }
 
 /// A resolved request, stamped with the flush epoch that resolved it so
 /// unclaimed results can be aged out.
 pub(crate) struct Resolved {
     epoch: u64,
-    pub result: Result<Vec<f64>, EngineError>,
+    pub result: Result<EngineOutput, EngineError>,
 }
 
 pub(crate) struct Batcher {
@@ -88,7 +108,7 @@ impl Batcher {
         &mut self,
         fingerprint: u64,
         matrix: &Arc<CsrMatrix>,
-        x: Vec<f64>,
+        payload: RequestPayload,
         deadline: Option<Instant>,
         max_queue_depth: usize,
     ) -> Result<Ticket, EngineError> {
@@ -106,9 +126,9 @@ impl Batcher {
         }
         self.next_ticket += 1;
         let ticket = Ticket(self.next_ticket);
-        queue.pending.push_back(SpmvRequest {
+        queue.pending.push_back(Request {
             ticket,
-            x,
+            payload,
             deadline,
         });
         Ok(ticket)
@@ -116,7 +136,7 @@ impl Batcher {
 
     /// Record a request's outcome, redeemable via
     /// [`crate::Engine::take_result`] until aged out.
-    pub fn complete(&mut self, ticket: Ticket, result: Result<Vec<f64>, EngineError>) {
+    pub fn complete(&mut self, ticket: Ticket, result: Result<EngineOutput, EngineError>) {
         self.completed.insert(
             ticket,
             Resolved {
@@ -127,7 +147,7 @@ impl Batcher {
     }
 
     /// Remove and return a resolved request's outcome.
-    pub fn take_completed(&mut self, ticket: Ticket) -> Option<Result<Vec<f64>, EngineError>> {
+    pub fn take_completed(&mut self, ticket: Ticket) -> Option<Result<EngineOutput, EngineError>> {
         self.completed.remove(&ticket).map(|r| r.result)
     }
 

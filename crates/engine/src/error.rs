@@ -23,6 +23,11 @@ pub enum EngineError {
     /// issued, its result was already taken, or its unclaimed result was
     /// evicted after [`crate::EngineConfig::result_ttl_flushes`] flushes.
     UnknownTicket(u64),
+    /// An [`crate::EngineConfig`] value is out of range (zero capacity,
+    /// zero TTL, or mismatched SpMV/SpMM merge granularity). Returned by
+    /// [`crate::EngineConfigBuilder::build`] and
+    /// [`crate::Engine::try_with_config`].
+    InvalidConfig(&'static str),
 }
 
 impl std::fmt::Display for EngineError {
@@ -41,6 +46,7 @@ impl std::fmt::Display for EngineError {
                 write!(f, "ticket {t} is still queued; flush before redeeming")
             }
             EngineError::UnknownTicket(t) => write!(f, "unknown or already-consumed ticket {t}"),
+            EngineError::InvalidConfig(what) => write!(f, "invalid engine config: {what}"),
         }
     }
 }

@@ -13,21 +13,21 @@
 //! * **Workspace pool** — checked-out [`Workspace`] arenas, prewarmed to
 //!   the pool's recorded high-water marks, keeping steady-state serving
 //!   zero-alloc.
-//! * **Batcher** — concurrent SpMV submissions on the same matrix are
-//!   queued per matrix (pattern fingerprint plus `Arc` identity, so
-//!   same-pattern matrices with different values never share a queue)
-//!   and coalesced, up to
-//!   [`EngineConfig::max_batch`] at a time, into a single column-tiled
-//!   [`SpmmPlan`] traversal; the result columns are split back to the
-//!   submitters. Because the tiled SpMM computes each output column in
-//!   exactly the SpMV reduction order (PR 2's per-column equivalence),
-//!   the batched results are **bitwise identical** to running every
-//!   request alone.
+//! * **Batcher** — concurrent SpMV *and* SpMM submissions on the same
+//!   matrix are queued per matrix (pattern fingerprint plus `Arc`
+//!   identity, so same-pattern matrices with different values never share
+//!   a queue) and coalesced, up to [`EngineConfig::max_batch`] output
+//!   columns at a time, into a single column-tiled [`SpmmPlan`]
+//!   traversal; the result columns are split back to the submitters as
+//!   typed [`EngineOutput`]s. Because the tiled SpMM computes each output
+//!   column in exactly the SpMV reduction order (PR 2's per-column
+//!   equivalence), the batched results are **bitwise identical** to
+//!   running every request alone.
 //! * **Admission control + stats** — bounded queue depth
 //!   ([`EngineError::Overloaded`]), per-request deadlines
 //!   ([`EngineError::DeadlineExceeded`]), and an [`EngineStats`] snapshot
-//!   covering cache hit rate, batch-size histogram, pool reuse, and simt
-//!   counters.
+//!   covering cache hit rate, batch-size histogram, pool reuse, simt
+//!   counters, and a per-phase ledger of everything the engine simulated.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -43,12 +43,30 @@
 //! let y = engine.spmv(&a, &x);
 //! assert_eq!(y, x);
 //!
-//! // Batched path: submissions coalesce into one SpMM traversal.
+//! // Batched path: submissions coalesce into one SpMM traversal and
+//! // redeem as typed outputs.
 //! let t0 = engine.submit_spmv(&a, x.clone(), None).unwrap();
 //! let t1 = engine.submit_spmv(&a, x.clone(), None).unwrap();
 //! engine.flush();
-//! assert_eq!(engine.take_result(t0).unwrap(), y);
-//! assert_eq!(engine.take_result(t1).unwrap(), y);
+//! assert_eq!(engine.take_result(t0).unwrap().into_vector(), y);
+//! assert_eq!(engine.take_result(t1).unwrap().into_vector(), y);
+//! ```
+//!
+//! Configuration goes through a validating builder (struct-literal
+//! construction still works for field-by-field overrides, but the builder
+//! rejects invalid values up front instead of panicking at engine
+//! construction):
+//!
+//! ```
+//! use mps_engine::EngineConfig;
+//!
+//! let cfg = EngineConfig::builder()
+//!     .queue_capacity(128)
+//!     .result_ttl_flushes(64)
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(cfg.max_queue_depth, 128);
+//! assert!(EngineConfig::builder().queue_capacity(0).build().is_err());
 //! ```
 
 mod batch;
@@ -72,12 +90,49 @@ use mps_core::{
     SpAddConfig, SpAddPlan, SpAddResult, SpgemmConfig, SpgemmPlan, SpgemmResult, SpmmConfig,
     SpmmPlan, SpmvConfig, SpmvPlan, Workspace,
 };
-use mps_simt::Device;
+use mps_simt::{Device, Phase};
 use mps_sparse::{CsrMatrix, DenseBlock};
 
-use batch::{Batcher, QueueKey, SpmvRequest};
+use batch::{Batcher, QueueKey, Request, RequestPayload};
 use cache::PlanCache;
 use pool::WorkspacePool;
+
+/// Typed result redeemed from a ticket: vector submissions
+/// ([`Engine::submit_spmv`]) resolve to `Vector`, block submissions
+/// ([`Engine::submit_spmm`]) to `Block` — regardless of how the flush
+/// grouped them into traversals.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineOutput {
+    Vector(Vec<f64>),
+    Block(DenseBlock),
+}
+
+impl EngineOutput {
+    /// Unwrap a vector result.
+    ///
+    /// # Panics
+    /// Panics if the output is a dense block.
+    pub fn into_vector(self) -> Vec<f64> {
+        match self {
+            EngineOutput::Vector(v) => v,
+            EngineOutput::Block(b) => panic!(
+                "engine output is a {}-column dense block, not a vector",
+                b.cols
+            ),
+        }
+    }
+
+    /// Unwrap a dense-block result.
+    ///
+    /// # Panics
+    /// Panics if the output is a vector.
+    pub fn into_block(self) -> DenseBlock {
+        match self {
+            EngineOutput::Block(b) => b,
+            EngineOutput::Vector(_) => panic!("engine output is a vector, not a dense block"),
+        }
+    }
+}
 
 /// Engine tuning. The kernel configs must agree on merge granularity
 /// (`nv = block_threads * items_per_thread`) between SpMV and SpMM —
@@ -90,9 +145,12 @@ pub struct EngineConfig {
     /// Pending submissions allowed per fingerprint queue before
     /// [`EngineError::Overloaded`].
     pub max_queue_depth: usize,
-    /// Largest group of SpMV submissions coalesced into one SpMM
-    /// traversal (defaults to the SpMM column tile width, so a full batch
-    /// is exactly one reduction+update launch pair).
+    /// Output-column budget per coalesced traversal: a flushed group's
+    /// payloads (one column per SpMV submission, `x.cols` per SpMM
+    /// submission) are packed until the next request would exceed this
+    /// many columns. Defaults to the SpMM column tile width, so a full
+    /// batch is exactly one reduction+update launch pair. A single
+    /// request wider than the budget still runs (alone).
     pub max_batch: usize,
     /// Unclaimed results (and deadline expiries) are dropped from the
     /// completion store once this many flushes have run after the one
@@ -119,6 +177,107 @@ impl Default for EngineConfig {
             spadd: SpAddConfig::default(),
             spgemm: SpgemmConfig::default(),
         }
+    }
+}
+
+impl EngineConfig {
+    /// Start a validating builder seeded with the defaults.
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder {
+            cfg: EngineConfig::default(),
+        }
+    }
+
+    /// Check the invariants [`Engine`] construction relies on.
+    pub fn validate(&self) -> Result<(), EngineError> {
+        if self.plan_capacity == 0 {
+            return Err(EngineError::InvalidConfig(
+                "plan_capacity must be at least 1",
+            ));
+        }
+        if self.max_queue_depth == 0 {
+            return Err(EngineError::InvalidConfig(
+                "max_queue_depth must be at least 1",
+            ));
+        }
+        if self.max_batch == 0 {
+            return Err(EngineError::InvalidConfig("max_batch must be at least 1"));
+        }
+        if self.result_ttl_flushes == 0 {
+            return Err(EngineError::InvalidConfig(
+                "result_ttl_flushes must be at least 1",
+            ));
+        }
+        if self.spmv.nv() != self.spmm.nv() {
+            return Err(EngineError::InvalidConfig(
+                "SpMV and SpMM must share merge granularity for batching equivalence",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Validating builder for [`EngineConfig`]. Prefer this over filling the
+/// struct by hand: [`EngineConfigBuilder::build`] rejects zero capacities
+/// and mismatched merge granularities with a typed
+/// [`EngineError::InvalidConfig`] instead of panicking later at engine
+/// construction.
+#[derive(Debug, Clone)]
+pub struct EngineConfigBuilder {
+    cfg: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Plans kept live in the LRU cache.
+    pub fn plan_capacity(mut self, n: usize) -> Self {
+        self.cfg.plan_capacity = n;
+        self
+    }
+
+    /// Pending submissions allowed per matrix queue
+    /// ([`EngineConfig::max_queue_depth`]).
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        self.cfg.max_queue_depth = n;
+        self
+    }
+
+    /// Output-column budget per coalesced traversal
+    /// ([`EngineConfig::max_batch`]).
+    pub fn max_batch(mut self, n: usize) -> Self {
+        self.cfg.max_batch = n;
+        self
+    }
+
+    /// Flushes an unclaimed result survives before aging out.
+    pub fn result_ttl_flushes(mut self, n: u64) -> Self {
+        self.cfg.result_ttl_flushes = n;
+        self
+    }
+
+    pub fn spmv(mut self, cfg: SpmvConfig) -> Self {
+        self.cfg.spmv = cfg;
+        self
+    }
+
+    pub fn spmm(mut self, cfg: SpmmConfig) -> Self {
+        self.cfg.spmm = cfg;
+        self
+    }
+
+    pub fn spadd(mut self, cfg: SpAddConfig) -> Self {
+        self.cfg.spadd = cfg;
+        self
+    }
+
+    pub fn spgemm(mut self, cfg: SpgemmConfig) -> Self {
+        self.cfg.spgemm = cfg;
+        self
+    }
+
+    /// Validate and produce the config.
+    pub fn build(self) -> Result<EngineConfig, EngineError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -179,22 +338,18 @@ impl Engine {
         Engine::with_config(device, EngineConfig::default())
     }
 
+    /// Like [`Engine::try_with_config`], but panics on an invalid config
+    /// (the historical behaviour; the panic message is the
+    /// [`EngineError::InvalidConfig`] display text).
     pub fn with_config(device: &Device, cfg: EngineConfig) -> Engine {
-        assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
-        assert!(
-            cfg.max_queue_depth >= 1,
-            "max_queue_depth must be at least 1"
-        );
-        assert!(
-            cfg.result_ttl_flushes >= 1,
-            "result_ttl_flushes must be at least 1"
-        );
-        assert_eq!(
-            cfg.spmv.nv(),
-            cfg.spmm.nv(),
-            "SpMV and SpMM must share merge granularity for batching equivalence"
-        );
-        Engine {
+        Engine::try_with_config(device, cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Construct an engine, rejecting invalid configs with
+    /// [`EngineError::InvalidConfig`] instead of panicking.
+    pub fn try_with_config(device: &Device, cfg: EngineConfig) -> Result<Engine, EngineError> {
+        cfg.validate()?;
+        Ok(Engine {
             device: device.clone(),
             inner: Mutex::new(Inner {
                 cache: PlanCache::new(cfg.plan_capacity),
@@ -206,7 +361,7 @@ impl Engine {
                 scratch_y: DenseBlock::zeros(0, 0),
             }),
             cfg,
-        }
+        })
     }
 
     pub fn device(&self) -> &Device {
@@ -284,6 +439,7 @@ impl Engine {
             CachedPlan::SpAdd(p) => {
                 if !l.hit {
                     inner.stats.plan_build_sim_ms += p.build_sim_ms();
+                    charge_spadd_phases(&mut inner.stats, &p);
                 }
                 p
             }
@@ -311,6 +467,7 @@ impl Engine {
             CachedPlan::Spgemm(p) => {
                 if !l.hit {
                     inner.stats.plan_build_sim_ms += p.phases().total();
+                    inner.stats.phases.merge(p.ledger());
                 }
                 p
             }
@@ -330,8 +487,7 @@ impl Engine {
         inner.pool.give_back(ws);
         inner.stats.requests += 1;
         inner.stats.exec_sim_ms += ms;
-        inner.stats.totals.add(&plan.reduction_stats().totals);
-        inner.stats.totals.add(&plan.update_stats().totals);
+        charge_spmv_exec(&mut inner.stats, &plan);
         y
     }
 
@@ -346,8 +502,7 @@ impl Engine {
         inner.pool.give_back(ws);
         inner.stats.requests += 1;
         inner.stats.exec_sim_ms += ms;
-        inner.stats.totals.add(&plan.reduction_stats().totals);
-        inner.stats.totals.add(&plan.update_stats().totals);
+        charge_spmm_exec(&mut inner.stats, &plan);
         y
     }
 
@@ -360,6 +515,7 @@ impl Engine {
         inner.stats.exec_sim_ms += result.sim_ms();
         inner.stats.totals.add(&result.expand.totals);
         inner.stats.totals.add(&result.union.totals);
+        charge_spadd_phases(&mut inner.stats, &plan);
         result
     }
 
@@ -375,6 +531,7 @@ impl Engine {
         inner.stats.requests += 1;
         inner.stats.exec_sim_ms += result.phases.total();
         inner.stats.totals.add(&result.stats.totals);
+        inner.stats.phases.merge(plan.ledger());
         result
     }
 
@@ -402,12 +559,44 @@ impl Engine {
         deadline: Option<Duration>,
     ) -> Result<Ticket, EngineError> {
         assert_eq!(x.len(), a.num_cols, "operand length mismatch");
+        self.submit_payload(a, RequestPayload::Vector(x), deadline)
+    }
+
+    /// Queue an SpMM request (dense multi-vector operand) on `a` for the
+    /// next [`Engine::flush`]. The block's columns coalesce into the same
+    /// column-tiled traversal as any vector submissions on `a` queued
+    /// around it, and the result redeems as [`EngineOutput::Block`];
+    /// because each output column is computed in exactly the standalone
+    /// reduction order, the grouping never changes the bits.
+    ///
+    /// Deadline and backpressure semantics match
+    /// [`Engine::submit_spmv`].
+    ///
+    /// # Panics
+    /// Panics if `x.rows != a.num_cols` or `x` has no columns.
+    pub fn submit_spmm(
+        &self,
+        a: &Arc<CsrMatrix>,
+        x: DenseBlock,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, EngineError> {
+        assert_eq!(x.rows, a.num_cols, "operand row-count mismatch");
+        assert!(x.cols >= 1, "operand block must have at least one column");
+        self.submit_payload(a, RequestPayload::Block(x), deadline)
+    }
+
+    fn submit_payload(
+        &self,
+        a: &Arc<CsrMatrix>,
+        payload: RequestPayload,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, EngineError> {
         let mut inner = self.inner.lock();
         let fp = inner.fingerprint_of(a);
         let deadline = deadline.map(|d| Instant::now() + d);
         match inner
             .batcher
-            .submit(fp, a, x, deadline, self.cfg.max_queue_depth)
+            .submit(fp, a, payload, deadline, self.cfg.max_queue_depth)
         {
             Ok(t) => Ok(t),
             Err(e) => {
@@ -429,12 +618,12 @@ impl Engine {
         inner.batcher.depth(QueueKey::of(fp, a))
     }
 
-    /// Drain every submission queue, coalescing groups of up to
-    /// [`EngineConfig::max_batch`] same-matrix requests into single
-    /// column-tiled SpMM traversals (single requests run through the SpMV
-    /// plan). Returns the number of requests resolved — results and
-    /// deadline expirations both become redeemable via
-    /// [`Engine::take_result`].
+    /// Drain every submission queue, coalescing same-matrix requests —
+    /// vectors and blocks alike — into single column-tiled SpMM
+    /// traversals of up to [`EngineConfig::max_batch`] output columns (a
+    /// lone vector request runs through the SpMV plan). Returns the
+    /// number of requests resolved — results and deadline expirations
+    /// both become redeemable via [`Engine::take_result`].
     pub fn flush(&self) -> usize {
         let mut guard = self.inner.lock();
         let inner = &mut *guard;
@@ -449,16 +638,28 @@ impl Engine {
                     .get_mut(&key)
                     .expect("queue present for listed key");
                 let matrix = Arc::clone(&queue.matrix);
-                let mut group: Vec<SpmvRequest> = Vec::new();
+                let mut group: Vec<Request> = Vec::new();
+                let mut group_cols = 0usize;
                 let mut expired: Vec<Ticket> = Vec::new();
-                while group.len() < self.cfg.max_batch {
-                    match queue.pending.pop_front() {
-                        Some(r) => {
-                            if r.deadline.is_some_and(|d| now >= d) {
-                                expired.push(r.ticket);
-                            } else {
-                                group.push(r);
-                            }
+                while group_cols < self.cfg.max_batch {
+                    match queue.pending.front() {
+                        Some(r) if r.deadline.is_some_and(|d| now >= d) => {
+                            let r = queue.pending.pop_front().expect("front exists");
+                            expired.push(r.ticket);
+                        }
+                        // FIFO packing: stop at the first request that
+                        // would overflow the column budget (an oversized
+                        // request is still admitted when it is alone).
+                        Some(r)
+                            if !group.is_empty()
+                                && group_cols + r.payload.cols() > self.cfg.max_batch =>
+                        {
+                            break;
+                        }
+                        Some(_) => {
+                            let r = queue.pending.pop_front().expect("front exists");
+                            group_cols += r.payload.cols();
+                            group.push(r);
                         }
                         None => break,
                     }
@@ -489,10 +690,13 @@ impl Engine {
         resolved
     }
 
-    /// Redeem a ticket issued by [`Engine::submit_spmv`]. Each ticket is
-    /// redeemable once, after the flush that resolved it; a ticket still
-    /// waiting for a flush returns [`EngineError::NotReady`].
-    pub fn take_result(&self, ticket: Ticket) -> Result<Vec<f64>, EngineError> {
+    /// Redeem a ticket issued by [`Engine::submit_spmv`] or
+    /// [`Engine::submit_spmm`]. Each ticket is redeemable once, after the
+    /// flush that resolved it; a ticket still waiting for a flush returns
+    /// [`EngineError::NotReady`]. The output variant matches the
+    /// submission kind: vectors redeem as [`EngineOutput::Vector`],
+    /// blocks as [`EngineOutput::Block`].
+    pub fn take_result(&self, ticket: Ticket) -> Result<EngineOutput, EngineError> {
         let mut inner = self.inner.lock();
         match inner.batcher.take_completed(ticket) {
             Some(result) => result,
@@ -513,6 +717,58 @@ fn record_lookup(stats: &mut EngineStats, hit: bool, evicted: bool) {
     }
 }
 
+/// Accumulate one executed SpMV replay into totals and the phase ledger.
+fn charge_spmv_exec(stats: &mut EngineStats, plan: &SpmvPlan) {
+    let r = plan.reduction_stats();
+    let u = plan.update_stats();
+    stats.totals.add(&r.totals);
+    stats.totals.add(&u.totals);
+    stats
+        .phases
+        .charge(Phase::Reduction, r.sim_ms, r.totals.dram_bytes());
+    stats
+        .phases
+        .charge(Phase::Update, u.sim_ms, u.totals.dram_bytes());
+}
+
+/// Accumulate one executed SpMM replay into totals and the phase ledger.
+/// Both launches of the column-tiled traversal are charged to the SpMM
+/// tile-traversal phase.
+fn charge_spmm_exec(stats: &mut EngineStats, plan: &SpmmPlan) {
+    let r = plan.reduction_stats();
+    let u = plan.update_stats();
+    stats.totals.add(&r.totals);
+    stats.totals.add(&u.totals);
+    stats
+        .phases
+        .charge(Phase::TileTraversal, r.sim_ms, r.totals.dram_bytes());
+    stats
+        .phases
+        .charge(Phase::TileTraversal, u.sim_ms, u.totals.dram_bytes());
+}
+
+/// Charge an SpAdd plan's phases (expand, then the balanced-path
+/// partition/count/fill of the union) to the ledger. Used at build and —
+/// because execution replays exactly these launches — per execution.
+fn charge_spadd_phases(stats: &mut EngineStats, plan: &SpAddPlan) {
+    let e = plan.expand_stats();
+    stats
+        .phases
+        .charge(Phase::Expand, e.sim_ms, e.totals.dram_bytes());
+    let u = plan.union_stats();
+    stats.phases.charge(
+        Phase::Partition,
+        u.partition.sim_ms,
+        u.partition.totals.dram_bytes(),
+    );
+    stats
+        .phases
+        .charge(Phase::Count, u.count.sim_ms, u.count.totals.dram_bytes());
+    stats
+        .phases
+        .charge(Phase::Fill, u.fill.sim_ms, u.fill.totals.dram_bytes());
+}
+
 fn spmv_plan_locked(
     device: &Device,
     cfg: &EngineConfig,
@@ -529,7 +785,19 @@ fn spmv_plan_locked(
     match l.plan {
         CachedPlan::Spmv(p) => {
             if !l.hit {
-                inner.stats.plan_build_sim_ms += p.partition.sim_ms;
+                inner.stats.plan_build_sim_ms += p.build_sim_ms();
+                inner.stats.phases.charge(
+                    Phase::Partition,
+                    p.partition.sim_ms,
+                    p.partition.totals.dram_bytes(),
+                );
+                if p.fixup.sim_ms > 0.0 {
+                    inner.stats.phases.charge(
+                        Phase::EmptyRowFixup,
+                        p.fixup.sim_ms,
+                        p.fixup.totals.dram_bytes(),
+                    );
+                }
             }
             p
         }
@@ -554,7 +822,19 @@ fn spmm_plan_locked(
     match l.plan {
         CachedPlan::Spmm(p) => {
             if !l.hit {
-                inner.stats.plan_build_sim_ms += p.partition.sim_ms;
+                inner.stats.plan_build_sim_ms += p.build_sim_ms();
+                inner.stats.phases.charge(
+                    Phase::Partition,
+                    p.partition.sim_ms,
+                    p.partition.totals.dram_bytes(),
+                );
+                if p.fixup.sim_ms > 0.0 {
+                    inner.stats.phases.charge(
+                        Phase::EmptyRowFixup,
+                        p.fixup.sim_ms,
+                        p.fixup.totals.dram_bytes(),
+                    );
+                }
             }
             p
         }
@@ -562,48 +842,76 @@ fn spmm_plan_locked(
     }
 }
 
-/// Run one flushed group: a single request goes through the SpMV plan, a
-/// larger group is interleaved into the scratch operand block and executed
-/// as one column-tiled SpMM, then split back column by column. Either way
-/// the per-request results are bitwise identical to standalone SpMV.
+/// Run one flushed group: a lone vector request goes through the SpMV
+/// plan; anything else is interleaved — vector payloads as single columns,
+/// block payloads as column runs — into the scratch operand block and
+/// executed as one column-tiled SpMM, then split back per request. Either
+/// way each output column is bitwise identical to its standalone run.
 fn execute_group(
     device: &Device,
     cfg: &EngineConfig,
     inner: &mut Inner,
     fp: u64,
     matrix: &Arc<CsrMatrix>,
-    group: Vec<SpmvRequest>,
+    group: Vec<Request>,
 ) {
-    let k = group.len();
-    inner.stats.record_batch(k);
-    inner.stats.requests += k as u64;
-    if k == 1 {
-        let plan = spmv_plan_locked(device, cfg, inner, fp, matrix);
-        let mut ws = inner.checkout_ws();
-        let mut y = Vec::new();
-        let req = group.into_iter().next().expect("group of one");
-        let ms = plan.execute_into(matrix, &req.x, &mut y, &mut ws);
-        inner.pool.give_back(ws);
-        inner.stats.exec_sim_ms += ms;
-        inner.stats.totals.add(&plan.reduction_stats().totals);
-        inner.stats.totals.add(&plan.update_stats().totals);
-        inner.batcher.complete(req.ticket, Ok(y));
-        return;
+    inner.stats.record_batch(group.len());
+    inner.stats.requests += group.len() as u64;
+    if group.len() == 1 {
+        if let RequestPayload::Vector(_) = &group[0].payload {
+            let plan = spmv_plan_locked(device, cfg, inner, fp, matrix);
+            let mut ws = inner.checkout_ws();
+            let mut y = Vec::new();
+            let req = group.into_iter().next().expect("group of one");
+            let x = match req.payload {
+                RequestPayload::Vector(x) => x,
+                RequestPayload::Block(_) => unreachable!("vector payload checked above"),
+            };
+            let ms = plan.execute_into(matrix, &x, &mut y, &mut ws);
+            inner.pool.give_back(ws);
+            inner.stats.exec_sim_ms += ms;
+            charge_spmv_exec(&mut inner.stats, &plan);
+            inner
+                .batcher
+                .complete(req.ticket, Ok(EngineOutput::Vector(y)));
+            return;
+        }
     }
+    let k: usize = group.iter().map(|r| r.payload.cols()).sum();
     let plan = spmm_plan_locked(device, cfg, inner, fp, matrix, k);
     let mut ws = inner.checkout_ws();
     inner.scratch_x.reset(matrix.num_cols, k);
-    for (c, req) in group.iter().enumerate() {
-        inner.scratch_x.set_column(c, &req.x);
+    let mut c = 0usize;
+    for req in &group {
+        match &req.payload {
+            RequestPayload::Vector(x) => {
+                inner.scratch_x.set_column(c, x);
+                c += 1;
+            }
+            RequestPayload::Block(b) => {
+                for j in 0..b.cols {
+                    inner.scratch_x.set_column(c + j, &b.column(j));
+                }
+                c += b.cols;
+            }
+        }
     }
     let ms = plan.execute_into(matrix, &inner.scratch_x, &mut inner.scratch_y, &mut ws);
     inner.pool.give_back(ws);
     inner.stats.exec_sim_ms += ms;
-    inner.stats.totals.add(&plan.reduction_stats().totals);
-    inner.stats.totals.add(&plan.update_stats().totals);
-    for (c, req) in group.into_iter().enumerate() {
-        let y = inner.scratch_y.column(c);
-        inner.batcher.complete(req.ticket, Ok(y));
+    charge_spmm_exec(&mut inner.stats, &plan);
+    let mut c = 0usize;
+    for req in group {
+        let w = req.payload.cols();
+        let out = match req.payload {
+            RequestPayload::Vector(_) => EngineOutput::Vector(inner.scratch_y.column(c)),
+            RequestPayload::Block(_) => {
+                let y = &inner.scratch_y;
+                EngineOutput::Block(DenseBlock::from_fn(y.rows, w, |r, j| y.get(r, c + j)))
+            }
+        };
+        inner.batcher.complete(req.ticket, Ok(out));
+        c += w;
     }
 }
 
@@ -665,7 +973,7 @@ mod tests {
         assert_eq!(e.flush(), 5);
         assert_eq!(e.pending_requests(), 0);
         for (t, want) in tickets.into_iter().zip(&sequential) {
-            let got = e.take_result(t).expect("completed");
+            let got = e.take_result(t).expect("completed").into_vector();
             let got_bits: Vec<u64> = got.iter().map(|v| v.to_bits()).collect();
             let want_bits: Vec<u64> = want.iter().map(|v| v.to_bits()).collect();
             assert_eq!(got_bits, want_bits);
@@ -767,9 +1075,9 @@ mod tests {
         assert_eq!(e.queue_depth(&a), 1);
         assert_eq!(e.queue_depth(&b), 1);
         assert_eq!(e.flush(), 2);
-        assert_eq!(e.take_result(ta).expect("a result"), x);
+        assert_eq!(e.take_result(ta).expect("a result").into_vector(), x);
         assert_eq!(
-            e.take_result(tb).expect("b result"),
+            e.take_result(tb).expect("b result").into_vector(),
             vec![2.0, 4.0, 6.0, 8.0]
         );
         // Distinct queues → two single-request batches, one shared plan.
@@ -824,8 +1132,14 @@ mod tests {
             .submit_spmv(&b, operand(b.num_cols, 2), None)
             .expect("admitted");
         e.flush();
-        assert_eq!(e.take_result(ta).expect("a result").len(), a.num_rows);
-        assert_eq!(e.take_result(tb).expect("b result").len(), b.num_rows);
+        assert_eq!(
+            e.take_result(ta).expect("a result").into_vector().len(),
+            a.num_rows
+        );
+        assert_eq!(
+            e.take_result(tb).expect("b result").into_vector().len(),
+            b.num_rows
+        );
         // Separate queues → separate single-request batches.
         assert_eq!(e.stats().batches, 2);
     }
@@ -849,6 +1163,146 @@ mod tests {
         assert_eq!(s.cache_misses, 3);
         assert_eq!(s.cache_hits, 3);
         assert_eq!(s.requests, 6);
+    }
+
+    #[test]
+    fn builder_validates_and_builds() {
+        let cfg = EngineConfig::builder()
+            .plan_capacity(8)
+            .queue_capacity(16)
+            .max_batch(4)
+            .result_ttl_flushes(7)
+            .build()
+            .expect("valid config");
+        assert_eq!(cfg.plan_capacity, 8);
+        assert_eq!(cfg.max_queue_depth, 16);
+        assert_eq!(cfg.max_batch, 4);
+        assert_eq!(cfg.result_ttl_flushes, 7);
+
+        for (built, what) in [
+            (
+                EngineConfig::builder().plan_capacity(0).build(),
+                "plan_capacity",
+            ),
+            (
+                EngineConfig::builder().queue_capacity(0).build(),
+                "max_queue_depth",
+            ),
+            (EngineConfig::builder().max_batch(0).build(), "max_batch"),
+            (
+                EngineConfig::builder().result_ttl_flushes(0).build(),
+                "result_ttl_flushes",
+            ),
+        ] {
+            match built {
+                Err(EngineError::InvalidConfig(msg)) => {
+                    assert!(msg.contains(what), "{msg} should mention {what}")
+                }
+                other => panic!("expected InvalidConfig for {what}, got {other:?}"),
+            }
+        }
+        assert!(Engine::try_with_config(
+            &device(),
+            EngineConfig {
+                max_batch: 0,
+                ..EngineConfig::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn submit_spmm_coalesces_with_vectors_bitwise_identically() {
+        let e = Engine::new(&device());
+        let a = matrix();
+        let block =
+            DenseBlock::from_fn(a.num_cols, 3, |r, c| operand(a.num_cols, 20 + c as u64)[r]);
+        let xv = operand(a.num_cols, 5);
+        // Standalone references (and plan warm-up) first.
+        let want_block = e.spmm(&a, &block);
+        let want_vec = e.spmv(&a, &xv);
+        let tb = e.submit_spmm(&a, block.clone(), None).expect("admitted");
+        let tv = e.submit_spmv(&a, xv.clone(), None).expect("admitted");
+        assert_eq!(e.flush(), 2);
+        let got_block = e.take_result(tb).expect("block result").into_block();
+        let got_vec = e.take_result(tv).expect("vector result").into_vector();
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+        assert_eq!(bits(&got_block.data), bits(&want_block.data));
+        assert_eq!(bits(&got_vec), bits(&want_vec));
+        // One coalesced traversal of 4 output columns, two requests.
+        let s = e.stats();
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.batched_requests, 2);
+    }
+
+    #[test]
+    fn column_budget_packs_blocks_and_vectors() {
+        let cfg = EngineConfig::builder()
+            .max_batch(4)
+            .build()
+            .expect("valid config");
+        let e = Engine::with_config(&device(), cfg);
+        let a = matrix();
+        let block = DenseBlock::from_fn(a.num_cols, 3, |r, _| r as f64 / 7.0);
+        let t0 = e.submit_spmm(&a, block, None).expect("admitted");
+        let t1 = e
+            .submit_spmv(&a, operand(a.num_cols, 1), None)
+            .expect("admitted");
+        let t2 = e
+            .submit_spmv(&a, operand(a.num_cols, 2), None)
+            .expect("admitted");
+        assert_eq!(e.flush(), 3);
+        for t in [t0, t1, t2] {
+            e.take_result(t).expect("completed");
+        }
+        // Budget of 4 columns: [block(3) + vector(1)] then [vector(1)].
+        let s = e.stats();
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.batch_histogram, vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn oversized_block_request_still_runs_alone() {
+        let cfg = EngineConfig::builder()
+            .max_batch(2)
+            .build()
+            .expect("valid config");
+        let e = Engine::with_config(&device(), cfg);
+        let a = matrix();
+        let block = DenseBlock::from_fn(a.num_cols, 5, |r, c| (r + c) as f64 / 11.0);
+        let want = e.spmm(&a, &block);
+        let t = e.submit_spmm(&a, block, None).expect("admitted");
+        assert_eq!(e.flush(), 1);
+        assert_eq!(e.take_result(t).expect("completed").into_block(), want);
+        assert_eq!(e.stats().batches, 1);
+    }
+
+    #[test]
+    fn phase_ledger_reconciles_with_sim_time_totals() {
+        let e = Engine::new(&device());
+        let a = matrix();
+        let b = Arc::new(gen::random_uniform(300, 300, 7.0, 2.0, 19));
+        e.spmv(&a, &operand(a.num_cols, 1));
+        e.spmm(&a, &DenseBlock::from_fn(a.num_cols, 2, |r, _| r as f64));
+        e.spadd(&a, &b);
+        e.spgemm(&a, &b);
+        for s in 0..3 {
+            e.submit_spmv(&a, operand(a.num_cols, s), None)
+                .expect("admitted");
+        }
+        e.flush();
+        let s = e.stats();
+        let ledger_ms = s.phases.total_ms();
+        let sim_ms = s.plan_build_sim_ms + s.exec_sim_ms;
+        assert!(
+            (ledger_ms - sim_ms).abs() < 1e-9,
+            "phase ledger {ledger_ms} vs sim totals {sim_ms}"
+        );
+        assert!(s.phases.phase_ms(Phase::Partition) > 0.0);
+        assert!(s.phases.phase_ms(Phase::Reduction) > 0.0);
+        assert!(s.phases.phase_ms(Phase::TileTraversal) > 0.0);
+        assert!(s.phases.phase_ms(Phase::ProductCompute) > 0.0);
+        assert!(s.render().contains("% of total"));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Aggregated serving telemetry.
 
-use mps_simt::Counters;
+use mps_simt::{Counters, PhaseLedger};
 
 /// Snapshot of everything the engine has done since construction (or the
 /// last [`crate::Engine::reset_stats`]). Cheap to clone; all counters are
@@ -43,6 +43,11 @@ pub struct EngineStats {
     /// Simt counters summed over executed numeric phases, including
     /// `dram_wide_bytes` from column-tiled batched traversals.
     pub totals: Counters,
+    /// Per-phase ledger of everything the engine simulated: plan builds
+    /// (Partition, Empty-Row Fixup, the SpGEMM pipeline) and executed
+    /// numeric phases (Reduction, Update, Tile Traversal, ...). The
+    /// ledger's total equals `plan_build_sim_ms + exec_sim_ms`.
+    pub phases: PhaseLedger,
 }
 
 impl EngineStats {
@@ -127,6 +132,10 @@ impl EngineStats {
             self.totals.dram_wide_bytes,
             self.totals.dram_transactions,
         ));
+        if !self.phases.is_empty() {
+            out.push('\n');
+            out.push_str(&self.phases.render());
+        }
         out
     }
 }
@@ -155,5 +164,18 @@ mod tests {
         assert!((s.mean_batch_size() - 7.0 / 3.0).abs() < 1e-12);
         let r = s.render();
         assert!(r.contains("1x1 3x2"), "{r}");
+    }
+
+    #[test]
+    fn render_appends_the_phase_table_once_charged() {
+        use mps_simt::Phase;
+        let mut s = EngineStats::default();
+        assert!(!s.render().contains("% of total"));
+        s.phases.charge(Phase::Partition, 0.5, 1024);
+        s.phases.charge(Phase::Reduction, 1.5, 4096);
+        let r = s.render();
+        assert!(r.contains("% of total"), "{r}");
+        assert!(r.contains("Partition"), "{r}");
+        assert!(r.contains("Reduction"), "{r}");
     }
 }

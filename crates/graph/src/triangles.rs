@@ -44,7 +44,7 @@ pub fn count_triangles(device: &Device, graph: &CsrMatrix) -> (u64, f64) {
         |c, _| c,
         1024,
     );
-    sim_ms += stats.sim_ms;
+    sim_ms += stats.sim_ms();
     let paths: f64 = matched.iter().sum();
     ((paths / 6.0).round() as u64, sim_ms)
 }

@@ -10,8 +10,8 @@
 
 use mps_simt::block::search::merge_path_search;
 use mps_simt::cta::Cta;
-use mps_simt::grid::{launch_map_named, LaunchConfig, LaunchStats};
-use mps_simt::Device;
+use mps_simt::grid::{launch_map_phased, LaunchConfig, LaunchStats};
+use mps_simt::{Device, Phase};
 
 use crate::Key;
 
@@ -93,20 +93,21 @@ pub fn partition_balanced<K: Key>(
     let total = a.len() + b.len();
     let num_tiles = total.div_ceil(nv).max(1);
     let cfg = LaunchConfig::new(num_tiles + 1, 64);
-    let (points, stats) = launch_map_named(device, "balanced_partition", cfg, |cta| {
-        let diag = (cta.cta_id * nv).min(total);
-        cta.read_coalesced(2 * usize::BITS as usize, K::BYTES);
-        if diag == total {
-            // Terminal point covers everything, never starred.
-            BalancedPoint {
-                a: a.len(),
-                b: b.len(),
-                starred: false,
+    let (points, stats) =
+        launch_map_phased(device, "balanced_partition", Phase::Partition, cfg, |cta| {
+            let diag = (cta.cta_id * nv).min(total);
+            cta.read_coalesced(2 * usize::BITS as usize, K::BYTES);
+            if diag == total {
+                // Terminal point covers everything, never starred.
+                BalancedPoint {
+                    a: a.len(),
+                    b: b.len(),
+                    starred: false,
+                }
+            } else {
+                balanced_path_search(cta, a, b, diag)
             }
-        } else {
-            balanced_path_search(cta, a, b, diag)
-        }
-    });
+        });
     debug_assert!(points
         .windows(2)
         .all(|w| w[0].a <= w[1].a && w[0].b <= w[1].b));

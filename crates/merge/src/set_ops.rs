@@ -11,11 +11,35 @@
 //! then a *fill* pass materializes it. Each tile is (nv ± 1) input elements
 //! regardless of duplication structure — perfectly balanced work.
 
-use mps_simt::grid::{launch_map_named, LaunchConfig, LaunchStats};
-use mps_simt::Device;
+use mps_simt::grid::{launch_map_phased, LaunchConfig, LaunchStats};
+use mps_simt::{Device, Phase};
 
 use crate::balanced_path::{partition_balanced, BalancedPoint};
 use crate::Key;
+
+/// Per-phase cost of a balanced-path set operation: the partition search,
+/// the count pass, and the fill pass (the paper's SpAdd breakdown).
+#[derive(Debug, Clone, Default)]
+pub struct SetOpStats {
+    pub partition: LaunchStats,
+    pub count: LaunchStats,
+    pub fill: LaunchStats,
+}
+
+impl SetOpStats {
+    /// All three phases folded into one [`LaunchStats`].
+    pub fn combined(&self) -> LaunchStats {
+        let mut stats = self.partition.clone();
+        stats.add(&self.count);
+        stats.add(&self.fill);
+        stats
+    }
+
+    /// Total simulated milliseconds across the three phases.
+    pub fn sim_ms(&self) -> f64 {
+        self.partition.sim_ms + self.count.sim_ms + self.fill.sim_ms
+    }
+}
 
 /// A set operation over sorted multisets with rank-matched duplicates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -134,27 +158,27 @@ pub fn set_op_pairs<K: Key, V: Copy + Send + Sync>(
     b_vals: &[V],
     combine: impl Fn(V, V) -> V + Sync,
     nv: usize,
-) -> (Vec<K>, Vec<V>, LaunchStats) {
+) -> (Vec<K>, Vec<V>, SetOpStats) {
     assert_eq!(a_keys.len(), a_vals.len(), "a keys/values length mismatch");
     assert_eq!(b_keys.len(), b_vals.len(), "b keys/values length mismatch");
     debug_assert!(a_keys.windows(2).all(|w| w[0] <= w[1]), "a not sorted");
     debug_assert!(b_keys.windows(2).all(|w| w[0] <= w[1]), "b not sorted");
 
-    let (points, mut stats) = partition_balanced(device, a_keys, b_keys, nv);
+    let (points, partition_stats) = partition_balanced(device, a_keys, b_keys, nv);
     let num_tiles = points.len() - 1;
     let tile_ranges = |t: usize| -> (BalancedPoint, BalancedPoint) { (points[t], points[t + 1]) };
     let val_bytes = std::mem::size_of::<V>().max(1);
 
     // Pass 1: count outputs per tile (the allocation pass of Section III-B).
     let cfg = LaunchConfig::new(num_tiles, 128);
-    let (counts, count_stats) = launch_map_named(device, "set_op_count", cfg, |cta| {
-        let (p0, p1) = tile_ranges(cta.cta_id);
-        let (ta, tb) = (&a_keys[p0.a..p1.a], &b_keys[p0.b..p1.b]);
-        cta.read_coalesced(ta.len() + tb.len(), K::BYTES);
-        cta.alu(2 * (ta.len() + tb.len()) as u64);
-        tile_count(op, ta, tb)
-    });
-    stats.add(&count_stats);
+    let (counts, count_stats) =
+        launch_map_phased(device, "set_op_count", Phase::Count, cfg, |cta| {
+            let (p0, p1) = tile_ranges(cta.cta_id);
+            let (ta, tb) = (&a_keys[p0.a..p1.a], &b_keys[p0.b..p1.b]);
+            cta.read_coalesced(ta.len() + tb.len(), K::BYTES);
+            cta.alu(2 * (ta.len() + tb.len()) as u64);
+            tile_count(op, ta, tb)
+        });
 
     // Host-side exclusive scan of tile counts (a single cheap kernel on the
     // device; charged as one coalesced pass).
@@ -162,7 +186,7 @@ pub fn set_op_pairs<K: Key, V: Copy + Send + Sync>(
 
     // Pass 2: fill. Each tile stages its slice in shared memory, walks the
     // zip order, and writes its compacted range.
-    let (tiles, fill_stats) = launch_map_named(device, "set_op_fill", cfg, |cta| {
+    let (tiles, fill_stats) = launch_map_phased(device, "set_op_fill", Phase::Fill, cfg, |cta| {
         let (p0, p1) = tile_ranges(cta.cta_id);
         let (ta, tb) = (&a_keys[p0.a..p1.a], &b_keys[p0.b..p1.b]);
         let (va, vb) = (&a_vals[p0.a..p1.a], &b_vals[p0.b..p1.b]);
@@ -191,7 +215,6 @@ pub fn set_op_pairs<K: Key, V: Copy + Send + Sync>(
         cta.write_coalesced(keys.len(), K::BYTES + val_bytes);
         (keys, vals)
     });
-    stats.add(&fill_stats);
 
     let mut keys = Vec::with_capacity(total);
     let mut vals = Vec::with_capacity(total);
@@ -200,7 +223,15 @@ pub fn set_op_pairs<K: Key, V: Copy + Send + Sync>(
         vals.extend(tv);
     }
     debug_assert_eq!(keys.len(), total, "count pass disagrees with fill pass");
-    (keys, vals, stats)
+    (
+        keys,
+        vals,
+        SetOpStats {
+            partition: partition_stats,
+            count: count_stats,
+            fill: fill_stats,
+        },
+    )
 }
 
 /// Keys-only parallel set operation (the Figure 2 `keys-*` variants).
@@ -214,7 +245,7 @@ pub fn set_op_keys<K: Key>(
     let unit_a = vec![(); a.len()];
     let unit_b = vec![(); b.len()];
     let (keys, _, stats) = set_op_pairs(device, op, a, &unit_a, b, &unit_b, |_, _| (), nv);
-    (keys, stats)
+    (keys, stats.combined())
 }
 
 #[cfg(test)]

@@ -146,6 +146,16 @@ impl Device {
     pub fn cycles_to_ms(&self, cycles: u64) -> f64 {
         cycles as f64 / (self.props.clock_ghz * 1e9) * 1e3
     }
+
+    /// Run `f` with `phase` as the calling thread's current phase span:
+    /// launches issued inside the closure through the `*_named` launchers
+    /// are attributed to `phase` in the trace. Scopes nest and restore the
+    /// previous phase on exit. The span is per-thread — launches issued
+    /// from rayon workers inside `f` should use the explicit `*_phased`
+    /// launchers instead.
+    pub fn phase_scope<R>(&self, phase: crate::trace::Phase, f: impl FnOnce() -> R) -> R {
+        crate::trace::with_phase(phase, f)
+    }
 }
 
 #[cfg(test)]

@@ -12,7 +12,7 @@ use crate::cost::Counters;
 use crate::cta::Cta;
 use crate::device::Device;
 use crate::sched::makespan;
-use crate::trace::KernelRecord;
+use crate::trace::{KernelRecord, Phase};
 
 /// Grid geometry for one kernel launch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,10 +75,30 @@ where
     launch_map_named(device, "unnamed", cfg, body)
 }
 
-/// [`launch_map`] with a kernel name recorded by the device tracer.
+/// [`launch_map`] with a kernel name recorded by the device tracer. The
+/// record is attributed to the calling thread's current [`Phase`] (set by
+/// [`crate::Device::phase_scope`]), or [`Phase::Unattributed`] outside any
+/// scope.
 pub fn launch_map_named<T, F>(
     device: &Device,
     name: &'static str,
+    cfg: LaunchConfig,
+    body: F,
+) -> (Vec<T>, LaunchStats)
+where
+    T: Send,
+    F: Fn(&mut Cta) -> T + Sync,
+{
+    launch_map_phased(device, name, Phase::current(), cfg, body)
+}
+
+/// [`launch_map_named`] with an explicit [`Phase`] label. Use this at core
+/// kernel sites: the explicit label wins over any enclosing scope and is
+/// correct even when the launch is issued from a rayon worker thread.
+pub fn launch_map_phased<T, F>(
+    device: &Device,
+    name: &'static str,
+    phase: Phase,
     cfg: LaunchConfig,
     body: F,
 ) -> (Vec<T>, LaunchStats)
@@ -113,6 +133,7 @@ where
     if let Some(tracer) = &device.tracer {
         tracer.record(KernelRecord {
             name,
+            phase,
             grid_dim: cfg.grid_dim,
             block_dim: cfg.block_dim,
             makespan_cycles: cycles,
@@ -159,6 +180,33 @@ pub fn launch_map_into<T, F>(
     T: Send,
     F: Fn(&mut Cta) -> T + Sync,
 {
+    launch_map_into_phased(
+        device,
+        name,
+        Phase::current(),
+        cfg,
+        body,
+        bufs,
+        outputs,
+        stats,
+    )
+}
+
+/// [`launch_map_into`] with an explicit [`Phase`] label.
+#[allow(clippy::too_many_arguments)]
+pub fn launch_map_into_phased<T, F>(
+    device: &Device,
+    name: &'static str,
+    phase: Phase,
+    cfg: LaunchConfig,
+    body: F,
+    bufs: &mut LaunchBuffers<T>,
+    outputs: &mut Vec<T>,
+    stats: &mut LaunchStats,
+) where
+    T: Send,
+    F: Fn(&mut Cta) -> T + Sync,
+{
     let warp = device.props.warp_size;
     (0..cfg.grid_dim)
         .into_par_iter()
@@ -182,6 +230,7 @@ pub fn launch_map_into<T, F>(
     if let Some(tracer) = &device.tracer {
         tracer.record(KernelRecord {
             name,
+            phase,
             grid_dim: cfg.grid_dim,
             block_dim: cfg.block_dim,
             makespan_cycles: cycles,

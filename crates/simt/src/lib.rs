@@ -37,6 +37,7 @@ pub use cost::{CostModel, Counters};
 pub use cta::Cta;
 pub use device::{Device, DeviceProps};
 pub use grid::{
-    launch_map, launch_map_into, launch_map_named, LaunchBuffers, LaunchConfig, LaunchStats,
+    launch_map, launch_map_into, launch_map_into_phased, launch_map_named, launch_map_phased,
+    LaunchBuffers, LaunchConfig, LaunchStats,
 };
-pub use trace::{KernelRecord, Tracer};
+pub use trace::{with_phase, KernelRecord, Phase, PhaseEntry, PhaseLedger, PhaseReport, Tracer};

@@ -4,15 +4,15 @@
 //! axpy reads both and writes one. The grid covers the vector at 4096
 //! elements per CTA, so cost scales like the SpMV phases around them.
 
-use mps_simt::grid::{launch_map_named, LaunchConfig, LaunchStats};
-use mps_simt::Device;
+use mps_simt::grid::{launch_map_phased, LaunchConfig, LaunchStats};
+use mps_simt::{Device, Phase};
 use mps_sparse::DenseBlock;
 
 const NV: usize = 4096;
 
 fn streaming_launch(device: &Device, n: usize, streams_read: usize, writes: bool) -> LaunchStats {
     let cfg = LaunchConfig::new(n.div_ceil(NV).max(1), 128);
-    let (_, stats) = launch_map_named(device, "blas1_stream", cfg, |cta| {
+    let (_, stats) = launch_map_phased(device, "blas1_stream", Phase::Blas1, cfg, |cta| {
         let lo = cta.cta_id * NV;
         let hi = (lo + NV).min(n);
         cta.read_coalesced((hi - lo) * streams_read, 8);

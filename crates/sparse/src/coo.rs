@@ -3,6 +3,51 @@
 use crate::csr::CsrMatrix;
 use crate::pack_key;
 
+/// Why a COO triplet set cannot convert to CSR. Produced by
+/// [`CsrMatrix::try_from_coo`], which validates triplets assembled through
+/// the public fields (the checked [`CooMatrix::push`] path cannot produce
+/// either condition).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CooError {
+    /// The parallel index/value vectors have different lengths.
+    RaggedTriplets {
+        rows: usize,
+        cols: usize,
+        values: usize,
+    },
+    /// An entry lies outside the declared shape.
+    EntryOutOfBounds {
+        index: usize,
+        row: u32,
+        col: u32,
+        num_rows: usize,
+        num_cols: usize,
+    },
+}
+
+impl std::fmt::Display for CooError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CooError::RaggedTriplets { rows, cols, values } => write!(
+                f,
+                "ragged COO triplets: {rows} row indices, {cols} column indices, {values} values"
+            ),
+            CooError::EntryOutOfBounds {
+                index,
+                row,
+                col,
+                num_rows,
+                num_cols,
+            } => write!(
+                f,
+                "entry #{index} ({row},{col}) out of bounds for {num_rows}x{num_cols}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CooError {}
+
 /// A sparse matrix in coordinate format. Entries may be in any order and
 /// may contain duplicates until [`CooMatrix::canonicalize`] is called.
 #[derive(Debug, Clone, PartialEq)]

@@ -1,6 +1,6 @@
 //! Compressed sparse row (CSR) storage.
 
-use crate::coo::CooMatrix;
+use crate::coo::{CooError, CooMatrix};
 
 /// A sparse matrix in CSR format: `row_offsets[r]..row_offsets[r+1]` is the
 /// slice of `col_idx`/`values` holding row `r`, sorted by column.
@@ -35,6 +35,39 @@ impl CsrMatrix {
             col_idx: (0..n as u32).collect(),
             values: vec![1.0; n],
         }
+    }
+
+    /// Convert COO triplets to CSR, validating them first: the parallel
+    /// vectors must agree in length and every entry must lie inside the
+    /// declared shape. Triplets assembled through [`CooMatrix::push`]
+    /// always pass; this guards matrices built through the public fields
+    /// (deserializers, generators, FFI shims).
+    pub fn try_from_coo(coo: &CooMatrix) -> Result<CsrMatrix, CooError> {
+        if coo.row_idx.len() != coo.col_idx.len() || coo.row_idx.len() != coo.values.len() {
+            return Err(CooError::RaggedTriplets {
+                rows: coo.row_idx.len(),
+                cols: coo.col_idx.len(),
+                values: coo.values.len(),
+            });
+        }
+        for (index, (&row, &col)) in coo.row_idx.iter().zip(&coo.col_idx).enumerate() {
+            if row as usize >= coo.num_rows || col as usize >= coo.num_cols {
+                return Err(CooError::EntryOutOfBounds {
+                    index,
+                    row,
+                    col,
+                    num_rows: coo.num_rows,
+                    num_cols: coo.num_cols,
+                });
+            }
+        }
+        Ok(coo.to_csr())
+    }
+
+    /// Like [`CsrMatrix::try_from_coo`], but panics with the error's
+    /// display text on invalid triplets.
+    pub fn from_coo(coo: &CooMatrix) -> CsrMatrix {
+        Self::try_from_coo(coo).unwrap_or_else(|e| panic!("{e}"))
     }
 
     pub fn nnz(&self) -> usize {
@@ -209,6 +242,43 @@ impl CsrMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn try_from_coo_accepts_valid_and_matches_to_csr() {
+        let coo = CooMatrix::from_triplets(3, 3, [(0, 1, 2.0), (2, 0, 5.0), (1, 1, 1.0)]);
+        let csr = CsrMatrix::try_from_coo(&coo).expect("valid triplets");
+        assert_eq!(csr, coo.to_csr());
+        assert_eq!(csr, CsrMatrix::from_coo(&coo));
+    }
+
+    #[test]
+    fn try_from_coo_rejects_out_of_bounds_and_ragged() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.row_idx = vec![0, 3];
+        coo.col_idx = vec![0, 1];
+        coo.values = vec![1.0, 2.0];
+        match CsrMatrix::try_from_coo(&coo) {
+            Err(CooError::EntryOutOfBounds { index, row, .. }) => {
+                assert_eq!((index, row), (1, 3));
+            }
+            other => panic!("expected EntryOutOfBounds, got {other:?}"),
+        }
+        coo.row_idx.pop();
+        assert!(matches!(
+            CsrMatrix::try_from_coo(&coo),
+            Err(CooError::RaggedTriplets { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn from_coo_panics_with_the_error_text() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.row_idx = vec![9];
+        coo.col_idx = vec![0];
+        coo.values = vec![1.0];
+        CsrMatrix::from_coo(&coo);
+    }
 
     /// Matrix B from Section III of the paper.
     pub fn paper_b() -> CsrMatrix {

@@ -25,7 +25,7 @@ pub mod reorder;
 pub mod stats;
 pub mod suite;
 
-pub use coo::CooMatrix;
+pub use coo::{CooError, CooMatrix};
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
 pub use dense::DenseBlock;

@@ -91,7 +91,7 @@ fn main() {
     println!(
         "balanced-path intersection: {} matched edges, simulated {:.3} ms",
         matched.len(),
-        set_stats.sim_ms
+        set_stats.sim_ms()
     );
     println!("triangles: {}", triangles as u64);
 

@@ -46,16 +46,124 @@ pub use mps_simt as simt;
 pub use mps_solvers as solvers;
 pub use mps_sparse as sparse;
 
+/// Unified facade error: every fallible path in the workspace — engine
+/// serving, plan construction, COO validation, Matrix Market I/O —
+/// converts into this one enum, so `fn f() -> Result<_, merge_path_sparse::Error>`
+/// can use `?` across layers.
+#[derive(Debug)]
+pub enum Error {
+    /// Serving-layer refusal or failure ([`mps_engine::EngineError`]).
+    Engine(mps_engine::EngineError),
+    /// Kernel plan construction failure ([`mps_core::PlanError`]).
+    Plan(mps_core::PlanError),
+    /// COO triplet validation failure ([`mps_sparse::CooError`]).
+    Format(mps_sparse::CooError),
+    /// Matrix Market I/O failure ([`mps_sparse::io::MmError`]).
+    Io(mps_sparse::io::MmError),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Engine(e) => write!(f, "engine: {e}"),
+            Error::Plan(e) => write!(f, "plan: {e}"),
+            Error::Format(e) => write!(f, "format: {e}"),
+            Error::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Engine(e) => Some(e),
+            Error::Plan(e) => Some(e),
+            Error::Format(e) => Some(e),
+            Error::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<mps_engine::EngineError> for Error {
+    fn from(e: mps_engine::EngineError) -> Self {
+        Error::Engine(e)
+    }
+}
+
+impl From<mps_core::PlanError> for Error {
+    fn from(e: mps_core::PlanError) -> Self {
+        Error::Plan(e)
+    }
+}
+
+impl From<mps_sparse::CooError> for Error {
+    fn from(e: mps_sparse::CooError) -> Self {
+        Error::Format(e)
+    }
+}
+
+impl From<mps_sparse::io::MmError> for Error {
+    fn from(e: mps_sparse::io::MmError) -> Self {
+        Error::Io(e)
+    }
+}
+
 /// The commonly used names in one import.
 pub mod prelude {
+    pub use crate::Error;
     pub use mps_core::{
-        merge_spadd, merge_spgemm, merge_spmm, merge_spmv, SpAddConfig, SpAddPlan, SpgemmConfig,
-        SpgemmPlan, SpmmConfig, SpmmPlan, SpmvConfig, SpmvPlan, Workspace,
+        merge_spadd, merge_spgemm, merge_spmm, merge_spmv, PlanError, SpAddConfig, SpAddPlan,
+        SpgemmConfig, SpgemmPlan, SpmmConfig, SpmmPlan, SpmvConfig, SpmvPlan, Workspace,
     };
-    pub use mps_engine::{Engine, EngineConfig, EngineError, EngineStats, Ticket};
-    pub use mps_simt::Device;
+    pub use mps_engine::{
+        Engine, EngineConfig, EngineConfigBuilder, EngineError, EngineOutput, EngineStats, Ticket,
+    };
+    pub use mps_simt::{Device, Phase, PhaseLedger, PhaseReport};
     pub use mps_solvers::{
         block_cg, block_cg_with_engine, cg, AmgHierarchy, AmgOptions, SolverOptions,
     };
-    pub use mps_sparse::{gen, suite::SuiteMatrix, CooMatrix, CsrMatrix, DenseBlock, MatrixStats};
+    pub use mps_sparse::{
+        gen, suite::SuiteMatrix, CooError, CooMatrix, CsrMatrix, DenseBlock, MatrixStats,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_error_converts_from_every_layer() {
+        fn engine_path() -> Result<(), Error> {
+            Err(mps_engine::EngineError::InvalidConfig(
+                "max_batch must be at least 1",
+            ))?;
+            Ok(())
+        }
+        fn plan_path() -> Result<(), Error> {
+            Err(mps_core::PlanError::InnerDimMismatch {
+                a_cols: 2,
+                b_rows: 3,
+            })?;
+            Ok(())
+        }
+        fn format_path() -> Result<(), Error> {
+            let mut coo = mps_sparse::CooMatrix::new(1, 1);
+            coo.row_idx = vec![5];
+            coo.col_idx = vec![0];
+            coo.values = vec![1.0];
+            mps_sparse::CsrMatrix::try_from_coo(&coo)?;
+            Ok(())
+        }
+        fn io_path() -> Result<(), Error> {
+            mps_sparse::io::read_matrix_market("not a matrix".as_bytes())?;
+            Ok(())
+        }
+        assert!(matches!(engine_path(), Err(Error::Engine(_))));
+        assert!(matches!(plan_path(), Err(Error::Plan(_))));
+        assert!(matches!(format_path(), Err(Error::Format(_))));
+        assert!(matches!(io_path(), Err(Error::Io(_))));
+        let e = engine_path().unwrap_err();
+        assert!(e.to_string().starts_with("engine:"), "{e}");
+        assert!(std::error::Error::source(&e).is_some());
+    }
 }

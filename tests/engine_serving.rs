@@ -84,7 +84,10 @@ proptest! {
             .collect();
         prop_assert_eq!(engine.flush(), batch);
         for (i, (t, want)) in tickets.into_iter().zip(&expected).enumerate() {
-            let got = engine.take_result(t).expect("flushed request completed");
+            let got = engine
+                .take_result(t)
+                .expect("flushed request completed")
+                .into_vector();
             prop_assert_eq!(got.len(), want.len());
             for (j, (g, w)) in got.iter().zip(want).enumerate() {
                 prop_assert_eq!(
@@ -134,11 +137,68 @@ proptest! {
             .collect();
         prop_assert_eq!(engine.flush(), batch);
         for (t, want) in tickets.into_iter().zip(&expected) {
-            let got = engine.take_result(t).expect("completed");
+            let got = engine.take_result(t).expect("completed").into_vector();
             let got_bits: Vec<u64> = got.iter().map(|v| v.to_bits()).collect();
             let want_bits: Vec<u64> = want.iter().map(|v| v.to_bits()).collect();
             prop_assert_eq!(got_bits, want_bits);
         }
         prop_assert_eq!(engine.stats().batches as usize, batch.div_ceil(max_batch));
+    }
+
+    /// Block submissions ([`Engine::submit_spmm`]) redeem as typed blocks
+    /// whose data is bitwise identical to a standalone planned SpMM run —
+    /// whatever mixed vector/block grouping the flush's column budget
+    /// chose, and with vector neighbours still matching standalone SpMV.
+    #[test]
+    fn block_submissions_match_standalone_plans_bitwise(
+        rows in 1usize..120,
+        cols in 1usize..120,
+        seed in 0u64..1000,
+        k in 1usize..6,
+        extra_vecs in 0usize..4,
+        max_batch in 1usize..8,
+    ) {
+        let dev = device();
+        let a = Arc::new(sprinkled(rows, cols, 2, 4, seed));
+        let block = DenseBlock::from_fn(cols, k, |r, c| {
+            operand(cols, c)[r] + r as f64 * 0.125
+        });
+
+        // References: one standalone planned SpMM at width k, and
+        // standalone planned SpMVs for the vector submissions.
+        let spmm_plan = SpmmPlan::new(&dev, &a, k, &SpmmConfig::default());
+        let mut ws = Workspace::new();
+        let mut want_block = DenseBlock::zeros(0, 0);
+        spmm_plan.execute_into(&a, &block, &mut want_block, &mut ws);
+        let spmv_plan = SpmvPlan::new(&dev, &a, &SpmvConfig::default());
+        let want_vecs: Vec<Vec<f64>> = (0..extra_vecs)
+            .map(|s| {
+                let mut y = Vec::new();
+                spmv_plan.execute_into(&a, &operand(cols, 100 + s), &mut y, &mut ws);
+                y
+            })
+            .collect();
+
+        let cfg = EngineConfig { max_batch, ..EngineConfig::default() };
+        let engine = Engine::with_config(&dev, cfg);
+        let tb = engine.submit_spmm(&a, block.clone(), None).expect("admitted");
+        let tvs: Vec<_> = (0..extra_vecs)
+            .map(|s| {
+                engine
+                    .submit_spmv(&a, operand(cols, 100 + s), None)
+                    .expect("admitted")
+            })
+            .collect();
+        prop_assert_eq!(engine.flush(), 1 + extra_vecs);
+
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+        let got_block = engine.take_result(tb).expect("block completed").into_block();
+        prop_assert_eq!(got_block.rows, want_block.rows);
+        prop_assert_eq!(got_block.cols, k);
+        prop_assert_eq!(bits(&got_block.data), bits(&want_block.data));
+        for (t, want) in tvs.into_iter().zip(&want_vecs) {
+            let got = engine.take_result(t).expect("vector completed").into_vector();
+            prop_assert_eq!(bits(&got), bits(want));
+        }
     }
 }
