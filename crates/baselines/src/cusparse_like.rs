@@ -228,7 +228,11 @@ pub fn spgemm(device: &Device, a: &CsrMatrix, b: &CsrMatrix) -> (CsrMatrix, Laun
     let mut row_offsets = vec![0usize; rows + 1];
     let mut col_idx = Vec::new();
     let mut values = Vec::new();
-    for (r, (cols, vals)) in tiles.into_iter().enumerate() {
+    // The grid is clamped to one CTA even for a 0-row A, so the launch can
+    // hand back more tiles than output rows; only the first `rows` carry
+    // row data (the rest are the empty placeholders CTAs beyond `rows`
+    // return).
+    for (r, (cols, vals)) in tiles.into_iter().enumerate().take(rows) {
         row_offsets[r + 1] = row_offsets[r] + cols.len();
         col_idx.extend(cols);
         values.extend(vals);
@@ -291,6 +295,19 @@ mod tests {
         let a = gen::random_uniform(120, 120, 5.0, 3.0, 6);
         let (c, _) = spgemm(&dev(), &a, &a);
         assert!(c.approx_eq(&spgemm_ref(&a, &a), 1e-12));
+    }
+
+    #[test]
+    fn hash_spgemm_handles_zero_row_operands() {
+        // Regression: a 0-row A still launches the clamped one-CTA grid,
+        // whose placeholder tile must not be written past row_offsets.
+        for (m, k, n) in [(0, 0, 0), (0, 5, 3), (4, 5, 0)] {
+            let a = CsrMatrix::zeros(m, k);
+            let b = CsrMatrix::zeros(k, n);
+            let (c, _) = spgemm(&dev(), &a, &b);
+            assert_eq!(c, spgemm_ref(&a, &b), "{m}x{k} * {k}x{n}");
+            c.validate().expect("well-formed empty product");
+        }
     }
 
     #[test]

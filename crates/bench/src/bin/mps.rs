@@ -8,6 +8,7 @@
 //! mps spgemm a.mtx b.mtx [-o prod.mtx]
 //! mps reorder a.mtx -o rcm.mtx        # RCM bandwidth reduction
 //! mps trace a.mtx                      # phase-attributed kernel breakdown
+//! mps conformance [--tiny]             # differential sweep, all implementations
 //! ```
 //!
 //! Simulated device timings and correlations print to stdout; matrices
@@ -17,7 +18,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use mps_baselines::{cusp, cusparse_like};
-use mps_bench::trace_exp;
+use mps_bench::{conformance, trace_exp};
 use mps_core::{merge_spadd, merge_spgemm, merge_spmv, SpAddConfig, SpgemmConfig, SpmvConfig};
 use mps_simt::Device;
 use mps_sparse::io::{load_matrix_market, write_matrix_market};
@@ -25,9 +26,10 @@ use mps_sparse::reorder::{bandwidth, permute_symmetric, reverse_cuthill_mckee};
 use mps_sparse::stats::MatrixStats;
 use mps_sparse::suite::SuiteMatrix;
 use mps_sparse::CsrMatrix;
+use mps_testkit::adversarial::Scale;
 
 fn usage() -> &'static str {
-    "usage:\n  mps info <matrix.mtx>\n  mps generate <suite-name> [--scale X] -o <out.mtx>\n  mps spmv <a.mtx>\n  mps spadd <a.mtx> <b.mtx> [-o <out.mtx>]\n  mps spgemm <a.mtx> <b.mtx> [-o <out.mtx>]\n  mps reorder <a.mtx> -o <out.mtx>\n  mps trace <a.mtx | suite-name> [--scale X]\n\nsuite names: dense protein spheres cantilever wind harbor qcd ship\n             economics epidemiology accelerator circuit webbase lp"
+    "usage:\n  mps info <matrix.mtx>\n  mps generate <suite-name> [--scale X] -o <out.mtx>\n  mps spmv <a.mtx>\n  mps spadd <a.mtx> <b.mtx> [-o <out.mtx>]\n  mps spgemm <a.mtx> <b.mtx> [-o <out.mtx>]\n  mps reorder <a.mtx> -o <out.mtx>\n  mps trace <a.mtx | suite-name> [--scale X]\n  mps conformance [--tiny]\n\nsuite names: dense protein spheres cantilever wind harbor qcd ship\n             economics epidemiology accelerator circuit webbase lp"
 }
 
 fn load(path: &str) -> Result<CsrMatrix, String> {
@@ -50,12 +52,14 @@ struct Parsed {
     positional: Vec<String>,
     out: Option<PathBuf>,
     scale: f64,
+    tiny: bool,
 }
 
 fn parse(args: &[String]) -> Result<Parsed, String> {
     let mut positional = Vec::new();
     let mut out = None;
     let mut scale = 0.05;
+    let mut tiny = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -71,6 +75,7 @@ fn parse(args: &[String]) -> Result<Parsed, String> {
                     .parse()
                     .map_err(|e| format!("bad --scale: {e}"))?
             }
+            "--tiny" => tiny = true,
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
             other => positional.push(other.to_string()),
         }
@@ -79,6 +84,7 @@ fn parse(args: &[String]) -> Result<Parsed, String> {
         positional,
         out,
         scale,
+        tiny,
     })
 }
 
@@ -198,6 +204,17 @@ fn run() -> Result<(), String> {
                 println!();
                 println!("== {} ({:.4} ms simulated) ==", r.kernel, r.total_ms());
                 print!("{}", r.report.render());
+            }
+        }
+        "conformance" => {
+            let scale = if p.tiny { Scale::Tiny } else { Scale::Full };
+            let report = conformance::run(scale);
+            print!("{}", report.render());
+            if !report.is_clean() {
+                return Err(format!(
+                    "{} divergence(s) — implementations disagree",
+                    report.divergences.len()
+                ));
             }
         }
         "reorder" => {

@@ -1,0 +1,43 @@
+//! CLI front end for the differential conformance sweep.
+//!
+//! Runs every kernel implementation in the workspace (merge kernels and
+//! plans, baseline ports, format kernels, engine direct and batched
+//! paths) over the adversarial generator suite from `mps-testkit`, plus
+//! the duplicate-saturated COO assembly cases, and reports every
+//! divergence. `mps conformance` runs the full suite; `--tiny` runs the
+//! reduced one used as a CI smoke test.
+
+use mps_simt::Device;
+use mps_testkit::adversarial::{self, Scale};
+use mps_testkit::{ConformanceReport, Oracle};
+
+/// Sweep the adversarial suite at the given scale and fold in the
+/// duplicate-heavy COO assembly checks. The returned report carries
+/// every check count, skip, and divergence; render it with
+/// [`ConformanceReport::render`].
+pub fn run(scale: Scale) -> ConformanceReport {
+    let oracle = Oracle::new(&Device::titan());
+    let mut report = oracle.run(&adversarial::suite(scale));
+    let seeds: u64 = match scale {
+        Scale::Tiny => 2,
+        Scale::Full => 8,
+    };
+    for seed in 0..seeds {
+        let coo = adversarial::duplicate_saturated_coo(40, 24, 150, 6, seed);
+        report.cases += 1;
+        oracle.check_coo(&format!("dup-coo-{seed}"), &coo, &mut report);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_is_clean() {
+        let report = run(Scale::Tiny);
+        assert!(report.is_clean(), "{}", report.render());
+        assert!(report.checks > 100, "{}", report.render());
+    }
+}

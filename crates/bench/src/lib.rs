@@ -17,10 +17,12 @@
 //! | SpMM layer | [`spmm_exp`] | tiled SpMM vs K repeated planned SpMVs (sim + host) |
 //! | serving layer | [`serve_exp`] | batched vs unbatched SpMV serving through the engine |
 //! | phase breakdown | [`trace_exp`] | per-kernel phase-attributed time over the suite |
+//! | conformance | [`conformance`] | differential sweep of every implementation vs its oracle |
 //!
 //! All experiments are deterministic: simulated device time is a pure
 //! function of the generated workloads.
 
+pub mod conformance;
 pub mod fig2;
 pub mod fig4;
 pub mod sensitivity;

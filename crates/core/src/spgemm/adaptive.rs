@@ -174,7 +174,11 @@ pub fn segmented_spgemm(
     let mut col_idx = Vec::new();
     let mut values = Vec::new();
     let mut products = 0u64;
-    for (r, (cols, vals, p)) in tiles.into_iter().enumerate() {
+    // The grid is clamped to one CTA even for a 0-row A, so the launch can
+    // hand back more tiles than output rows; only the first `rows` carry
+    // row data (the rest are the empty placeholders CTAs beyond `rows`
+    // return).
+    for (r, (cols, vals, p)) in tiles.into_iter().enumerate().take(rows) {
         row_offsets[r + 1] = row_offsets[r] + cols.len();
         col_idx.extend(cols);
         values.extend(vals);
@@ -251,6 +255,20 @@ mod tests {
         let b = gen::random_uniform(50, 20, 4.0, 2.0, 4);
         let got = segmented_spgemm(&dev(), &a, &b, &cfg());
         assert_eq!(to_dense(&got.c), to_dense(&spgemm_ref(&a, &b)));
+    }
+
+    #[test]
+    fn segmented_handles_zero_row_operands() {
+        use mps_sparse::CsrMatrix;
+        for (m, k, n) in [(0, 0, 0), (0, 5, 3), (4, 5, 0)] {
+            let a = CsrMatrix::zeros(m, k);
+            let b = CsrMatrix::zeros(k, n);
+            let got = segmented_spgemm(&dev(), &a, &b, &cfg());
+            got.c
+                .validate()
+                .unwrap_or_else(|e| panic!("{m}x{k}·{k}x{n}: {e}"));
+            assert_eq!(to_dense(&got.c), to_dense(&spgemm_ref(&a, &b)));
+        }
     }
 
     #[test]

@@ -107,6 +107,14 @@ impl PlanCache {
         }
     }
 
+    /// Chaos hook: drop every cached plan at once (an eviction storm).
+    /// Returns the number of plans dropped.
+    pub fn clear(&mut self) -> usize {
+        let dropped = self.entries.len();
+        self.entries.clear();
+        dropped
+    }
+
     pub fn len(&self) -> usize {
         self.entries.len()
     }

@@ -71,12 +71,14 @@
 
 mod batch;
 mod cache;
+mod chaos;
 mod error;
 mod pool;
 mod stats;
 
 pub use batch::Ticket;
 pub use cache::{CachedPlan, PlanKey};
+pub use chaos::{ChaosConfig, ChaosCounters};
 pub use error::EngineError;
 pub use stats::EngineStats;
 
@@ -95,6 +97,7 @@ use mps_sparse::{CsrMatrix, DenseBlock};
 
 use batch::{Batcher, QueueKey, Request, RequestPayload};
 use cache::PlanCache;
+use chaos::ChaosState;
 use pool::WorkspacePool;
 
 /// Typed result redeemed from a ticket: vector submissions
@@ -158,6 +161,10 @@ pub struct EngineConfig {
     /// Bounds the store's growth when callers drop tickets without
     /// redeeming them.
     pub result_ttl_flushes: u64,
+    /// Seeded deterministic fault injection (disabled by default). See
+    /// [`ChaosConfig`] for the injection points and their replay
+    /// guarantees.
+    pub chaos: ChaosConfig,
     pub spmv: SpmvConfig,
     pub spmm: SpmmConfig,
     pub spadd: SpAddConfig,
@@ -172,6 +179,7 @@ impl Default for EngineConfig {
             max_queue_depth: 64,
             max_batch: spmm.tile(),
             result_ttl_flushes: 1024,
+            chaos: ChaosConfig::default(),
             spmv: SpmvConfig::default(),
             spmm,
             spadd: SpAddConfig::default(),
@@ -206,6 +214,11 @@ impl EngineConfig {
         if self.result_ttl_flushes == 0 {
             return Err(EngineError::InvalidConfig(
                 "result_ttl_flushes must be at least 1",
+            ));
+        }
+        if !self.chaos.is_valid() {
+            return Err(EngineError::InvalidConfig(
+                "chaos probabilities must be finite and within [0, 1]",
             ));
         }
         if self.spmv.nv() != self.spmm.nv() {
@@ -254,6 +267,12 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Seeded deterministic fault injection ([`EngineConfig::chaos`]).
+    pub fn chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.cfg.chaos = chaos;
+        self
+    }
+
     pub fn spmv(mut self, cfg: SpmvConfig) -> Self {
         self.cfg.spmv = cfg;
         self
@@ -297,6 +316,8 @@ struct Inner {
     /// survives between batches).
     scratch_x: DenseBlock,
     scratch_y: DenseBlock,
+    /// Fault-decision stream for [`EngineConfig::chaos`].
+    chaos: ChaosState,
 }
 
 impl Inner {
@@ -313,7 +334,11 @@ impl Inner {
         fp
     }
 
-    fn checkout_ws(&mut self) -> Workspace {
+    fn checkout_ws(&mut self, chaos_cfg: &ChaosConfig) -> Workspace {
+        if self.chaos.roll(chaos_cfg.pool_exhaust_p) {
+            self.pool.exhaust();
+            self.stats.chaos.pool_exhaustions += 1;
+        }
         let before = self.pool.reuses;
         let ws = self.pool.checkout();
         self.stats.pool_checkouts += 1;
@@ -321,6 +346,18 @@ impl Inner {
             self.stats.pool_reuses += 1;
         }
         ws
+    }
+
+    /// Chaos hook run before every plan-cache lookup: with probability
+    /// [`ChaosConfig::cache_storm_p`], every cached plan is dropped and
+    /// the lookup proceeds against an empty cache. Storm drops count as
+    /// cache evictions (that is what callers observe).
+    fn maybe_cache_storm(&mut self, chaos_cfg: &ChaosConfig) {
+        if self.chaos.roll(chaos_cfg.cache_storm_p) {
+            let dropped = self.cache.clear();
+            self.stats.cache_evictions += dropped as u64;
+            self.stats.chaos.cache_storms += 1;
+        }
     }
 }
 
@@ -359,6 +396,7 @@ impl Engine {
                 fp_memo: HashMap::new(),
                 scratch_x: DenseBlock::zeros(0, 0),
                 scratch_y: DenseBlock::zeros(0, 0),
+                chaos: ChaosState::new(cfg.chaos.seed),
             }),
             cfg,
         })
@@ -387,7 +425,7 @@ impl Engine {
     /// plans themselves, e.g. solvers). Return it with
     /// [`Engine::return_workspace`] so its capacity keeps serving.
     pub fn checkout_workspace(&self) -> Workspace {
-        self.inner.lock().checkout_ws()
+        self.inner.lock().checkout_ws(&self.cfg.chaos)
     }
 
     pub fn return_workspace(&self, ws: Workspace) {
@@ -426,6 +464,7 @@ impl Engine {
             b: b.pattern_fingerprint(),
         };
         let mut inner = self.inner.lock();
+        inner.maybe_cache_storm(&self.cfg.chaos);
         let l = inner.cache.get_or_insert_with(key, || {
             CachedPlan::SpAdd(Arc::new(SpAddPlan::new(
                 &self.device,
@@ -454,6 +493,7 @@ impl Engine {
             b: b.pattern_fingerprint(),
         };
         let mut inner = self.inner.lock();
+        inner.maybe_cache_storm(&self.cfg.chaos);
         let l = inner.cache.get_or_insert_with(key, || {
             CachedPlan::Spgemm(Arc::new(SpgemmPlan::new(
                 &self.device,
@@ -593,6 +633,16 @@ impl Engine {
     ) -> Result<Ticket, EngineError> {
         let mut inner = self.inner.lock();
         let fp = inner.fingerprint_of(a);
+        if inner.chaos.roll(self.cfg.chaos.reject_submit_p) {
+            let queue_depth = inner.batcher.depth(QueueKey::of(fp, a));
+            inner.stats.chaos.forced_rejections += 1;
+            inner.stats.rejected_overload += 1;
+            return Err(EngineError::Overloaded {
+                fingerprint: fp,
+                queue_depth,
+                limit: self.cfg.max_queue_depth,
+            });
+        }
         let deadline = deadline.map(|d| Instant::now() + d);
         match inner
             .batcher
@@ -642,27 +692,33 @@ impl Engine {
                 let mut group_cols = 0usize;
                 let mut expired: Vec<Ticket> = Vec::new();
                 while group_cols < self.cfg.max_batch {
-                    match queue.pending.front() {
-                        Some(r) if r.deadline.is_some_and(|d| now >= d) => {
-                            let r = queue.pending.pop_front().expect("front exists");
-                            expired.push(r.ticket);
-                        }
-                        // FIFO packing: stop at the first request that
-                        // would overflow the column budget (an oversized
-                        // request is still admitted when it is alone).
-                        Some(r)
-                            if !group.is_empty()
-                                && group_cols + r.payload.cols() > self.cfg.max_batch =>
-                        {
-                            break;
-                        }
-                        Some(_) => {
-                            let r = queue.pending.pop_front().expect("front exists");
-                            group_cols += r.payload.cols();
-                            group.push(r);
-                        }
+                    let (cols, req_deadline) = match queue.pending.front() {
+                        Some(r) => (r.payload.cols(), r.deadline),
                         None => break,
+                    };
+                    // A deadline-carrying request expires naturally by the
+                    // clock, or forcibly under the chaos schedule (the
+                    // draw is consumed either way so the fault stream
+                    // replays independent of wall-clock timing).
+                    let forced = req_deadline.is_some()
+                        && inner.chaos.roll(self.cfg.chaos.deadline_expiry_p);
+                    if forced {
+                        inner.stats.chaos.forced_deadline_expiries += 1;
                     }
+                    if req_deadline.is_some_and(|d| now >= d) || forced {
+                        let r = queue.pending.pop_front().expect("front exists");
+                        expired.push(r.ticket);
+                        continue;
+                    }
+                    // FIFO packing: stop at the first request that would
+                    // overflow the column budget (an oversized request is
+                    // still admitted when it is alone).
+                    if !group.is_empty() && group_cols + cols > self.cfg.max_batch {
+                        break;
+                    }
+                    let r = queue.pending.pop_front().expect("front exists");
+                    group_cols += cols;
+                    group.push(r);
                 }
                 for t in expired {
                     inner.stats.rejected_deadline += 1;
@@ -776,6 +832,7 @@ fn spmv_plan_locked(
     fp: u64,
     a: &CsrMatrix,
 ) -> Arc<SpmvPlan> {
+    inner.maybe_cache_storm(&cfg.chaos);
     let l = inner
         .cache
         .get_or_insert_with(PlanKey::Spmv { pattern: fp }, || {
@@ -813,6 +870,7 @@ fn spmm_plan_locked(
     a: &CsrMatrix,
     k: usize,
 ) -> Arc<SpmmPlan> {
+    inner.maybe_cache_storm(&cfg.chaos);
     let l = inner
         .cache
         .get_or_insert_with(PlanKey::Spmm { pattern: fp, k }, || {
@@ -860,7 +918,7 @@ fn execute_group(
     if group.len() == 1 {
         if let RequestPayload::Vector(_) = &group[0].payload {
             let plan = spmv_plan_locked(device, cfg, inner, fp, matrix);
-            let mut ws = inner.checkout_ws();
+            let mut ws = inner.checkout_ws(&cfg.chaos);
             let mut y = Vec::new();
             let req = group.into_iter().next().expect("group of one");
             let x = match req.payload {
@@ -879,7 +937,7 @@ fn execute_group(
     }
     let k: usize = group.iter().map(|r| r.payload.cols()).sum();
     let plan = spmm_plan_locked(device, cfg, inner, fp, matrix, k);
-    let mut ws = inner.checkout_ws();
+    let mut ws = inner.checkout_ws(&cfg.chaos);
     inner.scratch_x.reset(matrix.num_cols, k);
     let mut c = 0usize;
     for req in &group {

@@ -56,6 +56,17 @@ impl WorkspacePool {
         self.free.push(ws);
     }
 
+    /// Chaos hook: forcibly exhaust the pool — drop every free arena and
+    /// forget the prewarm marks, so the next checkout pays the full cold
+    /// allocation path. Returns the number of arenas dropped.
+    pub fn exhaust(&mut self) -> usize {
+        let dropped = self.free.len();
+        self.free.clear();
+        self.f64_high = 0;
+        self.carry_high = 0;
+        dropped
+    }
+
     /// High-water byte footprint the pool would prewarm a fresh arena to.
     pub fn high_water_bytes(&self) -> usize {
         self.f64_high * std::mem::size_of::<f64>()

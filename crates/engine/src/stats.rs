@@ -2,6 +2,8 @@
 
 use mps_simt::{Counters, PhaseLedger};
 
+use crate::chaos::ChaosCounters;
+
 /// Snapshot of everything the engine has done since construction (or the
 /// last [`crate::Engine::reset_stats`]). Cheap to clone; all counters are
 /// plain integers plus the simt [`Counters`] accumulated over executed
@@ -48,6 +50,9 @@ pub struct EngineStats {
     /// numeric phases (Reduction, Update, Tile Traversal, ...). The
     /// ledger's total equals `plan_build_sim_ms + exec_sim_ms`.
     pub phases: PhaseLedger,
+    /// Faults injected by the [`crate::ChaosConfig`] schedule (all zero
+    /// when chaos is disabled).
+    pub chaos: ChaosCounters,
 }
 
 impl EngineStats {
@@ -132,6 +137,16 @@ impl EngineStats {
             self.totals.dram_wide_bytes,
             self.totals.dram_transactions,
         ));
+        if self.chaos.total() > 0 {
+            out.push_str(&format!(
+                "chaos         {} faults injected: {} pool exhaustions, {} cache storms, {} forced expiries, {} forced rejections\n",
+                self.chaos.total(),
+                self.chaos.pool_exhaustions,
+                self.chaos.cache_storms,
+                self.chaos.forced_deadline_expiries,
+                self.chaos.forced_rejections,
+            ));
+        }
         if !self.phases.is_empty() {
             out.push('\n');
             out.push_str(&self.phases.render());

@@ -1,0 +1,44 @@
+//! # mps-testkit — differential conformance harness
+//!
+//! The paper's central claim is that merge-path kernels are
+//! *segmentation-oblivious*: correct and balanced regardless of how the
+//! nonzeros are distributed across rows. The friendly generators in
+//! [`mps_sparse::gen`] never really test that — power-law tails, bursts of
+//! empty rows, a single dense row among thousands of tiny ones, and
+//! degenerate shapes (0×N, N×0, nnz = 0) are where flat decompositions
+//! earn their keep, and where row-wise baselines historically break.
+//!
+//! This crate is the standing correctness gate for every implementation
+//! the workspace owns:
+//!
+//! * [`adversarial`] — deterministic generators for exactly those hostile
+//!   structures, plus duplicate-saturated COO inputs and the full
+//!   degenerate-shape zoo;
+//! * [`strategies`] — proptest strategies producing valid-by-construction
+//!   CSR/COO inputs (shared by the repo-level property suites, replacing
+//!   the per-file ad-hoc generators), plus greedy witness minimization
+//!   for failures;
+//! * [`oracle`] — the differential runner: every kernel (SpMV, SpMM,
+//!   SpAdd, SpGEMM) is executed through every implementation we own —
+//!   one-shot merge kernels, reusable plans, the Cusp/cuSPARSE-like/CPU
+//!   baselines, format-specialized SpMV, and the serving engine's direct
+//!   *and* batched paths — and the results are cross-checked bitwise
+//!   (within the merge plan family, which replays one reduction order) or
+//!   within a documented relative tolerance (across families with
+//!   different summation orders), with CSR structural invariants enforced
+//!   on every sparse output.
+//!
+//! ```
+//! use mps_simt::Device;
+//! use mps_testkit::{adversarial, oracle::Oracle};
+//!
+//! let oracle = Oracle::new(&Device::titan());
+//! let report = oracle.run(&adversarial::suite(adversarial::Scale::Tiny));
+//! assert!(report.is_clean(), "{}", report.render());
+//! ```
+
+pub mod adversarial;
+pub mod oracle;
+pub mod strategies;
+
+pub use oracle::{ConformanceReport, Divergence, Oracle};

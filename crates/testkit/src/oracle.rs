@@ -1,0 +1,696 @@
+//! The differential oracle runner.
+//!
+//! For each input matrix, every kernel the workspace owns is executed
+//! through every implementation of it, and the results are cross-checked
+//! under the tightest policy each pair admits:
+//!
+//! * **bitwise** (`f64::to_bits` equality) within the merge plan family —
+//!   the one-shot kernel, the reusable plan's `execute` and
+//!   `execute_into`, and the serving engine's direct and batched paths
+//!   all replay the identical reduction order, so any difference at all
+//!   is a bug;
+//! * **bitwise** across every SpAdd implementation — each output value is
+//!   a single `a + b` with no reassociation anywhere, so all five
+//!   implementations must agree exactly;
+//! * **relative tolerance** ([`REL_TOL`]) across summation-order families
+//!   (merge kernels vs. the sequential reference vs. the Cusp /
+//!   cuSPARSE-like / CPU / format-specialized baselines), with sparsity
+//!   *structure* still required to match exactly;
+//! * **structural invariants** ([`CsrMatrix::validate`]) on every sparse
+//!   output, whatever produced it.
+//!
+//! Anything the oracle cannot run (a DIA conversion refusing a matrix
+//! with too many diagonals, an ELL padding blow-up) is recorded as an
+//! explicit [`Skip`] in the report — never silently dropped.
+
+use std::sync::Arc;
+
+use mps_baselines::{cpu, cusp, cusparse_like, format_spmv, spmm as spmm_base};
+use mps_core::{
+    merge_spadd, merge_spgemm, merge_spmm, merge_spmv, segmented_spgemm, SpAddConfig, SpAddPlan,
+    SpgemmConfig, SpgemmPlan, SpmmConfig, SpmmPlan, SpmvConfig, SpmvPlan, Workspace,
+};
+use mps_engine::{Engine, EngineOutput};
+use mps_simt::Device;
+use mps_sparse::formats::{DiaMatrix, EllMatrix, HybMatrix};
+use mps_sparse::{dense, ops, CooMatrix, CsrMatrix, DenseBlock};
+
+/// Relative tolerance across implementations with different summation
+/// orders. Inputs are O(1)-magnitude positive values and row lengths stay
+/// far below 2^30, so accumulated rounding is orders of magnitude below
+/// this bound; exceeding it means a wrong answer, not noise.
+pub const REL_TOL: f64 = 1e-9;
+
+/// Dense output columns used for the SpMM checks.
+const SPMM_COLS: usize = 3;
+
+/// ELL padding budget: skip the ELL/HYB format checks when padding the
+/// matrix to its longest row would exceed this many cells.
+const ELL_CELL_BUDGET: usize = 4_000_000;
+
+/// Diagonal budget handed to [`DiaMatrix::from_csr`].
+const DIA_MAX_DIAGS: usize = 512;
+
+/// One implementation disagreeing with its oracle on one case.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    pub case: String,
+    pub kernel: &'static str,
+    pub implementation: String,
+    pub detail: String,
+}
+
+/// One implementation the oracle could not run on one case, and why.
+#[derive(Debug, Clone)]
+pub struct Skip {
+    pub case: String,
+    pub implementation: String,
+    pub reason: String,
+}
+
+/// Outcome of a differential sweep: how much was checked, what was
+/// skipped (with reasons), and every divergence found.
+#[derive(Debug, Default)]
+pub struct ConformanceReport {
+    /// Input matrices swept.
+    pub cases: usize,
+    /// Individual cross-implementation comparisons performed.
+    pub checks: u64,
+    pub skips: Vec<Skip>,
+    pub divergences: Vec<Divergence>,
+}
+
+impl ConformanceReport {
+    /// True when the sweep found zero divergences (skips are allowed —
+    /// they are visible in [`ConformanceReport::render`]).
+    pub fn is_clean(&self) -> bool {
+        self.divergences.is_empty()
+    }
+
+    /// Human-readable summary: totals, then every skip and divergence.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "conformance: {} cases, {} checks, {} skips, {} divergences\n",
+            self.cases,
+            self.checks,
+            self.skips.len(),
+            self.divergences.len()
+        );
+        for s in &self.skips {
+            out.push_str(&format!(
+                "  skip [{}] {}: {}\n",
+                s.case, s.implementation, s.reason
+            ));
+        }
+        for d in &self.divergences {
+            out.push_str(&format!(
+                "  DIVERGE [{}] {} / {}: {}\n",
+                d.case, d.kernel, d.implementation, d.detail
+            ));
+        }
+        out
+    }
+
+    fn diverge(&mut self, case: &str, kernel: &'static str, imp: &str, detail: String) {
+        self.divergences.push(Divergence {
+            case: case.to_string(),
+            kernel,
+            implementation: imp.to_string(),
+            detail,
+        });
+    }
+
+    fn skip(&mut self, case: &str, imp: &str, reason: String) {
+        self.skips.push(Skip {
+            case: case.to_string(),
+            implementation: imp.to_string(),
+            reason,
+        });
+    }
+}
+
+/// The differential runner: owns a device and a long-lived serving engine
+/// (so sweeping also exercises the engine's plan cache and workspace
+/// reuse across cases).
+pub struct Oracle {
+    device: Device,
+    engine: Engine,
+}
+
+impl Oracle {
+    pub fn new(device: &Device) -> Oracle {
+        Oracle {
+            device: device.clone(),
+            engine: Engine::new(device),
+        }
+    }
+
+    /// Sweep every kernel over every named case.
+    pub fn run(&self, cases: &[(String, CsrMatrix)]) -> ConformanceReport {
+        let mut report = ConformanceReport {
+            cases: cases.len(),
+            ..ConformanceReport::default()
+        };
+        for (name, m) in cases {
+            self.check_spmv(name, m, &mut report);
+            self.check_spmm(name, m, &mut report);
+            self.check_spadd(name, m, &mut report);
+            self.check_spgemm(name, m, &mut report);
+        }
+        report
+    }
+
+    /// SpMV through every implementation: merge family bitwise, baselines
+    /// and format kernels against the sequential reference within
+    /// [`REL_TOL`].
+    pub fn check_spmv(&self, case: &str, a: &CsrMatrix, report: &mut ConformanceReport) {
+        const K: &str = "spmv";
+        let x = probe_vector(a.num_cols);
+        let want = ops::spmv_ref(a, &x);
+
+        // Merge family anchor: the one-shot kernel.
+        let anchor = merge_spmv(&self.device, a, &x, &SpmvConfig::default()).y;
+        check_vec_rel(report, case, K, "merge one-shot vs ref", &anchor, &want);
+
+        let plan = SpmvPlan::new(&self.device, a, &SpmvConfig::default());
+        let planned = plan.execute(&self.device, a, &x).y;
+        check_vec_bitwise(report, case, K, "plan execute", &planned, &anchor);
+
+        let mut y = Vec::new();
+        let mut ws = Workspace::new();
+        plan.execute_into(a, &x, &mut y, &mut ws);
+        check_vec_bitwise(report, case, K, "plan execute_into", &y, &anchor);
+
+        let direct = self.engine.spmv(a, &x);
+        check_vec_bitwise(report, case, K, "engine direct", &direct, &anchor);
+
+        match self.engine_batched_spmv(a, &x) {
+            Ok(batched) => check_vec_bitwise(report, case, K, "engine batched", &batched, &anchor),
+            Err(e) => report.diverge(case, K, "engine batched", e),
+        }
+
+        let (scalar, _) = cusp::spmv_scalar(&self.device, a, &x);
+        check_vec_rel(report, case, K, "cusp scalar", &scalar, &want);
+        let (vector, _) = cusp::spmv_vector(&self.device, a, &x);
+        check_vec_rel(report, case, K, "cusp vector", &vector, &want);
+        let (row_adaptive, _) = cusparse_like::spmv(&self.device, a, &x);
+        check_vec_rel(report, case, K, "cusparse-like", &row_adaptive, &want);
+        let (host, _) = cpu::spmv(&cpu::CpuModel::i7_3820(), a, &x);
+        check_vec_rel(report, case, K, "cpu model", &host, &want);
+
+        self.check_format_spmv(case, a, &x, &want, report);
+    }
+
+    fn check_format_spmv(
+        &self,
+        case: &str,
+        a: &CsrMatrix,
+        x: &[f64],
+        want: &[f64],
+        report: &mut ConformanceReport,
+    ) {
+        const K: &str = "spmv";
+        let width = (0..a.num_rows).map(|r| a.row_len(r)).max().unwrap_or(0);
+        if a.num_rows * width > ELL_CELL_BUDGET {
+            report.skip(
+                case,
+                "format ell/hyb",
+                format!(
+                    "ELL padding would allocate {} cells (budget {ELL_CELL_BUDGET})",
+                    a.num_rows * width
+                ),
+            );
+        } else {
+            let ell = EllMatrix::from_csr(a);
+            let (y, _) = format_spmv::spmv_ell(&self.device, &ell, x);
+            check_vec_rel(report, case, K, "format ell", &y, want);
+
+            let hyb_width = (a.nnz() / a.num_rows.max(1)).max(1);
+            let hyb = HybMatrix::from_csr(a, hyb_width);
+            let (y, _) = format_spmv::spmv_hyb(&self.device, &hyb, x);
+            check_vec_rel(report, case, K, "format hyb", &y, want);
+        }
+        match DiaMatrix::from_csr(a, DIA_MAX_DIAGS) {
+            Some(dia) => {
+                let (y, _) = format_spmv::spmv_dia(&self.device, &dia, x);
+                check_vec_rel(report, case, K, "format dia", &y, want);
+            }
+            None => report.skip(
+                case,
+                "format dia",
+                format!("more than {DIA_MAX_DIAGS} populated diagonals"),
+            ),
+        }
+    }
+
+    /// SpMM through every implementation: merge family bitwise, row-warp
+    /// baseline against the dense reference within [`REL_TOL`].
+    pub fn check_spmm(&self, case: &str, a: &CsrMatrix, report: &mut ConformanceReport) {
+        const K: &str = "spmm";
+        let x = probe_block(a.num_cols, SPMM_COLS);
+        let want = dense::spmm_ref(a, &x);
+
+        let anchor = merge_spmm(&self.device, a, &x, &SpmmConfig::default()).y;
+        check_block_rel(report, case, K, "merge one-shot vs ref", &anchor, &want);
+
+        let plan = SpmmPlan::new(&self.device, a, SPMM_COLS, &SpmmConfig::default());
+        let planned = plan.execute(&self.device, a, &x).y;
+        check_block_bitwise(report, case, K, "plan execute", &planned, &anchor);
+
+        let mut y = DenseBlock::zeros(0, 0);
+        let mut ws = Workspace::new();
+        plan.execute_into(a, &x, &mut y, &mut ws);
+        check_block_bitwise(report, case, K, "plan execute_into", &y, &anchor);
+
+        let direct = self.engine.spmm(a, &x);
+        check_block_bitwise(report, case, K, "engine direct", &direct, &anchor);
+
+        match self.engine_batched_spmm(a, &x) {
+            Ok(batched) => {
+                check_block_bitwise(report, case, K, "engine batched", &batched, &anchor)
+            }
+            Err(e) => report.diverge(case, K, "engine batched", e),
+        }
+
+        let (warp, _) = spmm_base::spmm_row_warp(&self.device, a, &x);
+        check_block_rel(report, case, K, "row-warp baseline", &warp, &want);
+    }
+
+    /// SpAdd through every implementation. All of them compute each output
+    /// value as one `a + b`, so the comparison is bitwise across the board.
+    pub fn check_spadd(&self, case: &str, a: &CsrMatrix, report: &mut ConformanceReport) {
+        const K: &str = "spadd";
+        let b = spadd_partner(a);
+        let want = ops::spadd_ref(a, &b);
+
+        let anchor = merge_spadd(&self.device, a, &b, &SpAddConfig::default()).c;
+        check_csr_exact(report, case, K, "merge one-shot vs ref", &anchor, &want);
+
+        let plan = SpAddPlan::new(&self.device, a, &b, &SpAddConfig::default());
+        let planned = plan.execute(&self.device, a, &b).c;
+        check_csr_exact(report, case, K, "plan execute", &planned, &anchor);
+
+        let (global_sort, _) = cusp::spadd_global_sort(&self.device, a, &b);
+        check_csr_exact(report, case, K, "cusp global-sort", &global_sort, &want);
+        let (row_merge, _) = cusparse_like::spadd(&self.device, a, &b);
+        check_csr_exact(report, case, K, "cusparse-like", &row_merge, &want);
+        let (host, _) = cpu::spadd(&cpu::CpuModel::i7_3820(), a, &b);
+        check_csr_exact(report, case, K, "cpu model", &host, &want);
+
+        let engine_out = self.engine.spadd(a, &b).c;
+        check_csr_exact(report, case, K, "engine direct", &engine_out, &anchor);
+    }
+
+    /// SpGEMM (as `A · Aᵀ`, always conformable) through every
+    /// implementation: merge family bitwise, every family's structure
+    /// exact, values within [`REL_TOL`] across accumulation orders.
+    pub fn check_spgemm(&self, case: &str, a: &CsrMatrix, report: &mut ConformanceReport) {
+        const K: &str = "spgemm";
+        let b = a.transpose();
+        let want = ops::spgemm_ref(a, &b);
+
+        let anchor = merge_spgemm(&self.device, a, &b, &SpgemmConfig::default()).c;
+        check_csr_rel(report, case, K, "merge one-shot vs ref", &anchor, &want);
+
+        let plan = SpgemmPlan::new(&self.device, a, &b, &SpgemmConfig::default());
+        let planned = plan.execute(&self.device, a, &b).c;
+        check_csr_bitwise(report, case, K, "plan execute", &planned, &anchor);
+
+        let segmented = segmented_spgemm(&self.device, a, &b, &SpgemmConfig::default()).c;
+        check_csr_rel(report, case, K, "segmented row-wise", &segmented, &want);
+
+        let (esc, _) = cusp::spgemm_esc(&self.device, a, &b);
+        check_csr_rel(report, case, K, "cusp esc", &esc, &want);
+        let (hash, _) = cusparse_like::spgemm(&self.device, a, &b);
+        check_csr_rel(report, case, K, "cusparse-like hash", &hash, &want);
+        let (host, _) = cpu::spgemm(&cpu::CpuModel::i7_3820(), a, &b);
+        check_csr_rel(report, case, K, "cpu model", &host, &want);
+
+        let engine_out = self.engine.spgemm(a, &b).c;
+        check_csr_bitwise(report, case, K, "engine direct", &engine_out, &anchor);
+    }
+
+    /// Duplicate-tolerant COO conversion against a naive map-based oracle:
+    /// structure exact, duplicate sums within [`REL_TOL`] (the two paths
+    /// may fold duplicates in different orders).
+    pub fn check_coo(&self, case: &str, coo: &CooMatrix, report: &mut ConformanceReport) {
+        const K: &str = "coo-canonicalize";
+        let want = naive_coo_to_csr(coo);
+        let via_to_csr = coo.to_csr();
+        check_csr_rel(report, case, K, "to_csr", &via_to_csr, &want);
+        match CsrMatrix::try_from_coo(coo) {
+            Ok(via_try) => {
+                check_csr_bitwise(report, case, K, "try_from_coo", &via_try, &via_to_csr)
+            }
+            Err(e) => report.diverge(
+                case,
+                K,
+                "try_from_coo",
+                format!("rejected valid input: {e}"),
+            ),
+        }
+    }
+
+    fn engine_batched_spmv(&self, a: &CsrMatrix, x: &[f64]) -> Result<Vec<f64>, String> {
+        let shared = Arc::new(a.clone());
+        let ticket = self
+            .engine
+            .submit_spmv(&shared, x.to_vec(), None)
+            .map_err(|e| format!("submit failed: {e}"))?;
+        self.engine.flush();
+        match self.engine.take_result(ticket) {
+            Ok(EngineOutput::Vector(y)) => Ok(y),
+            Ok(EngineOutput::Block(_)) => Err("vector request returned a block".to_string()),
+            Err(e) => Err(format!("take_result failed: {e}")),
+        }
+    }
+
+    fn engine_batched_spmm(&self, a: &CsrMatrix, x: &DenseBlock) -> Result<DenseBlock, String> {
+        let shared = Arc::new(a.clone());
+        let ticket = self
+            .engine
+            .submit_spmm(&shared, x.clone(), None)
+            .map_err(|e| format!("submit failed: {e}"))?;
+        self.engine.flush();
+        match self.engine.take_result(ticket) {
+            Ok(EngineOutput::Block(y)) => Ok(y),
+            Ok(EngineOutput::Vector(_)) => Err("block request returned a vector".to_string()),
+            Err(e) => Err(format!("take_result failed: {e}")),
+        }
+    }
+}
+
+/// Deterministic probe operand: O(1) positive values, no zeros.
+fn probe_vector(n: usize) -> Vec<f64> {
+    (0..n).map(|i| 0.5 + (i % 17) as f64 / 16.0).collect()
+}
+
+fn probe_block(rows: usize, cols: usize) -> DenseBlock {
+    DenseBlock::from_fn(rows, cols, |r, c| {
+        0.25 + ((r * 13 + c * 5) % 23) as f64 / 11.0
+    })
+}
+
+/// Same-shape second operand for SpAdd: a's pattern with rescaled values
+/// plus an independent sprinkle (structure overlap and disjoint entries
+/// both exercised). Degenerate shapes get an empty partner.
+fn spadd_partner(a: &CsrMatrix) -> CsrMatrix {
+    if a.num_rows == 0 || a.num_cols == 0 {
+        return CsrMatrix::zeros(a.num_rows, a.num_cols);
+    }
+    let mut coo = CooMatrix::new(a.num_rows, a.num_cols);
+    for (i, (r, c, v)) in a.to_coo().iter().enumerate() {
+        if i % 2 == 0 {
+            coo.push(r, c, v * 0.375);
+        }
+    }
+    let sprinkle =
+        crate::strategies::sprinkled(a.num_rows, a.num_cols, 3, 2, a.pattern_fingerprint() | 1);
+    for (r, c, v) in sprinkle.to_coo().iter() {
+        coo.push(r, c, v);
+    }
+    coo.to_csr()
+}
+
+/// Naive COO→CSR oracle: sort-free map accumulation, then ordered emit.
+fn naive_coo_to_csr(coo: &CooMatrix) -> CsrMatrix {
+    let mut acc: std::collections::BTreeMap<(u32, u32), f64> = std::collections::BTreeMap::new();
+    for (r, c, v) in coo.iter() {
+        *acc.entry((r, c)).or_insert(0.0) += v;
+    }
+    let mut out = CooMatrix::new(coo.num_rows, coo.num_cols);
+    for (&(r, c), &v) in &acc {
+        out.push(r, c, v);
+    }
+    out.to_csr()
+}
+
+fn rel_err(got: f64, want: f64) -> f64 {
+    (got - want).abs() / want.abs().max(got.abs()).max(1.0)
+}
+
+fn vec_detail(idx: usize, got: f64, want: f64) -> String {
+    format!(
+        "index {idx}: got {got:e} ({:#018x}), want {want:e} ({:#018x})",
+        got.to_bits(),
+        want.to_bits()
+    )
+}
+
+fn check_vec_bitwise(
+    report: &mut ConformanceReport,
+    case: &str,
+    kernel: &'static str,
+    imp: &str,
+    got: &[f64],
+    want: &[f64],
+) {
+    report.checks += 1;
+    if got.len() != want.len() {
+        report.diverge(
+            case,
+            kernel,
+            imp,
+            format!("length {} vs {}", got.len(), want.len()),
+        );
+        return;
+    }
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        if g.to_bits() != w.to_bits() {
+            report.diverge(case, kernel, imp, vec_detail(i, *g, *w));
+            return;
+        }
+    }
+}
+
+fn check_vec_rel(
+    report: &mut ConformanceReport,
+    case: &str,
+    kernel: &'static str,
+    imp: &str,
+    got: &[f64],
+    want: &[f64],
+) {
+    report.checks += 1;
+    if got.len() != want.len() {
+        report.diverge(
+            case,
+            kernel,
+            imp,
+            format!("length {} vs {}", got.len(), want.len()),
+        );
+        return;
+    }
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        if rel_err(*g, *w) > REL_TOL {
+            report.diverge(case, kernel, imp, vec_detail(i, *g, *w));
+            return;
+        }
+    }
+}
+
+fn check_block_bitwise(
+    report: &mut ConformanceReport,
+    case: &str,
+    kernel: &'static str,
+    imp: &str,
+    got: &DenseBlock,
+    want: &DenseBlock,
+) {
+    report.checks += 1;
+    if (got.rows, got.cols) != (want.rows, want.cols) {
+        report.diverge(
+            case,
+            kernel,
+            imp,
+            format!(
+                "shape {}x{} vs {}x{}",
+                got.rows, got.cols, want.rows, want.cols
+            ),
+        );
+        return;
+    }
+    for (i, (g, w)) in got.data.iter().zip(&want.data).enumerate() {
+        if g.to_bits() != w.to_bits() {
+            report.diverge(case, kernel, imp, vec_detail(i, *g, *w));
+            return;
+        }
+    }
+}
+
+fn check_block_rel(
+    report: &mut ConformanceReport,
+    case: &str,
+    kernel: &'static str,
+    imp: &str,
+    got: &DenseBlock,
+    want: &DenseBlock,
+) {
+    report.checks += 1;
+    if (got.rows, got.cols) != (want.rows, want.cols) {
+        report.diverge(
+            case,
+            kernel,
+            imp,
+            format!(
+                "shape {}x{} vs {}x{}",
+                got.rows, got.cols, want.rows, want.cols
+            ),
+        );
+        return;
+    }
+    for (i, (g, w)) in got.data.iter().zip(&want.data).enumerate() {
+        if rel_err(*g, *w) > REL_TOL {
+            report.diverge(case, kernel, imp, vec_detail(i, *g, *w));
+            return;
+        }
+    }
+}
+
+/// Shared structure check; returns false (after recording) on mismatch.
+fn csr_structure_ok(
+    report: &mut ConformanceReport,
+    case: &str,
+    kernel: &'static str,
+    imp: &str,
+    got: &CsrMatrix,
+    want: &CsrMatrix,
+) -> bool {
+    if let Err(e) = got.validate() {
+        report.diverge(
+            case,
+            kernel,
+            imp,
+            format!("output violates CSR invariants: {e}"),
+        );
+        return false;
+    }
+    if (got.num_rows, got.num_cols) != (want.num_rows, want.num_cols) {
+        report.diverge(
+            case,
+            kernel,
+            imp,
+            format!(
+                "shape {}x{} vs {}x{}",
+                got.num_rows, got.num_cols, want.num_rows, want.num_cols
+            ),
+        );
+        return false;
+    }
+    if got.row_offsets != want.row_offsets || got.col_idx != want.col_idx {
+        report.diverge(
+            case,
+            kernel,
+            imp,
+            format!(
+                "sparsity structure differs (nnz {} vs {})",
+                got.nnz(),
+                want.nnz()
+            ),
+        );
+        return false;
+    }
+    true
+}
+
+fn check_csr_bitwise(
+    report: &mut ConformanceReport,
+    case: &str,
+    kernel: &'static str,
+    imp: &str,
+    got: &CsrMatrix,
+    want: &CsrMatrix,
+) {
+    report.checks += 1;
+    if !csr_structure_ok(report, case, kernel, imp, got, want) {
+        return;
+    }
+    for (i, (g, w)) in got.values.iter().zip(&want.values).enumerate() {
+        if g.to_bits() != w.to_bits() {
+            report.diverge(case, kernel, imp, vec_detail(i, *g, *w));
+            return;
+        }
+    }
+}
+
+/// Exact: structure and values must both match bitwise.
+fn check_csr_exact(
+    report: &mut ConformanceReport,
+    case: &str,
+    kernel: &'static str,
+    imp: &str,
+    got: &CsrMatrix,
+    want: &CsrMatrix,
+) {
+    check_csr_bitwise(report, case, kernel, imp, got, want)
+}
+
+fn check_csr_rel(
+    report: &mut ConformanceReport,
+    case: &str,
+    kernel: &'static str,
+    imp: &str,
+    got: &CsrMatrix,
+    want: &CsrMatrix,
+) {
+    report.checks += 1;
+    if !csr_structure_ok(report, case, kernel, imp, got, want) {
+        return;
+    }
+    for (i, (g, w)) in got.values.iter().zip(&want.values).enumerate() {
+        if rel_err(*g, *w) > REL_TOL {
+            report.diverge(case, kernel, imp, vec_detail(i, *g, *w));
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversarial;
+
+    #[test]
+    fn tiny_suite_is_clean() {
+        let oracle = Oracle::new(&Device::titan());
+        let report = oracle.run(&adversarial::suite(adversarial::Scale::Tiny));
+        assert!(report.is_clean(), "{}", report.render());
+        assert!(report.checks > 200, "checks {}", report.checks);
+    }
+
+    #[test]
+    fn duplicate_coo_inputs_are_clean() {
+        let oracle = Oracle::new(&Device::titan());
+        let mut report = ConformanceReport::default();
+        for seed in 0..8 {
+            let coo = adversarial::duplicate_saturated_coo(40, 40, 60, 4, seed);
+            oracle.check_coo(&format!("dup seed {seed}"), &coo, &mut report);
+        }
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn injected_value_corruption_is_reported() {
+        let a = crate::strategies::sprinkled(32, 32, 1, 4, 9);
+        let mut report = ConformanceReport::default();
+        let mut bad = ops::spmv_ref(&a, &probe_vector(32));
+        let good = bad.clone();
+        bad[7] += 1.0e-3;
+        check_vec_rel(&mut report, "corrupt", "spmv", "injected", &bad, &good);
+        check_vec_bitwise(&mut report, "corrupt", "spmv", "injected", &bad, &good);
+        assert_eq!(report.divergences.len(), 2);
+        assert!(!report.is_clean());
+        assert!(report.render().contains("DIVERGE"));
+    }
+
+    #[test]
+    fn structural_violations_are_reported() {
+        let mut report = ConformanceReport::default();
+        let want = crate::strategies::sprinkled(10, 10, 1, 3, 2);
+        let mut got = want.clone();
+        got.col_idx[0] = got.col_idx[1]; // duplicate column in a row, or unsorted
+        got.values.swap(0, 1);
+        check_csr_rel(&mut report, "broken", "spgemm", "injected", &got, &want);
+        assert!(!report.is_clean());
+    }
+}

@@ -1,0 +1,237 @@
+//! Proptest strategies for valid-by-construction sparse inputs.
+//!
+//! The repo-level property suites each used to carry a private copy of the
+//! same xorshift "sprinkled" generator; this module is the shared home.
+//! Every strategy produces matrices that satisfy the CSR invariants by
+//! construction ([`CsrMatrix::validate`] always passes), so a property
+//! failure is always a kernel bug, never a malformed input.
+//!
+//! The vendored proptest shim has no automatic shrinking, so the module
+//! also provides greedy witness minimization: [`shrink_candidates`]
+//! proposes strictly smaller variants of a failing matrix and
+//! [`minimize`] iterates them to a local minimum, which is how the
+//! [`crate::oracle`] reports small repros instead of 400-row dumps.
+
+use proptest::strategy::Strategy;
+
+use mps_sparse::{CooMatrix, CsrMatrix};
+
+/// Random CSR with controllable empty-row structure: only rows where
+/// `r % stride == 0` receive entries, so `stride > 1` produces the
+/// empty-row-heavy shapes that trigger the SpMV compaction path.
+/// Deterministic in its arguments (xorshift stream seeded by `seed`).
+pub fn sprinkled(rows: usize, cols: usize, stride: usize, per_row: usize, seed: u64) -> CsrMatrix {
+    let mut coo = CooMatrix::new(rows, cols);
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for r in (0..rows).step_by(stride.max(1)) {
+        for _ in 0..per_row {
+            let c = (next() as usize) % cols.max(1);
+            let v = 1.0 + (next() % 1000) as f64 / 250.0;
+            coo.push(r as u32, c as u32, v);
+        }
+    }
+    coo.to_csr()
+}
+
+/// Strategy over sprinkled CSR matrices within the given dimension bounds.
+/// Covers empty-row strides 1..6 and row budgets 1..8.
+pub fn csr(max_rows: usize, max_cols: usize) -> impl Strategy<Value = CsrMatrix> {
+    (
+        1usize..max_rows.max(2),
+        1usize..max_cols.max(2),
+        1usize..6,
+        1usize..8,
+        0u64..1_000_000,
+    )
+        .prop_map(|(rows, cols, stride, per_row, seed)| {
+            sprinkled(rows, cols, stride, per_row, seed)
+        })
+}
+
+/// Strategy over same-shape CSR pairs (SpAdd operands) with independent
+/// sparsity structures.
+pub fn csr_pair(max_rows: usize, max_cols: usize) -> impl Strategy<Value = (CsrMatrix, CsrMatrix)> {
+    (
+        1usize..max_rows.max(2),
+        1usize..max_cols.max(2),
+        1usize..5,
+        1usize..5,
+        1usize..7,
+        0u64..1_000_000,
+    )
+        .prop_map(|(rows, cols, stride_a, stride_b, per_row, seed)| {
+            (
+                sprinkled(rows, cols, stride_a, per_row, seed),
+                sprinkled(
+                    rows,
+                    cols,
+                    stride_b,
+                    per_row,
+                    seed.wrapping_add(0x5bd1_e995),
+                ),
+            )
+        })
+}
+
+/// Strategy over conformable CSR pairs (`a: m×k`, `b: k×n`) for SpGEMM.
+pub fn csr_product_pair(max_dim: usize) -> impl Strategy<Value = (CsrMatrix, CsrMatrix)> {
+    (
+        1usize..max_dim.max(2),
+        1usize..max_dim.max(2),
+        1usize..max_dim.max(2),
+        1usize..4,
+        1usize..5,
+        0u64..1_000_000,
+    )
+        .prop_map(|(m, k, n, stride, per_row, seed)| {
+            (
+                sprinkled(m, k, stride, per_row, seed),
+                sprinkled(k, n, 1, per_row, seed.wrapping_add(31)),
+            )
+        })
+}
+
+/// Strategy over duplicate-heavy COO inputs: valid coordinates by
+/// construction, every logical entry repeated up to 5 times in scrambled
+/// order. Exercises canonicalization and `try_from_coo`.
+pub fn coo_with_duplicates(max_rows: usize, max_cols: usize) -> impl Strategy<Value = CooMatrix> {
+    (
+        1usize..max_rows.max(2),
+        1usize..max_cols.max(2),
+        0usize..80,
+        1usize..6,
+        0u64..1_000_000,
+    )
+        .prop_map(|(rows, cols, distinct, copies, seed)| {
+            crate::adversarial::duplicate_saturated_coo(rows, cols, distinct, copies, seed)
+        })
+}
+
+/// Strictly smaller variants of `m` for greedy witness minimization:
+/// row-range halves, a column restriction, and a nonzero thinning. Every
+/// candidate is a valid CSR and has fewer rows, columns, or nonzeros.
+pub fn shrink_candidates(m: &CsrMatrix) -> Vec<CsrMatrix> {
+    let mut out = Vec::new();
+    // Row halves (shape shrinks with the content).
+    if m.num_rows > 1 {
+        let half = m.num_rows / 2;
+        out.push(row_range(m, 0, half));
+        out.push(row_range(m, half, m.num_rows));
+    }
+    // Column restriction: drop entries in the right half, halve the shape.
+    if m.num_cols > 1 {
+        let keep = (m.num_cols / 2).max(1);
+        let mut coo = CooMatrix::new(m.num_rows, keep);
+        for (r, c, v) in m.to_coo().iter() {
+            if (c as usize) < keep {
+                coo.push(r, c, v);
+            }
+        }
+        out.push(coo.to_csr());
+    }
+    // Thin the nonzeros: keep every other entry.
+    if m.nnz() > 1 {
+        let mut coo = CooMatrix::new(m.num_rows, m.num_cols);
+        for (i, (r, c, v)) in m.to_coo().iter().enumerate() {
+            if i % 2 == 0 {
+                coo.push(r, c, v);
+            }
+        }
+        out.push(coo.to_csr());
+    }
+    out
+}
+
+fn row_range(m: &CsrMatrix, lo: usize, hi: usize) -> CsrMatrix {
+    let mut coo = CooMatrix::new(hi - lo, m.num_cols);
+    for r in lo..hi {
+        for (c, v) in m.row_cols(r).iter().zip(m.row_vals(r)) {
+            coo.push((r - lo) as u32, *c, *v);
+        }
+    }
+    coo.to_csr()
+}
+
+/// Greedily minimize a failing matrix: repeatedly replace it with the
+/// first shrink candidate that still fails `fails`, until none do. The
+/// result is a local minimum, typically orders of magnitude smaller than
+/// the original witness.
+pub fn minimize(m: &CsrMatrix, fails: impl Fn(&CsrMatrix) -> bool) -> CsrMatrix {
+    let mut current = m.clone();
+    'outer: loop {
+        for cand in shrink_candidates(&current) {
+            if fails(&cand) {
+                current = cand;
+                continue 'outer;
+            }
+        }
+        return current;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::TestRng;
+
+    #[test]
+    fn csr_strategy_samples_are_valid() {
+        let mut rng = TestRng::new(7);
+        let strat = csr(200, 200);
+        for _ in 0..200 {
+            let m = proptest::sample(&strat, &mut rng);
+            m.validate().expect("valid by construction");
+        }
+    }
+
+    #[test]
+    fn pair_strategies_are_conformable() {
+        let mut rng = TestRng::new(8);
+        let add = csr_pair(100, 100);
+        let mul = csr_product_pair(60);
+        for _ in 0..100 {
+            let (a, b) = proptest::sample(&add, &mut rng);
+            assert_eq!((a.num_rows, a.num_cols), (b.num_rows, b.num_cols));
+            let (a, b) = proptest::sample(&mul, &mut rng);
+            assert_eq!(a.num_cols, b.num_rows);
+        }
+    }
+
+    #[test]
+    fn coo_strategy_entries_are_in_bounds() {
+        let mut rng = TestRng::new(9);
+        let strat = coo_with_duplicates(50, 50);
+        for _ in 0..100 {
+            let coo = proptest::sample(&strat, &mut rng);
+            CsrMatrix::try_from_coo(&coo).expect("valid triplets by construction");
+        }
+    }
+
+    #[test]
+    fn shrink_candidates_are_strictly_smaller() {
+        let m = sprinkled(64, 64, 2, 4, 5);
+        for cand in shrink_candidates(&m) {
+            cand.validate().expect("candidates stay valid");
+            assert!(
+                cand.num_rows < m.num_rows || cand.num_cols < m.num_cols || cand.nnz() < m.nnz(),
+                "candidate must shrink something"
+            );
+        }
+    }
+
+    #[test]
+    fn minimize_finds_a_small_witness() {
+        // "Fails" whenever row 0 is nonempty: minimal witnesses are tiny.
+        let m = sprinkled(128, 128, 1, 4, 3);
+        let min = minimize(&m, |c| c.num_rows > 0 && c.row_len(0) > 0);
+        assert!(min.num_rows <= 2, "rows {}", min.num_rows);
+        assert!(min.nnz() <= 4, "nnz {}", min.nnz());
+        assert!(min.row_len(0) > 0, "still failing");
+    }
+}

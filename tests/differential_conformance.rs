@@ -1,0 +1,95 @@
+//! Differential conformance sweep: every implementation of every kernel
+//! (merge kernels and plans, the baseline ports, the format kernels, and
+//! the serving engine's direct and batched paths) runs the adversarial
+//! generator suite and must agree with the sequential reference — bitwise
+//! within a summation-order family, within `mps_testkit::oracle::REL_TOL`
+//! across families. The oracle's comparison matrix and tolerance policy
+//! are documented in DESIGN.md ("Testing strategy").
+
+use merge_path_sparse::prelude::*;
+use mps_testkit::adversarial::{self, Scale};
+use mps_testkit::oracle::ConformanceReport;
+use mps_testkit::{strategies, Oracle};
+use proptest::prelude::*;
+
+/// The full adversarial sweep: empty-row bursts, one-dense-row,
+/// power-law rows, degenerate shapes — zero divergences allowed. This is
+/// the repo's primary cross-implementation agreement gate; `render()`
+/// names the exact case, kernel, and implementation on failure.
+#[test]
+fn adversarial_suite_has_zero_divergences() {
+    let oracle = Oracle::new(&Device::titan());
+    let report = oracle.run(&adversarial::suite(Scale::Full));
+    assert!(report.is_clean(), "{}", report.render());
+    assert!(
+        report.checks > 400,
+        "sweep ran suspiciously few comparisons: {}",
+        report.render()
+    );
+    // Skips must carry reasons; the only expected ones are format-kernel
+    // budget exclusions (ELL padding blow-up, DIA diagonal overflow).
+    for s in &report.skips {
+        assert!(!s.reason.is_empty(), "silent skip: {s:?}");
+    }
+}
+
+/// Duplicate-saturated COO assembly: both assembly routes must agree
+/// with a naive map-based accumulation oracle across seeds.
+#[test]
+fn duplicate_saturated_coo_assembly_conforms() {
+    let oracle = Oracle::new(&Device::titan());
+    let mut report = ConformanceReport::default();
+    for seed in 0..12u64 {
+        let coo = adversarial::duplicate_saturated_coo(40, 24, 150, 6, seed);
+        report.cases += 1;
+        oracle.check_coo(&format!("dup-coo-{seed}"), &coo, &mut report);
+    }
+    assert!(report.is_clean(), "{}", report.render());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random CSR shapes beyond the curated adversarial set: the whole
+    /// oracle matrix must stay divergence-free on arbitrary inputs.
+    #[test]
+    fn random_matrices_conform_across_all_kernels(a in strategies::csr(72, 72)) {
+        let oracle = Oracle::new(&Device::titan());
+        let report = oracle.run(std::slice::from_ref(&("random".to_string(), a)));
+        prop_assert!(report.is_clean(), "{}", report.render());
+    }
+
+    /// Random duplicate-heavy COO inputs through both assembly routes.
+    #[test]
+    fn random_coo_inputs_conform(coo in strategies::coo_with_duplicates(48, 32)) {
+        let oracle = Oracle::new(&Device::titan());
+        let mut report = ConformanceReport {
+            cases: 1,
+            ..ConformanceReport::default()
+        };
+        oracle.check_coo("random-coo", &coo, &mut report);
+        prop_assert!(report.is_clean(), "{}", report.render());
+    }
+}
+
+/// When a conformance property does fail, `strategies::minimize` walks
+/// the shrink lattice to a small witness. Exercise that machinery on a
+/// synthetic predicate so a real failure's shrink path is itself tested.
+#[test]
+fn minimize_shrinks_failures_to_small_witnesses() {
+    let a = strategies::sprinkled(64, 64, 1, 6, 99);
+    // Synthetic "failure": any matrix touching column 5 fails.
+    let fails = |m: &CsrMatrix| m.col_idx.contains(&5);
+    assert!(fails(&a), "seed matrix must fail the predicate");
+    let small = strategies::minimize(&a, fails);
+    assert!(fails(&small), "minimization must preserve the failure");
+    assert!(
+        small.nnz() < a.nnz() / 4,
+        "witness barely shrank: {} of {} nnz",
+        small.nnz(),
+        a.nnz()
+    );
+    small
+        .validate()
+        .expect("shrunk witness stays structurally valid");
+}

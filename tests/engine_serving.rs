@@ -10,31 +10,11 @@ use std::sync::Arc;
 
 use merge_path_sparse::engine::{Engine, EngineConfig};
 use merge_path_sparse::prelude::*;
+use mps_testkit::strategies::sprinkled;
 use proptest::prelude::*;
 
 fn device() -> Device {
     Device::titan()
-}
-
-/// Random CSR with controllable empty-row structure (matches the
-/// plan-equivalence suite's generator).
-fn sprinkled(rows: usize, cols: usize, stride: usize, per_row: usize, seed: u64) -> CsrMatrix {
-    let mut coo = CooMatrix::new(rows, cols);
-    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
-    let mut next = || {
-        state ^= state << 13;
-        state ^= state >> 7;
-        state ^= state << 17;
-        state
-    };
-    for r in (0..rows).step_by(stride) {
-        for _ in 0..per_row {
-            let c = (next() as usize) % cols;
-            let v = 1.0 + (next() % 1000) as f64 / 250.0;
-            coo.push(r as u32, c as u32, v);
-        }
-    }
-    coo.to_csr()
 }
 
 fn operand(cols: usize, slot: usize) -> Vec<f64> {
