@@ -1,0 +1,35 @@
+//! Host runtime experiment driver: per-launch overhead, pool-vs-spawn
+//! dispatch cost, and the host/sim gap of warm plan replays. Writes
+//! `BENCH_host.json` at the repository root; `--tiny` runs a fast smoke
+//! configuration (used by CI) and prints the table without writing the
+//! artifact.
+
+use std::path::Path;
+
+use mps_bench::host_exp;
+use mps_simt::Device;
+
+fn main() {
+    let tiny = std::env::args().any(|a| a == "--tiny");
+    // The pool-vs-spawn comparison needs a multi-threaded runtime even on
+    // single-core CI boxes; an explicit RAYON_NUM_THREADS still wins.
+    if std::env::var_os("RAYON_NUM_THREADS").is_none() {
+        let _ = rayon::set_num_threads(4);
+    }
+    let device = Device::titan();
+    let report = if tiny {
+        host_exp::run(&device, 300, 6.0, 2)
+    } else {
+        host_exp::run(&device, 4000, 16.0, 10)
+    };
+    println!("{}", host_exp::render(&report));
+    if tiny {
+        return;
+    }
+    let json = host_exp::to_json(&report);
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_host.json");
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(e) => eprintln!("could not write {}: {e}", out.display()),
+    }
+}

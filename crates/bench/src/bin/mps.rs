@@ -9,6 +9,7 @@
 //! mps reorder a.mtx -o rcm.mtx        # RCM bandwidth reduction
 //! mps trace a.mtx                      # phase-attributed kernel breakdown
 //! mps conformance [--tiny]             # differential sweep, all implementations
+//! mps host [--tiny]                    # host runtime: launch overhead, pool dispatch
 //! ```
 //!
 //! Simulated device timings and correlations print to stdout; matrices
@@ -29,7 +30,7 @@ use mps_sparse::CsrMatrix;
 use mps_testkit::adversarial::Scale;
 
 fn usage() -> &'static str {
-    "usage:\n  mps info <matrix.mtx>\n  mps generate <suite-name> [--scale X] -o <out.mtx>\n  mps spmv <a.mtx>\n  mps spadd <a.mtx> <b.mtx> [-o <out.mtx>]\n  mps spgemm <a.mtx> <b.mtx> [-o <out.mtx>]\n  mps reorder <a.mtx> -o <out.mtx>\n  mps trace <a.mtx | suite-name> [--scale X]\n  mps conformance [--tiny]\n\nsuite names: dense protein spheres cantilever wind harbor qcd ship\n             economics epidemiology accelerator circuit webbase lp"
+    "usage:\n  mps info <matrix.mtx>\n  mps generate <suite-name> [--scale X] -o <out.mtx>\n  mps spmv <a.mtx>\n  mps spadd <a.mtx> <b.mtx> [-o <out.mtx>]\n  mps spgemm <a.mtx> <b.mtx> [-o <out.mtx>]\n  mps reorder <a.mtx> -o <out.mtx>\n  mps trace <a.mtx | suite-name> [--scale X]\n  mps conformance [--tiny]\n  mps host [--tiny]\n\nsuite names: dense protein spheres cantilever wind harbor qcd ship\n             economics epidemiology accelerator circuit webbase lp"
 }
 
 fn load(path: &str) -> Result<CsrMatrix, String> {
@@ -216,6 +217,17 @@ fn run() -> Result<(), String> {
                     report.divergences.len()
                 ));
             }
+        }
+        "host" => {
+            if std::env::var_os("RAYON_NUM_THREADS").is_none() {
+                let _ = rayon::set_num_threads(4);
+            }
+            let report = if p.tiny {
+                mps_bench::host_exp::run(&device, 300, 6.0, 2)
+            } else {
+                mps_bench::host_exp::run(&device, 2000, 12.0, 8)
+            };
+            print!("{}", mps_bench::host_exp::render(&report));
         }
         "reorder" => {
             let path = p.positional.first().ok_or(usage())?;

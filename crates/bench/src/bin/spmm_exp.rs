@@ -14,7 +14,7 @@ fn main() {
     let rows = if tiny {
         spmm_exp::run(&device, 300, 6.0, 2)
     } else {
-        spmm_exp::run(&device, 4000, 16.0, 10)
+        spmm_exp::run(&device, 4000, 16.0, 24)
     };
     println!("{}", spmm_exp::render(&rows));
     for r in &rows {

@@ -1,0 +1,403 @@
+//! Host execution runtime benchmark: what does a *warm* launch cost on
+//! the machine actually running the simulator?
+//!
+//! The merge-path plans are built once and replayed; after PR 6 the
+//! replay hot path is allocation-free and runs on a persistent worker
+//! pool instead of spawning scoped threads per launch. This experiment
+//! quantifies the three numbers that story rests on:
+//!
+//! * **per-launch overhead** — wall-clock nanoseconds of a minimal
+//!   [`launch_map_into`] grid (trivial body, reused buffers): the fixed
+//!   cost every kernel launch pays before any real work;
+//! * **pool vs spawn** — the same chunked job dispatched through the
+//!   persistent pool (`into_par_iter`) and through the legacy
+//!   per-call `std::thread::scope` comparator ([`rayon::spawn_chunked`]),
+//!   with the pool's thread-spawn counter asserted flat across the
+//!   measured window;
+//! * **host/sim gap** — measured host milliseconds of warm
+//!   `SpmvPlan`/`SpmmPlan` replays next to the simulated device
+//!   milliseconds the cost model charges for the same launches.
+//!
+//! Results serialize to `BENCH_host.json`.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use mps_core::{SpmmConfig, SpmmPlan, SpmvConfig, SpmvPlan, Workspace};
+use mps_simt::grid::{launch_map_into, LaunchBuffers, LaunchConfig, LaunchStats};
+use mps_simt::Device;
+use mps_sparse::{gen, CsrMatrix, DenseBlock};
+
+/// One warm-replay measurement (a kernel plan or the raw launch floor).
+#[derive(Debug, Clone)]
+pub struct LaunchRow {
+    pub kernel: String,
+    pub n: usize,
+    pub nnz: usize,
+    /// Measured host nanoseconds per execution, averaged over the reps.
+    pub host_ns_per_exec: f64,
+    /// Simulated device ms charged per execution (0 for the raw launch
+    /// floor, which prices an empty body).
+    pub sim_ms: f64,
+}
+
+impl LaunchRow {
+    /// Host ms per execution.
+    pub fn host_ms(&self) -> f64 {
+        self.host_ns_per_exec / 1e6
+    }
+
+    /// Host-over-sim time ratio (the host/sim gap); 0 when the simulated
+    /// time is zero.
+    pub fn host_sim_gap(&self) -> f64 {
+        if self.sim_ms <= 0.0 {
+            return 0.0;
+        }
+        self.host_ms() / self.sim_ms
+    }
+}
+
+/// Pool-vs-spawn dispatch comparison on one chunked job shape.
+#[derive(Debug, Clone)]
+pub struct PoolRow {
+    /// Items per job.
+    pub len: usize,
+    /// Jobs timed per path.
+    pub jobs: usize,
+    /// Worker threads the runtime resolved to.
+    pub threads: usize,
+    /// Nanoseconds per job through the persistent pool.
+    pub pool_ns_per_job: f64,
+    /// Nanoseconds per job through per-call scoped-thread spawning.
+    pub spawn_ns_per_job: f64,
+    /// Threads created during the measured pool window (0 once warm).
+    pub steady_state_spawns: u64,
+}
+
+impl PoolRow {
+    /// How much cheaper pool dispatch is than per-launch thread spawning.
+    pub fn pool_vs_spawn_speedup(&self) -> f64 {
+        if self.pool_ns_per_job <= 0.0 {
+            return 0.0;
+        }
+        self.spawn_ns_per_job / self.pool_ns_per_job
+    }
+}
+
+/// The full host-runtime report.
+#[derive(Debug, Clone)]
+pub struct HostReport {
+    pub threads: usize,
+    pub launches: Vec<LaunchRow>,
+    pub pool: PoolRow,
+}
+
+fn operand(a: &CsrMatrix, k: usize) -> DenseBlock {
+    DenseBlock::from_fn(a.num_cols, k, |r, c| {
+        1.0 + ((r * 7 + c * 13) % 17) as f64 * 0.25
+    })
+}
+
+/// Time `reps` calls of `f` after one warm-up call; ns per call.
+fn time_ns(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let t = Instant::now();
+    for _ in 0..reps.max(1) {
+        f();
+    }
+    t.elapsed().as_nanos() as f64 / reps.max(1) as f64
+}
+
+/// Measure the raw per-launch floor: a grid of `grid_dim` CTAs with a
+/// trivial body through reused [`LaunchBuffers`] — dispatch, counter
+/// folding, and makespan scheduling with no kernel work.
+pub fn measure_launch_floor(device: &Device, grid_dim: usize, reps: usize) -> LaunchRow {
+    let cfg = LaunchConfig::new(grid_dim, 128);
+    let mut bufs: LaunchBuffers<u64> = LaunchBuffers::new();
+    let mut outputs: Vec<u64> = Vec::new();
+    let mut stats = LaunchStats::default();
+    let ns = time_ns(reps, || {
+        launch_map_into(
+            device,
+            "host_exp::floor",
+            cfg,
+            |cta| cta.cta_id as u64,
+            &mut bufs,
+            &mut outputs,
+            &mut stats,
+        );
+        black_box(&outputs);
+    });
+    LaunchRow {
+        kernel: format!("launch_floor_g{grid_dim}"),
+        n: grid_dim,
+        nnz: 0,
+        host_ns_per_exec: ns,
+        sim_ms: stats.sim_ms,
+    }
+}
+
+/// Measure warm SpMV and SpMM (k=16) plan replays on one operator.
+pub fn measure_kernels(device: &Device, a: &CsrMatrix, reps: usize) -> Vec<LaunchRow> {
+    let spmv_plan = SpmvPlan::new(device, a, &SpmvConfig::default());
+    let x: Vec<f64> = (0..a.num_cols)
+        .map(|i| 1.0 + (i % 7) as f64 * 0.5)
+        .collect();
+    let mut ws = Workspace::new();
+    let mut y: Vec<f64> = Vec::new();
+    let spmv_ns = time_ns(reps, || {
+        spmv_plan.execute_into(a, &x, &mut y, &mut ws);
+        black_box(&y);
+    });
+
+    let k = 16;
+    let spmm_plan = SpmmPlan::new(device, a, k, &SpmmConfig::default());
+    let xb = operand(a, k);
+    let mut yb = DenseBlock::zeros(0, 0);
+    let spmm_ns = time_ns(reps, || {
+        spmm_plan.execute_into(a, &xb, &mut yb, &mut ws);
+        black_box(&yb);
+    });
+
+    vec![
+        LaunchRow {
+            kernel: "spmv".to_string(),
+            n: a.num_rows,
+            nnz: a.nnz(),
+            host_ns_per_exec: spmv_ns,
+            sim_ms: spmv_plan.execute_sim_ms(),
+        },
+        LaunchRow {
+            kernel: format!("spmm_k{k}"),
+            n: a.num_rows,
+            nnz: a.nnz(),
+            host_ns_per_exec: spmm_ns,
+            sim_ms: spmm_plan.execute_sim_ms(),
+        },
+    ]
+}
+
+/// Output slot shared across spawned chunks. Chunk ranges are disjoint,
+/// so every index is written by exactly one thread per job.
+struct SendPtr(*mut f64);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+fn pool_body(i: usize) -> f64 {
+    let x = i as f64;
+    x * 1.000000119 + (i & 7) as f64
+}
+
+/// Dispatch the same chunked job through the persistent pool and through
+/// per-call scoped-thread spawning, timing both. The pool window also
+/// checks the global thread-spawn counter stays flat: a warm pool
+/// dispatches on parked workers, it does not create threads.
+pub fn measure_pool(len: usize, jobs: usize) -> PoolRow {
+    use rayon::prelude::*;
+
+    let jobs = jobs.max(1);
+    // Pool path: work-hinted so the job parallelizes regardless of size,
+    // collected into a reused buffer (the launch hot path's shape).
+    let mut buf: Vec<f64> = Vec::new();
+    let run_pool = |buf: &mut Vec<f64>| {
+        (0..len)
+            .into_par_iter()
+            .with_item_work(rayon::WORK_CUTOFF)
+            .map(pool_body)
+            .collect_into_vec(buf);
+    };
+    run_pool(&mut buf);
+    let spawned_before = rayon::threads_spawned();
+    let t = Instant::now();
+    for _ in 0..jobs {
+        run_pool(&mut buf);
+    }
+    let pool_ns = t.elapsed().as_nanos() as f64 / jobs as f64;
+    let steady_state_spawns = rayon::threads_spawned() - spawned_before;
+    black_box(&buf);
+
+    // Spawn path: the pre-pool comparator — scoped threads per job,
+    // writing the same elements through disjoint chunks.
+    let mut buf2 = vec![0.0f64; len];
+    let ptr = SendPtr(buf2.as_mut_ptr());
+    let run_spawn = || {
+        rayon::spawn_chunked(len, |range| {
+            let p = &ptr;
+            for i in range {
+                // SAFETY: chunk ranges partition 0..len, so no index is
+                // written concurrently; the buffer outlives the scope.
+                unsafe { *p.0.add(i) = pool_body(i) };
+            }
+        });
+    };
+    run_spawn();
+    let t = Instant::now();
+    for _ in 0..jobs {
+        run_spawn();
+    }
+    let spawn_ns = t.elapsed().as_nanos() as f64 / jobs as f64;
+    black_box(&buf2);
+
+    PoolRow {
+        len,
+        jobs,
+        threads: rayon::current_num_threads(),
+        pool_ns_per_job: pool_ns,
+        spawn_ns_per_job: spawn_ns,
+        steady_state_spawns,
+    }
+}
+
+/// Run the full host-runtime experiment on a uniform random operator of
+/// `n` rows and ~`avg_nnz_per_row` nonzeros per row.
+pub fn run(device: &Device, n: usize, avg_nnz_per_row: f64, reps: usize) -> HostReport {
+    let a = gen::random_uniform(n, n, avg_nnz_per_row, avg_nnz_per_row / 2.0, 42);
+    let mut launches = vec![
+        measure_launch_floor(device, 1, reps * 4),
+        measure_launch_floor(device, 64, reps * 4),
+    ];
+    launches.extend(measure_kernels(device, &a, reps));
+    let pool = measure_pool(1 << 16, (reps * 8).max(16));
+    HostReport {
+        threads: rayon::current_num_threads(),
+        launches,
+        pool,
+    }
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Hand-rolled JSON for `BENCH_host.json` (no serde in the tree).
+pub fn to_json(r: &HostReport) -> String {
+    let mut out = String::from("{\n  \"host_runtime\": {\n");
+    out.push_str(&format!("    \"threads\": {},\n", r.threads));
+    out.push_str("    \"launches\": [\n");
+    for (i, l) in r.launches.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"kernel\": \"{}\", \"n\": {}, \"nnz\": {}, \
+             \"host_ns_per_exec\": {}, \"host_ms\": {}, \"sim_ms\": {}, \
+             \"host_sim_gap\": {}}}{}\n",
+            l.kernel,
+            l.n,
+            l.nnz,
+            json_f(l.host_ns_per_exec),
+            json_f(l.host_ms()),
+            json_f(l.sim_ms),
+            json_f(l.host_sim_gap()),
+            if i + 1 < r.launches.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("    ],\n");
+    let p = &r.pool;
+    out.push_str(&format!(
+        "    \"pool\": {{\"len\": {}, \"jobs\": {}, \"threads\": {}, \
+         \"pool_ns_per_job\": {}, \"spawn_ns_per_job\": {}, \
+         \"pool_vs_spawn_speedup\": {}, \"steady_state_spawns\": {}}}\n",
+        p.len,
+        p.jobs,
+        p.threads,
+        json_f(p.pool_ns_per_job),
+        json_f(p.spawn_ns_per_job),
+        json_f(p.pool_vs_spawn_speedup()),
+        p.steady_state_spawns,
+    ));
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Render the launch table plus the pool comparison line.
+pub fn render(r: &HostReport) -> String {
+    let data: Vec<Vec<String>> = r
+        .launches
+        .iter()
+        .map(|l| {
+            vec![
+                l.kernel.clone(),
+                l.n.to_string(),
+                l.nnz.to_string(),
+                format!("{:.0}", l.host_ns_per_exec),
+                format!("{:.4}", l.sim_ms),
+                format!("{:.2}", l.host_sim_gap()),
+            ]
+        })
+        .collect();
+    let mut out = crate::render_table(
+        &[
+            "kernel",
+            "n",
+            "nnz",
+            "host_ns/exec",
+            "sim_ms",
+            "host/sim gap",
+        ],
+        &data,
+    );
+    let p = &r.pool;
+    out.push_str(&format!(
+        "pool dispatch ({} items, {} threads): {:.0} ns/job vs {:.0} ns/job spawned \
+         ({:.2}x), {} threads created while warm\n",
+        p.len,
+        p.threads,
+        p.pool_ns_per_job,
+        p.spawn_ns_per_job,
+        p.pool_vs_spawn_speedup(),
+        p.steady_state_spawns,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> Device {
+        Device::titan()
+    }
+
+    #[test]
+    fn report_measures_all_sections() {
+        let _ = rayon::set_num_threads(4);
+        let r = run(&dev(), 300, 6.0, 2);
+        assert_eq!(r.launches.len(), 4);
+        for l in &r.launches {
+            assert!(
+                l.host_ns_per_exec > 0.0,
+                "{}: wall clock must advance",
+                l.kernel
+            );
+        }
+        assert!(r.launches.iter().any(|l| l.kernel == "spmv"));
+        assert!(r.launches.iter().any(|l| l.kernel == "spmm_k16"));
+        assert!(r.pool.pool_ns_per_job > 0.0);
+        assert!(r.pool.spawn_ns_per_job > 0.0);
+    }
+
+    #[test]
+    fn warm_pool_creates_no_threads() {
+        let _ = rayon::set_num_threads(4);
+        let p = measure_pool(1 << 14, 8);
+        assert_eq!(
+            p.steady_state_spawns, 0,
+            "a warm pool must not create threads per job"
+        );
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let _ = rayon::set_num_threads(4);
+        let r = run(&dev(), 200, 5.0, 1);
+        let j = to_json(&r);
+        assert!(j.starts_with('{') && j.trim_end().ends_with('}'));
+        assert!(j.contains("\"pool_vs_spawn_speedup\""));
+        assert!(j.contains("\"host_sim_gap\""));
+        assert!(!j.contains("NaN") && !j.contains("inf"));
+        let t = render(&r);
+        assert!(t.contains("pool dispatch"));
+    }
+}

@@ -15,6 +15,7 @@
 //! | Figures 9–11 | [`spgemm_exp`] | SpGEMM speedups, time-vs-products, phase breakdown |
 //! | solver layer | [`solver_exp`] | solver sim_ms + measured host wall-clock, plan-vs-per-call |
 //! | SpMM layer | [`spmm_exp`] | tiled SpMM vs K repeated planned SpMVs (sim + host) |
+//! | host runtime | [`host_exp`] | per-launch overhead, pool-vs-spawn dispatch, host/sim gap |
 //! | serving layer | [`serve_exp`] | batched vs unbatched SpMV serving through the engine |
 //! | phase breakdown | [`trace_exp`] | per-kernel phase-attributed time over the suite |
 //! | conformance | [`conformance`] | differential sweep of every implementation vs its oracle |
@@ -25,6 +26,7 @@
 pub mod conformance;
 pub mod fig2;
 pub mod fig4;
+pub mod host_exp;
 pub mod sensitivity;
 pub mod serve_exp;
 pub mod solver_exp;

@@ -73,28 +73,45 @@ pub fn measure(device: &Device, a: &CsrMatrix, k: usize, reps: usize) -> SpmmRow
     let spmv_plan = SpmvPlan::new(device, a, &spmv_cfg);
     let columns: Vec<Vec<f64>> = (0..k).map(|c| x.column(c)).collect();
 
-    // Tiled path: warm, then timed steady-state executions.
+    // Small-k executions finish in microseconds; scale the rep count so
+    // every k times a comparable wall-clock window, and take the *minimum*
+    // over several timing windows — scheduler preemption and VM jitter
+    // only ever add time, so the per-window minimum is the best estimate
+    // of the uncontended steady-state cost. The two paths' windows are
+    // *interleaved* (tiled, repeated, tiled, ...) so slow drift in machine
+    // load biases both numerators equally and the host_speedup ratio stays
+    // reproducible on shared machines.
+    let host_reps = (reps * (64 / k).max(1)).max(1);
+    let windows = 12usize;
+    let per_window = (host_reps / windows).max(1);
     let mut ws = Workspace::new();
     let mut y = DenseBlock::zeros(0, 0);
-    spmm_plan.execute_into(a, &x, &mut y, &mut ws);
-    let t0 = Instant::now();
-    for _ in 0..reps {
-        spmm_plan.execute_into(a, &x, &mut y, &mut ws);
-    }
-    let spmm_host_ms = t0.elapsed().as_secs_f64() * 1e3 / reps.max(1) as f64;
-
-    // Repeated path: k planned SpMVs per repetition.
     let mut yv: Vec<f64> = Vec::new();
+
+    // Warm both paths (first call sizes buffers and faults pages in).
+    spmm_plan.execute_into(a, &x, &mut y, &mut ws);
     for col in &columns {
         spmv_plan.execute_into(a, col, &mut yv, &mut ws);
     }
-    let t1 = Instant::now();
-    for _ in 0..reps {
-        for col in &columns {
-            spmv_plan.execute_into(a, col, &mut yv, &mut ws);
+
+    let mut spmm_host_ms = f64::INFINITY;
+    let mut repeated_spmv_host_ms = f64::INFINITY;
+    for _ in 0..windows {
+        let t = Instant::now();
+        for _ in 0..per_window {
+            spmm_plan.execute_into(a, &x, &mut y, &mut ws);
         }
+        spmm_host_ms = spmm_host_ms.min(t.elapsed().as_secs_f64() * 1e3 / per_window as f64);
+
+        let t = Instant::now();
+        for _ in 0..per_window {
+            for col in &columns {
+                spmv_plan.execute_into(a, col, &mut yv, &mut ws);
+            }
+        }
+        repeated_spmv_host_ms =
+            repeated_spmv_host_ms.min(t.elapsed().as_secs_f64() * 1e3 / per_window as f64);
     }
-    let repeated_spmv_host_ms = t1.elapsed().as_secs_f64() * 1e3 / reps.max(1) as f64;
 
     let (_, row_warp) = spmm_row_warp(device, a, &x);
 

@@ -24,6 +24,7 @@ pub mod assemble;
 pub mod config;
 pub mod error;
 pub mod partition;
+mod simd;
 pub mod spadd;
 pub mod spgemm;
 pub mod spmm;

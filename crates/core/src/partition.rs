@@ -163,6 +163,30 @@ impl MergePartition {
         }
     }
 
+    /// Physical rows the segment walk never *assigns*: empty rows, plus
+    /// rows whose nonzeros end exactly on a CTA-tile boundary (every
+    /// segment of such a row is a trailing carry, folded into `y` with
+    /// `+=`). Executors pre-zero exactly these rows instead of
+    /// zero-filling the whole output — every other row is overwritten by
+    /// a complete-segment assignment, so the result is identical for any
+    /// prior buffer contents. Structure-only, computed once at plan build.
+    pub fn unassigned_physical_rows(&self) -> Vec<u32> {
+        let mut assigned = vec![false; self.num_rows];
+        for r in 0..self.logical_rows() {
+            let (s, e) = (self.offsets[r], self.offsets[r + 1]);
+            // The final segment assigns iff it ends strictly inside its
+            // CTA tile: `e % nv == 0` or `e == nnz` means `seg_end == hi`
+            // there, i.e. the row only ever carries.
+            let carry_only = e % self.nv == 0 || e == self.nnz;
+            if e > s && !carry_only {
+                assigned[self.to_physical(r)] = true;
+            }
+        }
+        (0..self.num_rows as u32)
+            .filter(|&i| !assigned[i as usize])
+            .collect()
+    }
+
     /// Row range `[start, end]` a CTA's nonzeros fall into (logical rows).
     #[inline]
     pub fn cta_row_range(&self, cta_id: usize) -> (usize, usize) {
@@ -218,5 +242,40 @@ mod tests {
         let p = MergePartition::build(&dev(), &a, 896, false);
         assert_eq!(p.num_ctas(), 0);
         assert_eq!(p.stats.sim_ms, 0.0);
+    }
+
+    #[test]
+    fn unassigned_rows_are_empty_or_boundary_ending() {
+        // nv = 4 over offsets [0, 4, 6, 9, 9]: row 0 ends exactly on the
+        // first CTA boundary (carry-only), row 1 ends strictly inside
+        // CTA 1 (assigned), row 2 ends at nnz (the final CTA's trailing
+        // carry), row 3 is empty. Both the compacted and raw partitions
+        // must report physical rows {0, 2, 3}.
+        let mut trips = Vec::new();
+        for c in 0..4u32 {
+            trips.push((0u32, c, 1.0));
+        }
+        for c in 0..2u32 {
+            trips.push((1u32, c, 1.0));
+        }
+        for c in 0..3u32 {
+            trips.push((2u32, c, 1.0));
+        }
+        let a = CooMatrix::from_triplets(4, 10, trips).to_csr();
+        for force_raw in [false, true] {
+            let p = MergePartition::build(&dev(), &a, 4, force_raw);
+            assert_eq!(
+                p.unassigned_physical_rows(),
+                vec![0, 2, 3],
+                "force_raw={force_raw}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_rows_unassigned_when_empty() {
+        let a = CsrMatrix::zeros(3, 3);
+        let p = MergePartition::build(&dev(), &a, 896, false);
+        assert_eq!(p.unassigned_physical_rows(), vec![0, 1, 2]);
     }
 }

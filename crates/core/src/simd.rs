@@ -1,0 +1,296 @@
+//! Runtime-dispatched inner numeric kernels for the host execute paths.
+//!
+//! The flat numeric loops behind [`crate::spmv::SpmvPlan`] and
+//! [`crate::spmm::SpmmPlan`] spend essentially all of their time in three
+//! small routines: a gathered dot over one nonzero segment (SpMV), its
+//! strided variant (width-1 SpMM tiles), and a `w`-wide lane accumulation
+//! (SpMM tiles). Each has a single scalar body, written once with
+//! `#[inline(always)]`, and two monomorphic entry points: the portable
+//! build and — on x86-64 with AVX2 at runtime — a copy compiled under
+//! `#[target_feature(enable = "avx2")]` so the autovectorizer may use
+//! 256-bit lanes.
+//!
+//! **Bitwise invariance.** Dispatch never changes results: every variant
+//! performs the identical sequence of IEEE-754 multiplies and adds (the
+//! simulated kernel's summation order — products in item order, folds from
+//! 0.0), and Rust never contracts a `mul` + `add` into a fused
+//! multiply-add, so vector width only changes how many independent lanes
+//! retire per cycle, not what any lane computes. The
+//! `dispatched_kernels_match_portable_bits` test pins this on hardware
+//! where both paths exist.
+
+/// True when the AVX2 entry points are safe to call. The std detection
+/// macro caches its answer in an atomic, so dispatch costs a relaxed
+/// load and a predictable branch.
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+pub(crate) fn have_avx2() -> bool {
+    std::arch::is_x86_feature_detected!("avx2")
+}
+
+/// True when the AVX-512F entry points are safe to call. The wide SpMM
+/// tiles want it badly: a 64-lane accumulator is eight zmm registers,
+/// where 256-bit code must spill half its sixteen ymm names every nonzero.
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+pub(crate) fn have_avx512() -> bool {
+    std::arch::is_x86_feature_detected!("avx512f")
+}
+
+// ---------------------------------------------------------------------------
+// Scalar bodies (compiled once per dispatch wrapper, under its features).
+// ---------------------------------------------------------------------------
+
+/// Gathered dot product over one contiguous nonzero segment. Multiplies
+/// are formed in independent 8-wide chunks so the compiler can pipeline
+/// the loads and muls; the adds fold strictly in item order from 0.0,
+/// which is the exact summation order of the simulated kernel's
+/// per-segment reduction — the result is bitwise identical to the naive
+/// per-item loop.
+#[inline(always)]
+fn dot_gather_impl(vals: &[f64], cols: &[u32], x: &[f64]) -> f64 {
+    const W: usize = 8;
+    let mut acc = 0.0f64;
+    let mut vc = vals.chunks_exact(W);
+    let mut cc = cols.chunks_exact(W);
+    for (v, c) in (&mut vc).zip(&mut cc) {
+        let mut prod = [0.0f64; W];
+        for t in 0..W {
+            prod[t] = v[t] * x[c[t] as usize];
+        }
+        for &p in &prod {
+            acc += p;
+        }
+    }
+    for (v, &c) in vc.remainder().iter().zip(cc.remainder()) {
+        acc += v * x[c as usize];
+    }
+    acc
+}
+
+/// Strided gathered dot for a width-1 column tile: operand element for
+/// nonzero `j` lives at `x[cols[j] * k + col0]`. Same chunked-multiply /
+/// in-order-add structure as [`dot_gather`], so a single-column tile
+/// costs what a planned SpMV segment costs and the bits match it exactly.
+///
+/// Callers dispatch at the tile-walk level (see `SpmmPlan`), so this body
+/// inlines into whichever feature context the walk was compiled under.
+#[inline(always)]
+pub(crate) fn dot_gather_strided_impl(
+    vals: &[f64],
+    cols: &[u32],
+    x: &[f64],
+    k: usize,
+    col0: usize,
+) -> f64 {
+    const W: usize = 8;
+    let mut acc = 0.0f64;
+    let mut vc = vals.chunks_exact(W);
+    let mut cc = cols.chunks_exact(W);
+    for (v, c) in (&mut vc).zip(&mut cc) {
+        let mut prod = [0.0f64; W];
+        for t in 0..W {
+            prod[t] = v[t] * x[c[t] as usize * k + col0];
+        }
+        for &p in &prod {
+            acc += p;
+        }
+    }
+    for (v, &c) in vc.remainder().iter().zip(cc.remainder()) {
+        acc += v * x[c as usize * k + col0];
+    }
+    acc
+}
+
+/// Width-`W` gathered segment dot: each nonzero's value multiplies a
+/// contiguous `W`-wide run of its operand row, folding into `W` lane
+/// accumulators in item order from 0.0 — per lane this is exactly the
+/// scalar segment walk, so the width specialization never changes a bit.
+/// The const width keeps the accumulators in registers and fully unrolls
+/// the lane loop; a runtime-width loop re-checks bounds and accumulator
+/// aliasing on every nonzero.
+#[inline(always)]
+fn seg_dot_wide_impl<const W: usize>(
+    vals: &[f64],
+    cols: &[u32],
+    x: &[f64],
+    k: usize,
+    col0: usize,
+) -> [f64; W] {
+    // Gathered rows are invisible to hardware prefetchers (the next row's
+    // address comes from `cols`, not a stride), so issue software
+    // prefetches for the row PF nonzeros ahead. Pure hint: no memory is
+    // read, results are unchanged; it only matters when the operand block
+    // has spilled to L3 (large n·k).
+    #[cfg(target_arch = "x86_64")]
+    const PF: usize = 6;
+    let mut acc = [0.0f64; W];
+    if vals.is_empty() {
+        return acc;
+    }
+    // One check per segment so the clamp below can never underflow.
+    assert!(x.len() >= W, "operand shorter than tile width");
+    let lim = x.len() - W;
+    for (j, (&v, &c)) in vals.iter().zip(cols).enumerate() {
+        // Only wide tiles prefetch: a 32+-lane operand block (n·k ≥ L2)
+        // misses to L3/DRAM, while narrow tiles are cache-resident and
+        // the extra prefetch µops would only cost issue slots.
+        #[cfg(target_arch = "x86_64")]
+        if W >= 32 {
+            if let Some(&cf) = cols.get(j + PF) {
+                let row = (cf as usize * k + col0).min(lim);
+                // SAFETY: `row + W <= x.len()` by the clamp, and prefetch
+                // itself has no observable effect on memory.
+                unsafe {
+                    use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+                    let p = x.as_ptr().add(row) as *const i8;
+                    let mut off = 0usize;
+                    while off < W {
+                        _mm_prefetch::<_MM_HINT_T0>(p.add(off * 8));
+                        off += 8;
+                    }
+                }
+            }
+        }
+        // Branchless slice bound: clamping the start index into range
+        // replaces the per-nonzero panic branch with one `min`, keeping
+        // the gathered loads off the checked-index dependency chain. For
+        // any well-formed operator (`cols[j] < x.len() / k`, which plan
+        // construction requires) the clamp never engages and results are
+        // identical; a corrupted index reads in-bounds garbage instead of
+        // panicking.
+        let start = (c as usize * k + col0).min(lim);
+        // SAFETY: `start + W <= x.len()` by the clamp above.
+        let xrow = unsafe { x.get_unchecked(start..start + W) };
+        for t in 0..W {
+            acc[t] += v * xrow[t];
+        }
+    }
+    acc
+}
+
+/// One segment's `out.len()`-wide lane sums, dispatched to a const-width
+/// kernel for the widths the tiler produces in practice; any other width
+/// takes the generic runtime-width loop (bitwise identical, just slower).
+///
+/// Callers dispatch at the tile-walk level (see `SpmmPlan`), so this body
+/// inlines into whichever feature context the walk was compiled under.
+#[inline(always)]
+pub(crate) fn seg_dot_impl(
+    vals: &[f64],
+    cols: &[u32],
+    x: &[f64],
+    k: usize,
+    col0: usize,
+    out: &mut [f64],
+) {
+    match out.len() {
+        2 => out.copy_from_slice(&seg_dot_wide_impl::<2>(vals, cols, x, k, col0)),
+        4 => out.copy_from_slice(&seg_dot_wide_impl::<4>(vals, cols, x, k, col0)),
+        8 => out.copy_from_slice(&seg_dot_wide_impl::<8>(vals, cols, x, k, col0)),
+        16 => out.copy_from_slice(&seg_dot_wide_impl::<16>(vals, cols, x, k, col0)),
+        32 => out.copy_from_slice(&seg_dot_wide_impl::<32>(vals, cols, x, k, col0)),
+        64 => out.copy_from_slice(&seg_dot_wide_impl::<64>(vals, cols, x, k, col0)),
+        w => {
+            out.fill(0.0);
+            for (&v, &c) in vals.iter().zip(cols) {
+                let xrow = &x[c as usize * k + col0..][..w];
+                for (s, &xj) in out.iter_mut().zip(xrow) {
+                    *s += v * xj;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 copies of the bodies.
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dot_gather_avx2(vals: &[f64], cols: &[u32], x: &[f64]) -> f64 {
+    dot_gather_impl(vals, cols, x)
+}
+
+// ---------------------------------------------------------------------------
+// Dispatched entry points.
+// ---------------------------------------------------------------------------
+
+/// See [`dot_gather_impl`]; runs the AVX2 copy when the CPU has it.
+#[inline]
+pub(crate) fn dot_gather(vals: &[f64], cols: &[u32], x: &[f64]) -> f64 {
+    #[cfg(target_arch = "x86_64")]
+    if have_avx2() {
+        // SAFETY: AVX2 support was just verified at runtime.
+        return unsafe { dot_gather_avx2(vals, cols, x) };
+    }
+    dot_gather_impl(vals, cols, x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture(n: usize, k: usize, seed: u64) -> (Vec<f64>, Vec<u32>, Vec<f64>) {
+        let mut s = seed;
+        let mut next = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            s
+        };
+        let ncols = 97usize;
+        let vals: Vec<f64> = (0..n)
+            .map(|_| (next() % 2000) as f64 / 1000.0 - 1.0)
+            .collect();
+        let cols: Vec<u32> = (0..n).map(|_| (next() % ncols as u64) as u32).collect();
+        let x: Vec<f64> = (0..ncols * k)
+            .map(|_| (next() % 2000) as f64 / 999.0 - 1.0)
+            .collect();
+        (vals, cols, x)
+    }
+
+    #[test]
+    fn dispatched_kernels_match_portable_bits() {
+        // On hardware with AVX2 this compares two different codegens of
+        // the same arithmetic; elsewhere it degenerates to self-equality.
+        // Segment lengths cross the 8-chunk boundary both ways.
+        for n in [0usize, 1, 5, 8, 17, 200] {
+            let (vals, cols, x) = fixture(n, 1, 0x9e3779b97f4a7c15 ^ n as u64);
+            assert_eq!(
+                dot_gather(&vals, &cols, &x).to_bits(),
+                dot_gather_impl(&vals, &cols, &x).to_bits(),
+                "dot_gather n={n}"
+            );
+        }
+        for k in [3usize, 16] {
+            for col0 in [0usize, 2] {
+                let (vals, cols, x) = fixture(33, k, 7 + k as u64);
+                // The strided dot must agree with the plain dot on a
+                // column extracted to unit stride.
+                let col: Vec<f64> = (0..x.len() / k).map(|r| x[r * k + col0]).collect();
+                assert_eq!(
+                    dot_gather_strided_impl(&vals, &cols, &x, k, col0).to_bits(),
+                    dot_gather_impl(&vals, &cols, &col).to_bits(),
+                    "strided k={k} col0={col0}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn seg_dot_widths_agree_with_scalar_lanes() {
+        // Every lane of the wide kernel must equal the strided scalar dot
+        // on that lane — the invariant the SpMM tile walk is built on.
+        for w in [2usize, 4, 5, 8, 16, 64] {
+            let (vals, cols, x) = fixture(29, w, 999 + w as u64);
+            let mut wide = vec![0.0f64; w];
+            seg_dot_impl(&vals, &cols, &x, w, 0, &mut wide);
+            for (t, &got) in wide.iter().enumerate() {
+                let lane = dot_gather_strided_impl(&vals, &cols, &x, w, t);
+                assert_eq!(got.to_bits(), lane.to_bits(), "w={w} lane {t}");
+            }
+        }
+    }
+}

@@ -40,7 +40,8 @@ use mps_sparse::{CsrMatrix, DenseBlock};
 use crate::config::SpmmConfig;
 use crate::error::PlanError;
 use crate::partition::MergePartition;
-use crate::spmv::charge_exchange;
+use crate::simd::{dot_gather_strided_impl, seg_dot_impl};
+use crate::spmv::{charge_exchange, spmv_segment_walk};
 use crate::workspace::Workspace;
 
 /// Column tiles of a `k`-wide block at width `tile`: `(first_col, width)`.
@@ -102,6 +103,10 @@ pub struct SpmmPlan {
     reduction: LaunchStats,
     /// Cached cost of all update-phase tile launches.
     update: LaunchStats,
+    /// Physical rows the walk never assigns (empty or carry-only); the
+    /// executor zeroes exactly these rows of `y` instead of the whole
+    /// block.
+    prezero: Vec<u32>,
 }
 
 impl SpmmPlan {
@@ -131,6 +136,7 @@ impl SpmmPlan {
         let mut part = MergePartition::build(device, a, cfg.nv(), cfg.force_no_compaction);
         let partition = std::mem::take(&mut part.stats);
         let fixup = std::mem::take(&mut part.fixup);
+        let prezero = part.unassigned_physical_rows();
         let mut plan = SpmmPlan {
             cfg: *cfg,
             k,
@@ -140,6 +146,7 @@ impl SpmmPlan {
             fixup,
             reduction: LaunchStats::default(),
             update: LaunchStats::default(),
+            prezero,
         };
         if plan.part.nnz > 0 && k > 0 {
             plan.charge_tiled_phases(device, a);
@@ -331,56 +338,238 @@ impl SpmmPlan {
         acc: &mut Vec<f64>,
         carries: &mut Vec<(usize, f64)>,
     ) {
-        y.reset(self.part.num_rows, self.k);
-        let nnz = self.part.nnz;
-        if nnz == 0 || self.k == 0 {
+        if y.rows != self.part.num_rows || y.cols != self.k {
+            // Cold or resized buffer: full zero-fill.
+            y.reset(self.part.num_rows, self.k);
+        } else {
+            // Warm buffer: zero only the rows the walk below will not
+            // assign (empty rows and carry-only rows, precomputed at plan
+            // build); every other row is overwritten by complete-segment
+            // assignments across the column passes, so the result is
+            // identical to a full zero-fill without streaming the whole
+            // `n × k` block twice per execution.
+            if self.k == 1 {
+                // Degenerate single-column block: same store pattern as
+                // `SpmvPlan` (no slice construction per row).
+                for &r in self.prezero.iter() {
+                    y.data[r as usize] = 0.0;
+                }
+            } else {
+                for &r in self.prezero.iter() {
+                    let base = r as usize * self.k;
+                    y.data[base..base + self.k].fill(0.0);
+                }
+            }
+        }
+        if self.part.nnz == 0 || self.k == 0 {
             return;
         }
+        let k = self.k;
+
+        if k == 1 {
+            // Degenerate single-column block: y's backing storage *is* a
+            // vector, so run the planned-SpMV segment walk — not a copy
+            // of it, the *same instantiation* `SpmvPlan` executes
+            // (`spmv_segment_walk` is `#[inline(never)]`). No column-tile
+            // iterator, no strided addressing, no width dispatch: a k=1
+            // SpMM is the planned SpMV in machine code, bits, and cost.
+            spmv_segment_walk(&self.part, self.cfg.nv(), a, &x.data, &mut y.data, carries);
+            return;
+        }
+
+        // The simulated kernel walks ⌈k / TILE_K⌉ column tiles and that is
+        // what the plan charged; the host numeric walk fuses adjacent tiles
+        // into passes of up to `HOST_TILE` columns so A's CSR arrays stream
+        // fewer times and each gathered operand row is consumed in one go.
+        // Tile width never affects the bits — per column the summation
+        // order is width-invariant (asserted by
+        // `tile_width_does_not_change_the_result_bits`) — so the fused walk
+        // is bitwise identical to the charged decomposition.
+        const HOST_TILE: usize = 64;
+        for (col0, w) in column_tiles(k, self.cfg.tile().max(HOST_TILE)) {
+            carries.clear();
+            // One SIMD-feature dispatch per pass, not per segment: the
+            // whole CTA walk is compiled per feature tier, so the inner
+            // kernels inline into it and the lane accumulators stay in
+            // registers across the segment loop.
+            #[cfg(target_arch = "x86_64")]
+            {
+                // 512-bit lanes only pay off once the accumulator set
+                // overflows the sixteen 256-bit register names; narrower
+                // tiles measure faster under plain AVX2.
+                if w >= 32 && crate::simd::have_avx512() {
+                    // SAFETY: AVX-512F support was just verified at runtime.
+                    unsafe { self.tile_pass_avx512(a, x, y, acc, carries, col0, w) };
+                } else if crate::simd::have_avx2() {
+                    // SAFETY: AVX2 support was just verified at runtime.
+                    unsafe { self.tile_pass_avx2(a, x, y, acc, carries, col0, w) };
+                } else {
+                    self.tile_pass_portable(a, x, y, acc, carries, col0, w);
+                }
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            self.tile_pass_portable(a, x, y, acc, carries, col0, w);
+
+            for &(idx, sum) in carries.iter() {
+                y.data[idx] += sum;
+            }
+        }
+    }
+
+    /// One fused column pass `[col0, col0 + w)` over every CTA: the
+    /// segment walk with a `w`-wide accumulator (or the strided scalar
+    /// dot when `w == 1`), complete rows assigned into `y`, trailing
+    /// segments appended to `carries` as flat `y` indices. Marked
+    /// `#[inline(always)]` so each `tile_pass_*` wrapper compiles its own
+    /// copy under its target features.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    fn tile_pass_body(
+        &self,
+        a: &CsrMatrix,
+        x: &DenseBlock,
+        y: &mut DenseBlock,
+        acc: &mut Vec<f64>,
+        carries: &mut Vec<(usize, f64)>,
+        col0: usize,
+        w: usize,
+    ) {
+        let nnz = self.part.nnz;
         let nv = self.cfg.nv();
         let k = self.k;
         let num_ctas = self.part.num_ctas();
         let offsets = &self.part.offsets;
 
-        for (col0, w) in column_tiles(k, self.cfg.tile()) {
-            carries.clear();
+        if w == 1 {
+            // Scalar tile: exactly the planned-SpMV segment walk with a
+            // stride-k operand and output, so a single-column SpMM pays
+            // no tiling overhead (no width-w accumulator, no per-item
+            // slice juggling) and stays bitwise identical to SpMV.
             for cta_id in 0..num_ctas {
                 let lo = cta_id * nv;
                 let hi = (lo + nv).min(nnz);
                 let (row_lo, row_hi) = self.part.cta_row_range(cta_id);
                 let mut r = row_lo;
-                acc.clear();
-                acc.resize(w, 0.0);
-                let mut any = false;
-                for i in lo..hi {
+                let mut i = lo;
+                while i < hi {
                     while r < row_hi && offsets[r + 1] <= i {
-                        if any {
-                            let base = self.part.to_physical(r) * k + col0;
-                            y.data[base..base + w].copy_from_slice(acc);
-                        }
                         r += 1;
-                        acc.iter_mut().for_each(|s| *s = 0.0);
-                        any = false;
                     }
-                    let v = a.values[i];
-                    let xrow = &x.data[a.col_idx[i] as usize * k + col0..][..w];
-                    for (s, &xj) in acc.iter_mut().zip(xrow) {
-                        *s += v * xj;
-                    }
-                    any = true;
-                }
-                // The tile's final segment is the CTA carry, even when the
-                // row ends exactly at the tile boundary.
-                if any {
+                    let seg_end = if r < row_hi {
+                        offsets[r + 1].min(hi)
+                    } else {
+                        hi
+                    };
+                    let sum = dot_gather_strided_impl(
+                        &a.values[i..seg_end],
+                        &a.col_idx[i..seg_end],
+                        &x.data,
+                        k,
+                        col0,
+                    );
                     let base = self.part.to_physical(r) * k + col0;
-                    for (t, &s) in acc.iter().enumerate() {
-                        carries.push((base + t, s));
+                    if seg_end == hi {
+                        carries.push((base, sum));
+                    } else {
+                        y.data[base] = sum;
                     }
+                    i = seg_end;
                 }
             }
-            for &(idx, sum) in carries.iter() {
-                y.data[idx] += sum;
+        } else {
+            acc.clear();
+            acc.resize(w, 0.0);
+            for cta_id in 0..num_ctas {
+                let lo = cta_id * nv;
+                let hi = (lo + nv).min(nnz);
+                let (row_lo, row_hi) = self.part.cta_row_range(cta_id);
+                let mut r = row_lo;
+                let mut i = lo;
+                // Segment-wise walk (see `SpmvPlan::numeric_execute`):
+                // the w-wide accumulator folds each segment's products
+                // in item order from zero, complete rows store w
+                // contiguous doubles, the trailing segment carries.
+                while i < hi {
+                    while r < row_hi && offsets[r + 1] <= i {
+                        r += 1;
+                    }
+                    let seg_end = if r < row_hi {
+                        offsets[r + 1].min(hi)
+                    } else {
+                        hi
+                    };
+                    let base = self.part.to_physical(r) * k + col0;
+                    // Complete rows write their lane sums straight into
+                    // `y`; only the CTA's trailing segment goes through
+                    // the scratch accumulator (to be carried).
+                    let dst: &mut [f64] = if seg_end == hi {
+                        &mut acc[..w]
+                    } else {
+                        &mut y.data[base..base + w]
+                    };
+                    seg_dot_impl(
+                        &a.values[i..seg_end],
+                        &a.col_idx[i..seg_end],
+                        &x.data,
+                        k,
+                        col0,
+                        dst,
+                    );
+                    if seg_end == hi {
+                        for (t, &s) in acc.iter().enumerate() {
+                            carries.push((base + t, s));
+                        }
+                    }
+                    i = seg_end;
+                }
             }
         }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn tile_pass_portable(
+        &self,
+        a: &CsrMatrix,
+        x: &DenseBlock,
+        y: &mut DenseBlock,
+        acc: &mut Vec<f64>,
+        carries: &mut Vec<(usize, f64)>,
+        col0: usize,
+        w: usize,
+    ) {
+        self.tile_pass_body(a, x, y, acc, carries, col0, w)
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn tile_pass_avx2(
+        &self,
+        a: &CsrMatrix,
+        x: &DenseBlock,
+        y: &mut DenseBlock,
+        acc: &mut Vec<f64>,
+        carries: &mut Vec<(usize, f64)>,
+        col0: usize,
+        w: usize,
+    ) {
+        self.tile_pass_body(a, x, y, acc, carries, col0, w)
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn tile_pass_avx512(
+        &self,
+        a: &CsrMatrix,
+        x: &DenseBlock,
+        y: &mut DenseBlock,
+        acc: &mut Vec<f64>,
+        carries: &mut Vec<(usize, f64)>,
+        col0: usize,
+        w: usize,
+    ) {
+        self.tile_pass_body(a, x, y, acc, carries, col0, w)
     }
 
     fn check_inputs(&self, a: &CsrMatrix, x: &DenseBlock) {
@@ -521,6 +710,43 @@ mod tests {
             let ym = spmm.execute(&dev(), &m, &x);
             let yv = spmv.execute(&dev(), &m, &x.column(0));
             assert_eq!(ym.y.data, yv.y, "k=1 SpMM must be bitwise SpMV");
+        }
+    }
+
+    #[test]
+    fn warm_dirty_output_buffer_is_bitwise_clean() {
+        // The targeted pre-zero must make any prior `y` contents
+        // invisible: scribble NaN over the warm buffer between
+        // executions and demand bitwise equality with the fresh result.
+        // A row that is never re-zeroed nor assigned would keep (or
+        // propagate, via the carry `+=`) the NaN. Small CTAs put row
+        // ends on tile boundaries; the COO matrix adds empty rows.
+        let cfg = SpmmConfig {
+            block_threads: 32,
+            items_per_thread: 2,
+            ..SpmmConfig::default()
+        };
+        for m in [
+            gen::random_uniform(300, 300, 6.0, 3.0, 21),
+            CooMatrix::from_triplets(40, 40, [(2, 1, 2.5), (25, 39, -1.0), (26, 0, 4.0)]).to_csr(),
+        ] {
+            for k in [1usize, 5, 16, 64] {
+                let x = x_block(m.num_cols, k);
+                let plan = SpmmPlan::new(&dev(), &m, k, &cfg);
+                let mut ws = Workspace::new();
+                let mut y = DenseBlock::zeros(0, 0);
+                plan.execute_into(&m, &x, &mut y, &mut ws);
+                let fresh = y.data.clone();
+                y.data.iter_mut().for_each(|v| *v = f64::NAN);
+                plan.execute_into(&m, &x, &mut y, &mut ws);
+                assert!(
+                    fresh
+                        .iter()
+                        .zip(&y.data)
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "k={k}: dirty warm buffer changed the result"
+                );
+            }
         }
     }
 

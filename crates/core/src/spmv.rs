@@ -39,6 +39,8 @@ use crate::error::PlanError;
 use crate::partition::MergePartition;
 use crate::workspace::Workspace;
 
+pub(crate) use crate::simd::dot_gather;
+
 /// Charge the shared-memory cost of a striped→blocked exchange of `items`
 /// register-tile entries (the data itself is already in natural order on
 /// the host).
@@ -102,6 +104,9 @@ pub struct SpmvPlan {
     reduction: LaunchStats,
     /// Cached cost of the update phase (structure-only; charged once).
     update: LaunchStats,
+    /// Physical rows the walk never assigns (empty or carry-only); the
+    /// executor zeroes exactly these instead of the whole output.
+    prezero: Vec<u32>,
 }
 
 impl SpmvPlan {
@@ -127,6 +132,7 @@ impl SpmvPlan {
         let mut part = MergePartition::build(device, a, cfg.nv(), cfg.force_no_compaction);
         let partition = std::mem::take(&mut part.stats);
         let fixup = std::mem::take(&mut part.fixup);
+        let prezero = part.unassigned_physical_rows();
         let mut plan = SpmvPlan {
             cfg: *cfg,
             num_cols: a.num_cols,
@@ -135,6 +141,7 @@ impl SpmvPlan {
             fixup,
             reduction: LaunchStats::default(),
             update: LaunchStats::default(),
+            prezero,
         };
         if plan.part.nnz > 0 {
             let (reduction, update) = plan.charge_numeric_phases(device, a);
@@ -260,46 +267,15 @@ impl SpmvPlan {
         y: &mut [f64],
         carries: &mut Vec<(usize, f64)>,
     ) {
-        y.fill(0.0);
-        carries.clear();
-        let nnz = self.part.nnz;
-        if nnz == 0 {
-            return;
+        // Zero only the rows the walk below will not assign (empty rows
+        // and carry-only rows, precomputed at plan build); every other
+        // row is overwritten by a complete-segment assignment, so the
+        // result is identical to a full zero-fill for any prior `y`
+        // contents — without streaming the whole output twice.
+        for &r in self.prezero.iter() {
+            y[r as usize] = 0.0;
         }
-        let nv = self.cfg.nv();
-        let num_ctas = self.part.num_ctas();
-        let offsets = &self.part.offsets;
-        let to_physical = |logical: usize| self.part.to_physical(logical);
-
-        for cta_id in 0..num_ctas {
-            let lo = cta_id * nv;
-            let hi = (lo + nv).min(nnz);
-            let (row_lo, row_hi) = self.part.cta_row_range(cta_id);
-            let mut r = row_lo;
-            let mut acc = 0.0f64;
-            let mut any = false;
-            for i in lo..hi {
-                while r < row_hi && offsets[r + 1] <= i {
-                    if any {
-                        y[to_physical(r)] = acc;
-                    }
-                    r += 1;
-                    acc = 0.0;
-                    any = false;
-                }
-                acc += a.values[i] * x[a.col_idx[i] as usize];
-                any = true;
-            }
-            // The tile's final segment is the CTA carry, even when the row
-            // happens to end exactly at the tile boundary.
-            if any {
-                carries.push((r, acc));
-            }
-        }
-
-        for &(logical, sum) in carries.iter() {
-            y[to_physical(logical)] += sum;
-        }
+        spmv_segment_walk(&self.part, self.cfg.nv(), a, x, y, carries);
     }
 
     fn check_inputs(&self, a: &CsrMatrix, x: &[f64]) {
@@ -352,12 +328,81 @@ impl SpmvPlan {
         ws: &mut Workspace,
     ) -> f64 {
         self.check_inputs(a, x);
-        y.clear();
-        y.resize(self.part.num_rows, 0.0);
+        // Size only: `numeric_execute` zero-fills, so a correctly sized
+        // warm buffer skips the redundant resize-time zeroing.
+        if y.len() != self.part.num_rows {
+            y.clear();
+            y.resize(self.part.num_rows, 0.0);
+        }
         let mut carries = ws.take_carries();
         self.numeric_execute(a, x, y, &mut carries);
         ws.put_carries(carries);
         self.execute_sim_ms()
+    }
+}
+
+/// The planned-SpMV numeric walk over one CTA partition: per-CTA gathered
+/// segment dots (products folding in item order from 0.0), complete rows
+/// assigned through `part`'s logical→physical map, trailing partials
+/// folded as carries in CTA order after all CTAs.
+///
+/// Shared by [`SpmvPlan`] and the `k == 1` degenerate path of
+/// [`crate::spmm::SpmmPlan`]: both execute this *single instantiation*
+/// (`#[inline(never)]` pins one copy), so a single-column SpMM is the
+/// planned SpMV — the same machine code, the same bits, the same cost.
+/// Callers pre-zero the rows the walk never assigns (see
+/// [`MergePartition::unassigned_physical_rows`]).
+#[inline(never)]
+pub(crate) fn spmv_segment_walk(
+    part: &MergePartition,
+    nv: usize,
+    a: &CsrMatrix,
+    x: &[f64],
+    y: &mut [f64],
+    carries: &mut Vec<(usize, f64)>,
+) {
+    carries.clear();
+    let nnz = part.nnz;
+    if nnz == 0 {
+        return;
+    }
+    let num_ctas = part.num_ctas();
+    let offsets = &part.offsets;
+
+    for cta_id in 0..num_ctas {
+        let lo = cta_id * nv;
+        let hi = (lo + nv).min(nnz);
+        let (row_lo, row_hi) = part.cta_row_range(cta_id);
+        let mut r = row_lo;
+        let mut i = lo;
+        // Segment-wise walk: one gathered dot per (row × tile)
+        // intersection instead of a row test per nonzero. Bitwise
+        // identical to the per-item walk — each segment's products
+        // fold in item order from 0.0, rows with no items in the tile
+        // produce no segment, and the tile's trailing segment always
+        // becomes the CTA carry (even when the row ends exactly at the
+        // tile boundary).
+        while i < hi {
+            while r < row_hi && offsets[r + 1] <= i {
+                r += 1;
+            }
+            let seg_end = if r < row_hi {
+                offsets[r + 1].min(hi)
+            } else {
+                hi
+            };
+            let acc = dot_gather(&a.values[i..seg_end], &a.col_idx[i..seg_end], x);
+            if seg_end == hi {
+                carries.push((r, acc));
+            } else {
+                y[part.to_physical(r)] = acc;
+            }
+            i = seg_end;
+        }
+    }
+
+    for &(logical, sum) in carries.iter() {
+        y[part.to_physical(logical)] += sum;
     }
 }
 
@@ -419,6 +464,40 @@ mod tests {
         let r = merge_spmv(&dev(), &a, &x, &SpmvConfig::default());
         assert_eq!(r.y, vec![10.0, 290.0, 200.0, 120.0]);
         assert!(!r.compacted);
+    }
+
+    #[test]
+    fn warm_dirty_output_buffer_is_bitwise_clean() {
+        // The targeted pre-zero must make any prior `y` contents
+        // invisible: scribble NaN over the warm buffer between executions
+        // and demand bitwise equality with the fresh result. Small CTAs
+        // put row ends on tile boundaries (the carry-only pre-zero set);
+        // the COO matrix adds empty rows (the compaction path).
+        let cfg = SpmvConfig {
+            block_threads: 32,
+            items_per_thread: 2,
+            force_no_compaction: false,
+        };
+        for m in [
+            gen::random_uniform(400, 400, 6.0, 3.0, 13),
+            CooMatrix::from_triplets(40, 40, [(2, 1, 2.5), (25, 39, -1.0), (26, 0, 4.0)]).to_csr(),
+        ] {
+            let x = x_for(&m);
+            let plan = SpmvPlan::new(&dev(), &m, &cfg);
+            let mut ws = Workspace::new();
+            let mut y = Vec::new();
+            plan.execute_into(&m, &x, &mut y, &mut ws);
+            let fresh = y.clone();
+            y.iter_mut().for_each(|v| *v = f64::NAN);
+            plan.execute_into(&m, &x, &mut y, &mut ws);
+            assert!(
+                fresh
+                    .iter()
+                    .zip(&y)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "dirty warm buffer changed the result"
+            );
+        }
     }
 
     #[test]

@@ -82,7 +82,8 @@ pub use chaos::{ChaosConfig, ChaosCounters};
 pub use error::EngineError;
 pub use stats::EngineStats;
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::mem;
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
@@ -313,8 +314,11 @@ struct Inner {
     /// the entry stale.
     fp_memo: HashMap<usize, (Weak<CsrMatrix>, u64)>,
     /// Reusable operand/result blocks for batched flushes (capacity
-    /// survives between batches).
+    /// survives between batches). `scratch_x`/`scratch_x2` double-buffer
+    /// the operand so a flush can assemble the next group's columns while
+    /// the current group executes.
     scratch_x: DenseBlock,
+    scratch_x2: DenseBlock,
     scratch_y: DenseBlock,
     /// Fault-decision stream for [`EngineConfig::chaos`].
     chaos: ChaosState,
@@ -395,6 +399,7 @@ impl Engine {
                 stats: EngineStats::default(),
                 fp_memo: HashMap::new(),
                 scratch_x: DenseBlock::zeros(0, 0),
+                scratch_x2: DenseBlock::zeros(0, 0),
                 scratch_y: DenseBlock::zeros(0, 0),
                 chaos: ChaosState::new(cfg.chaos.seed),
             }),
@@ -670,15 +675,27 @@ impl Engine {
 
     /// Drain every submission queue, coalescing same-matrix requests —
     /// vectors and blocks alike — into single column-tiled SpMM
-    /// traversals of up to [`EngineConfig::max_batch`] output columns (a
-    /// lone vector request runs through the SpMV plan). Returns the
+    /// traversals of up to [`EngineConfig::max_batch`] output columns. A
+    /// single one-column request (a lone vector, or a degenerate
+    /// one-column block) dispatches straight through the cached SpMV plan
+    /// instead, so it never pays column-tiling overhead. Returns the
     /// number of requests resolved — results and deadline expirations
     /// both become redeemable via [`Engine::take_result`].
+    ///
+    /// The flush runs in two phases. First every group is *prepared* in
+    /// queue order: deadline/chaos draws, plan-cache lookup, and
+    /// workspace checkout all happen here, so the seeded fault stream is
+    /// consumed in exactly the order the sequential flush consumed it.
+    /// Then the prepared groups execute through a one-stage software
+    /// pipeline: while group *i*'s (draw-free) numeric replay runs, group
+    /// *i+1*'s operand columns are interleaved into the spare scratch
+    /// block, hiding assembly cost behind execution.
     pub fn flush(&self) -> usize {
         let mut guard = self.inner.lock();
         let inner = &mut *guard;
         let now = Instant::now();
         let mut resolved = 0usize;
+        let mut prepared: Vec<PreparedGroup> = Vec::new();
         let keys: Vec<QueueKey> = inner.batcher.queues.keys().copied().collect();
         for key in keys {
             loop {
@@ -731,7 +748,7 @@ impl Engine {
                     break;
                 }
                 resolved += group.len();
-                execute_group(
+                let g = prepare_group(
                     &self.device,
                     &self.cfg,
                     inner,
@@ -739,8 +756,10 @@ impl Engine {
                     &matrix,
                     group,
                 );
+                prepared.push(g);
             }
         }
+        execute_pipelined(inner, prepared);
         inner.batcher.queues.retain(|_, q| !q.pending.is_empty());
         inner.stats.results_evicted += inner.batcher.evict_stale(self.cfg.result_ttl_flushes);
         resolved
@@ -900,77 +919,191 @@ fn spmm_plan_locked(
     }
 }
 
-/// Run one flushed group: a lone vector request goes through the SpMV
-/// plan; anything else is interleaved — vector payloads as single columns,
-/// block payloads as column runs — into the scratch operand block and
-/// executed as one column-tiled SpMM, then split back per request. Either
-/// way each output column is bitwise identical to its standalone run.
-fn execute_group(
+/// A flushed group with every admission decision already made: chaos
+/// draws consumed, plan resolved from the cache, workspace checked out.
+/// What remains — operand assembly and the numeric replay — is draw-free,
+/// which is what lets [`execute_pipelined`] overlap groups without
+/// perturbing the seeded fault stream.
+enum PreparedExec {
+    /// A single one-column request (lone vector, or a degenerate
+    /// one-column block) dispatched straight through the cached
+    /// [`SpmvPlan`]: a k=1 "SpMM" never pays column-tiling overhead, and
+    /// by PR 2's per-column equivalence the bits are identical.
+    /// `as_block` records the submission kind for the output variant.
+    Spmv {
+        plan: Arc<SpmvPlan>,
+        ticket: Ticket,
+        x: Vec<f64>,
+        as_block: bool,
+    },
+    /// A coalesced group executing as one column-tiled SpMM traversal.
+    Spmm {
+        plan: Arc<SpmmPlan>,
+        group: Vec<Request>,
+        k: usize,
+    },
+}
+
+struct PreparedGroup {
+    matrix: Arc<CsrMatrix>,
+    ws: Workspace,
+    exec: PreparedExec,
+}
+
+/// Admit one flushed group: consume its chaos draws (cache storm at plan
+/// lookup, pool exhaustion at checkout — in exactly the sequential flush
+/// order), resolve the plan, and check out a workspace.
+fn prepare_group(
     device: &Device,
     cfg: &EngineConfig,
     inner: &mut Inner,
     fp: u64,
     matrix: &Arc<CsrMatrix>,
     group: Vec<Request>,
-) {
+) -> PreparedGroup {
     inner.stats.record_batch(group.len());
     inner.stats.requests += group.len() as u64;
-    if group.len() == 1 {
-        if let RequestPayload::Vector(_) = &group[0].payload {
-            let plan = spmv_plan_locked(device, cfg, inner, fp, matrix);
-            let mut ws = inner.checkout_ws(&cfg.chaos);
-            let mut y = Vec::new();
-            let req = group.into_iter().next().expect("group of one");
-            let x = match req.payload {
-                RequestPayload::Vector(x) => x,
-                RequestPayload::Block(_) => unreachable!("vector payload checked above"),
-            };
-            let ms = plan.execute_into(matrix, &x, &mut y, &mut ws);
-            inner.pool.give_back(ws);
-            inner.stats.exec_sim_ms += ms;
-            charge_spmv_exec(&mut inner.stats, &plan);
-            inner
-                .batcher
-                .complete(req.ticket, Ok(EngineOutput::Vector(y)));
-            return;
+    let exec = if group.len() == 1 && group[0].payload.cols() == 1 {
+        let plan = spmv_plan_locked(device, cfg, inner, fp, matrix);
+        let req = group.into_iter().next().expect("group of one");
+        let (x, as_block) = match req.payload {
+            RequestPayload::Vector(x) => (x, false),
+            RequestPayload::Block(b) => (b.column(0), true),
+        };
+        PreparedExec::Spmv {
+            plan,
+            ticket: req.ticket,
+            x,
+            as_block,
         }
+    } else {
+        let k: usize = group.iter().map(|r| r.payload.cols()).sum();
+        let plan = spmm_plan_locked(device, cfg, inner, fp, matrix, k);
+        PreparedExec::Spmm { plan, group, k }
+    };
+    let ws = inner.checkout_ws(&cfg.chaos);
+    PreparedGroup {
+        matrix: Arc::clone(matrix),
+        ws,
+        exec,
     }
-    let k: usize = group.iter().map(|r| r.payload.cols()).sum();
-    let plan = spmm_plan_locked(device, cfg, inner, fp, matrix, k);
-    let mut ws = inner.checkout_ws(&cfg.chaos);
-    inner.scratch_x.reset(matrix.num_cols, k);
+}
+
+/// Interleave an SpMM group's payloads — vector payloads as single
+/// columns, block payloads as row-major column runs — into `buf`. A
+/// no-op for SpMV groups (they read their operand vector directly).
+fn assemble_operand(g: &PreparedGroup, buf: &mut DenseBlock) {
+    let PreparedExec::Spmm { group, k, .. } = &g.exec else {
+        return;
+    };
+    let k = *k;
+    buf.reset(g.matrix.num_cols, k);
     let mut c = 0usize;
-    for req in &group {
+    for req in group {
         match &req.payload {
             RequestPayload::Vector(x) => {
-                inner.scratch_x.set_column(c, x);
+                buf.set_column(c, x);
                 c += 1;
             }
             RequestPayload::Block(b) => {
-                for j in 0..b.cols {
-                    inner.scratch_x.set_column(c + j, &b.column(j));
+                for r in 0..b.rows {
+                    let src = &b.data[r * b.cols..(r + 1) * b.cols];
+                    buf.data[r * k + c..r * k + c + b.cols].copy_from_slice(src);
                 }
                 c += b.cols;
             }
         }
     }
-    let ms = plan.execute_into(matrix, &inner.scratch_x, &mut inner.scratch_y, &mut ws);
-    inner.pool.give_back(ws);
-    inner.stats.exec_sim_ms += ms;
-    charge_spmm_exec(&mut inner.stats, &plan);
-    let mut c = 0usize;
-    for req in group {
-        let w = req.payload.cols();
-        let out = match req.payload {
-            RequestPayload::Vector(_) => EngineOutput::Vector(inner.scratch_y.column(c)),
-            RequestPayload::Block(_) => {
-                let y = &inner.scratch_y;
-                EngineOutput::Block(DenseBlock::from_fn(y.rows, w, |r, j| y.get(r, c + j)))
-            }
-        };
-        inner.batcher.complete(req.ticket, Ok(out));
-        c += w;
+}
+
+/// Run the prepared groups through a one-stage software pipeline: while
+/// group *i*'s numeric replay executes, group *i+1*'s operand columns are
+/// assembled into the spare scratch block on the worker pool
+/// ([`rayon::join`]), then the buffers swap roles. Execution order — and
+/// therefore every output bit — matches the sequential flush exactly;
+/// only the assembly cost moves off the critical path. The scratch
+/// blocks double-buffer through [`Inner`] so steady-state flushes stay
+/// zero-alloc.
+fn execute_pipelined(inner: &mut Inner, prepared: Vec<PreparedGroup>) {
+    if prepared.is_empty() {
+        return;
     }
+    let mut cur_x = mem::replace(&mut inner.scratch_x, DenseBlock::zeros(0, 0));
+    let mut next_x = mem::replace(&mut inner.scratch_x2, DenseBlock::zeros(0, 0));
+    let mut y_blk = mem::replace(&mut inner.scratch_y, DenseBlock::zeros(0, 0));
+    let mut queue: VecDeque<PreparedGroup> = prepared.into();
+    if let Some(front) = queue.front() {
+        assemble_operand(front, &mut cur_x);
+    }
+    while let Some(mut g) = queue.pop_front() {
+        let next = queue.front();
+        let matrix = &g.matrix;
+        let ws = &mut g.ws;
+        let exec = &g.exec;
+        let ((ms, spmv_y), ()) = rayon::join(
+            || match exec {
+                PreparedExec::Spmv { plan, x, .. } => {
+                    let mut y = Vec::new();
+                    let ms = plan.execute_into(matrix, x, &mut y, ws);
+                    (ms, Some(y))
+                }
+                PreparedExec::Spmm { plan, .. } => {
+                    let ms = plan.execute_into(matrix, &cur_x, &mut y_blk, ws);
+                    (ms, None)
+                }
+            },
+            || {
+                if let Some(n) = next {
+                    assemble_operand(n, &mut next_x);
+                }
+            },
+        );
+        inner.pool.give_back(g.ws);
+        inner.stats.exec_sim_ms += ms;
+        match g.exec {
+            PreparedExec::Spmv {
+                plan,
+                ticket,
+                as_block,
+                ..
+            } => {
+                charge_spmv_exec(&mut inner.stats, &plan);
+                let y = spmv_y.expect("SpMV dispatch produced a vector");
+                let out = if as_block {
+                    EngineOutput::Block(DenseBlock {
+                        rows: y.len(),
+                        cols: 1,
+                        data: y,
+                    })
+                } else {
+                    EngineOutput::Vector(y)
+                };
+                inner.batcher.complete(ticket, Ok(out));
+            }
+            PreparedExec::Spmm { plan, group, .. } => {
+                charge_spmm_exec(&mut inner.stats, &plan);
+                let mut c = 0usize;
+                for req in group {
+                    let w = req.payload.cols();
+                    let out = match req.payload {
+                        RequestPayload::Vector(_) => EngineOutput::Vector(y_blk.column(c)),
+                        RequestPayload::Block(_) => {
+                            let y = &y_blk;
+                            EngineOutput::Block(DenseBlock::from_fn(y.rows, w, |r, j| {
+                                y.get(r, c + j)
+                            }))
+                        }
+                    };
+                    inner.batcher.complete(req.ticket, Ok(out));
+                    c += w;
+                }
+            }
+        }
+        mem::swap(&mut cur_x, &mut next_x);
+    }
+    inner.scratch_x = cur_x;
+    inner.scratch_x2 = next_x;
+    inner.scratch_y = y_blk;
 }
 
 #[cfg(test)]

@@ -8,7 +8,19 @@
 //! host slices — the Cta only records what the access pattern would have
 //! cost on the virtual device.
 
+use std::cell::RefCell;
+
 use crate::cost::{coalesced_transactions, Counters, TX_BYTES};
+
+thread_local! {
+    /// Reusable per-thread scratch for the warp-segment sets built by the
+    /// gather/scatter coalescing model. Launch bodies run many gathers per
+    /// CTA; allocating the scratch per call made the gather paths the only
+    /// allocating part of a warm launch. One vector per executing thread
+    /// (launches never nest a gather inside a gather) keeps the hot path
+    /// allocation-free after the first use on each worker.
+    static WARP_SEGMENTS: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Execution context for a single cooperative thread array.
 #[derive(Debug)]
@@ -150,21 +162,24 @@ impl Cta {
         let mut n = 0u64;
         // Distinct segments per warp: lanes of one warp coalesce, different
         // warps issue independently.
-        let mut warp_segments: Vec<usize> = Vec::with_capacity(self.warp_size);
-        let mut lane = 0;
-        for idx in indices {
-            n += 1;
-            warp_segments.push(idx / per_tx);
-            lane += 1;
-            if lane == self.warp_size {
-                transactions += distinct_count(&mut warp_segments);
-                warp_segments.clear();
-                lane = 0;
+        WARP_SEGMENTS.with(|scratch| {
+            let mut warp_segments = scratch.borrow_mut();
+            warp_segments.clear();
+            let mut lane = 0;
+            for idx in indices {
+                n += 1;
+                warp_segments.push(idx / per_tx);
+                lane += 1;
+                if lane == self.warp_size {
+                    transactions += distinct_count(&mut warp_segments);
+                    warp_segments.clear();
+                    lane = 0;
+                }
             }
-        }
-        if !warp_segments.is_empty() {
-            transactions += distinct_count(&mut warp_segments);
-        }
+            if !warp_segments.is_empty() {
+                transactions += distinct_count(&mut warp_segments);
+            }
+        });
         (transactions, n * elem_bytes as u64)
     }
 
@@ -184,24 +199,27 @@ impl Cta {
         let per_tx = (TX_BYTES as usize / elem_bytes).max(1);
         let mut transactions = 0u64;
         let mut n = 0u64;
-        let mut warp_segments: Vec<usize> = Vec::with_capacity(self.warp_size * 2);
-        let mut lane = 0;
-        for idx in indices {
-            n += 1;
-            // Segments spanned by elements [idx, idx + width).
-            let first = idx / per_tx;
-            let last = (idx + width - 1) / per_tx;
-            warp_segments.extend(first..=last);
-            lane += 1;
-            if lane == self.warp_size {
-                transactions += distinct_count(&mut warp_segments);
-                warp_segments.clear();
-                lane = 0;
+        WARP_SEGMENTS.with(|scratch| {
+            let mut warp_segments = scratch.borrow_mut();
+            warp_segments.clear();
+            let mut lane = 0;
+            for idx in indices {
+                n += 1;
+                // Segments spanned by elements [idx, idx + width).
+                let first = idx / per_tx;
+                let last = (idx + width - 1) / per_tx;
+                warp_segments.extend(first..=last);
+                lane += 1;
+                if lane == self.warp_size {
+                    transactions += distinct_count(&mut warp_segments);
+                    warp_segments.clear();
+                    lane = 0;
+                }
             }
-        }
-        if !warp_segments.is_empty() {
-            transactions += distinct_count(&mut warp_segments);
-        }
+            if !warp_segments.is_empty() {
+                transactions += distinct_count(&mut warp_segments);
+            }
+        });
         (transactions, n * width as u64 * elem_bytes as u64)
     }
 }

@@ -107,20 +107,28 @@ where
     F: Fn(&mut Cta) -> T + Sync,
 {
     let warp = device.props.warp_size;
-    let results: Vec<(T, Counters)> = (0..cfg.grid_dim)
+    let cost = &device.cost;
+    // Cost folding is fused into the worker closure: each chunk prices its
+    // CTAs while it still holds the counters in cache, leaving only the
+    // cheap serial accumulation to the submitting thread. The block width
+    // feeds the shim's work-aware cutoff so tiny grids stay inline.
+    let results: Vec<(T, Counters, u64)> = (0..cfg.grid_dim)
         .into_par_iter()
+        .with_item_work(cfg.block_dim as u64)
         .map(|cta_id| {
             let mut cta = Cta::new(cta_id, cfg.grid_dim, cfg.block_dim, warp);
             let out = body(&mut cta);
-            (out, cta.into_counters())
+            let counters = cta.into_counters();
+            let cycles = cost.cta_cycles(&counters);
+            (out, counters, cycles)
         })
         .collect();
 
     let mut outputs = Vec::with_capacity(results.len());
     let mut per_cta_cycles = Vec::with_capacity(results.len());
     let mut totals = Counters::default();
-    for (out, counters) in results {
-        per_cta_cycles.push(device.cost.cta_cycles(&counters));
+    for (out, counters, cycles) in results {
+        per_cta_cycles.push(cycles);
         totals.add(&counters);
         outputs.push(out);
     }
@@ -149,7 +157,7 @@ where
 /// of a same-shaped kernel perform no heap allocation in steady state.
 #[derive(Debug)]
 pub struct LaunchBuffers<T> {
-    pairs: Vec<(T, Counters)>,
+    pairs: Vec<(T, Counters, u64)>,
 }
 
 impl<T> LaunchBuffers<T> {
@@ -208,20 +216,24 @@ pub fn launch_map_into_phased<T, F>(
     F: Fn(&mut Cta) -> T + Sync,
 {
     let warp = device.props.warp_size;
+    let cost = &device.cost;
     (0..cfg.grid_dim)
         .into_par_iter()
+        .with_item_work(cfg.block_dim as u64)
         .map(|cta_id| {
             let mut cta = Cta::new(cta_id, cfg.grid_dim, cfg.block_dim, warp);
             let out = body(&mut cta);
-            (out, cta.into_counters())
+            let counters = cta.into_counters();
+            let cycles = cost.cta_cycles(&counters);
+            (out, counters, cycles)
         })
         .collect_into_vec(&mut bufs.pairs);
 
     outputs.clear();
     stats.per_cta_cycles.clear();
     stats.totals = Counters::default();
-    for (out, counters) in bufs.pairs.drain(..) {
-        stats.per_cta_cycles.push(device.cost.cta_cycles(&counters));
+    for (out, counters, cycles) in bufs.pairs.drain(..) {
+        stats.per_cta_cycles.push(cycles);
         stats.totals.add(&counters);
         outputs.push(out);
     }

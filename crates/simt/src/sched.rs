@@ -8,25 +8,58 @@
 //! which is precisely the imbalance pathology the paper's flat
 //! decompositions eliminate.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::cell::RefCell;
 
 use crate::device::DeviceProps;
 
+thread_local! {
+    /// Reusable slot heap: `makespan` runs once per launch on the host hot
+    /// path, and a per-call `BinaryHeap` allocation was the last allocating
+    /// step of a warm launch.
+    static SLOT_HEAP: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Restore the min-heap property for the root of `heap` (sift-down).
+fn sift_down(heap: &mut [u64]) {
+    let n = heap.len();
+    let mut i = 0;
+    loop {
+        let l = 2 * i + 1;
+        if l >= n {
+            break;
+        }
+        let r = l + 1;
+        let smallest = if r < n && heap[r] < heap[l] { r } else { l };
+        if heap[smallest] >= heap[i] {
+            break;
+        }
+        heap.swap(i, smallest);
+        i = smallest;
+    }
+}
+
 /// Greedy list-scheduling makespan of `per_cta_cycles` on the device.
 ///
-/// Returns total kernel cycles. An empty grid costs nothing.
+/// Returns total kernel cycles. An empty grid costs nothing. CTAs are
+/// assigned in issue order to the earliest-free slot; tied slots are
+/// interchangeable (all carry the same free time), so the result does not
+/// depend on which one the heap surfaces.
 pub fn makespan(props: &DeviceProps, per_cta_cycles: &[u64]) -> u64 {
     let slots = (props.num_sms * props.max_ctas_per_sm).max(1);
     if per_cta_cycles.is_empty() {
         return 0;
     }
-    let mut heap: BinaryHeap<Reverse<u64>> = (0..slots).map(|_| Reverse(0u64)).collect();
-    for &cycles in per_cta_cycles {
-        let Reverse(free_at) = heap.pop().expect("heap has `slots` entries");
-        heap.push(Reverse(free_at + cycles));
-    }
-    heap.into_iter().map(|Reverse(t)| t).max().unwrap_or(0)
+    SLOT_HEAP.with(|scratch| {
+        let mut heap = scratch.borrow_mut();
+        heap.clear();
+        heap.resize(slots, 0u64);
+        for &cycles in per_cta_cycles {
+            // Pop-min + push == bump the root and restore the heap.
+            heap[0] += cycles;
+            sift_down(&mut heap);
+        }
+        heap.iter().copied().max().unwrap_or(0)
+    })
 }
 
 #[cfg(test)]

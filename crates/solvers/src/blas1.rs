@@ -184,9 +184,9 @@ mod tests {
         let a = DenseBlock::from_fn(40, 3, |r, c| (r * 3 + c) as f64 * 0.25 - 2.0);
         let b = DenseBlock::from_fn(40, 3, |r, c| 1.0 + ((r + c) % 5) as f64);
         let (ds, _) = block_dots(&dev(), &a, &b);
-        for c in 0..3 {
+        for (c, &got) in ds.iter().enumerate() {
             let (want, _) = dot(&dev(), &a.column(c), &b.column(c));
-            assert_eq!(ds[c], want, "column {c} must match the vector dot bitwise");
+            assert_eq!(got, want, "column {c} must match the vector dot bitwise");
         }
     }
 

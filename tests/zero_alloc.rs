@@ -122,4 +122,85 @@ fn steady_state_plan_executes_allocate_nothing() {
         before,
         "warm SpGEMM plan executes must not allocate"
     );
+
+    // --- Gather transaction counting -------------------------------------
+    // The per-warp segment scratch is a thread local; after the first use
+    // on this thread, gather/scatter pricing must be allocation-free.
+    use merge_path_sparse::simt::Cta;
+    let idx: Vec<usize> = (0..256).map(|i| (i * 37) % 1024).collect();
+    let mut cta = Cta::new(0, 1, 128, 32);
+    cta.gather(idx.iter().copied(), 8);
+    cta.gather_wide(idx.iter().copied(), 8, 4);
+    let before = allocations();
+    for _ in 0..50 {
+        cta.gather(idx.iter().copied(), 8);
+        cta.scatter(idx.iter().copied(), 8);
+        cta.gather_wide(idx.iter().copied(), 8, 4);
+    }
+    assert_eq!(
+        allocations(),
+        before,
+        "warm gather/scatter pricing must not allocate"
+    );
+
+    // --- Raw launch hot path ----------------------------------------------
+    // A warm `launch_map_into` — dispatch, cost folding, makespan — must
+    // neither allocate nor create threads: the worker pool (when engaged)
+    // spawns once per process, and all launch scratch is reused.
+    use merge_path_sparse::simt::grid::{launch_map_into, LaunchBuffers, LaunchConfig};
+    use merge_path_sparse::simt::LaunchStats;
+    let cfg = LaunchConfig::new(8, 128);
+    let mut bufs: LaunchBuffers<u64> = LaunchBuffers::new();
+    let mut outputs: Vec<u64> = Vec::new();
+    let mut stats = LaunchStats::default();
+    // ALU-only body: on a multi-core host the pool may hand chunks to any
+    // worker, and a cold worker's *first* gather warms its thread-local
+    // scratch — the gather path is audited on this thread above instead.
+    let body = |cta: &mut Cta| {
+        cta.alu(64);
+        cta.read_coalesced(128, 8);
+        cta.cta_id as u64
+    };
+    launch_map_into(
+        &device,
+        "audit",
+        cfg,
+        body,
+        &mut bufs,
+        &mut outputs,
+        &mut stats,
+    );
+    launch_map_into(
+        &device,
+        "audit",
+        cfg,
+        body,
+        &mut bufs,
+        &mut outputs,
+        &mut stats,
+    );
+    let before = allocations();
+    let spawned_before = rayon::threads_spawned();
+    for _ in 0..50 {
+        launch_map_into(
+            &device,
+            "audit",
+            cfg,
+            body,
+            &mut bufs,
+            &mut outputs,
+            &mut stats,
+        );
+    }
+    assert_eq!(
+        allocations(),
+        before,
+        "warm launch_map_into must not allocate"
+    );
+    assert_eq!(
+        rayon::threads_spawned(),
+        spawned_before,
+        "steady-state launches must not create threads"
+    );
+    assert_eq!(outputs.len(), 8);
 }
