@@ -76,6 +76,7 @@ fn ablation_spgemm_blocksort(c: &mut Criterion) {
             block_threads: 128,
             items_per_thread: items,
             global_sort_nv: 2048,
+            ..SpgemmConfig::default()
         };
         let r = merge_spgemm(&device, &a, &b, &cfg);
         println!(

@@ -5,7 +5,8 @@
 //! mps generate qcd --scale 0.05 -o a.mtx
 //! mps spmv a.mtx                       # merge SpMV + comparators
 //! mps spadd a.mtx b.mtx [-o sum.mtx]
-//! mps spgemm a.mtx b.mtx [-o prod.mtx]
+//! mps spgemm a.mtx b.mtx [-o prod.mtx]  # or: mps spgemm qcd --scale 0.02
+//!                                      # symbolic/numeric split + per-bin rows
 //! mps reorder a.mtx -o rcm.mtx        # RCM bandwidth reduction
 //! mps trace a.mtx                      # phase-attributed kernel breakdown
 //! mps conformance [--tiny]             # differential sweep, all implementations
@@ -20,7 +21,7 @@ use std::process::ExitCode;
 
 use mps_baselines::{cusp, cusparse_like};
 use mps_bench::{conformance, trace_exp};
-use mps_core::{merge_spadd, merge_spgemm, merge_spmv, SpAddConfig, SpgemmConfig, SpmvConfig};
+use mps_core::{merge_spadd, merge_spmv, SpAddConfig, SpgemmConfig, SpgemmPlan, SpmvConfig};
 use mps_simt::Device;
 use mps_sparse::io::{load_matrix_market, write_matrix_market};
 use mps_sparse::reorder::{bandwidth, permute_symmetric, reverse_cuthill_mckee};
@@ -30,7 +31,7 @@ use mps_sparse::CsrMatrix;
 use mps_testkit::adversarial::Scale;
 
 fn usage() -> &'static str {
-    "usage:\n  mps info <matrix.mtx>\n  mps generate <suite-name> [--scale X] -o <out.mtx>\n  mps spmv <a.mtx>\n  mps spadd <a.mtx> <b.mtx> [-o <out.mtx>]\n  mps spgemm <a.mtx> <b.mtx> [-o <out.mtx>]\n  mps reorder <a.mtx> -o <out.mtx>\n  mps trace <a.mtx | suite-name> [--scale X]\n  mps conformance [--tiny]\n  mps host [--tiny]\n\nsuite names: dense protein spheres cantilever wind harbor qcd ship\n             economics epidemiology accelerator circuit webbase lp"
+    "usage:\n  mps info <matrix.mtx>\n  mps generate <suite-name> [--scale X] -o <out.mtx>\n  mps spmv <a.mtx>\n  mps spadd <a.mtx> <b.mtx> [-o <out.mtx>]\n  mps spgemm <a.mtx> <b.mtx> | <suite-name> [--scale X] [-o <out.mtx>]\n  mps reorder <a.mtx> -o <out.mtx>\n  mps trace <a.mtx | suite-name> [--scale X]\n  mps conformance [--tiny]\n  mps host [--tiny]\n\nsuite names: dense protein spheres cantilever wind harbor qcd ship\n             economics epidemiology accelerator circuit webbase lp"
 }
 
 fn load(path: &str) -> Result<CsrMatrix, String> {
@@ -161,24 +162,52 @@ fn run() -> Result<(), String> {
             }
         }
         "spgemm" => {
-            let (pa, pb) = match p.positional.as_slice() {
-                [a, b, ..] => (a, b),
+            // Either a suite name (its paper operand pair at --scale) or
+            // two Matrix Market files.
+            let (a, b) = match p.positional.as_slice() {
+                [one] => suite_by_name(one)
+                    .map(|s| s.spgemm_operands(p.scale))
+                    .ok_or_else(|| format!("unknown suite matrix {one}\n{}", usage()))?,
+                [pa, pb, ..] => (load(pa)?, load(pb)?),
                 _ => return Err(usage().to_string()),
             };
-            let a = load(pa)?;
-            let b = load(pb)?;
-            let r = merge_spgemm(&device, &a, &b, &SpgemmConfig::default());
+            if a.num_cols != b.num_rows {
+                return Err(format!(
+                    "inner dimensions must agree: A is {}x{}, B is {}x{}",
+                    a.num_rows, a.num_cols, b.num_rows, b.num_cols
+                ));
+            }
+            let plan = SpgemmPlan::new(&device, &a, &b, &SpgemmConfig::default());
+            let c = plan.execute_matrix(&a, &b);
             println!(
                 "merge SpGEMM: {} products -> {} nonzeros, {:.4} ms simulated",
-                r.products,
-                r.c.nnz(),
-                r.sim_ms()
+                plan.products(),
+                c.nnz(),
+                plan.symbolic_ms() + plan.numeric_ms()
             );
-            for (phase, frac) in r.phases.fractions() {
+            println!(
+                "  symbolic {:.4} ms (pattern, cacheable) + numeric {:.4} ms (value replay, {:.2}x cheaper)",
+                plan.symbolic_ms(),
+                plan.numeric_ms(),
+                plan.symbolic_ms() / plan.numeric_ms().max(1e-12)
+            );
+            let bins = plan.bin_summary();
+            for ((cls, rf), (_, pf)) in bins
+                .row_fractions()
+                .into_iter()
+                .zip(bins.product_fractions())
+            {
+                println!(
+                    "  bin {cls:<6} {:5.1}% of rows, {:5.1}% of products",
+                    rf * 100.0,
+                    pf * 100.0
+                );
+            }
+            for (phase, frac) in plan.phases().fractions() {
                 println!("  {phase:<16} {:5.1}%", frac * 100.0);
             }
             if let Some(out) = p.out {
-                save(out.to_str().ok_or("bad output path")?, &r.c)?;
+                save(out.to_str().ok_or("bad output path")?, &c)?;
             }
         }
         "trace" => {

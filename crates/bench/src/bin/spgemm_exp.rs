@@ -1,0 +1,60 @@
+//! SpGEMM symbolic/numeric split experiment driver. Runs the per-matrix
+//! split breakdown (symbolic build vs numeric replay, per-bin row and
+//! product fractions) and the AMG-style repeated-pattern loop (plan-once
+//! numeric replay vs full rebuild, plus the engine-served loop with its
+//! symbolic-cache hit rate). Writes `BENCH_spgemm.json` at the repository
+//! root; `--tiny` runs a fast smoke configuration (used by CI) and prints
+//! the tables without writing the artifact.
+
+use std::path::Path;
+
+use mps_bench::spgemm_exp;
+use mps_simt::Device;
+use mps_sparse::suite::SuiteMatrix;
+
+const REPEAT_SUITE: [SuiteMatrix; 4] = [
+    SuiteMatrix::Qcd,
+    SuiteMatrix::Economics,
+    SuiteMatrix::Epidemiology,
+    SuiteMatrix::Webbase,
+];
+
+fn main() {
+    let tiny = std::env::args().any(|a| a == "--tiny");
+    let device = Device::titan();
+    let (split, repeat) = if tiny {
+        (
+            spgemm_exp::run_split(&device, 0.01, false),
+            spgemm_exp::run_repeated(&device, &REPEAT_SUITE, 0.01, 3),
+        )
+    } else {
+        (
+            spgemm_exp::run_split(&device, 0.03, false),
+            spgemm_exp::run_repeated(&device, &REPEAT_SUITE, 0.03, 20),
+        )
+    };
+    println!("== symbolic/numeric split ==");
+    println!("{}", spgemm_exp::render_split(&split));
+    println!("== repeated-pattern loop ==");
+    println!("{}", spgemm_exp::render_repeated(&repeat));
+    for r in &repeat {
+        println!(
+            "{:<8} host speedup {:.2}x, sim speedup {:.2}x, engine hit rate {:.0}%, {} symbolic builds / {} numeric execs",
+            r.name,
+            r.host_speedup(),
+            r.sim_speedup(),
+            100.0 * r.engine_hit_rate,
+            r.engine_symbolic_builds,
+            r.engine_numeric_execs,
+        );
+    }
+    if tiny {
+        return;
+    }
+    let json = spgemm_exp::to_split_json(&split, &repeat);
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_spgemm.json");
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(e) => eprintln!("could not write {}: {e}", out.display()),
+    }
+}

@@ -1,17 +1,32 @@
-//! Figures 9, 10 and 11: SpGEMM (A·A; A·Aᵀ for LP) across the suite.
+//! Figures 9, 10 and 11: SpGEMM (A·A; A·Aᵀ for LP) across the suite,
+//! plus the symbolic/numeric split experiment.
 //!
 //! Figure 9 plots speedup over the sequential CPU Gustavson implementation
 //! for Cusp (ESC), Cusparse (row-wise hash) and Merge (two-level sort).
 //! Figure 10 plots Merge and Cusparse time against the number of
 //! intermediate products (paper: ρ_Merge = 0.98, ρ_Cusparse = −0.02).
-//! Figure 11 decomposes the Merge pipeline's time into its five phases.
+//! Figure 11 decomposes the Merge pipeline's time into its phases.
+//!
+//! The split experiment ([`run_split`], [`run_repeated`]) measures what
+//! the [`mps_core::SpgemmPlan`] symbolic/numeric split buys: per suite
+//! matrix, the symbolic (pattern) cost vs the numeric (value) replay and
+//! the per-bin row/product fractions; and an AMG-style repeated-pattern
+//! loop where only the values change between multiplies — numeric-only
+//! replay vs rebuilding the whole pipeline every round, plus the same
+//! loop served through the engine's symbolic plan cache. Results
+//! serialize to `BENCH_spgemm.json`.
+
+use std::sync::Arc;
+use std::time::Instant;
 
 use mps_baselines::cpu::{self, CpuModel};
 use mps_baselines::{cusp, cusparse_like};
-use mps_core::{merge_spgemm, PhaseTimes, SpgemmConfig};
+use mps_core::{merge_spgemm, PhaseTimes, SpgemmConfig, SpgemmPlan};
+use mps_engine::Engine;
 use mps_simt::Device;
 use mps_sparse::ops::spgemm_products;
 use mps_sparse::suite::SuiteMatrix;
+use mps_sparse::CsrMatrix;
 
 use crate::stats::pearson;
 
@@ -154,14 +169,304 @@ pub fn render_fig11(rows: &[SpgemmRow]) -> String {
             "matrix",
             "Setup%",
             "BlockSort%",
-            "ProdCompute%",
             "GlobalSort%",
+            "Tiny%",
+            "MidHash%",
+            "ProdCompute%",
             "ProdReduce%",
             "Other%",
             "total ms",
         ],
         &data,
     )
+}
+
+// ---- symbolic/numeric split experiment ---------------------------------
+
+/// One suite row of the symbolic/numeric split: what a cached pattern
+/// saves, and where the numeric pass routes its rows.
+#[derive(Debug, Clone)]
+pub struct SplitRow {
+    pub name: &'static str,
+    pub products: u64,
+    pub out_nnz: usize,
+    /// Pattern-only cost (setup, block sort, global sort, assembly) —
+    /// paid once per pattern pair.
+    pub symbolic_sim_ms: f64,
+    /// Bin-adaptive value cost — paid per numeric execution.
+    pub numeric_sim_ms: f64,
+    /// `(bin, fraction of rows)` for tiny/mid/heavy.
+    pub row_fractions: [(&'static str, f64); 3],
+    /// `(bin, fraction of intermediate products)` for tiny/mid/heavy.
+    pub product_fractions: [(&'static str, f64); 3],
+}
+
+impl SplitRow {
+    /// Numeric replay cost as a fraction of the symbolic build — what a
+    /// steady-state repeated-pattern multiply pays relative to the
+    /// one-time pattern cost.
+    pub fn numeric_symbolic_ratio(&self) -> f64 {
+        if self.symbolic_sim_ms == 0.0 {
+            0.0
+        } else {
+            self.numeric_sim_ms / self.symbolic_sim_ms
+        }
+    }
+}
+
+/// Build one [`SpgemmPlan`] per suite matrix and read the split off it.
+pub fn run_split(device: &Device, scale: f64, include_dense: bool) -> Vec<SplitRow> {
+    let cfg = SpgemmConfig::default();
+    spgemm_suite(include_dense)
+        .into_iter()
+        .map(|m| {
+            let (a, b) = m.spgemm_operands(scale);
+            let plan = SpgemmPlan::new(device, &a, &b, &cfg);
+            SplitRow {
+                name: m.name(),
+                products: plan.products(),
+                out_nnz: plan.output_nnz(),
+                symbolic_sim_ms: plan.symbolic_ms(),
+                numeric_sim_ms: plan.numeric_ms(),
+                row_fractions: plan.bin_summary().row_fractions(),
+                product_fractions: plan.bin_summary().product_fractions(),
+            }
+        })
+        .collect()
+}
+
+/// Render the split table (per-bin row fractions included).
+pub fn render_split(rows: &[SplitRow]) -> String {
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                r.products.to_string(),
+                r.out_nnz.to_string(),
+                format!("{:.3}", r.symbolic_sim_ms),
+                format!("{:.3}", r.numeric_sim_ms),
+                format!("{:.3}", r.numeric_symbolic_ratio()),
+                format!("{:.0}%", r.row_fractions[0].1 * 100.0),
+                format!("{:.0}%", r.row_fractions[1].1 * 100.0),
+                format!("{:.0}%", r.row_fractions[2].1 * 100.0),
+            ]
+        })
+        .collect();
+    crate::render_table(
+        &[
+            "matrix",
+            "products",
+            "out_nnz",
+            "symbolic_ms",
+            "numeric_ms",
+            "num/sym",
+            "tiny rows",
+            "mid rows",
+            "heavy rows",
+        ],
+        &data,
+    )
+}
+
+/// One matrix of the AMG-style repeated-pattern loop: the sparsity
+/// pattern is fixed, values change every round (a coefficient update),
+/// and the product is recomputed each time.
+#[derive(Debug, Clone)]
+pub struct RepeatRow {
+    pub name: &'static str,
+    pub rounds: usize,
+    /// Totals over all rounds: plan-once + numeric replay per round.
+    pub numeric_sim_ms: f64,
+    pub numeric_host_ms: f64,
+    /// Totals over all rounds: full one-shot pipeline per round.
+    pub full_rebuild_sim_ms: f64,
+    pub full_rebuild_host_ms: f64,
+    /// Steady-state symbolic-cache hit rate of the same loop served
+    /// through [`Engine::submit_spgemm`] (1.0 = every round replayed).
+    pub engine_hit_rate: f64,
+    pub engine_symbolic_builds: u64,
+    pub engine_numeric_execs: u64,
+}
+
+impl RepeatRow {
+    pub fn host_speedup(&self) -> f64 {
+        self.full_rebuild_host_ms / self.numeric_host_ms
+    }
+
+    pub fn sim_speedup(&self) -> f64 {
+        self.full_rebuild_sim_ms / self.numeric_sim_ms
+    }
+}
+
+/// Deterministic value refresh: overwrites every stored value as a
+/// function of (position, round), so both measured loops see identical
+/// operands each round.
+fn mutate_values(m: &mut CsrMatrix, round: usize) {
+    for (i, v) in m.values.iter_mut().enumerate() {
+        *v = 0.5 + ((i * 7 + round * 13) % 17) as f64 * 0.25;
+    }
+}
+
+/// Run the repeated-pattern loop on the given suite matrices. Value
+/// mutation happens outside the timed region; the timers cover only the
+/// multiply itself (numeric replay vs full rebuild).
+pub fn run_repeated(
+    device: &Device,
+    matrices: &[SuiteMatrix],
+    scale: f64,
+    rounds: usize,
+) -> Vec<RepeatRow> {
+    let cfg = SpgemmConfig::default();
+    matrices
+        .iter()
+        .map(|&m| {
+            let (mut a, b) = m.spgemm_operands(scale);
+
+            // Numeric-only: symbolic once, value replay per round.
+            let plan = SpgemmPlan::new(device, &a, &b, &cfg);
+            let mut values = Vec::new();
+            let (mut numeric_sim, mut numeric_host) = (0.0, 0.0);
+            for round in 0..rounds {
+                mutate_values(&mut a, round);
+                let t = Instant::now();
+                numeric_sim += plan.execute_numeric(&a, &b, &mut values);
+                numeric_host += t.elapsed().as_secs_f64() * 1e3;
+            }
+
+            // Full rebuild: the entire one-shot pipeline per round.
+            let (mut full_sim, mut full_host) = (0.0, 0.0);
+            for round in 0..rounds {
+                mutate_values(&mut a, round);
+                let t = Instant::now();
+                full_sim += merge_spgemm(device, &a, &b, &cfg).sim_ms();
+                full_host += t.elapsed().as_secs_f64() * 1e3;
+            }
+
+            // The same loop through the engine: after one warm-up flush,
+            // every round must hit the cached symbolic plan.
+            let engine = Engine::new(device);
+            let warm = engine
+                .submit_spgemm(&Arc::new(a.clone()), &Arc::new(b.clone()), None)
+                .expect("admitted");
+            engine.flush();
+            engine.take_result(warm).expect("warmed");
+            engine.reset_stats();
+            for round in 0..rounds {
+                mutate_values(&mut a, round);
+                let t = engine
+                    .submit_spgemm(&Arc::new(a.clone()), &Arc::new(b.clone()), None)
+                    .expect("admitted");
+                engine.flush();
+                engine.take_result(t).expect("served");
+            }
+            let s = engine.stats();
+
+            RepeatRow {
+                name: m.name(),
+                rounds,
+                numeric_sim_ms: numeric_sim,
+                numeric_host_ms: numeric_host,
+                full_rebuild_sim_ms: full_sim,
+                full_rebuild_host_ms: full_host,
+                engine_hit_rate: s.cache_hit_rate(),
+                engine_symbolic_builds: s.spgemm_symbolic_builds,
+                engine_numeric_execs: s.spgemm_numeric_execs,
+            }
+        })
+        .collect()
+}
+
+/// Render the repeated-pattern table.
+pub fn render_repeated(rows: &[RepeatRow]) -> String {
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                r.rounds.to_string(),
+                format!("{:.3}", r.numeric_host_ms),
+                format!("{:.3}", r.full_rebuild_host_ms),
+                format!("{:.1}", r.host_speedup()),
+                format!("{:.1}", r.sim_speedup()),
+                format!("{:.0}%", r.engine_hit_rate * 100.0),
+                r.engine_symbolic_builds.to_string(),
+            ]
+        })
+        .collect();
+    crate::render_table(
+        &[
+            "matrix",
+            "rounds",
+            "numeric_host_ms",
+            "rebuild_host_ms",
+            "host x",
+            "sim x",
+            "engine hit",
+            "sym builds",
+        ],
+        &data,
+    )
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Hand-rolled JSON for `BENCH_spgemm.json` (no serde in the tree). The
+/// repeated-loop rows name their host totals `numeric_ms` /
+/// `full_rebuild_ms` — the pair CI validates.
+pub fn to_split_json(split: &[SplitRow], repeat: &[RepeatRow]) -> String {
+    let mut out = String::from("{\n  \"symbolic_numeric_split\": [\n");
+    for (i, r) in split.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"matrix\": \"{}\", \"products\": {}, \"out_nnz\": {}, \
+             \"symbolic_sim_ms\": {}, \"numeric_sim_ms\": {}, \"numeric_symbolic_ratio\": {}, \
+             \"tiny_row_frac\": {}, \"mid_row_frac\": {}, \"heavy_row_frac\": {}, \
+             \"tiny_product_frac\": {}, \"mid_product_frac\": {}, \"heavy_product_frac\": {}}}{}\n",
+            r.name,
+            r.products,
+            r.out_nnz,
+            json_f(r.symbolic_sim_ms),
+            json_f(r.numeric_sim_ms),
+            json_f(r.numeric_symbolic_ratio()),
+            json_f(r.row_fractions[0].1),
+            json_f(r.row_fractions[1].1),
+            json_f(r.row_fractions[2].1),
+            json_f(r.product_fractions[0].1),
+            json_f(r.product_fractions[1].1),
+            json_f(r.product_fractions[2].1),
+            if i + 1 < split.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n  \"repeated_pattern_loop\": [\n");
+    for (i, r) in repeat.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"matrix\": \"{}\", \"rounds\": {}, \
+             \"numeric_ms\": {}, \"full_rebuild_ms\": {}, \"host_speedup\": {}, \
+             \"numeric_sim_ms\": {}, \"full_rebuild_sim_ms\": {}, \"sim_speedup\": {}, \
+             \"engine_hit_rate\": {}, \"engine_symbolic_builds\": {}, \
+             \"engine_numeric_execs\": {}}}{}\n",
+            r.name,
+            r.rounds,
+            json_f(r.numeric_host_ms),
+            json_f(r.full_rebuild_host_ms),
+            json_f(r.host_speedup()),
+            json_f(r.numeric_sim_ms),
+            json_f(r.full_rebuild_sim_ms),
+            json_f(r.sim_speedup()),
+            json_f(r.engine_hit_rate),
+            r.engine_symbolic_builds,
+            r.engine_numeric_execs,
+            if i + 1 < repeat.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 #[cfg(test)]
@@ -214,5 +519,69 @@ mod tests {
             let s: f64 = r.phases.fractions().iter().map(|(_, v)| v).sum();
             assert!((s - 1.0).abs() < 1e-9, "{}: {s}", r.name);
         }
+    }
+
+    #[test]
+    fn split_rows_cover_the_suite_and_numeric_is_the_cheap_half() {
+        let rows = run_split(&Device::titan(), 0.01, false);
+        assert_eq!(rows.len(), 13);
+        for r in &rows {
+            assert!(r.symbolic_sim_ms > 0.0, "{}", r.name);
+            assert!(r.numeric_sim_ms > 0.0, "{}", r.name);
+            assert!(
+                r.numeric_sim_ms < r.symbolic_sim_ms,
+                "{}: replay {} must undercut the symbolic build {}",
+                r.name,
+                r.numeric_sim_ms,
+                r.symbolic_sim_ms
+            );
+            let rf: f64 = r.row_fractions.iter().map(|(_, f)| f).sum();
+            let pf: f64 = r.product_fractions.iter().map(|(_, f)| f).sum();
+            assert!((rf - 1.0).abs() < 1e-9, "{}: row fracs {rf}", r.name);
+            assert!((pf - 1.0).abs() < 1e-9, "{}: product fracs {pf}", r.name);
+        }
+    }
+
+    #[test]
+    fn repeated_pattern_replay_beats_full_rebuild() {
+        let rows = run_repeated(
+            &Device::titan(),
+            &[SuiteMatrix::Qcd, SuiteMatrix::Economics],
+            0.01,
+            3,
+        );
+        for r in &rows {
+            assert!(
+                r.sim_speedup() > 3.0,
+                "{}: sim speedup {}",
+                r.name,
+                r.sim_speedup()
+            );
+            assert!(
+                r.numeric_host_ms < r.full_rebuild_host_ms,
+                "{}: numeric host {} vs rebuild host {}",
+                r.name,
+                r.numeric_host_ms,
+                r.full_rebuild_host_ms
+            );
+            assert_eq!(r.engine_symbolic_builds, 0, "{}", r.name);
+            assert_eq!(r.engine_numeric_execs, r.rounds as u64, "{}", r.name);
+            assert!((r.engine_hit_rate - 1.0).abs() < 1e-15, "{}", r.name);
+        }
+    }
+
+    #[test]
+    fn split_json_is_well_formed_enough() {
+        let split = run_split(&Device::titan(), 0.005, false);
+        let repeat = run_repeated(&Device::titan(), &[SuiteMatrix::Qcd], 0.005, 2);
+        let j = to_split_json(&split, &repeat);
+        assert!(j.starts_with('{') && j.trim_end().ends_with('}'));
+        assert_eq!(j.matches("\"matrix\":").count(), split.len() + repeat.len());
+        assert!(j.contains("\"numeric_ms\":") && j.contains("\"full_rebuild_ms\":"));
+        assert!(!j.contains("NaN") && !j.contains("inf"));
+        let t = render_split(&split);
+        assert_eq!(t.lines().count(), split.len() + 2);
+        let t = render_repeated(&repeat);
+        assert_eq!(t.lines().count(), repeat.len() + 2);
     }
 }

@@ -13,8 +13,10 @@
 //!   Reduction, Update;
 //! * `spmm` — Partition, Empty-Row Fixup, Tile Traversal;
 //! * `spadd` — Expand, Partition, Count, Fill;
-//! * `spgemm` — the paper's six: Setup, Block Sort, Global Sort,
-//!   Product Compute, Product Reduce, Other.
+//! * `spgemm` — the paper's symbolic phases (Setup, Block Sort, Global
+//!   Sort, Other) plus the bin-adaptive numeric pass: Tiny Scatter and
+//!   Mid Hash for small/medium rows, the paper's Product Compute /
+//!   Product Reduce two-pass for heavy rows.
 //!
 //! Results serialize to `BENCH_phases.json`.
 
@@ -239,21 +241,46 @@ mod tests {
     }
 
     #[test]
-    fn spgemm_reports_exactly_the_papers_six_phases() {
+    fn spgemm_reports_the_bin_adaptive_phase_taxonomy() {
+        // The symbolic phases always appear; the numeric side shows
+        // whichever bins the matrix's rows landed in (Tiny Scatter, Mid
+        // Hash, or the paper's heavy two-pass) — nothing else.
+        let allowed = [
+            "Setup",
+            "Block Sort",
+            "Global Sort",
+            "Tiny Scatter",
+            "Mid Hash",
+            "Product Compute",
+            "Product Reduce",
+            "Other",
+        ];
+        let numeric = [
+            "Tiny Scatter",
+            "Mid Hash",
+            "Product Compute",
+            "Product Reduce",
+        ];
         let rows = run(SCALE, GEMM_SCALE, 4);
         for r in rows.iter().filter(|r| r.kernel == "spgemm") {
             let names: Vec<&str> = r.fractions().iter().map(|(n, _)| *n).collect();
-            assert_eq!(
-                names,
-                vec![
-                    "Setup",
-                    "Block Sort",
-                    "Global Sort",
-                    "Product Compute",
-                    "Product Reduce",
-                    "Other"
-                ],
-                "{}",
+            for n in &names {
+                assert!(
+                    allowed.contains(n),
+                    "{}: unexpected phase {n} in {names:?}",
+                    r.matrix
+                );
+            }
+            for required in ["Setup", "Block Sort", "Global Sort", "Other"] {
+                assert!(
+                    names.contains(&required),
+                    "{}: missing {required}",
+                    r.matrix
+                );
+            }
+            assert!(
+                names.iter().any(|n| numeric.contains(n)),
+                "{}: no numeric phase in {names:?}",
                 r.matrix
             );
         }

@@ -102,11 +102,54 @@ fn spadd_and_spgemm_write_outputs() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("products"));
     assert!(text.contains("Block Sort"));
+    assert!(text.contains("symbolic"), "{text}");
+    assert!(text.contains("numeric"), "{text}");
     assert!(prod.exists());
 
     // The written product must load back as a valid matrix.
     let reload = mps(&["info", prod.to_str().unwrap()]);
     assert!(reload.status.success());
+}
+
+#[test]
+fn spgemm_accepts_a_suite_name_and_prints_the_split() {
+    let out = mps(&["spgemm", "qcd", "--scale", "0.01"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("symbolic"), "{text}");
+    assert!(text.contains("numeric"), "{text}");
+    assert!(text.contains("bin tiny"), "{text}");
+    assert!(text.contains("bin mid"), "{text}");
+    assert!(text.contains("bin heavy"), "{text}");
+
+    let bad = mps(&["spgemm", "no-such-suite"]);
+    assert!(!bad.status.success());
+}
+
+#[test]
+fn spgemm_rejects_mismatched_inner_dimensions() {
+    let a = tmp("dim_a.mtx");
+    let b = tmp("dim_b.mtx");
+    for (path, suite, scale) in [(&a, "circuit", "0.003"), (&b, "qcd", "0.01")] {
+        assert!(mps(&[
+            "generate",
+            suite,
+            "--scale",
+            scale,
+            "-o",
+            path.to_str().unwrap()
+        ])
+        .status
+        .success());
+    }
+    let out = mps(&["spgemm", a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("inner dimensions"), "{err}");
 }
 
 #[test]

@@ -92,7 +92,8 @@ impl Default for SpAddConfig {
     }
 }
 
-/// Merge SpGEMM tuning (Section III-C).
+/// Merge SpGEMM tuning (Section III-C), plus the bin-adaptive numeric
+/// thresholds of the symbolic/numeric split.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SpgemmConfig {
     /// Threads per CTA.
@@ -101,6 +102,17 @@ pub struct SpgemmConfig {
     pub items_per_thread: usize,
     /// Tile size of the global radix-sort passes.
     pub global_sort_nv: usize,
+    /// Rows with at most this many intermediate products take the numeric
+    /// tiny path (dense-accumulator scatter, shared-memory resident). 32 is
+    /// the warp-width bin OpSparse and the Liu–Vinter framework both place
+    /// their smallest rows in.
+    pub bin_tiny_max: usize,
+    /// Rows with products in `(bin_tiny_max, bin_mid_max]` take the numeric
+    /// mid path (open-addressing hash reduction in shared memory, sized to
+    /// the row's *output* nonzeros). Rows above fall back to the paper's
+    /// global two-pass sort. 512 keeps the table within one CTA's shared
+    /// memory at 8-byte entries.
+    pub bin_mid_max: usize,
 }
 
 impl SpgemmConfig {
@@ -116,6 +128,8 @@ impl Default for SpgemmConfig {
             block_threads: 128,
             items_per_thread: 11,
             global_sort_nv: 2048,
+            bin_tiny_max: 32,
+            bin_mid_max: 512,
         }
     }
 }

@@ -36,7 +36,10 @@ pub use error::PlanError;
 pub use partition::MergePartition;
 pub use spadd::{merge_spadd, SpAddPlan, SpAddResult};
 pub use spgemm::adaptive::{adaptive_spgemm, segmented_spgemm, AdaptivePolicy, PipelineChoice};
-pub use spgemm::{merge_spgemm, PhaseTimes, SpgemmPlan, SpgemmResult};
+pub use spgemm::{
+    merge_spgemm, BinClass, BinSummary, HashAccumulator, PhaseTimes, RowBins, SpgemmPlan,
+    SpgemmResult,
+};
 pub use spmm::{merge_spmm, SpmmPlan, SpmmResult};
 pub use spmv::{merge_spmv, SpmvPlan, SpmvResult};
 pub use workspace::Workspace;

@@ -23,6 +23,7 @@ use mps_simt::grid::{launch_map_named, LaunchConfig};
 use mps_simt::Device;
 use mps_sparse::CsrMatrix;
 
+use super::bins::BinSummary;
 use super::block_sort::bits_for;
 use super::{merge_spgemm, PhaseTimes, SpgemmResult};
 use crate::config::SpgemmConfig;
@@ -200,6 +201,7 @@ pub fn segmented_spgemm(
         },
         products,
         phases,
+        bins: BinSummary::default(),
         stats,
     }
 }

@@ -1,0 +1,173 @@
+//! Row binning for the bin-adaptive numeric pass.
+//!
+//! The symbolic phase knows every output row's intermediate-product count
+//! before any value is formed, so the numeric pass can pick a per-row
+//! strategy the way OpSparse and the Liu–Vinter SpGEMM framework do:
+//! rows with few products keep a dense accumulator in shared memory and
+//! scatter directly; mid-sized rows reduce through a shared-memory hash
+//! table sized to the row's *output* nonzeros; only the heavy tail pays
+//! the paper's global two-pass sort machinery. The thresholds live in
+//! [`SpgemmConfig`] (`bin_tiny_max` / `bin_mid_max`).
+
+use crate::config::SpgemmConfig;
+
+/// Numeric execution strategy for one output row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BinClass {
+    /// `products <= bin_tiny_max`: direct dense-accumulator scatter.
+    Tiny,
+    /// `bin_tiny_max < products <= bin_mid_max`: hash-based reduction.
+    Mid,
+    /// `products > bin_mid_max`: global two-pass sort (the paper's path).
+    Heavy,
+}
+
+impl BinClass {
+    /// Classify a row by its intermediate-product count.
+    pub fn of(row_products: usize, cfg: &SpgemmConfig) -> BinClass {
+        if row_products <= cfg.bin_tiny_max {
+            BinClass::Tiny
+        } else if row_products <= cfg.bin_mid_max {
+            BinClass::Mid
+        } else {
+            BinClass::Heavy
+        }
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BinClass::Tiny => "tiny",
+            BinClass::Mid => "mid",
+            BinClass::Heavy => "heavy",
+        }
+    }
+}
+
+/// Aggregate bin occupancy: rows and intermediate products per class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BinSummary {
+    pub tiny_rows: usize,
+    pub mid_rows: usize,
+    pub heavy_rows: usize,
+    pub tiny_products: usize,
+    pub mid_products: usize,
+    pub heavy_products: usize,
+}
+
+impl BinSummary {
+    pub fn rows(&self) -> usize {
+        self.tiny_rows + self.mid_rows + self.heavy_rows
+    }
+
+    pub fn products(&self) -> usize {
+        self.tiny_products + self.mid_products + self.heavy_products
+    }
+
+    /// Fraction of rows per class, `(label, fraction)`, zero when empty.
+    pub fn row_fractions(&self) -> [(&'static str, f64); 3] {
+        let n = self.rows().max(1) as f64;
+        [
+            ("tiny", self.tiny_rows as f64 / n),
+            ("mid", self.mid_rows as f64 / n),
+            ("heavy", self.heavy_rows as f64 / n),
+        ]
+    }
+
+    /// Fraction of intermediate products per class.
+    pub fn product_fractions(&self) -> [(&'static str, f64); 3] {
+        let n = self.products().max(1) as f64;
+        [
+            ("tiny", self.tiny_products as f64 / n),
+            ("mid", self.mid_products as f64 / n),
+            ("heavy", self.heavy_products as f64 / n),
+        ]
+    }
+}
+
+/// Per-row bin assignment plus the aggregate summary.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RowBins {
+    /// Class of each output row (length = rows of A).
+    pub class: Vec<BinClass>,
+    pub summary: BinSummary,
+}
+
+impl RowBins {
+    /// Classify every row from its intermediate-product count. Empty rows
+    /// (zero products) land in the tiny bin and cost nothing.
+    pub fn classify(row_products: &[usize], cfg: &SpgemmConfig) -> RowBins {
+        let mut class = Vec::with_capacity(row_products.len());
+        let mut summary = BinSummary::default();
+        for &p in row_products {
+            let c = BinClass::of(p, cfg);
+            class.push(c);
+            match c {
+                BinClass::Tiny => {
+                    summary.tiny_rows += 1;
+                    summary.tiny_products += p;
+                }
+                BinClass::Mid => {
+                    summary.mid_rows += 1;
+                    summary.mid_products += p;
+                }
+                BinClass::Heavy => {
+                    summary.heavy_rows += 1;
+                    summary.heavy_products += p;
+                }
+            }
+        }
+        RowBins { class, summary }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SpgemmConfig {
+        SpgemmConfig::default()
+    }
+
+    #[test]
+    fn thresholds_are_inclusive_upper_bounds() {
+        let c = cfg();
+        assert_eq!(BinClass::of(0, &c), BinClass::Tiny);
+        assert_eq!(BinClass::of(c.bin_tiny_max, &c), BinClass::Tiny);
+        assert_eq!(BinClass::of(c.bin_tiny_max + 1, &c), BinClass::Mid);
+        assert_eq!(BinClass::of(c.bin_mid_max, &c), BinClass::Mid);
+        assert_eq!(BinClass::of(c.bin_mid_max + 1, &c), BinClass::Heavy);
+    }
+
+    #[test]
+    fn classify_counts_rows_and_products() {
+        let c = cfg();
+        let rows = [0, 1, c.bin_tiny_max, c.bin_tiny_max + 1, c.bin_mid_max + 5];
+        let bins = RowBins::classify(&rows, &c);
+        assert_eq!(bins.summary.tiny_rows, 3);
+        assert_eq!(bins.summary.mid_rows, 1);
+        assert_eq!(bins.summary.heavy_rows, 1);
+        assert_eq!(bins.summary.tiny_products, 1 + c.bin_tiny_max);
+        assert_eq!(bins.summary.mid_products, c.bin_tiny_max + 1);
+        assert_eq!(bins.summary.heavy_products, c.bin_mid_max + 5);
+        assert_eq!(bins.summary.rows(), 5);
+        assert_eq!(bins.summary.products(), rows.iter().sum::<usize>());
+    }
+
+    #[test]
+    fn fractions_sum_to_one_and_survive_empty() {
+        let bins = RowBins::classify(&[1, 40, 1000, 2, 2], &cfg());
+        let rf: f64 = bins.summary.row_fractions().iter().map(|(_, f)| f).sum();
+        let pf: f64 = bins
+            .summary
+            .product_fractions()
+            .iter()
+            .map(|(_, f)| f)
+            .sum();
+        assert!((rf - 1.0).abs() < 1e-12);
+        assert!((pf - 1.0).abs() < 1e-12);
+        let empty = RowBins::classify(&[], &cfg());
+        for (_, f) in empty.summary.row_fractions() {
+            assert_eq!(f, 0.0);
+        }
+    }
+}

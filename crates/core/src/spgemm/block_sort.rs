@@ -183,6 +183,7 @@ mod tests {
             block_threads: 2,
             items_per_thread: 3,
             global_sort_nv: 64,
+            ..SpgemmConfig::default()
         };
         let (tiles, _) = block_sort(&dev(), &a, &b, &exp, &cfg);
         assert_eq!(tiles.len(), 2);

@@ -3,20 +3,28 @@
 //! C = A·B decomposed flatly over the intermediate *products* rather than
 //! rows: every CTA expands and locally reduces exactly `nv` products,
 //! irrespective of how the input rows distribute them. The pipeline
-//! (Figure 3) runs five phases, each reported separately for Figure 11:
+//! (Figure 3) splits into a **symbolic** half, a pure function of the two
+//! sparsity patterns:
 //!
 //! 1. **Setup** — segmented prefix sum `S` of per-A-nonzero product counts;
 //! 2. **Block Sort** — per-CTA expansion + single-pass column radix sort +
-//!    local duplicate reduction (values still unformed);
+//!    local duplicate reduction (values never formed);
 //! 3. **Global Sort** — permutation-only two-pass radix sort of the
-//!    reduced (row,col) pairs;
-//! 4. **Product Compute** — second expansion forms the products, applies
-//!    the stored local permutation, segment-reduces duplicates and scatters
-//!    results straight into globally sorted order;
-//! 5. **Product Reduce** — reduce-by-key over the ordered entries forms C.
+//!    reduced (row,col) pairs, then CSR assembly of C's pattern;
+//!
+//! and a **numeric** half that forms and reduces the actual values. The
+//! numeric half is bin-adaptive ([`bins`]): rows are classed by their
+//! intermediate-product count, tiny rows scatter through a dense
+//! shared-memory accumulator, mid rows reduce through a hash table sized
+//! from the symbolic counts ([`hash`]), and only heavy rows pay the
+//! paper's original two-pass Product Compute / Product Reduce machinery.
+//! [`SpgemmPlan`] caches the symbolic half so repeated-pattern multiplies
+//! re-run the numeric half alone.
 
 pub mod adaptive;
+pub mod bins;
 pub mod block_sort;
+pub mod hash;
 pub mod plan;
 pub mod product;
 pub mod setup;
@@ -26,14 +34,25 @@ use mps_simt::{Device, Phase};
 use mps_sparse::CsrMatrix;
 
 use crate::config::SpgemmConfig;
+pub use bins::{BinClass, BinSummary, RowBins};
+pub use hash::HashAccumulator;
 pub use plan::SpgemmPlan;
 
-/// Per-phase simulated times in milliseconds (the Figure 11 breakdown).
+/// Per-phase simulated times in milliseconds: the Figure 11 breakdown
+/// extended with the two bin-adaptive numeric passes of the
+/// symbolic/numeric split. The symbolic phases (setup, the two sorts,
+/// assembly) are paid once per sparsity pattern; the numeric phases
+/// (tiny scatter, mid hash, and the heavy bin's product compute/reduce)
+/// are paid per value execution.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PhaseTimes {
     pub setup: f64,
     pub block_sort: f64,
     pub global_sort: f64,
+    /// Numeric pass over tiny-binned rows (dense-accumulator scatter).
+    pub numeric_tiny: f64,
+    /// Numeric pass over mid-binned rows (hash-based reduction).
+    pub numeric_mid: f64,
     pub product_compute: f64,
     pub product_reduce: f64,
     pub other: f64,
@@ -41,22 +60,46 @@ pub struct PhaseTimes {
 
 impl PhaseTimes {
     pub fn total(&self) -> f64 {
-        self.setup
-            + self.block_sort
-            + self.global_sort
-            + self.product_compute
-            + self.product_reduce
-            + self.other
+        self.symbolic() + self.numeric()
     }
 
-    /// Phase fractions in Figure 11's legend order.
-    pub fn fractions(&self) -> [(&'static str, f64); 6] {
+    /// Pattern-only time: paid once per (A,B) sparsity pattern.
+    pub fn symbolic(&self) -> f64 {
+        self.setup + self.block_sort + self.global_sort + self.other
+    }
+
+    /// Value time: paid on every numeric (re-)execution.
+    pub fn numeric(&self) -> f64 {
+        self.numeric_tiny + self.numeric_mid + self.product_compute + self.product_reduce
+    }
+
+    /// Field-wise sum of two phase breakdowns.
+    pub fn plus(&self, other: &PhaseTimes) -> PhaseTimes {
+        PhaseTimes {
+            setup: self.setup + other.setup,
+            block_sort: self.block_sort + other.block_sort,
+            global_sort: self.global_sort + other.global_sort,
+            numeric_tiny: self.numeric_tiny + other.numeric_tiny,
+            numeric_mid: self.numeric_mid + other.numeric_mid,
+            product_compute: self.product_compute + other.product_compute,
+            product_reduce: self.product_reduce + other.product_reduce,
+            other: self.other + other.other,
+        }
+    }
+
+    /// Phase fractions in Figure 11's legend order, with the bin-adaptive
+    /// numeric passes slotted between the sorts and the heavy-bin pair.
+    /// Labels match [`mps_simt::Phase::as_str`] so ledger and breakdown
+    /// reconcile name-for-name.
+    pub fn fractions(&self) -> [(&'static str, f64); 8] {
         let t = self.total().max(f64::MIN_POSITIVE);
         [
             ("Setup", self.setup / t),
             ("Block Sort", self.block_sort / t),
-            ("Product Compute", self.product_compute / t),
             ("Global Sort", self.global_sort / t),
+            ("Tiny Scatter", self.numeric_tiny / t),
+            ("Mid Hash", self.numeric_mid / t),
+            ("Product Compute", self.product_compute / t),
             ("Product Reduce", self.product_reduce / t),
             ("Other", self.other / t),
         ]
@@ -70,6 +113,9 @@ pub struct SpgemmResult {
     /// Intermediate products expanded (the paper's work measure).
     pub products: u64,
     pub phases: PhaseTimes,
+    /// Bin occupancy of the numeric pass (rows/products per class).
+    /// Default (all zeros) for pipelines that do not bin.
+    pub bins: BinSummary,
     /// Aggregated launch statistics over all phases.
     pub stats: LaunchStats,
 }
@@ -198,6 +244,7 @@ mod tests {
             block_threads: 1,
             items_per_thread: 2,
             global_sort_nv: 3,
+            ..SpgemmConfig::default()
         };
         let r = merge_spgemm(&dev(), &a, &b, &cfg);
         assert!(r.c.approx_eq(&spgemm_ref(&a, &b), 1e-12));
@@ -238,6 +285,7 @@ mod tests {
             c: CsrMatrix::zeros(1, 1),
             products: 0,
             phases: PhaseTimes::default(),
+            bins: BinSummary::default(),
             stats: LaunchStats::default(),
         };
         assert_eq!(zeroed.gflops(), 0.0);
@@ -277,6 +325,11 @@ mod tests {
         let frac_sum: f64 = p.fractions().iter().map(|(_, f)| f).sum();
         assert!((frac_sum - 1.0).abs() < 1e-9);
         assert!(p.block_sort > 0.0 && p.global_sort > 0.0);
+        assert!(p.numeric() > 0.0, "numeric pass must be charged");
+        assert!(
+            (p.symbolic() + p.numeric() - p.total()).abs() < 1e-12,
+            "split must partition the total"
+        );
     }
 
     proptest! {
@@ -296,6 +349,7 @@ mod tests {
                 block_threads: 16,
                 items_per_thread: items,
                 global_sort_nv: 64,
+                ..SpgemmConfig::default()
             };
             let r = merge_spgemm(&dev(), &a, &b, &cfg);
             prop_assert!(r.c.approx_eq(&spgemm_ref(&a, &b), 1e-12));

@@ -1,25 +1,31 @@
-//! Plan/execute split for merge-path SpGEMM.
+//! Symbolic/numeric split for merge-path SpGEMM.
 //!
 //! Every phase of the Figure 3 pipeline except the arithmetic itself is a
 //! function of the two sparsity patterns: the product-space prefix sum, the
 //! block-sort permutations and duplicate heads, the global sort order, and
-//! the output pattern never look at a value. [`SpgemmPlan`] runs the whole
-//! simulated pipeline once — charging exactly what `merge_spgemm` charges —
-//! and keeps the structure maps it discovers:
+//! the output pattern never look at a value. [`SpgemmPlan`] runs that
+//! **symbolic** half once — setup, block sort, global sort, CSR assembly —
+//! and composes everything it learned into three flat maps:
 //!
 //! * `a_idx` / `b_pos` — for every intermediate product, the input value
 //!   indices that form it (the second expansion, precomputed);
-//! * `perm` / `head` / `tile_offsets` — the per-tile block-sort
-//!   permutation and duplicate-run heads (Figure 3 c–d);
-//! * `rank` — globally sorted position of each locally reduced entry;
-//! * `run_of` — output nonzero owning each sorted position;
-//! * the CSR pattern of C.
+//! * `slot` — the output nonzero each product accumulates into (block-sort
+//!   permutation ∘ global rank ∘ run-of-key, fused at build);
 //!
-//! A planned execution is then three flat loops (form + locally reduce +
-//! scatter, then reduce-by-key, then value placement) that replay the exact
-//! floating-point accumulation order of the one-shot pipeline — including
-//! the per-tile grouping and cross-tile carry stitch of the product-reduce
-//! phase, so results are bitwise identical.
+//! plus the per-row product counts and the bin assignment they imply
+//! ([`super::bins`]). A **numeric** execution is then a single flat
+//! fused-multiply-add loop — `values[slot[q]] += a[a_idx[q]] · b[b_pos[q]]`
+//! — with zero structural work, zero scratch, and zero heap allocation
+//! once warm. Buffers are sized from the symbolic counts (the exact
+//! output nonzeros), not worst-case product bounds.
+//!
+//! The numeric pass is charged bin-adaptively at build: tiny rows through
+//! the dense-accumulator scatter kernel, mid rows through the hash
+//! reduction (probe counts measured with [`super::hash::HashAccumulator`]
+//! tables sized from the symbolic counts), heavy rows through the paper's
+//! original two-pass product compute / product reduce. The one-shot
+//! [`super::merge_spgemm`] is plan build + one execution, so planned
+//! replays are bitwise identical to it by construction.
 
 use rayon::prelude::*;
 
@@ -28,7 +34,9 @@ use mps_simt::grid::{launch_map_phased, LaunchConfig, LaunchStats};
 use mps_simt::{Device, Phase, PhaseLedger};
 use mps_sparse::{unpack_key, CsrMatrix};
 
+use super::bins::{BinClass, BinSummary, RowBins};
 use super::block_sort::{self, bits_for};
+use super::hash::HashAccumulator;
 use super::product;
 use super::setup;
 use super::{PhaseTimes, SpgemmResult};
@@ -37,47 +45,41 @@ use crate::config::SpgemmConfig;
 use crate::error::PlanError;
 use crate::workspace::Workspace;
 
-/// Precomputed SpGEMM state for a fixed pair of sparsity patterns: all
-/// structure maps plus the cached simulated cost of every phase.
+/// Cached symbolic state for a fixed pair of sparsity patterns: the fused
+/// numeric maps, the output CSR pattern, per-row bins, and the simulated
+/// cost of both halves of the pipeline.
 #[derive(Debug, Clone)]
 pub struct SpgemmPlan {
     a_dims: (usize, usize, usize),
     b_dims: (usize, usize, usize),
     /// Intermediate products (the paper's work measure).
     products: usize,
-    /// Block-sort tile width used at build.
-    nv: usize,
     /// Per-product index into `a.values` (expansion order).
     a_idx: Vec<u32>,
     /// Per-product index into `b.values` (expansion order).
     b_pos: Vec<u32>,
-    /// Flattened per-tile sorted-position → tile-local product offset.
-    perm: Vec<u16>,
-    /// Flattened per-tile duplicate-run head flags.
-    head: Vec<bool>,
-    /// Reduced-entry base of each block-sort tile.
-    tile_offsets: Vec<usize>,
-    /// Locally reduced entry → globally sorted position.
-    rank: Vec<u32>,
-    /// Globally sorted position → output nonzero index.
-    run_of: Vec<u32>,
-    /// Reduce-by-key tile width used at build.
-    global_sort_nv: usize,
+    /// Per-product output nonzero index (the fused structure map).
+    slot: Vec<u32>,
+    /// Per-row intermediate-product counts (symbolic).
+    row_products: Vec<usize>,
+    /// Per-row numeric bin assignment.
+    bins: RowBins,
     /// Output pattern.
     row_offsets: Vec<usize>,
     col_idx: Vec<u32>,
-    /// Cached per-phase simulated times, paid at plan build.
-    phases: PhaseTimes,
-    /// Per-phase launch/time/DRAM ledger (same totals as `phases`, plus
-    /// traffic), in [`Phase`] terms for trace aggregation.
-    ledger: PhaseLedger,
-    /// Cached aggregate launch statistics.
-    stats: LaunchStats,
+    /// Pattern-only cost, paid once per pattern pair at plan build.
+    symbolic: PhaseTimes,
+    /// Value cost, modelling one numeric execution (bin-adaptive).
+    numeric: PhaseTimes,
+    symbolic_ledger: PhaseLedger,
+    numeric_ledger: PhaseLedger,
+    symbolic_stats: LaunchStats,
+    numeric_stats: LaunchStats,
 }
 
 impl SpgemmPlan {
-    /// Build the plan for `a · b`, charging the full five-phase pipeline
-    /// cost against `device` once.
+    /// Build the plan for `a · b`, charging the symbolic pipeline plus one
+    /// bin-adaptive numeric pass against `device`.
     ///
     /// # Panics
     /// Panics if `a.num_cols != b.num_rows`.
@@ -105,64 +107,74 @@ impl SpgemmPlan {
         if cfg.global_sort_nv == 0 {
             return Err(PlanError::InvalidConfig("global_sort_nv must be nonzero"));
         }
+        if cfg.bin_tiny_max > cfg.bin_mid_max {
+            return Err(PlanError::InvalidConfig(
+                "bin_tiny_max must not exceed bin_mid_max",
+            ));
+        }
         Ok(Self::build(device, a, b, cfg))
     }
 
     fn build(device: &Device, a: &CsrMatrix, b: &CsrMatrix, cfg: &SpgemmConfig) -> SpgemmPlan {
-        let mut stats = LaunchStats::default();
-        let mut phases = PhaseTimes::default();
-        let mut ledger = PhaseLedger::new();
+        let mut symbolic_stats = LaunchStats::default();
+        let mut symbolic = PhaseTimes::default();
+        let mut symbolic_ledger = PhaseLedger::new();
         let a_dims = (a.num_rows, a.num_cols, a.nnz());
         let b_dims = (b.num_rows, b.num_cols, b.nnz());
 
-        // ---- Phase 1: setup -------------------------------------------
+        // ---- Symbolic 1: setup ----------------------------------------
         let (exp, setup_stats) = setup::setup(device, a, b);
-        phases.setup = setup_stats.sim_ms;
-        ledger.charge(
+        symbolic.setup = setup_stats.sim_ms;
+        symbolic_ledger.charge(
             Phase::Setup,
             setup_stats.sim_ms,
             setup_stats.totals.dram_bytes(),
         );
-        stats.add(&setup_stats);
+        symbolic_stats.add(&setup_stats);
+
+        // Per-row product counts: the prefix sum already holds them.
+        let row_products: Vec<usize> = (0..a.num_rows)
+            .map(|r| exp.s[a.row_offsets[r + 1]] - exp.s[a.row_offsets[r]])
+            .collect();
+        let bins = RowBins::classify(&row_products, cfg);
 
         if exp.products == 0 {
             return SpgemmPlan {
                 a_dims,
                 b_dims,
                 products: 0,
-                nv: cfg.nv(),
                 a_idx: Vec::new(),
                 b_pos: Vec::new(),
-                perm: Vec::new(),
-                head: Vec::new(),
-                tile_offsets: vec![0],
-                rank: Vec::new(),
-                run_of: Vec::new(),
-                global_sort_nv: cfg.global_sort_nv,
+                slot: Vec::new(),
+                row_products,
+                bins,
                 row_offsets: vec![0; a.num_rows + 1],
                 col_idx: Vec::new(),
-                phases,
-                ledger,
-                stats,
+                symbolic,
+                numeric: PhaseTimes::default(),
+                symbolic_ledger,
+                numeric_ledger: PhaseLedger::new(),
+                symbolic_stats,
+                numeric_stats: LaunchStats::default(),
             };
         }
 
-        // ---- Phase 2: block sort --------------------------------------
+        // ---- Symbolic 2: block sort -----------------------------------
         let (tiles, bs_stats) = block_sort::block_sort(device, a, b, &exp, cfg);
-        phases.block_sort = bs_stats.sim_ms;
-        ledger.charge(
+        symbolic.block_sort = bs_stats.sim_ms;
+        symbolic_ledger.charge(
             Phase::BlockSort,
             bs_stats.sim_ms,
             bs_stats.totals.dram_bytes(),
         );
-        stats.add(&bs_stats);
+        symbolic_stats.add(&bs_stats);
 
         let reduced_keys: Vec<u64> = tiles
             .iter()
             .flat_map(|t| t.unique_keys.iter().copied())
             .collect();
 
-        // ---- Phase 3: global sort (permutation only) ------------------
+        // ---- Symbolic 3: global sort (permutation only) ---------------
         let col_bits = bits_for(b.num_cols);
         let key_bits = col_bits + bits_for(a.num_rows);
         let sort_keys: Vec<u64> = reduced_keys
@@ -175,13 +187,13 @@ impl SpgemmPlan {
         let (gperm, gs_stats) = device.phase_scope(Phase::GlobalSort, || {
             sort_permutation(device, &sort_keys, key_bits.max(1), cfg.global_sort_nv)
         });
-        phases.global_sort = gs_stats.sim_ms;
-        ledger.charge(
+        symbolic.global_sort = gs_stats.sim_ms;
+        symbolic_ledger.charge(
             Phase::GlobalSort,
             gs_stats.sim_ms,
             gs_stats.totals.dram_bytes(),
         );
-        stats.add(&gs_stats);
+        symbolic_stats.add(&gs_stats);
 
         let n_reduced = reduced_keys.len();
         let mut rank = vec![0u32; n_reduced];
@@ -204,96 +216,99 @@ impl SpgemmPlan {
                 cta.scatter(gperm_ref[lo..hi].iter().map(|&p| p as usize), 4);
             },
         );
-        phases.global_sort += inv_stats.sim_ms;
-        ledger.charge(
+        symbolic.global_sort += inv_stats.sim_ms;
+        symbolic_ledger.charge(
             Phase::GlobalSort,
             inv_stats.sim_ms,
             inv_stats.totals.dram_bytes(),
         );
-        stats.add(&inv_stats);
+        symbolic_stats.add(&inv_stats);
 
         let sorted_keys: Vec<u64> = gperm.iter().map(|&p| reduced_keys[p as usize]).collect();
 
-        // ---- Phase 4: product compute (charged; numerics discarded) ---
-        let (_, pc_stats) = product::product_compute(device, a, b, &exp, &tiles, &rank, cfg);
-        phases.product_compute = pc_stats.sim_ms;
-        ledger.charge(
-            Phase::ProductCompute,
-            pc_stats.sim_ms,
-            pc_stats.totals.dram_bytes(),
-        );
-        stats.add(&pc_stats);
-
-        // ---- Phase 5: product reduce (charged; run map kept) ----------
-        let zeros = vec![0.0f64; sorted_keys.len()];
-        let (final_keys, _, pr_stats) = product::product_reduce(device, &sorted_keys, &zeros, cfg);
-        phases.product_reduce = pr_stats.sim_ms;
-        ledger.charge(
-            Phase::ProductReduce,
-            pr_stats.sim_ms,
-            pr_stats.totals.dram_bytes(),
-        );
-        stats.add(&pr_stats);
-
-        // Sorted position → output index: runs of equal sorted keys.
+        // Sorted position → output index (runs of equal sorted keys), and
+        // the unique key list the pattern assembles from.
         let mut run_of = Vec::with_capacity(sorted_keys.len());
+        let mut final_keys = Vec::new();
         let mut run = 0u32;
         for (i, &k) in sorted_keys.iter().enumerate() {
-            if i > 0 && k != sorted_keys[i - 1] {
+            if i == 0 {
+                final_keys.push(k);
+            } else if k != sorted_keys[i - 1] {
                 run += 1;
+                final_keys.push(k);
             }
             run_of.push(run);
         }
-        debug_assert_eq!(final_keys.len(), run as usize + 1);
 
-        // ---- Other: CSR assembly charge + parallel host pattern build -
+        // ---- Symbolic 4: CSR assembly charge + host pattern build -----
         let other_stats = super::charge_assemble(device, final_keys.len());
-        phases.other = other_stats.sim_ms;
-        ledger.charge(
+        symbolic.other = other_stats.sim_ms;
+        symbolic_ledger.charge(
             Phase::Other,
             other_stats.sim_ms,
             other_stats.totals.dram_bytes(),
         );
-        stats.add(&other_stats);
+        symbolic_stats.add(&other_stats);
         let row_offsets = assemble::row_offsets_from_sorted_keys(a.num_rows, &final_keys);
         let col_idx = assemble::cols_from_keys(&final_keys);
 
-        // Structure maps for the numeric replay.
+        // ---- Fuse the structure maps for the numeric replay -----------
         let (a_idx, b_pos) = product_sources(a, b, &exp.s, cfg.nv());
-        let mut perm = Vec::with_capacity(exp.products);
-        let mut head = Vec::with_capacity(exp.products);
-        let mut tile_offsets = Vec::with_capacity(tiles.len() + 1);
-        tile_offsets.push(0usize);
-        for t in &tiles {
-            perm.extend(t.perm.iter().copied());
-            head.extend(t.head.iter().copied());
-            tile_offsets.push(tile_offsets.last().expect("non-empty") + t.unique_keys.len());
+        let nv = cfg.nv();
+        let total = exp.products;
+        let mut slot = vec![0u32; total];
+        let mut base = 0usize;
+        for (t, tile) in tiles.iter().enumerate() {
+            let lo = t * nv;
+            let hi = (lo + nv).min(total);
+            let mut local = 0usize;
+            let mut cur = 0u32;
+            for s in 0..(hi - lo) {
+                let q = lo + tile.perm[s] as usize;
+                if tile.head[s] {
+                    cur = run_of[rank[base + local] as usize];
+                    local += 1;
+                }
+                slot[q] = cur;
+            }
+            base += tile.unique_keys.len();
         }
+
+        // ---- Numeric: one bin-adaptive pass, charged from the plan ----
+        let (numeric, numeric_ledger, numeric_stats) = charge_numeric(
+            device,
+            a,
+            b,
+            cfg,
+            &bins,
+            &row_products,
+            &row_offsets,
+            &a_idx,
+            &b_pos,
+            &reduced_keys,
+            &rank,
+            &exp.s,
+        );
 
         SpgemmPlan {
             a_dims,
             b_dims,
-            products: exp.products,
-            nv: cfg.nv(),
+            products: total,
             a_idx,
             b_pos,
-            perm,
-            head,
-            tile_offsets,
-            rank,
-            run_of,
-            global_sort_nv: cfg.global_sort_nv,
+            slot,
+            row_products,
+            bins,
             row_offsets,
             col_idx,
-            phases,
-            ledger,
-            stats,
+            symbolic,
+            numeric,
+            symbolic_ledger,
+            numeric_ledger,
+            symbolic_stats,
+            numeric_stats,
         }
-    }
-
-    /// Per-phase launch/time/DRAM ledger charged at plan build.
-    pub fn ledger(&self) -> &PhaseLedger {
-        &self.ledger
     }
 
     /// Intermediate products expanded by the planned multiply.
@@ -306,9 +321,80 @@ impl SpgemmPlan {
         self.col_idx.len()
     }
 
-    /// Cached per-phase simulated times, charged once at plan build.
-    pub fn phases(&self) -> &PhaseTimes {
-        &self.phases
+    /// Combined per-phase simulated times: symbolic build plus one numeric
+    /// execution (what the one-shot pipeline reports).
+    pub fn phases(&self) -> PhaseTimes {
+        self.symbolic.plus(&self.numeric)
+    }
+
+    /// Pattern-only phase times, paid once per pattern pair.
+    pub fn symbolic_phases(&self) -> PhaseTimes {
+        self.symbolic
+    }
+
+    /// Value phase times, paid per numeric execution.
+    pub fn numeric_phases(&self) -> PhaseTimes {
+        self.numeric
+    }
+
+    /// Simulated milliseconds of the symbolic (pattern) half.
+    pub fn symbolic_ms(&self) -> f64 {
+        self.symbolic.total()
+    }
+
+    /// Simulated milliseconds of one numeric execution.
+    pub fn numeric_ms(&self) -> f64 {
+        self.numeric.total()
+    }
+
+    /// Launch/time/DRAM ledger of the symbolic half.
+    pub fn symbolic_ledger(&self) -> &PhaseLedger {
+        &self.symbolic_ledger
+    }
+
+    /// Launch/time/DRAM ledger of one numeric execution.
+    pub fn numeric_ledger(&self) -> &PhaseLedger {
+        &self.numeric_ledger
+    }
+
+    /// Combined ledger (symbolic + one numeric execution).
+    pub fn ledger(&self) -> PhaseLedger {
+        let mut l = self.symbolic_ledger.clone();
+        l.merge(&self.numeric_ledger);
+        l
+    }
+
+    /// Aggregate launch statistics of the symbolic half.
+    pub fn symbolic_launch_stats(&self) -> &LaunchStats {
+        &self.symbolic_stats
+    }
+
+    /// Aggregate launch statistics of one numeric execution.
+    pub fn numeric_launch_stats(&self) -> &LaunchStats {
+        &self.numeric_stats
+    }
+
+    /// Per-row intermediate-product counts discovered by the symbolic
+    /// phase.
+    pub fn row_products(&self) -> &[usize] {
+        &self.row_products
+    }
+
+    /// Per-row numeric bin assignment.
+    pub fn bins(&self) -> &RowBins {
+        &self.bins
+    }
+
+    /// Aggregate bin occupancy.
+    pub fn bin_summary(&self) -> BinSummary {
+        self.bins.summary
+    }
+
+    /// Exact bytes a numeric execution touches in plan + output buffers:
+    /// three u32 maps over the product space plus the f64 output values.
+    /// Sized from the symbolic counts — no worst-case bound anywhere.
+    pub fn numeric_bytes(&self) -> usize {
+        4 * (self.a_idx.len() + self.b_pos.len() + self.slot.len()) + 8 * self.output_nnz()
     }
 
     fn check_inputs(&self, a: &CsrMatrix, b: &CsrMatrix) {
@@ -324,106 +410,180 @@ impl SpgemmPlan {
         );
     }
 
-    /// Steady-state execution: write the output values for `a · b` into a
-    /// caller-owned buffer (the pattern lives in the plan), using workspace
-    /// scratch for the ordered intermediate array. Performs no heap
-    /// allocation once `values` and `ws` have warmed to capacity.
+    /// Numeric re-execution: write the output values for `a · b` into a
+    /// caller-owned buffer (the pattern lives in the plan) with zero
+    /// structural work — one flat fused-multiply-add loop over the product
+    /// space. Performs no heap allocation once `values` has warmed to the
+    /// output size.
     ///
-    /// Returns the simulated milliseconds of the planned pipeline (from the
-    /// cached stats — structure work is not re-simulated).
+    /// Returns the simulated milliseconds of one numeric pass (cached from
+    /// the bin-adaptive charge at plan build).
     ///
     /// # Panics
     /// Panics if either matrix does not match the planned patterns.
+    pub fn execute_numeric(&self, a: &CsrMatrix, b: &CsrMatrix, values: &mut Vec<f64>) -> f64 {
+        self.check_inputs(a, b);
+        values.clear();
+        values.resize(self.output_nnz(), 0.0);
+        let av = &a.values[..];
+        let bv = &b.values[..];
+        for ((&s, &ai), &bp) in self.slot.iter().zip(&self.a_idx).zip(&self.b_pos) {
+            values[s as usize] += av[ai as usize] * bv[bp as usize];
+        }
+        self.numeric.total()
+    }
+
+    /// Steady-state execution in the shared plan API shape: numeric
+    /// re-execution via [`SpgemmPlan::execute_numeric`] (the workspace is
+    /// accepted for signature parity with the other kernels' plans; the
+    /// fused numeric loop needs no scratch).
+    ///
+    /// Returns the simulated milliseconds of the full planned pipeline
+    /// (symbolic + one numeric pass).
     pub fn execute_into(
         &self,
         a: &CsrMatrix,
         b: &CsrMatrix,
         values: &mut Vec<f64>,
-        ws: &mut Workspace,
+        _ws: &mut Workspace,
     ) -> f64 {
-        self.check_inputs(a, b);
-        let n_reduced = self.rank.len();
-        let out_nnz = self.output_nnz();
-        values.clear();
-        values.resize(out_nnz, 0.0);
-        if self.products == 0 {
-            return self.phases.total();
-        }
+        self.execute_numeric(a, b, values);
+        self.phases().total()
+    }
 
-        // Product compute replay: form each tile's products, apply the
-        // stored permutation, fold duplicate runs, scatter by rank.
-        let mut ordered = ws.take_f64();
-        ordered.resize(n_reduced, 0.0);
-        let total = self.products;
-        let num_tiles = total.div_ceil(self.nv);
-        for tile in 0..num_tiles {
-            let lo = tile * self.nv;
-            let hi = (lo + self.nv).min(total);
-            let base = self.tile_offsets[tile];
-            let mut local = 0usize;
-            let mut cur = 0usize;
-            for s in lo..hi {
-                let q = lo + self.perm[s] as usize;
-                let v = a.values[self.a_idx[q] as usize] * b.values[self.b_pos[q] as usize];
-                if self.head[s] {
-                    cur = self.rank[base + local] as usize;
-                    ordered[cur] = v;
-                    local += 1;
-                } else {
-                    ordered[cur] += v;
-                }
-            }
+    /// Numeric re-execution assembling a full output matrix: clones the
+    /// cached pattern and fills freshly computed values. This is the
+    /// serving path for cached plans — no launch-stat bookkeeping, just
+    /// the flat numeric replay plus two pattern clones.
+    ///
+    /// # Panics
+    /// Panics if either matrix does not match the planned patterns.
+    pub fn execute_matrix(&self, a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
+        let mut values = Vec::new();
+        self.execute_numeric(a, b, &mut values);
+        CsrMatrix {
+            num_rows: self.a_dims.0,
+            num_cols: self.b_dims.1,
+            row_offsets: self.row_offsets.clone(),
+            col_idx: self.col_idx.clone(),
+            values,
         }
-
-        // Product reduce replay: per-tile reduce-by-key with the original
-        // tile grouping, cross-tile runs stitched by a second accumulation
-        // into the same output slot (the carry of the one-shot kernel).
-        let mut last_flushed = usize::MAX;
-        let num_rtiles = n_reduced.div_ceil(self.global_sort_nv).max(1);
-        for tile in 0..num_rtiles {
-            let lo = tile * self.global_sort_nv;
-            let hi = (lo + self.global_sort_nv).min(n_reduced);
-            let mut i = lo;
-            while i < hi {
-                let run = self.run_of[i] as usize;
-                let mut acc = ordered[i];
-                i += 1;
-                while i < hi && self.run_of[i] as usize == run {
-                    acc += ordered[i];
-                    i += 1;
-                }
-                if run == last_flushed {
-                    values[run] += acc;
-                } else {
-                    values[run] = acc;
-                    last_flushed = run;
-                }
-            }
-        }
-        ws.put_f64(ordered);
-        self.phases.total()
     }
 
     /// Run the planned multiply, assembling a full [`SpgemmResult`] (clones
     /// the cached pattern and stats). `device` is unused beyond API
     /// symmetry — the cost was charged at plan build.
     pub fn execute(&self, _device: &Device, a: &CsrMatrix, b: &CsrMatrix) -> SpgemmResult {
-        let mut values = Vec::new();
-        let mut ws = Workspace::new();
-        self.execute_into(a, b, &mut values, &mut ws);
+        let c = self.execute_matrix(a, b);
+        let mut stats = self.symbolic_stats.clone();
+        stats.add(&self.numeric_stats);
         SpgemmResult {
-            c: CsrMatrix {
-                num_rows: self.a_dims.0,
-                num_cols: self.b_dims.1,
-                row_offsets: self.row_offsets.clone(),
-                col_idx: self.col_idx.clone(),
-                values,
-            },
+            c,
             products: self.products as u64,
-            phases: self.phases,
-            stats: self.stats.clone(),
+            phases: self.phases(),
+            bins: self.bins.summary,
+            stats,
         }
     }
+}
+
+/// Charge one bin-adaptive numeric pass: gather each bin's products, size
+/// the mid-bin hash tables from the symbolic output counts and measure
+/// their probes, and price the heavy bin through the paper's two-pass
+/// kernels. Empty bins launch nothing.
+#[allow(clippy::too_many_arguments)]
+fn charge_numeric(
+    device: &Device,
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    cfg: &SpgemmConfig,
+    bins: &RowBins,
+    row_products: &[usize],
+    row_offsets: &[usize],
+    a_idx: &[u32],
+    b_pos: &[u32],
+    reduced_keys: &[u64],
+    rank: &[u32],
+    s: &[usize],
+) -> (PhaseTimes, PhaseLedger, LaunchStats) {
+    let mut numeric = PhaseTimes::default();
+    let mut ledger = PhaseLedger::new();
+    let mut stats = LaunchStats::default();
+    let sum = &bins.summary;
+
+    // Per-bin product gather streams and output counts, row-major.
+    let mut tiny_a = Vec::with_capacity(sum.tiny_products);
+    let mut tiny_b = Vec::with_capacity(sum.tiny_products);
+    let mut mid_a = Vec::with_capacity(sum.mid_products);
+    let mut mid_b = Vec::with_capacity(sum.mid_products);
+    let mut heavy_a = Vec::with_capacity(sum.heavy_products);
+    let mut heavy_b = Vec::with_capacity(sum.heavy_products);
+    let (mut tiny_out, mut mid_out, mut heavy_out) = (0usize, 0usize, 0usize);
+    let mut mid_probes = 0u64;
+    for (r, &class) in bins.class.iter().enumerate() {
+        if row_products[r] == 0 {
+            continue;
+        }
+        let q_lo = s[a.row_offsets[r]];
+        let q_hi = s[a.row_offsets[r + 1]];
+        let out = row_offsets[r + 1] - row_offsets[r];
+        match class {
+            BinClass::Tiny => {
+                tiny_a.extend_from_slice(&a_idx[q_lo..q_hi]);
+                tiny_b.extend_from_slice(&b_pos[q_lo..q_hi]);
+                tiny_out += out;
+            }
+            BinClass::Mid => {
+                mid_a.extend_from_slice(&a_idx[q_lo..q_hi]);
+                mid_b.extend_from_slice(&b_pos[q_lo..q_hi]);
+                mid_out += out;
+                // Table sized from the symbolic count; measure the probes
+                // this row's actual column stream costs.
+                let mut table = HashAccumulator::with_capacity(out);
+                for &bp in &b_pos[q_lo..q_hi] {
+                    table.accumulate(b.col_idx[bp as usize] as u64, 1.0);
+                }
+                mid_probes += table.probes();
+            }
+            BinClass::Heavy => {
+                heavy_a.extend_from_slice(&a_idx[q_lo..q_hi]);
+                heavy_b.extend_from_slice(&b_pos[q_lo..q_hi]);
+                heavy_out += out;
+            }
+        }
+    }
+
+    if !tiny_b.is_empty() {
+        let st = product::numeric_tiny(device, &tiny_a, &tiny_b, tiny_out, cfg);
+        numeric.numeric_tiny = st.sim_ms;
+        ledger.charge(Phase::NumericTiny, st.sim_ms, st.totals.dram_bytes());
+        stats.add(&st);
+    }
+    if !mid_b.is_empty() {
+        let st = product::numeric_mid(device, &mid_a, &mid_b, mid_out, mid_probes, cfg);
+        numeric.numeric_mid = st.sim_ms;
+        ledger.charge(Phase::NumericMid, st.sim_ms, st.totals.dram_bytes());
+        stats.add(&st);
+    }
+    if !heavy_b.is_empty() {
+        // Globally sorted positions of the heavy rows' reduced entries —
+        // the scatter targets of the two-pass path.
+        let heavy_ranks: Vec<u32> = reduced_keys
+            .iter()
+            .zip(rank)
+            .filter(|(&k, _)| bins.class[unpack_key(k).0 as usize] == BinClass::Heavy)
+            .map(|(_, &r)| r)
+            .collect();
+        let st = product::numeric_heavy_compute(device, &heavy_a, &heavy_b, &heavy_ranks, cfg);
+        numeric.product_compute = st.sim_ms;
+        ledger.charge(Phase::ProductCompute, st.sim_ms, st.totals.dram_bytes());
+        stats.add(&st);
+        let st = product::numeric_heavy_reduce(device, heavy_ranks.len(), heavy_out, cfg);
+        numeric.product_reduce = st.sim_ms;
+        ledger.charge(Phase::ProductReduce, st.sim_ms, st.totals.dram_bytes());
+        stats.add(&st);
+    }
+    (numeric, ledger, stats)
 }
 
 /// Per-product source indices `(a value index, b value index)` in expansion
@@ -489,6 +649,7 @@ mod tests {
         );
         assert_eq!(planned.products, one_shot.products);
         assert_eq!(planned.phases, one_shot.phases);
+        assert_eq!(planned.bins, one_shot.bins);
     }
 
     #[test]
@@ -499,6 +660,7 @@ mod tests {
             block_threads: 16,
             items_per_thread: 3,
             global_sort_nv: 64,
+            ..SpgemmConfig::default()
         };
         let plan = SpgemmPlan::new(&dev(), &a, &b, &cfg);
         let mut a2 = a.clone();
@@ -510,19 +672,88 @@ mod tests {
     }
 
     #[test]
+    fn numeric_reexecution_is_bitwise_identical_to_fresh_one_shot() {
+        // Same pattern, mutated values: the cached plan's numeric pass
+        // must reproduce a freshly built one-shot result exactly.
+        let a = gen::random_uniform(100, 100, 6.0, 3.0, 53);
+        let b = gen::random_uniform(100, 100, 5.0, 2.0, 54);
+        let cfg = SpgemmConfig::default();
+        let plan = SpgemmPlan::new(&dev(), &a, &b, &cfg);
+        let mut b2 = b.clone();
+        for (i, v) in b2.values.iter_mut().enumerate() {
+            *v = 0.25 + (i % 11) as f64;
+        }
+        let mut values = Vec::new();
+        plan.execute_numeric(&a, &b2, &mut values);
+        let fresh = merge_spgemm(&dev(), &a, &b2, &cfg);
+        assert_eq!(values, fresh.c.values);
+    }
+
+    #[test]
     fn tiny_tiles_cross_tile_runs_replay_exactly() {
-        // Runs spanning reduce-tile boundaries exercise the carry stitch.
+        // Runs spanning reduce-tile boundaries exercise the fused slot map.
         let a = gen::random_uniform(30, 30, 4.0, 2.0, 61);
         let b = gen::random_uniform(30, 30, 4.0, 2.0, 62);
         let cfg = SpgemmConfig {
             block_threads: 1,
             items_per_thread: 2,
             global_sort_nv: 3,
+            ..SpgemmConfig::default()
         };
         let one_shot = merge_spgemm(&dev(), &a, &b, &cfg);
         let plan = SpgemmPlan::new(&dev(), &a, &b, &cfg);
         let planned = plan.execute(&dev(), &a, &b);
         assert_eq!(planned.c, one_shot.c);
+        assert!(planned.c.approx_eq(&spgemm_ref(&a, &b), 1e-12));
+    }
+
+    #[test]
+    fn symbolic_and_numeric_partition_the_total() {
+        let a = gen::random_uniform(150, 150, 7.0, 4.0, 63);
+        let plan = SpgemmPlan::new(&dev(), &a, &a, &SpgemmConfig::default());
+        assert!(plan.symbolic_ms() > 0.0);
+        assert!(plan.numeric_ms() > 0.0);
+        let total = plan.phases().total();
+        assert!((plan.symbolic_ms() + plan.numeric_ms() - total).abs() < 1e-12);
+        // Ledgers reconcile with the phase breakdown to 1e-9.
+        assert!((plan.symbolic_ledger().total_ms() - plan.symbolic_ms()).abs() < 1e-9);
+        assert!((plan.numeric_ledger().total_ms() - plan.numeric_ms()).abs() < 1e-9);
+        assert!((plan.ledger().total_ms() - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bins_cover_every_row_and_product() {
+        let a = gen::power_law(200, 200, 2, 1.8, 60, 14);
+        let plan = SpgemmPlan::new(&dev(), &a, &a, &SpgemmConfig::default());
+        let sum = plan.bin_summary();
+        assert_eq!(sum.rows(), 200);
+        assert_eq!(sum.products(), plan.products() as usize);
+        assert_eq!(plan.row_products().len(), 200);
+        assert_eq!(
+            plan.row_products().iter().sum::<usize>(),
+            plan.products() as usize
+        );
+    }
+
+    #[test]
+    fn forced_bin_thresholds_route_rows_and_still_match() {
+        // Squeeze the thresholds so all three numeric paths run at once.
+        let a = gen::random_uniform(120, 120, 6.0, 4.0, 67);
+        let cfg = SpgemmConfig {
+            bin_tiny_max: 8,
+            bin_mid_max: 40,
+            ..SpgemmConfig::default()
+        };
+        let r = merge_spgemm(&dev(), &a, &a, &cfg);
+        assert!(r.bins.tiny_rows > 0 || r.bins.mid_rows > 0 || r.bins.heavy_rows > 0);
+        assert!(r.c.approx_eq(&spgemm_ref(&a, &a), 1e-12));
+        // The phase breakdown carries whichever bins are occupied.
+        if r.bins.mid_products > 0 {
+            assert!(r.phases.numeric_mid > 0.0);
+        }
+        if r.bins.heavy_products > 0 {
+            assert!(r.phases.product_compute > 0.0 && r.phases.product_reduce > 0.0);
+        }
     }
 
     #[test]
@@ -531,6 +762,7 @@ mod tests {
         let b = CsrMatrix::zeros(4, 6);
         let plan = SpgemmPlan::new(&dev(), &a, &b, &SpgemmConfig::default());
         assert_eq!(plan.products(), 0);
+        assert_eq!(plan.numeric_ms(), 0.0);
         let r = plan.execute(&dev(), &a, &b);
         assert_eq!(r.c.nnz(), 0);
         assert_eq!((r.c.num_rows, r.c.num_cols), (5, 6));
@@ -551,6 +783,14 @@ mod tests {
         assert_eq!(values, expected);
         assert_eq!(values.capacity(), cap);
         assert_eq!(values.as_ptr(), ptr, "warm buffer must be reused in place");
+    }
+
+    #[test]
+    fn numeric_bytes_scale_with_symbolic_counts() {
+        let a = gen::random_uniform(60, 60, 5.0, 2.0, 73);
+        let plan = SpgemmPlan::new(&dev(), &a, &a, &SpgemmConfig::default());
+        let expect = 12 * plan.products() as usize + 8 * plan.output_nnz();
+        assert_eq!(plan.numeric_bytes(), expect);
     }
 
     #[test]

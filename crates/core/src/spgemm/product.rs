@@ -1,12 +1,18 @@
-//! SpGEMM phases 3–4: deferred product formation and the final global
-//! reduce-by-key ("Product Compute" and "Product Reduce" in Figure 11).
+//! SpGEMM numeric phases: product formation and reduction.
 //!
-//! No numerical values exist before this point. Each CTA re-runs its
-//! expansion to form the actual products, permutes them with the stored
-//! block-sort permutation, segment-reduces duplicates with the precomputed
-//! head flags, and scatters the locally reduced values directly to their
-//! *globally sorted* positions (the rank from the global permutation sort).
-//! A last reduce-by-key pass folds cross-tile duplicates.
+//! No numerical values exist before this point — everything earlier is a
+//! function of the two sparsity patterns. The one-shot kernels
+//! ([`product_compute`] / [`product_reduce`]) are the paper's original
+//! phases 3–4: each CTA re-runs its expansion to form the actual
+//! products, permutes them with the stored block-sort permutation,
+//! segment-reduces duplicates with the precomputed head flags, and
+//! scatters the locally reduced values to their *globally sorted*
+//! positions; a last reduce-by-key pass folds cross-tile duplicates.
+//!
+//! The bin-adaptive charge kernels below them price the numeric pass of a
+//! cached symbolic plan: tiny rows through a dense-accumulator scatter,
+//! mid rows through a hash reduction (probe counts measured host-side),
+//! and only heavy rows through the original two-pass machinery.
 
 use mps_simt::grid::{launch_map_phased, LaunchConfig, LaunchStats};
 use mps_simt::{Device, Phase};
@@ -163,6 +169,161 @@ pub fn product_reduce(
     (keys, vals, stats)
 }
 
+/// Proportional share of `total` items owned by the slice `lo..hi` of `n`.
+#[inline]
+fn share(total: usize, lo: usize, hi: usize, n: usize) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    hi * total / n - lo * total / n
+}
+
+/// Numeric pass over tiny-binned rows: stream the slot map, gather both
+/// source values, one FMA per product into a dense shared-memory
+/// accumulator, coalesced write of the bin's output values.
+///
+/// `a_idx` / `b_pos` are the gather targets of the bin's products
+/// (concatenated row-major); `out_nnz` is the bin's output nonzeros.
+pub(crate) fn numeric_tiny(
+    device: &Device,
+    a_idx: &[u32],
+    b_pos: &[u32],
+    out_nnz: usize,
+    cfg: &SpgemmConfig,
+) -> LaunchStats {
+    debug_assert_eq!(a_idx.len(), b_pos.len());
+    let n = b_pos.len();
+    let nv = cfg.nv();
+    let launch = LaunchConfig::new(n.div_ceil(nv).max(1), cfg.block_threads);
+    let (_, stats) = launch_map_phased(
+        device,
+        "spgemm_numeric_tiny",
+        Phase::NumericTiny,
+        launch,
+        |cta| {
+            let lo = cta.cta_id * nv;
+            let hi = (lo + nv).min(n);
+            let count = hi - lo;
+            cta.read_coalesced(count, 8); // slot map + source indices
+            cta.gather(a_idx[lo..hi].iter().map(|&i| i as usize), 8);
+            cta.gather(b_pos[lo..hi].iter().map(|&p| p as usize), 8);
+            cta.alu(2 * count as u64); // one FMA per product
+            cta.shmem(2 * count as u64); // accumulator read-modify-write
+            cta.sync();
+            cta.write_coalesced(share(out_nnz, lo, hi, n), 8);
+        },
+    );
+    stats
+}
+
+/// Numeric pass over mid-binned rows: like the tiny pass but reducing
+/// through a shared-memory hash table sized from the symbolic counts.
+/// `probes` is the measured total slot inspections over the bin (from
+/// [`super::hash::HashAccumulator`]), so clustering costs what it costs.
+pub(crate) fn numeric_mid(
+    device: &Device,
+    a_idx: &[u32],
+    b_pos: &[u32],
+    out_nnz: usize,
+    probes: u64,
+    cfg: &SpgemmConfig,
+) -> LaunchStats {
+    debug_assert_eq!(a_idx.len(), b_pos.len());
+    let n = b_pos.len();
+    let nv = cfg.nv();
+    let launch = LaunchConfig::new(n.div_ceil(nv).max(1), cfg.block_threads);
+    let (_, stats) = launch_map_phased(
+        device,
+        "spgemm_numeric_mid",
+        Phase::NumericMid,
+        launch,
+        |cta| {
+            let lo = cta.cta_id * nv;
+            let hi = (lo + nv).min(n);
+            let count = hi - lo;
+            let probe_share = share(probes as usize, lo, hi, n) as u64;
+            cta.read_coalesced(count, 8); // slot map + source indices
+            cta.gather(a_idx[lo..hi].iter().map(|&i| i as usize), 8);
+            cta.gather(b_pos[lo..hi].iter().map(|&p| p as usize), 8);
+            cta.alu(count as u64 + probe_share); // multiply + key hashing
+            cta.shmem(2 * probe_share); // probe + insert traffic
+            cta.sync();
+            cta.write_coalesced(share(out_nnz, lo, hi, n), 8);
+        },
+    );
+    stats
+}
+
+/// Numeric pass over heavy-binned rows, first half: the paper's product
+/// compute restricted to the heavy products. `ranks` are the globally
+/// sorted positions of the bin's locally reduced entries (the scatter
+/// targets).
+pub(crate) fn numeric_heavy_compute(
+    device: &Device,
+    a_idx: &[u32],
+    b_pos: &[u32],
+    ranks: &[u32],
+    cfg: &SpgemmConfig,
+) -> LaunchStats {
+    debug_assert_eq!(a_idx.len(), b_pos.len());
+    let n = b_pos.len();
+    let nv = cfg.nv();
+    let launch = LaunchConfig::new(n.div_ceil(nv).max(1), cfg.block_threads);
+    let (_, stats) = launch_map_phased(
+        device,
+        "spgemm_product_compute",
+        Phase::ProductCompute,
+        launch,
+        |cta| {
+            let lo = cta.cta_id * nv;
+            let hi = (lo + nv).min(n);
+            let count = hi - lo;
+            cta.read_coalesced(count, 4); // A col idx
+            cta.gather(a_idx[lo..hi].iter().map(|&i| i as usize), 8);
+            cta.gather(b_pos[lo..hi].iter().map(|&p| p as usize), 8);
+            cta.alu(count as u64); // multiplies
+                                   // Stored permutation + head flags, permute in shared memory,
+                                   // segment-reduce duplicate runs.
+            cta.read_coalesced(count, 2);
+            cta.read_coalesced(count.div_ceil(8), 1);
+            cta.shmem(2 * count as u64);
+            cta.sync();
+            cta.alu(2 * count as u64);
+            // Scatter reduced values to their globally sorted positions.
+            let r_lo = (lo * ranks.len()).checked_div(n).unwrap_or(0);
+            let r_hi = (hi * ranks.len()).checked_div(n).unwrap_or(0);
+            cta.scatter(ranks[r_lo..r_hi].iter().map(|&r| r as usize), 8);
+        },
+    );
+    stats
+}
+
+/// Numeric pass over heavy-binned rows, second half: reduce-by-key over
+/// the bin's `n_reduced` globally sorted entries into `out_nnz` outputs.
+pub(crate) fn numeric_heavy_reduce(
+    device: &Device,
+    n_reduced: usize,
+    out_nnz: usize,
+    cfg: &SpgemmConfig,
+) -> LaunchStats {
+    let nv = cfg.global_sort_nv;
+    let launch = LaunchConfig::new(n_reduced.div_ceil(nv).max(1), cfg.block_threads);
+    let (_, stats) = launch_map_phased(
+        device,
+        "spgemm_product_reduce",
+        Phase::ProductReduce,
+        launch,
+        |cta| {
+            let lo = cta.cta_id * nv;
+            let hi = (lo + nv).min(n_reduced);
+            cta.read_coalesced(hi - lo, 16);
+            cta.alu(3 * (hi - lo) as u64);
+            cta.write_coalesced(share(out_nnz, lo, hi, n_reduced), 16);
+        },
+    );
+    stats
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,6 +337,38 @@ mod tests {
             global_sort_nv: 4,
             ..SpgemmConfig::default()
         }
+    }
+
+    #[test]
+    fn share_partitions_exactly() {
+        // Per-CTA output shares must tile the total with no gap/overlap.
+        let (total, n, nv) = (13usize, 100usize, 8usize);
+        let mut sum = 0;
+        let mut lo = 0;
+        while lo < n {
+            let hi = (lo + nv).min(n);
+            sum += share(total, lo, hi, n);
+            lo = hi;
+        }
+        assert_eq!(sum, total);
+        assert_eq!(share(5, 0, 0, 0), 0);
+    }
+
+    #[test]
+    fn bin_charges_scale_with_products() {
+        let d = dev();
+        let small: Vec<u32> = (0..64u32).collect();
+        let big: Vec<u32> = (0..4096u32).collect();
+        let c = SpgemmConfig::default();
+        let t_small = numeric_tiny(&d, &small, &small, 32, &c).sim_ms;
+        let t_big = numeric_tiny(&d, &big, &big, 2048, &c).sim_ms;
+        assert!(t_big > t_small);
+        let m_small = numeric_mid(&d, &small, &small, 32, 128, &c).sim_ms;
+        let m_big = numeric_mid(&d, &big, &big, 2048, 8192, &c).sim_ms;
+        assert!(m_big > m_small);
+        let h_small = numeric_heavy_reduce(&d, 64, 32, &c).sim_ms;
+        let h_big = numeric_heavy_reduce(&d, 4096, 2048, &c).sim_ms;
+        assert!(h_big > h_small);
     }
 
     #[test]

@@ -68,6 +68,25 @@ pub(crate) struct Request {
     pub deadline: Option<Instant>,
 }
 
+/// A queued SpGEMM request. The operands live on the queue (every pending
+/// request in one queue multiplies the same `(A, B)` pair), so the request
+/// itself is just the handle plus its expiry.
+pub(crate) struct GemmRequest {
+    pub ticket: Ticket,
+    /// Absolute expiry; `None` means no deadline.
+    pub deadline: Option<Instant>,
+}
+
+/// One per distinct `(A, B)` matrix pair with pending SpGEMM work. Keyed
+/// like the SpMV/SpMM queues — pattern fingerprints pick the cached
+/// symbolic plan, `Arc` addresses keep same-pattern pairs with different
+/// values apart.
+pub(crate) struct GemmQueue {
+    pub a: Arc<CsrMatrix>,
+    pub b: Arc<CsrMatrix>,
+    pub pending: VecDeque<GemmRequest>,
+}
+
 /// One per distinct matrix with pending work.
 pub(crate) struct Queue {
     /// The matrix every pending request multiplies. Kept as an `Arc` so
@@ -86,6 +105,7 @@ pub(crate) struct Resolved {
 
 pub(crate) struct Batcher {
     pub queues: HashMap<QueueKey, Queue>,
+    pub gemm_queues: HashMap<(QueueKey, QueueKey), GemmQueue>,
     completed: HashMap<Ticket, Resolved>,
     /// Number of completed [`crate::Engine::flush`] calls; the age unit
     /// for [`Batcher::evict_stale`].
@@ -97,6 +117,7 @@ impl Batcher {
     pub fn new() -> Batcher {
         Batcher {
             queues: HashMap::new(),
+            gemm_queues: HashMap::new(),
             completed: HashMap::new(),
             flush_epoch: 0,
             next_ticket: 0,
@@ -134,6 +155,38 @@ impl Batcher {
         Ok(ticket)
     }
 
+    /// Enqueue an SpGEMM request on the `(A, B)` pair's queue, enforcing
+    /// the per-queue depth limit. The `Overloaded` fingerprint reports
+    /// A's pattern (the queue's primary identity).
+    #[allow(clippy::too_many_arguments)]
+    pub fn submit_gemm(
+        &mut self,
+        fp_a: u64,
+        a: &Arc<CsrMatrix>,
+        fp_b: u64,
+        b: &Arc<CsrMatrix>,
+        deadline: Option<Instant>,
+        max_queue_depth: usize,
+    ) -> Result<Ticket, EngineError> {
+        let key = (QueueKey::of(fp_a, a), QueueKey::of(fp_b, b));
+        let queue = self.gemm_queues.entry(key).or_insert_with(|| GemmQueue {
+            a: Arc::clone(a),
+            b: Arc::clone(b),
+            pending: VecDeque::new(),
+        });
+        if queue.pending.len() >= max_queue_depth {
+            return Err(EngineError::Overloaded {
+                fingerprint: fp_a,
+                queue_depth: queue.pending.len(),
+                limit: max_queue_depth,
+            });
+        }
+        self.next_ticket += 1;
+        let ticket = Ticket(self.next_ticket);
+        queue.pending.push_back(GemmRequest { ticket, deadline });
+        Ok(ticket)
+    }
+
     /// Record a request's outcome, redeemable via
     /// [`crate::Engine::take_result`] until aged out.
     pub fn complete(&mut self, ticket: Ticket, result: Result<EngineOutput, EngineError>) {
@@ -156,6 +209,10 @@ impl Batcher {
         self.queues
             .values()
             .any(|q| q.pending.iter().any(|r| r.ticket == ticket))
+            || self
+                .gemm_queues
+                .values()
+                .any(|q| q.pending.iter().any(|r| r.ticket == ticket))
     }
 
     /// Close out a flush: advance the epoch and drop unclaimed results
@@ -175,8 +232,18 @@ impl Batcher {
         self.queues.get(&key).map_or(0, |q| q.pending.len())
     }
 
-    /// Total requests waiting across all queues.
+    /// SpGEMM requests waiting on one `(A, B)` pair's queue.
+    pub fn gemm_depth(&self, key: (QueueKey, QueueKey)) -> usize {
+        self.gemm_queues.get(&key).map_or(0, |q| q.pending.len())
+    }
+
+    /// Total requests waiting across all queues (SpMV/SpMM and SpGEMM).
     pub fn total_pending(&self) -> usize {
-        self.queues.values().map(|q| q.pending.len()).sum()
+        self.queues.values().map(|q| q.pending.len()).sum::<usize>()
+            + self
+                .gemm_queues
+                .values()
+                .map(|q| q.pending.len())
+                .sum::<usize>()
     }
 }

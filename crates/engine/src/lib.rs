@@ -104,18 +104,20 @@ use pool::WorkspacePool;
 /// Typed result redeemed from a ticket: vector submissions
 /// ([`Engine::submit_spmv`]) resolve to `Vector`, block submissions
 /// ([`Engine::submit_spmm`]) to `Block` — regardless of how the flush
-/// grouped them into traversals.
+/// grouped them into traversals — and SpGEMM submissions
+/// ([`Engine::submit_spgemm`]) to `Matrix`.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EngineOutput {
     Vector(Vec<f64>),
     Block(DenseBlock),
+    Matrix(CsrMatrix),
 }
 
 impl EngineOutput {
     /// Unwrap a vector result.
     ///
     /// # Panics
-    /// Panics if the output is a dense block.
+    /// Panics if the output is a dense block or a sparse matrix.
     pub fn into_vector(self) -> Vec<f64> {
         match self {
             EngineOutput::Vector(v) => v,
@@ -123,17 +125,35 @@ impl EngineOutput {
                 "engine output is a {}-column dense block, not a vector",
                 b.cols
             ),
+            EngineOutput::Matrix(_) => panic!("engine output is a sparse matrix, not a vector"),
         }
     }
 
     /// Unwrap a dense-block result.
     ///
     /// # Panics
-    /// Panics if the output is a vector.
+    /// Panics if the output is a vector or a sparse matrix.
     pub fn into_block(self) -> DenseBlock {
         match self {
             EngineOutput::Block(b) => b,
             EngineOutput::Vector(_) => panic!("engine output is a vector, not a dense block"),
+            EngineOutput::Matrix(_) => {
+                panic!("engine output is a sparse matrix, not a dense block")
+            }
+        }
+    }
+
+    /// Unwrap a sparse-matrix result ([`Engine::submit_spgemm`]).
+    ///
+    /// # Panics
+    /// Panics if the output is a vector or a dense block.
+    pub fn into_matrix(self) -> CsrMatrix {
+        match self {
+            EngineOutput::Matrix(m) => m,
+            EngineOutput::Vector(_) => panic!("engine output is a vector, not a sparse matrix"),
+            EngineOutput::Block(_) => {
+                panic!("engine output is a dense block, not a sparse matrix")
+            }
         }
     }
 }
@@ -491,33 +511,21 @@ impl Engine {
         }
     }
 
-    /// Cached SpGEMM plan for the pattern pair `(a, b)`.
+    /// Cached SpGEMM plan for the pattern pair `(a, b)`. A miss builds
+    /// (and charges) the symbolic half only; numeric replay cost is
+    /// charged per execution.
     pub fn spgemm_plan(&self, a: &CsrMatrix, b: &CsrMatrix) -> Arc<SpgemmPlan> {
-        let key = PlanKey::Spgemm {
-            a: a.pattern_fingerprint(),
-            b: b.pattern_fingerprint(),
-        };
-        let mut inner = self.inner.lock();
-        inner.maybe_cache_storm(&self.cfg.chaos);
-        let l = inner.cache.get_or_insert_with(key, || {
-            CachedPlan::Spgemm(Arc::new(SpgemmPlan::new(
-                &self.device,
-                a,
-                b,
-                &self.cfg.spgemm,
-            )))
-        });
-        record_lookup(&mut inner.stats, l.hit, l.evicted);
-        match l.plan {
-            CachedPlan::Spgemm(p) => {
-                if !l.hit {
-                    inner.stats.plan_build_sim_ms += p.phases().total();
-                    inner.stats.phases.merge(p.ledger());
-                }
-                p
-            }
-            _ => unreachable!("Spgemm key holds Spgemm plan"),
-        }
+        let fp_a = a.pattern_fingerprint();
+        let fp_b = b.pattern_fingerprint();
+        spgemm_plan_locked(
+            &self.device,
+            &self.cfg,
+            &mut self.inner.lock(),
+            fp_a,
+            fp_b,
+            a,
+            b,
+        )
     }
 
     // ---- direct (unbatched) execution -----------------------------------
@@ -564,19 +572,20 @@ impl Engine {
         result
     }
 
-    /// Execute `a · b` through the cached two-level-sort plan. (Callers
-    /// that want the zero-alloc value-only replay should pair
-    /// [`Engine::spgemm_plan`] with a checked-out workspace and
-    /// `execute_into` themselves; this convenience path assembles a full
-    /// result matrix.)
+    /// Execute `a · b` through the cached symbolic plan: the first call on
+    /// a pattern pair builds (and charges) the symbolic half, every call
+    /// pays only the bin-adaptive numeric replay. (Callers that want the
+    /// zero-alloc value-only replay should pair [`Engine::spgemm_plan`]
+    /// with `execute_numeric` themselves; this convenience path assembles
+    /// a full result matrix.)
     pub fn spgemm(&self, a: &CsrMatrix, b: &CsrMatrix) -> SpgemmResult {
         let plan = self.spgemm_plan(a, b);
+        let t0 = Instant::now();
         let result = plan.execute(&self.device, a, b);
+        let host = t0.elapsed();
         let mut inner = self.inner.lock();
         inner.stats.requests += 1;
-        inner.stats.exec_sim_ms += result.phases.total();
-        inner.stats.totals.add(&result.stats.totals);
-        inner.stats.phases.merge(plan.ledger());
+        charge_spgemm_exec(&mut inner.stats, &plan, host);
         result
     }
 
@@ -661,6 +670,65 @@ impl Engine {
         }
     }
 
+    /// Queue an SpGEMM request `a · b` for the next [`Engine::flush`].
+    ///
+    /// Requests queue per `(A, B)` matrix pair — the pattern-fingerprint
+    /// pair picks the cached symbolic plan ([`PlanKey::Spgemm`]), and the
+    /// `Arc` identities keep same-pattern pairs with different values on
+    /// separate queues. In a repeated-pattern steady state (AMG-style
+    /// re-multiplication after value updates) every flush serves the
+    /// request as a numeric-only replay of the cached symbolic plan; the
+    /// result redeems as [`EngineOutput::Matrix`].
+    ///
+    /// Deadline and backpressure semantics match [`Engine::submit_spmv`].
+    ///
+    /// # Panics
+    /// Panics if `a.num_cols != b.num_rows`.
+    pub fn submit_spgemm(
+        &self,
+        a: &Arc<CsrMatrix>,
+        b: &Arc<CsrMatrix>,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, EngineError> {
+        assert_eq!(a.num_cols, b.num_rows, "inner dimension mismatch");
+        let mut inner = self.inner.lock();
+        let fp_a = inner.fingerprint_of(a);
+        let fp_b = inner.fingerprint_of(b);
+        if inner.chaos.roll(self.cfg.chaos.reject_submit_p) {
+            let queue_depth = inner
+                .batcher
+                .gemm_depth((QueueKey::of(fp_a, a), QueueKey::of(fp_b, b)));
+            inner.stats.chaos.forced_rejections += 1;
+            inner.stats.rejected_overload += 1;
+            return Err(EngineError::Overloaded {
+                fingerprint: fp_a,
+                queue_depth,
+                limit: self.cfg.max_queue_depth,
+            });
+        }
+        let deadline = deadline.map(|d| Instant::now() + d);
+        match inner
+            .batcher
+            .submit_gemm(fp_a, a, fp_b, b, deadline, self.cfg.max_queue_depth)
+        {
+            Ok(t) => Ok(t),
+            Err(e) => {
+                inner.stats.rejected_overload += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// SpGEMM requests currently queued behind one `(A, B)` pair.
+    pub fn spgemm_queue_depth(&self, a: &Arc<CsrMatrix>, b: &Arc<CsrMatrix>) -> usize {
+        let mut inner = self.inner.lock();
+        let fp_a = inner.fingerprint_of(a);
+        let fp_b = inner.fingerprint_of(b);
+        inner
+            .batcher
+            .gemm_depth((QueueKey::of(fp_a, a), QueueKey::of(fp_b, b)))
+    }
+
     /// Requests currently queued (all fingerprints).
     pub fn pending_requests(&self) -> usize {
         self.inner.lock().batcher.total_pending()
@@ -690,6 +758,11 @@ impl Engine {
     /// pipeline: while group *i*'s (draw-free) numeric replay runs, group
     /// *i+1*'s operand columns are interleaved into the spare scratch
     /// block, hiding assembly cost behind execution.
+    ///
+    /// SpGEMM submissions ([`Engine::submit_spgemm`]) drain last, after
+    /// the SpMV/SpMM pipeline: each resolves as a numeric-only replay of
+    /// the cached symbolic plan (built and charged on first sight of the
+    /// pattern pair).
     pub fn flush(&self) -> usize {
         let mut guard = self.inner.lock();
         let inner = &mut *guard;
@@ -761,6 +834,58 @@ impl Engine {
         }
         execute_pipelined(inner, prepared);
         inner.batcher.queues.retain(|_, q| !q.pending.is_empty());
+        // SpGEMM queues drain after the SpMV/SpMM pipeline, one numeric
+        // replay per request against the cached symbolic plan. Chaos draws
+        // (cache storm at lookup, forced expiry per deadline-carrying
+        // request) are consumed here only when SpGEMM work is actually
+        // queued, so the fault stream of pure SpMV/SpMM workloads replays
+        // unchanged.
+        let gemm_keys: Vec<(QueueKey, QueueKey)> =
+            inner.batcher.gemm_queues.keys().copied().collect();
+        for key in gemm_keys {
+            let (a, b) = {
+                let q = &inner.batcher.gemm_queues[&key];
+                (Arc::clone(&q.a), Arc::clone(&q.b))
+            };
+            while let Some(req) = inner
+                .batcher
+                .gemm_queues
+                .get_mut(&key)
+                .and_then(|q| q.pending.pop_front())
+            {
+                let forced =
+                    req.deadline.is_some() && inner.chaos.roll(self.cfg.chaos.deadline_expiry_p);
+                if forced {
+                    inner.stats.chaos.forced_deadline_expiries += 1;
+                }
+                if req.deadline.is_some_and(|d| now >= d) || forced {
+                    inner.stats.rejected_deadline += 1;
+                    inner
+                        .batcher
+                        .complete(req.ticket, Err(EngineError::DeadlineExceeded));
+                    resolved += 1;
+                    continue;
+                }
+                let plan = spgemm_plan_locked(
+                    &self.device,
+                    &self.cfg,
+                    inner,
+                    key.0.fingerprint,
+                    key.1.fingerprint,
+                    &a,
+                    &b,
+                );
+                let t0 = Instant::now();
+                let c = plan.execute_matrix(&a, &b);
+                inner.stats.requests += 1;
+                charge_spgemm_exec(&mut inner.stats, &plan, t0.elapsed());
+                inner
+                    .batcher
+                    .complete(req.ticket, Ok(EngineOutput::Matrix(c)));
+                resolved += 1;
+            }
+            inner.batcher.gemm_queues.remove(&key);
+        }
         inner.stats.results_evicted += inner.batcher.evict_stale(self.cfg.result_ttl_flushes);
         resolved
     }
@@ -842,6 +967,56 @@ fn charge_spadd_phases(stats: &mut EngineStats, plan: &SpAddPlan) {
     stats
         .phases
         .charge(Phase::Fill, u.fill.sim_ms, u.fill.totals.dram_bytes());
+}
+
+/// Accumulate one executed SpGEMM numeric replay (a value-only pass over
+/// a cached symbolic plan) into the split counters, totals, and ledger.
+fn charge_spgemm_exec(stats: &mut EngineStats, plan: &SpgemmPlan, host: Duration) {
+    let ms = plan.numeric_ms();
+    stats.exec_sim_ms += ms;
+    stats.spgemm_numeric_execs += 1;
+    stats.spgemm_numeric_sim_ms += ms;
+    stats.spgemm_numeric_host_ms += host.as_secs_f64() * 1e3;
+    stats.totals.add(&plan.numeric_launch_stats().totals);
+    stats.phases.merge(plan.numeric_ledger());
+}
+
+/// Cache lookup for an SpGEMM symbolic plan keyed on the pattern-
+/// fingerprint pair. A miss builds the plan (host wall-clock timed) and
+/// charges only the symbolic half — setup, block sort, global sort, CSR
+/// assembly — to `plan_build_sim_ms` and the ledger; the numeric side is
+/// charged per execution by [`charge_spgemm_exec`].
+fn spgemm_plan_locked(
+    device: &Device,
+    cfg: &EngineConfig,
+    inner: &mut Inner,
+    fp_a: u64,
+    fp_b: u64,
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+) -> Arc<SpgemmPlan> {
+    inner.maybe_cache_storm(&cfg.chaos);
+    let t0 = Instant::now();
+    let l = inner
+        .cache
+        .get_or_insert_with(PlanKey::Spgemm { a: fp_a, b: fp_b }, || {
+            CachedPlan::Spgemm(Arc::new(SpgemmPlan::new(device, a, b, &cfg.spgemm)))
+        });
+    record_lookup(&mut inner.stats, l.hit, l.evicted);
+    match l.plan {
+        CachedPlan::Spgemm(p) => {
+            if !l.hit {
+                inner.stats.plan_build_sim_ms += p.symbolic_ms();
+                inner.stats.spgemm_symbolic_builds += 1;
+                inner.stats.spgemm_symbolic_sim_ms += p.symbolic_ms();
+                inner.stats.spgemm_symbolic_host_ms += t0.elapsed().as_secs_f64() * 1e3;
+                inner.stats.totals.add(&p.symbolic_launch_stats().totals);
+                inner.stats.phases.merge(p.symbolic_ledger());
+            }
+            p
+        }
+        _ => unreachable!("Spgemm key holds Spgemm plan"),
+    }
 }
 
 fn spmv_plan_locked(
@@ -1481,6 +1656,7 @@ mod tests {
             e.submit_spmv(&a, operand(a.num_cols, s), None)
                 .expect("admitted");
         }
+        e.submit_spgemm(&a, &b, None).expect("admitted");
         e.flush();
         let s = e.stats();
         let ledger_ms = s.phases.total_ms();
@@ -1492,8 +1668,113 @@ mod tests {
         assert!(s.phases.phase_ms(Phase::Partition) > 0.0);
         assert!(s.phases.phase_ms(Phase::Reduction) > 0.0);
         assert!(s.phases.phase_ms(Phase::TileTraversal) > 0.0);
-        assert!(s.phases.phase_ms(Phase::ProductCompute) > 0.0);
+        // These ~20-product rows land in the mid (hash) bin, so the
+        // numeric SpGEMM time shows up there rather than in the heavy
+        // two-pass phases.
+        assert!(s.phases.phase_ms(Phase::NumericMid) > 0.0);
+        assert!(s.phases.phase_ms(Phase::Setup) > 0.0);
         assert!(s.render().contains("% of total"));
+    }
+
+    #[test]
+    fn submit_spgemm_matches_direct_bitwise() {
+        let e = Engine::new(&device());
+        let a = matrix();
+        let b = Arc::new(gen::random_uniform(300, 280, 6.0, 2.0, 23));
+        let want = e.spgemm(&a, &b);
+        let t = e.submit_spgemm(&a, &b, None).expect("admitted");
+        assert_eq!(e.spgemm_queue_depth(&a, &b), 1);
+        assert_eq!(e.take_result(t), Err(EngineError::NotReady(t.0)));
+        assert_eq!(e.flush(), 1);
+        let got = e.take_result(t).expect("completed").into_matrix();
+        assert_eq!(got, want.c, "flushed SpGEMM must be bitwise identical");
+        let s = e.stats();
+        assert_eq!(s.spgemm_symbolic_builds, 1, "one symbolic build shared");
+        assert_eq!(s.spgemm_numeric_execs, 2);
+        assert_eq!((s.cache_misses, s.cache_hits), (1, 1));
+    }
+
+    #[test]
+    fn repeated_pattern_spgemm_reaches_full_cache_hit_rate() {
+        // AMG-style serving loop: the pattern pair is fixed, the values
+        // change every round. After warm-up the engine must serve every
+        // round as a numeric-only replay — 100% symbolic-cache hit rate,
+        // zero symbolic builds — and say so in the rendered stats.
+        let e = Engine::new(&device());
+        let a0 = gen::random_uniform(200, 200, 6.0, 2.0, 31);
+        let b0 = gen::random_uniform(200, 200, 5.0, 2.0, 32);
+        let warm = e
+            .submit_spgemm(&Arc::new(a0.clone()), &Arc::new(b0.clone()), None)
+            .expect("admitted");
+        e.flush();
+        e.take_result(warm).expect("warmed");
+        e.reset_stats();
+
+        let rounds = 5;
+        for round in 0..rounds {
+            let mut a = a0.clone();
+            for (i, v) in a.values.iter_mut().enumerate() {
+                *v = 0.5 + ((i + round) % 9) as f64;
+            }
+            let (a, b) = (Arc::new(a), Arc::new(b0.clone()));
+            let t = e.submit_spgemm(&a, &b, None).expect("admitted");
+            assert_eq!(e.flush(), 1);
+            let got = e.take_result(t).expect("completed").into_matrix();
+            let fresh = mps_core::merge_spgemm(&device(), &a, &b, &e.config().spgemm);
+            assert_eq!(got, fresh.c, "replay must match a fresh one-shot");
+        }
+
+        let s = e.stats();
+        assert_eq!(s.cache_misses, 0, "steady state never rebuilds");
+        assert_eq!(s.cache_hits, rounds as u64);
+        assert!((s.cache_hit_rate() - 1.0).abs() < 1e-15);
+        assert_eq!(s.spgemm_symbolic_builds, 0);
+        assert_eq!(s.spgemm_numeric_execs, rounds as u64);
+        assert!(s.spgemm_numeric_sim_ms > 0.0);
+        assert_eq!(s.spgemm_symbolic_sim_ms, 0.0);
+        let r = s.render();
+        assert!(r.contains("100.0% hit rate"), "{r}");
+        assert!(r.contains("0 symbolic builds / 5 numeric execs"), "{r}");
+    }
+
+    #[test]
+    fn spgemm_deadline_expires_to_typed_error() {
+        let e = Engine::new(&device());
+        let a = matrix();
+        let b = Arc::new(gen::random_uniform(300, 300, 5.0, 2.0, 37));
+        let t_expired = e
+            .submit_spgemm(&a, &b, Some(Duration::ZERO))
+            .expect("admitted");
+        let t_live = e
+            .submit_spgemm(&a, &b, Some(Duration::from_secs(3600)))
+            .expect("admitted");
+        assert_eq!(e.flush(), 2);
+        assert_eq!(e.take_result(t_expired), Err(EngineError::DeadlineExceeded));
+        assert!(e.take_result(t_live).is_ok());
+        assert_eq!(e.stats().rejected_deadline, 1);
+    }
+
+    #[test]
+    fn spgemm_queue_backpressure_rejects_with_overloaded() {
+        let cfg = EngineConfig {
+            max_queue_depth: 2,
+            ..EngineConfig::default()
+        };
+        let e = Engine::with_config(&device(), cfg);
+        let a = matrix();
+        let b = Arc::new(gen::random_uniform(300, 300, 5.0, 2.0, 41));
+        e.submit_spgemm(&a, &b, None).expect("admitted");
+        e.submit_spgemm(&a, &b, None).expect("admitted");
+        match e.submit_spgemm(&a, &b, None) {
+            Err(EngineError::Overloaded {
+                queue_depth, limit, ..
+            }) => assert_eq!((queue_depth, limit), (2, 2)),
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert_eq!(e.stats().rejected_overload, 1);
+        assert_eq!(e.pending_requests(), 2);
+        e.flush();
+        e.submit_spgemm(&a, &b, None).expect("admitted after flush");
     }
 
     #[test]

@@ -42,6 +42,23 @@ pub struct EngineStats {
     pub plan_build_sim_ms: f64,
     /// Simulated milliseconds of executed numeric phases.
     pub exec_sim_ms: f64,
+    /// SpGEMM symbolic plans built (pattern-pair cache misses). In a
+    /// repeated-pattern steady state this stays at its warm-up value
+    /// while [`EngineStats::spgemm_numeric_execs`] keeps climbing.
+    pub spgemm_symbolic_builds: u64,
+    /// SpGEMM numeric executions served (direct calls plus flushed
+    /// submissions) — each one a value-only replay of a cached plan.
+    pub spgemm_numeric_execs: u64,
+    /// Simulated milliseconds of SpGEMM symbolic builds (also counted in
+    /// [`EngineStats::plan_build_sim_ms`]).
+    pub spgemm_symbolic_sim_ms: f64,
+    /// Simulated milliseconds of SpGEMM numeric replays (also counted in
+    /// [`EngineStats::exec_sim_ms`]).
+    pub spgemm_numeric_sim_ms: f64,
+    /// Host wall-clock milliseconds spent building SpGEMM symbolic plans.
+    pub spgemm_symbolic_host_ms: f64,
+    /// Host wall-clock milliseconds spent in SpGEMM numeric replays.
+    pub spgemm_numeric_host_ms: f64,
     /// Simt counters summed over executed numeric phases, including
     /// `dram_wide_bytes` from column-tiled batched traversals.
     pub totals: Counters,
@@ -130,6 +147,17 @@ impl EngineStats {
             "sim time      {:.3} ms exec + {:.3} ms plan build\n",
             self.exec_sim_ms, self.plan_build_sim_ms,
         ));
+        if self.spgemm_symbolic_builds + self.spgemm_numeric_execs > 0 {
+            out.push_str(&format!(
+                "spgemm        {} symbolic builds / {} numeric execs, symbolic {:.3} ms sim ({:.3} ms host), numeric {:.3} ms sim ({:.3} ms host)\n",
+                self.spgemm_symbolic_builds,
+                self.spgemm_numeric_execs,
+                self.spgemm_symbolic_sim_ms,
+                self.spgemm_symbolic_host_ms,
+                self.spgemm_numeric_sim_ms,
+                self.spgemm_numeric_host_ms,
+            ));
+        }
         out.push_str(&format!(
             "dram          {} B read, {} B written, {} B wide, {} transactions\n",
             self.totals.dram_read_bytes,

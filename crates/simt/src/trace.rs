@@ -3,7 +3,8 @@
 //! Enable with [`crate::Device::with_tracing`]; every named launch appends
 //! a [`KernelRecord`]. Each record carries a [`Phase`] label so composite
 //! operations can be broken down the way the paper's figures are: SpMV's
-//! partition/reduction/update, SpGEMM's six phases, and so on. The
+//! partition/reduction/update, SpGEMM's symbolic/numeric phases, and so
+//! on. The
 //! per-kernel report is the `nvprof`-style breakdown used by `mps trace`;
 //! [`Tracer::phase_report`] is the phase-attributed view.
 
@@ -16,9 +17,10 @@ use parking_lot::Mutex;
 ///
 /// The variants cover the phase taxonomy of all four core kernels plus the
 /// solvers' BLAS-1 traffic; launches outside any span are
-/// [`Phase::Unattributed`]. The SpGEMM variants reproduce the paper's six
-/// Fig. 9 legend entries exactly (Setup, Block Sort, Global Sort, Product
-/// Compute, Product Reduce, Other).
+/// [`Phase::Unattributed`]. The SpGEMM variants cover the paper's six
+/// Fig. 9 legend entries (Setup, Block Sort, Global Sort, Product
+/// Compute, Product Reduce, Other) plus the two bin-adaptive numeric
+/// passes of the symbolic/numeric split (Tiny Scatter, Mid Hash).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Phase {
     /// Launch outside any phase span.
@@ -50,6 +52,11 @@ pub enum Phase {
     ProductCompute,
     /// SpGEMM duplicate reduction.
     ProductReduce,
+    /// SpGEMM numeric pass over tiny-binned rows (dense-accumulator
+    /// scatter, à la OpSparse's smallest bins).
+    NumericTiny,
+    /// SpGEMM numeric pass over mid-binned rows (hash-based reduction).
+    NumericMid,
     /// SpGEMM remaining work (CSR assembly).
     Other,
     /// Solver BLAS-1 streaming ops (dot/axpy/norm and block variants).
@@ -58,7 +65,7 @@ pub enum Phase {
 
 impl Phase {
     /// Number of phase variants (ledger array size).
-    pub const COUNT: usize = 16;
+    pub const COUNT: usize = 18;
 
     /// All variants in ledger order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -76,6 +83,8 @@ impl Phase {
         Phase::GlobalSort,
         Phase::ProductCompute,
         Phase::ProductReduce,
+        Phase::NumericTiny,
+        Phase::NumericMid,
         Phase::Other,
         Phase::Blas1,
     ];
@@ -103,6 +112,8 @@ impl Phase {
             Phase::GlobalSort => "Global Sort",
             Phase::ProductCompute => "Product Compute",
             Phase::ProductReduce => "Product Reduce",
+            Phase::NumericTiny => "Tiny Scatter",
+            Phase::NumericMid => "Mid Hash",
             Phase::Other => "Other",
             Phase::Blas1 => "BLAS-1",
         }

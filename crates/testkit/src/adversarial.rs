@@ -98,6 +98,28 @@ pub fn heavy_power_law(rows: usize, cols: usize, seed: u64) -> CsrMatrix {
     gen::power_law(rows, cols, 1, 1.05, cols, seed)
 }
 
+/// Per-row SpGEMM product counts pinned to the bin-adaptive thresholds.
+/// Every column is used exactly once across the matrix, so with
+/// `B = Aᵀ` each of row `i`'s entries multiplies a unit-count column of
+/// `A`: row `i` of `A·B` generates exactly `row_len(i)` intermediate
+/// products. The ladder's row lengths sit at, just below, and just above
+/// the default tiny (32) and mid (512) bin bounds, plus an empty row and
+/// a heavy tail row — so the tiny, mid, and heavy numeric paths all run,
+/// each with a row exactly on its boundary.
+pub fn bin_threshold_ladder() -> CsrMatrix {
+    let lens: [usize; 9] = [0, 1, 31, 32, 33, 511, 512, 513, 600];
+    let cols: usize = lens.iter().sum();
+    let mut coo = CooMatrix::new(lens.len(), cols);
+    let mut next = 0u32;
+    for (r, &len) in lens.iter().enumerate() {
+        for _ in 0..len {
+            coo.push(r as u32, next, value_for(r, next));
+            next += 1;
+        }
+    }
+    coo.to_csr()
+}
+
 /// Duplicate-saturated COO: every logical entry appears `copies` times
 /// with different partial values, in scrambled order. Canonicalization
 /// (sort + sum) must recover exactly one entry per coordinate; this is the
@@ -174,6 +196,17 @@ pub fn suite(scale: Scale) -> Vec<(String, CsrMatrix)> {
         ),
         (format!("one-dense-row {n}x{n}"), one_dense_row(n, n, 2, 13)),
         (
+            // Transposing puts the hotspot in a column of A — i.e. a
+            // dense *row* of the SpGEMM operand B = Aᵀ.
+            format!("one-dense-col {n}x{n}"),
+            one_dense_row(n, n, 2, 18).transpose(),
+        ),
+        (
+            "bin-threshold ladder 9-row".to_string(),
+            bin_threshold_ladder(),
+        ),
+        ("all-empty-rows 40x23".to_string(), CsrMatrix::zeros(40, 23)),
+        (
             format!("heavy-power-law {plaw_rows}x{plaw_rows}"),
             heavy_power_law(plaw_rows, plaw_rows, 14),
         ),
@@ -216,6 +249,21 @@ mod tests {
         m.validate().expect("well-formed");
         assert_eq!(m.row_len(25), 50);
         assert!((0..50).filter(|&r| m.row_len(r) == 50).count() == 1);
+    }
+
+    #[test]
+    fn bin_threshold_ladder_rows_have_the_pinned_lengths() {
+        let m = bin_threshold_ladder();
+        m.validate().expect("well-formed");
+        let lens: Vec<usize> = (0..m.num_rows).map(|r| m.row_len(r)).collect();
+        assert_eq!(lens, vec![0, 1, 31, 32, 33, 511, 512, 513, 600]);
+        // Every column used exactly once, so products(row) == row_len.
+        let mut seen = vec![false; m.num_cols];
+        for &c in &m.col_idx {
+            assert!(!seen[c as usize], "column {c} reused");
+            seen[c as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
     }
 
     #[test]

@@ -156,6 +156,7 @@ impl Oracle {
             self.check_spmm(name, m, &mut report);
             self.check_spadd(name, m, &mut report);
             self.check_spgemm(name, m, &mut report);
+            self.check_spgemm_repattern(name, m, &mut report);
         }
         report
     }
@@ -330,6 +331,70 @@ impl Oracle {
         check_csr_bitwise(report, case, K, "engine direct", &engine_out, &anchor);
     }
 
+    /// Repeated-pattern numeric re-execution (as `A · Aᵀ`): build the
+    /// symbolic plan once, then for several rounds overwrite the operand
+    /// values (same pattern, fresh magnitudes) and replay numerically.
+    /// Each round's replay must be bitwise identical to a from-scratch
+    /// one-shot on the mutated operands, across the plan's `execute_matrix`
+    /// and `execute_numeric` paths and the engine's submitted path; every
+    /// other SpGEMM family re-runs against the sequential reference within
+    /// [`REL_TOL`].
+    pub fn check_spgemm_repattern(
+        &self,
+        case: &str,
+        a: &CsrMatrix,
+        report: &mut ConformanceReport,
+    ) {
+        const K: &str = "spgemm-repattern";
+        let b = a.transpose();
+        let plan = SpgemmPlan::new(&self.device, a, &b, &SpgemmConfig::default());
+        for round in 1..=2usize {
+            let a2 = remix_values(a, round);
+            let b2 = remix_values(&b, round + 7);
+            let want = ops::spgemm_ref(&a2, &b2);
+            let anchor = merge_spgemm(&self.device, &a2, &b2, &SpgemmConfig::default()).c;
+            check_csr_rel(report, case, K, "merge one-shot vs ref", &anchor, &want);
+
+            let replay = plan.execute_matrix(&a2, &b2);
+            check_csr_bitwise(report, case, K, "numeric replay", &replay, &anchor);
+
+            let mut values = Vec::new();
+            plan.execute_numeric(&a2, &b2, &mut values);
+            let flat = CsrMatrix {
+                values,
+                ..replay.clone()
+            };
+            check_csr_bitwise(report, case, K, "execute_numeric into", &flat, &anchor);
+
+            let segmented = segmented_spgemm(&self.device, &a2, &b2, &SpgemmConfig::default()).c;
+            check_csr_rel(report, case, K, "segmented row-wise", &segmented, &want);
+            let (esc, _) = cusp::spgemm_esc(&self.device, &a2, &b2);
+            check_csr_rel(report, case, K, "cusp esc", &esc, &want);
+            let (hash, _) = cusparse_like::spgemm(&self.device, &a2, &b2);
+            check_csr_rel(report, case, K, "cusparse-like hash", &hash, &want);
+            let (host, _) = cpu::spgemm(&cpu::CpuModel::i7_3820(), &a2, &b2);
+            check_csr_rel(report, case, K, "cpu model", &host, &want);
+
+            match self.engine_submitted_spgemm(&a2, &b2) {
+                Ok(c) => check_csr_bitwise(report, case, K, "engine submitted", &c, &anchor),
+                Err(e) => report.diverge(case, K, "engine submitted", e),
+            }
+        }
+    }
+
+    fn engine_submitted_spgemm(&self, a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix, String> {
+        let ticket = self
+            .engine
+            .submit_spgemm(&Arc::new(a.clone()), &Arc::new(b.clone()), None)
+            .map_err(|e| format!("submit failed: {e}"))?;
+        self.engine.flush();
+        match self.engine.take_result(ticket) {
+            Ok(EngineOutput::Matrix(c)) => Ok(c),
+            Ok(other) => Err(format!("matrix request returned {}", output_kind(&other))),
+            Err(e) => Err(format!("take_result failed: {e}")),
+        }
+    }
+
     /// Duplicate-tolerant COO conversion against a naive map-based oracle:
     /// structure exact, duplicate sums within [`REL_TOL`] (the two paths
     /// may fold duplicates in different orders).
@@ -360,7 +425,7 @@ impl Oracle {
         self.engine.flush();
         match self.engine.take_result(ticket) {
             Ok(EngineOutput::Vector(y)) => Ok(y),
-            Ok(EngineOutput::Block(_)) => Err("vector request returned a block".to_string()),
+            Ok(other) => Err(format!("vector request returned {}", output_kind(&other))),
             Err(e) => Err(format!("take_result failed: {e}")),
         }
     }
@@ -374,10 +439,29 @@ impl Oracle {
         self.engine.flush();
         match self.engine.take_result(ticket) {
             Ok(EngineOutput::Block(y)) => Ok(y),
-            Ok(EngineOutput::Vector(_)) => Err("block request returned a vector".to_string()),
+            Ok(other) => Err(format!("block request returned {}", output_kind(&other))),
             Err(e) => Err(format!("take_result failed: {e}")),
         }
     }
+}
+
+fn output_kind(out: &EngineOutput) -> &'static str {
+    match out {
+        EngineOutput::Vector(_) => "a vector",
+        EngineOutput::Block(_) => "a block",
+        EngineOutput::Matrix(_) => "a matrix",
+    }
+}
+
+/// Same pattern, fresh values: deterministic per-slot overwrite keyed on
+/// the mutation round, so repeated-pattern rounds genuinely change every
+/// stored value while the sparsity structure stays put.
+fn remix_values(m: &CsrMatrix, round: usize) -> CsrMatrix {
+    let mut out = m.clone();
+    for (i, v) in out.values.iter_mut().enumerate() {
+        *v = 0.75 + ((i * 11 + round * 29) % 23) as f64 * 0.125;
+    }
+    out
 }
 
 /// Deterministic probe operand: O(1) positive values, no zeros.
@@ -667,6 +751,49 @@ mod tests {
             oracle.check_coo(&format!("dup seed {seed}"), &coo, &mut report);
         }
         assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn bin_threshold_ladder_lands_a_row_in_every_bin() {
+        // With B = Aᵀ and every column of A used once, products(row) ==
+        // row_len: the ladder's lengths [0, 1, 31, 32, 33, 511, 512,
+        // 513, 600] split 4/3/2 across the default tiny(≤32) / mid(≤512)
+        // / heavy bins, with a row exactly on each inclusive bound.
+        let a = adversarial::bin_threshold_ladder();
+        let b = a.transpose();
+        let plan = SpgemmPlan::new(&Device::titan(), &a, &b, &SpgemmConfig::default());
+        let bins = plan.bin_summary();
+        assert_eq!(bins.tiny_rows, 4);
+        assert_eq!(bins.mid_rows, 3);
+        assert_eq!(bins.heavy_rows, 2);
+        assert_eq!(bins.tiny_products, 64);
+        assert_eq!(bins.mid_products, 33 + 511 + 512);
+        assert_eq!(bins.heavy_products, 513 + 600);
+
+        let oracle = Oracle::new(&Device::titan());
+        let mut report = ConformanceReport::default();
+        oracle.check_spgemm("ladder", &a, &mut report);
+        oracle.check_spgemm_repattern("ladder", &a, &mut report);
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn repattern_sweep_is_clean_on_hostile_shapes() {
+        let oracle = Oracle::new(&Device::titan());
+        let mut report = ConformanceReport::default();
+        let cases = [
+            ("all-empty", CsrMatrix::zeros(40, 23)),
+            (
+                "one-dense-col",
+                adversarial::one_dense_row(60, 60, 2, 18).transpose(),
+            ),
+            ("power-law", adversarial::heavy_power_law(120, 120, 14)),
+        ];
+        for (name, m) in &cases {
+            oracle.check_spgemm_repattern(name, m, &mut report);
+        }
+        assert!(report.is_clean(), "{}", report.render());
+        assert!(report.checks >= cases.len() as u64 * 2 * 8);
     }
 
     #[test]

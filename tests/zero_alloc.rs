@@ -7,18 +7,28 @@
 //! The whole audit lives in one `#[test]` because rayon's worker threads
 //! (and the test harness itself) allocate on their own schedule; the
 //! simulated kernels are only used at *plan build* here, and the measured
-//! region is the pure host numeric loop, which is single-threaded.
+//! region is the pure host numeric loop, which is single-threaded. The
+//! counter is therefore **per-thread**: the libtest harness's main thread
+//! blocks on an mpmc channel whose waker machinery allocates at its own
+//! pace, and a process-global counter picks that up as spurious flakes.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 
 struct CountingAlloc;
 
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn count_one() {
+    // `try_with` so allocation during TLS teardown cannot panic.
+    let _ = ALLOCATIONS.try_with(|n| n.set(n.get() + 1));
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         System.alloc(layout)
     }
 
@@ -27,7 +37,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -36,7 +46,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static GLOBAL: CountingAlloc = CountingAlloc;
 
 fn allocations() -> u64 {
-    ALLOCATIONS.load(Ordering::Relaxed)
+    ALLOCATIONS.with(|n| n.get())
 }
 
 #[test]
