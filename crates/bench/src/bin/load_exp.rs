@@ -1,0 +1,41 @@
+//! Closed-loop load-harness driver for the sharded serving service:
+//! multi-threaded closed-loop latency/throughput, open-loop fairness
+//! under overload, and simulated-time shard scaling. Writes
+//! `BENCH_load.json` at the repository root (`-o PATH` overrides;
+//! `--tiny` runs the fast CI smoke configuration, which still writes the
+//! artifact so the CI gate can check it).
+
+use std::path::PathBuf;
+
+use mps_bench::load_exp;
+use mps_simt::Device;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let tiny = args.iter().any(|a| a == "--tiny");
+    let out = args
+        .iter()
+        .position(|a| a == "-o")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_load.json"));
+
+    // The closed loop is genuinely multi-threaded; give the engines'
+    // worker pool a few lanes unless the caller pinned it.
+    if std::env::var_os("RAYON_NUM_THREADS").is_none() {
+        rayon::set_num_threads(4);
+    }
+
+    let opts = if tiny {
+        load_exp::LoadOptions::tiny()
+    } else {
+        load_exp::LoadOptions::full()
+    };
+    let device = Device::titan();
+    let report = load_exp::run(&device, &opts);
+    println!("{}", load_exp::render(&report));
+    match std::fs::write(&out, load_exp::to_json(&report)) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(e) => eprintln!("could not write {}: {e}", out.display()),
+    }
+}

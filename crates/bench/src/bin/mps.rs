@@ -31,7 +31,7 @@ use mps_sparse::CsrMatrix;
 use mps_testkit::adversarial::Scale;
 
 fn usage() -> &'static str {
-    "usage:\n  mps info <matrix.mtx>\n  mps generate <suite-name> [--scale X] -o <out.mtx>\n  mps spmv <a.mtx>\n  mps spadd <a.mtx> <b.mtx> [-o <out.mtx>]\n  mps spgemm <a.mtx> <b.mtx> | <suite-name> [--scale X] [-o <out.mtx>]\n  mps reorder <a.mtx> -o <out.mtx>\n  mps trace <a.mtx | suite-name> [--scale X]\n  mps conformance [--tiny]\n  mps host [--tiny]\n\nsuite names: dense protein spheres cantilever wind harbor qcd ship\n             economics epidemiology accelerator circuit webbase lp"
+    "usage:\n  mps info <matrix.mtx>\n  mps generate <suite-name> [--scale X] -o <out.mtx>\n  mps spmv <a.mtx>\n  mps spadd <a.mtx> <b.mtx> [-o <out.mtx>]\n  mps spgemm <a.mtx> <b.mtx> | <suite-name> [--scale X] [-o <out.mtx>]\n  mps reorder <a.mtx> -o <out.mtx>\n  mps trace <a.mtx | suite-name> [--scale X]\n  mps conformance [--tiny]\n  mps host [--tiny]\n  mps load [--tiny] [-o <out.json>]\n\nsuite names: dense protein spheres cantilever wind harbor qcd ship\n             economics epidemiology accelerator circuit webbase lp"
 }
 
 fn load(path: &str) -> Result<CsrMatrix, String> {
@@ -257,6 +257,23 @@ fn run() -> Result<(), String> {
                 mps_bench::host_exp::run(&device, 2000, 12.0, 8)
             };
             print!("{}", mps_bench::host_exp::render(&report));
+        }
+        "load" => {
+            if std::env::var_os("RAYON_NUM_THREADS").is_none() {
+                let _ = rayon::set_num_threads(4);
+            }
+            let opts = if p.tiny {
+                mps_bench::load_exp::LoadOptions::tiny()
+            } else {
+                mps_bench::load_exp::LoadOptions::full()
+            };
+            let report = mps_bench::load_exp::run(&device, &opts);
+            print!("{}", mps_bench::load_exp::render(&report));
+            if let Some(out) = p.out {
+                std::fs::write(&out, mps_bench::load_exp::to_json(&report))
+                    .map_err(|e| format!("could not write {}: {e}", out.display()))?;
+                println!("wrote {}", out.display());
+            }
         }
         "reorder" => {
             let path = p.positional.first().ok_or(usage())?;

@@ -17,6 +17,7 @@
 //! | SpMM layer | [`spmm_exp`] | tiled SpMM vs K repeated planned SpMVs (sim + host) |
 //! | host runtime | [`host_exp`] | per-launch overhead, pool-vs-spawn dispatch, host/sim gap |
 //! | serving layer | [`serve_exp`] | batched vs unbatched SpMV serving through the engine |
+//! | serving service | [`load_exp`] | closed-loop multi-tenant load, QoS fairness, shard scaling |
 //! | phase breakdown | [`trace_exp`] | per-kernel phase-attributed time over the suite |
 //! | conformance | [`conformance`] | differential sweep of every implementation vs its oracle |
 //!
@@ -27,6 +28,7 @@ pub mod conformance;
 pub mod fig2;
 pub mod fig4;
 pub mod host_exp;
+pub mod load_exp;
 pub mod sensitivity;
 pub mod serve_exp;
 pub mod solver_exp;

@@ -14,7 +14,7 @@ use std::time::Instant;
 
 use mps_sparse::{CsrMatrix, DenseBlock};
 
-use crate::error::EngineError;
+use crate::error::{EngineError, TenantId};
 use crate::EngineOutput;
 
 /// Handle to a submitted request; redeem with
@@ -66,15 +66,20 @@ pub(crate) struct Request {
     pub payload: RequestPayload,
     /// Absolute expiry; `None` means no deadline.
     pub deadline: Option<Instant>,
+    /// Tenant attribution for errors and the per-tenant ledger; `None`
+    /// for plain (untagged) engine submissions.
+    pub tenant: Option<TenantId>,
 }
 
 /// A queued SpGEMM request. The operands live on the queue (every pending
 /// request in one queue multiplies the same `(A, B)` pair), so the request
-/// itself is just the handle plus its expiry.
+/// itself is just the handle plus its expiry and attribution.
 pub(crate) struct GemmRequest {
     pub ticket: Ticket,
     /// Absolute expiry; `None` means no deadline.
     pub deadline: Option<Instant>,
+    /// Tenant attribution; `None` for plain engine submissions.
+    pub tenant: Option<TenantId>,
 }
 
 /// One per distinct `(A, B)` matrix pair with pending SpGEMM work. Keyed
@@ -125,6 +130,7 @@ impl Batcher {
     }
 
     /// Enqueue a request, enforcing the per-queue depth limit.
+    #[allow(clippy::too_many_arguments)]
     pub fn submit(
         &mut self,
         fingerprint: u64,
@@ -132,6 +138,7 @@ impl Batcher {
         payload: RequestPayload,
         deadline: Option<Instant>,
         max_queue_depth: usize,
+        tenant: Option<TenantId>,
     ) -> Result<Ticket, EngineError> {
         let key = QueueKey::of(fingerprint, matrix);
         let queue = self.queues.entry(key).or_insert_with(|| Queue {
@@ -143,6 +150,7 @@ impl Batcher {
                 fingerprint,
                 queue_depth: queue.pending.len(),
                 limit: max_queue_depth,
+                tenant,
             });
         }
         self.next_ticket += 1;
@@ -151,6 +159,7 @@ impl Batcher {
             ticket,
             payload,
             deadline,
+            tenant,
         });
         Ok(ticket)
     }
@@ -167,6 +176,7 @@ impl Batcher {
         b: &Arc<CsrMatrix>,
         deadline: Option<Instant>,
         max_queue_depth: usize,
+        tenant: Option<TenantId>,
     ) -> Result<Ticket, EngineError> {
         let key = (QueueKey::of(fp_a, a), QueueKey::of(fp_b, b));
         let queue = self.gemm_queues.entry(key).or_insert_with(|| GemmQueue {
@@ -179,11 +189,16 @@ impl Batcher {
                 fingerprint: fp_a,
                 queue_depth: queue.pending.len(),
                 limit: max_queue_depth,
+                tenant,
             });
         }
         self.next_ticket += 1;
         let ticket = Ticket(self.next_ticket);
-        queue.pending.push_back(GemmRequest { ticket, deadline });
+        queue.pending.push_back(GemmRequest {
+            ticket,
+            deadline,
+            tenant,
+        });
         Ok(ticket)
     }
 

@@ -1,21 +1,51 @@
 //! Typed admission-control errors.
 
+/// Identity of a tenant submitting through the serving layer. Plain
+/// engine submissions carry no tenant; the sharded [`crate::Service`]
+/// tags every request so overload and deadline errors can be attributed
+/// to the tenant that suffered them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(pub u32);
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tenant#{}", self.0)
+    }
+}
+
+fn fmt_tenant(t: &Option<TenantId>) -> String {
+    match t {
+        Some(t) => format!(" ({t})"),
+        None => String::new(),
+    }
+}
+
 /// Why the engine refused (or failed to complete) a request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EngineError {
-    /// The per-fingerprint submission queue is full. Backpressure: the
+    /// The submission queue (per-fingerprint inside the engine, or the
+    /// per-tenant quota at the service layer) is full. Backpressure: the
     /// caller should retry after a [`crate::Engine::flush`] drains the
     /// queue, or shed the request.
     Overloaded {
         /// Pattern fingerprint whose queue rejected the submission.
         fingerprint: u64,
-        /// Requests already waiting on that queue.
+        /// Requests already waiting on that queue (or counted against the
+        /// tenant's quota at the service layer).
         queue_depth: usize,
-        /// Configured depth limit ([`crate::EngineConfig::max_queue_depth`]).
+        /// Configured depth limit ([`crate::EngineConfig::max_queue_depth`]
+        /// or the tenant's quota).
         limit: usize,
+        /// The tenant whose submission was refused, when the request came
+        /// through a tenant-tagged path. `None` for plain engine calls.
+        tenant: Option<TenantId>,
     },
     /// The request's deadline passed before a flush could execute it.
-    DeadlineExceeded,
+    DeadlineExceeded {
+        /// The tenant whose request expired, when it came through a
+        /// tenant-tagged path. `None` for plain engine calls.
+        tenant: Option<TenantId>,
+    },
     /// The ticket is still queued: it was submitted but no
     /// [`crate::Engine::flush`] has resolved it yet. Flush, then redeem.
     NotReady(u64),
@@ -30,6 +60,17 @@ pub enum EngineError {
     InvalidConfig(&'static str),
 }
 
+impl EngineError {
+    /// The tenant this error is attributed to, if any.
+    pub fn tenant(&self) -> Option<TenantId> {
+        match self {
+            EngineError::Overloaded { tenant, .. } => *tenant,
+            EngineError::DeadlineExceeded { tenant } => *tenant,
+            _ => None,
+        }
+    }
+}
+
 impl std::fmt::Display for EngineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -37,11 +78,17 @@ impl std::fmt::Display for EngineError {
                 fingerprint,
                 queue_depth,
                 limit,
+                tenant,
             } => write!(
                 f,
-                "queue for pattern {fingerprint:#018x} is full ({queue_depth}/{limit})"
+                "queue for pattern {fingerprint:#018x} is full ({queue_depth}/{limit}){}",
+                fmt_tenant(tenant)
             ),
-            EngineError::DeadlineExceeded => write!(f, "request deadline exceeded before flush"),
+            EngineError::DeadlineExceeded { tenant } => write!(
+                f,
+                "request deadline exceeded before flush{}",
+                fmt_tenant(tenant)
+            ),
             EngineError::NotReady(t) => {
                 write!(f, "ticket {t} is still queued; flush before redeeming")
             }
@@ -52,3 +99,24 @@ impl std::fmt::Display for EngineError {
 }
 
 impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_expose_their_tenant() {
+        let anon = EngineError::DeadlineExceeded { tenant: None };
+        assert_eq!(anon.tenant(), None);
+        assert!(!anon.to_string().contains("tenant#"));
+        let tagged = EngineError::Overloaded {
+            fingerprint: 7,
+            queue_depth: 3,
+            limit: 3,
+            tenant: Some(TenantId(9)),
+        };
+        assert_eq!(tagged.tenant(), Some(TenantId(9)));
+        assert!(tagged.to_string().contains("tenant#9"), "{tagged}");
+        assert_eq!(EngineError::UnknownTicket(1).tenant(), None);
+    }
+}

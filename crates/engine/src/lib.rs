@@ -52,10 +52,9 @@
 //! assert_eq!(engine.take_result(t1).unwrap().into_vector(), y);
 //! ```
 //!
-//! Configuration goes through a validating builder (struct-literal
-//! construction still works for field-by-field overrides, but the builder
-//! rejects invalid values up front instead of panicking at engine
-//! construction):
+//! Configuration goes through a validating builder (the only
+//! construction path — fields are private, so every config in the
+//! program has passed validation):
 //!
 //! ```
 //! use mps_engine::EngineConfig;
@@ -65,26 +64,36 @@
 //!     .result_ttl_flushes(64)
 //!     .build()
 //!     .unwrap();
-//! assert_eq!(cfg.max_queue_depth, 128);
+//! assert_eq!(cfg.max_queue_depth(), 128);
 //! assert!(EngineConfig::builder().queue_capacity(0).build().is_err());
 //! ```
+//!
+//! For multi-threaded serving across many tenants, see [`Service`]: N
+//! engine shards keyed by pattern fingerprint, per-tenant quotas, and
+//! weighted fair draining under overload.
 
 mod batch;
 mod cache;
 mod chaos;
 mod error;
+mod fingerprint;
 mod pool;
+mod service;
 mod stats;
 
 pub use batch::Ticket;
 pub use cache::{CachedPlan, PlanKey};
 pub use chaos::{ChaosConfig, ChaosCounters};
-pub use error::EngineError;
-pub use stats::EngineStats;
+pub use error::{EngineError, TenantId};
+pub use fingerprint::FingerprintCache;
+pub use service::{
+    Service, ServiceConfig, ServiceConfigBuilder, ServiceStats, ServiceTicket, TenantSpec,
+};
+pub use stats::{EngineStats, TenantCounters, TenantTable};
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::mem;
-use std::sync::{Arc, Weak};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
@@ -165,31 +174,31 @@ impl EngineOutput {
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Plans kept live in the LRU cache.
-    pub plan_capacity: usize,
+    pub(crate) plan_capacity: usize,
     /// Pending submissions allowed per fingerprint queue before
     /// [`EngineError::Overloaded`].
-    pub max_queue_depth: usize,
+    pub(crate) max_queue_depth: usize,
     /// Output-column budget per coalesced traversal: a flushed group's
     /// payloads (one column per SpMV submission, `x.cols` per SpMM
     /// submission) are packed until the next request would exceed this
     /// many columns. Defaults to the SpMM column tile width, so a full
     /// batch is exactly one reduction+update launch pair. A single
     /// request wider than the budget still runs (alone).
-    pub max_batch: usize,
+    pub(crate) max_batch: usize,
     /// Unclaimed results (and deadline expiries) are dropped from the
     /// completion store once this many flushes have run after the one
     /// that resolved them, counted in [`EngineStats::results_evicted`].
     /// Bounds the store's growth when callers drop tickets without
     /// redeeming them.
-    pub result_ttl_flushes: u64,
+    pub(crate) result_ttl_flushes: u64,
     /// Seeded deterministic fault injection (disabled by default). See
     /// [`ChaosConfig`] for the injection points and their replay
     /// guarantees.
-    pub chaos: ChaosConfig,
-    pub spmv: SpmvConfig,
-    pub spmm: SpmmConfig,
-    pub spadd: SpAddConfig,
-    pub spgemm: SpgemmConfig,
+    pub(crate) chaos: ChaosConfig,
+    pub(crate) spmv: SpmvConfig,
+    pub(crate) spmm: SpmmConfig,
+    pub(crate) spadd: SpAddConfig,
+    pub(crate) spgemm: SpgemmConfig,
 }
 
 impl Default for EngineConfig {
@@ -210,11 +219,57 @@ impl Default for EngineConfig {
 }
 
 impl EngineConfig {
-    /// Start a validating builder seeded with the defaults.
+    /// Start a validating builder seeded with the defaults. This is the
+    /// only way to construct a config: fields are private, so every
+    /// [`EngineConfig`] in the program has passed [`validate`].
+    ///
+    /// [`validate`]: EngineConfig::validate
     pub fn builder() -> EngineConfigBuilder {
         EngineConfigBuilder {
             cfg: EngineConfig::default(),
         }
+    }
+
+    /// Plans kept live in the LRU cache.
+    pub fn plan_capacity(&self) -> usize {
+        self.plan_capacity
+    }
+
+    /// Pending submissions allowed per fingerprint queue before
+    /// [`EngineError::Overloaded`].
+    pub fn max_queue_depth(&self) -> usize {
+        self.max_queue_depth
+    }
+
+    /// Output-column budget per coalesced traversal.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// Flushes an unclaimed result survives before aging out.
+    pub fn result_ttl_flushes(&self) -> u64 {
+        self.result_ttl_flushes
+    }
+
+    /// Seeded deterministic fault injection.
+    pub fn chaos(&self) -> &ChaosConfig {
+        &self.chaos
+    }
+
+    pub fn spmv(&self) -> &SpmvConfig {
+        &self.spmv
+    }
+
+    pub fn spmm(&self) -> &SpmmConfig {
+        &self.spmm
+    }
+
+    pub fn spadd(&self) -> &SpAddConfig {
+        &self.spadd
+    }
+
+    pub fn spgemm(&self) -> &SpgemmConfig {
+        &self.spgemm
     }
 
     /// Check the invariants [`Engine`] construction relies on.
@@ -326,13 +381,6 @@ struct Inner {
     pool: WorkspacePool,
     batcher: Batcher,
     stats: EngineStats,
-    /// Memoized fingerprints of matrices seen on the submit path, indexed
-    /// by `Arc` address so the O(nnz) hash is paid once per matrix and
-    /// steady-state lookups are O(1). The held `Weak` pins the allocation
-    /// (an `Arc`'s storage outlives its last `Weak`), so a live address
-    /// can never be reused by a different matrix; a failed upgrade marks
-    /// the entry stale.
-    fp_memo: HashMap<usize, (Weak<CsrMatrix>, u64)>,
     /// Reusable operand/result blocks for batched flushes (capacity
     /// survives between batches). `scratch_x`/`scratch_x2` double-buffer
     /// the operand so a flush can assemble the next group's columns while
@@ -345,19 +393,6 @@ struct Inner {
 }
 
 impl Inner {
-    fn fingerprint_of(&mut self, a: &Arc<CsrMatrix>) -> u64 {
-        let ptr = Arc::as_ptr(a) as usize;
-        if let Some((w, fp)) = self.fp_memo.get(&ptr) {
-            if w.strong_count() > 0 {
-                return *fp;
-            }
-        }
-        let fp = a.pattern_fingerprint();
-        self.fp_memo.retain(|_, (w, _)| w.strong_count() > 0);
-        self.fp_memo.insert(ptr, (Arc::downgrade(a), fp));
-        fp
-    }
-
     fn checkout_ws(&mut self, chaos_cfg: &ChaosConfig) -> Workspace {
         if self.chaos.roll(chaos_cfg.pool_exhaust_p) {
             self.pool.exhaust();
@@ -391,6 +426,10 @@ impl Inner {
 pub struct Engine {
     device: Device,
     cfg: EngineConfig,
+    /// Memoized fingerprints of matrices seen on the submit path. Lives
+    /// outside the engine mutex (it is internally synchronized) so
+    /// concurrent submitters fingerprint without serializing on `inner`.
+    fp: FingerprintCache,
     inner: Mutex<Inner>,
 }
 
@@ -412,12 +451,12 @@ impl Engine {
         cfg.validate()?;
         Ok(Engine {
             device: device.clone(),
+            fp: FingerprintCache::new(),
             inner: Mutex::new(Inner {
                 cache: PlanCache::new(cfg.plan_capacity),
                 pool: WorkspacePool::new(),
                 batcher: Batcher::new(),
                 stats: EngineStats::default(),
-                fp_memo: HashMap::new(),
                 scratch_x: DenseBlock::zeros(0, 0),
                 scratch_x2: DenseBlock::zeros(0, 0),
                 scratch_y: DenseBlock::zeros(0, 0),
@@ -612,8 +651,22 @@ impl Engine {
         x: Vec<f64>,
         deadline: Option<Duration>,
     ) -> Result<Ticket, EngineError> {
+        self.submit_spmv_for(None, a, x, deadline)
+    }
+
+    /// [`Engine::submit_spmv`] with tenant attribution: overload and
+    /// deadline errors carry the tenant, and the request is counted in
+    /// the per-tenant ledger ([`EngineStats::tenants`]). The serving
+    /// layer ([`Service`]) submits through this path.
+    pub fn submit_spmv_for(
+        &self,
+        tenant: Option<TenantId>,
+        a: &Arc<CsrMatrix>,
+        x: Vec<f64>,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, EngineError> {
         assert_eq!(x.len(), a.num_cols, "operand length mismatch");
-        self.submit_payload(a, RequestPayload::Vector(x), deadline)
+        self.submit_payload(a, RequestPayload::Vector(x), deadline, tenant)
     }
 
     /// Queue an SpMM request (dense multi-vector operand) on `a` for the
@@ -634,9 +687,21 @@ impl Engine {
         x: DenseBlock,
         deadline: Option<Duration>,
     ) -> Result<Ticket, EngineError> {
+        self.submit_spmm_for(None, a, x, deadline)
+    }
+
+    /// [`Engine::submit_spmm`] with tenant attribution (see
+    /// [`Engine::submit_spmv_for`]).
+    pub fn submit_spmm_for(
+        &self,
+        tenant: Option<TenantId>,
+        a: &Arc<CsrMatrix>,
+        x: DenseBlock,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, EngineError> {
         assert_eq!(x.rows, a.num_cols, "operand row-count mismatch");
         assert!(x.cols >= 1, "operand block must have at least one column");
-        self.submit_payload(a, RequestPayload::Block(x), deadline)
+        self.submit_payload(a, RequestPayload::Block(x), deadline, tenant)
     }
 
     fn submit_payload(
@@ -644,27 +709,35 @@ impl Engine {
         a: &Arc<CsrMatrix>,
         payload: RequestPayload,
         deadline: Option<Duration>,
+        tenant: Option<TenantId>,
     ) -> Result<Ticket, EngineError> {
+        let fp = self.fp.get(a);
         let mut inner = self.inner.lock();
-        let fp = inner.fingerprint_of(a);
         if inner.chaos.roll(self.cfg.chaos.reject_submit_p) {
             let queue_depth = inner.batcher.depth(QueueKey::of(fp, a));
             inner.stats.chaos.forced_rejections += 1;
             inner.stats.rejected_overload += 1;
+            if let Some(t) = tenant {
+                inner.stats.tenants.record_overload(t);
+            }
             return Err(EngineError::Overloaded {
                 fingerprint: fp,
                 queue_depth,
                 limit: self.cfg.max_queue_depth,
+                tenant,
             });
         }
         let deadline = deadline.map(|d| Instant::now() + d);
         match inner
             .batcher
-            .submit(fp, a, payload, deadline, self.cfg.max_queue_depth)
+            .submit(fp, a, payload, deadline, self.cfg.max_queue_depth, tenant)
         {
             Ok(t) => Ok(t),
             Err(e) => {
                 inner.stats.rejected_overload += 1;
+                if let Some(t) = tenant {
+                    inner.stats.tenants.record_overload(t);
+                }
                 Err(e)
             }
         }
@@ -690,41 +763,72 @@ impl Engine {
         b: &Arc<CsrMatrix>,
         deadline: Option<Duration>,
     ) -> Result<Ticket, EngineError> {
+        self.submit_spgemm_for(None, a, b, deadline)
+    }
+
+    /// [`Engine::submit_spgemm`] with tenant attribution (see
+    /// [`Engine::submit_spmv_for`]).
+    pub fn submit_spgemm_for(
+        &self,
+        tenant: Option<TenantId>,
+        a: &Arc<CsrMatrix>,
+        b: &Arc<CsrMatrix>,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, EngineError> {
         assert_eq!(a.num_cols, b.num_rows, "inner dimension mismatch");
+        let fp_a = self.fp.get(a);
+        let fp_b = self.fp.get(b);
         let mut inner = self.inner.lock();
-        let fp_a = inner.fingerprint_of(a);
-        let fp_b = inner.fingerprint_of(b);
         if inner.chaos.roll(self.cfg.chaos.reject_submit_p) {
             let queue_depth = inner
                 .batcher
                 .gemm_depth((QueueKey::of(fp_a, a), QueueKey::of(fp_b, b)));
             inner.stats.chaos.forced_rejections += 1;
             inner.stats.rejected_overload += 1;
+            if let Some(t) = tenant {
+                inner.stats.tenants.record_overload(t);
+            }
             return Err(EngineError::Overloaded {
                 fingerprint: fp_a,
                 queue_depth,
                 limit: self.cfg.max_queue_depth,
+                tenant,
             });
         }
         let deadline = deadline.map(|d| Instant::now() + d);
-        match inner
-            .batcher
-            .submit_gemm(fp_a, a, fp_b, b, deadline, self.cfg.max_queue_depth)
-        {
+        match inner.batcher.submit_gemm(
+            fp_a,
+            a,
+            fp_b,
+            b,
+            deadline,
+            self.cfg.max_queue_depth,
+            tenant,
+        ) {
             Ok(t) => Ok(t),
             Err(e) => {
                 inner.stats.rejected_overload += 1;
+                if let Some(t) = tenant {
+                    inner.stats.tenants.record_overload(t);
+                }
                 Err(e)
             }
         }
     }
 
+    /// Memoized pattern fingerprint of `a` (thread-safe; see
+    /// [`FingerprintCache`]). The [`Service`] routes submissions to
+    /// shards by this value.
+    pub fn fingerprint(&self, a: &Arc<CsrMatrix>) -> u64 {
+        self.fp.get(a)
+    }
+
     /// SpGEMM requests currently queued behind one `(A, B)` pair.
     pub fn spgemm_queue_depth(&self, a: &Arc<CsrMatrix>, b: &Arc<CsrMatrix>) -> usize {
-        let mut inner = self.inner.lock();
-        let fp_a = inner.fingerprint_of(a);
-        let fp_b = inner.fingerprint_of(b);
-        inner
+        let fp_a = self.fp.get(a);
+        let fp_b = self.fp.get(b);
+        self.inner
+            .lock()
             .batcher
             .gemm_depth((QueueKey::of(fp_a, a), QueueKey::of(fp_b, b)))
     }
@@ -736,9 +840,8 @@ impl Engine {
 
     /// Requests currently queued behind one matrix.
     pub fn queue_depth(&self, a: &Arc<CsrMatrix>) -> usize {
-        let mut inner = self.inner.lock();
-        let fp = inner.fingerprint_of(a);
-        inner.batcher.depth(QueueKey::of(fp, a))
+        let fp = self.fp.get(a);
+        self.inner.lock().batcher.depth(QueueKey::of(fp, a))
     }
 
     /// Drain every submission queue, coalescing same-matrix requests —
@@ -780,7 +883,7 @@ impl Engine {
                 let matrix = Arc::clone(&queue.matrix);
                 let mut group: Vec<Request> = Vec::new();
                 let mut group_cols = 0usize;
-                let mut expired: Vec<Ticket> = Vec::new();
+                let mut expired: Vec<(Ticket, Option<TenantId>)> = Vec::new();
                 while group_cols < self.cfg.max_batch {
                     let (cols, req_deadline) = match queue.pending.front() {
                         Some(r) => (r.payload.cols(), r.deadline),
@@ -797,7 +900,7 @@ impl Engine {
                     }
                     if req_deadline.is_some_and(|d| now >= d) || forced {
                         let r = queue.pending.pop_front().expect("front exists");
-                        expired.push(r.ticket);
+                        expired.push((r.ticket, r.tenant));
                         continue;
                     }
                     // FIFO packing: stop at the first request that would
@@ -810,11 +913,14 @@ impl Engine {
                     group_cols += cols;
                     group.push(r);
                 }
-                for t in expired {
+                for (t, tenant) in expired {
                     inner.stats.rejected_deadline += 1;
+                    if let Some(tn) = tenant {
+                        inner.stats.tenants.record_deadline_miss(tn);
+                    }
                     inner
                         .batcher
-                        .complete(t, Err(EngineError::DeadlineExceeded));
+                        .complete(t, Err(EngineError::DeadlineExceeded { tenant }));
                     resolved += 1;
                 }
                 if group.is_empty() {
@@ -860,12 +966,17 @@ impl Engine {
                 }
                 if req.deadline.is_some_and(|d| now >= d) || forced {
                     inner.stats.rejected_deadline += 1;
-                    inner
-                        .batcher
-                        .complete(req.ticket, Err(EngineError::DeadlineExceeded));
+                    if let Some(tn) = req.tenant {
+                        inner.stats.tenants.record_deadline_miss(tn);
+                    }
+                    inner.batcher.complete(
+                        req.ticket,
+                        Err(EngineError::DeadlineExceeded { tenant: req.tenant }),
+                    );
                     resolved += 1;
                     continue;
                 }
+                let hits_before = inner.stats.cache_hits;
                 let plan = spgemm_plan_locked(
                     &self.device,
                     &self.cfg,
@@ -878,6 +989,10 @@ impl Engine {
                 let t0 = Instant::now();
                 let c = plan.execute_matrix(&a, &b);
                 inner.stats.requests += 1;
+                if let Some(tn) = req.tenant {
+                    let hit = inner.stats.cache_hits > hits_before;
+                    inner.stats.tenants.record_request(tn, hit);
+                }
                 charge_spgemm_exec(&mut inner.stats, &plan, t0.elapsed());
                 inner
                     .batcher
@@ -1138,6 +1253,8 @@ fn prepare_group(
 ) -> PreparedGroup {
     inner.stats.record_batch(group.len());
     inner.stats.requests += group.len() as u64;
+    let tenants: Vec<TenantId> = group.iter().filter_map(|r| r.tenant).collect();
+    let hits_before = inner.stats.cache_hits;
     let exec = if group.len() == 1 && group[0].payload.cols() == 1 {
         let plan = spmv_plan_locked(device, cfg, inner, fp, matrix);
         let req = group.into_iter().next().expect("group of one");
@@ -1156,6 +1273,12 @@ fn prepare_group(
         let plan = spmm_plan_locked(device, cfg, inner, fp, matrix, k);
         PreparedExec::Spmm { plan, group, k }
     };
+    // One plan lookup served the whole group; every tenant-tagged request
+    // in it shares that lookup's hit/miss outcome.
+    let hit = inner.stats.cache_hits > hits_before;
+    for t in tenants {
+        inner.stats.tenants.record_request(t, hit);
+    }
     let ws = inner.checkout_ws(&cfg.chaos);
     PreparedGroup {
         matrix: Arc::clone(matrix),
@@ -1352,10 +1475,10 @@ mod tests {
 
     #[test]
     fn oversized_waves_split_into_max_batch_groups() {
-        let cfg = EngineConfig {
-            max_batch: 4,
-            ..EngineConfig::default()
-        };
+        let cfg = EngineConfig::builder()
+            .max_batch(4)
+            .build()
+            .expect("valid config");
         let e = Engine::with_config(&device(), cfg);
         let a = matrix();
         let tickets: Vec<Ticket> = (0..9)
@@ -1375,10 +1498,10 @@ mod tests {
 
     #[test]
     fn queue_depth_backpressure_rejects_with_overloaded() {
-        let cfg = EngineConfig {
-            max_queue_depth: 2,
-            ..EngineConfig::default()
-        };
+        let cfg = EngineConfig::builder()
+            .queue_capacity(2)
+            .build()
+            .expect("valid config");
         let e = Engine::with_config(&device(), cfg);
         let a = matrix();
         let x = operand(a.num_cols, 1);
@@ -1408,7 +1531,10 @@ mod tests {
             .submit_spmv(&a, operand(a.num_cols, 2), Some(Duration::from_secs(3600)))
             .expect("admitted");
         assert_eq!(e.flush(), 2);
-        assert_eq!(e.take_result(t_expired), Err(EngineError::DeadlineExceeded));
+        assert_eq!(
+            e.take_result(t_expired),
+            Err(EngineError::DeadlineExceeded { tenant: None })
+        );
         assert!(e.take_result(t_live).is_ok());
         assert_eq!(e.stats().rejected_deadline, 1);
     }
@@ -1466,10 +1592,10 @@ mod tests {
 
     #[test]
     fn unclaimed_results_age_out_of_completion_store() {
-        let cfg = EngineConfig {
-            result_ttl_flushes: 2,
-            ..EngineConfig::default()
-        };
+        let cfg = EngineConfig::builder()
+            .result_ttl_flushes(2)
+            .build()
+            .expect("valid config");
         let e = Engine::with_config(&device(), cfg);
         let a = matrix();
         let t = e
@@ -1540,10 +1666,10 @@ mod tests {
             .result_ttl_flushes(7)
             .build()
             .expect("valid config");
-        assert_eq!(cfg.plan_capacity, 8);
-        assert_eq!(cfg.max_queue_depth, 16);
-        assert_eq!(cfg.max_batch, 4);
-        assert_eq!(cfg.result_ttl_flushes, 7);
+        assert_eq!(cfg.plan_capacity(), 8);
+        assert_eq!(cfg.max_queue_depth(), 16);
+        assert_eq!(cfg.max_batch(), 4);
+        assert_eq!(cfg.result_ttl_flushes(), 7);
 
         for (built, what) in [
             (
@@ -1567,6 +1693,8 @@ mod tests {
                 other => panic!("expected InvalidConfig for {what}, got {other:?}"),
             }
         }
+        // Construction re-validates too (defense in depth — the struct
+        // literal is only reachable inside this crate).
         assert!(Engine::try_with_config(
             &device(),
             EngineConfig {
@@ -1720,7 +1848,7 @@ mod tests {
             let t = e.submit_spgemm(&a, &b, None).expect("admitted");
             assert_eq!(e.flush(), 1);
             let got = e.take_result(t).expect("completed").into_matrix();
-            let fresh = mps_core::merge_spgemm(&device(), &a, &b, &e.config().spgemm);
+            let fresh = mps_core::merge_spgemm(&device(), &a, &b, e.config().spgemm());
             assert_eq!(got, fresh.c, "replay must match a fresh one-shot");
         }
 
@@ -1749,17 +1877,20 @@ mod tests {
             .submit_spgemm(&a, &b, Some(Duration::from_secs(3600)))
             .expect("admitted");
         assert_eq!(e.flush(), 2);
-        assert_eq!(e.take_result(t_expired), Err(EngineError::DeadlineExceeded));
+        assert_eq!(
+            e.take_result(t_expired),
+            Err(EngineError::DeadlineExceeded { tenant: None })
+        );
         assert!(e.take_result(t_live).is_ok());
         assert_eq!(e.stats().rejected_deadline, 1);
     }
 
     #[test]
     fn spgemm_queue_backpressure_rejects_with_overloaded() {
-        let cfg = EngineConfig {
-            max_queue_depth: 2,
-            ..EngineConfig::default()
-        };
+        let cfg = EngineConfig::builder()
+            .queue_capacity(2)
+            .build()
+            .expect("valid config");
         let e = Engine::with_config(&device(), cfg);
         let a = matrix();
         let b = Arc::new(gen::random_uniform(300, 300, 5.0, 2.0, 41));
@@ -1778,11 +1909,49 @@ mod tests {
     }
 
     #[test]
+    fn tenant_tagged_submissions_populate_the_ledger() {
+        let e = Engine::new(&device());
+        let a = matrix();
+        let alice = TenantId(1);
+        let bob = TenantId(2);
+        // Two rounds for alice: the first misses the plan cache, the
+        // second hits it.
+        for seed in [1, 2] {
+            let t = e
+                .submit_spmv_for(Some(alice), &a, operand(a.num_cols, seed), None)
+                .expect("admitted");
+            e.flush();
+            e.take_result(t).expect("completed");
+        }
+        // An expired deadline for bob carries his identity.
+        let t = e
+            .submit_spmv_for(Some(bob), &a, operand(a.num_cols, 3), Some(Duration::ZERO))
+            .expect("admitted");
+        e.flush();
+        let err = e.take_result(t).expect_err("expired");
+        assert_eq!(err, EngineError::DeadlineExceeded { tenant: Some(bob) });
+        assert_eq!(err.tenant(), Some(bob));
+        let s = e.stats();
+        let ca = s.tenants.get(alice);
+        assert_eq!((ca.requests, ca.hits), (2, 1));
+        let cb = s.tenants.get(bob);
+        assert_eq!((cb.requests, cb.deadline_misses), (0, 1));
+        assert!(s.render().contains("tenant#1"), "{}", s.render());
+        // Untagged submissions stay out of the ledger.
+        let t = e
+            .submit_spmv(&a, operand(a.num_cols, 4), None)
+            .expect("admitted");
+        e.flush();
+        e.take_result(t).expect("completed");
+        assert_eq!(e.stats().tenants.total_requests(), 2);
+    }
+
+    #[test]
     fn lru_eviction_keeps_cache_bounded() {
-        let cfg = EngineConfig {
-            plan_capacity: 2,
-            ..EngineConfig::default()
-        };
+        let cfg = EngineConfig::builder()
+            .plan_capacity(2)
+            .build()
+            .expect("valid config");
         let e = Engine::with_config(&device(), cfg);
         let mats: Vec<CsrMatrix> = (0..4)
             .map(|s| gen::random_uniform(80, 80, 4.0, 1.5, 100 + s))

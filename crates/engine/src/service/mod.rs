@@ -1,0 +1,811 @@
+//! Sharded multi-tenant serving service.
+//!
+//! The [`crate::Engine`] is one mutex-guarded submit/flush object; this
+//! module scales it across threads and tenants:
+//!
+//! * **Shards** — N independent engines, each with its own plan cache,
+//!   workspace pool, batcher, and chaos stream (seeds derived per shard,
+//!   so fault schedules stay replayable). A submission routes to the
+//!   shard owning its matrix's pattern fingerprint, so one pattern's
+//!   plans are built exactly once service-wide and same-pattern requests
+//!   keep coalescing into shared traversals.
+//! * **Thread-safe submission** — `submit_*` methods take `&self` and
+//!   touch only the target shard's injector mutex (fingerprints come from
+//!   the lock-free-read [`FingerprintCache`]), so submitters on different
+//!   shards never contend and submitters on one shard serialize briefly.
+//! * **QoS** — per-tenant pending quotas at submission
+//!   ([`EngineError::Overloaded`] with tenant attribution) and
+//!   deficit-round-robin draining under overload: each flush spends a
+//!   bounded drain budget across backlogged tenants in proportion to
+//!   their [`TenantSpec::weight`].
+//! * **Concurrent flush** — [`Service::flush`] drains ready shards in
+//!   parallel on the persistent worker pool. Each shard's drain is the
+//!   sequential engine path (DRR select → tenant-tagged submit → engine
+//!   flush → harvest), so every result is bitwise identical to the
+//!   single-threaded engine serving the same requests, and chaos draws
+//!   are consumed in deterministic per-shard order.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use mps_engine::{Service, TenantId};
+//! use mps_simt::Device;
+//! use mps_sparse::CsrMatrix;
+//!
+//! let svc = Service::new(&Device::titan());
+//! let a = Arc::new(CsrMatrix::identity(64));
+//! let t = svc
+//!     .submit_spmv(TenantId(0), &a, vec![1.0; 64], None)
+//!     .unwrap();
+//! svc.flush();
+//! assert_eq!(svc.take_result(t).unwrap().into_vector(), vec![1.0; 64]);
+//! ```
+
+mod qos;
+mod stats;
+
+pub use qos::TenantSpec;
+pub use stats::ServiceStats;
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use rayon::prelude::*;
+
+use mps_simt::Device;
+use mps_sparse::{CsrMatrix, DenseBlock};
+
+use crate::batch::Ticket;
+use crate::error::{EngineError, TenantId};
+use crate::fingerprint::FingerprintCache;
+use crate::{Engine, EngineConfig, EngineOutput};
+
+use qos::{DrainAction, ServiceOp, ServiceRequest, ShardState};
+
+/// Shards are packed into the low bits of a [`ServiceTicket`].
+const SHARD_BITS: u32 = 16;
+const MAX_SHARDS: usize = 1 << SHARD_BITS;
+
+/// Handle to a request submitted through the [`Service`]; redeem with
+/// [`Service::take_result`] after a flush.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ServiceTicket(u64);
+
+impl ServiceTicket {
+    pub(crate) fn new(seq: u64, shard: usize) -> ServiceTicket {
+        ServiceTicket((seq << SHARD_BITS) | shard as u64)
+    }
+
+    fn shard(self) -> usize {
+        (self.0 & (MAX_SHARDS as u64 - 1)) as usize
+    }
+
+    fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// Service tuning: shard count, the engine template every shard is built
+/// from, per-tenant QoS specs, and the drain budget that bounds how much
+/// work one flush admits per shard.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    pub(crate) shards: usize,
+    pub(crate) engine: EngineConfig,
+    pub(crate) tenants: BTreeMap<TenantId, TenantSpec>,
+    pub(crate) default_spec: TenantSpec,
+    pub(crate) drain_budget: usize,
+    pub(crate) drain_quantum: u32,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shards: 4,
+            engine: EngineConfig::default(),
+            tenants: BTreeMap::new(),
+            default_spec: TenantSpec::default(),
+            drain_budget: 256,
+            drain_quantum: 1,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Start a validating builder seeded with the defaults (the only
+    /// construction path, like [`EngineConfig::builder`]).
+    pub fn builder() -> ServiceConfigBuilder {
+        ServiceConfigBuilder {
+            cfg: ServiceConfig::default(),
+        }
+    }
+
+    /// Engine shards the service routes across.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The engine template shards are built from (each shard derives its
+    /// own chaos seed from this template's).
+    pub fn engine(&self) -> &EngineConfig {
+        &self.engine
+    }
+
+    /// Requests one flush admits to each shard's engine before the rest
+    /// of the backlog waits for the next flush.
+    pub fn drain_budget(&self) -> usize {
+        self.drain_budget
+    }
+
+    /// Credits a weight-1 tenant earns per DRR round.
+    pub fn drain_quantum(&self) -> u32 {
+        self.drain_quantum
+    }
+
+    /// The QoS spec for `tenant` (the default spec when unregistered).
+    pub fn spec(&self, tenant: TenantId) -> TenantSpec {
+        self.tenants
+            .get(&tenant)
+            .copied()
+            .unwrap_or(self.default_spec)
+    }
+
+    /// Check the invariants [`Service`] construction relies on.
+    pub fn validate(&self) -> Result<(), EngineError> {
+        if self.shards == 0 || self.shards > MAX_SHARDS {
+            return Err(EngineError::InvalidConfig(
+                "shards must be between 1 and 65536",
+            ));
+        }
+        if self.drain_budget == 0 {
+            return Err(EngineError::InvalidConfig(
+                "drain_budget must be at least 1",
+            ));
+        }
+        if self.drain_quantum == 0 {
+            return Err(EngineError::InvalidConfig(
+                "drain_quantum must be at least 1",
+            ));
+        }
+        for spec in self
+            .tenants
+            .values()
+            .chain(std::iter::once(&self.default_spec))
+        {
+            if spec.weight == 0 {
+                return Err(EngineError::InvalidConfig(
+                    "tenant weight must be at least 1",
+                ));
+            }
+            if spec.max_pending == 0 {
+                return Err(EngineError::InvalidConfig(
+                    "tenant max_pending must be at least 1",
+                ));
+            }
+        }
+        self.engine.validate()
+    }
+}
+
+/// Validating builder for [`ServiceConfig`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfigBuilder {
+    cfg: ServiceConfig,
+}
+
+impl ServiceConfigBuilder {
+    /// Engine shards ([`ServiceConfig::shards`]).
+    pub fn shards(mut self, n: usize) -> Self {
+        self.cfg.shards = n;
+        self
+    }
+
+    /// Engine template every shard is built from.
+    pub fn engine(mut self, cfg: EngineConfig) -> Self {
+        self.cfg.engine = cfg;
+        self
+    }
+
+    /// Register a tenant's QoS spec (weight and pending quota).
+    pub fn tenant(mut self, tenant: TenantId, spec: TenantSpec) -> Self {
+        self.cfg.tenants.insert(tenant, spec);
+        self
+    }
+
+    /// QoS spec applied to tenants without a registered one.
+    pub fn default_tenant(mut self, spec: TenantSpec) -> Self {
+        self.cfg.default_spec = spec;
+        self
+    }
+
+    /// Per-shard, per-flush admission budget
+    /// ([`ServiceConfig::drain_budget`]).
+    pub fn drain_budget(mut self, n: usize) -> Self {
+        self.cfg.drain_budget = n;
+        self
+    }
+
+    /// Credits a weight-1 tenant earns per DRR round
+    /// ([`ServiceConfig::drain_quantum`]).
+    pub fn drain_quantum(mut self, n: u32) -> Self {
+        self.cfg.drain_quantum = n;
+        self
+    }
+
+    /// Validate and produce the config.
+    pub fn build(self) -> Result<ServiceConfig, EngineError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
+struct Shard {
+    engine: Engine,
+    state: Mutex<ShardState>,
+}
+
+/// The sharded serving layer. Shareable across threads (`&Service` is
+/// `Sync`): submissions lock only their target shard's injector, flushes
+/// drain shards concurrently on the worker pool.
+pub struct Service {
+    cfg: ServiceConfig,
+    shards: Vec<Shard>,
+    /// Shared fingerprint memo for routing (each shard engine keeps its
+    /// own for plan keying).
+    fp: FingerprintCache,
+    next_seq: AtomicU64,
+    flushes: AtomicU64,
+}
+
+impl Service {
+    pub fn new(device: &Device) -> Service {
+        Service::with_config(device, ServiceConfig::default())
+    }
+
+    /// Like [`Service::try_with_config`], but panics on an invalid config.
+    pub fn with_config(device: &Device, cfg: ServiceConfig) -> Service {
+        Service::try_with_config(device, cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Construct a service, rejecting invalid configs with
+    /// [`EngineError::InvalidConfig`].
+    pub fn try_with_config(device: &Device, cfg: ServiceConfig) -> Result<Service, EngineError> {
+        cfg.validate()?;
+        let shards = (0..cfg.shards)
+            .map(|i| {
+                // Each shard draws faults from its own SplitMix64 stream:
+                // the template seed offset by a per-shard golden-ratio
+                // stride, so schedules are decorrelated across shards yet
+                // replay exactly for a fixed (template seed, shard) pair.
+                let mut ec = cfg.engine.clone();
+                ec.chaos.seed = ec
+                    .chaos
+                    .seed
+                    .wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                Ok(Shard {
+                    engine: Engine::try_with_config(device, ec)?,
+                    state: Mutex::new(ShardState::new()),
+                })
+            })
+            .collect::<Result<Vec<_>, EngineError>>()?;
+        Ok(Service {
+            cfg,
+            shards,
+            fp: FingerprintCache::new(),
+            next_seq: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+        })
+    }
+
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a pattern fingerprint routes to.
+    pub fn shard_of(&self, fingerprint: u64) -> usize {
+        (fingerprint % self.shards.len() as u64) as usize
+    }
+
+    /// Direct access to one shard's engine (diagnostics and tests).
+    pub fn shard_engine(&self, shard: usize) -> &Engine {
+        &self.shards[shard].engine
+    }
+
+    /// Requests waiting across all shard injectors and engine queues.
+    pub fn pending_requests(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.state.lock().total_pending() + s.engine.pending_requests())
+            .sum()
+    }
+
+    /// Queue an SpMV request for `tenant`. Routed to the shard owning
+    /// `a`'s pattern fingerprint; refused with a tenant-attributed
+    /// [`EngineError::Overloaded`] when the tenant's pending quota on
+    /// that shard ([`TenantSpec::max_pending`]) is full.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != a.num_cols`.
+    pub fn submit_spmv(
+        &self,
+        tenant: TenantId,
+        a: &Arc<CsrMatrix>,
+        x: Vec<f64>,
+        deadline: Option<Duration>,
+    ) -> Result<ServiceTicket, EngineError> {
+        assert_eq!(x.len(), a.num_cols, "operand length mismatch");
+        let fp = self.fp.get(a);
+        self.submit_op(
+            tenant,
+            fp,
+            ServiceOp::Spmv {
+                a: Arc::clone(a),
+                x,
+            },
+            deadline,
+        )
+    }
+
+    /// Queue an SpMM request (dense multi-vector operand) for `tenant`.
+    /// Semantics match [`Service::submit_spmv`].
+    ///
+    /// # Panics
+    /// Panics if `x.rows != a.num_cols` or `x` has no columns.
+    pub fn submit_spmm(
+        &self,
+        tenant: TenantId,
+        a: &Arc<CsrMatrix>,
+        x: DenseBlock,
+        deadline: Option<Duration>,
+    ) -> Result<ServiceTicket, EngineError> {
+        assert_eq!(x.rows, a.num_cols, "operand row-count mismatch");
+        assert!(x.cols >= 1, "operand block must have at least one column");
+        let fp = self.fp.get(a);
+        self.submit_op(
+            tenant,
+            fp,
+            ServiceOp::Spmm {
+                a: Arc::clone(a),
+                x,
+            },
+            deadline,
+        )
+    }
+
+    /// Queue an SpGEMM request `a · b` for `tenant`, routed by `a`'s
+    /// pattern fingerprint. Semantics match [`Service::submit_spmv`].
+    ///
+    /// # Panics
+    /// Panics if `a.num_cols != b.num_rows`.
+    pub fn submit_spgemm(
+        &self,
+        tenant: TenantId,
+        a: &Arc<CsrMatrix>,
+        b: &Arc<CsrMatrix>,
+        deadline: Option<Duration>,
+    ) -> Result<ServiceTicket, EngineError> {
+        assert_eq!(a.num_cols, b.num_rows, "inner dimension mismatch");
+        let fp = self.fp.get(a);
+        self.submit_op(
+            tenant,
+            fp,
+            ServiceOp::Spgemm {
+                a: Arc::clone(a),
+                b: Arc::clone(b),
+            },
+            deadline,
+        )
+    }
+
+    fn submit_op(
+        &self,
+        tenant: TenantId,
+        fp: u64,
+        op: ServiceOp,
+        deadline: Option<Duration>,
+    ) -> Result<ServiceTicket, EngineError> {
+        let shard_idx = self.shard_of(fp);
+        let spec = self.cfg.spec(tenant);
+        let mut st = self.shards[shard_idx].state.lock();
+        let depth = st.pending_for(tenant);
+        if depth >= spec.max_pending {
+            st.ledger.record_overload(tenant);
+            return Err(EngineError::Overloaded {
+                fingerprint: fp,
+                queue_depth: depth,
+                limit: spec.max_pending,
+                tenant: Some(tenant),
+            });
+        }
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let ticket = ServiceTicket::new(seq, shard_idx);
+        st.push(
+            tenant,
+            ServiceRequest {
+                ticket,
+                op,
+                deadline: deadline.map(|d| Instant::now() + d),
+            },
+        );
+        Ok(ticket)
+    }
+
+    /// Drain every shard — concurrently on the worker pool when it has
+    /// threads — and resolve the admitted requests. Returns the number of
+    /// requests resolved (results, deadline expiries, and engine
+    /// rejections all become redeemable via [`Service::take_result`]).
+    pub fn flush(&self) -> usize {
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+        let n = self.shards.len();
+        if n == 1 {
+            return self.drain_shard(0);
+        }
+        let counts: Vec<usize> = (0..n)
+            .into_par_iter()
+            .with_item_work(rayon::WORK_CUTOFF)
+            .map(|i| self.drain_shard(i))
+            .collect();
+        counts.into_iter().sum()
+    }
+
+    /// Drain one shard: DRR-select up to [`ServiceConfig::drain_budget`]
+    /// requests across backlogged tenants (weighted by spec), hand them
+    /// to the shard engine tenant-tagged, flush it once, and harvest the
+    /// results into the shard's completion store.
+    fn drain_shard(&self, idx: usize) -> usize {
+        let shard = &self.shards[idx];
+        let mut st = shard.state.lock();
+        let now = Instant::now();
+        let mut budget = self.cfg.drain_budget;
+        let mut submitted: Vec<(ServiceTicket, TenantId, Ticket)> = Vec::new();
+        let mut resolved = 0usize;
+        let tenant_ids = st.tenant_ids();
+        loop {
+            let mut progressed = false;
+            for &tn in &tenant_ids {
+                if budget == 0 {
+                    break;
+                }
+                let credit =
+                    u64::from(self.cfg.spec(tn).weight) * u64::from(self.cfg.drain_quantum);
+                if !st.refill(tn, credit) {
+                    continue;
+                }
+                while budget > 0 {
+                    match st.pop_action(tn, now) {
+                        None => break,
+                        Some(DrainAction::Expire(req)) => {
+                            st.ledger.record_deadline_miss(tn);
+                            st.complete(
+                                req.ticket,
+                                Err(EngineError::DeadlineExceeded { tenant: Some(tn) }),
+                            );
+                            resolved += 1;
+                            progressed = true;
+                        }
+                        Some(DrainAction::Submit(req)) => {
+                            budget -= 1;
+                            progressed = true;
+                            let remaining = req.deadline.map(|d| d.saturating_duration_since(now));
+                            let admitted = match req.op {
+                                ServiceOp::Spmv { a, x } => {
+                                    shard.engine.submit_spmv_for(Some(tn), &a, x, remaining)
+                                }
+                                ServiceOp::Spmm { a, x } => {
+                                    shard.engine.submit_spmm_for(Some(tn), &a, x, remaining)
+                                }
+                                ServiceOp::Spgemm { a, b } => {
+                                    shard.engine.submit_spgemm_for(Some(tn), &a, &b, remaining)
+                                }
+                            };
+                            match admitted {
+                                Ok(t) => submitted.push((req.ticket, tn, t)),
+                                Err(e) => {
+                                    // Engine-side rejection (queue depth or
+                                    // chaos): already tenant-attributed in
+                                    // the engine ledger; propagate.
+                                    st.complete(req.ticket, Err(e));
+                                    resolved += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if !progressed || budget == 0 {
+                break;
+            }
+        }
+        st.drained += submitted.len() as u64;
+        if !submitted.is_empty() {
+            shard.engine.flush();
+        }
+        for (ticket, _tn, engine_ticket) in submitted {
+            st.complete(ticket, shard.engine.take_result(engine_ticket));
+            resolved += 1;
+        }
+        st.end_flush(self.cfg.engine.result_ttl_flushes);
+        resolved
+    }
+
+    /// Redeem a service ticket. Each ticket is redeemable once, after the
+    /// flush that resolved it; a ticket still waiting in the injector
+    /// returns [`EngineError::NotReady`].
+    pub fn take_result(&self, ticket: ServiceTicket) -> Result<EngineOutput, EngineError> {
+        let shard = self
+            .shards
+            .get(ticket.shard())
+            .ok_or(EngineError::UnknownTicket(ticket.raw()))?;
+        let mut st = shard.state.lock();
+        match st.take_completed(ticket) {
+            Some(result) => result,
+            None if st.is_pending(ticket) => Err(EngineError::NotReady(ticket.raw())),
+            None => Err(EngineError::UnknownTicket(ticket.raw())),
+        }
+    }
+
+    /// Snapshot of the aggregated serving telemetry (per-shard engine
+    /// stats plus the service-level QoS ledger).
+    pub fn stats(&self) -> ServiceStats {
+        let mut out = ServiceStats {
+            flushes: self.flushes.load(Ordering::Relaxed),
+            ..ServiceStats::default()
+        };
+        for shard in &self.shards {
+            let st = shard.state.lock();
+            out.service_tenants.merge(&st.ledger);
+            out.injected += st.injected;
+            out.drained += st.drained;
+            out.shards.push(shard.engine.stats());
+        }
+        out
+    }
+
+    /// Zero every shard's telemetry and the service ledgers (e.g. after a
+    /// warm-up phase).
+    pub fn reset_stats(&self) {
+        for shard in &self.shards {
+            shard.engine.reset_stats();
+            let mut st = shard.state.lock();
+            st.ledger = crate::stats::TenantTable::default();
+            st.injected = 0;
+            st.drained = 0;
+        }
+        self.flushes.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_sparse::gen;
+
+    fn device() -> Device {
+        Device::titan()
+    }
+
+    fn operand(n: usize, seed: u64) -> Vec<f64> {
+        (0..n)
+            .map(|i| ((i as u64).wrapping_mul(seed).wrapping_add(11) % 1000) as f64 / 999.0 - 0.5)
+            .collect()
+    }
+
+    #[test]
+    fn service_results_match_engine_bitwise() {
+        let svc = Service::new(&device());
+        let engine = Engine::new(&device());
+        let mats: Vec<Arc<CsrMatrix>> = (0..6)
+            .map(|s| Arc::new(gen::random_uniform(200, 200, 6.0, 2.0, 50 + s)))
+            .collect();
+        let tenant = TenantId(0);
+        let mut pairs = Vec::new();
+        for (i, m) in mats.iter().enumerate() {
+            let x = operand(m.num_cols, i as u64);
+            let want = engine.spmv(m, &x);
+            let t = svc.submit_spmv(tenant, m, x, None).expect("admitted");
+            pairs.push((t, want));
+        }
+        assert_eq!(svc.flush(), 6);
+        for (t, want) in pairs {
+            let got = svc.take_result(t).expect("completed").into_vector();
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+            assert_eq!(bits(&got), bits(&want));
+        }
+        // Six distinct patterns spread across the default four shards.
+        let s = svc.stats();
+        assert_eq!(s.aggregate().requests, 6);
+        assert!(s.shards.iter().filter(|s| s.requests > 0).count() > 1);
+    }
+
+    #[test]
+    fn quota_rejections_carry_the_tenant() {
+        let cfg = ServiceConfig::builder()
+            .shards(1)
+            .tenant(TenantId(7), TenantSpec::new(1, 2))
+            .build()
+            .expect("valid");
+        let svc = Service::with_config(&device(), cfg);
+        let a = Arc::new(gen::random_uniform(100, 100, 4.0, 1.0, 3));
+        let x = operand(a.num_cols, 1);
+        for _ in 0..2 {
+            svc.submit_spmv(TenantId(7), &a, x.clone(), None)
+                .expect("within quota");
+        }
+        match svc.submit_spmv(TenantId(7), &a, x.clone(), None) {
+            Err(
+                e @ EngineError::Overloaded {
+                    queue_depth, limit, ..
+                },
+            ) => {
+                assert_eq!((queue_depth, limit), (2, 2));
+                assert_eq!(e.tenant(), Some(TenantId(7)));
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        // Another tenant is unaffected by tenant 7's full quota.
+        svc.submit_spmv(TenantId(8), &a, x, None)
+            .expect("separate quota");
+        assert_eq!(svc.stats().quota_rejections(), 1);
+        svc.flush();
+        assert_eq!(svc.pending_requests(), 0);
+    }
+
+    #[test]
+    fn drr_drain_respects_weights_under_overload() {
+        // Two tenants, weights 3:1, a drain budget of 8 per flush, and 16
+        // pending requests each (2x oversubscription of the budget). The
+        // first flush must admit 6 vs 2.
+        let cfg = ServiceConfig::builder()
+            .shards(1)
+            .tenant(TenantId(1), TenantSpec::new(3, 64))
+            .tenant(TenantId(2), TenantSpec::new(1, 64))
+            .drain_budget(8)
+            .build()
+            .expect("valid");
+        let svc = Service::with_config(&device(), cfg);
+        let a = Arc::new(gen::random_uniform(120, 120, 5.0, 2.0, 9));
+        let mut tickets: BTreeMap<TenantId, Vec<ServiceTicket>> = BTreeMap::new();
+        for tn in [TenantId(1), TenantId(2)] {
+            for s in 0..16 {
+                let t = svc
+                    .submit_spmv(tn, &a, operand(a.num_cols, s), None)
+                    .expect("admitted");
+                tickets.entry(tn).or_default().push(t);
+            }
+        }
+        assert_eq!(svc.flush(), 8);
+        let completed = |tn: TenantId| {
+            tickets[&tn]
+                .iter()
+                .filter(|t| svc.take_result(**t).is_ok())
+                .count()
+        };
+        assert_eq!(completed(TenantId(1)), 6, "weight-3 tenant share");
+        assert_eq!(completed(TenantId(2)), 2, "weight-1 tenant share");
+        // The rest stay queued for later flushes.
+        assert_eq!(svc.pending_requests(), 24);
+    }
+
+    #[test]
+    fn injector_deadlines_expire_with_attribution() {
+        let cfg = ServiceConfig::builder().shards(2).build().expect("valid");
+        let svc = Service::with_config(&device(), cfg);
+        let a = Arc::new(gen::random_uniform(80, 80, 4.0, 1.0, 5));
+        let tn = TenantId(3);
+        let t = svc
+            .submit_spmv(tn, &a, operand(a.num_cols, 1), Some(Duration::ZERO))
+            .expect("admitted");
+        assert_eq!(
+            svc.take_result(t),
+            Err(EngineError::NotReady(t.raw())),
+            "queued until a flush"
+        );
+        assert_eq!(svc.flush(), 1);
+        assert_eq!(
+            svc.take_result(t),
+            Err(EngineError::DeadlineExceeded { tenant: Some(tn) })
+        );
+        assert_eq!(
+            svc.take_result(t),
+            Err(EngineError::UnknownTicket(t.raw())),
+            "redeemable once"
+        );
+        let s = svc.stats();
+        assert_eq!(s.service_tenants.get(tn).deadline_misses, 1);
+        assert!(s.render().contains("tenant#3"), "{}", s.render());
+    }
+
+    #[test]
+    fn spgemm_and_spmm_route_through_the_service() {
+        let svc = Service::new(&device());
+        let engine = Engine::new(&device());
+        let a = Arc::new(gen::random_uniform(150, 150, 5.0, 2.0, 11));
+        let b = Arc::new(gen::random_uniform(150, 150, 4.0, 2.0, 12));
+        let blk = DenseBlock::from_fn(a.num_cols, 3, |r, c| (r * 3 + c) as f64 / 7.0);
+        let want_mm = engine.spmm(&a, &blk);
+        let want_gm = engine.spgemm(&a, &b);
+        let tn = TenantId(0);
+        let t_mm = svc
+            .submit_spmm(tn, &a, blk.clone(), None)
+            .expect("admitted");
+        let t_gm = svc.submit_spgemm(tn, &a, &b, None).expect("admitted");
+        assert_eq!(svc.flush(), 2);
+        assert_eq!(svc.take_result(t_mm).expect("block").into_block(), want_mm);
+        assert_eq!(
+            svc.take_result(t_gm).expect("matrix").into_matrix(),
+            want_gm.c
+        );
+    }
+
+    #[test]
+    fn per_shard_chaos_is_seed_deterministic() {
+        let chaos = crate::ChaosConfig {
+            seed: 77,
+            reject_submit_p: 0.3,
+            ..crate::ChaosConfig::default()
+        };
+        let engine_cfg = EngineConfig::builder().chaos(chaos).build().expect("valid");
+        let run = || {
+            let cfg = ServiceConfig::builder()
+                .shards(2)
+                .engine(engine_cfg.clone())
+                .build()
+                .expect("valid");
+            let svc = Service::with_config(&device(), cfg);
+            let mats: Vec<Arc<CsrMatrix>> = (0..4)
+                .map(|s| Arc::new(gen::random_uniform(90, 90, 4.0, 1.0, 30 + s)))
+                .collect();
+            let mut outcomes = Vec::new();
+            for round in 0..10u64 {
+                let m = &mats[(round % 4) as usize];
+                let t = svc
+                    .submit_spmv(TenantId(0), m, operand(m.num_cols, round), None)
+                    .expect("quota admits");
+                svc.flush();
+                outcomes.push(svc.take_result(t).is_ok());
+            }
+            outcomes
+        };
+        assert_eq!(run(), run(), "same seeds must replay the same schedule");
+    }
+
+    #[test]
+    fn builder_rejects_invalid_configs() {
+        for (built, what) in [
+            (ServiceConfig::builder().shards(0).build(), "shards"),
+            (
+                ServiceConfig::builder().drain_budget(0).build(),
+                "drain_budget",
+            ),
+            (
+                ServiceConfig::builder().drain_quantum(0).build(),
+                "drain_quantum",
+            ),
+            (
+                ServiceConfig::builder()
+                    .tenant(TenantId(1), TenantSpec::new(0, 4))
+                    .build(),
+                "weight",
+            ),
+            (
+                ServiceConfig::builder()
+                    .default_tenant(TenantSpec::new(1, 0))
+                    .build(),
+                "max_pending",
+            ),
+        ] {
+            match built {
+                Err(EngineError::InvalidConfig(msg)) => {
+                    assert!(msg.contains(what), "{msg} should mention {what}")
+                }
+                other => panic!("expected InvalidConfig for {what}, got {other:?}"),
+            }
+        }
+    }
+}

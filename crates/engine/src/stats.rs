@@ -1,8 +1,124 @@
 //! Aggregated serving telemetry.
 
+use std::collections::BTreeMap;
+
 use mps_simt::{Counters, PhaseLedger};
 
 use crate::chaos::ChaosCounters;
+use crate::error::TenantId;
+
+/// Per-tenant serving counters. One row of the [`TenantTable`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantCounters {
+    /// Requests completed for this tenant (through tenant-tagged
+    /// submissions; plain engine calls are never attributed).
+    pub requests: u64,
+    /// Of those, how many were served from an already-cached plan (the
+    /// plan lookup for the flush group carrying the request was a hit).
+    pub hits: u64,
+    /// Submissions refused with [`crate::EngineError::Overloaded`] —
+    /// engine queue-depth rejections and service quota rejections alike.
+    pub overloads: u64,
+    /// Requests that expired with
+    /// [`crate::EngineError::DeadlineExceeded`].
+    pub deadline_misses: u64,
+}
+
+impl TenantCounters {
+    /// Fraction of this tenant's completed requests served from a cached
+    /// plan.
+    pub fn hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.requests as f64
+        }
+    }
+}
+
+/// Per-tenant ledger shared by [`EngineStats`] and the service layer's
+/// aggregated stats: requests, plan-cache hits, overload rejections and
+/// deadline misses, keyed by [`TenantId`] (ordered, so rendering is
+/// deterministic).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantTable {
+    rows: BTreeMap<TenantId, TenantCounters>,
+}
+
+impl TenantTable {
+    fn row(&mut self, tenant: TenantId) -> &mut TenantCounters {
+        self.rows.entry(tenant).or_default()
+    }
+
+    /// Attribute one completed request (and whether its flush group's
+    /// plan lookup hit the cache).
+    pub fn record_request(&mut self, tenant: TenantId, cache_hit: bool) {
+        let r = self.row(tenant);
+        r.requests += 1;
+        if cache_hit {
+            r.hits += 1;
+        }
+    }
+
+    /// Attribute one `Overloaded` rejection.
+    pub fn record_overload(&mut self, tenant: TenantId) {
+        self.row(tenant).overloads += 1;
+    }
+
+    /// Attribute one `DeadlineExceeded` expiry.
+    pub fn record_deadline_miss(&mut self, tenant: TenantId) {
+        self.row(tenant).deadline_misses += 1;
+    }
+
+    /// Counters for one tenant (zeros if never seen).
+    pub fn get(&self, tenant: TenantId) -> TenantCounters {
+        self.rows.get(&tenant).copied().unwrap_or_default()
+    }
+
+    /// Iterate rows in tenant-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TenantId, &TenantCounters)> {
+        self.rows.iter().map(|(t, c)| (*t, c))
+    }
+
+    /// Requests completed across all tenants.
+    pub fn total_requests(&self) -> u64 {
+        self.rows.values().map(|c| c.requests).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Fold another table into this one (summing per-tenant rows). Used
+    /// by the service to aggregate per-shard ledgers.
+    pub fn merge(&mut self, other: &TenantTable) {
+        for (t, c) in other.iter() {
+            let r = self.row(t);
+            r.requests += c.requests;
+            r.hits += c.hits;
+            r.overloads += c.overloads;
+            r.deadline_misses += c.deadline_misses;
+        }
+    }
+
+    /// Aligned per-tenant table (header + one row per tenant).
+    pub fn render(&self) -> String {
+        let mut out =
+            String::from("tenant      requests      hits  hit_rate  overloads  deadline_misses\n");
+        for (t, c) in self.iter() {
+            out.push_str(&format!(
+                "{:<10}  {:>8}  {:>8}  {:>7.1}%  {:>9}  {:>15}\n",
+                t.to_string(),
+                c.requests,
+                c.hits,
+                100.0 * c.hit_rate(),
+                c.overloads,
+                c.deadline_misses,
+            ));
+        }
+        out
+    }
+}
 
 /// Snapshot of everything the engine has done since construction (or the
 /// last [`crate::Engine::reset_stats`]). Cheap to clone; all counters are
@@ -70,6 +186,9 @@ pub struct EngineStats {
     /// Faults injected by the [`crate::ChaosConfig`] schedule (all zero
     /// when chaos is disabled).
     pub chaos: ChaosCounters,
+    /// Per-tenant ledger of tenant-tagged submissions (empty when every
+    /// request came through the plain, untagged engine API).
+    pub tenants: TenantTable,
 }
 
 impl EngineStats {
@@ -99,6 +218,44 @@ impl EngineStats {
         } else {
             self.batched_requests as f64 / self.batches as f64
         }
+    }
+
+    /// Fold another snapshot into this one, summing every counter,
+    /// histogram bucket, ledger phase and tenant row. The service layer
+    /// uses this to aggregate per-shard engine stats into one view.
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_evictions += other.cache_evictions;
+        self.pool_checkouts += other.pool_checkouts;
+        self.pool_reuses += other.pool_reuses;
+        self.requests += other.requests;
+        self.batches += other.batches;
+        self.batched_requests += other.batched_requests;
+        if self.batch_histogram.len() < other.batch_histogram.len() {
+            self.batch_histogram.resize(other.batch_histogram.len(), 0);
+        }
+        for (i, n) in other.batch_histogram.iter().enumerate() {
+            self.batch_histogram[i] += n;
+        }
+        self.rejected_overload += other.rejected_overload;
+        self.rejected_deadline += other.rejected_deadline;
+        self.results_evicted += other.results_evicted;
+        self.plan_build_sim_ms += other.plan_build_sim_ms;
+        self.exec_sim_ms += other.exec_sim_ms;
+        self.spgemm_symbolic_builds += other.spgemm_symbolic_builds;
+        self.spgemm_numeric_execs += other.spgemm_numeric_execs;
+        self.spgemm_symbolic_sim_ms += other.spgemm_symbolic_sim_ms;
+        self.spgemm_numeric_sim_ms += other.spgemm_numeric_sim_ms;
+        self.spgemm_symbolic_host_ms += other.spgemm_symbolic_host_ms;
+        self.spgemm_numeric_host_ms += other.spgemm_numeric_host_ms;
+        self.totals.add(&other.totals);
+        self.phases.merge(&other.phases);
+        self.chaos.pool_exhaustions += other.chaos.pool_exhaustions;
+        self.chaos.cache_storms += other.chaos.cache_storms;
+        self.chaos.forced_deadline_expiries += other.chaos.forced_deadline_expiries;
+        self.chaos.forced_rejections += other.chaos.forced_rejections;
+        self.tenants.merge(&other.tenants);
     }
 
     pub(crate) fn record_batch(&mut self, size: usize) {
@@ -175,6 +332,10 @@ impl EngineStats {
                 self.chaos.forced_rejections,
             ));
         }
+        if !self.tenants.is_empty() {
+            out.push('\n');
+            out.push_str(&self.tenants.render());
+        }
         if !self.phases.is_empty() {
             out.push('\n');
             out.push_str(&self.phases.render());
@@ -207,6 +368,61 @@ mod tests {
         assert!((s.mean_batch_size() - 7.0 / 3.0).abs() < 1e-12);
         let r = s.render();
         assert!(r.contains("1x1 3x2"), "{r}");
+    }
+
+    #[test]
+    fn tenant_table_records_merges_and_renders() {
+        let (a, b) = (TenantId(1), TenantId(2));
+        let mut t = TenantTable::default();
+        t.record_request(a, true);
+        t.record_request(a, false);
+        t.record_overload(b);
+        t.record_deadline_miss(a);
+        assert_eq!(t.get(a).requests, 2);
+        assert_eq!(t.get(a).hits, 1);
+        assert!((t.get(a).hit_rate() - 0.5).abs() < 1e-15);
+        assert_eq!(t.get(b).overloads, 1);
+        assert_eq!(t.get(TenantId(99)), TenantCounters::default());
+        assert_eq!(t.total_requests(), 2);
+
+        let mut u = TenantTable::default();
+        u.record_request(b, true);
+        u.merge(&t);
+        assert_eq!(u.get(a).requests, 2);
+        assert_eq!(u.get(b).requests, 1);
+
+        let r = u.render();
+        assert!(r.contains("tenant#1"), "{r}");
+        assert!(r.contains("deadline_misses"), "{r}");
+
+        let mut s = EngineStats::default();
+        assert!(!s.render().contains("tenant#"));
+        s.tenants = u;
+        assert!(s.render().contains("tenant#2"));
+    }
+
+    #[test]
+    fn merge_sums_counters_histograms_and_tenants() {
+        let mut a = EngineStats::default();
+        a.record_batch(2);
+        a.cache_hits = 3;
+        a.exec_sim_ms = 1.5;
+        a.tenants.record_request(TenantId(0), true);
+        let mut b = EngineStats::default();
+        b.record_batch(4);
+        b.record_batch(2);
+        b.cache_hits = 2;
+        b.exec_sim_ms = 0.5;
+        b.chaos.cache_storms = 1;
+        b.tenants.record_request(TenantId(0), false);
+        a.merge(&b);
+        assert_eq!(a.cache_hits, 5);
+        assert_eq!(a.batches, 3);
+        assert_eq!(a.batch_histogram, vec![0, 0, 2, 0, 1]);
+        assert!((a.exec_sim_ms - 2.0).abs() < 1e-12);
+        assert_eq!(a.chaos.cache_storms, 1);
+        assert_eq!(a.tenants.get(TenantId(0)).requests, 2);
+        assert_eq!(a.tenants.get(TenantId(0)).hits, 1);
     }
 
     #[test]

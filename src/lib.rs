@@ -34,8 +34,9 @@
 //! * [`graph`] — graph analytics over a generic-semiring flat SpMV (BFS,
 //!   connected components, PageRank, triangle counting);
 //! * [`engine`] — the serving layer: a plan cache keyed by pattern
-//!   fingerprint, a workspace pool, and a batcher that coalesces
-//!   concurrent SpMV requests into column-tiled SpMM traversals.
+//!   fingerprint, a workspace pool, a batcher that coalesces concurrent
+//!   SpMV requests into column-tiled SpMM traversals, and a sharded
+//!   multi-tenant [`engine::Service`] with per-tenant QoS.
 
 pub use mps_baselines as baselines;
 pub use mps_core as core;
@@ -116,7 +117,9 @@ pub mod prelude {
         SpgemmConfig, SpgemmPlan, SpmmConfig, SpmmPlan, SpmvConfig, SpmvPlan, Workspace,
     };
     pub use mps_engine::{
-        Engine, EngineConfig, EngineConfigBuilder, EngineError, EngineOutput, EngineStats, Ticket,
+        Engine, EngineConfig, EngineConfigBuilder, EngineError, EngineOutput, EngineStats, Service,
+        ServiceConfig, ServiceConfigBuilder, ServiceStats, ServiceTicket, TenantId, TenantSpec,
+        Ticket,
     };
     pub use mps_simt::{Device, Phase, PhaseLedger, PhaseReport};
     pub use mps_solvers::{

@@ -28,10 +28,10 @@ fn operand(cols: usize, slot: usize) -> Vec<f64> {
 }
 
 fn chaos_engine(chaos: ChaosConfig) -> Engine {
-    let cfg = EngineConfig {
-        chaos,
-        ..EngineConfig::default()
-    };
+    let cfg = EngineConfig::builder()
+        .chaos(chaos)
+        .build()
+        .expect("valid config");
     Engine::with_config(&device(), cfg)
 }
 
@@ -54,7 +54,7 @@ fn forced_rejection_constructs_overloaded() {
             queue_depth, limit, ..
         } => {
             assert_eq!(queue_depth, 0, "queue was empty; the rejection was forced");
-            assert_eq!(limit, engine.config().max_queue_depth);
+            assert_eq!(limit, engine.config().max_queue_depth());
         }
         other => panic!("expected Overloaded, got {other:?}"),
     }
@@ -68,10 +68,10 @@ fn forced_rejection_constructs_overloaded() {
 /// per-fingerprint queue refuses the submission past `max_queue_depth`.
 #[test]
 fn organic_queue_overflow_constructs_overloaded() {
-    let cfg = EngineConfig {
-        max_queue_depth: 3,
-        ..EngineConfig::default()
-    };
+    let cfg = EngineConfig::builder()
+        .queue_capacity(3)
+        .build()
+        .expect("valid config");
     let engine = Engine::with_config(&device(), cfg);
     let a = matrix(2);
     for s in 0..3 {
@@ -120,7 +120,7 @@ fn forced_expiry_constructs_deadline_exceeded() {
     assert!(
         matches!(
             engine.take_result(doomed),
-            Err(EngineError::DeadlineExceeded)
+            Err(EngineError::DeadlineExceeded { .. })
         ),
         "a generous hour-long deadline was forcibly expired"
     );
@@ -164,21 +164,20 @@ fn spent_or_bogus_tickets_are_unknown() {
     ));
 }
 
-/// Out-of-range chaos probabilities are an `InvalidConfig` at engine
-/// construction, alongside the existing zero-capacity rejections.
+/// Out-of-range chaos probabilities are an `InvalidConfig` at the
+/// builder (the only construction path now that config fields are
+/// private), alongside the existing zero-capacity rejections.
 #[test]
 fn invalid_configs_are_rejected_up_front() {
-    let dev = device();
     for bad in [-0.25, 1.5, f64::NAN, f64::INFINITY] {
-        let cfg = EngineConfig {
-            chaos: ChaosConfig {
+        let built = EngineConfig::builder()
+            .chaos(ChaosConfig {
                 seed: 1,
                 pool_exhaust_p: bad,
                 ..ChaosConfig::default()
-            },
-            ..EngineConfig::default()
-        };
-        match Engine::try_with_config(&dev, cfg) {
+            })
+            .build();
+        match built {
             Err(EngineError::InvalidConfig(msg)) => {
                 assert!(msg.contains("chaos"), "unhelpful message: {msg}")
             }
@@ -186,12 +185,8 @@ fn invalid_configs_are_rejected_up_front() {
             Ok(_) => panic!("probability {bad} accepted"),
         }
     }
-    let cfg = EngineConfig {
-        plan_capacity: 0,
-        ..EngineConfig::default()
-    };
     assert!(matches!(
-        Engine::try_with_config(&dev, cfg),
+        EngineConfig::builder().plan_capacity(0).build(),
         Err(EngineError::InvalidConfig(_))
     ));
 }
@@ -201,10 +196,10 @@ fn invalid_configs_are_rejected_up_front() {
 /// `UnknownTicket` and the eviction is counted.
 #[test]
 fn unclaimed_results_age_out() {
-    let cfg = EngineConfig {
-        result_ttl_flushes: 2,
-        ..EngineConfig::default()
-    };
+    let cfg = EngineConfig::builder()
+        .result_ttl_flushes(2)
+        .build()
+        .expect("valid config");
     let engine = Engine::with_config(&device(), cfg);
     let a = matrix(6);
     let t = engine
@@ -310,7 +305,7 @@ fn fault_schedules_replay_deterministically() {
             engine.flush();
             fates.push(match engine.take_result(t) {
                 Ok(_) => "completed",
-                Err(EngineError::DeadlineExceeded) => "expired",
+                Err(EngineError::DeadlineExceeded { .. }) => "expired",
                 other => panic!("unexpected redemption outcome: {other:?}"),
             });
         }

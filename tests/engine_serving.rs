@@ -57,7 +57,7 @@ proptest! {
 
         // Engine: N concurrent submissions, one flush.
         let engine = Engine::new(&dev);
-        prop_assert_eq!(engine.config().max_batch, 16, "suite assumes TILE_K = 16");
+        prop_assert_eq!(engine.config().max_batch(), 16, "suite assumes TILE_K = 16");
         let tickets: Vec<_> = xs
             .iter()
             .map(|x| engine.submit_spmv(&a, x.clone(), None).expect("under depth limit"))
@@ -109,7 +109,7 @@ proptest! {
             })
             .collect();
 
-        let cfg = EngineConfig { max_batch, ..EngineConfig::default() };
+        let cfg = EngineConfig::builder().max_batch(max_batch).build().expect("valid config");
         let engine = Engine::with_config(&dev, cfg);
         let tickets: Vec<_> = xs
             .iter()
@@ -159,7 +159,7 @@ proptest! {
             })
             .collect();
 
-        let cfg = EngineConfig { max_batch, ..EngineConfig::default() };
+        let cfg = EngineConfig::builder().max_batch(max_batch).build().expect("valid config");
         let engine = Engine::with_config(&dev, cfg);
         let tb = engine.submit_spmm(&a, block.clone(), None).expect("admitted");
         let tvs: Vec<_> = (0..extra_vecs)
