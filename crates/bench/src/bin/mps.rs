@@ -11,6 +11,7 @@
 //! mps trace a.mtx                      # phase-attributed kernel breakdown
 //! mps conformance [--tiny]             # differential sweep, all implementations
 //! mps host [--tiny]                    # host runtime: launch overhead, pool dispatch
+//! mps stream [--tiny] [-o out.json]    # value-mutation plan reuse + PageRank stream
 //! ```
 //!
 //! Simulated device timings and correlations print to stdout; matrices
@@ -23,7 +24,7 @@ use mps_baselines::{cusp, cusparse_like};
 use mps_bench::{conformance, trace_exp};
 use mps_core::{merge_spadd, merge_spmv, SpAddConfig, SpgemmConfig, SpgemmPlan, SpmvConfig};
 use mps_simt::Device;
-use mps_sparse::io::{load_matrix_market, write_matrix_market};
+use mps_sparse::io::{load_matrix_market, write_matrix_market, MmError};
 use mps_sparse::reorder::{bandwidth, permute_symmetric, reverse_cuthill_mckee};
 use mps_sparse::stats::MatrixStats;
 use mps_sparse::suite::SuiteMatrix;
@@ -31,22 +32,37 @@ use mps_sparse::CsrMatrix;
 use mps_testkit::adversarial::Scale;
 
 fn usage() -> &'static str {
-    "usage:\n  mps info <matrix.mtx>\n  mps generate <suite-name> [--scale X] -o <out.mtx>\n  mps spmv <a.mtx>\n  mps spadd <a.mtx> <b.mtx> [-o <out.mtx>]\n  mps spgemm <a.mtx> <b.mtx> | <suite-name> [--scale X] [-o <out.mtx>]\n  mps reorder <a.mtx> -o <out.mtx>\n  mps trace <a.mtx | suite-name> [--scale X]\n  mps conformance [--tiny]\n  mps host [--tiny]\n  mps load [--tiny] [-o <out.json>]\n\nsuite names: dense protein spheres cantilever wind harbor qcd ship\n             economics epidemiology accelerator circuit webbase lp"
+    "usage:\n  mps info <matrix.mtx>\n  mps generate <suite-name> [--scale X] -o <out.mtx>\n  mps spmv <a.mtx>\n  mps spadd <a.mtx> <b.mtx> [-o <out.mtx>]\n  mps spgemm <a.mtx> <b.mtx> | <suite-name> [--scale X] [-o <out.mtx>]\n  mps reorder <a.mtx> -o <out.mtx>\n  mps trace <a.mtx | suite-name> [--scale X]\n  mps conformance [--tiny]\n  mps host [--tiny]\n  mps load [--tiny] [-o <out.json>]\n  mps stream [--tiny] [-o <out.json>]\n\nsuite names: dense protein spheres cantilever wind harbor qcd ship\n             economics epidemiology accelerator circuit webbase lp"
 }
 
+// Every argument failure renders through the facade's unified error, so
+// a bad path and a bad suite name fail the same way: the offending
+// argument first, then the typed underlying error.
 fn load(path: &str) -> Result<CsrMatrix, String> {
-    load_matrix_market(Path::new(path)).map_err(|e| format!("failed to read {path}: {e}"))
+    load_matrix_market(Path::new(path))
+        .map_err(|e| merge_path_sparse::Error::for_file(path, e).to_string())
 }
 
 fn save(path: &str, m: &CsrMatrix) -> Result<(), String> {
-    let f = std::fs::File::create(path).map_err(|e| format!("failed to create {path}: {e}"))?;
-    write_matrix_market(f, m).map_err(|e| format!("failed to write {path}: {e}"))
+    let f = std::fs::File::create(path)
+        .map_err(|e| merge_path_sparse::Error::for_file(path, MmError::Io(e)).to_string())?;
+    write_matrix_market(f, m).map_err(|e| merge_path_sparse::Error::for_file(path, e).to_string())
 }
 
 fn suite_by_name(name: &str) -> Option<SuiteMatrix> {
     SuiteMatrix::ALL.iter().copied().find(|m| {
         m.name().eq_ignore_ascii_case(name)
             || m.name().to_lowercase().starts_with(&name.to_lowercase())
+    })
+}
+
+fn suite(name: &str) -> Result<SuiteMatrix, String> {
+    suite_by_name(name).ok_or_else(|| {
+        format!(
+            "{}\n{}",
+            merge_path_sparse::Error::UnknownSuite(name.into()),
+            usage()
+        )
     })
 }
 
@@ -119,8 +135,7 @@ fn run() -> Result<(), String> {
         }
         "generate" => {
             let name = p.positional.first().ok_or(usage())?;
-            let suite =
-                suite_by_name(name).ok_or_else(|| format!("unknown suite matrix {name}"))?;
+            let suite = suite(name)?;
             let out = p.out.ok_or("generate needs -o <out.mtx>")?;
             let m = suite.generate(p.scale);
             save(out.to_str().ok_or("bad output path")?, &m)?;
@@ -165,9 +180,7 @@ fn run() -> Result<(), String> {
             // Either a suite name (its paper operand pair at --scale) or
             // two Matrix Market files.
             let (a, b) = match p.positional.as_slice() {
-                [one] => suite_by_name(one)
-                    .map(|s| s.spgemm_operands(p.scale))
-                    .ok_or_else(|| format!("unknown suite matrix {one}\n{}", usage()))?,
+                [one] => suite(one)?.spgemm_operands(p.scale),
                 [pa, pb, ..] => (load(pa)?, load(pb)?),
                 _ => return Err(usage().to_string()),
             };
@@ -271,6 +284,23 @@ fn run() -> Result<(), String> {
             print!("{}", mps_bench::load_exp::render(&report));
             if let Some(out) = p.out {
                 std::fs::write(&out, mps_bench::load_exp::to_json(&report))
+                    .map_err(|e| format!("could not write {}: {e}", out.display()))?;
+                println!("wrote {}", out.display());
+            }
+        }
+        "stream" => {
+            if std::env::var_os("RAYON_NUM_THREADS").is_none() {
+                let _ = rayon::set_num_threads(4);
+            }
+            let opts = if p.tiny {
+                mps_bench::stream_exp::StreamOptions::tiny()
+            } else {
+                mps_bench::stream_exp::StreamOptions::full()
+            };
+            let report = mps_bench::stream_exp::run(&device, &opts);
+            print!("{}", mps_bench::stream_exp::render(&report));
+            if let Some(out) = p.out {
+                std::fs::write(&out, mps_bench::stream_exp::to_json(&report))
                     .map_err(|e| format!("could not write {}: {e}", out.display()))?;
                 println!("wrote {}", out.display());
             }

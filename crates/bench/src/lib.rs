@@ -18,6 +18,7 @@
 //! | host runtime | [`host_exp`] | per-launch overhead, pool-vs-spawn dispatch, host/sim gap |
 //! | serving layer | [`serve_exp`] | batched vs unbatched SpMV serving through the engine |
 //! | serving service | [`load_exp`] | closed-loop multi-tenant load, QoS fairness, shard scaling |
+//! | streaming mutation | [`stream_exp`] | value-update plan reuse vs rebuild, sliding-window PageRank |
 //! | phase breakdown | [`trace_exp`] | per-kernel phase-attributed time over the suite |
 //! | conformance | [`conformance`] | differential sweep of every implementation vs its oracle |
 //!
@@ -37,6 +38,7 @@ pub mod spgemm_exp;
 pub mod spmm_exp;
 pub mod spmv_exp;
 pub mod stats;
+pub mod stream_exp;
 pub mod tables;
 pub mod trace_exp;
 

@@ -1,0 +1,436 @@
+//! Plan reuse under value mutation vs full rebuild, plus the streaming
+//! sliding-window PageRank scenario — reported into `BENCH_stream.json`.
+//!
+//! Two scenarios:
+//!
+//! * **Value rounds over the Table II suite** — each suite matrix gets
+//!   one [`SpmvPlan`] built up front; every round swaps fresh numeric
+//!   values into the pattern through [`SpmvPlan::update_values`] and
+//!   replays the cached partition. The comparison arm rebuilds from
+//!   scratch each round: partition the identically-valued matrix, then
+//!   execute. Both arms are timed in host wall-clock (matrix assembly
+//!   and value generation are outside both timers) and every round's
+//!   outputs are compared **bitwise** — the update path must be a pure
+//!   shortcut, not an approximation. The headline number is the
+//!   per-suite and total rebuild/update speedup; the acceptance gate
+//!   demands ≥3x and zero divergences. (The engine/service layers ride
+//!   the same mechanism through `submit_update`, but memoize pattern
+//!   fingerprints per `Arc`, so the plan level is where the reuse-vs-
+//!   rebuild gap is measured undiluted.)
+//! * **Sliding-window PageRank** — the [`mps_graph::stream`] scenario run
+//!   end-to-end through a sharded [`Service`] on a cyclic edge stream:
+//!   one warm period builds every window pattern's plan, then the steady
+//!   phase must be 100% plan-cache hits while pattern deltas patch the
+//!   registered transition operator between rounds.
+
+use std::time::Instant;
+
+use mps_core::{SpmvConfig, SpmvPlan, Workspace};
+use mps_engine::{Service, TenantId};
+use mps_graph::{edge_stream, sliding_pagerank, StreamConfig};
+use mps_simt::Device;
+use mps_sparse::suite::SuiteMatrix;
+use mps_sparse::CsrMatrix;
+
+/// Harness sizing. [`StreamOptions::full`] is the acceptance run;
+/// [`StreamOptions::tiny`] the CI smoke with identical structure.
+#[derive(Debug, Clone)]
+pub struct StreamOptions {
+    /// Mutation rounds per suite matrix (per arm).
+    pub rounds: usize,
+    /// Suite generation scale (fraction of the paper's dimensions).
+    pub scale: f64,
+    /// Vertices in the PageRank stream graph.
+    pub nodes: usize,
+    /// Edges per PageRank window.
+    pub window: usize,
+    /// Edges the window slides per round.
+    pub stride: usize,
+    /// Edges in one period of the cyclic stream (multiple of `stride`).
+    pub period: usize,
+    /// Periods the steady phase spans.
+    pub periods: usize,
+    /// Label recorded in the report ("full" / "tiny").
+    pub mode: &'static str,
+}
+
+impl StreamOptions {
+    pub fn full() -> StreamOptions {
+        StreamOptions {
+            rounds: 8,
+            scale: 0.05,
+            nodes: 64,
+            window: 96,
+            stride: 4,
+            period: 112,
+            periods: 3,
+            mode: "full",
+        }
+    }
+
+    pub fn tiny() -> StreamOptions {
+        StreamOptions {
+            rounds: 3,
+            scale: 0.01,
+            nodes: 32,
+            window: 48,
+            stride: 4,
+            period: 64,
+            periods: 3,
+            mode: "tiny",
+        }
+    }
+}
+
+/// One suite matrix's update-vs-rebuild outcome.
+#[derive(Debug, Clone)]
+pub struct SuiteRow {
+    pub name: &'static str,
+    pub rows: usize,
+    pub nnz: usize,
+    pub rounds: usize,
+    /// Host wall-clock of all update-path rounds (value swap + cached-plan
+    /// execute).
+    pub update_host_ms: f64,
+    /// Host wall-clock of all rebuild-path rounds (cold plan + execute).
+    pub rebuild_host_ms: f64,
+    /// `rebuild_host_ms / update_host_ms`.
+    pub speedup: f64,
+    /// Rounds whose two arms disagreed bitwise (must be 0).
+    pub divergences: usize,
+}
+
+/// Sliding-window PageRank scenario outcome.
+#[derive(Debug, Clone)]
+pub struct PageRankStreamReport {
+    pub nodes: usize,
+    pub window: usize,
+    pub stride: usize,
+    pub rounds: usize,
+    pub converged_rounds: usize,
+    /// Balanced-path union patches applied in the steady phase.
+    pub delta_applies: u64,
+    /// Deltas that exceeded the threshold and rebuilt instead.
+    pub delta_fallbacks: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    /// Steady-phase plan-cache hit rate (must be exactly 1.0).
+    pub steady_hit_rate: f64,
+}
+
+/// The full `BENCH_stream.json` payload.
+#[derive(Debug, Clone)]
+pub struct StreamBenchReport {
+    pub mode: String,
+    pub suite: Vec<SuiteRow>,
+    pub total_update_host_ms: f64,
+    pub total_rebuild_host_ms: f64,
+    pub total_speedup: f64,
+    pub total_divergences: usize,
+    pub pagerank: PageRankStreamReport,
+}
+
+/// Deterministic per-round replacement values.
+fn round_values(nnz: usize, round: usize) -> Vec<f64> {
+    (0..nnz)
+        .map(|i| {
+            let k = (i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(round as u64 * 0x1000_0000_01B3);
+            0.25 + (k % 4096) as f64 / 1024.0 - (round % 5) as f64 * 0.125
+        })
+        .collect()
+}
+
+fn bits_of(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Run the update-vs-rebuild arms for one matrix.
+fn run_matrix(device: &Device, name: &'static str, m: CsrMatrix, rounds: usize) -> SuiteRow {
+    let (n_rows, nnz) = (m.num_rows, m.nnz());
+    let x: Vec<f64> = (0..m.num_cols)
+        .map(|i| 1.0 + (i % 13) as f64 * 0.5)
+        .collect();
+
+    // Update arm: one plan built up front; every round is a value swap
+    // plus a cached-partition replay into reused buffers.
+    let cfg = SpmvConfig::default();
+    let plan = SpmvPlan::new(device, &m, &cfg);
+    let mut a = m.clone();
+    let mut ws = Workspace::new();
+    let mut y = Vec::new();
+    plan.execute_into(&a, &x, &mut y, &mut ws); // warm buffers, off the clock
+    let mut update_ns = 0u128;
+    let mut update_bits: Vec<Vec<u64>> = Vec::with_capacity(rounds);
+    for r in 0..rounds {
+        let vals = round_values(nnz, r);
+        let t0 = Instant::now();
+        plan.update_values(&mut a, vals).expect("matching length");
+        plan.execute_into(&a, &x, &mut y, &mut ws);
+        update_ns += t0.elapsed().as_nanos();
+        update_bits.push(bits_of(&y));
+    }
+
+    // Rebuild arm: identical values, but the partition is planned from
+    // scratch every round (matrix assembly and value generation stay off
+    // the clock; planning and execution are on it).
+    let mut rebuild_ns = 0u128;
+    let mut divergences = 0usize;
+    for (r, expected) in update_bits.iter().enumerate() {
+        let mut fresh = m.clone();
+        fresh.values = round_values(nnz, r);
+        let t0 = Instant::now();
+        let cold = SpmvPlan::new(device, &fresh, &cfg);
+        cold.execute_into(&fresh, &x, &mut y, &mut ws);
+        rebuild_ns += t0.elapsed().as_nanos();
+        if &bits_of(&y) != expected {
+            divergences += 1;
+        }
+    }
+
+    let update_host_ms = update_ns as f64 / 1e6;
+    let rebuild_host_ms = rebuild_ns as f64 / 1e6;
+    SuiteRow {
+        name,
+        rows: n_rows,
+        nnz,
+        rounds,
+        update_host_ms,
+        rebuild_host_ms,
+        speedup: rebuild_host_ms / update_host_ms.max(1e-9),
+        divergences,
+    }
+}
+
+/// Run the sliding-window PageRank scenario through a sharded service.
+pub fn run_pagerank_stream(device: &Device, opts: &StreamOptions) -> PageRankStreamReport {
+    assert!(
+        opts.period.is_multiple_of(opts.stride),
+        "period must tile by stride"
+    );
+    let svc = Service::new(device);
+    let cfg = StreamConfig {
+        nodes: opts.nodes,
+        window: opts.window,
+        stride: opts.stride,
+        ..StreamConfig::default()
+    };
+    let base = edge_stream(opts.nodes, opts.period, 42);
+    let edges: Vec<(u32, u32)> = base
+        .iter()
+        .copied()
+        .cycle()
+        .take(opts.periods * opts.period)
+        .collect();
+    // Warm one full period (including boundary-straddling windows), then
+    // measure the steady phase from clean ledgers.
+    sliding_pagerank(&svc, TenantId(0), &edges[..opts.period + opts.window], &cfg).expect("warm");
+    svc.reset_stats();
+    let report = sliding_pagerank(&svc, TenantId(0), &edges, &cfg).expect("steady");
+    let stats = svc.stats();
+    let agg = stats.aggregate();
+    PageRankStreamReport {
+        nodes: opts.nodes,
+        window: opts.window,
+        stride: opts.stride,
+        rounds: report.rounds.len(),
+        converged_rounds: report.rounds.iter().filter(|r| r.converged).count(),
+        delta_applies: agg.delta_applies,
+        delta_fallbacks: agg.delta_fallbacks,
+        cache_hits: agg.cache_hits,
+        cache_misses: agg.cache_misses,
+        steady_hit_rate: agg.cache_hits as f64 / (agg.cache_hits + agg.cache_misses).max(1) as f64,
+    }
+}
+
+/// Run both scenarios over the Table II suite.
+pub fn run(device: &Device, opts: &StreamOptions) -> StreamBenchReport {
+    let suite: Vec<SuiteRow> = SuiteMatrix::ALL
+        .iter()
+        .map(|s| run_matrix(device, s.name(), s.generate(opts.scale), opts.rounds))
+        .collect();
+    let total_update: f64 = suite.iter().map(|r| r.update_host_ms).sum();
+    let total_rebuild: f64 = suite.iter().map(|r| r.rebuild_host_ms).sum();
+    StreamBenchReport {
+        mode: opts.mode.to_string(),
+        total_update_host_ms: total_update,
+        total_rebuild_host_ms: total_rebuild,
+        total_speedup: total_rebuild / total_update.max(1e-9),
+        total_divergences: suite.iter().map(|r| r.divergences).sum(),
+        suite,
+        pagerank: run_pagerank_stream(device, opts),
+    }
+}
+
+// ---- reporting ----------------------------------------------------------
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Hand-rolled JSON for `BENCH_stream.json` (no serde in the tree).
+pub fn to_json(r: &StreamBenchReport) -> String {
+    let mut out = String::from("{\n  \"stream\": {\n");
+    out.push_str(&format!("    \"mode\": \"{}\",\n", r.mode));
+    out.push_str("    \"suite\": [\n");
+    for (i, s) in r.suite.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"name\": \"{}\", \"rows\": {}, \"nnz\": {}, \"rounds\": {}, \
+             \"update_host_ms\": {}, \"rebuild_host_ms\": {}, \"speedup\": {}, \
+             \"divergences\": {}}}{}\n",
+            s.name,
+            s.rows,
+            s.nnz,
+            s.rounds,
+            json_f(s.update_host_ms),
+            json_f(s.rebuild_host_ms),
+            json_f(s.speedup),
+            s.divergences,
+            if i + 1 < r.suite.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("    ],\n");
+    out.push_str(&format!(
+        "    \"total\": {{\"update_host_ms\": {}, \"rebuild_host_ms\": {}, \"speedup\": {}, \
+         \"divergences\": {}}},\n",
+        json_f(r.total_update_host_ms),
+        json_f(r.total_rebuild_host_ms),
+        json_f(r.total_speedup),
+        r.total_divergences
+    ));
+    let p = &r.pagerank;
+    out.push_str("    \"pagerank\": {\n");
+    out.push_str(&format!(
+        "      \"nodes\": {}, \"window\": {}, \"stride\": {}, \"rounds\": {}, \
+         \"converged_rounds\": {},\n",
+        p.nodes, p.window, p.stride, p.rounds, p.converged_rounds
+    ));
+    out.push_str(&format!(
+        "      \"delta_applies\": {}, \"delta_fallbacks\": {}, \"cache_hits\": {}, \
+         \"cache_misses\": {}, \"steady_hit_rate\": {}\n",
+        p.delta_applies,
+        p.delta_fallbacks,
+        p.cache_hits,
+        p.cache_misses,
+        json_f(p.steady_hit_rate)
+    ));
+    out.push_str("    }\n  }\n}\n");
+    out
+}
+
+/// Render the human-readable summary tables.
+pub fn render(r: &StreamBenchReport) -> String {
+    let mut out = format!(
+        "value-mutation rounds ({} mode): {} rounds per matrix, update vs cold rebuild\n",
+        r.mode,
+        r.suite.first().map(|s| s.rounds).unwrap_or(0)
+    );
+    let rows: Vec<Vec<String>> = r
+        .suite
+        .iter()
+        .map(|s| {
+            vec![
+                s.name.to_string(),
+                s.nnz.to_string(),
+                format!("{:.3}", s.update_host_ms),
+                format!("{:.3}", s.rebuild_host_ms),
+                format!("{:.2}x", s.speedup),
+                s.divergences.to_string(),
+            ]
+        })
+        .collect();
+    out.push_str(&crate::render_table(
+        &[
+            "matrix",
+            "nnz",
+            "update_ms",
+            "rebuild_ms",
+            "speedup",
+            "diverge",
+        ],
+        &rows,
+    ));
+    out.push_str(&format!(
+        "total: update {:.3} ms vs rebuild {:.3} ms -> {:.2}x, {} divergences\n",
+        r.total_update_host_ms, r.total_rebuild_host_ms, r.total_speedup, r.total_divergences
+    ));
+    let p = &r.pagerank;
+    out.push_str(&format!(
+        "\nsliding-window PageRank: {} rounds over {} nodes (window {}, stride {})\n\
+         converged {}/{} · {} delta patches, {} fallbacks · steady cache hit rate {:.3} \
+         ({} hits / {} misses)\n",
+        p.rounds,
+        p.nodes,
+        p.window,
+        p.stride,
+        p.converged_rounds,
+        p.rounds,
+        p.delta_applies,
+        p.delta_fallbacks,
+        p.steady_hit_rate,
+        p.cache_hits,
+        p.cache_misses
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> Device {
+        Device::titan()
+    }
+
+    fn micro() -> StreamOptions {
+        StreamOptions {
+            rounds: 3,
+            scale: 0.005,
+            nodes: 32,
+            window: 48,
+            stride: 16,
+            period: 64,
+            periods: 2,
+            mode: "micro",
+        }
+    }
+
+    #[test]
+    fn update_rounds_beat_rebuild_rounds_with_zero_divergence() {
+        let r = run(&dev(), &micro());
+        assert_eq!(r.suite.len(), SuiteMatrix::ALL.len());
+        assert_eq!(r.total_divergences, 0, "update path must be bit-exact");
+        assert!(
+            r.total_speedup >= 3.0,
+            "plan reuse must dominate: got {:.2}x",
+            r.total_speedup
+        );
+    }
+
+    #[test]
+    fn pagerank_stream_is_all_hits_after_warmup() {
+        let p = run_pagerank_stream(&dev(), &micro());
+        assert_eq!(p.cache_misses, 0, "steady phase must replan nothing");
+        assert_eq!(p.steady_hit_rate, 1.0);
+        assert!(p.delta_applies + p.delta_fallbacks > 0);
+        assert_eq!(p.converged_rounds, p.rounds);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let r = run(&dev(), &micro());
+        let j = to_json(&r);
+        assert!(j.starts_with('{') && j.trim_end().ends_with('}'));
+        assert!(j.contains("\"suite\""));
+        assert!(j.contains("\"pagerank\""));
+        assert!(j.contains("\"steady_hit_rate\""));
+        assert!(!j.contains("NaN") && !j.contains("inf"));
+        let t = render(&r);
+        assert!(t.contains("sliding-window PageRank"), "{t}");
+    }
+}

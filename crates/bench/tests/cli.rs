@@ -195,5 +195,51 @@ fn bad_usage_exits_nonzero() {
 fn info_rejects_missing_file() {
     let out = mps(&["info", "/nonexistent/never.mtx"]);
     assert!(!out.status.success());
-    assert!(String::from_utf8_lossy(&out.stderr).contains("failed to read"));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("/nonexistent/never.mtx: io:"), "{err}");
+}
+
+#[test]
+fn argument_errors_are_unified_and_name_the_argument() {
+    // A bad suite name and a bad matrix path fail through the same facade
+    // error surface: offending argument first, then the typed cause.
+    for cmd in [
+        vec!["generate", "no-such-suite", "-o", "/tmp/x.mtx"],
+        vec!["spgemm", "no-such-suite"],
+    ] {
+        let out = mps(&cmd);
+        assert!(!out.status.success());
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains("unknown suite matrix 'no-such-suite'"),
+            "{cmd:?}: {err}"
+        );
+    }
+    for cmd in [
+        vec!["info", "/no/such/file.mtx"],
+        vec!["spmv", "/no/such/file.mtx"],
+        vec!["spadd", "/no/such/file.mtx", "/no/such/file.mtx"],
+        vec!["reorder", "/no/such/file.mtx", "-o", "/tmp/y.mtx"],
+    ] {
+        let out = mps(&cmd);
+        assert!(!out.status.success());
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("/no/such/file.mtx: io:"), "{cmd:?}: {err}");
+    }
+}
+
+#[test]
+fn stream_tiny_writes_the_bench_json() {
+    let json_path = tmp("stream.json");
+    let out = mps(&["stream", "--tiny", "-o", json_path.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("sliding-window PageRank"), "{text}");
+    let json = std::fs::read_to_string(&json_path).expect("json written");
+    assert!(json.contains("\"steady_hit_rate\""), "{json}");
+    assert!(json.contains("\"divergences\""), "{json}");
 }

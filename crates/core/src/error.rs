@@ -17,6 +17,22 @@ pub enum PlanError {
     InnerDimMismatch { a_cols: usize, b_rows: usize },
     /// A kernel configuration value is out of range.
     InvalidConfig(&'static str),
+    /// A value swap supplied the wrong number of nonzero values for the
+    /// planned pattern.
+    ValueLengthMismatch { expected: usize, got: usize },
+    /// A matrix handed to a value swap does not carry the planned
+    /// sparsity pattern (shape or nnz differ from what was partitioned).
+    PatternMismatch {
+        expected: (usize, usize, usize),
+        got: (usize, usize, usize),
+    },
+    /// A delta entry addresses a coordinate outside the matrix.
+    DeltaOutOfBounds {
+        row: u32,
+        col: u32,
+        num_rows: usize,
+        num_cols: usize,
+    },
 }
 
 impl std::fmt::Display for PlanError {
@@ -32,6 +48,24 @@ impl std::fmt::Display for PlanError {
                 "inner dimensions must agree: A has {a_cols} columns, B has {b_rows} rows"
             ),
             PlanError::InvalidConfig(what) => write!(f, "invalid plan configuration: {what}"),
+            PlanError::ValueLengthMismatch { expected, got } => write!(
+                f,
+                "value update must supply one value per planned nonzero: expected {expected}, got {got}"
+            ),
+            PlanError::PatternMismatch { expected, got } => write!(
+                f,
+                "matrix does not match the planned pattern: plan is {}x{} with {} nonzeros, matrix is {}x{} with {}",
+                expected.0, expected.1, expected.2, got.0, got.1, got.2
+            ),
+            PlanError::DeltaOutOfBounds {
+                row,
+                col,
+                num_rows,
+                num_cols,
+            } => write!(
+                f,
+                "delta entry ({row}, {col}) is outside the {num_rows}x{num_cols} matrix"
+            ),
         }
     }
 }

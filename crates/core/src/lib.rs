@@ -22,6 +22,7 @@
 
 pub mod assemble;
 pub mod config;
+pub mod delta;
 pub mod error;
 pub mod partition;
 mod simd;
@@ -32,6 +33,7 @@ pub mod spmv;
 pub mod workspace;
 
 pub use config::{SpAddConfig, SpgemmConfig, SpmmConfig, SpmvConfig};
+pub use delta::{apply_delta, apply_delta_reference, CsrDelta, DeltaApplied};
 pub use error::PlanError;
 pub use partition::MergePartition;
 pub use spadd::{merge_spadd, SpAddPlan, SpAddResult};

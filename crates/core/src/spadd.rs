@@ -80,7 +80,8 @@ fn expand_keys_host(m: &CsrMatrix, nv: usize) -> Vec<u64> {
 }
 
 /// Expand a CSR matrix into packed (row,col) keys, charging one pass.
-fn expand_keys(device: &Device, m: &CsrMatrix, nv: usize) -> (Vec<u64>, LaunchStats) {
+/// Shared with [`crate::delta`], whose union side is an expanded matrix too.
+pub(crate) fn expand_keys(device: &Device, m: &CsrMatrix, nv: usize) -> (Vec<u64>, LaunchStats) {
     let nnz = m.nnz();
     let num_ctas = nnz.div_ceil(nv).max(1);
     let keys = expand_keys_host(m, nv);
@@ -96,7 +97,8 @@ fn expand_keys(device: &Device, m: &CsrMatrix, nv: usize) -> (Vec<u64>, LaunchSt
 }
 
 /// Sentinel marking "no contribution from this operand" in a source pair.
-const NONE: u32 = u32::MAX;
+/// Shared with [`crate::delta`], which reuses the provenance-pair union.
+pub(crate) const NONE: u32 = u32::MAX;
 
 /// Precomputed SpAdd state for a fixed pair of sparsity patterns: the
 /// output pattern, a per-output source map into the operands' value arrays,

@@ -397,6 +397,47 @@ impl SpgemmPlan {
         4 * (self.a_idx.len() + self.b_pos.len() + self.slot.len()) + 8 * self.output_nnz()
     }
 
+    /// Swap the numeric values of the planned **A** operand in place. The
+    /// symbolic half (product maps, slot fusion, output pattern, bins) is
+    /// a function of the two sparsity patterns alone, so a value swap
+    /// keeps the plan fully valid and the next
+    /// [`SpgemmPlan::execute_numeric`] is a pure numeric replay with the
+    /// new values.
+    ///
+    /// Errors (leaving `a` untouched) if `a` does not carry the planned
+    /// A-pattern or `values` is not one value per planned nonzero.
+    pub fn update_values(&self, a: &mut CsrMatrix, values: Vec<f64>) -> Result<(), PlanError> {
+        Self::swap_values(self.a_dims, a, values)
+    }
+
+    /// Swap the numeric values of the planned **B** operand in place (see
+    /// [`SpgemmPlan::update_values`]).
+    pub fn update_values_b(&self, b: &mut CsrMatrix, values: Vec<f64>) -> Result<(), PlanError> {
+        Self::swap_values(self.b_dims, b, values)
+    }
+
+    fn swap_values(
+        dims: (usize, usize, usize),
+        m: &mut CsrMatrix,
+        values: Vec<f64>,
+    ) -> Result<(), PlanError> {
+        let got = (m.num_rows, m.num_cols, m.nnz());
+        if dims != got {
+            return Err(PlanError::PatternMismatch {
+                expected: dims,
+                got,
+            });
+        }
+        if values.len() != dims.2 {
+            return Err(PlanError::ValueLengthMismatch {
+                expected: dims.2,
+                got: values.len(),
+            });
+        }
+        m.values = values;
+        Ok(())
+    }
+
     fn check_inputs(&self, a: &CsrMatrix, b: &CsrMatrix) {
         assert_eq!(
             (a.num_rows, a.num_cols, a.nnz()),
@@ -650,6 +691,38 @@ mod tests {
         assert_eq!(planned.products, one_shot.products);
         assert_eq!(planned.phases, one_shot.phases);
         assert_eq!(planned.bins, one_shot.bins);
+    }
+
+    #[test]
+    fn update_values_matches_fresh_plan_bitwise_and_validates() {
+        let a0 = gen::random_uniform(90, 70, 5.0, 2.0, 61);
+        let b0 = gen::random_uniform(70, 80, 4.0, 2.0, 62);
+        let cfg = SpgemmConfig::default();
+        let plan = SpgemmPlan::new(&dev(), &a0, &b0, &cfg);
+        let (mut a, mut b) = (a0.clone(), b0.clone());
+        let va: Vec<f64> = a0.values.iter().map(|v| v * 2.0 - 0.5).collect();
+        let vb: Vec<f64> = b0.values.iter().map(|v| v * -1.0 + 0.25).collect();
+        plan.update_values(&mut a, va).expect("same A pattern");
+        plan.update_values_b(&mut b, vb).expect("same B pattern");
+        let swapped = plan.execute_matrix(&a, &b);
+        let fresh = SpgemmPlan::new(&dev(), &a, &b, &cfg).execute_matrix(&a, &b);
+        assert_eq!(
+            swapped, fresh,
+            "value swap must replay bitwise identically to a fresh plan"
+        );
+        assert!(matches!(
+            plan.update_values(&mut a, vec![0.0]),
+            Err(PlanError::ValueLengthMismatch {
+                expected: _,
+                got: 1
+            })
+        ));
+        let mut wrong = gen::stencil_5pt(6, 6);
+        let n = wrong.nnz();
+        assert!(matches!(
+            plan.update_values_b(&mut wrong, vec![0.0; n]),
+            Err(PlanError::PatternMismatch { .. })
+        ));
     }
 
     #[test]

@@ -572,6 +572,28 @@ impl SpmmPlan {
         self.tile_pass_body(a, x, y, acc, carries, col0, w)
     }
 
+    /// Swap the numeric values of the planned matrix in place without
+    /// re-partitioning (see [`crate::spmv::SpmvPlan::update_values`]; the
+    /// tiled traversal is equally pattern-only).
+    ///
+    /// Errors (leaving `a` untouched) if `a` does not carry the planned
+    /// pattern or `values` is not one value per planned nonzero.
+    pub fn update_values(&self, a: &mut CsrMatrix, values: Vec<f64>) -> Result<(), PlanError> {
+        let expected = (self.part.num_rows, self.num_cols, self.part.nnz);
+        let got = (a.num_rows, a.num_cols, a.nnz());
+        if expected != got {
+            return Err(PlanError::PatternMismatch { expected, got });
+        }
+        if values.len() != self.part.nnz {
+            return Err(PlanError::ValueLengthMismatch {
+                expected: self.part.nnz,
+                got: values.len(),
+            });
+        }
+        a.values = values;
+        Ok(())
+    }
+
     fn check_inputs(&self, a: &CsrMatrix, x: &DenseBlock) {
         assert_eq!(
             x.rows, self.num_cols,
@@ -694,6 +716,41 @@ mod tests {
                 assert_close_block(&r.y, &spmm_ref(&m, &x));
             }
         }
+    }
+
+    #[test]
+    fn update_values_matches_fresh_plan_bitwise_and_validates() {
+        let a0 = gen::random_uniform(180, 180, 6.0, 3.0, 17);
+        let k = 5;
+        let plan = SpmmPlan::new(&dev(), &a0, k, &SpmmConfig::default());
+        let x = x_block(a0.num_cols, k);
+        let mut a = a0.clone();
+        let new_vals: Vec<f64> = a0.values.iter().map(|v| v * -0.5 + 1.0).collect();
+        plan.update_values(&mut a, new_vals).expect("same pattern");
+        let swapped = plan.execute(&dev(), &a, &x);
+        let fresh = SpmmPlan::new(&dev(), &a, k, &SpmmConfig::default()).execute(&dev(), &a, &x);
+        assert!(
+            swapped
+                .y
+                .data
+                .iter()
+                .zip(&fresh.y.data)
+                .all(|(p, q)| p.to_bits() == q.to_bits()),
+            "value swap must replay bitwise identically to a fresh plan"
+        );
+        assert!(matches!(
+            plan.update_values(&mut a, vec![1.0]),
+            Err(PlanError::ValueLengthMismatch {
+                expected: _,
+                got: 1
+            })
+        ));
+        let mut b = gen::stencil_5pt(7, 7);
+        let n = b.nnz();
+        assert!(matches!(
+            plan.update_values(&mut b, vec![0.0; n]),
+            Err(PlanError::PatternMismatch { .. })
+        ));
     }
 
     #[test]

@@ -278,6 +278,30 @@ impl SpmvPlan {
         spmv_segment_walk(&self.part, self.cfg.nv(), a, x, y, carries);
     }
 
+    /// Swap the numeric values of the planned matrix in place without
+    /// re-partitioning. The partition, segment layout, carry structure and
+    /// cached phase costs are all pattern-only, so a value swap leaves the
+    /// plan fully valid: the next [`SpmvPlan::execute`] computes with the
+    /// new values at replay cost.
+    ///
+    /// Errors (leaving `a` untouched) if `a` does not carry the planned
+    /// pattern or `values` is not one value per planned nonzero.
+    pub fn update_values(&self, a: &mut CsrMatrix, values: Vec<f64>) -> Result<(), PlanError> {
+        let expected = (self.part.num_rows, self.num_cols, self.part.nnz);
+        let got = (a.num_rows, a.num_cols, a.nnz());
+        if expected != got {
+            return Err(PlanError::PatternMismatch { expected, got });
+        }
+        if values.len() != self.part.nnz {
+            return Err(PlanError::ValueLengthMismatch {
+                expected: self.part.nnz,
+                got: values.len(),
+            });
+        }
+        a.values = values;
+        Ok(())
+    }
+
     fn check_inputs(&self, a: &CsrMatrix, x: &[f64]) {
         assert_eq!(x.len(), self.num_cols, "x length must equal num_cols");
         assert_eq!(
@@ -640,6 +664,39 @@ mod tests {
         assert!(plan.compacted());
         let r = plan.execute(&dev(), &a, &[1.0; 8]);
         assert_eq!(r.y, vec![0.0, 2.0, 0.0, 0.0, 0.0, 0.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn update_values_matches_fresh_plan_bitwise_and_validates() {
+        let a0 = gen::random_uniform(200, 200, 6.0, 3.0, 21);
+        let plan = SpmvPlan::new(&dev(), &a0, &SpmvConfig::default());
+        let x = x_for(&a0);
+        let mut a = a0.clone();
+        let new_vals: Vec<f64> = a0.values.iter().map(|v| v * 1.5 + 0.25).collect();
+        plan.update_values(&mut a, new_vals).expect("same pattern");
+        let swapped = plan.execute(&dev(), &a, &x);
+        let fresh = SpmvPlan::new(&dev(), &a, &SpmvConfig::default()).execute(&dev(), &a, &x);
+        assert!(
+            swapped
+                .y
+                .iter()
+                .zip(&fresh.y)
+                .all(|(p, q)| p.to_bits() == q.to_bits()),
+            "value swap must replay bitwise identically to a fresh plan"
+        );
+        assert!(matches!(
+            plan.update_values(&mut a, vec![0.0; 3]),
+            Err(PlanError::ValueLengthMismatch {
+                expected: _,
+                got: 3
+            })
+        ));
+        let mut b = gen::stencil_5pt(9, 9);
+        let n = b.nnz();
+        assert!(matches!(
+            plan.update_values(&mut b, vec![0.0; n]),
+            Err(PlanError::PatternMismatch { .. })
+        ));
     }
 
     #[test]

@@ -11,8 +11,12 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Duration;
 
 use mps_core::{SpAddPlan, SpgemmPlan, SpmmPlan, SpmvPlan};
+use mps_simt::{LaunchStats, Phase};
+
+use crate::stats::EngineStats;
 
 /// What a cached plan is keyed on. SpMM plans additionally carry their
 /// operand width `k` because the tile loop count is baked in at build.
@@ -25,6 +29,27 @@ pub enum PlanKey {
     Spgemm { a: u64, b: u64 },
 }
 
+/// The kernel family a [`CachedPlan`] belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlanKind {
+    Spmv,
+    Spmm,
+    SpAdd,
+    Spgemm,
+}
+
+impl std::fmt::Display for PlanKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            PlanKind::Spmv => "SpMV",
+            PlanKind::Spmm => "SpMM",
+            PlanKind::SpAdd => "SpAdd",
+            PlanKind::Spgemm => "SpGEMM",
+        };
+        f.write_str(name)
+    }
+}
+
 /// A plan of any of the four kernel types, shared out of the cache.
 #[derive(Debug, Clone)]
 pub enum CachedPlan {
@@ -32,6 +57,108 @@ pub enum CachedPlan {
     Spmm(Arc<SpmmPlan>),
     SpAdd(Arc<SpAddPlan>),
     Spgemm(Arc<SpgemmPlan>),
+}
+
+impl CachedPlan {
+    pub fn kind(&self) -> PlanKind {
+        match self {
+            CachedPlan::Spmv(_) => PlanKind::Spmv,
+            CachedPlan::Spmm(_) => PlanKind::Spmm,
+            CachedPlan::SpAdd(_) => PlanKind::SpAdd,
+            CachedPlan::Spgemm(_) => PlanKind::Spgemm,
+        }
+    }
+
+    /// Charge a freshly built plan's structure phases to the stats. This
+    /// is the single place that knows what each plan kind pays at build
+    /// time: the generic cache-miss path calls it instead of every
+    /// lookup site matching on the variant. `host` is the wall-clock
+    /// build duration (only the SpGEMM symbolic split reports it).
+    pub(crate) fn charge_build(&self, stats: &mut EngineStats, host: Duration) {
+        match self {
+            CachedPlan::Spmv(p) => {
+                charge_partition_build(stats, p.build_sim_ms(), &p.partition, &p.fixup)
+            }
+            CachedPlan::Spmm(p) => {
+                charge_partition_build(stats, p.build_sim_ms(), &p.partition, &p.fixup)
+            }
+            CachedPlan::SpAdd(p) => {
+                stats.plan_build_sim_ms += p.build_sim_ms();
+                crate::charge_spadd_phases(stats, p);
+            }
+            CachedPlan::Spgemm(p) => {
+                stats.plan_build_sim_ms += p.symbolic_ms();
+                stats.spgemm_symbolic_builds += 1;
+                stats.spgemm_symbolic_sim_ms += p.symbolic_ms();
+                stats.spgemm_symbolic_host_ms += host.as_secs_f64() * 1e3;
+                stats.totals.add(&p.symbolic_launch_stats().totals);
+                stats.phases.merge(p.symbolic_ledger());
+            }
+        }
+    }
+
+    pub(crate) fn expect_spmv(self) -> Arc<SpmvPlan> {
+        match self {
+            CachedPlan::Spmv(p) => p,
+            other => panic!(
+                "plan cache key mismatch: expected SpMV, found {}",
+                other.kind()
+            ),
+        }
+    }
+
+    pub(crate) fn expect_spmm(self) -> Arc<SpmmPlan> {
+        match self {
+            CachedPlan::Spmm(p) => p,
+            other => panic!(
+                "plan cache key mismatch: expected SpMM, found {}",
+                other.kind()
+            ),
+        }
+    }
+
+    pub(crate) fn expect_spadd(self) -> Arc<SpAddPlan> {
+        match self {
+            CachedPlan::SpAdd(p) => p,
+            other => panic!(
+                "plan cache key mismatch: expected SpAdd, found {}",
+                other.kind()
+            ),
+        }
+    }
+
+    pub(crate) fn expect_spgemm(self) -> Arc<SpgemmPlan> {
+        match self {
+            CachedPlan::Spgemm(p) => p,
+            other => panic!(
+                "plan cache key mismatch: expected SpGEMM, found {}",
+                other.kind()
+            ),
+        }
+    }
+}
+
+/// SpMV and SpMM plans share a build shape: a merge-path partition plus
+/// an optional empty-row compaction pass.
+fn charge_partition_build(
+    stats: &mut EngineStats,
+    build_sim_ms: f64,
+    partition: &LaunchStats,
+    fixup: &LaunchStats,
+) {
+    stats.plan_build_sim_ms += build_sim_ms;
+    stats.phases.charge(
+        Phase::Partition,
+        partition.sim_ms,
+        partition.totals.dram_bytes(),
+    );
+    if fixup.sim_ms > 0.0 {
+        stats.phases.charge(
+            Phase::EmptyRowFixup,
+            fixup.sim_ms,
+            fixup.totals.dram_bytes(),
+        );
+    }
 }
 
 struct Entry {
@@ -131,6 +258,15 @@ mod tests {
         let device = Device::default();
         let a = CsrMatrix::identity(n);
         CachedPlan::Spmv(Arc::new(SpmvPlan::new(&device, &a, &SpmvConfig::default())))
+    }
+
+    #[test]
+    fn kind_names_the_variant_and_mismatched_unwrap_panics() {
+        let p = spmv_plan(4);
+        assert_eq!(p.kind(), PlanKind::Spmv);
+        assert_eq!(p.kind().to_string(), "SpMV");
+        let r = std::panic::catch_unwind(|| p.expect_spgemm());
+        assert!(r.is_err(), "unwrapping the wrong kind must panic");
     }
 
     #[test]

@@ -58,6 +58,19 @@ pub enum EngineError {
     /// [`crate::EngineConfigBuilder::build`] and
     /// [`crate::Engine::try_with_config`].
     InvalidConfig(&'static str),
+    /// No registered matrix matches the [`crate::MatrixHandle`] — it was
+    /// never issued by this engine/service, or belongs to another one.
+    UnknownHandle(u64),
+    /// A value update or pattern delta was rejected by plan validation
+    /// (wrong value count, mismatched pattern, out-of-bounds delta
+    /// entry). The registered matrix is left untouched.
+    Plan(mps_core::PlanError),
+}
+
+impl From<mps_core::PlanError> for EngineError {
+    fn from(e: mps_core::PlanError) -> EngineError {
+        EngineError::Plan(e)
+    }
 }
 
 impl EngineError {
@@ -94,6 +107,8 @@ impl std::fmt::Display for EngineError {
             }
             EngineError::UnknownTicket(t) => write!(f, "unknown or already-consumed ticket {t}"),
             EngineError::InvalidConfig(what) => write!(f, "invalid engine config: {what}"),
+            EngineError::UnknownHandle(h) => write!(f, "unknown matrix handle {h}"),
+            EngineError::Plan(e) => write!(f, "mutation rejected: {e}"),
         }
     }
 }

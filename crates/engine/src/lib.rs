@@ -82,7 +82,7 @@ mod service;
 mod stats;
 
 pub use batch::Ticket;
-pub use cache::{CachedPlan, PlanKey};
+pub use cache::{CachedPlan, PlanKey, PlanKind};
 pub use chaos::{ChaosConfig, ChaosCounters};
 pub use error::{EngineError, TenantId};
 pub use fingerprint::FingerprintCache;
@@ -91,7 +91,7 @@ pub use service::{
 };
 pub use stats::{EngineStats, TenantCounters, TenantTable};
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::mem;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -99,8 +99,9 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 
 use mps_core::{
-    SpAddConfig, SpAddPlan, SpAddResult, SpgemmConfig, SpgemmPlan, SpgemmResult, SpmmConfig,
-    SpmmPlan, SpmvConfig, SpmvPlan, Workspace,
+    apply_delta, apply_delta_reference, CsrDelta, DeltaApplied, PlanError, SpAddConfig, SpAddPlan,
+    SpAddResult, SpgemmConfig, SpgemmPlan, SpgemmResult, SpmmConfig, SpmmPlan, SpmvConfig,
+    SpmvPlan, Workspace,
 };
 use mps_simt::{Device, Phase};
 use mps_sparse::{CsrMatrix, DenseBlock};
@@ -167,6 +168,124 @@ impl EngineOutput {
     }
 }
 
+/// Per-submission options for the unified `submit_*` surface: tenant
+/// attribution, a relative deadline, and a priority slot reserved for
+/// priority-aware draining. Build one with the chained setters, or lean
+/// on the `From` conversions that keep the historical call shapes
+/// compiling unchanged:
+///
+/// ```
+/// use std::time::Duration;
+/// use mps_engine::{SubmitOptions, TenantId};
+///
+/// // The historical third argument still works verbatim:
+/// let _: SubmitOptions = None.into();
+/// let _: SubmitOptions = Some(Duration::from_millis(5)).into();
+/// // The builder adds tenant attribution on the same surface:
+/// let o = SubmitOptions::new()
+///     .tenant(TenantId(3))
+///     .deadline(Duration::from_millis(5));
+/// assert_eq!(o.tenant, Some(TenantId(3)));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SubmitOptions {
+    /// Tenant the request is attributed to in the per-tenant ledger and
+    /// in overload/deadline errors. `None` submits unattributed.
+    pub tenant: Option<TenantId>,
+    /// Relative deadline: a request still queued this long after
+    /// submission resolves to [`EngineError::DeadlineExceeded`].
+    pub deadline: Option<Duration>,
+    /// Reserved: recorded but not yet consulted by the batcher. Present
+    /// so the builder surface is stable when priority-aware draining
+    /// lands (higher is more urgent).
+    pub priority: u8,
+}
+
+impl SubmitOptions {
+    pub fn new() -> SubmitOptions {
+        SubmitOptions::default()
+    }
+
+    /// Attribute the request to `tenant` ([`SubmitOptions::tenant`]).
+    pub fn tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = Some(tenant);
+        self
+    }
+
+    /// Give the request a relative deadline ([`SubmitOptions::deadline`]).
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Set the reserved priority slot ([`SubmitOptions::priority`]).
+    pub fn priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+}
+
+/// The historical `deadline: Option<Duration>` third argument converts
+/// directly, so `engine.submit_spmv(&a, x, None)` and
+/// `engine.submit_spmv(&a, x, Some(d))` keep compiling.
+impl From<Option<Duration>> for SubmitOptions {
+    fn from(deadline: Option<Duration>) -> SubmitOptions {
+        SubmitOptions {
+            deadline,
+            ..SubmitOptions::default()
+        }
+    }
+}
+
+impl From<Duration> for SubmitOptions {
+    fn from(deadline: Duration) -> SubmitOptions {
+        SubmitOptions {
+            deadline: Some(deadline),
+            ..SubmitOptions::default()
+        }
+    }
+}
+
+/// Typed handle to a matrix registered with [`Engine::register`] (or
+/// [`Service::register`]). Streaming callers mutate the registered
+/// matrix in place through [`Engine::submit_update`] /
+/// [`Engine::submit_delta`] and keep submitting by the current snapshot,
+/// so repeat rounds on a fixed pattern are numeric-only: the pattern
+/// fingerprint — and with it every cached plan — survives value
+/// mutation. Handles are engine-scoped; redeeming one against a
+/// different engine returns [`EngineError::UnknownHandle`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MatrixHandle(u64);
+
+impl MatrixHandle {
+    /// The raw handle id (diagnostics; handles are engine-scoped).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// What [`Engine::submit_delta`] did to the registered matrix. The
+/// per-entry counts are tracked only on the union-patch path; a
+/// fallback rebuild reports them as zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaOutcome {
+    /// Entries that created a new nonzero.
+    pub inserted: usize,
+    /// Entries that overwrote an existing nonzero's value.
+    pub updated: usize,
+    /// Entries that removed an existing nonzero.
+    pub removed: usize,
+    /// Whether the sparsity pattern changed (any insert or remove). A
+    /// value-only delta keeps the pattern fingerprint, so every cached
+    /// plan for the pattern stays valid; a pattern change moves the
+    /// matrix to a new fingerprint and plans rebuild on next use.
+    pub pattern_changed: bool,
+    /// Whether the delta exceeded
+    /// [`EngineConfig::delta_replan_threshold`] and was applied as a
+    /// full COO rebuild instead of a balanced-path union patch.
+    pub fallback: bool,
+}
+
 /// Engine tuning. The kernel configs must agree on merge granularity
 /// (`nv = block_threads * items_per_thread`) between SpMV and SpMM —
 /// that shared granularity is what makes a batched SpMM column bitwise
@@ -191,6 +310,13 @@ pub struct EngineConfig {
     /// Bounds the store's growth when callers drop tickets without
     /// redeeming them.
     pub(crate) result_ttl_flushes: u64,
+    /// Pattern-delta size cutoff for [`Engine::submit_delta`], as a
+    /// fraction of the target matrix's nonzeros. A delta with more
+    /// entries than `ceil(threshold * nnz)` skips the balanced-path
+    /// union patch and falls back to a full COO rebuild (and therefore a
+    /// full replan on next use) — past that size the union walk no
+    /// longer beats rebuilding outright.
+    pub(crate) delta_replan_threshold: f64,
     /// Seeded deterministic fault injection (disabled by default). See
     /// [`ChaosConfig`] for the injection points and their replay
     /// guarantees.
@@ -209,6 +335,7 @@ impl Default for EngineConfig {
             max_queue_depth: 64,
             max_batch: spmm.tile(),
             result_ttl_flushes: 1024,
+            delta_replan_threshold: 0.25,
             chaos: ChaosConfig::default(),
             spmv: SpmvConfig::default(),
             spmm,
@@ -251,6 +378,12 @@ impl EngineConfig {
         self.result_ttl_flushes
     }
 
+    /// Delta-size fraction past which [`Engine::submit_delta`] rebuilds
+    /// instead of patching.
+    pub fn delta_replan_threshold(&self) -> f64 {
+        self.delta_replan_threshold
+    }
+
     /// Seeded deterministic fault injection.
     pub fn chaos(&self) -> &ChaosConfig {
         &self.chaos
@@ -290,6 +423,11 @@ impl EngineConfig {
         if self.result_ttl_flushes == 0 {
             return Err(EngineError::InvalidConfig(
                 "result_ttl_flushes must be at least 1",
+            ));
+        }
+        if !self.delta_replan_threshold.is_finite() || self.delta_replan_threshold <= 0.0 {
+            return Err(EngineError::InvalidConfig(
+                "delta_replan_threshold must be a finite fraction above zero",
             ));
         }
         if !self.chaos.is_valid() {
@@ -343,6 +481,13 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Delta-size fraction past which [`Engine::submit_delta`] falls back
+    /// to a full rebuild ([`EngineConfig::delta_replan_threshold`]).
+    pub fn delta_replan_threshold(mut self, f: f64) -> Self {
+        self.cfg.delta_replan_threshold = f;
+        self
+    }
+
     /// Seeded deterministic fault injection ([`EngineConfig::chaos`]).
     pub fn chaos(mut self, chaos: ChaosConfig) -> Self {
         self.cfg.chaos = chaos;
@@ -390,6 +535,10 @@ struct Inner {
     scratch_y: DenseBlock,
     /// Fault-decision stream for [`EngineConfig::chaos`].
     chaos: ChaosState,
+    /// Registered matrices mutable through [`MatrixHandle`]s
+    /// ([`Engine::register`]): handle id → current snapshot.
+    handles: HashMap<u64, Arc<CsrMatrix>>,
+    next_handle: u64,
 }
 
 impl Inner {
@@ -461,6 +610,8 @@ impl Engine {
                 scratch_x2: DenseBlock::zeros(0, 0),
                 scratch_y: DenseBlock::zeros(0, 0),
                 chaos: ChaosState::new(cfg.chaos.seed),
+                handles: HashMap::new(),
+                next_handle: 0,
             }),
             cfg,
         })
@@ -527,27 +678,15 @@ impl Engine {
             a: a.pattern_fingerprint(),
             b: b.pattern_fingerprint(),
         };
-        let mut inner = self.inner.lock();
-        inner.maybe_cache_storm(&self.cfg.chaos);
-        let l = inner.cache.get_or_insert_with(key, || {
+        cached_plan_locked(&self.cfg, &mut self.inner.lock(), key, || {
             CachedPlan::SpAdd(Arc::new(SpAddPlan::new(
                 &self.device,
                 a,
                 b,
                 &self.cfg.spadd,
             )))
-        });
-        record_lookup(&mut inner.stats, l.hit, l.evicted);
-        match l.plan {
-            CachedPlan::SpAdd(p) => {
-                if !l.hit {
-                    inner.stats.plan_build_sim_ms += p.build_sim_ms();
-                    charge_spadd_phases(&mut inner.stats, &p);
-                }
-                p
-            }
-            _ => unreachable!("SpAdd key holds SpAdd plan"),
-        }
+        })
+        .expect_spadd()
     }
 
     /// Cached SpGEMM plan for the pattern pair `(a, b)`. A miss builds
@@ -637,9 +776,13 @@ impl Engine {
     /// so two matrices sharing a sparsity pattern with different values
     /// are never coalesced into one traversal.
     ///
-    /// `deadline`, when given, is relative to now; a request still queued
-    /// when its deadline passes resolves to
-    /// [`EngineError::DeadlineExceeded`] instead of a result. Submissions
+    /// `opts` is anything convertible to [`SubmitOptions`]: the
+    /// historical `deadline: Option<Duration>` third argument still
+    /// works, and the builder adds tenant attribution (overload and
+    /// deadline errors carry the tenant, and the request is counted in
+    /// the per-tenant ledger, [`EngineStats::tenants`]). A request still
+    /// queued when its deadline passes resolves to
+    /// [`EngineError::DeadlineExceeded`] instead of a result; submissions
     /// beyond [`EngineConfig::max_queue_depth`] on one matrix's queue are
     /// refused with [`EngineError::Overloaded`].
     ///
@@ -649,15 +792,16 @@ impl Engine {
         &self,
         a: &Arc<CsrMatrix>,
         x: Vec<f64>,
-        deadline: Option<Duration>,
+        opts: impl Into<SubmitOptions>,
     ) -> Result<Ticket, EngineError> {
-        self.submit_spmv_for(None, a, x, deadline)
+        let opts = opts.into();
+        assert_eq!(x.len(), a.num_cols, "operand length mismatch");
+        self.submit_payload(a, RequestPayload::Vector(x), opts.deadline, opts.tenant)
     }
 
-    /// [`Engine::submit_spmv`] with tenant attribution: overload and
-    /// deadline errors carry the tenant, and the request is counted in
-    /// the per-tenant ledger ([`EngineStats::tenants`]). The serving
-    /// layer ([`Service`]) submits through this path.
+    /// Superseded spelling of tenant attribution; the tenant now rides
+    /// in [`SubmitOptions`].
+    #[deprecated(note = "use `submit_spmv` with `SubmitOptions::new().tenant(..)`")]
     pub fn submit_spmv_for(
         &self,
         tenant: Option<TenantId>,
@@ -665,8 +809,12 @@ impl Engine {
         x: Vec<f64>,
         deadline: Option<Duration>,
     ) -> Result<Ticket, EngineError> {
-        assert_eq!(x.len(), a.num_cols, "operand length mismatch");
-        self.submit_payload(a, RequestPayload::Vector(x), deadline, tenant)
+        let opts = SubmitOptions {
+            tenant,
+            deadline,
+            ..SubmitOptions::default()
+        };
+        self.submit_spmv(a, x, opts)
     }
 
     /// Queue an SpMM request (dense multi-vector operand) on `a` for the
@@ -676,8 +824,7 @@ impl Engine {
     /// because each output column is computed in exactly the standalone
     /// reduction order, the grouping never changes the bits.
     ///
-    /// Deadline and backpressure semantics match
-    /// [`Engine::submit_spmv`].
+    /// Options and backpressure semantics match [`Engine::submit_spmv`].
     ///
     /// # Panics
     /// Panics if `x.rows != a.num_cols` or `x` has no columns.
@@ -685,13 +832,17 @@ impl Engine {
         &self,
         a: &Arc<CsrMatrix>,
         x: DenseBlock,
-        deadline: Option<Duration>,
+        opts: impl Into<SubmitOptions>,
     ) -> Result<Ticket, EngineError> {
-        self.submit_spmm_for(None, a, x, deadline)
+        let opts = opts.into();
+        assert_eq!(x.rows, a.num_cols, "operand row-count mismatch");
+        assert!(x.cols >= 1, "operand block must have at least one column");
+        self.submit_payload(a, RequestPayload::Block(x), opts.deadline, opts.tenant)
     }
 
-    /// [`Engine::submit_spmm`] with tenant attribution (see
-    /// [`Engine::submit_spmv_for`]).
+    /// Superseded spelling of tenant attribution; the tenant now rides
+    /// in [`SubmitOptions`].
+    #[deprecated(note = "use `submit_spmm` with `SubmitOptions::new().tenant(..)`")]
     pub fn submit_spmm_for(
         &self,
         tenant: Option<TenantId>,
@@ -699,9 +850,12 @@ impl Engine {
         x: DenseBlock,
         deadline: Option<Duration>,
     ) -> Result<Ticket, EngineError> {
-        assert_eq!(x.rows, a.num_cols, "operand row-count mismatch");
-        assert!(x.cols >= 1, "operand block must have at least one column");
-        self.submit_payload(a, RequestPayload::Block(x), deadline, tenant)
+        let opts = SubmitOptions {
+            tenant,
+            deadline,
+            ..SubmitOptions::default()
+        };
+        self.submit_spmm(a, x, opts)
     }
 
     fn submit_payload(
@@ -753,7 +907,7 @@ impl Engine {
     /// request as a numeric-only replay of the cached symbolic plan; the
     /// result redeems as [`EngineOutput::Matrix`].
     ///
-    /// Deadline and backpressure semantics match [`Engine::submit_spmv`].
+    /// Options and backpressure semantics match [`Engine::submit_spmv`].
     ///
     /// # Panics
     /// Panics if `a.num_cols != b.num_rows`.
@@ -761,20 +915,10 @@ impl Engine {
         &self,
         a: &Arc<CsrMatrix>,
         b: &Arc<CsrMatrix>,
-        deadline: Option<Duration>,
+        opts: impl Into<SubmitOptions>,
     ) -> Result<Ticket, EngineError> {
-        self.submit_spgemm_for(None, a, b, deadline)
-    }
-
-    /// [`Engine::submit_spgemm`] with tenant attribution (see
-    /// [`Engine::submit_spmv_for`]).
-    pub fn submit_spgemm_for(
-        &self,
-        tenant: Option<TenantId>,
-        a: &Arc<CsrMatrix>,
-        b: &Arc<CsrMatrix>,
-        deadline: Option<Duration>,
-    ) -> Result<Ticket, EngineError> {
+        let opts = opts.into();
+        let (tenant, deadline) = (opts.tenant, opts.deadline);
         assert_eq!(a.num_cols, b.num_rows, "inner dimension mismatch");
         let fp_a = self.fp.get(a);
         let fp_b = self.fp.get(b);
@@ -814,6 +958,24 @@ impl Engine {
                 Err(e)
             }
         }
+    }
+
+    /// Superseded spelling of tenant attribution; the tenant now rides
+    /// in [`SubmitOptions`].
+    #[deprecated(note = "use `submit_spgemm` with `SubmitOptions::new().tenant(..)`")]
+    pub fn submit_spgemm_for(
+        &self,
+        tenant: Option<TenantId>,
+        a: &Arc<CsrMatrix>,
+        b: &Arc<CsrMatrix>,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, EngineError> {
+        let opts = SubmitOptions {
+            tenant,
+            deadline,
+            ..SubmitOptions::default()
+        };
+        self.submit_spgemm(a, b, opts)
     }
 
     /// Memoized pattern fingerprint of `a` (thread-safe; see
@@ -1019,6 +1181,132 @@ impl Engine {
             None => Err(EngineError::UnknownTicket(ticket.0)),
         }
     }
+
+    // ---- registered matrices & streaming mutation -----------------------
+
+    /// Register `a` for in-place mutation and get a [`MatrixHandle`].
+    /// The handle names the *evolving* matrix: [`Engine::submit_update`]
+    /// and [`Engine::submit_delta`] advance it, [`Engine::matrix`] reads
+    /// the current snapshot for submission. Registering the same `Arc`
+    /// twice issues two independent handles.
+    pub fn register(&self, a: &Arc<CsrMatrix>) -> MatrixHandle {
+        let mut inner = self.inner.lock();
+        inner.next_handle += 1;
+        let h = inner.next_handle;
+        inner.handles.insert(h, Arc::clone(a));
+        MatrixHandle(h)
+    }
+
+    /// Current snapshot of a registered matrix. Submissions pin the
+    /// snapshot by `Arc`, so requests queued before a mutation still
+    /// compute against the values they were submitted with.
+    pub fn matrix(&self, h: MatrixHandle) -> Result<Arc<CsrMatrix>, EngineError> {
+        self.inner
+            .lock()
+            .handles
+            .get(&h.0)
+            .cloned()
+            .ok_or(EngineError::UnknownHandle(h.0))
+    }
+
+    /// Swap the registered matrix's numeric values in place, one value
+    /// per existing nonzero in CSR order. The sparsity pattern — and
+    /// therefore the pattern fingerprint and every cached plan keyed on
+    /// it — is untouched, so the next submission on the handle replays
+    /// cached plans numeric-only. Returns the updated snapshot, ready to
+    /// submit. Rejected updates ([`EngineError::Plan`]) leave the
+    /// registered matrix unchanged.
+    pub fn submit_update(
+        &self,
+        h: MatrixHandle,
+        values: Vec<f64>,
+    ) -> Result<Arc<CsrMatrix>, EngineError> {
+        let mut inner = self.inner.lock();
+        let arc = inner
+            .handles
+            .get_mut(&h.0)
+            .ok_or(EngineError::UnknownHandle(h.0))?;
+        if values.len() != arc.nnz() {
+            return Err(PlanError::ValueLengthMismatch {
+                expected: arc.nnz(),
+                got: values.len(),
+            }
+            .into());
+        }
+        // Clone-on-shared: if queued requests (or the caller) still hold
+        // the old snapshot, they keep its values; a uniquely held
+        // registration mutates in place with no copy.
+        Arc::make_mut(arc).values = values;
+        let snapshot = Arc::clone(arc);
+        inner.stats.value_updates += 1;
+        Ok(snapshot)
+    }
+
+    /// Apply a [`CsrDelta`] to the registered matrix. Small deltas (at
+    /// most `ceil(`[`EngineConfig::delta_replan_threshold`]` * nnz)`
+    /// entries) patch through one balanced-path union pass; larger ones
+    /// fall back to a full COO rebuild. Either way the handle advances
+    /// to the mutated snapshot (fetch it with [`Engine::matrix`]). A
+    /// value-only delta preserves the pattern fingerprint, so cached
+    /// plans keep serving; inserts or removes move the handle to a new
+    /// fingerprint and plans rebuild on next use. Consumes no chaos
+    /// draws, so fault schedules of submit/flush workloads replay
+    /// unchanged around mutations.
+    pub fn submit_delta(
+        &self,
+        h: MatrixHandle,
+        delta: &CsrDelta,
+    ) -> Result<DeltaOutcome, EngineError> {
+        let arc = self.matrix(h)?;
+        let (next, outcome) = self.apply_delta_snapshot(&arc, delta)?;
+        // Last write wins under concurrent mutation of one handle, like
+        // submit_update.
+        self.inner.lock().handles.insert(h.0, next);
+        Ok(outcome)
+    }
+
+    /// Delta-apply a snapshot without touching the handle registry,
+    /// charging this engine's stats. Shared with the [`Service`], whose
+    /// registry lives above the shards.
+    pub(crate) fn apply_delta_snapshot(
+        &self,
+        arc: &Arc<CsrMatrix>,
+        delta: &CsrDelta,
+    ) -> Result<(Arc<CsrMatrix>, DeltaOutcome), EngineError> {
+        let limit = (self.cfg.delta_replan_threshold * arc.nnz() as f64).ceil() as usize;
+        if delta.len() > limit {
+            let c = apply_delta_reference(arc, delta)?;
+            let pattern_changed = c.pattern_fingerprint() != arc.pattern_fingerprint();
+            self.inner.lock().stats.delta_fallbacks += 1;
+            return Ok((
+                Arc::new(c),
+                DeltaOutcome {
+                    pattern_changed,
+                    fallback: true,
+                    ..DeltaOutcome::default()
+                },
+            ));
+        }
+        let applied = apply_delta(&self.device, arc, delta, &self.cfg.spadd)?;
+        let mut inner = self.inner.lock();
+        inner.stats.delta_applies += 1;
+        charge_delta_apply(&mut inner.stats, &applied);
+        drop(inner);
+        let outcome = DeltaOutcome {
+            inserted: applied.inserted,
+            updated: applied.updated,
+            removed: applied.removed,
+            pattern_changed: applied.pattern_changed(),
+            fallback: false,
+        };
+        Ok((Arc::new(applied.c), outcome))
+    }
+
+    /// Count one value update against this engine's stats (the service
+    /// path, whose handle registry lives above the shards).
+    pub(crate) fn record_value_update(&self) {
+        self.inner.lock().stats.value_updates += 1;
+    }
 }
 
 fn record_lookup(stats: &mut EngineStats, hit: bool, evicted: bool) {
@@ -1084,6 +1372,33 @@ fn charge_spadd_phases(stats: &mut EngineStats, plan: &SpAddPlan) {
         .charge(Phase::Fill, u.fill.sim_ms, u.fill.totals.dram_bytes());
 }
 
+/// Charge one balanced-path delta apply ([`Engine::submit_delta`]'s
+/// union patch) — the same expand/partition/count/fill launches an
+/// SpAdd execution pays, with the delta's resolved entries as the second
+/// operand.
+fn charge_delta_apply(stats: &mut EngineStats, d: &DeltaApplied) {
+    stats.exec_sim_ms += d.sim_ms();
+    stats
+        .phases
+        .charge(Phase::Expand, d.expand.sim_ms, d.expand.totals.dram_bytes());
+    stats.totals.add(&d.expand.totals);
+    let u = &d.union;
+    stats.phases.charge(
+        Phase::Partition,
+        u.partition.sim_ms,
+        u.partition.totals.dram_bytes(),
+    );
+    stats
+        .phases
+        .charge(Phase::Count, u.count.sim_ms, u.count.totals.dram_bytes());
+    stats
+        .phases
+        .charge(Phase::Fill, u.fill.sim_ms, u.fill.totals.dram_bytes());
+    stats.totals.add(&u.partition.totals);
+    stats.totals.add(&u.count.totals);
+    stats.totals.add(&u.fill.totals);
+}
+
 /// Accumulate one executed SpGEMM numeric replay (a value-only pass over
 /// a cached symbolic plan) into the split counters, totals, and ledger.
 fn charge_spgemm_exec(stats: &mut EngineStats, plan: &SpgemmPlan, host: Duration) {
@@ -1094,6 +1409,27 @@ fn charge_spgemm_exec(stats: &mut EngineStats, plan: &SpgemmPlan, host: Duration
     stats.spgemm_numeric_host_ms += host.as_secs_f64() * 1e3;
     stats.totals.add(&plan.numeric_launch_stats().totals);
     stats.phases.merge(plan.numeric_ledger());
+}
+
+/// Generic plan-cache lookup under the engine lock: one cache-storm
+/// draw, one recency-tracked lookup, and — on a miss — one call into
+/// [`CachedPlan::charge_build`], which knows what every plan kind pays
+/// at build time. The typed wrappers below only choose the key and the
+/// build closure; none of them match on plan variants anymore.
+fn cached_plan_locked(
+    cfg: &EngineConfig,
+    inner: &mut Inner,
+    key: PlanKey,
+    build: impl FnOnce() -> CachedPlan,
+) -> CachedPlan {
+    inner.maybe_cache_storm(&cfg.chaos);
+    let t0 = Instant::now();
+    let l = inner.cache.get_or_insert_with(key, build);
+    record_lookup(&mut inner.stats, l.hit, l.evicted);
+    if !l.hit {
+        l.plan.charge_build(&mut inner.stats, t0.elapsed());
+    }
+    l.plan
 }
 
 /// Cache lookup for an SpGEMM symbolic plan keyed on the pattern-
@@ -1110,28 +1446,10 @@ fn spgemm_plan_locked(
     a: &CsrMatrix,
     b: &CsrMatrix,
 ) -> Arc<SpgemmPlan> {
-    inner.maybe_cache_storm(&cfg.chaos);
-    let t0 = Instant::now();
-    let l = inner
-        .cache
-        .get_or_insert_with(PlanKey::Spgemm { a: fp_a, b: fp_b }, || {
-            CachedPlan::Spgemm(Arc::new(SpgemmPlan::new(device, a, b, &cfg.spgemm)))
-        });
-    record_lookup(&mut inner.stats, l.hit, l.evicted);
-    match l.plan {
-        CachedPlan::Spgemm(p) => {
-            if !l.hit {
-                inner.stats.plan_build_sim_ms += p.symbolic_ms();
-                inner.stats.spgemm_symbolic_builds += 1;
-                inner.stats.spgemm_symbolic_sim_ms += p.symbolic_ms();
-                inner.stats.spgemm_symbolic_host_ms += t0.elapsed().as_secs_f64() * 1e3;
-                inner.stats.totals.add(&p.symbolic_launch_stats().totals);
-                inner.stats.phases.merge(p.symbolic_ledger());
-            }
-            p
-        }
-        _ => unreachable!("Spgemm key holds Spgemm plan"),
-    }
+    cached_plan_locked(cfg, inner, PlanKey::Spgemm { a: fp_a, b: fp_b }, || {
+        CachedPlan::Spgemm(Arc::new(SpgemmPlan::new(device, a, b, &cfg.spgemm)))
+    })
+    .expect_spgemm()
 }
 
 fn spmv_plan_locked(
@@ -1141,34 +1459,10 @@ fn spmv_plan_locked(
     fp: u64,
     a: &CsrMatrix,
 ) -> Arc<SpmvPlan> {
-    inner.maybe_cache_storm(&cfg.chaos);
-    let l = inner
-        .cache
-        .get_or_insert_with(PlanKey::Spmv { pattern: fp }, || {
-            CachedPlan::Spmv(Arc::new(SpmvPlan::new(device, a, &cfg.spmv)))
-        });
-    record_lookup(&mut inner.stats, l.hit, l.evicted);
-    match l.plan {
-        CachedPlan::Spmv(p) => {
-            if !l.hit {
-                inner.stats.plan_build_sim_ms += p.build_sim_ms();
-                inner.stats.phases.charge(
-                    Phase::Partition,
-                    p.partition.sim_ms,
-                    p.partition.totals.dram_bytes(),
-                );
-                if p.fixup.sim_ms > 0.0 {
-                    inner.stats.phases.charge(
-                        Phase::EmptyRowFixup,
-                        p.fixup.sim_ms,
-                        p.fixup.totals.dram_bytes(),
-                    );
-                }
-            }
-            p
-        }
-        _ => unreachable!("Spmv key holds Spmv plan"),
-    }
+    cached_plan_locked(cfg, inner, PlanKey::Spmv { pattern: fp }, || {
+        CachedPlan::Spmv(Arc::new(SpmvPlan::new(device, a, &cfg.spmv)))
+    })
+    .expect_spmv()
 }
 
 fn spmm_plan_locked(
@@ -1179,34 +1473,10 @@ fn spmm_plan_locked(
     a: &CsrMatrix,
     k: usize,
 ) -> Arc<SpmmPlan> {
-    inner.maybe_cache_storm(&cfg.chaos);
-    let l = inner
-        .cache
-        .get_or_insert_with(PlanKey::Spmm { pattern: fp, k }, || {
-            CachedPlan::Spmm(Arc::new(SpmmPlan::new(device, a, k, &cfg.spmm)))
-        });
-    record_lookup(&mut inner.stats, l.hit, l.evicted);
-    match l.plan {
-        CachedPlan::Spmm(p) => {
-            if !l.hit {
-                inner.stats.plan_build_sim_ms += p.build_sim_ms();
-                inner.stats.phases.charge(
-                    Phase::Partition,
-                    p.partition.sim_ms,
-                    p.partition.totals.dram_bytes(),
-                );
-                if p.fixup.sim_ms > 0.0 {
-                    inner.stats.phases.charge(
-                        Phase::EmptyRowFixup,
-                        p.fixup.sim_ms,
-                        p.fixup.totals.dram_bytes(),
-                    );
-                }
-            }
-            p
-        }
-        _ => unreachable!("Spmm key holds Spmm plan"),
-    }
+    cached_plan_locked(cfg, inner, PlanKey::Spmm { pattern: fp, k }, || {
+        CachedPlan::Spmm(Arc::new(SpmmPlan::new(device, a, k, &cfg.spmm)))
+    })
+    .expect_spmm()
 }
 
 /// A flushed group with every admission decision already made: chaos
@@ -1918,14 +2188,22 @@ mod tests {
         // second hits it.
         for seed in [1, 2] {
             let t = e
-                .submit_spmv_for(Some(alice), &a, operand(a.num_cols, seed), None)
+                .submit_spmv(
+                    &a,
+                    operand(a.num_cols, seed),
+                    SubmitOptions::new().tenant(alice),
+                )
                 .expect("admitted");
             e.flush();
             e.take_result(t).expect("completed");
         }
         // An expired deadline for bob carries his identity.
         let t = e
-            .submit_spmv_for(Some(bob), &a, operand(a.num_cols, 3), Some(Duration::ZERO))
+            .submit_spmv(
+                &a,
+                operand(a.num_cols, 3),
+                SubmitOptions::new().tenant(bob).deadline(Duration::ZERO),
+            )
             .expect("admitted");
         e.flush();
         let err = e.take_result(t).expect_err("expired");
@@ -1944,6 +2222,144 @@ mod tests {
         e.flush();
         e.take_result(t).expect("completed");
         assert_eq!(e.stats().tenants.total_requests(), 2);
+    }
+
+    fn bits(v: &[f64]) -> Vec<u64> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn value_update_reuses_cached_plans_and_matches_a_fresh_plan_bitwise() {
+        let e = Engine::new(&device());
+        let a = matrix();
+        let h = e.register(&a);
+        let x = operand(a.num_cols, 5);
+        let y0 = e.spmv(&a, &x);
+        let misses = e.stats().cache_misses;
+        let vals: Vec<f64> = (0..a.nnz())
+            .map(|i| (i as f64).mul_add(0.25, -3.0))
+            .collect();
+        let snap = e.submit_update(h, vals.clone()).expect("valid update");
+        assert!(Arc::ptr_eq(&snap, &e.matrix(h).expect("registered")));
+        // Reference: a fresh engine plans the mutated matrix from scratch.
+        let mut fresh = (*a).clone();
+        fresh.values = vals;
+        let want = Engine::new(&device()).spmv(&fresh, &x);
+        let got = e.spmv(&snap, &x);
+        assert_eq!(bits(&got), bits(&want), "numeric-only round must be exact");
+        let s = e.stats();
+        assert_eq!(s.cache_misses, misses, "value swap must not replan");
+        assert_eq!(s.value_updates, 1);
+        assert!(s.render().contains("1 value updates"), "{}", s.render());
+        // The caller's pre-update snapshot still holds the old values.
+        assert_eq!(bits(&e.spmv(&a, &x)), bits(&y0));
+    }
+
+    #[test]
+    fn rejected_mutations_leave_the_registered_matrix_untouched() {
+        let e = Engine::new(&device());
+        let a = matrix();
+        let h = e.register(&a);
+        let err = e.submit_update(h, vec![1.0; 3]).expect_err("wrong length");
+        assert!(matches!(err, EngineError::Plan(_)), "{err}");
+        assert!(err.to_string().contains("mutation rejected"), "{err}");
+        assert!(Arc::ptr_eq(&e.matrix(h).expect("still registered"), &a));
+        let bogus = MatrixHandle(9999);
+        assert_eq!(
+            e.submit_update(bogus, vec![]).expect_err("never issued"),
+            EngineError::UnknownHandle(9999)
+        );
+        assert_eq!(
+            e.matrix(bogus).expect_err("never issued"),
+            EngineError::UnknownHandle(9999)
+        );
+        let mut oob = CsrDelta::new();
+        oob.upsert(a.num_rows as u32, 0, 1.0);
+        let err = e.submit_delta(h, &oob).expect_err("row out of bounds");
+        assert!(matches!(err, EngineError::Plan(_)), "{err}");
+        assert_eq!(e.stats().value_updates, 0);
+        assert_eq!(e.stats().delta_applies, 0);
+    }
+
+    #[test]
+    fn small_deltas_patch_and_large_deltas_fall_back_both_matching_reference() {
+        let e = Engine::new(&device());
+        let a = matrix();
+        let h = e.register(&a);
+        // Small delta: one insert at a guaranteed-empty spot is impossible
+        // to know a priori, so upsert twice (one likely-new, one value
+        // tweak on the first stored entry) and remove one existing entry.
+        let (r0, c0) = {
+            let r = (0..a.num_rows)
+                .find(|&r| a.row_offsets[r + 1] > a.row_offsets[r])
+                .expect("nonempty matrix");
+            (r as u32, a.col_idx[a.row_offsets[r]])
+        };
+        let mut d = CsrDelta::new();
+        d.upsert(0, 0, 2.5).remove(r0, c0);
+        let out = e.submit_delta(h, &d).expect("in bounds");
+        assert!(!out.fallback);
+        assert!(
+            out.pattern_changed,
+            "an insert or remove changes the pattern"
+        );
+        assert_eq!(out.removed, 1);
+        let want = apply_delta_reference(&a, &d).expect("reference applies");
+        let got = e.matrix(h).expect("advanced");
+        assert_eq!(*got, want, "patched matrix must equal the COO rebuild");
+        assert_eq!(bits(&got.values), bits(&want.values));
+        // Large delta: more than ceil(threshold * nnz) entries falls back.
+        let limit = (e.config().delta_replan_threshold() * got.nnz() as f64).ceil() as usize;
+        let mut big = CsrDelta::new();
+        for i in 0..=limit as u32 {
+            big.upsert(
+                i % got.num_rows as u32,
+                i / got.num_rows as u32,
+                0.125 * i as f64,
+            );
+        }
+        let want = apply_delta_reference(&got, &big).expect("reference applies");
+        let out = e.submit_delta(h, &big).expect("in bounds");
+        assert!(out.fallback);
+        let after = e.matrix(h).expect("advanced");
+        assert_eq!(*after, want);
+        let s = e.stats();
+        assert_eq!((s.delta_applies, s.delta_fallbacks), (1, 1));
+        assert!(s.render().contains("1 deltas applied"), "{}", s.render());
+    }
+
+    #[test]
+    fn value_only_delta_preserves_the_pattern_fingerprint() {
+        let e = Engine::new(&device());
+        let a = matrix();
+        let h = e.register(&a);
+        let (r0, c0) = (0u32, a.col_idx[a.row_offsets[0]]);
+        let mut d = CsrDelta::new();
+        d.upsert(r0, c0, 42.0);
+        let out = e.submit_delta(h, &d).expect("in bounds");
+        assert!(!out.pattern_changed);
+        assert_eq!((out.inserted, out.updated, out.removed), (0, 1, 0));
+        let got = e.matrix(h).expect("advanced");
+        assert_eq!(got.pattern_fingerprint(), a.pattern_fingerprint());
+        // Same fingerprint → the plan built pre-mutation keeps serving.
+        e.spmv(&a, &operand(a.num_cols, 1));
+        let misses = e.stats().cache_misses;
+        e.spmv(&got, &operand(a.num_cols, 1));
+        assert_eq!(e.stats().cache_misses, misses);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_for_variants_delegate_to_the_unified_surface() {
+        let e = Engine::new(&device());
+        let a = matrix();
+        let tn = TenantId(7);
+        let t = e
+            .submit_spmv_for(Some(tn), &a, operand(a.num_cols, 1), None)
+            .expect("admitted");
+        e.flush();
+        e.take_result(t).expect("completed");
+        assert_eq!(e.stats().tenants.get(tn).requests, 1);
     }
 
     #[test]

@@ -46,7 +46,7 @@ mod stats;
 pub use qos::TenantSpec;
 pub use stats::ServiceStats;
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -54,13 +54,14 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 use rayon::prelude::*;
 
+use mps_core::{CsrDelta, PlanError};
 use mps_simt::Device;
 use mps_sparse::{CsrMatrix, DenseBlock};
 
 use crate::batch::Ticket;
 use crate::error::{EngineError, TenantId};
 use crate::fingerprint::FingerprintCache;
-use crate::{Engine, EngineConfig, EngineOutput};
+use crate::{DeltaOutcome, Engine, EngineConfig, EngineOutput, MatrixHandle, SubmitOptions};
 
 use qos::{DrainAction, ServiceOp, ServiceRequest, ShardState};
 
@@ -255,6 +256,14 @@ pub struct Service {
     /// Shared fingerprint memo for routing (each shard engine keeps its
     /// own for plan keying).
     fp: FingerprintCache,
+    /// Tenant-scoped handles to registered matrices, mutable through
+    /// [`Service::submit_update`] / [`Service::submit_delta`]. The
+    /// registry lives above the shards: value mutation preserves the
+    /// pattern fingerprint (so the handle keeps routing to the shard
+    /// whose caches are warm), while a pattern-changing delta simply
+    /// re-routes future submissions by the new fingerprint.
+    registry: Mutex<HashMap<u64, (TenantId, Arc<CsrMatrix>)>>,
+    next_handle: AtomicU64,
     next_seq: AtomicU64,
     flushes: AtomicU64,
 }
@@ -294,6 +303,8 @@ impl Service {
             cfg,
             shards,
             fp: FingerprintCache::new(),
+            registry: Mutex::new(HashMap::new()),
+            next_handle: AtomicU64::new(0),
             next_seq: AtomicU64::new(0),
             flushes: AtomicU64::new(0),
         })
@@ -403,6 +414,92 @@ impl Service {
         )
     }
 
+    /// Register `a` for in-place mutation on behalf of `tenant` and get
+    /// a [`MatrixHandle`]. The handle names the evolving matrix:
+    /// [`Service::submit_update`] / [`Service::submit_delta`] advance
+    /// it, [`Service::matrix`] reads the current snapshot to submit
+    /// with. Handles are tenant-scoped — mutations by any other tenant
+    /// are refused with [`EngineError::UnknownHandle`].
+    pub fn register(&self, tenant: TenantId, a: &Arc<CsrMatrix>) -> MatrixHandle {
+        let h = self.next_handle.fetch_add(1, Ordering::Relaxed) + 1;
+        self.registry.lock().insert(h, (tenant, Arc::clone(a)));
+        MatrixHandle(h)
+    }
+
+    /// Current snapshot of a registered matrix (any tenant may read).
+    pub fn matrix(&self, h: MatrixHandle) -> Result<Arc<CsrMatrix>, EngineError> {
+        self.registry
+            .lock()
+            .get(&h.0)
+            .map(|(_, a)| Arc::clone(a))
+            .ok_or(EngineError::UnknownHandle(h.0))
+    }
+
+    /// Swap the registered matrix's numeric values in place (one value
+    /// per nonzero, CSR order). The pattern fingerprint is preserved, so
+    /// the handle keeps routing to the same shard and every plan cached
+    /// there replays numeric-only — repeat rounds are value-swap + submit
+    /// across all shards with zero rebuilds. Returns the updated
+    /// snapshot, ready to submit.
+    pub fn submit_update(
+        &self,
+        tenant: TenantId,
+        h: MatrixHandle,
+        values: Vec<f64>,
+    ) -> Result<Arc<CsrMatrix>, EngineError> {
+        let snapshot = {
+            let mut reg = self.registry.lock();
+            let (owner, arc) = reg.get_mut(&h.0).ok_or(EngineError::UnknownHandle(h.0))?;
+            if *owner != tenant {
+                return Err(EngineError::UnknownHandle(h.0));
+            }
+            if values.len() != arc.nnz() {
+                return Err(PlanError::ValueLengthMismatch {
+                    expected: arc.nnz(),
+                    got: values.len(),
+                }
+                .into());
+            }
+            Arc::make_mut(arc).values = values;
+            Arc::clone(arc)
+        };
+        let fp = self.fp.get(&snapshot);
+        self.shards[self.shard_of(fp)].engine.record_value_update();
+        Ok(snapshot)
+    }
+
+    /// Apply a [`CsrDelta`] to the registered matrix through the shard
+    /// that owns its current fingerprint (union patch below the
+    /// engine-config threshold, full rebuild above it — see
+    /// [`Engine::submit_delta`]). A pattern-changing delta moves the
+    /// handle to a new fingerprint, and future submissions re-route
+    /// accordingly; the apply itself is charged to the shard that owned
+    /// the pre-delta pattern.
+    pub fn submit_delta(
+        &self,
+        tenant: TenantId,
+        h: MatrixHandle,
+        delta: &CsrDelta,
+    ) -> Result<DeltaOutcome, EngineError> {
+        let arc = {
+            let reg = self.registry.lock();
+            let (owner, arc) = reg.get(&h.0).ok_or(EngineError::UnknownHandle(h.0))?;
+            if *owner != tenant {
+                return Err(EngineError::UnknownHandle(h.0));
+            }
+            Arc::clone(arc)
+        };
+        let fp = self.fp.get(&arc);
+        let shard = &self.shards[self.shard_of(fp)];
+        let (next, outcome) = shard.engine.apply_delta_snapshot(&arc, delta)?;
+        let mut reg = self.registry.lock();
+        match reg.get_mut(&h.0) {
+            Some((owner, slot)) if *owner == tenant => *slot = next,
+            _ => return Err(EngineError::UnknownHandle(h.0)),
+        }
+        Ok(outcome)
+    }
+
     fn submit_op(
         &self,
         tenant: TenantId,
@@ -492,16 +589,16 @@ impl Service {
                         Some(DrainAction::Submit(req)) => {
                             budget -= 1;
                             progressed = true;
-                            let remaining = req.deadline.map(|d| d.saturating_duration_since(now));
+                            let opts = SubmitOptions {
+                                tenant: Some(tn),
+                                deadline: req.deadline.map(|d| d.saturating_duration_since(now)),
+                                ..SubmitOptions::default()
+                            };
                             let admitted = match req.op {
-                                ServiceOp::Spmv { a, x } => {
-                                    shard.engine.submit_spmv_for(Some(tn), &a, x, remaining)
-                                }
-                                ServiceOp::Spmm { a, x } => {
-                                    shard.engine.submit_spmm_for(Some(tn), &a, x, remaining)
-                                }
+                                ServiceOp::Spmv { a, x } => shard.engine.submit_spmv(&a, x, opts),
+                                ServiceOp::Spmm { a, x } => shard.engine.submit_spmm(&a, x, opts),
                                 ServiceOp::Spgemm { a, b } => {
-                                    shard.engine.submit_spgemm_for(Some(tn), &a, &b, remaining)
+                                    shard.engine.submit_spgemm(&a, &b, opts)
                                 }
                             };
                             match admitted {
@@ -773,6 +870,116 @@ mod tests {
             outcomes
         };
         assert_eq!(run(), run(), "same seeds must replay the same schedule");
+    }
+
+    #[test]
+    fn handles_are_tenant_scoped() {
+        let svc = Service::new(&device());
+        let owner = TenantId(1);
+        let intruder = TenantId(2);
+        let a = Arc::new(gen::random_uniform(90, 90, 4.0, 1.0, 21));
+        let h = svc.register(owner, &a);
+        let vals = vec![1.0; a.nnz()];
+        assert_eq!(
+            svc.submit_update(intruder, h, vals.clone())
+                .expect_err("not the owner"),
+            EngineError::UnknownHandle(h.raw()),
+            "ownership failures must not leak handle existence"
+        );
+        let mut d = CsrDelta::new();
+        d.upsert(0, 0, 1.0);
+        assert_eq!(
+            svc.submit_delta(intruder, h, &d)
+                .expect_err("not the owner"),
+            EngineError::UnknownHandle(h.raw())
+        );
+        // Reads are open; the owner mutates freely.
+        assert!(Arc::ptr_eq(&svc.matrix(h).expect("readable"), &a));
+        svc.submit_update(owner, h, vals).expect("owner may update");
+        svc.submit_delta(owner, h, &d).expect("owner may delta");
+    }
+
+    #[test]
+    fn value_updates_keep_every_shard_numeric_only() {
+        let svc = Service::new(&device());
+        let tn = TenantId(0);
+        // Enough distinct patterns to exercise more than one shard.
+        let handles: Vec<(MatrixHandle, Arc<CsrMatrix>)> = (0..6)
+            .map(|s| {
+                let a = Arc::new(gen::random_uniform(160, 160, 5.0, 2.0, 70 + s));
+                (svc.register(tn, &a), a)
+            })
+            .collect();
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+        // Warm-up round builds every plan.
+        let mut tickets = Vec::new();
+        for (h, a) in &handles {
+            let m = svc.matrix(*h).expect("registered");
+            tickets.push(
+                svc.submit_spmv(tn, &m, operand(a.num_cols, 1), None)
+                    .expect("admitted"),
+            );
+        }
+        svc.flush();
+        for t in tickets.drain(..) {
+            svc.take_result(t).expect("completed");
+        }
+        svc.reset_stats();
+        // Mutation rounds: swap values, resubmit, check against a fresh
+        // engine planning the mutated matrix from scratch.
+        for round in 2..4u64 {
+            let reference = Engine::new(&device());
+            let mut expected = Vec::new();
+            for (h, a) in &handles {
+                let vals: Vec<f64> = (0..a.nnz())
+                    .map(|i| (i as f64).mul_add(0.5, round as f64))
+                    .collect();
+                let snap = svc.submit_update(tn, *h, vals).expect("owner update");
+                let x = operand(a.num_cols, round);
+                expected.push(reference.spmv(&snap, &x));
+                tickets.push(svc.submit_spmv(tn, &snap, x, None).expect("admitted"));
+            }
+            svc.flush();
+            for (t, want) in tickets.drain(..).zip(expected) {
+                let got = svc.take_result(t).expect("completed").into_vector();
+                assert_eq!(bits(&got), bits(&want));
+            }
+        }
+        let s = svc.stats();
+        let agg = s.aggregate();
+        assert_eq!(agg.cache_misses, 0, "steady state must be all hits");
+        assert_eq!(agg.cache_hits, 12);
+        assert_eq!(agg.value_updates, 12);
+        assert!(s.shards.iter().filter(|s| s.value_updates > 0).count() > 1);
+    }
+
+    #[test]
+    fn pattern_changing_deltas_reroute_future_submissions() {
+        let svc = Service::new(&device());
+        let tn = TenantId(0);
+        let a = Arc::new(gen::random_uniform(120, 120, 5.0, 2.0, 31));
+        let h = svc.register(tn, &a);
+        let mut d = CsrDelta::new();
+        // Insert a short dense diagonal: pattern changes, fingerprint moves.
+        for i in 0..8u32 {
+            d.upsert(i, i, 1.0);
+        }
+        let out = svc.submit_delta(tn, h, &d).expect("in bounds");
+        assert!(out.pattern_changed);
+        let got = svc.matrix(h).expect("advanced");
+        let want = mps_core::apply_delta_reference(&a, &d).expect("reference");
+        assert_eq!(*got, want);
+        // The mutated matrix submits and routes by its new fingerprint.
+        let t = svc
+            .submit_spmv(tn, &got, operand(got.num_cols, 3), None)
+            .expect("admitted");
+        svc.flush();
+        svc.take_result(t).expect("completed");
+        let s = svc.stats();
+        assert_eq!(s.aggregate().requests, 1);
+        let mutated = s.shards.iter().filter(|s| s.delta_applies > 0).count()
+            + s.shards.iter().filter(|s| s.delta_fallbacks > 0).count();
+        assert_eq!(mutated, 1, "the apply is charged to exactly one shard");
     }
 
     #[test]

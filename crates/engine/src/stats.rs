@@ -175,6 +175,17 @@ pub struct EngineStats {
     pub spgemm_symbolic_host_ms: f64,
     /// Host wall-clock milliseconds spent in SpGEMM numeric replays.
     pub spgemm_numeric_host_ms: f64,
+    /// In-place value swaps applied to registered matrices
+    /// ([`crate::Engine::submit_update`]) — numeric-only rounds that kept
+    /// every cached plan for the pattern valid.
+    pub value_updates: u64,
+    /// Pattern deltas applied through the balanced-path union
+    /// ([`crate::Engine::submit_delta`]), fallbacks excluded.
+    pub delta_applies: u64,
+    /// Deltas that exceeded
+    /// [`crate::EngineConfig::delta_replan_threshold`] and fell back to a
+    /// full COO rebuild (plans replan on next use).
+    pub delta_fallbacks: u64,
     /// Simt counters summed over executed numeric phases, including
     /// `dram_wide_bytes` from column-tiled batched traversals.
     pub totals: Counters,
@@ -249,6 +260,9 @@ impl EngineStats {
         self.spgemm_numeric_sim_ms += other.spgemm_numeric_sim_ms;
         self.spgemm_symbolic_host_ms += other.spgemm_symbolic_host_ms;
         self.spgemm_numeric_host_ms += other.spgemm_numeric_host_ms;
+        self.value_updates += other.value_updates;
+        self.delta_applies += other.delta_applies;
+        self.delta_fallbacks += other.delta_fallbacks;
         self.totals.add(&other.totals);
         self.phases.merge(&other.phases);
         self.chaos.pool_exhaustions += other.chaos.pool_exhaustions;
@@ -313,6 +327,12 @@ impl EngineStats {
                 self.spgemm_symbolic_host_ms,
                 self.spgemm_numeric_sim_ms,
                 self.spgemm_numeric_host_ms,
+            ));
+        }
+        if self.value_updates + self.delta_applies + self.delta_fallbacks > 0 {
+            out.push_str(&format!(
+                "mutations     {} value updates, {} deltas applied, {} delta fallbacks (full rebuild)\n",
+                self.value_updates, self.delta_applies, self.delta_fallbacks,
             ));
         }
         out.push_str(&format!(

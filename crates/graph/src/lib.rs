@@ -14,12 +14,15 @@
 //!   merge SpMV), plus batched multi-source personalized PageRank over one
 //!   merge SpMM per step;
 //! * [`triangles`] — triangle counting: SpGEMM + balanced-path
-//!   intersection (the paper's set-operation extension at work).
+//!   intersection (the paper's set-operation extension at work);
+//! * [`stream`] — sliding-window PageRank over an evolving edge stream,
+//!   driven through the serving layer's pattern-delta mutation API.
 
 pub mod bfs;
 pub mod components;
 pub mod pagerank;
 pub mod semiring;
+pub mod stream;
 pub mod triangles;
 
 pub use bfs::bfs_levels;
@@ -28,6 +31,7 @@ pub use pagerank::{
     pagerank, pagerank_multi, pagerank_multi_with_engine, MultiPageRankResult, PageRankResult,
 };
 pub use semiring::{semiring_spmv, Semiring};
+pub use stream::{edge_stream, sliding_pagerank, RoundReport, StreamConfig, StreamReport};
 pub use triangles::count_triangles;
 
 use mps_sparse::{CooMatrix, CsrMatrix};

@@ -29,7 +29,7 @@ pub struct PageRankResult {
 
 /// Column-stochastic transition operator Pᵀ stored row-major: entry
 /// (v, u) = 1/outdeg(u) for each edge u→v, so `Pᵀ·r` is a single CSR SpMV.
-fn transition_transpose(graph: &CsrMatrix) -> (CsrMatrix, Vec<bool>) {
+pub(crate) fn transition_transpose(graph: &CsrMatrix) -> (CsrMatrix, Vec<bool>) {
     let n = graph.num_rows;
     let mut t = graph.transpose();
     let dangling: Vec<bool> = (0..n).map(|u| graph.row_len(u) == 0).collect();

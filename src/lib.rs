@@ -61,6 +61,26 @@ pub enum Error {
     Format(mps_sparse::CooError),
     /// Matrix Market I/O failure ([`mps_sparse::io::MmError`]).
     Io(mps_sparse::io::MmError),
+    /// No synthetic Table II matrix matches the given name (the `mps`
+    /// CLI's `generate`/`spgemm`/`trace` suite arguments).
+    UnknownSuite(String),
+    /// An operation on the named file failed. Wraps the underlying error
+    /// so CLI-facing messages always name the offending argument.
+    File {
+        /// The path argument as the user supplied it.
+        path: String,
+        source: Box<Error>,
+    },
+}
+
+impl Error {
+    /// Wrap an error with the file-path argument it concerns.
+    pub fn for_file(path: impl Into<String>, source: impl Into<Error>) -> Error {
+        Error::File {
+            path: path.into(),
+            source: Box::new(source.into()),
+        }
+    }
 }
 
 impl std::fmt::Display for Error {
@@ -70,6 +90,8 @@ impl std::fmt::Display for Error {
             Error::Plan(e) => write!(f, "plan: {e}"),
             Error::Format(e) => write!(f, "format: {e}"),
             Error::Io(e) => write!(f, "io: {e}"),
+            Error::UnknownSuite(name) => write!(f, "unknown suite matrix '{name}'"),
+            Error::File { path, source } => write!(f, "{path}: {source}"),
         }
     }
 }
@@ -81,6 +103,8 @@ impl std::error::Error for Error {
             Error::Plan(e) => Some(e),
             Error::Format(e) => Some(e),
             Error::Io(e) => Some(e),
+            Error::UnknownSuite(_) => None,
+            Error::File { source, .. } => Some(source),
         }
     }
 }
@@ -167,6 +191,19 @@ mod tests {
         assert!(matches!(io_path(), Err(Error::Io(_))));
         let e = engine_path().unwrap_err();
         assert!(e.to_string().starts_with("engine:"), "{e}");
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn argument_errors_name_the_offending_argument() {
+        let e = Error::UnknownSuite("webscale".into());
+        assert_eq!(e.to_string(), "unknown suite matrix 'webscale'");
+        assert!(std::error::Error::source(&e).is_none());
+
+        let io = mps_sparse::io::read_matrix_market("not a matrix".as_bytes()).unwrap_err();
+        let e = Error::for_file("bogus.mtx", io);
+        assert!(e.to_string().starts_with("bogus.mtx: io:"), "{e}");
+        assert!(matches!(&e, Error::File { source, .. } if matches!(**source, Error::Io(_))));
         assert!(std::error::Error::source(&e).is_some());
     }
 }
