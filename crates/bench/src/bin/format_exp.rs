@@ -1,0 +1,31 @@
+//! Format-zoo experiment driver: advised vs always-merge SpMV over the
+//! Table II suite, plus the lossless-conversion and steady-state-advice
+//! audits. Writes `BENCH_formats.json` at the repository root; `--tiny`
+//! runs a fast smoke configuration (used by CI) and prints the table
+//! without writing the artifact.
+
+use std::path::Path;
+
+use mps_bench::format_exp;
+use mps_simt::Device;
+
+fn main() {
+    let tiny = std::env::args().any(|a| a == "--tiny");
+    let device = Device::titan();
+    let opts = if tiny {
+        format_exp::FormatOptions::tiny()
+    } else {
+        format_exp::FormatOptions::full()
+    };
+    let report = format_exp::run(&device, &opts);
+    print!("{}", format_exp::render(&report));
+    if tiny {
+        return;
+    }
+    let json = format_exp::to_json(&report);
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_formats.json");
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(e) => eprintln!("could not write {}: {e}", out.display()),
+    }
+}

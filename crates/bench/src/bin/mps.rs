@@ -12,6 +12,7 @@
 //! mps conformance [--tiny]             # differential sweep, all implementations
 //! mps host [--tiny]                    # host runtime: launch overhead, pool dispatch
 //! mps stream [--tiny] [-o out.json]    # value-mutation plan reuse + PageRank stream
+//! mps formats [--tiny] [-o out.json]   # format zoo: advised vs always-merge sweep
 //! ```
 //!
 //! Simulated device timings and correlations print to stdout; matrices
@@ -32,7 +33,7 @@ use mps_sparse::CsrMatrix;
 use mps_testkit::adversarial::Scale;
 
 fn usage() -> &'static str {
-    "usage:\n  mps info <matrix.mtx>\n  mps generate <suite-name> [--scale X] -o <out.mtx>\n  mps spmv <a.mtx>\n  mps spadd <a.mtx> <b.mtx> [-o <out.mtx>]\n  mps spgemm <a.mtx> <b.mtx> | <suite-name> [--scale X] [-o <out.mtx>]\n  mps reorder <a.mtx> -o <out.mtx>\n  mps trace <a.mtx | suite-name> [--scale X]\n  mps conformance [--tiny]\n  mps host [--tiny]\n  mps load [--tiny] [-o <out.json>]\n  mps stream [--tiny] [-o <out.json>]\n\nsuite names: dense protein spheres cantilever wind harbor qcd ship\n             economics epidemiology accelerator circuit webbase lp"
+    "usage:\n  mps info <matrix.mtx>\n  mps generate <suite-name> [--scale X] -o <out.mtx>\n  mps spmv <a.mtx>\n  mps spadd <a.mtx> <b.mtx> [-o <out.mtx>]\n  mps spgemm <a.mtx> <b.mtx> | <suite-name> [--scale X] [-o <out.mtx>]\n  mps reorder <a.mtx> -o <out.mtx>\n  mps trace <a.mtx | suite-name> [--scale X]\n  mps conformance [--tiny]\n  mps host [--tiny]\n  mps load [--tiny] [-o <out.json>]\n  mps stream [--tiny] [-o <out.json>]\n  mps formats [--tiny] [-o <out.json>]\n\nsuite names: dense protein spheres cantilever wind harbor qcd ship\n             economics epidemiology accelerator circuit webbase lp"
 }
 
 // Every argument failure renders through the facade's unified error, so
@@ -301,6 +302,20 @@ fn run() -> Result<(), String> {
             print!("{}", mps_bench::stream_exp::render(&report));
             if let Some(out) = p.out {
                 std::fs::write(&out, mps_bench::stream_exp::to_json(&report))
+                    .map_err(|e| format!("could not write {}: {e}", out.display()))?;
+                println!("wrote {}", out.display());
+            }
+        }
+        "formats" => {
+            let opts = if p.tiny {
+                mps_bench::format_exp::FormatOptions::tiny()
+            } else {
+                mps_bench::format_exp::FormatOptions::full()
+            };
+            let report = mps_bench::format_exp::run(&device, &opts);
+            print!("{}", mps_bench::format_exp::render(&report));
+            if let Some(out) = p.out {
+                std::fs::write(&out, mps_bench::format_exp::to_json(&report))
                     .map_err(|e| format!("could not write {}: {e}", out.display()))?;
                 println!("wrote {}", out.display());
             }

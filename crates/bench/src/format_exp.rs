@@ -1,0 +1,378 @@
+//! Format-zoo sweep over the Table II suite — reported into
+//! `BENCH_formats.json`.
+//!
+//! For every suite matrix the harness runs three things:
+//!
+//! * **Lossless conversion audit** — `csr → cmrs → csr` and
+//!   `csr → sell-c-σ → csr` must validate and reproduce the original
+//!   bitwise (pattern and values). Each successful round trip is counted;
+//!   the acceptance gate demands exactly two per suite matrix.
+//! * **Advised vs always-merge** — the always-merge arm builds the
+//!   reference [`SpmvPlan`]; the advised arm serves the same operand
+//!   through an [`Engine`]'s advised path, letting the [`FormatAdvisor`]
+//!   pick merge-CSR, CMRS, or SELL-C-σ per pattern. Both arms report
+//!   simulated kernel milliseconds; the gate demands the advised arm
+//!   matches or beats always-merge on **every** matrix. When the advisor
+//!   stays on merge the two arms share the identical plan, so the
+//!   speedup is exactly 1.0 by construction — the interesting rows are
+//!   the ones that leave it.
+//! * **Numeric policy** — a merge choice must be bitwise identical to
+//!   the plain merge path; a format choice must be bitwise identical to
+//!   the sequential row-wise dot *and* within relative tolerance of
+//!   merge. Any violation counts as a divergence (gate: zero).
+//!
+//! A steady-state pass then re-serves every matrix through the same
+//! engine and checks EngineStats: zero re-advisals and a 100% plan-cache
+//! hit rate — advice is paid once per pattern, like planning.
+
+use mps_core::{SpmvConfig, SpmvPlan, Workspace};
+use mps_engine::{Engine, FormatChoice};
+use mps_simt::Device;
+use mps_sparse::cmrs::CmrsMatrix;
+use mps_sparse::sell::SellCSigmaMatrix;
+use mps_sparse::suite::SuiteMatrix;
+use mps_sparse::CsrMatrix;
+
+/// Relative tolerance across summation-order families (matches the
+/// conformance oracle's policy).
+pub const REL_TOL: f64 = 1e-9;
+
+/// Harness sizing. [`FormatOptions::full`] is the acceptance run whose
+/// scale the pinned decision-table test mirrors; [`FormatOptions::tiny`]
+/// the CI smoke with identical structure.
+#[derive(Debug, Clone)]
+pub struct FormatOptions {
+    /// Suite generation scale (fraction of the paper's dimensions).
+    pub scale: f64,
+    /// Steady-state executes per matrix after the advised plan is cached.
+    pub steady_rounds: usize,
+    /// Label recorded in the report ("full" / "tiny").
+    pub mode: &'static str,
+}
+
+impl FormatOptions {
+    pub fn full() -> FormatOptions {
+        FormatOptions {
+            scale: 0.1,
+            steady_rounds: 3,
+            mode: "full",
+        }
+    }
+
+    pub fn tiny() -> FormatOptions {
+        FormatOptions {
+            scale: 0.01,
+            steady_rounds: 2,
+            mode: "tiny",
+        }
+    }
+}
+
+/// One suite matrix's conversion + advised-vs-merge outcome.
+#[derive(Debug, Clone)]
+pub struct FormatRow {
+    pub name: &'static str,
+    pub rows: usize,
+    pub nnz: usize,
+    /// The advisor's pick, as rendered by [`FormatChoice`]'s `Display`.
+    pub choice: String,
+    /// Simulated kernel ms of one always-merge execute.
+    pub merge_sim_ms: f64,
+    /// Simulated kernel ms of one advised execute.
+    pub advised_sim_ms: f64,
+    /// `merge_sim_ms / advised_sim_ms` (exactly 1.0 for merge choices).
+    pub speedup: f64,
+    /// Lossless format round trips completed for this matrix (must be 2).
+    pub round_trips: usize,
+    /// Numeric-policy violations (must be 0).
+    pub divergences: usize,
+}
+
+/// The full `BENCH_formats.json` payload.
+#[derive(Debug, Clone)]
+pub struct FormatBenchReport {
+    pub mode: String,
+    pub suite: Vec<FormatRow>,
+    /// Matrices where the advisor strictly beat always-merge.
+    pub advisor_wins: usize,
+    pub total_round_trips: usize,
+    pub total_divergences: usize,
+    pub advice_merge: u64,
+    pub advice_cmrs: u64,
+    pub advice_sell: u64,
+    /// Advisals performed during the steady-state pass (must be 0).
+    pub steady_readvisals: u64,
+    /// Plan-cache hit rate of the steady-state pass (must be 1.0).
+    pub steady_hit_rate: f64,
+}
+
+fn bits_of(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn within_rel(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(&p, &q)| (p - q).abs() <= REL_TOL * p.abs().max(q.abs()).max(1.0))
+}
+
+/// Audit one lossless round trip; returns 1 when exact, else 0.
+fn audit_roundtrip(back: &CsrMatrix, original: &CsrMatrix, valid: Result<(), String>) -> usize {
+    usize::from(valid.is_ok() && back == original)
+}
+
+fn run_matrix(device: &Device, engine: &Engine, s: SuiteMatrix, scale: f64) -> FormatRow {
+    let a = s.generate(scale);
+    let x: Vec<f64> = (0..a.num_cols)
+        .map(|i| 1.0 + (i % 13) as f64 * 0.5)
+        .collect();
+
+    let cmrs = CmrsMatrix::from_csr(&a);
+    let sell = SellCSigmaMatrix::from_csr(&a);
+    let round_trips = audit_roundtrip(&cmrs.to_csr(), &a, cmrs.validate())
+        + audit_roundtrip(&sell.to_csr(), &a, sell.validate());
+
+    // Always-merge arm: the reference plan every request would get
+    // without the advisor.
+    let merge_plan = SpmvPlan::new(device, &a, &SpmvConfig::default());
+    let mut ws = Workspace::new();
+    let mut y_merge = Vec::new();
+    merge_plan.execute_into(&a, &x, &mut y_merge, &mut ws);
+
+    // Advised arm: served through the engine so the decision lands in
+    // the plan cache alongside the format plan.
+    let y_advised = engine.spmv_advised(&a, &x);
+    let advised = engine.spmv_advised_plan(&a);
+
+    let mut divergences = 0usize;
+    if advised.choice() == FormatChoice::MergeCsr {
+        if bits_of(&y_advised) != bits_of(&y_merge) {
+            divergences += 1;
+        }
+    } else {
+        let mut y_row = vec![0.0; a.num_rows];
+        mps_core::spmv_rowwise(&a, &x, &mut y_row);
+        if bits_of(&y_advised) != bits_of(&y_row) {
+            divergences += 1;
+        }
+        if !within_rel(&y_advised, &y_merge) {
+            divergences += 1;
+        }
+    }
+
+    let merge_sim_ms = merge_plan.execute_sim_ms();
+    let advised_sim_ms = advised.execute_sim_ms();
+    FormatRow {
+        name: s.name(),
+        rows: a.num_rows,
+        nnz: a.nnz(),
+        choice: advised.choice().to_string(),
+        merge_sim_ms,
+        advised_sim_ms,
+        speedup: merge_sim_ms / advised_sim_ms.max(1e-12),
+        round_trips,
+        divergences,
+    }
+}
+
+/// Run the sweep over the Table II suite.
+pub fn run(device: &Device, opts: &FormatOptions) -> FormatBenchReport {
+    let engine = Engine::new(device);
+    let suite: Vec<FormatRow> = SuiteMatrix::ALL
+        .iter()
+        .map(|&s| run_matrix(device, &engine, s, opts.scale))
+        .collect();
+
+    // Steady state: every pattern is cached; re-serving must hit both the
+    // plan cache and the cached advice, never re-advising.
+    let warm = engine.stats();
+    engine.reset_stats();
+    for s in SuiteMatrix::ALL {
+        let a = s.generate(opts.scale);
+        let x: Vec<f64> = (0..a.num_cols)
+            .map(|i| 1.0 + (i % 13) as f64 * 0.5)
+            .collect();
+        for _ in 0..opts.steady_rounds {
+            engine.spmv_advised(&a, &x);
+        }
+    }
+    let steady = engine.stats();
+
+    FormatBenchReport {
+        mode: opts.mode.to_string(),
+        advisor_wins: suite.iter().filter(|r| r.speedup > 1.0).count(),
+        total_round_trips: suite.iter().map(|r| r.round_trips).sum(),
+        total_divergences: suite.iter().map(|r| r.divergences).sum(),
+        advice_merge: warm.advice_merge,
+        advice_cmrs: warm.advice_cmrs,
+        advice_sell: warm.advice_sell,
+        steady_readvisals: steady.advice_builds,
+        steady_hit_rate: steady.cache_hits as f64
+            / (steady.cache_hits + steady.cache_misses).max(1) as f64,
+        suite,
+    }
+}
+
+// ---- reporting ----------------------------------------------------------
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Hand-rolled JSON for `BENCH_formats.json` (no serde in the tree).
+pub fn to_json(r: &FormatBenchReport) -> String {
+    let mut out = String::from("{\n  \"formats\": {\n");
+    out.push_str(&format!("    \"mode\": \"{}\",\n", r.mode));
+    out.push_str("    \"suite\": [\n");
+    for (i, s) in r.suite.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"name\": \"{}\", \"rows\": {}, \"nnz\": {}, \"choice\": \"{}\", \
+             \"merge_sim_ms\": {}, \"advised_sim_ms\": {}, \"speedup\": {}, \
+             \"round_trips\": {}, \"divergences\": {}}}{}\n",
+            s.name,
+            s.rows,
+            s.nnz,
+            s.choice,
+            json_f(s.merge_sim_ms),
+            json_f(s.advised_sim_ms),
+            json_f(s.speedup),
+            s.round_trips,
+            s.divergences,
+            if i + 1 < r.suite.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("    ],\n");
+    out.push_str(&format!(
+        "    \"totals\": {{\"advisor_wins\": {}, \"round_trips\": {}, \"divergences\": {}, \
+         \"advice\": {{\"merge\": {}, \"cmrs\": {}, \"sell\": {}}}, \
+         \"steady_readvisals\": {}, \"steady_hit_rate\": {}}}\n",
+        r.advisor_wins,
+        r.total_round_trips,
+        r.total_divergences,
+        r.advice_merge,
+        r.advice_cmrs,
+        r.advice_sell,
+        r.steady_readvisals,
+        json_f(r.steady_hit_rate)
+    ));
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Render the human-readable summary table.
+pub fn render(r: &FormatBenchReport) -> String {
+    let mut out = format!(
+        "format zoo sweep ({} mode): advised vs always-merge over the Table II suite\n",
+        r.mode
+    );
+    let rows: Vec<Vec<String>> = r
+        .suite
+        .iter()
+        .map(|s| {
+            vec![
+                s.name.to_string(),
+                s.nnz.to_string(),
+                s.choice.clone(),
+                format!("{:.4}", s.merge_sim_ms),
+                format!("{:.4}", s.advised_sim_ms),
+                format!("{:.2}x", s.speedup),
+                s.round_trips.to_string(),
+                s.divergences.to_string(),
+            ]
+        })
+        .collect();
+    out.push_str(&crate::render_table(
+        &[
+            "matrix",
+            "nnz",
+            "choice",
+            "merge_ms",
+            "advised_ms",
+            "speedup",
+            "roundtrip",
+            "diverge",
+        ],
+        &rows,
+    ));
+    out.push_str(&format!(
+        "advice: {} merge / {} cmrs / {} sell · {} strict wins · {} round trips · {} divergences\n\
+         steady state: {} re-advisals, plan-cache hit rate {:.3}\n",
+        r.advice_merge,
+        r.advice_cmrs,
+        r.advice_sell,
+        r.advisor_wins,
+        r.total_round_trips,
+        r.total_divergences,
+        r.steady_readvisals,
+        r.steady_hit_rate
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> Device {
+        Device::titan()
+    }
+
+    fn micro() -> FormatOptions {
+        FormatOptions {
+            scale: 0.005,
+            steady_rounds: 2,
+            mode: "micro",
+        }
+    }
+
+    #[test]
+    fn sweep_is_lossless_divergence_free_and_never_loses() {
+        let r = run(&dev(), &micro());
+        assert_eq!(r.suite.len(), SuiteMatrix::ALL.len());
+        assert_eq!(
+            r.total_round_trips,
+            2 * SuiteMatrix::ALL.len(),
+            "every matrix must round trip through both formats exactly"
+        );
+        assert_eq!(r.total_divergences, 0);
+        for s in &r.suite {
+            assert!(
+                s.speedup >= 1.0,
+                "{}: advised {} must not lose to merge ({:.4} vs {:.4} ms)",
+                s.name,
+                s.choice,
+                s.advised_sim_ms,
+                s.merge_sim_ms
+            );
+        }
+        assert_eq!(
+            r.advice_merge + r.advice_cmrs + r.advice_sell,
+            SuiteMatrix::ALL.len() as u64
+        );
+    }
+
+    #[test]
+    fn steady_state_re_advises_nothing() {
+        let r = run(&dev(), &micro());
+        assert_eq!(r.steady_readvisals, 0, "advice must be cached per pattern");
+        assert_eq!(r.steady_hit_rate, 1.0);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let r = run(&dev(), &micro());
+        let j = to_json(&r);
+        assert!(j.starts_with('{') && j.trim_end().ends_with('}'));
+        assert!(j.contains("\"suite\""));
+        assert!(j.contains("\"steady_readvisals\""));
+        assert!(j.contains("\"advice\""));
+        assert!(!j.contains("NaN") && !j.contains("inf"));
+        let t = render(&r);
+        assert!(t.contains("format zoo sweep"), "{t}");
+    }
+}

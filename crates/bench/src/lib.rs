@@ -28,6 +28,7 @@
 pub mod conformance;
 pub mod fig2;
 pub mod fig4;
+pub mod format_exp;
 pub mod host_exp;
 pub mod load_exp;
 pub mod sensitivity;

@@ -24,6 +24,7 @@ pub mod assemble;
 pub mod config;
 pub mod delta;
 pub mod error;
+pub mod format_spmv;
 pub mod partition;
 mod simd;
 pub mod spadd;
@@ -35,6 +36,9 @@ pub mod workspace;
 pub use config::{SpAddConfig, SpgemmConfig, SpmmConfig, SpmvConfig};
 pub use delta::{apply_delta, apply_delta_reference, CsrDelta, DeltaApplied};
 pub use error::PlanError;
+pub use format_spmv::{
+    format_grid, spmv_rowwise, CmrsSpmvPlan, SellSpmvPlan, FORMAT_BLOCK_THREADS,
+};
 pub use partition::MergePartition;
 pub use spadd::{merge_spadd, SpAddPlan, SpAddResult};
 pub use spgemm::adaptive::{adaptive_spgemm, segmented_spgemm, AdaptivePolicy, PipelineChoice};

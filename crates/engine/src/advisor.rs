@@ -1,0 +1,635 @@
+//! The format advisor: pick an SpMV storage format + kernel per sparsity
+//! pattern from matrix statistics and cost-model predictions, before
+//! converting anything.
+//!
+//! The selection problem is the one Yang, Buluç & Owens formalize for GPU
+//! SpMM: no single format wins everywhere. Merge-path CSR is insensitive
+//! to row-length skew but pays shared-memory exchange, barriers, and a
+//! second carry-update launch on every matrix; SELL-C-σ is barrier-free
+//! and perfectly streamed but pays padding and permutation scatter; CMRS
+//! stores exactly `nnz` entries but pays a per-entry row tag and strip
+//! imbalance. The advisor builds an [`SpmvWorkload`] for each candidate
+//! from row lengths plus a warp-exact replay of each kernel's `x`-gather
+//! order — no format is materialized — and asks the device's
+//! [`CostModel`] to price them. The gather replays are what separate the
+//! candidates on real matrices: merge gathers row-major (rewarding
+//! within-row column runs), CMRS gathers strip-interleaved (rewarding
+//! cross-row locality, the mesh case), SELL gathers through the σ-sort
+//! permutation (which taxes that locality). An alternative must beat
+//! merge by
+//! [`FormatAdvisor::DEFAULT_MARGIN`] to be chosen: ties go to merge, whose
+//! flat decomposition is the safe default the paper argues for.
+
+use std::sync::Arc;
+
+use mps_core::{format_grid, CmrsSpmvPlan, SellSpmvPlan, SpmvConfig, SpmvPlan, Workspace};
+use mps_simt::{Device, Phase, SpmvWorkload};
+use std::cmp::Reverse;
+
+use mps_sparse::cmrs::CMRS_DEFAULT_STRIP_HEIGHT;
+use mps_sparse::sell::{slice_widths, SELL_DEFAULT_CHUNK, SELL_DEFAULT_SIGMA};
+use mps_sparse::{CsrMatrix, MatrixStats};
+
+use crate::stats::EngineStats;
+
+/// The storage format + kernel an advised plan executes with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FormatChoice {
+    /// Merge-path CSR (the paper's kernel; partition + reduction + update).
+    MergeCsr,
+    /// CMRS strip-interleaved kernel.
+    Cmrs,
+    /// SELL-C-σ sliced-ELL kernel.
+    SellCSigma,
+}
+
+impl std::fmt::Display for FormatChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FormatChoice::MergeCsr => "merge-csr",
+            FormatChoice::Cmrs => "cmrs",
+            FormatChoice::SellCSigma => "sell-c-sigma",
+        })
+    }
+}
+
+/// The advisor's verdict for one pattern: the choice, all three predicted
+/// costs (so a regression can report both sides of a flipped decision),
+/// and the statistics it read.
+#[derive(Debug, Clone)]
+pub struct FormatDecision {
+    pub choice: FormatChoice,
+    /// Predicted device cycles for the merge-path CSR kernel.
+    pub merge_cycles: f64,
+    /// Predicted device cycles for the CMRS strip kernel.
+    pub cmrs_cycles: f64,
+    /// Predicted device cycles for the SELL-C-σ slice kernel.
+    pub sell_cycles: f64,
+    /// Row-length statistics the workloads were derived from.
+    pub stats: MatrixStats,
+}
+
+impl FormatDecision {
+    /// Predicted cycles of the chosen format.
+    pub fn chosen_cycles(&self) -> f64 {
+        match self.choice {
+            FormatChoice::MergeCsr => self.merge_cycles,
+            FormatChoice::Cmrs => self.cmrs_cycles,
+            FormatChoice::SellCSigma => self.sell_cycles,
+        }
+    }
+}
+
+/// Builds per-format [`SpmvWorkload`]s from a matrix's row lengths and
+/// compares their predicted cycles.
+#[derive(Debug, Clone)]
+pub struct FormatAdvisor {
+    /// Multiplier an alternative's prediction must beat merge by.
+    margin: f64,
+}
+
+impl Default for FormatAdvisor {
+    fn default() -> Self {
+        FormatAdvisor {
+            margin: Self::DEFAULT_MARGIN,
+        }
+    }
+}
+
+/// Replays an indexed-access stream exactly the way the simulator's
+/// `Cta::gather`/`scatter` price it: 32 lanes coalesce into distinct
+/// 128-byte segments, each warp issues independently, and each kernel-side
+/// gather call starts a fresh warp. Elements are 8 bytes (an `f64` of `x`
+/// or `y`), so 16 elements share a segment.
+struct WarpTx {
+    segs: Vec<u64>,
+    tx: u64,
+}
+
+impl WarpTx {
+    const LANES: usize = 32;
+    const ELEMS_PER_SEG: u64 = mps_simt::cost::TX_BYTES / 8;
+
+    fn new() -> WarpTx {
+        WarpTx {
+            segs: Vec::with_capacity(Self::LANES),
+            tx: 0,
+        }
+    }
+
+    fn push(&mut self, elem_idx: u64) {
+        self.segs.push(elem_idx / Self::ELEMS_PER_SEG);
+        if self.segs.len() == Self::LANES {
+            self.flush();
+        }
+    }
+
+    /// Ends the current gather call: the partial warp issues, and the next
+    /// push starts at lane 0.
+    fn flush(&mut self) {
+        self.segs.sort_unstable();
+        self.segs.dedup();
+        self.tx += self.segs.len() as u64;
+        self.segs.clear();
+    }
+}
+
+/// Busiest-group work as a multiple of the mean over groups of
+/// `group_rows` consecutive values (CTA-level imbalance for a row-split
+/// kernel whose CTAs each own `group_rows` rows).
+fn group_imbalance(work: &[usize], group_rows: usize) -> f64 {
+    if work.is_empty() {
+        return 1.0;
+    }
+    let total: usize = work.iter().sum();
+    if total == 0 {
+        return 1.0;
+    }
+    let groups = work.len().div_ceil(group_rows);
+    let mean = total as f64 / groups as f64;
+    let max = work
+        .chunks(group_rows)
+        .map(|g| g.iter().sum::<usize>())
+        .max()
+        .unwrap_or(0);
+    (max as f64 / mean).max(1.0)
+}
+
+impl FormatAdvisor {
+    /// Default selection margin: an alternative format's predicted cycles
+    /// must be at least this factor below merge's. The model's
+    /// imbalance/padding terms are first-order, so close calls stay on
+    /// the skew-proof merge kernel.
+    pub const DEFAULT_MARGIN: f64 = 1.25;
+
+    pub fn new(margin: f64) -> FormatAdvisor {
+        assert!(
+            margin >= 1.0,
+            "margin below 1 would prefer predicted-worse formats"
+        );
+        FormatAdvisor { margin }
+    }
+
+    pub fn margin(&self) -> f64 {
+        self.margin
+    }
+
+    /// DRAM transactions for the merge kernel's `x` gather: the column
+    /// stream in CSR (row-major) order, warp-coalesced. A warp covers
+    /// consecutive entries of one or a few rows, so this rewards
+    /// *within-row* column clustering. CTA boundaries are ignored (one
+    /// partial warp per CTA — noise at any real size).
+    pub fn merge_gather_tx(a: &CsrMatrix) -> u64 {
+        let mut w = WarpTx::new();
+        for &c in &a.col_idx {
+            w.push(c as u64);
+        }
+        w.flush();
+        w.tx
+    }
+
+    /// DRAM transactions for the CMRS kernel's `x` gather: the column
+    /// stream in strip-interleaved order (entry `j` of each of the strip's
+    /// rows, ascending `j`), one gather call per strip. A warp covers the
+    /// same depth across adjacent rows, so this rewards *cross-row*
+    /// locality — the reason CMRS wins on meshes, where neighboring rows'
+    /// j-th neighbors are themselves neighbors.
+    pub fn cmrs_gather_tx(a: &CsrMatrix, strip_height: usize) -> u64 {
+        let strip_height = strip_height.max(1);
+        let mut w = WarpTx::new();
+        for lo in (0..a.num_rows).step_by(strip_height) {
+            let hi = (lo + strip_height).min(a.num_rows);
+            let longest = (lo..hi).map(|r| a.row_len(r)).max().unwrap_or(0);
+            for j in 0..longest {
+                for r in lo..hi {
+                    let cols = a.row_cols(r);
+                    if let Some(&c) = cols.get(j) {
+                        w.push(c as u64);
+                    }
+                }
+            }
+            w.flush();
+        }
+        w.tx
+    }
+
+    /// DRAM transactions for the SELL-C-σ kernel's `x` gather plus its
+    /// permutation scatter of `y`, replayed in slice-lane-major order
+    /// without materializing the format. The σ-sort that shrinks padding
+    /// also shuffles row adjacency, which is priced here exactly: the
+    /// gather walks σ-sorted lanes, the scatter walks the permutation.
+    pub fn sell_gather_tx(a: &CsrMatrix, chunk: usize, sigma: usize) -> u64 {
+        let chunk = chunk.max(1);
+        let sigma = sigma.max(1);
+        let mut perm: Vec<u32> = (0..a.num_rows as u32).collect();
+        for win in perm.chunks_mut(sigma) {
+            win.sort_by_key(|&r| Reverse(a.row_len(r as usize)));
+        }
+        let mut gather = WarpTx::new();
+        let mut scatter = WarpTx::new();
+        for slice in perm.chunks(chunk) {
+            let width = slice
+                .iter()
+                .map(|&r| a.row_len(r as usize))
+                .max()
+                .unwrap_or(0);
+            for j in 0..width {
+                for &r in slice {
+                    let cols = a.row_cols(r as usize);
+                    if let Some(&c) = cols.get(j) {
+                        gather.push(c as u64);
+                    }
+                }
+            }
+            gather.flush();
+            for &r in slice {
+                scatter.push(r as u64);
+            }
+            scatter.flush();
+        }
+        gather.tx + scatter.tx
+    }
+
+    /// Workload of the merge-path CSR kernel: flat decomposition (no
+    /// imbalance), but per-item shared-memory segmented reduce, two
+    /// barriers per CTA, and the dependent carry-update launch. `gathers`
+    /// is the [`FormatAdvisor::merge_gather_tx`] replay.
+    pub fn merge_workload(a: &CsrMatrix, cfg: &SpmvConfig, gathers: u64) -> SpmvWorkload {
+        let nnz = a.nnz() as u64;
+        let rows = a.num_rows as u64;
+        let ctas = a.nnz().div_ceil(cfg.nv()).max(1) as u64;
+        SpmvWorkload {
+            ctas,
+            // Row-offset windows + column stream + value stream + output
+            // stores + the carry records the fixup launch re-reads.
+            streamed_bytes: (rows + 2 * ctas) * 8 + nnz * 12 + rows * 8 + ctas * 12,
+            gathers,
+            // Per item: product + row expansion, then the 3-op segmented
+            // reduce; plus the carry fixup.
+            alu_ops: 5 * nnz + 2 * ctas,
+            // Striped→blocked exchange of two register tiles (4 ops/item),
+            // reduce staging (2 ops/item), and the row-offset window.
+            shmem_ops: 6 * nnz + rows + 2 * ctas,
+            // Two barriers in the exchange, two in the reduce.
+            syncs: 4 * ctas,
+            extra_launches: 1,
+            imbalance: 1.0,
+        }
+    }
+
+    /// Workload of the CMRS strip kernel at the default strip height:
+    /// exactly-nnz streaming plus the 2-byte tag stream, shared-memory
+    /// accumulators, and whatever CTA imbalance the row lengths induce.
+    /// `gathers` is the [`FormatAdvisor::cmrs_gather_tx`] replay.
+    pub fn cmrs_workload(a: &CsrMatrix, gathers: u64) -> SpmvWorkload {
+        let nnz = a.nnz() as u64;
+        let rows = a.num_rows as u64;
+        let strips = a.num_rows.div_ceil(CMRS_DEFAULT_STRIP_HEIGHT);
+        let (strips_per_cta, ctas) = format_grid(strips, CMRS_DEFAULT_STRIP_HEIGHT);
+        let lens: Vec<usize> = (0..a.num_rows).map(|r| a.row_len(r)).collect();
+        SpmvWorkload {
+            ctas: ctas as u64,
+            // Tag + column + value streams, output stores.
+            streamed_bytes: nnz * 14 + rows * 8,
+            gathers,
+            alu_ops: 2 * nnz,
+            shmem_ops: 2 * nnz,
+            syncs: 0,
+            extra_launches: 0,
+            imbalance: group_imbalance(&lens, strips_per_cta * CMRS_DEFAULT_STRIP_HEIGHT),
+        }
+    }
+
+    /// Workload of the SELL-C-σ slice kernel at the default C/σ: padded
+    /// slots all stream (the padding tax), no shared memory, no barriers.
+    /// `gathers` is the [`FormatAdvisor::sell_gather_tx`] replay, which
+    /// already includes the per-row permutation scatter.
+    pub fn sell_workload(a: &CsrMatrix, gathers: u64) -> SpmvWorkload {
+        let widths = slice_widths(a, SELL_DEFAULT_CHUNK, SELL_DEFAULT_SIGMA);
+        let slots: u64 = widths
+            .iter()
+            .map(|&w| (w * SELL_DEFAULT_CHUNK) as u64)
+            .sum();
+        let (slices_per_cta, ctas) = format_grid(widths.len(), SELL_DEFAULT_CHUNK);
+        let per_cta_slots: Vec<usize> = widths
+            .chunks(slices_per_cta)
+            .map(|c| c.iter().map(|&w| w * SELL_DEFAULT_CHUNK).sum())
+            .collect();
+        SpmvWorkload {
+            ctas: ctas as u64,
+            // Every slot (pads included) streams 12 bytes.
+            streamed_bytes: slots * 12,
+            gathers,
+            alu_ops: 2 * slots,
+            shmem_ops: 0,
+            syncs: 0,
+            extra_launches: 0,
+            imbalance: group_imbalance(&per_cta_slots, 1),
+        }
+    }
+
+    /// Price all three formats for `a` and pick one. Reads row lengths
+    /// and column locality only — nothing is converted or executed.
+    pub fn advise(&self, device: &Device, a: &CsrMatrix, cfg: &SpmvConfig) -> FormatDecision {
+        let props = &device.props;
+        let slots = (props.num_sms * props.max_ctas_per_sm) as u64;
+        let cost = &device.cost;
+        let merge_cycles = cost.predict_spmv(
+            &Self::merge_workload(a, cfg, Self::merge_gather_tx(a)),
+            slots,
+        );
+        let cmrs_cycles = cost.predict_spmv(
+            &Self::cmrs_workload(a, Self::cmrs_gather_tx(a, CMRS_DEFAULT_STRIP_HEIGHT)),
+            slots,
+        );
+        let sell_cycles = cost.predict_spmv(
+            &Self::sell_workload(
+                a,
+                Self::sell_gather_tx(a, SELL_DEFAULT_CHUNK, SELL_DEFAULT_SIGMA),
+            ),
+            slots,
+        );
+        let mut choice = FormatChoice::MergeCsr;
+        let mut best = merge_cycles / self.margin;
+        // Evaluation order breaks exact ties toward SELL (cheaper storage
+        // than CMRS at equal predicted cycles).
+        if sell_cycles < best {
+            choice = FormatChoice::SellCSigma;
+            best = sell_cycles;
+        }
+        if cmrs_cycles < best {
+            choice = FormatChoice::Cmrs;
+        }
+        FormatDecision {
+            choice,
+            merge_cycles,
+            cmrs_cycles,
+            sell_cycles,
+            stats: MatrixStats::of(a),
+        }
+    }
+}
+
+/// The kernel backend an advised plan dispatches to.
+#[derive(Debug, Clone)]
+enum AdvisedBackend {
+    Merge(Arc<SpmvPlan>),
+    Cmrs(CmrsSpmvPlan),
+    Sell(SellSpmvPlan),
+}
+
+/// A format decision plus the plan built for the chosen format, cached
+/// together in the engine's LRU under the pattern fingerprint — so at
+/// steady state the advisor never re-runs and execution is the usual
+/// zero-alloc replay.
+#[derive(Debug, Clone)]
+pub struct AdvisedSpmvPlan {
+    decision: FormatDecision,
+    backend: AdvisedBackend,
+}
+
+impl AdvisedSpmvPlan {
+    /// Advise on `a` and build the chosen format's plan.
+    pub fn new(
+        device: &Device,
+        a: &CsrMatrix,
+        cfg: &SpmvConfig,
+        advisor: &FormatAdvisor,
+    ) -> AdvisedSpmvPlan {
+        let decision = advisor.advise(device, a, cfg);
+        let backend = match decision.choice {
+            FormatChoice::MergeCsr => {
+                AdvisedBackend::Merge(Arc::new(SpmvPlan::new(device, a, cfg)))
+            }
+            FormatChoice::Cmrs => AdvisedBackend::Cmrs(CmrsSpmvPlan::new(device, a)),
+            FormatChoice::SellCSigma => AdvisedBackend::Sell(SellSpmvPlan::new(device, a)),
+        };
+        AdvisedSpmvPlan { decision, backend }
+    }
+
+    pub fn decision(&self) -> &FormatDecision {
+        &self.decision
+    }
+
+    pub fn choice(&self) -> FormatChoice {
+        self.decision.choice
+    }
+
+    /// The merge plan underneath, when the advisor chose merge.
+    pub fn merge_plan(&self) -> Option<&Arc<SpmvPlan>> {
+        match &self.backend {
+            AdvisedBackend::Merge(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Simulated milliseconds of one execution through the chosen kernel.
+    pub fn execute_sim_ms(&self) -> f64 {
+        match &self.backend {
+            AdvisedBackend::Merge(p) => p.execute_sim_ms(),
+            AdvisedBackend::Cmrs(p) => p.execute_sim_ms(),
+            AdvisedBackend::Sell(p) => p.execute_sim_ms(),
+        }
+    }
+
+    /// Simulated milliseconds paid once at build (the merge partition;
+    /// zero for the conversion-based formats, whose one-time kernel
+    /// simulation is the cached execute cost).
+    pub fn build_sim_ms(&self) -> f64 {
+        match &self.backend {
+            AdvisedBackend::Merge(p) => p.build_sim_ms(),
+            AdvisedBackend::Cmrs(_) | AdvisedBackend::Sell(_) => 0.0,
+        }
+    }
+
+    /// Execute through the chosen backend. All backends read the original
+    /// CSR operand, so in-place value updates flow through, and all are
+    /// allocation-free once `y` and `ws` are warm.
+    pub fn execute_into(
+        &self,
+        a: &CsrMatrix,
+        x: &[f64],
+        y: &mut Vec<f64>,
+        ws: &mut Workspace,
+    ) -> f64 {
+        match &self.backend {
+            AdvisedBackend::Merge(p) => p.execute_into(a, x, y, ws),
+            AdvisedBackend::Cmrs(p) => p.execute_into(a, x, y),
+            AdvisedBackend::Sell(p) => p.execute_into(a, x, y),
+        }
+    }
+
+    /// Charge this plan's build-time work to the engine stats (the
+    /// single advised arm of [`crate::cache::CachedPlan::charge_build`]).
+    pub(crate) fn charge_build(&self, stats: &mut EngineStats) {
+        stats.advice_builds += 1;
+        match self.decision.choice {
+            FormatChoice::MergeCsr => stats.advice_merge += 1,
+            FormatChoice::Cmrs => stats.advice_cmrs += 1,
+            FormatChoice::SellCSigma => stats.advice_sell += 1,
+        }
+        if let AdvisedBackend::Merge(p) = &self.backend {
+            crate::cache::charge_partition_build(stats, p.build_sim_ms(), &p.partition, &p.fixup);
+        }
+    }
+
+    /// Charge one executed replay to totals and the phase ledger, under
+    /// the chosen kernel's phase so `mps trace` attributes it.
+    pub(crate) fn charge_exec(&self, stats: &mut EngineStats) {
+        match &self.backend {
+            AdvisedBackend::Merge(p) => crate::charge_spmv_exec(stats, p),
+            AdvisedBackend::Cmrs(p) => {
+                let s = p.stats();
+                stats.totals.add(&s.totals);
+                stats
+                    .phases
+                    .charge(Phase::CmrsStrip, s.sim_ms, s.totals.dram_bytes());
+            }
+            AdvisedBackend::Sell(p) => {
+                let s = p.stats();
+                stats.totals.add(&s.totals);
+                stats
+                    .phases
+                    .charge(Phase::SellSlice, s.sim_ms, s.totals.dram_bytes());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_sparse::gen;
+
+    fn dev() -> Device {
+        Device::titan()
+    }
+
+    #[test]
+    fn structured_uniform_rows_advise_away_from_merge() {
+        // A stencil: uniform short rows with tightly clustered columns.
+        // The gathers coalesce, so merge's exchange/barrier/second-launch
+        // overheads are exposed and a row-split format must win.
+        let m = gen::stencil_5pt(96, 64);
+        let d = FormatAdvisor::default().advise(&dev(), &m, &SpmvConfig::default());
+        assert_ne!(d.choice, FormatChoice::MergeCsr, "{d:?}");
+        assert!(d.chosen_cycles() * FormatAdvisor::DEFAULT_MARGIN < d.merge_cycles);
+        assert!(d.stats.cv() < 0.5);
+    }
+
+    #[test]
+    fn random_columns_advise_merge() {
+        // Same row regularity but scattered columns: the x gather costs
+        // every format the same ~1 transaction per entry and dwarfs the
+        // overhead differences, so the margin keeps merge.
+        let m = gen::fixed_per_row(8192, 8192, 16, 3);
+        let d = FormatAdvisor::default().advise(&dev(), &m, &SpmvConfig::default());
+        assert_eq!(d.choice, FormatChoice::MergeCsr, "{d:?}");
+        assert_eq!(d.stats.cv(), 0.0);
+    }
+
+    #[test]
+    fn heavy_skew_advises_merge() {
+        // A few enormous rows: row-split CTAs inherit the skew (and SELL
+        // additionally pads), while merge's flat decomposition does not.
+        let mut coo = mps_sparse::CooMatrix::new(8192, 8192);
+        for r in 0..8192u32 {
+            let len = if r % 512 == 0 { 4000usize } else { 2 };
+            for k in 0..len {
+                coo.push(r, ((r as usize * 13 + k * 37) % 8192) as u32, 1.0);
+            }
+        }
+        let m = coo.to_csr();
+        let d = FormatAdvisor::default().advise(&dev(), &m, &SpmvConfig::default());
+        assert_eq!(d.choice, FormatChoice::MergeCsr, "{d:?}");
+        assert!(d.stats.cv() > 1.0);
+    }
+
+    #[test]
+    fn margin_gates_the_switch() {
+        let m = gen::stencil_5pt(128, 128);
+        let dev = dev();
+        let cfg = SpmvConfig::default();
+        let open = FormatAdvisor::new(1.0).advise(&dev, &m, &cfg);
+        assert_ne!(open.choice, FormatChoice::MergeCsr);
+        // An absurd margin forces merge even where a format wins on
+        // predicted cycles.
+        let closed = FormatAdvisor::new(1e6).advise(&dev, &m, &cfg);
+        assert_eq!(closed.choice, FormatChoice::MergeCsr);
+    }
+
+    #[test]
+    fn gather_replays_see_column_locality() {
+        let clustered = gen::stencil_5pt(64, 64);
+        let nnz = clustered.nnz() as u64;
+        // Stencil warps coalesce heavily in every order, and the
+        // strip-interleaved walk (same depth across adjacent rows) beats
+        // row-major: at each depth the 16 rows' columns are consecutive.
+        let merge = FormatAdvisor::merge_gather_tx(&clustered);
+        let cmrs = FormatAdvisor::cmrs_gather_tx(&clustered, 16);
+        assert!(merge < nnz / 2, "merge {merge} vs nnz {nnz}");
+        assert!(cmrs < merge, "cmrs {cmrs} vs merge {merge}");
+        // Random columns over a huge span: nearly every lane touches its
+        // own segment, in any order.
+        let scattered = gen::fixed_per_row(512, 100_000, 8, 1);
+        let snnz = scattered.nnz() as u64;
+        let smerge = FormatAdvisor::merge_gather_tx(&scattered);
+        assert!(smerge > snnz * 9 / 10, "smerge {smerge} vs nnz {snnz}");
+        assert!(FormatAdvisor::cmrs_gather_tx(&scattered, 16) > snnz * 9 / 10);
+        // SELL's permutation scatter adds close to one transaction per
+        // 16-row segment group even when the gather coalesces.
+        let sell = FormatAdvisor::sell_gather_tx(&clustered, 32, 256);
+        assert!(sell > FormatAdvisor::cmrs_gather_tx(&clustered, 32));
+    }
+
+    #[test]
+    fn advised_plan_executes_bitwise_like_its_family() {
+        // A stencil routes to a row-split format, whose numerics are the
+        // sequential row-wise dot, bit for bit.
+        let m = gen::stencil_5pt(64, 32);
+        let x: Vec<f64> = (0..m.num_cols).map(|i| 0.5 + (i % 9) as f64).collect();
+        let dev = dev();
+        let plan =
+            AdvisedSpmvPlan::new(&dev, &m, &SpmvConfig::default(), &FormatAdvisor::default());
+        assert_ne!(plan.choice(), FormatChoice::MergeCsr);
+        let mut y = Vec::new();
+        let mut ws = Workspace::new();
+        let ms = plan.execute_into(&m, &x, &mut y, &mut ws);
+        assert!(ms > 0.0);
+        assert!((ms - plan.execute_sim_ms()).abs() < 1e-12);
+        let mut want = vec![0.0; m.num_rows];
+        mps_core::spmv_rowwise(&m, &x, &mut want);
+        assert_eq!(y, want);
+    }
+
+    #[test]
+    fn merge_choice_reuses_the_reference_spmv_plan() {
+        // When the advisor keeps merge, the advised path must be the
+        // merge path — identical plan, identical simulated cost.
+        let mut coo = mps_sparse::CooMatrix::new(4096, 4096);
+        for r in 0..4096u32 {
+            let len = if r % 256 == 0 { 3000usize } else { 1 };
+            for k in 0..len {
+                coo.push(r, ((r as usize * 11 + k * 41) % 4096) as u32, 1.0);
+            }
+        }
+        let m = coo.to_csr();
+        let dev = dev();
+        let cfg = SpmvConfig::default();
+        let plan = AdvisedSpmvPlan::new(&dev, &m, &cfg, &FormatAdvisor::default());
+        assert_eq!(plan.choice(), FormatChoice::MergeCsr);
+        let reference = SpmvPlan::new(&dev, &m, &cfg);
+        assert_eq!(plan.execute_sim_ms(), reference.execute_sim_ms());
+        assert_eq!(plan.build_sim_ms(), reference.build_sim_ms());
+    }
+
+    #[test]
+    fn decision_reports_all_three_costs() {
+        let m = gen::random_uniform(1000, 1000, 8.0, 3.0, 1);
+        let d = FormatAdvisor::default().advise(&dev(), &m, &SpmvConfig::default());
+        for c in [d.merge_cycles, d.cmrs_cycles, d.sell_cycles] {
+            assert!(c.is_finite() && c > 0.0, "{d:?}");
+        }
+        assert!(d.chosen_cycles() > 0.0);
+    }
+}

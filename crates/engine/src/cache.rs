@@ -14,6 +14,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use mps_core::{SpAddPlan, SpgemmPlan, SpmmPlan, SpmvPlan};
+
+use crate::advisor::AdvisedSpmvPlan;
 use mps_simt::{LaunchStats, Phase};
 
 use crate::stats::EngineStats;
@@ -24,6 +26,7 @@ use crate::stats::EngineStats;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PlanKey {
     Spmv { pattern: u64 },
+    AdvisedSpmv { pattern: u64 },
     Spmm { pattern: u64, k: usize },
     SpAdd { a: u64, b: u64 },
     Spgemm { a: u64, b: u64 },
@@ -33,6 +36,7 @@ pub enum PlanKey {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PlanKind {
     Spmv,
+    Advised,
     Spmm,
     SpAdd,
     Spgemm,
@@ -42,6 +46,7 @@ impl std::fmt::Display for PlanKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let name = match self {
             PlanKind::Spmv => "SpMV",
+            PlanKind::Advised => "AdvisedSpMV",
             PlanKind::Spmm => "SpMM",
             PlanKind::SpAdd => "SpAdd",
             PlanKind::Spgemm => "SpGEMM",
@@ -54,6 +59,7 @@ impl std::fmt::Display for PlanKind {
 #[derive(Debug, Clone)]
 pub enum CachedPlan {
     Spmv(Arc<SpmvPlan>),
+    Advised(Arc<AdvisedSpmvPlan>),
     Spmm(Arc<SpmmPlan>),
     SpAdd(Arc<SpAddPlan>),
     Spgemm(Arc<SpgemmPlan>),
@@ -63,6 +69,7 @@ impl CachedPlan {
     pub fn kind(&self) -> PlanKind {
         match self {
             CachedPlan::Spmv(_) => PlanKind::Spmv,
+            CachedPlan::Advised(_) => PlanKind::Advised,
             CachedPlan::Spmm(_) => PlanKind::Spmm,
             CachedPlan::SpAdd(_) => PlanKind::SpAdd,
             CachedPlan::Spgemm(_) => PlanKind::Spgemm,
@@ -79,6 +86,7 @@ impl CachedPlan {
             CachedPlan::Spmv(p) => {
                 charge_partition_build(stats, p.build_sim_ms(), &p.partition, &p.fixup)
             }
+            CachedPlan::Advised(p) => p.charge_build(stats),
             CachedPlan::Spmm(p) => {
                 charge_partition_build(stats, p.build_sim_ms(), &p.partition, &p.fixup)
             }
@@ -94,6 +102,16 @@ impl CachedPlan {
                 stats.totals.add(&p.symbolic_launch_stats().totals);
                 stats.phases.merge(p.symbolic_ledger());
             }
+        }
+    }
+
+    pub(crate) fn expect_advised(self) -> Arc<AdvisedSpmvPlan> {
+        match self {
+            CachedPlan::Advised(p) => p,
+            other => panic!(
+                "plan cache key mismatch: expected AdvisedSpMV, found {}",
+                other.kind()
+            ),
         }
     }
 
@@ -140,7 +158,7 @@ impl CachedPlan {
 
 /// SpMV and SpMM plans share a build shape: a merge-path partition plus
 /// an optional empty-row compaction pass.
-fn charge_partition_build(
+pub(crate) fn charge_partition_build(
     stats: &mut EngineStats,
     build_sim_ms: f64,
     partition: &LaunchStats,

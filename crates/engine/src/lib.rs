@@ -72,6 +72,7 @@
 //! engine shards keyed by pattern fingerprint, per-tenant quotas, and
 //! weighted fair draining under overload.
 
+pub mod advisor;
 mod batch;
 mod cache;
 mod chaos;
@@ -81,6 +82,7 @@ mod pool;
 mod service;
 mod stats;
 
+pub use advisor::{AdvisedSpmvPlan, FormatAdvisor, FormatChoice, FormatDecision};
 pub use batch::Ticket;
 pub use cache::{CachedPlan, PlanKey, PlanKind};
 pub use chaos::{ChaosConfig, ChaosCounters};
@@ -666,6 +668,21 @@ impl Engine {
         spmv_plan_locked(&self.device, &self.cfg, &mut self.inner.lock(), fp, a)
     }
 
+    /// Cached format-advised SpMV plan for `a`'s sparsity pattern: the
+    /// first lookup runs the [`FormatAdvisor`] and builds the chosen
+    /// format's plan; every later lookup reuses both decision and plan
+    /// from the LRU (no re-advisal).
+    pub fn spmv_advised_plan(&self, a: &CsrMatrix) -> Arc<AdvisedSpmvPlan> {
+        let fp = a.pattern_fingerprint();
+        advised_plan_locked(&self.device, &self.cfg, &mut self.inner.lock(), fp, a)
+    }
+
+    /// The advisor's verdict for `a`'s pattern (building and caching the
+    /// advised plan if it isn't cached yet).
+    pub fn spmv_advice(&self, a: &CsrMatrix) -> FormatDecision {
+        self.spmv_advised_plan(a).decision().clone()
+    }
+
     /// Cached SpMM plan for `a`'s pattern at operand width `k`.
     pub fn spmm_plan(&self, a: &CsrMatrix, k: usize) -> Arc<SpmmPlan> {
         let fp = a.pattern_fingerprint();
@@ -719,6 +736,22 @@ impl Engine {
         inner.stats.requests += 1;
         inner.stats.exec_sim_ms += ms;
         charge_spmv_exec(&mut inner.stats, &plan);
+        y
+    }
+
+    /// Execute `a · x` through the format-advised cached plan: the
+    /// advisor picks merge-path CSR, CMRS, or SELL-C-σ per pattern; the
+    /// decision and the chosen plan ride the same LRU entry.
+    pub fn spmv_advised(&self, a: &CsrMatrix, x: &[f64]) -> Vec<f64> {
+        let plan = self.spmv_advised_plan(a);
+        let mut ws = self.checkout_workspace();
+        let mut y = Vec::new();
+        let ms = plan.execute_into(a, x, &mut y, &mut ws);
+        let mut inner = self.inner.lock();
+        inner.pool.give_back(ws);
+        inner.stats.requests += 1;
+        inner.stats.exec_sim_ms += ms;
+        plan.charge_exec(&mut inner.stats);
         y
     }
 
@@ -1321,7 +1354,7 @@ fn record_lookup(stats: &mut EngineStats, hit: bool, evicted: bool) {
 }
 
 /// Accumulate one executed SpMV replay into totals and the phase ledger.
-fn charge_spmv_exec(stats: &mut EngineStats, plan: &SpmvPlan) {
+pub(crate) fn charge_spmv_exec(stats: &mut EngineStats, plan: &SpmvPlan) {
     let r = plan.reduction_stats();
     let u = plan.update_stats();
     stats.totals.add(&r.totals);
@@ -1463,6 +1496,37 @@ fn spmv_plan_locked(
         CachedPlan::Spmv(Arc::new(SpmvPlan::new(device, a, &cfg.spmv)))
     })
     .expect_spmv()
+}
+
+/// Advised-plan lookup under the engine lock. Mirrors
+/// [`cached_plan_locked`] but keeps the hit/miss split visible so cached
+/// re-uses count as `advice_hits` — the "0 re-advisals at steady state"
+/// signal the format bench gates on.
+fn advised_plan_locked(
+    device: &Device,
+    cfg: &EngineConfig,
+    inner: &mut Inner,
+    fp: u64,
+    a: &CsrMatrix,
+) -> Arc<AdvisedSpmvPlan> {
+    inner.maybe_cache_storm(&cfg.chaos);
+    let l = inner
+        .cache
+        .get_or_insert_with(PlanKey::AdvisedSpmv { pattern: fp }, || {
+            CachedPlan::Advised(Arc::new(AdvisedSpmvPlan::new(
+                device,
+                a,
+                &cfg.spmv,
+                &FormatAdvisor::default(),
+            )))
+        });
+    record_lookup(&mut inner.stats, l.hit, l.evicted);
+    if l.hit {
+        inner.stats.advice_hits += 1;
+    } else {
+        l.plan.charge_build(&mut inner.stats, Duration::ZERO);
+    }
+    l.plan.expect_advised()
 }
 
 fn spmm_plan_locked(
@@ -2360,6 +2424,50 @@ mod tests {
         e.flush();
         e.take_result(t).expect("completed");
         assert_eq!(e.stats().tenants.get(tn).requests, 1);
+    }
+
+    #[test]
+    fn advised_spmv_advises_once_and_serves_from_cache() {
+        // The decision is keyed by pattern fingerprint: one build, then
+        // every repeat is a cache hit with zero re-advisals.
+        let e = Engine::new(&device());
+        let a = gen::stencil_5pt(96, 64);
+        let x = operand(a.num_cols, 5);
+        let first = e.spmv_advised(&a, &x);
+        for _ in 0..4 {
+            assert_eq!(e.spmv_advised(&a, &x), first);
+        }
+        let s = e.stats();
+        assert_eq!(s.advice_builds, 1, "one advisal for one pattern");
+        assert_eq!(s.advice_hits, 4, "steady state re-uses the decision");
+        assert_eq!(s.advice_cmrs, 1, "a stencil routes to the strip kernel");
+        assert_eq!((s.cache_hits, s.cache_misses), (4, 1));
+        assert_eq!(s.requests, 5);
+        assert_eq!(e.cached_plans(), 1);
+        let mut want = vec![0.0; a.num_rows];
+        mps_core::spmv_rowwise(&a, &x, &mut want);
+        assert_eq!(first, want, "cmrs numerics are the row-wise dot");
+        assert!(s.render().contains("advisor"));
+    }
+
+    #[test]
+    fn advised_merge_choice_is_bitwise_the_plain_spmv_path() {
+        // Heavy skew keeps the advisor on merge; the advised entry point
+        // must then produce exactly what the direct merge path produces.
+        let mut coo = mps_sparse::CooMatrix::new(2048, 2048);
+        for r in 0..2048u32 {
+            let len = if r % 256 == 0 { 2000usize } else { 2 };
+            for k in 0..len {
+                coo.push(r, ((r as usize * 17 + k * 29) % 2048) as u32, 0.5);
+            }
+        }
+        let a = coo.to_csr();
+        let x = operand(a.num_cols, 9);
+        let e = Engine::new(&device());
+        let advised = e.spmv_advised(&a, &x);
+        assert_eq!(e.stats().advice_merge, 1);
+        let direct = Engine::new(&device()).spmv(&a, &x);
+        assert_eq!(advised, direct);
     }
 
     #[test]

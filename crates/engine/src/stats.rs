@@ -179,6 +179,19 @@ pub struct EngineStats {
     /// ([`crate::Engine::submit_update`]) — numeric-only rounds that kept
     /// every cached plan for the pattern valid.
     pub value_updates: u64,
+    /// Format-advised plans built ([`crate::Engine::spmv_advised`] cache
+    /// misses) — each one ran the advisor's cost comparison once.
+    pub advice_builds: u64,
+    /// Advised lookups served from an already-cached decision + plan; at
+    /// steady state this climbs while [`EngineStats::advice_builds`]
+    /// stays at its warm-up value (0 re-advisals).
+    pub advice_hits: u64,
+    /// Advised plans that chose the merge-path CSR kernel.
+    pub advice_merge: u64,
+    /// Advised plans that chose the CMRS strip kernel.
+    pub advice_cmrs: u64,
+    /// Advised plans that chose the SELL-C-σ slice kernel.
+    pub advice_sell: u64,
     /// Pattern deltas applied through the balanced-path union
     /// ([`crate::Engine::submit_delta`]), fallbacks excluded.
     pub delta_applies: u64,
@@ -261,6 +274,11 @@ impl EngineStats {
         self.spgemm_symbolic_host_ms += other.spgemm_symbolic_host_ms;
         self.spgemm_numeric_host_ms += other.spgemm_numeric_host_ms;
         self.value_updates += other.value_updates;
+        self.advice_builds += other.advice_builds;
+        self.advice_hits += other.advice_hits;
+        self.advice_merge += other.advice_merge;
+        self.advice_cmrs += other.advice_cmrs;
+        self.advice_sell += other.advice_sell;
         self.delta_applies += other.delta_applies;
         self.delta_fallbacks += other.delta_fallbacks;
         self.totals.add(&other.totals);
@@ -327,6 +345,16 @@ impl EngineStats {
                 self.spgemm_symbolic_host_ms,
                 self.spgemm_numeric_sim_ms,
                 self.spgemm_numeric_host_ms,
+            ));
+        }
+        if self.advice_builds + self.advice_hits > 0 {
+            out.push_str(&format!(
+                "advisor       {} decisions ({} merge / {} cmrs / {} sell-c-sigma), {} cached re-uses\n",
+                self.advice_builds,
+                self.advice_merge,
+                self.advice_cmrs,
+                self.advice_sell,
+                self.advice_hits,
             ));
         }
         if self.value_updates + self.delta_applies + self.delta_fallbacks > 0 {
@@ -443,6 +471,32 @@ mod tests {
         assert_eq!(a.chaos.cache_storms, 1);
         assert_eq!(a.tenants.get(TenantId(0)).requests, 2);
         assert_eq!(a.tenants.get(TenantId(0)).hits, 1);
+    }
+
+    #[test]
+    fn render_shows_advisor_line_once_advised() {
+        let mut s = EngineStats::default();
+        assert!(!s.render().contains("advisor"));
+        s.advice_builds = 2;
+        s.advice_merge = 1;
+        s.advice_sell = 1;
+        s.advice_hits = 10;
+        let r = s.render();
+        assert!(
+            r.contains(
+                "advisor       2 decisions (1 merge / 0 cmrs / 1 sell-c-sigma), 10 cached re-uses"
+            ),
+            "{r}"
+        );
+
+        let other = EngineStats {
+            advice_hits: 5,
+            advice_cmrs: 3,
+            ..Default::default()
+        };
+        s.merge(&other);
+        assert_eq!(s.advice_hits, 15);
+        assert_eq!(s.advice_cmrs, 3);
     }
 
     #[test]

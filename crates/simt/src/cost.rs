@@ -110,6 +110,63 @@ impl Default for CostModel {
     }
 }
 
+/// Analytic description of one SpMV launch in some storage format: enough
+/// for [`CostModel::predict_spmv`] to price the launch *without running
+/// it*. A format advisor derives one of these per candidate format from
+/// row-length statistics alone (no conversion, no kernel), then compares
+/// predicted cycles. All totals are launch-wide; the model divides by the
+/// CTA count itself.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpmvWorkload {
+    /// CTAs the launch would use.
+    pub ctas: u64,
+    /// Perfectly coalesced payload bytes (matrix entries, pointers,
+    /// output stores) for the whole launch.
+    pub streamed_bytes: u64,
+    /// Data-dependent accesses (the `x` gather, permutation scatters),
+    /// priced pessimistically at one transaction each — the same worst
+    /// case for every format, so it cancels out of comparisons except
+    /// through padding (padded formats gather fewer useful elements per
+    /// stored slot, not fewer per nonzero).
+    pub gathers: u64,
+    /// Arithmetic thread-operations for the whole launch.
+    pub alu_ops: u64,
+    /// Shared-memory accesses for the whole launch.
+    pub shmem_ops: u64,
+    /// Block-wide barriers for the whole launch.
+    pub syncs: u64,
+    /// Additional dependent kernel launches the format needs per execute
+    /// (e.g. merge SpMV's carry-update pass); each costs one launch
+    /// overhead on the critical path.
+    pub extra_launches: u64,
+    /// Work of the busiest CTA as a multiple of the mean (≥ 1). Flat
+    /// decompositions are 1.0 by construction; row-split formats inherit
+    /// the row-length skew here, which is exactly what the makespan
+    /// scheduler punishes.
+    pub imbalance: f64,
+}
+
+impl CostModel {
+    /// Predicted device cycles for an SpMV launch described by `w`, with
+    /// `concurrent_ctas` CTA slots across the chip (SMs × CTAs per SM).
+    /// Mirrors the launch machinery: per-CTA cycles from the mean
+    /// counters via the [`CostModel`] formula, one wave per filled slot
+    /// set, and the busiest CTA stretching the makespan by `imbalance`.
+    pub fn predict_spmv(&self, w: &SpmvWorkload, concurrent_ctas: u64) -> f64 {
+        let ctas = w.ctas.max(1) as f64;
+        let tx = (w.streamed_bytes.div_ceil(TX_BYTES) + w.gathers) as f64;
+        let memory = tx * TX_BYTES as f64 / self.bytes_per_cycle / ctas;
+        let compute = (w.alu_ops as f64 / ctas / self.warp_size as f64) * self.issue_cpi
+            + w.shmem_ops as f64 / ctas / self.shmem_lanes;
+        let per_cta = compute.max(memory)
+            + (w.syncs as f64 / ctas) * self.sync_cost as f64
+            + self.launch_overhead as f64;
+        let waves = (ctas / concurrent_ctas.max(1) as f64).ceil();
+        waves * per_cta * w.imbalance.max(1.0)
+            + w.extra_launches as f64 * self.launch_overhead as f64
+    }
+}
+
 /// Number of 128-byte transactions needed for `bytes` of perfectly
 /// coalesced traffic.
 pub fn coalesced_transactions(bytes: u64) -> u64 {
@@ -161,6 +218,61 @@ mod tests {
         };
         let cycles = model.cta_cycles(&heavy_compute);
         assert!(cycles >= 1_000_000, "ALU work should dominate: {cycles}");
+    }
+
+    #[test]
+    fn predicted_spmv_punishes_imbalance_and_extra_launches() {
+        let model = CostModel::default();
+        let base = SpmvWorkload {
+            ctas: 64,
+            streamed_bytes: 1 << 20,
+            gathers: 10_000,
+            alu_ops: 200_000,
+            shmem_ops: 50_000,
+            syncs: 128,
+            extra_launches: 0,
+            imbalance: 1.0,
+        };
+        let flat = model.predict_spmv(&base, 32);
+        let skewed = model.predict_spmv(
+            &SpmvWorkload {
+                imbalance: 4.0,
+                ..base
+            },
+            32,
+        );
+        assert!(
+            skewed > 3.0 * flat,
+            "skew must dominate: {skewed} vs {flat}"
+        );
+        let chained = model.predict_spmv(
+            &SpmvWorkload {
+                extra_launches: 1,
+                ..base
+            },
+            32,
+        );
+        assert_eq!(chained, flat + model.launch_overhead as f64);
+    }
+
+    #[test]
+    fn predicted_spmv_scales_with_padding_bytes() {
+        let model = CostModel::default();
+        let lean = SpmvWorkload {
+            ctas: 16,
+            streamed_bytes: 1 << 22,
+            gathers: 10_000,
+            alu_ops: 300_000,
+            shmem_ops: 0,
+            syncs: 0,
+            extra_launches: 0,
+            imbalance: 1.0,
+        };
+        let padded = SpmvWorkload {
+            streamed_bytes: 4 << 22,
+            ..lean
+        };
+        assert!(model.predict_spmv(&padded, 32) > 2.0 * model.predict_spmv(&lean, 32));
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod sched;
 pub mod trace;
 pub mod warp;
 
-pub use cost::{CostModel, Counters};
+pub use cost::{CostModel, Counters, SpmvWorkload};
 pub use cta::Cta;
 pub use device::{Device, DeviceProps};
 pub use grid::{

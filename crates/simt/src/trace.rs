@@ -61,11 +61,15 @@ pub enum Phase {
     Other,
     /// Solver BLAS-1 streaming ops (dot/axpy/norm and block variants).
     Blas1,
+    /// CMRS strip-interleaved SpMV (row-split format zoo).
+    CmrsStrip,
+    /// SELL-C-σ sliced-ELL SpMV/SpMM (row-split format zoo).
+    SellSlice,
 }
 
 impl Phase {
     /// Number of phase variants (ledger array size).
-    pub const COUNT: usize = 18;
+    pub const COUNT: usize = 20;
 
     /// All variants in ledger order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -87,6 +91,8 @@ impl Phase {
         Phase::NumericMid,
         Phase::Other,
         Phase::Blas1,
+        Phase::CmrsStrip,
+        Phase::SellSlice,
     ];
 
     /// Stable index into [`Phase::ALL`]-ordered ledgers.
@@ -116,6 +122,8 @@ impl Phase {
             Phase::NumericMid => "Mid Hash",
             Phase::Other => "Other",
             Phase::Blas1 => "BLAS-1",
+            Phase::CmrsStrip => "CMRS Strip",
+            Phase::SellSlice => "SELL Slice",
         }
     }
 

@@ -13,6 +13,7 @@
 //! * CSR rows are sorted by column index with no duplicate entries —
 //!   "well-formed" in the paper's terminology.
 
+pub mod cmrs;
 pub mod coo;
 pub mod csc;
 pub mod csr;
@@ -22,13 +23,16 @@ pub mod gen;
 pub mod io;
 pub mod ops;
 pub mod reorder;
+pub mod sell;
 pub mod stats;
 pub mod suite;
 
+pub use cmrs::CmrsMatrix;
 pub use coo::{CooError, CooMatrix};
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
 pub use dense::DenseBlock;
+pub use sell::SellCSigmaMatrix;
 pub use stats::MatrixStats;
 
 /// Pack a (row, col) coordinate into a lexicographically ordered `u64` key.

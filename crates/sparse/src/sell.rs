@@ -1,0 +1,390 @@
+//! SELL-C-σ — the sliced ELLPACK format of Kreutzer, Hager, Wellein,
+//! Fehske and Bishop ("A unified sparse matrix data format for efficient
+//! general sparse matrix-vector multiplication on modern processors with
+//! wide SIMD units").
+//!
+//! Rows are stably sorted by descending length inside windows of σ rows,
+//! then cut into *slices* of C consecutive (permuted) rows. Each slice is
+//! stored lane-major at a uniform stride of C — like ELL, but padded only
+//! to the slice's own widest row, so the sorting window bounds the padding
+//! that a single long row can inflict.
+//!
+//! Padding uses [`SELL_PAD`] columns with `0.0` values and only ever
+//! appears at the *tail* of a lane, which together with the stable sort
+//! makes [`SellCSigmaMatrix::to_csr`] an exact inverse of
+//! [`SellCSigmaMatrix::from_csr`] (pattern and values, bit for bit).
+
+use crate::csr::CsrMatrix;
+
+/// Column index marking a padding slot; its value is always `0.0`.
+pub const SELL_PAD: u32 = u32::MAX;
+
+/// Default chunk (slice height) C: one warp of rows per slice.
+pub const SELL_DEFAULT_CHUNK: usize = 32;
+
+/// Default sorting window σ: eight slices' worth of rows, enough to sink
+/// isolated dense rows into fully-dense slices without globally permuting
+/// the matrix.
+pub const SELL_DEFAULT_SIGMA: usize = 256;
+
+/// A sparse matrix in SELL-C-σ form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SellCSigmaMatrix {
+    pub num_rows: usize,
+    pub num_cols: usize,
+    /// Slice height C.
+    pub chunk: usize,
+    /// Sorting window σ.
+    pub sigma: usize,
+    /// `perm[pos]` is the original row stored at permuted position `pos`.
+    pub perm: Vec<u32>,
+    /// Length `num_slices() + 1`; slice `s` occupies storage
+    /// `slice_ptr[s]..slice_ptr[s+1]`, which is `width(s) * chunk` slots.
+    pub slice_ptr: Vec<usize>,
+    /// Lane-major slice storage: slot `slice_ptr[s] + j * chunk + lane`
+    /// holds entry `j` of the row at permuted position `s * chunk + lane`.
+    pub col_idx: Vec<u32>,
+    pub values: Vec<f64>,
+}
+
+/// Per-slice widths (max real row length) for chunking `m`'s rows with the
+/// given parameters — computed from row lengths alone, without building
+/// the format. The advisor uses this to price SELL-C-σ padding exactly.
+pub fn slice_widths(m: &CsrMatrix, chunk: usize, sigma: usize) -> Vec<usize> {
+    let perm = sigma_sort(m, sigma);
+    let num_slices = m.num_rows.div_ceil(chunk);
+    let mut widths = Vec::with_capacity(num_slices);
+    for s in 0..num_slices {
+        let lo = s * chunk;
+        let hi = (lo + chunk).min(m.num_rows);
+        let w = perm[lo..hi]
+            .iter()
+            .map(|&r| m.row_len(r as usize))
+            .max()
+            .unwrap_or(0);
+        widths.push(w);
+    }
+    widths
+}
+
+/// Stable sort of row ids by descending length inside windows of `sigma`
+/// rows.
+fn sigma_sort(m: &CsrMatrix, sigma: usize) -> Vec<u32> {
+    let mut perm: Vec<u32> = (0..m.num_rows as u32).collect();
+    for window in perm.chunks_mut(sigma.max(1)) {
+        window.sort_by_key(|&r| std::cmp::Reverse(m.row_len(r as usize)));
+    }
+    perm
+}
+
+impl SellCSigmaMatrix {
+    /// Convert from CSR at the default chunk and window.
+    pub fn from_csr(m: &CsrMatrix) -> Self {
+        Self::from_csr_with(m, SELL_DEFAULT_CHUNK, SELL_DEFAULT_SIGMA)
+    }
+
+    /// Convert from CSR with explicit C and σ.
+    ///
+    /// # Panics
+    /// Panics if `chunk` is zero.
+    pub fn from_csr_with(m: &CsrMatrix, chunk: usize, sigma: usize) -> Self {
+        assert!(chunk >= 1, "chunk must be at least 1");
+        let perm = sigma_sort(m, sigma);
+        let num_slices = m.num_rows.div_ceil(chunk);
+        let mut slice_ptr = Vec::with_capacity(num_slices + 1);
+        slice_ptr.push(0usize);
+        let mut total = 0usize;
+        for s in 0..num_slices {
+            let lo = s * chunk;
+            let hi = (lo + chunk).min(m.num_rows);
+            let w = perm[lo..hi]
+                .iter()
+                .map(|&r| m.row_len(r as usize))
+                .max()
+                .unwrap_or(0);
+            // Uniform stride `chunk` even in a partial last slice keeps
+            // slot arithmetic branch-free for every lane.
+            total += w * chunk;
+            slice_ptr.push(total);
+        }
+        let mut col_idx = vec![SELL_PAD; total];
+        let mut values = vec![0.0f64; total];
+        for (s, &base) in slice_ptr.iter().take(num_slices).enumerate() {
+            let lo = s * chunk;
+            let hi = (lo + chunk).min(m.num_rows);
+            for (lane, &r) in perm[lo..hi].iter().enumerate() {
+                let cols = m.row_cols(r as usize);
+                let vals = m.row_vals(r as usize);
+                for j in 0..cols.len() {
+                    let slot = base + j * chunk + lane;
+                    col_idx[slot] = cols[j];
+                    values[slot] = vals[j];
+                }
+            }
+        }
+        SellCSigmaMatrix {
+            num_rows: m.num_rows,
+            num_cols: m.num_cols,
+            chunk,
+            sigma,
+            perm,
+            slice_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Real (non-padding) entries.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.iter().filter(|&&c| c != SELL_PAD).count()
+    }
+
+    /// Total storage slots including padding.
+    pub fn padded_len(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Stored slots per nonzero (1.0 = no padding). Returns 1.0 for an
+    /// empty matrix.
+    pub fn padding_ratio(&self) -> f64 {
+        let nnz = self.nnz();
+        if nnz == 0 {
+            1.0
+        } else {
+            self.padded_len() as f64 / nnz as f64
+        }
+    }
+
+    pub fn num_slices(&self) -> usize {
+        self.num_rows.div_ceil(self.chunk)
+    }
+
+    /// Width (padded row length) of slice `s`.
+    pub fn slice_width(&self, s: usize) -> usize {
+        (self.slice_ptr[s + 1] - self.slice_ptr[s]) / self.chunk
+    }
+
+    /// Check structural invariants: `perm` is a permutation of the rows,
+    /// slice pointers are monotone multiples of the stride, every real
+    /// column is in bounds and strictly increasing along its lane, and
+    /// padding (`SELL_PAD`, value `0.0`) appears only at lane tails.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.chunk == 0 {
+            return Err("chunk is zero".into());
+        }
+        if self.perm.len() != self.num_rows {
+            return Err("perm length != num_rows".into());
+        }
+        let mut seen = vec![false; self.num_rows];
+        for &r in &self.perm {
+            let r = r as usize;
+            if r >= self.num_rows {
+                return Err(format!("perm entry {r} out of range"));
+            }
+            if seen[r] {
+                return Err(format!("perm repeats row {r}"));
+            }
+            seen[r] = true;
+        }
+        if self.slice_ptr.len() != self.num_slices() + 1 {
+            return Err("slice_ptr length != num_slices+1".into());
+        }
+        if self.slice_ptr.first() != Some(&0) {
+            return Err("slice_ptr[0] != 0".into());
+        }
+        if *self.slice_ptr.last().expect("non-empty slice_ptr") != self.padded_len() {
+            return Err("last slice_ptr != storage length".into());
+        }
+        if self.col_idx.len() != self.values.len() {
+            return Err("col_idx / values length mismatch".into());
+        }
+        for s in 0..self.num_slices() {
+            let (lo, hi) = (self.slice_ptr[s], self.slice_ptr[s + 1]);
+            if hi < lo || (hi - lo) % self.chunk != 0 {
+                return Err(format!("slice {s} storage is not a multiple of the stride"));
+            }
+            let w = (hi - lo) / self.chunk;
+            for lane in 0..self.chunk {
+                let mut last_col = -1i64;
+                let mut padded = false;
+                for j in 0..w {
+                    let slot = lo + j * self.chunk + lane;
+                    let c = self.col_idx[slot];
+                    if c == SELL_PAD {
+                        if self.values[slot] != 0.0 {
+                            return Err(format!("slice {s} lane {lane}: nonzero pad value"));
+                        }
+                        padded = true;
+                    } else {
+                        if padded {
+                            return Err(format!(
+                                "slice {s} lane {lane}: real entry after padding at depth {j}"
+                            ));
+                        }
+                        if c as usize >= self.num_cols {
+                            return Err(format!("slice {s} lane {lane}: out-of-bounds column {c}"));
+                        }
+                        if (c as i64) <= last_col {
+                            return Err(format!(
+                                "slice {s} lane {lane}: columns not strictly increasing"
+                            ));
+                        }
+                        last_col = c as i64;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Convert back to CSR — exact (pattern and values): lane `lane` of
+    /// slice `s` is original row `perm[s*chunk + lane]` with its entries
+    /// in order, padding excluded.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut row_offsets = vec![0usize; self.num_rows + 1];
+        let mut lane_len = vec![0usize; self.num_rows]; // by permuted position
+        for s in 0..self.num_slices() {
+            let (lo, hi) = (self.slice_ptr[s], self.slice_ptr[s + 1]);
+            let w = (hi - lo) / self.chunk;
+            let lanes = (self.num_rows - s * self.chunk).min(self.chunk);
+            for lane in 0..lanes {
+                let mut len = 0usize;
+                for j in 0..w {
+                    if self.col_idx[lo + j * self.chunk + lane] == SELL_PAD {
+                        break;
+                    }
+                    len += 1;
+                }
+                let pos = s * self.chunk + lane;
+                lane_len[pos] = len;
+                row_offsets[self.perm[pos] as usize + 1] = len;
+            }
+        }
+        for r in 0..self.num_rows {
+            row_offsets[r + 1] += row_offsets[r];
+        }
+        let mut col_idx = vec![0u32; *row_offsets.last().unwrap_or(&0)];
+        let mut values = vec![0.0f64; col_idx.len()];
+        for s in 0..self.num_slices() {
+            let lo = self.slice_ptr[s];
+            let lanes = (self.num_rows - s * self.chunk).min(self.chunk);
+            for lane in 0..lanes {
+                let pos = s * self.chunk + lane;
+                let dst = row_offsets[self.perm[pos] as usize];
+                for j in 0..lane_len[pos] {
+                    let slot = lo + j * self.chunk + lane;
+                    col_idx[dst + j] = self.col_idx[slot];
+                    values[dst + j] = self.values[slot];
+                }
+            }
+        }
+        CsrMatrix {
+            num_rows: self.num_rows,
+            num_cols: self.num_cols,
+            row_offsets,
+            col_idx,
+            values,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn round_trip_is_exact_across_structures() {
+        for m in [
+            gen::stencil_5pt(13, 11),
+            gen::random_uniform(97, 83, 5.0, 3.0, 7),
+            gen::power_law(300, 300, 1, 1.5, 200, 3),
+            gen::fixed_per_row(40, 40, 6, 2),
+        ] {
+            for (c, sigma) in [(1, 1), (4, 16), (32, 256), (32, 1)] {
+                let sell = SellCSigmaMatrix::from_csr_with(&m, c, sigma);
+                sell.validate().expect("valid by construction");
+                assert_eq!(sell.nnz(), m.nnz());
+                assert_eq!(sell.to_csr(), m, "C={c} sigma={sigma}");
+            }
+        }
+    }
+
+    #[test]
+    fn sigma_window_bounds_padding() {
+        // One dense row per slice-worth of short rows: a window-wide sort
+        // gathers all the dense rows into a single slice, so only that
+        // slice is wide; with σ = 1 (no sorting) every slice inherits a
+        // dense row and pads all its lanes to full width.
+        let short = gen::fixed_per_row(64, 256, 2, 9);
+        let mut coo = crate::coo::CooMatrix::new(64, 256);
+        for r in 0..64u32 {
+            if r % 8 == 5 {
+                for c in 0..256u32 {
+                    coo.push(r, c, 1.0);
+                }
+            } else {
+                for (c, v) in short
+                    .row_cols(r as usize)
+                    .iter()
+                    .zip(short.row_vals(r as usize))
+                {
+                    coo.push(r, *c, *v);
+                }
+            }
+        }
+        let m = coo.to_csr();
+        let sorted = SellCSigmaMatrix::from_csr_with(&m, 8, 64);
+        let unsorted = SellCSigmaMatrix::from_csr_with(&m, 8, 1);
+        sorted.validate().expect("valid");
+        unsorted.validate().expect("valid");
+        assert!(sorted.padding_ratio() < unsorted.padding_ratio());
+        assert_eq!(sorted.to_csr(), m);
+        assert_eq!(unsorted.to_csr(), m);
+    }
+
+    #[test]
+    fn empty_rows_and_empty_matrices_round_trip() {
+        let zero = CsrMatrix::zeros(40, 6);
+        let sell = SellCSigmaMatrix::from_csr(&zero);
+        sell.validate().expect("valid");
+        assert_eq!(sell.padded_len(), 0);
+        assert_eq!(sell.to_csr(), zero);
+
+        let nothing = CsrMatrix::zeros(0, 0);
+        assert_eq!(SellCSigmaMatrix::from_csr(&nothing).to_csr(), nothing);
+    }
+
+    #[test]
+    fn single_column_matrix_round_trips() {
+        let m = gen::random_uniform(30, 1, 0.7, 0.3, 11);
+        let sell = SellCSigmaMatrix::from_csr_with(&m, 4, 8);
+        sell.validate().expect("valid");
+        assert_eq!(sell.to_csr(), m);
+    }
+
+    #[test]
+    fn slice_widths_match_materialized_format() {
+        let m = gen::power_law(200, 200, 1, 1.4, 120, 5);
+        let sell = SellCSigmaMatrix::from_csr_with(&m, 16, 64);
+        let widths = slice_widths(&m, 16, 64);
+        assert_eq!(widths.len(), sell.num_slices());
+        for (s, &w) in widths.iter().enumerate() {
+            assert_eq!(w, sell.slice_width(s), "slice {s}");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_broken_perm_and_pads() {
+        let m = gen::stencil_5pt(8, 8);
+        let mut sell = SellCSigmaMatrix::from_csr_with(&m, 8, 32);
+        sell.perm[0] = sell.perm[1];
+        assert!(sell.validate().is_err());
+
+        let mut sell = SellCSigmaMatrix::from_csr_with(&m, 8, 32);
+        if let Some(slot) = sell.col_idx.iter().position(|&c| c == SELL_PAD) {
+            sell.values[slot] = 3.0;
+            assert!(sell.validate().is_err());
+        }
+    }
+}

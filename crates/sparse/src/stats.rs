@@ -51,6 +51,26 @@ impl MatrixStats {
             max_row,
         }
     }
+
+    /// Coefficient of variation of row lengths (std / mean); 0 when the
+    /// matrix has no entries. The single strongest regular-vs-irregular
+    /// signal a format advisor has.
+    pub fn cv(&self) -> f64 {
+        if self.avg_per_row > 0.0 {
+            self.std_per_row / self.avg_per_row
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of rows with no entries.
+    pub fn empty_fraction(&self) -> f64 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            self.empty_rows as f64 / self.rows as f64
+        }
+    }
 }
 
 impl std::fmt::Display for MatrixStats {

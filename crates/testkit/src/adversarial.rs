@@ -120,6 +120,68 @@ pub fn bin_threshold_ladder() -> CsrMatrix {
     coo.to_csr()
 }
 
+/// Row-length cliffs aligned to a σ-window: rows come in alternating
+/// windows of `sigma` long rows and `sigma` short rows. A SELL-C-σ
+/// conversion whose sort window is exactly `sigma` sees *uniform* slices
+/// (the sort never crosses the cliff), while any off-by-one in the window
+/// arithmetic mixes long and short rows in one slice and blows up padding
+/// — and any bug in per-slice width tracking corrupts the round trip.
+pub fn sigma_window_cliffs(
+    windows: usize,
+    sigma: usize,
+    long_len: usize,
+    short_len: usize,
+    seed: u64,
+) -> CsrMatrix {
+    assert!(sigma > 0 && long_len >= short_len);
+    let rows = windows * sigma;
+    let cols = (long_len * 4).max(64);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut coo = CooMatrix::new(rows, cols);
+    for r in 0..rows {
+        let len = if (r / sigma).is_multiple_of(2) {
+            long_len
+        } else {
+            short_len
+        };
+        for c in distinct_cols(&mut rng, len, cols) {
+            coo.push(r as u32, c, value_for(r, c));
+        }
+    }
+    coo.to_csr()
+}
+
+/// One dense row inside an otherwise *empty* slice: rows `0..chunk-1`
+/// have no entries at all, row `chunk/2` is fully dense, and the rest of
+/// the matrix is uniformly sparse. The slice containing the dense row
+/// pads every empty lane to the dense width — the worst case for sliced
+/// formats — while CMRS must interleave a strip where one row supplies
+/// every entry.
+pub fn dense_row_in_empty_slice(
+    rows: usize,
+    cols: usize,
+    chunk: usize,
+    background_per_row: usize,
+    seed: u64,
+) -> CsrMatrix {
+    assert!(chunk > 0 && rows > chunk);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let dense_row = chunk / 2;
+    let mut coo = CooMatrix::new(rows, cols);
+    for r in 0..rows {
+        if r == dense_row {
+            for c in 0..cols as u32 {
+                coo.push(r as u32, c, value_for(r, c));
+            }
+        } else if r >= chunk {
+            for c in distinct_cols(&mut rng, background_per_row, cols) {
+                coo.push(r as u32, c, value_for(r, c));
+            }
+        }
+    }
+    coo.to_csr()
+}
+
 /// Duplicate-saturated COO: every logical entry appears `copies` times
 /// with different partial values, in scrambled order. Canonicalization
 /// (sort + sum) must recover exactly one entry per coordinate; this is the
@@ -181,9 +243,9 @@ pub fn degenerate() -> Vec<(&'static str, CsrMatrix)> {
 /// hostile generators above plus the friendliest and nastiest of the
 /// standard families for contrast. Deterministic for a given scale.
 pub fn suite(scale: Scale) -> Vec<(String, CsrMatrix)> {
-    let (n, plaw_rows) = match scale {
-        Scale::Tiny => (60, 120),
-        Scale::Full => (400, 900),
+    let (n, plaw_rows, sigma_long, slice_n) = match scale {
+        Scale::Tiny => (60, 120, 8, 96),
+        Scale::Full => (400, 900, 48, 400),
     };
     let mut cases: Vec<(String, CsrMatrix)> = vec![
         (
@@ -209,6 +271,19 @@ pub fn suite(scale: Scale) -> Vec<(String, CsrMatrix)> {
         (
             format!("heavy-power-law {plaw_rows}x{plaw_rows}"),
             heavy_power_law(plaw_rows, plaw_rows, 14),
+        ),
+        (
+            // Cliffs aligned to the SELL default σ-window (256): every
+            // sort window is internally uniform, so any slice mixing long
+            // and short rows is a window-arithmetic bug.
+            format!("sigma-window cliffs 512 rows len {sigma_long}|1"),
+            sigma_window_cliffs(2, 256, sigma_long, 1, 19),
+        ),
+        (
+            // A fully dense row whose 32-row slice is otherwise empty:
+            // maximal slice padding, single-row strips.
+            format!("dense-row-in-empty-slice {slice_n}x{slice_n}"),
+            dense_row_in_empty_slice(slice_n, slice_n, 32, 2, 20),
         ),
         (
             format!("short-wide lp 16x{}", n * 8),
@@ -277,6 +352,38 @@ mod tests {
             s.avg_per_row,
             s.std_per_row
         );
+    }
+
+    #[test]
+    fn sigma_window_cliffs_are_uniform_within_windows() {
+        let m = sigma_window_cliffs(4, 16, 9, 2, 5);
+        m.validate().expect("well-formed");
+        assert_eq!(m.num_rows, 64);
+        for r in 0..m.num_rows {
+            let want = if (r / 16) % 2 == 0 { 9 } else { 2 };
+            assert_eq!(m.row_len(r), want, "row {r}");
+        }
+        // An aligned σ-sort leaves padding at zero: every window is
+        // already uniform.
+        let sell = mps_sparse::SellCSigmaMatrix::from_csr_with(&m, 16, 16);
+        assert_eq!(sell.padded_len(), m.nnz());
+        // A misaligned (whole-matrix) sort also pads nothing here, but a
+        // window smaller than the cliff mixes lengths and must pad.
+        let mixed = mps_sparse::SellCSigmaMatrix::from_csr_with(&m, 16, 8);
+        assert!(mixed.validate().is_ok());
+    }
+
+    #[test]
+    fn dense_row_in_empty_slice_isolates_the_hotspot() {
+        let m = dense_row_in_empty_slice(96, 96, 32, 2, 6);
+        m.validate().expect("well-formed");
+        assert_eq!(m.row_len(16), 96);
+        assert!((0..32).filter(|&r| m.row_len(r) > 0).count() == 1);
+        assert!((32..96).all(|r| m.row_len(r) > 0));
+        // The dense row's slice pads every other lane to full width.
+        let sell = mps_sparse::SellCSigmaMatrix::from_csr_with(&m, 32, 32);
+        assert!(sell.padded_len() >= m.nnz() + 96 * 30);
+        assert!(sell.validate().is_ok());
     }
 
     #[test]

@@ -12,10 +12,17 @@
 //! * **bitwise** across every SpAdd implementation — each output value is
 //!   a single `a + b` with no reassociation anywhere, so all five
 //!   implementations must agree exactly;
+//! * **bitwise** within the row-wise family — the sequential reference,
+//!   the CMRS strip kernel, the SELL-C-σ slice kernel, their planned
+//!   counterparts, and the advised path when it picks one of them — all
+//!   accumulate each row in CSR entry order from the `-0.0` sum identity;
 //! * **relative tolerance** ([`REL_TOL`]) across summation-order families
 //!   (merge kernels vs. the sequential reference vs. the Cusp /
 //!   cuSPARSE-like / CPU / format-specialized baselines), with sparsity
 //!   *structure* still required to match exactly;
+//! * **lossless round trips** for the zoo conversions — `csr → cmrs → csr`
+//!   and `csr → sell-c-σ → csr` must reproduce pattern and values bit for
+//!   bit, after passing each format's own `validate()`;
 //! * **structural invariants** ([`CsrMatrix::validate`]) on every sparse
 //!   output, whatever produced it.
 //!
@@ -27,13 +34,14 @@ use std::sync::Arc;
 
 use mps_baselines::{cpu, cusp, cusparse_like, format_spmv, spmm as spmm_base};
 use mps_core::{
-    merge_spadd, merge_spgemm, merge_spmm, merge_spmv, segmented_spgemm, SpAddConfig, SpAddPlan,
-    SpgemmConfig, SpgemmPlan, SpmmConfig, SpmmPlan, SpmvConfig, SpmvPlan, Workspace,
+    merge_spadd, merge_spgemm, merge_spmm, merge_spmv, segmented_spgemm, CmrsSpmvPlan,
+    SellSpmvPlan, SpAddConfig, SpAddPlan, SpgemmConfig, SpgemmPlan, SpmmConfig, SpmmPlan,
+    SpmvConfig, SpmvPlan, Workspace,
 };
-use mps_engine::{Engine, EngineOutput};
+use mps_engine::{Engine, EngineOutput, FormatChoice};
 use mps_simt::Device;
 use mps_sparse::formats::{DiaMatrix, EllMatrix, HybMatrix};
-use mps_sparse::{dense, ops, CooMatrix, CsrMatrix, DenseBlock};
+use mps_sparse::{dense, ops, CmrsMatrix, CooMatrix, CsrMatrix, DenseBlock, SellCSigmaMatrix};
 
 /// Relative tolerance across implementations with different summation
 /// orders. Inputs are O(1)-magnitude positive values and row lengths stay
@@ -199,7 +207,7 @@ impl Oracle {
         let (host, _) = cpu::spmv(&cpu::CpuModel::i7_3820(), a, &x);
         check_vec_rel(report, case, K, "cpu model", &host, &want);
 
-        self.check_format_spmv(case, a, &x, &want, report);
+        self.check_format_spmv(case, a, &x, &want, &anchor, report);
     }
 
     fn check_format_spmv(
@@ -208,6 +216,7 @@ impl Oracle {
         a: &CsrMatrix,
         x: &[f64],
         want: &[f64],
+        merge_anchor: &[f64],
         report: &mut ConformanceReport,
     ) {
         const K: &str = "spmv";
@@ -242,6 +251,65 @@ impl Oracle {
                 format!("more than {DIA_MAX_DIAGS} populated diagonals"),
             ),
         }
+
+        // CMRS: conversion must survive a lossless round trip, and the
+        // strip kernel accumulates each row in CSR entry order from the
+        // -0.0 sum identity,
+        // so it sits in the row-wise family — bitwise against the
+        // sequential reference, not just REL_TOL.
+        let cmrs = CmrsMatrix::from_csr(a);
+        check_format_roundtrip(
+            report,
+            case,
+            "format cmrs",
+            cmrs.validate(),
+            &cmrs.to_csr(),
+            a,
+        );
+        let (y, _) = format_spmv::spmv_cmrs(&self.device, &cmrs, x);
+        check_vec_bitwise(report, case, K, "format cmrs kernel", &y, want);
+        let plan = CmrsSpmvPlan::new(&self.device, a);
+        let mut yp = Vec::new();
+        plan.execute_into(a, x, &mut yp);
+        check_vec_bitwise(report, case, K, "format cmrs plan", &yp, &y);
+
+        // SELL-C-σ: same policy — lossless round trip through the σ-sorted
+        // padded layout, kernel and plan bitwise within the row-wise family.
+        let sell = SellCSigmaMatrix::from_csr(a);
+        check_format_roundtrip(
+            report,
+            case,
+            "format sell",
+            sell.validate(),
+            &sell.to_csr(),
+            a,
+        );
+        let (y, _) = format_spmv::spmv_sell(&self.device, &sell, x);
+        check_vec_bitwise(report, case, K, "format sell kernel", &y, want);
+        let plan = SellSpmvPlan::new(&self.device, a);
+        let mut yp = Vec::new();
+        plan.execute_into(a, x, &mut yp);
+        check_vec_bitwise(report, case, K, "format sell plan", &yp, &y);
+
+        // Advised: whatever format the advisor picked, the result must be
+        // bitwise identical to that family's anchor.
+        let advised = self.engine.spmv_advised(a, x);
+        match self.engine.spmv_advice(a).choice {
+            FormatChoice::MergeCsr => check_vec_bitwise(
+                report,
+                case,
+                K,
+                "advised (merge-csr)",
+                &advised,
+                merge_anchor,
+            ),
+            FormatChoice::Cmrs => {
+                check_vec_bitwise(report, case, K, "advised (cmrs)", &advised, want)
+            }
+            FormatChoice::SellCSigma => {
+                check_vec_bitwise(report, case, K, "advised (sell-c-sigma)", &advised, want)
+            }
+        }
     }
 
     /// SpMM through every implementation: merge family bitwise, row-warp
@@ -275,6 +343,14 @@ impl Oracle {
 
         let (warp, _) = spmm_base::spmm_row_warp(&self.device, a, &x);
         check_block_rel(report, case, K, "row-warp baseline", &warp, &want);
+
+        // SELL-C-σ SpMM: per-lane accumulation in CSR entry order again,
+        // but compared under REL_TOL like the other non-merge families
+        // (the dense reference iterates identically, so this is belt and
+        // braces rather than a looser promise).
+        let sell = SellCSigmaMatrix::from_csr(a);
+        let (y, _) = format_spmv::spmm_sell(&self.device, &sell, &x);
+        check_block_rel(report, case, K, "format sell", &y, &want);
     }
 
     /// SpAdd through every implementation. All of them compute each output
@@ -629,6 +705,29 @@ fn check_block_rel(
             return;
         }
     }
+}
+
+/// A format conversion's internal invariants plus its lossless round trip
+/// back to CSR: pattern and values must come back bit for bit.
+fn check_format_roundtrip(
+    report: &mut ConformanceReport,
+    case: &str,
+    imp: &str,
+    validated: Result<(), String>,
+    back: &CsrMatrix,
+    original: &CsrMatrix,
+) {
+    report.checks += 1;
+    if let Err(e) = validated {
+        report.diverge(
+            case,
+            "format-roundtrip",
+            imp,
+            format!("conversion violates format invariants: {e}"),
+        );
+        return;
+    }
+    check_csr_bitwise(report, case, "format-roundtrip", imp, back, original);
 }
 
 /// Shared structure check; returns false (after recording) on mismatch.

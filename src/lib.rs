@@ -137,20 +137,22 @@ impl From<mps_sparse::io::MmError> for Error {
 pub mod prelude {
     pub use crate::Error;
     pub use mps_core::{
-        merge_spadd, merge_spgemm, merge_spmm, merge_spmv, PlanError, SpAddConfig, SpAddPlan,
-        SpgemmConfig, SpgemmPlan, SpmmConfig, SpmmPlan, SpmvConfig, SpmvPlan, Workspace,
+        merge_spadd, merge_spgemm, merge_spmm, merge_spmv, spmv_rowwise, CmrsSpmvPlan, PlanError,
+        SellSpmvPlan, SpAddConfig, SpAddPlan, SpgemmConfig, SpgemmPlan, SpmmConfig, SpmmPlan,
+        SpmvConfig, SpmvPlan, Workspace,
     };
     pub use mps_engine::{
-        Engine, EngineConfig, EngineConfigBuilder, EngineError, EngineOutput, EngineStats, Service,
-        ServiceConfig, ServiceConfigBuilder, ServiceStats, ServiceTicket, TenantId, TenantSpec,
-        Ticket,
+        AdvisedSpmvPlan, Engine, EngineConfig, EngineConfigBuilder, EngineError, EngineOutput,
+        EngineStats, FormatAdvisor, FormatChoice, FormatDecision, Service, ServiceConfig,
+        ServiceConfigBuilder, ServiceStats, ServiceTicket, TenantId, TenantSpec, Ticket,
     };
     pub use mps_simt::{Device, Phase, PhaseLedger, PhaseReport};
     pub use mps_solvers::{
         block_cg, block_cg_with_engine, cg, AmgHierarchy, AmgOptions, SolverOptions,
     };
     pub use mps_sparse::{
-        gen, suite::SuiteMatrix, CooError, CooMatrix, CsrMatrix, DenseBlock, MatrixStats,
+        gen, suite::SuiteMatrix, CmrsMatrix, CooError, CooMatrix, CsrMatrix, DenseBlock,
+        MatrixStats, SellCSigmaMatrix,
     };
 }
 

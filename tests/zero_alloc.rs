@@ -78,6 +78,59 @@ fn steady_state_plan_executes_allocate_nothing() {
     let expect = merge_spmv(&device, &a, &x, &SpmvConfig::default());
     assert_eq!(y, expect.y, "the audited path must still be correct");
 
+    // --- Advised SpMV -----------------------------------------------------
+    // Whatever format the advisor picks, the cached plan's execute must be
+    // as allocation-free as the plain merge path. Audit both families: a
+    // mesh that routes to the CMRS strip kernel and a pattern that stays
+    // on merge.
+    let mesh = gen::stencil_5pt(96, 64);
+    let xm: Vec<f64> = (0..mesh.num_cols).map(|i| 0.25 + (i % 5) as f64).collect();
+    let advised = AdvisedSpmvPlan::new(
+        &device,
+        &mesh,
+        &SpmvConfig::default(),
+        &FormatAdvisor::default(),
+    );
+    assert_eq!(
+        advised.choice(),
+        FormatChoice::Cmrs,
+        "mesh should leave merge"
+    );
+    let mut ym: Vec<f64> = Vec::new();
+    advised.execute_into(&mesh, &xm, &mut ym, &mut ws);
+    advised.execute_into(&mesh, &xm, &mut ym, &mut ws);
+    let before = allocations();
+    for _ in 0..50 {
+        advised.execute_into(&mesh, &xm, &mut ym, &mut ws);
+    }
+    assert_eq!(
+        allocations(),
+        before,
+        "warm advised (cmrs) executes must not allocate"
+    );
+    let scattered = gen::fixed_per_row(2048, 2048, 16, 3);
+    let xs: Vec<f64> = (0..scattered.num_cols)
+        .map(|i| 1.0 + (i % 3) as f64)
+        .collect();
+    let advised_merge = AdvisedSpmvPlan::new(
+        &device,
+        &scattered,
+        &SpmvConfig::default(),
+        &FormatAdvisor::default(),
+    );
+    assert_eq!(advised_merge.choice(), FormatChoice::MergeCsr);
+    advised_merge.execute_into(&scattered, &xs, &mut ym, &mut ws);
+    advised_merge.execute_into(&scattered, &xs, &mut ym, &mut ws);
+    let before = allocations();
+    for _ in 0..50 {
+        advised_merge.execute_into(&scattered, &xs, &mut ym, &mut ws);
+    }
+    assert_eq!(
+        allocations(),
+        before,
+        "warm advised (merge) executes must not allocate"
+    );
+
     // --- SpMM ------------------------------------------------------------
     let xb = DenseBlock::from_fn(a.num_cols, 8, |r, c| 1.0 + ((r * 3 + c) % 7) as f64 * 0.5);
     let spmm_plan = SpmmPlan::new(&device, &a, 8, &SpmmConfig::default());
